@@ -1,0 +1,99 @@
+// Histogram ablation: range-count error of equi-depth, compressed and
+// V-optimal histograms (§1 / [PIHS96] / [GMP97b]) with the same bucket
+// budget, each built over (a) a traditional backing sample and (b) a
+// concise sample's point sample of the *same footprint* — quantifying §2's
+// remark that "a concise sample could be used as a backing sample, for
+// more sample points for the same footprint".
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "histogram/compressed_histogram.h"
+#include "histogram/equi_depth_histogram.h"
+#include "histogram/v_optimal_histogram.h"
+#include "metrics/table_printer.h"
+
+namespace {
+
+struct RangeQuery {
+  aqua::Value lo;
+  aqua::Value hi;
+};
+
+}  // namespace
+
+int main() {
+  using namespace aqua;
+  using namespace aqua::bench;
+
+  constexpr std::int64_t kN = 500000;
+  constexpr std::int64_t kD = 5000;
+  constexpr Words kFootprint = 500;
+  constexpr int kBuckets = 20;
+
+  PrintHeader(
+      "Histogram ablation: mean relative range-count error, 500000 values "
+      "in [1,5000], footprint-500 backing samples, 20 buckets");
+  TablePrinter table({"zipf", "backing", "sample points", "equi-depth %",
+                      "compressed %", "v-optimal %"});
+
+  const RangeQuery queries[] = {{1, 5},     {1, 25},    {1, 100},
+                                {10, 50},   {50, 500},  {100, 1000},
+                                {500, 2500}, {1, 2500}};
+
+  for (double alpha : {0.5, 1.0, 1.5}) {
+    for (const bool use_concise : {false, true}) {
+      double err_equi = 0.0, err_comp = 0.0, err_vopt = 0.0;
+      double mean_points = 0.0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        const std::uint64_t seed =
+            TrialSeed(9800 + static_cast<int>(alpha * 4), trial);
+        const std::vector<Value> data = ZipfValues(kN, kD, alpha, seed);
+
+        std::vector<Value> points;
+        if (use_concise) {
+          ConciseSample concise(ConciseSampleOptions{
+              .footprint_bound = kFootprint, .seed = seed + 5});
+          for (Value v : data) concise.Insert(v);
+          points = concise.ToPointSample();
+        } else {
+          ReservoirSample reservoir(kFootprint, seed + 6);
+          for (Value v : data) reservoir.Insert(v);
+          points = reservoir.Points();
+        }
+        mean_points += static_cast<double>(points.size());
+
+        EquiDepthHistogram equi(points, kBuckets, kN);
+        CompressedHistogram comp(points, kBuckets, kN);
+        VOptimalHistogram vopt(points, kBuckets, kN);
+
+        for (const RangeQuery& q : queries) {
+          std::int64_t truth = 0;
+          for (Value v : data) truth += (v >= q.lo && v <= q.hi);
+          if (truth == 0) continue;
+          const auto t = static_cast<double>(truth);
+          err_equi += std::abs(equi.EstimateRangeCount(q.lo, q.hi) - t) / t;
+          err_comp += std::abs(comp.EstimateRangeCount(q.lo, q.hi) - t) / t;
+          err_vopt += std::abs(vopt.EstimateRangeCount(q.lo, q.hi) - t) / t;
+        }
+      }
+      const double norm = kTrials * static_cast<double>(std::size(queries));
+      table.AddRow({TablePrinter::Num(alpha, 2),
+                    use_concise ? "concise" : "traditional",
+                    TablePrinter::Num(mean_points / kTrials, 0),
+                    TablePrinter::Num(100.0 * err_equi / norm, 2),
+                    TablePrinter::Num(100.0 * err_comp / norm, 2),
+                    TablePrinter::Num(100.0 * err_vopt / norm, 2)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: concise backing samples carry more points "
+               "at the same footprint, cutting range error as skew grows "
+               "(largest effect at zipf 1.5).  Compressed histograms are "
+               "the best all-rounder; V-optimal minimizes frequency "
+               "variance, so it wins on narrow head ranges and equality "
+               "estimates but pays on broad ranges under the "
+               "continuous-spread assumption.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// §3.1 ablation (google-benchmark): geometric skip counting vs naive
+// per-element coin flips.  The paper: "As τ gets large, this results in a
+// significant savings in the number of coin flips and hence the update
+// time."  Each iteration replays a 100K-value zipf stream into a fresh
+// synopsis; items/second is the update throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+constexpr std::int64_t kStream = 100000;
+
+const std::vector<Value>& StreamData(double alpha) {
+  static const std::vector<Value> low = ZipfValues(kStream, 5000, 0.5, 71);
+  static const std::vector<Value> mid = ZipfValues(kStream, 5000, 1.0, 72);
+  static const std::vector<Value> high = ZipfValues(kStream, 5000, 1.5, 73);
+  if (alpha < 0.75) return low;
+  if (alpha < 1.25) return mid;
+  return high;
+}
+
+void BM_ConciseInsert(benchmark::State& state) {
+  const bool use_skips = state.range(0) != 0;
+  const double alpha = static_cast<double>(state.range(1)) / 100.0;
+  const std::vector<Value>& data = StreamData(alpha);
+  for (auto _ : state) {
+    ConciseSample s(ConciseSampleOptions{.footprint_bound = 1000,
+                                         .seed = 74,
+                                         .use_skip_counting = use_skips});
+    for (Value v : data) s.Insert(v);
+    benchmark::DoNotOptimize(s.SampleSize());
+  }
+  state.SetItemsProcessed(state.iterations() * kStream);
+}
+
+void BM_CountingInsert(benchmark::State& state) {
+  const bool use_skips = state.range(0) != 0;
+  const double alpha = static_cast<double>(state.range(1)) / 100.0;
+  const std::vector<Value>& data = StreamData(alpha);
+  for (auto _ : state) {
+    CountingSample s(CountingSampleOptions{.footprint_bound = 1000,
+                                           .seed = 75,
+                                           .use_skip_counting = use_skips});
+    for (Value v : data) s.Insert(v);
+    benchmark::DoNotOptimize(s.CountedOccurrences());
+  }
+  state.SetItemsProcessed(state.iterations() * kStream);
+}
+
+BENCHMARK(BM_ConciseInsert)
+    ->ArgsProduct({{0, 1}, {50, 100, 150}})
+    ->ArgNames({"skip", "zipf_x100"});
+BENCHMARK(BM_CountingInsert)
+    ->ArgsProduct({{0, 1}, {50, 100, 150}})
+    ->ArgNames({"skip", "zipf_x100"});
+
+}  // namespace
+}  // namespace aqua
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "container/flat_hash_map.h"
+#include "metrics/hotlist_accuracy.h"
+#include "metrics/table_printer.h"
+
+namespace aqua {
+namespace bench {
+
+void PrintRankTable(const Relation& relation,
+                    const std::vector<AlgoReport>& reports,
+                    std::int64_t max_rows) {
+  // Minimum reported count across all approximation algorithms.
+  double min_reported = std::numeric_limits<double>::infinity();
+  for (const AlgoReport& r : reports) {
+    for (const HotListItem& item : r.list) {
+      min_reported = std::min(min_reported, item.estimated_count);
+    }
+  }
+  // k = number of exact values whose frequency >= min reported count.
+  std::vector<ValueCount> exact = relation.ExactCounts();
+  std::sort(exact.begin(), exact.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.count > b.count ||
+                     (a.count == b.count && a.value < b.value);
+            });
+  std::int64_t k = 0;
+  for (const ValueCount& vc : exact) {
+    if (static_cast<double>(vc.count) >= min_reported) {
+      ++k;
+    } else {
+      break;
+    }
+  }
+  if (k == 0) k = std::min<std::int64_t>(10, exact.size());
+  k = std::min(k, max_rows);
+
+  // Per-algorithm estimate lookup.
+  std::vector<FlatHashMap<Value, double>> estimates(reports.size());
+  for (std::size_t a = 0; a < reports.size(); ++a) {
+    for (const HotListItem& item : reports[a].list) {
+      estimates[a].TryInsert(item.value, item.estimated_count);
+    }
+  }
+  FlatHashMap<Value, Count> in_top_k;
+  for (std::int64_t i = 0; i < k; ++i) {
+    in_top_k.TryInsert(exact[static_cast<std::size_t>(i)].value, 1);
+  }
+
+  std::vector<std::string> headers = {"rank", "value", "exact"};
+  for (const AlgoReport& r : reports) headers.push_back(r.name);
+  TablePrinter table(std::move(headers));
+
+  auto add_row = [&](std::int64_t rank, const ValueCount& vc) {
+    std::vector<std::string> row = {
+        rank > 0 ? TablePrinter::Num(rank) : std::string("FP"),
+        TablePrinter::Num(vc.value), TablePrinter::Num(vc.count)};
+    for (std::size_t a = 0; a < reports.size(); ++a) {
+      const double* est = estimates[a].Find(vc.value);
+      row.push_back(est != nullptr ? TablePrinter::Num(*est, 0)
+                                   : std::string("-"));
+    }
+    table.AddRow(std::move(row));
+  };
+
+  for (std::int64_t i = 0; i < k; ++i) {
+    add_row(i + 1, exact[static_cast<std::size_t>(i)]);
+  }
+  // False positives: reported values outside the exact top-k, in
+  // nonincreasing order of actual frequency.
+  std::vector<ValueCount> false_positives;
+  FlatHashMap<Value, Count> fp_seen;
+  for (const AlgoReport& r : reports) {
+    for (const HotListItem& item : r.list) {
+      if (!in_top_k.Contains(item.value) && !fp_seen.Contains(item.value)) {
+        fp_seen.TryInsert(item.value, 1);
+        false_positives.push_back(
+            ValueCount{item.value, relation.FrequencyOf(item.value)});
+      }
+    }
+  }
+  std::sort(false_positives.begin(), false_positives.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.count > b.count ||
+                     (a.count == b.count && a.value < b.value);
+            });
+  if (!false_positives.empty()) {
+    std::vector<std::string> sep = {"--", "--", "--"};
+    for (std::size_t a = 0; a < reports.size(); ++a) sep.push_back("--");
+    table.AddRow(std::move(sep));
+    for (const ValueCount& vc : false_positives) add_row(0, vc);
+  }
+  table.Print(std::cout);
+  std::cout << "(rows below the -- rule are false positives, shown with "
+               "their actual frequency)\n";
+}
+
+}  // namespace bench
+}  // namespace aqua

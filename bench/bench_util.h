@@ -1,0 +1,83 @@
+#ifndef AQUA_BENCH_BENCH_UTIL_H_
+#define AQUA_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "hotlist/hot_list.h"
+#include "sample/reservoir_sample.h"
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace bench {
+
+/// The paper's experimental constants (§3.3, §5.3): 500K inserts into an
+/// initially empty warehouse, 5-trial averages, ×1.1 threshold raises,
+/// confidence threshold β = 3.
+inline constexpr std::int64_t kInserts = 500000;
+inline constexpr int kTrials = 5;
+inline constexpr double kBeta = 3.0;
+
+/// Base seed; trial t of scenario s uses kSeed + 1000003·s + t.
+inline constexpr std::uint64_t kSeed = 0x533D;
+
+inline std::uint64_t TrialSeed(int scenario, int trial) {
+  return kSeed + 1000003ULL * static_cast<std::uint64_t>(scenario) +
+         static_cast<std::uint64_t>(trial);
+}
+
+/// One full §5 experiment instance: the exact relation plus the three
+/// approximate synopses maintained over the same stream.
+struct HotListExperiment {
+  Relation relation;
+  ReservoirSample traditional;
+  ConciseSample concise;
+  CountingSample counting;
+
+  HotListExperiment(std::int64_t n, std::int64_t domain, double alpha,
+                    Words footprint, std::uint64_t seed)
+      : traditional(footprint, seed * 3 + 1),
+        concise(ConciseSampleOptions{.footprint_bound = footprint,
+                                     .seed = seed * 3 + 2}),
+        counting(CountingSampleOptions{.footprint_bound = footprint,
+                                       .seed = seed * 3 + 3}) {
+    for (Value v : ZipfValues(n, domain, alpha, seed)) {
+      relation.Insert(v);
+      traditional.Insert(v);
+      concise.Insert(v);
+      counting.Insert(v);
+    }
+  }
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// One algorithm's hot-list answer, for the Figure 4–6 rank tables.
+struct AlgoReport {
+  std::string name;
+  HotList list;
+};
+
+/// Prints a Figure 4/5/6-style table: the k most frequent values in order
+/// of nonincreasing exact count, with each algorithm's reported estimate
+/// ("-" where the value was not reported, i.e. a false negative), followed
+/// by the values reported by some algorithm that are *not* among the k most
+/// frequent (false positives), "tacked on at the right … in nonincreasing
+/// order of their actual frequency".  As in the paper, k is the number of
+/// values whose frequency matches or exceeds the minimum reported count
+/// over the approximation algorithms.
+void PrintRankTable(const Relation& relation,
+                    const std::vector<AlgoReport>& reports,
+                    std::int64_t max_rows);
+
+}  // namespace bench
+}  // namespace aqua
+
+#endif  // AQUA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// Reproduces Figure 3 of Gibbons & Matias (SIGMOD 1998): sample-size of
+// traditional, concise-online and concise-offline samples as a function of
+// the zipf parameter, for the paper's four (footprint, D) scenarios:
+//   (a) footprint 100,  D = 5000  (D/m = 50), zipf 0..3
+//   (b) footprint 1000, D = 5000  (D/m = 5),  zipf 0..3
+//   (c) footprint 1000, D = 50000 (D/m = 50), zipf 0..1.5 (truncated plot)
+//   (d) footprint 1000, D = 5000  (D/m = 5),  zipf 0..1.5 (detail of (b))
+// 500K inserts per run; every data point is the average of 5 trials.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/concise_sample_builder.h"
+#include "metrics/table_printer.h"
+
+namespace aqua {
+namespace bench {
+namespace {
+
+struct Panel {
+  const char* name;
+  Words footprint;
+  std::int64_t domain;
+  double max_zipf;
+};
+
+void RunPanel(const Panel& panel, int scenario_base) {
+  PrintHeader(std::string("Figure 3") + panel.name + ": 500000 values in [1," +
+              std::to_string(panel.domain) + "], footprint " +
+              std::to_string(panel.footprint));
+  TablePrinter table({"zipf", "traditional", "concise online",
+                      "concise offline", "online/offline"});
+  for (int step = 0;; ++step) {
+    const double alpha = 0.25 * step;
+    if (alpha > panel.max_zipf + 1e-9) break;
+    double traditional = 0.0, online = 0.0, offline = 0.0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const std::uint64_t seed =
+          TrialSeed(scenario_base + step, trial);
+      const std::vector<Value> data =
+          ZipfValues(kInserts, panel.domain, alpha, seed);
+
+      ReservoirSample reservoir(panel.footprint, seed + 7);
+      ConciseSample concise(ConciseSampleOptions{
+          .footprint_bound = panel.footprint, .seed = seed + 11});
+      for (Value v : data) {
+        reservoir.Insert(v);
+        concise.Insert(v);
+      }
+      traditional += static_cast<double>(reservoir.SampleSize());
+      online += static_cast<double>(concise.SampleSize());
+      offline += static_cast<double>(
+          BuildOfflineConciseSample(data, panel.footprint, seed + 13)
+              .sample_size);
+    }
+    traditional /= kTrials;
+    online /= kTrials;
+    offline /= kTrials;
+    table.AddRow({TablePrinter::Num(alpha, 2),
+                  TablePrinter::Num(traditional, 0),
+                  TablePrinter::Num(online, 0),
+                  TablePrinter::Num(offline, 0),
+                  TablePrinter::Num(offline > 0 ? online / offline : 1.0,
+                                    3)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aqua
+
+int main() {
+  using namespace aqua::bench;
+  std::cout << "Figure 3: comparing sample-sizes of concise and traditional "
+               "samples as a function of skew\n"
+            << "(" << kInserts << " inserts, " << kTrials
+            << "-trial averages; traditional sample-size = footprint)\n";
+  RunPanel({"(a)", 100, 5000, 3.0}, 100);
+  RunPanel({"(b)", 1000, 5000, 3.0}, 200);
+  RunPanel({"(c)", 1000, 50000, 1.5}, 300);
+  RunPanel({"(d)", 1000, 5000, 1.5}, 400);
+  // §3.3 also sweeps D/m = 500 ("we consider D/m = 5, 50, and 500");
+  // the figure omits that panel, so we add it for completeness.
+  RunPanel({"(e, D/m=500)", 100, 50000, 3.0}, 500);
+  return 0;
+}

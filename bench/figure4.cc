@@ -1,0 +1,56 @@
+// Reproduces Figure 4 of Gibbons & Matias (SIGMOD 1998): comparison of the
+// four hot-list algorithms on 500000 values in [1,500], zipf parameter 1.5,
+// footprint 100.  The paper's measured outcome on this configuration:
+// counting samples accurately reported the 15 most frequent values (18 of
+// the first 20) with two mildly-overestimated false positives; concise did
+// almost as well; traditional had false negatives by rank 7-8.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "hotlist/concise_hot_list.h"
+#include "hotlist/counting_hot_list.h"
+#include "hotlist/traditional_hot_list.h"
+#include "metrics/hotlist_accuracy.h"
+#include "warehouse/full_histogram.h"
+
+int main() {
+  using namespace aqua;
+  using namespace aqua::bench;
+
+  PrintHeader(
+      "Figure 4: hot-list algorithms, 500000 values in [1,500], "
+      "zipf 1.5, footprint 100");
+
+  const std::uint64_t seed = TrialSeed(4000, 0);
+  HotListExperiment e(kInserts, 500, 1.5, 100, seed);
+  FullHistogram full(100);
+  for (const ValueCount& vc : e.relation.ExactCounts()) {
+    for (Count i = 0; i < vc.count; ++i) full.Insert(vc.value);
+  }
+
+  const HotListQuery query{.k = 0, .beta = kBeta};
+  const std::vector<AlgoReport> reports = {
+      {"full-hist", full.Report({.k = 25})},
+      {"counting", CountingHotList(e.counting).Report(query)},
+      {"concise", ConciseHotList(e.concise).Report(query)},
+      {"traditional", TraditionalHotList(e.traditional).Report(query)},
+  };
+  PrintRankTable(e.relation, reports, /*max_rows=*/30);
+
+  // Paper-style summary lines.
+  const auto exact = e.relation.ExactCounts();
+  std::cout << "\nSummary (vs exact top-20):\n";
+  for (std::size_t a = 1; a < reports.size(); ++a) {
+    const HotListAccuracy acc = EvaluateHotList(reports[a].list, exact, 20);
+    std::cout << "  " << reports[a].name << ": reported " << acc.reported
+              << ", correct prefix " << acc.correct_prefix << ", "
+              << acc.true_positives << " of first 20, false positives "
+              << acc.false_positives << ", mean count error "
+              << static_cast<int>(acc.mean_relative_count_error * 100)
+              << "%\n";
+  }
+  std::cout << "concise sample-size: " << e.concise.SampleSize()
+            << " (footprint 100; paper measured 388, a 3.8x gain)\n";
+  return 0;
+}

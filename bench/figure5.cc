@@ -1,0 +1,72 @@
+// Reproduces Figure 5 of Gibbons & Matias (SIGMOD 1998): counting samples
+// vs traditional samples on a less skewed distribution — 500000 values in
+// [1,5000], zipf parameter 1.0, footprint 1000.  The signature behaviour:
+// traditional estimates are quantized to multiples of n/m = 500 (the
+// "horizontal rows of reported counts"), while counting estimates hug the
+// exact curve; concise falls in between (paper footnote 6: count errors for
+// the truncated head were 1-4% counting, 5-16% concise, 3-31% traditional).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "hotlist/concise_hot_list.h"
+#include "hotlist/counting_hot_list.h"
+#include "hotlist/traditional_hot_list.h"
+#include "metrics/hotlist_accuracy.h"
+
+int main() {
+  using namespace aqua;
+  using namespace aqua::bench;
+
+  PrintHeader(
+      "Figure 5: counting vs traditional, 500000 values in [1,5000], "
+      "zipf 1.0, footprint 1000");
+
+  const std::uint64_t seed = TrialSeed(5000, 0);
+  HotListExperiment e(kInserts, 5000, 1.0, 1000, seed);
+
+  const HotListQuery query{.k = 0, .beta = kBeta};
+  const std::vector<AlgoReport> reports = {
+      {"counting", CountingHotList(e.counting).Report(query)},
+      {"concise", ConciseHotList(e.concise).Report(query)},
+      {"traditional", TraditionalHotList(e.traditional).Report(query)},
+  };
+  PrintRankTable(e.relation, reports, /*max_rows=*/120);
+
+  // Footnote-6 style head-error summary: relative count error over the
+  // values whose exact counts exceed the paper's y-axis truncation (10000).
+  std::cout << "\nHead (exact count > 10000) relative count errors:\n";
+  const auto exact = e.relation.ExactCounts();
+  for (const AlgoReport& r : reports) {
+    double lo = 1e9, hi = 0.0;
+    int n_head = 0;
+    for (const ValueCount& vc : exact) {
+      if (vc.count <= 10000) continue;
+      for (const HotListItem& item : r.list) {
+        if (item.value == vc.value) {
+          const double err = std::abs(item.estimated_count -
+                                      static_cast<double>(vc.count)) /
+                             static_cast<double>(vc.count);
+          lo = std::min(lo, err);
+          hi = std::max(hi, err);
+          ++n_head;
+          break;
+        }
+      }
+    }
+    if (n_head > 0) {
+      std::cout << "  " << r.name << ": " << static_cast<int>(lo * 100)
+                << "%-" << static_cast<int>(hi * 100 + 0.999) << "% over "
+                << n_head << " head values\n";
+    }
+  }
+
+  std::cout << "\nTraditional estimates are multiples of n/m = "
+            << kInserts / 1000 << " (the figure's horizontal rows).\n"
+            << "Reported: counting " << reports[0].list.size()
+            << ", concise " << reports[1].list.size() << ", traditional "
+            << reports[2].list.size()
+            << " (paper: 92 / 95 / 52 for this configuration)\n";
+  return 0;
+}

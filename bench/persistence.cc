@@ -1,0 +1,87 @@
+// Persistence characteristics (footnotes 2-3): snapshot sizes under the
+// variable-length count encoding vs the in-memory word footprint, snapshot
+// encode/decode throughput, and op-log bytes per operation.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "metrics/table_printer.h"
+#include "persist/op_log.h"
+#include "persist/snapshot.h"
+
+int main() {
+  using namespace aqua;
+  using namespace aqua::bench;
+
+  PrintHeader(
+      "Snapshot size & codec throughput (concise samples, 500000 inserts, "
+      "domain [1,5000])");
+  TablePrinter table({"zipf", "footprint (words)", "snapshot (bytes)",
+                      "bytes/word", "encode us", "decode us"});
+  for (double alpha : {0.0, 1.0, 2.0}) {
+    ConciseSample s(ConciseSampleOptions{
+        .footprint_bound = 1000, .seed = TrialSeed(9950, 0)});
+    for (Value v : ZipfValues(kInserts, 5000, alpha,
+                              TrialSeed(9960 + static_cast<int>(alpha), 0))) {
+      s.Insert(v);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<std::uint8_t> bytes = EncodeSnapshot(s);
+    const auto t1 = std::chrono::steady_clock::now();
+    auto restored = DecodeConciseSnapshot(bytes, 7);
+    const auto t2 = std::chrono::steady_clock::now();
+    if (!restored.ok()) {
+      std::cerr << "decode failed: " << restored.status() << "\n";
+      return 1;
+    }
+    table.AddRow(
+        {TablePrinter::Num(alpha, 1), TablePrinter::Num(s.Footprint()),
+         TablePrinter::Num(static_cast<std::int64_t>(bytes.size())),
+         TablePrinter::Num(static_cast<double>(bytes.size()) /
+                               static_cast<double>(s.Footprint()),
+                           2),
+         TablePrinter::Num(
+             std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                 .count()),
+         TablePrinter::Num(
+             std::chrono::duration_cast<std::chrono::microseconds>(t2 - t1)
+                 .count())});
+  }
+  table.Print(std::cout);
+  std::cout << "(a word is 8 bytes in memory; footnote-3 varint coding "
+               "keeps snapshots near 1-2 bytes per word)\n";
+
+  PrintHeader("Op-log append/replay throughput (200000 mixed ops)");
+  const std::string path = "/tmp/aqua_bench_oplog.bin";
+  const UpdateStream stream =
+      MixedStream(200000, 5000, 1.0, 0.2, 10000, TrialSeed(9970, 0));
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    OpLogWriter writer(path);
+    for (const StreamOp& op : stream) writer.Append(op);
+    if (!writer.Flush().ok()) {
+      std::cerr << "op log write failed\n";
+      return 1;
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  auto read = ReadOpLog(path);
+  const auto t2 = std::chrono::steady_clock::now();
+  if (!read.ok() || read->size() != stream.size()) {
+    std::cerr << "op log read failed\n";
+    return 1;
+  }
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto log_bytes = static_cast<double>(in.tellg());
+  in.close();
+  std::remove(path.c_str());
+  const auto us = [](auto d) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+  };
+  std::cout << "append " << us(t1 - t0) << " us, replay-read " << us(t2 - t1)
+            << " us, " << log_bytes / static_cast<double>(stream.size())
+            << " bytes/op\n";
+  return 0;
+}

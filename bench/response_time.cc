@@ -1,0 +1,86 @@
+// Response-time comparison for hot list queries (§5.1): the maintained
+// candidate set ("keeping the sample sorted by counts … allows for
+// reporting in O(k) time") vs the on-demand O(m) scan-and-select reporter,
+// across synopsis footprints.  Also reports the insert-path overhead the
+// maintained index costs.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "hotlist/counting_hot_list.h"
+#include "hotlist/maintained_hot_list.h"
+#include "metrics/table_printer.h"
+
+int main() {
+  using namespace aqua;
+  using namespace aqua::bench;
+
+  PrintHeader(
+      "Hot-list response time: on-demand O(m) reporting vs maintained O(k) "
+      "candidates (zipf 1.1, k = 10)");
+  TablePrinter table({"footprint m", "on-demand us/query",
+                      "maintained us/query", "speedup",
+                      "insert overhead %"});
+
+  for (Words footprint : {Words{1000}, Words{10000}, Words{100000}}) {
+    const std::vector<Value> data = ZipfValues(
+        kInserts, footprint * 5, 1.1, TrialSeed(9990, 0));
+
+    // Plain counting sample.
+    CountingSample plain(CountingSampleOptions{.footprint_bound = footprint,
+                                               .seed = 3});
+    auto t0 = std::chrono::steady_clock::now();
+    for (Value v : data) plain.Insert(v);
+    auto t1 = std::chrono::steady_clock::now();
+    const double plain_insert_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+
+    // Maintained hot list over an identical sample.
+    MaintainedHotList maintained(
+        CountingSampleOptions{.footprint_bound = footprint, .seed = 3}, 40);
+    t0 = std::chrono::steady_clock::now();
+    for (Value v : data) maintained.Insert(v);
+    t1 = std::chrono::steady_clock::now();
+    const double maintained_insert_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+
+    constexpr int kQueries = 200;
+    CountingHotList on_demand(plain);
+    t0 = std::chrono::steady_clock::now();
+    std::size_t sink = 0;
+    for (int q = 0; q < kQueries; ++q) {
+      sink += on_demand.Report({.k = 10}).size();
+    }
+    t1 = std::chrono::steady_clock::now();
+    const double on_demand_us =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()) /
+        kQueries;
+
+    t0 = std::chrono::steady_clock::now();
+    for (int q = 0; q < kQueries; ++q) sink += maintained.Report(10).size();
+    t1 = std::chrono::steady_clock::now();
+    const double maintained_us =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()) /
+        kQueries;
+    if (sink == 0) std::cout << "";  // keep the reports alive
+
+    table.AddRow(
+        {TablePrinter::Num(footprint), TablePrinter::Num(on_demand_us, 1),
+         TablePrinter::Num(maintained_us, 2),
+         TablePrinter::Num(on_demand_us / std::max(0.01, maintained_us), 1),
+         TablePrinter::Num(100.0 * (maintained_insert_ns - plain_insert_ns) /
+                               plain_insert_ns,
+                           1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nThe maintained variant trades a small insert overhead for "
+               "footprint-independent query latency.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Table 1 of Gibbons & Matias (SIGMOD 1998): coin flips and
+// lookups per insert for the online concise-sampling algorithm, for the
+// Figure 3 scenarios:
+//   Fig. 3(a):     footprint 100,  D = 5000
+//   Figs. 3(b)(d): footprint 1000, D = 5000
+//   Fig. 3(c):     footprint 1000, D = 50000
+// "These are abstract measures of the computation costs: the number of
+// instructions executed by the algorithm is directly proportional to the
+// number of coin flips and lookups."
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "metrics/table_printer.h"
+
+namespace aqua {
+namespace bench {
+namespace {
+
+struct Scenario {
+  const char* name;
+  Words footprint;
+  std::int64_t domain;
+};
+
+}  // namespace
+}  // namespace bench
+}  // namespace aqua
+
+int main() {
+  using namespace aqua;
+  using namespace aqua::bench;
+
+  const Scenario scenarios[] = {
+      {"Fig. 3(a)", 100, 5000},
+      {"Figs. 3(b)(d)", 1000, 5000},
+      {"Fig. 3(c)", 1000, 50000},
+  };
+
+  PrintHeader("Table 1: coin flips and lookups per insert (concise online)");
+  TablePrinter table({"zipf", "3(a) flips", "3(a) lookups", "3(b)(d) flips",
+                      "3(b)(d) lookups", "3(c) flips", "3(c) lookups"});
+  for (int step = 0; step <= 12; ++step) {
+    const double alpha = 0.25 * step;
+    std::vector<std::string> row = {TablePrinter::Num(alpha, 2)};
+    for (int s = 0; s < 3; ++s) {
+      double flips = 0.0, lookups = 0.0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        const std::uint64_t seed = TrialSeed(500 + 20 * s + step, trial);
+        ConciseSample concise(ConciseSampleOptions{
+            .footprint_bound = scenarios[s].footprint, .seed = seed + 11});
+        for (Value v :
+             ZipfValues(kInserts, scenarios[s].domain, alpha, seed)) {
+          concise.Insert(v);
+        }
+        flips += concise.Cost().FlipsPerInsert(kInserts);
+        lookups += concise.Cost().LookupsPerInsert(kInserts);
+      }
+      row.push_back(TablePrinter::Num(flips / kTrials, 3));
+      row.push_back(TablePrinter::Num(lookups / kTrials, 3));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper reference shapes: overheads grow with skew up to the "
+               "point where all values\nfit in the footprint, after which "
+               "flips drop to 0 and lookups to 1 per insert;\nan order of "
+               "magnitude smaller footprint gives roughly an order of "
+               "magnitude lower overheads.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Update-time microbenchmarks (google-benchmark): wall-clock ns/insert for
+// every synopsis the library maintains, across skews, plus the lookup
+// structure underneath them.  Complements the paper's abstract flip/lookup
+// measures (Tables 1-2) with machine time.
+
+#include <benchmark/benchmark.h>
+
+#include "container/flat_hash_map.h"
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "sample/reservoir_sample.h"
+#include "sketch/flajolet_martin.h"
+#include "warehouse/full_histogram.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+constexpr std::int64_t kStream = 100000;
+
+const std::vector<Value>& StreamData(int alpha_x100) {
+  static const std::vector<Value> z0 = ZipfValues(kStream, 5000, 0.0, 81);
+  static const std::vector<Value> z1 = ZipfValues(kStream, 5000, 1.0, 82);
+  static const std::vector<Value> z2 = ZipfValues(kStream, 5000, 2.0, 83);
+  if (alpha_x100 == 0) return z0;
+  if (alpha_x100 == 100) return z1;
+  return z2;
+}
+
+template <typename MakeSynopsis>
+void RunStream(benchmark::State& state, MakeSynopsis make) {
+  const std::vector<Value>& data =
+      StreamData(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto s = make();
+    for (Value v : data) s.Insert(v);
+    benchmark::DoNotOptimize(&s);
+  }
+  state.SetItemsProcessed(state.iterations() * kStream);
+}
+
+void BM_Traditional(benchmark::State& state) {
+  RunStream(state, [] { return ReservoirSample(1000, 84); });
+}
+void BM_Concise(benchmark::State& state) {
+  RunStream(state, [] {
+    return ConciseSample(
+        ConciseSampleOptions{.footprint_bound = 1000, .seed = 85});
+  });
+}
+void BM_Counting(benchmark::State& state) {
+  RunStream(state, [] {
+    return CountingSample(
+        CountingSampleOptions{.footprint_bound = 1000, .seed = 86});
+  });
+}
+void BM_FullHistogram(benchmark::State& state) {
+  RunStream(state, [] { return FullHistogram(1000); });
+}
+void BM_FmSketch(benchmark::State& state) {
+  RunStream(state, [] { return FlajoletMartin(16, 87); });
+}
+
+BENCHMARK(BM_Traditional)->Arg(0)->Arg(100)->Arg(200)->ArgName("zipf_x100");
+BENCHMARK(BM_Concise)->Arg(0)->Arg(100)->Arg(200)->ArgName("zipf_x100");
+BENCHMARK(BM_Counting)->Arg(0)->Arg(100)->Arg(200)->ArgName("zipf_x100");
+BENCHMARK(BM_FullHistogram)->Arg(0)->Arg(100)->Arg(200)->ArgName("zipf_x100");
+BENCHMARK(BM_FmSketch)->Arg(0)->Arg(100)->Arg(200)->ArgName("zipf_x100");
+
+void BM_FlatHashMapUpsert(benchmark::State& state) {
+  const std::vector<Value>& data =
+      StreamData(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    FlatHashMap<Value, Count> map;
+    for (Value v : data) ++map[v];
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kStream);
+}
+BENCHMARK(BM_FlatHashMapUpsert)
+    ->Arg(0)
+    ->Arg(100)
+    ->Arg(200)
+    ->ArgName("zipf_x100");
+
+}  // namespace
+}  // namespace aqua
+
+BENCHMARK_MAIN();

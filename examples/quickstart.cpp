@@ -1,0 +1,65 @@
+// Quickstart: maintain a concise sample and a counting sample over a
+// skewed insert stream, then answer a hot-list query and a frequency query
+// from each — no access to the base data (the Figure 2 set-up).
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "estimate/frequency_estimator.h"
+#include "hotlist/concise_hot_list.h"
+#include "hotlist/counting_hot_list.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace aqua;
+
+  // A 500K-value load stream, integer domain [1, 5000], zipf skew 1.25.
+  const std::vector<Value> stream = ZipfValues(500000, 5000, 1.25, /*seed=*/7);
+
+  // Both synopses are bounded to 1000 memory words — about 8 KB.
+  ConciseSample concise(
+      ConciseSampleOptions{.footprint_bound = 1000, .seed = 1});
+  CountingSample counting(
+      CountingSampleOptions{.footprint_bound = 1000, .seed = 2});
+  for (Value v : stream) {
+    concise.Insert(v);
+    counting.Insert(v);
+  }
+
+  std::cout << "stream length        : " << stream.size() << "\n";
+  std::cout << "concise footprint    : " << concise.Footprint()
+            << " words, sample-size " << concise.SampleSize()
+            << " (a traditional sample of this footprint holds only "
+            << concise.Footprint() << " points)\n";
+  std::cout << "counting footprint   : " << counting.Footprint()
+            << " words, threshold " << counting.Threshold() << "\n\n";
+
+  // Top-10 hot list from each synopsis.
+  const HotListQuery query{.k = 10, .beta = 3};
+  std::cout << "top-10 via counting sample (count +/- compensation):\n";
+  for (const HotListItem& item : CountingHotList(counting).Report(query)) {
+    std::cout << "  value " << item.value << "  ~" << item.estimated_count
+              << " occurrences\n";
+  }
+  std::cout << "\ntop-10 via concise sample (scaled counts):\n";
+  for (const HotListItem& item : ConciseHotList(concise).Report(query)) {
+    std::cout << "  value " << item.value << "  ~" << item.estimated_count
+              << " occurrences\n";
+  }
+
+  // Single-value frequency estimates with accuracy measures.
+  const Estimate from_counting =
+      FrequencyEstimator::FromCounting(counting, /*value=*/1);
+  const Estimate from_concise =
+      FrequencyEstimator::FromConcise(concise, /*value=*/1);
+  std::cout << "\nfrequency of value 1 : counting-sample estimate "
+            << from_counting.value << " in [" << from_counting.ci_low << ", "
+            << from_counting.ci_high << "]\n";
+  std::cout << "                       concise-sample estimate "
+            << from_concise.value << " in [" << from_concise.ci_low << ", "
+            << from_concise.ci_high << "] (95% CI)\n";
+  return 0;
+}

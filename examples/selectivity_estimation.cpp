@@ -1,0 +1,93 @@
+// Query-optimizer style estimation from synopses (§1: "techniques for fast
+// approximate answers can also be used in a more traditional role within
+// the query optimizer to estimate plan costs"): predicate selectivities
+// with confidence intervals, range selectivities from a histogram over the
+// concise sample (its point sample acts as a bigger backing sample,
+// [GMP97b]/§2), and join-size estimation from high-biased histograms built
+// on hot lists ([Ioa93, IC93]).
+
+#include <iostream>
+
+#include "core/concise_sample.h"
+#include "estimate/aggregates.h"
+#include "histogram/equi_depth_histogram.h"
+#include "histogram/high_biased_histogram.h"
+#include "hotlist/concise_hot_list.h"
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace aqua;
+
+  constexpr std::int64_t kN = 800000;
+  constexpr std::int64_t kD = 10000;
+  const std::vector<Value> data = ZipfValues(kN, kD, 1.2, 31);
+
+  ConciseSample concise(
+      ConciseSampleOptions{.footprint_bound = 1500, .seed = 32});
+  Relation relation;
+  for (Value v : data) {
+    concise.Insert(v);
+    relation.Insert(v);
+  }
+
+  // 1. Equality/range predicate selectivity with a 95% CI.
+  const std::vector<Value> points = concise.ToPointSample();
+  SampleEstimator estimator(points, kN);
+  const Estimate sel = estimator.Selectivity(
+      [](Value v) { return v <= 50; });
+  std::int64_t truth = 0;
+  for (Value v : data) truth += (v <= 50);
+  std::cout << "selectivity(A <= 50): " << sel.value << " in ["
+            << sel.ci_low << ", " << sel.ci_high << "]  (exact "
+            << static_cast<double>(truth) / kN << ", " << sel.sample_points
+            << " sample points from a " << concise.Footprint()
+            << "-word synopsis)\n";
+
+  // 2. Range counts from an equi-depth histogram over the concise sample.
+  EquiDepthHistogram histogram(points, 20, kN);
+  std::int64_t range_truth = 0;
+  for (Value v : data) range_truth += (v >= 100 && v <= 1000);
+  std::cout << "count(100 <= A <= 1000): ~"
+            << histogram.EstimateRangeCount(100, 1000) << " (exact "
+            << range_truth << ")\n";
+
+  // 3. Join-size estimation: high-biased histograms (hot list + remainder
+  // bucket) for R and a second relation S with a different skew.
+  const std::vector<Value> s_data = ZipfValues(kN / 2, kD, 0.9, 33);
+  ConciseSample s_concise(
+      ConciseSampleOptions{.footprint_bound = 1500, .seed = 34});
+  Relation s_relation;
+  for (Value v : s_data) {
+    s_concise.Insert(v);
+    s_relation.Insert(v);
+  }
+
+  auto to_histogram = [kD](const ConciseSample& cs, std::int64_t n) {
+    std::vector<ValueCount> hot;
+    for (const HotListItem& item :
+         ConciseHotList(cs).Report({.k = 50, .beta = 3})) {
+      hot.push_back(ValueCount{
+          item.value, static_cast<Count>(item.estimated_count + 0.5)});
+    }
+    return HighBiasedHistogram(std::move(hot), n,
+                               kD - static_cast<std::int64_t>(hot.size()));
+  };
+  const HighBiasedHistogram r_hist = to_histogram(concise, kN);
+  const HighBiasedHistogram s_hist = to_histogram(s_concise, kN / 2);
+  const double join_estimate =
+      HighBiasedHistogram::EstimateJoinSize(r_hist, s_hist);
+
+  // Exact join size: Σ_v f_R(v) · f_S(v).
+  double join_truth = 0.0;
+  for (const ValueCount& vc : relation.ExactCounts()) {
+    join_truth += static_cast<double>(vc.count) *
+                  static_cast<double>(s_relation.FrequencyOf(vc.value));
+  }
+  std::cout << "join size |R join S|: ~" << join_estimate << " (exact "
+            << join_truth << ", error "
+            << 100.0 * (join_estimate - join_truth) / join_truth << "%)\n"
+            << "\nThe skewed head drives the join size; hot lists capture "
+               "exactly those values (§1.2).\n";
+  return 0;
+}

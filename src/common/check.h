@@ -1,0 +1,69 @@
+#ifndef AQUA_COMMON_CHECK_H_
+#define AQUA_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace aqua {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used via the AQUA_CHECK family of macros only.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace aqua
+
+/// Aborts with a message when `cond` is false.  Enabled in all build modes;
+/// use for invariants whose violation would corrupt a synopsis.
+#define AQUA_CHECK(cond)                                        \
+  if (cond) {                                                   \
+  } else /* NOLINT */                                           \
+    ::aqua::internal_check::CheckFailureStream("AQUA_CHECK",    \
+                                               __FILE__, __LINE__, #cond)
+
+#define AQUA_CHECK_EQ(a, b) AQUA_CHECK((a) == (b))
+#define AQUA_CHECK_NE(a, b) AQUA_CHECK((a) != (b))
+#define AQUA_CHECK_LT(a, b) AQUA_CHECK((a) < (b))
+#define AQUA_CHECK_LE(a, b) AQUA_CHECK((a) <= (b))
+#define AQUA_CHECK_GT(a, b) AQUA_CHECK((a) > (b))
+#define AQUA_CHECK_GE(a, b) AQUA_CHECK((a) >= (b))
+
+/// Debug-only check: compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define AQUA_DCHECK(cond) \
+  while (false) AQUA_CHECK(cond)
+#else
+#define AQUA_DCHECK(cond) AQUA_CHECK(cond)
+#endif
+
+#define AQUA_DCHECK_EQ(a, b) AQUA_DCHECK((a) == (b))
+#define AQUA_DCHECK_NE(a, b) AQUA_DCHECK((a) != (b))
+#define AQUA_DCHECK_LT(a, b) AQUA_DCHECK((a) < (b))
+#define AQUA_DCHECK_LE(a, b) AQUA_DCHECK((a) <= (b))
+#define AQUA_DCHECK_GT(a, b) AQUA_DCHECK((a) > (b))
+#define AQUA_DCHECK_GE(a, b) AQUA_DCHECK((a) >= (b))
+
+#endif  // AQUA_COMMON_CHECK_H_

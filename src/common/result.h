@@ -1,0 +1,87 @@
+#ifndef AQUA_COMMON_RESULT_H_
+#define AQUA_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace aqua {
+
+/// A value-or-error wrapper: holds either a `T` or a non-OK Status.
+///
+/// Modeled after arrow::Result.  Accessing the value of an errored Result is
+/// a programming error and aborts (AQUA_CHECK).
+///
+///     aqua::Result<ConciseSample> r = ConciseSample::Make(opts);
+///     if (!r.ok()) return r.status();
+///     ConciseSample sample = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, so `return status;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    AQUA_CHECK(!std::get<Status>(repr_).ok())
+        << "Result<T> must not be constructed from an OK Status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK if a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the held value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    AQUA_CHECK(ok()) << "ValueOrDie on errored Result: "
+                     << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    AQUA_CHECK(ok()) << "ValueOrDie on errored Result: "
+                     << std::get<Status>(repr_).ToString();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    AQUA_CHECK(ok()) << "ValueOrDie on errored Result: "
+                     << std::get<Status>(repr_).ToString();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status to the caller.
+#define AQUA_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  AQUA_ASSIGN_OR_RETURN_IMPL_(                                 \
+      AQUA_CONCAT_(_aqua_result_, __LINE__), lhs, rexpr)
+
+#define AQUA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define AQUA_CONCAT_(a, b) AQUA_CONCAT_IMPL_(a, b)
+#define AQUA_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_RESULT_H_

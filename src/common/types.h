@@ -1,0 +1,28 @@
+#ifndef AQUA_COMMON_TYPES_H_
+#define AQUA_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace aqua {
+
+/// An attribute value observed in the load stream.  The paper treats values
+/// as opaque words; we use a 64-bit integer.  Pairs / k-itemsets are encoded
+/// into a single Value by the workload layer (see workload/itemset_stream.h).
+using Value = std::int64_t;
+
+/// An occurrence count.  One memory "word" in the paper's footprint model.
+using Count = std::int64_t;
+
+/// A footprint measured in memory words (paper §1: "the number of memory
+/// words to store the synopsis").  A singleton sample point costs 1 word; a
+/// <value, count> pair costs 2 words (paper footnote 3 assumes values and
+/// counts occupy one word each).
+using Words = std::int64_t;
+
+/// Number of words used by one represented value of a concise/counting
+/// sample: 1 for a singleton, 2 for a <value, count> pair.
+inline Words EntryWords(Count count) { return count > 1 ? 2 : 1; }
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_TYPES_H_

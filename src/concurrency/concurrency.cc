@@ -1,0 +1,3 @@
+// Anchor translation unit for the (otherwise header-only) concurrency
+// module.
+#include "concurrency/shared_synopsis.h"

@@ -1,0 +1,103 @@
+#ifndef AQUA_CONCURRENCY_SHARED_SYNOPSIS_H_
+#define AQUA_CONCURRENCY_SHARED_SYNOPSIS_H_
+
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace aqua {
+
+/// Thread-safe wrapper around any synopsis (§6: the paper assumes
+/// "batch-like processing of data warehouse inserts, in which inserts and
+/// queries do not intermix … To address the more general case …, issues of
+/// concurrency bottlenecks need to be addressed").
+///
+/// This wrapper serializes updates and queries with one mutex and exposes a
+/// batch-insert path so producers can amortize the lock over many stream
+/// elements (see BatchInserter).  The synopses themselves stay
+/// single-threaded and allocation-light, which keeps the critical sections
+/// to tens of nanoseconds per element.
+template <typename S>
+class SharedSynopsis {
+ public:
+  explicit SharedSynopsis(S synopsis) : synopsis_(std::move(synopsis)) {}
+
+  SharedSynopsis(const SharedSynopsis&) = delete;
+  SharedSynopsis& operator=(const SharedSynopsis&) = delete;
+
+  void Insert(Value value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    synopsis_.Insert(value);
+  }
+
+  Status Delete(Value value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return synopsis_.Delete(value);
+  }
+
+  /// Applies a whole batch under one lock acquisition.
+  void InsertBatch(std::span<const Value> values) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Value v : values) synopsis_.Insert(v);
+  }
+
+  /// Runs `fn(const S&)` under the lock and returns its result — the query
+  /// path (e.g. build a hot list from a consistent snapshot of the state).
+  template <typename Fn>
+  auto WithRead(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fn(static_cast<const S&>(synopsis_));
+  }
+
+  /// Runs `fn(S&)` under the lock (maintenance hooks, validation in tests).
+  template <typename Fn>
+  auto WithWrite(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fn(synopsis_);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  S synopsis_;
+};
+
+/// Per-producer insert buffer: producers call Add() lock-free on their own
+/// buffer; every `batch_size` elements the buffer drains into the shared
+/// synopsis under a single lock.  Destruction (or Flush) drains the tail.
+template <typename S>
+class BatchInserter {
+ public:
+  BatchInserter(SharedSynopsis<S>* shared, std::size_t batch_size = 1024)
+      : shared_(shared), batch_size_(batch_size) {
+    buffer_.reserve(batch_size);
+  }
+
+  ~BatchInserter() { Flush(); }
+
+  BatchInserter(const BatchInserter&) = delete;
+  BatchInserter& operator=(const BatchInserter&) = delete;
+
+  void Add(Value value) {
+    buffer_.push_back(value);
+    if (buffer_.size() >= batch_size_) Flush();
+  }
+
+  void Flush() {
+    if (buffer_.empty()) return;
+    shared_->InsertBatch(buffer_);
+    buffer_.clear();
+  }
+
+ private:
+  SharedSynopsis<S>* shared_;
+  std::size_t batch_size_;
+  std::vector<Value> buffer_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_CONCURRENCY_SHARED_SYNOPSIS_H_

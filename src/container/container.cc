@@ -1,0 +1,3 @@
+// Anchor translation unit for the (otherwise header-only) container module.
+#include "container/flat_hash_map.h"
+#include "container/selection.h"

@@ -1,0 +1,264 @@
+#ifndef AQUA_CONTAINER_FLAT_HASH_MAP_H_
+#define AQUA_CONTAINER_FLAT_HASH_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace aqua {
+
+/// Strong avalanche mix for integral keys (SplitMix64 finalizer).  std::hash
+/// for integers is the identity on most standard libraries, which is
+/// disastrous for open addressing over skewed key sets.
+struct IntegerHash {
+  std::size_t operator()(std::uint64_t x) const {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+  std::size_t operator()(std::int64_t x) const {
+    return (*this)(static_cast<std::uint64_t>(x));
+  }
+};
+
+/// Open-addressing hash map with Robin Hood probing and backward-shift
+/// deletion.
+///
+/// This is the "look-up hash table [that] can be constructed to enable
+/// constant-time look-ups" of §3 — the lookup structure backing every
+/// synopsis in the library.  Compared to std::unordered_map it stores
+/// entries inline in one flat array (no per-node allocation), which both
+/// matches the paper's small-footprint goal and keeps probes cache-local.
+///
+/// Requirements: K and V are trivially destructible value types (we store
+/// 64-bit values and counts).  Not thread-safe.
+template <typename K, typename V, typename Hash = IntegerHash>
+class FlatHashMap {
+ public:
+  struct Entry {
+    K key;
+    V value;
+  };
+
+  FlatHashMap() { Rehash(kMinCapacity); }
+
+  /// Pre-sizes so that `n` entries fit without rehashing.
+  explicit FlatHashMap(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
+    Rehash(cap);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent.
+  /// The pointer is invalidated by any mutation of the map.
+  V* Find(const K& key) {
+    const std::size_t idx = FindIndex(key);
+    return idx == kNpos ? nullptr : &slots_[idx].entry.value;
+  }
+  const V* Find(const K& key) const {
+    const std::size_t idx = FindIndex(key);
+    return idx == kNpos ? nullptr : &slots_[idx].entry.value;
+  }
+
+  bool Contains(const K& key) const { return FindIndex(key) != kNpos; }
+
+  /// Inserts `key` with `value` if absent; returns {pointer to the mapped
+  /// value, true if newly inserted}.
+  std::pair<V*, bool> TryInsert(const K& key, const V& value) {
+    MaybeGrow();
+    return InsertInternal(key, value);
+  }
+
+  /// Returns the value for `key`, default-constructing it if absent.
+  V& operator[](const K& key) {
+    MaybeGrow();
+    return *InsertInternal(key, V{}).first;
+  }
+
+  /// Removes `key`; returns true if it was present.
+  bool Erase(const K& key) {
+    const std::size_t idx = FindIndex(key);
+    if (idx == kNpos) return false;
+    EraseIndex(idx);
+    return true;
+  }
+
+  void Clear() {
+    for (Slot& s : slots_) s.distance = kEmpty;
+    size_ = 0;
+  }
+
+  void Reserve(std::size_t n) {
+    std::size_t cap = slots_.size();
+    while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
+    if (cap != slots_.size()) Rehash(cap);
+  }
+
+  /// Forward iterator over occupied entries (unspecified order).
+  class const_iterator {
+   public:
+    const_iterator(const FlatHashMap* map, std::size_t idx)
+        : map_(map), idx_(idx) {
+      SkipEmpty();
+    }
+    const Entry& operator*() const { return map_->slots_[idx_].entry; }
+    const Entry* operator->() const { return &map_->slots_[idx_].entry; }
+    const_iterator& operator++() {
+      ++idx_;
+      SkipEmpty();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return idx_ == o.idx_; }
+    bool operator!=(const const_iterator& o) const { return idx_ != o.idx_; }
+
+   private:
+    void SkipEmpty() {
+      while (idx_ < map_->slots_.size() &&
+             map_->slots_[idx_].distance == kEmpty) {
+        ++idx_;
+      }
+    }
+    const FlatHashMap* map_;
+    std::size_t idx_;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slots_.size()); }
+
+  /// Applies `fn(key, value&)` to every entry; if `fn` returns false the
+  /// entry is removed.  This is the eviction-scan primitive used when a
+  /// synopsis raises its threshold: removal during the scan is safe and
+  /// every surviving entry is visited exactly once.
+  template <typename Fn>
+  void RetainIf(Fn&& fn) {
+    // Backward-shift deletion moves later elements of the same cluster one
+    // slot back; scanning from the end guarantees shifted-in elements at or
+    // before the cursor were already visited, and a shifted wrap-around
+    // element (from slot 0's cluster) was visited too.
+    //
+    // Simpler and obviously correct: collect keys first, then apply.
+    scratch_keys_.clear();
+    scratch_keys_.reserve(size_);
+    for (const Slot& s : slots_) {
+      if (s.distance != kEmpty) scratch_keys_.push_back(s.entry.key);
+    }
+    for (const K& key : scratch_keys_) {
+      const std::size_t idx = FindIndex(key);
+      AQUA_DCHECK(idx != kNpos);
+      if (!fn(slots_[idx].entry.key, slots_[idx].entry.value)) {
+        EraseIndex(idx);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  static constexpr std::uint16_t kEmpty = 0;
+  // Max load factor kMaxLoadNum / kMaxLoadDen = 7/8.
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 8;
+
+  struct Slot {
+    Entry entry;
+    // Probe distance + 1; kEmpty (0) marks an unoccupied slot.
+    std::uint16_t distance = kEmpty;
+  };
+
+  std::size_t Bucket(const K& key) const { return hash_(key) & mask_; }
+
+  std::size_t FindIndex(const K& key) const {
+    std::size_t idx = Bucket(key);
+    std::uint16_t distance = 1;
+    while (true) {
+      const Slot& slot = slots_[idx];
+      if (slot.distance == kEmpty || slot.distance < distance) return kNpos;
+      if (slot.distance == distance && slot.entry.key == key) return idx;
+      idx = (idx + 1) & mask_;
+      ++distance;
+    }
+  }
+
+  std::pair<V*, bool> InsertInternal(const K& key, const V& value) {
+    std::size_t idx = Bucket(key);
+    std::uint16_t distance = 1;
+    Entry carried{key, value};
+    std::size_t result_idx = kNpos;
+    while (true) {
+      Slot& slot = slots_[idx];
+      if (slot.distance == kEmpty) {
+        slot.entry = carried;
+        slot.distance = distance;
+        ++size_;
+        if (result_idx == kNpos) result_idx = idx;
+        return {&slots_[result_idx].entry.value, true};
+      }
+      if (result_idx == kNpos && slot.distance == distance &&
+          slot.entry.key == key) {
+        return {&slot.entry.value, false};
+      }
+      if (slot.distance < distance) {
+        // Robin Hood: the carried (poorer) entry takes this slot.
+        std::swap(slot.entry, carried);
+        std::swap(slot.distance, distance);
+        if (result_idx == kNpos) result_idx = idx;
+      }
+      idx = (idx + 1) & mask_;
+      ++distance;
+      AQUA_CHECK_LT(distance, std::uint16_t(0xFFFF));
+    }
+  }
+
+  void EraseIndex(std::size_t idx) {
+    // Backward-shift deletion keeps probe distances tight (no tombstones).
+    std::size_t cur = idx;
+    while (true) {
+      const std::size_t next = (cur + 1) & mask_;
+      Slot& next_slot = slots_[next];
+      if (next_slot.distance <= 1) break;  // empty or at its home bucket
+      slots_[cur].entry = next_slot.entry;
+      slots_[cur].distance = next_slot.distance - 1;
+      cur = next;
+    }
+    slots_[cur].distance = kEmpty;
+    --size_;
+  }
+
+  void MaybeGrow() {
+    if ((size_ + 1) * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
+      Rehash(slots_.size() * 2);
+    }
+  }
+
+  void Rehash(std::size_t new_capacity) {
+    AQUA_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.distance != kEmpty) InsertInternal(s.entry.key, s.entry.value);
+    }
+  }
+
+  Hash hash_;
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::vector<K> scratch_keys_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_CONTAINER_FLAT_HASH_MAP_H_

@@ -1,0 +1,38 @@
+#ifndef AQUA_CONTAINER_SELECTION_H_
+#define AQUA_CONTAINER_SELECTION_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace aqua {
+
+/// Returns the k-th largest element (1-based k) of `values` using a linear
+/// expected-time selection, as prescribed for hot-list reporting in §5.1
+/// ("we first compute the k'th largest count c_k (using a linear time
+/// selection algorithm)").  If k exceeds the number of elements, returns the
+/// minimum element; for an empty input returns `empty_value`.
+template <typename T>
+T KthLargest(std::vector<T> values, std::size_t k, T empty_value = T{}) {
+  if (values.empty()) return empty_value;
+  if (k == 0) k = 1;
+  if (k > values.size()) k = values.size();
+  auto nth = values.begin() + static_cast<std::ptrdiff_t>(k - 1);
+  std::nth_element(values.begin(), nth, values.end(), std::greater<T>());
+  return *nth;
+}
+
+/// Sorts items by `proj(item)` descending, breaking ties by the item's
+/// natural ascending order for deterministic output.
+template <typename T, typename Proj>
+void SortByDescending(std::vector<T>& items, Proj proj) {
+  std::stable_sort(items.begin(), items.end(), [&](const T& a, const T& b) {
+    return proj(a) > proj(b);
+  });
+}
+
+}  // namespace aqua
+
+#endif  // AQUA_CONTAINER_SELECTION_H_

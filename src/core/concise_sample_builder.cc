@@ -1,0 +1,53 @@
+#include "core/concise_sample_builder.h"
+
+#include "common/check.h"
+#include "container/flat_hash_map.h"
+#include "random/random.h"
+
+namespace aqua {
+
+OfflineConciseSample BuildOfflineConciseSample(std::span<const Value> data,
+                                               Words footprint_bound,
+                                               std::uint64_t seed) {
+  AQUA_CHECK_GE(footprint_bound, 2);
+  OfflineConciseSample out;
+  if (data.empty()) return out;
+
+  Random random(seed);
+  FlatHashMap<Value, Count> entries;
+  Words footprint = 0;
+  const auto n = static_cast<std::int64_t>(data.size());
+
+  for (std::int64_t taken = 0; taken < n; ++taken) {
+    const Value v = data[static_cast<std::size_t>(
+        random.UniformU64(static_cast<std::uint64_t>(n)))];
+    ++out.disk_accesses;  // one random tuple fetched from disk
+
+    Count* count = entries.Find(v);
+    // Words this sample point adds: 1 for a new singleton, 1 for the count
+    // word when a singleton becomes a pair, 0 for incrementing a pair.
+    const Words added = (count == nullptr) ? 1 : (*count == 1 ? 1 : 0);
+    if (footprint + added > footprint_bound) {
+      // "adding the sample point would increase the concise sample
+      // footprint to m+1 (in which case this last attribute value is
+      // ignored)."
+      break;
+    }
+    if (count == nullptr) {
+      entries.TryInsert(v, 1);
+    } else {
+      *count += 1;
+    }
+    footprint += added;
+    ++out.sample_size;
+  }
+
+  out.entries.reserve(entries.size());
+  for (const auto& entry : entries) {
+    out.entries.push_back(ValueCount{entry.key, entry.value});
+  }
+  out.footprint = footprint;
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,41 @@
+#ifndef AQUA_CORE_CONCISE_SAMPLE_BUILDER_H_
+#define AQUA_CORE_CONCISE_SAMPLE_BUILDER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/value_count.h"
+
+namespace aqua {
+
+/// Result of the offline/static extraction (§3): the concise representation
+/// plus the bookkeeping the experiments report.
+struct OfflineConciseSample {
+  std::vector<ValueCount> entries;
+  std::int64_t sample_size = 0;  // number of sample points taken (m')
+  Words footprint = 0;
+  /// Simulated disk accesses: the offline algorithm "typically takes
+  /// multiple disk reads per tuple"; we charge Θ(1) access per sampled
+  /// tuple (the paper's cost statement: "the cost is Θ(m') disk accesses").
+  std::int64_t disk_accesses = 0;
+};
+
+/// The offline/static algorithm of §3 for extracting a concise sample of
+/// footprint at most `footprint_bound` from a static relation: sample
+/// random tuples with replacement, fold them into the concise
+/// representation, and stop when either adding a sample point would push
+/// the footprint to m+1 (that last point is ignored) or n samples have been
+/// taken.
+///
+/// The plotted "concise offline" curve of Figure 3 is "the intrinsic
+/// sample-size of concise samples for the given distribution"; the gap to
+/// the online curve is the online algorithm's threshold-adjustment penalty.
+OfflineConciseSample BuildOfflineConciseSample(std::span<const Value> data,
+                                               Words footprint_bound,
+                                               std::uint64_t seed);
+
+}  // namespace aqua
+
+#endif  // AQUA_CORE_CONCISE_SAMPLE_BUILDER_H_

@@ -1,0 +1,97 @@
+#include "core/threshold_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aqua {
+
+MultiplicativeThresholdPolicy::MultiplicativeThresholdPolicy(double factor)
+    : factor_(factor) {
+  AQUA_CHECK(factor > 1.0) << "raise factor must exceed 1";
+}
+
+double MultiplicativeThresholdPolicy::NextThreshold(
+    const ThresholdRaiseContext& context) {
+  return context.threshold * factor_;
+}
+
+SingletonBoundThresholdPolicy::SingletonBoundThresholdPolicy(
+    double target_decrease_fraction, double fallback_factor)
+    : target_fraction_(target_decrease_fraction),
+      fallback_factor_(fallback_factor) {
+  AQUA_CHECK(target_decrease_fraction > 0.0 &&
+             target_decrease_fraction < 1.0);
+  AQUA_CHECK(fallback_factor > 1.0);
+}
+
+double SingletonBoundThresholdPolicy::NextThreshold(
+    const ThresholdRaiseContext& context) {
+  const double target = std::max(
+      1.0, target_fraction_ * static_cast<double>(context.footprint_bound));
+  const auto singletons = static_cast<double>(context.singletons);
+  // Need (1 - τ/τ') · singletons >= target  =>  τ' >= τ / (1 - target/s).
+  if (singletons <= target) {
+    return context.threshold * fallback_factor_;
+  }
+  const double keep = 1.0 - target / singletons;
+  const double candidate = context.threshold / keep;
+  // Never raise by less than the fallback would in degenerate cases.
+  return std::max(candidate, std::nextafter(context.threshold, 1e300));
+}
+
+BinarySearchThresholdPolicy::BinarySearchThresholdPolicy(
+    double target_decrease_fraction, double max_factor)
+    : target_fraction_(target_decrease_fraction), max_factor_(max_factor) {
+  AQUA_CHECK(target_decrease_fraction > 0.0 &&
+             target_decrease_fraction < 1.0);
+  AQUA_CHECK(max_factor > 1.0);
+}
+
+double BinarySearchThresholdPolicy::ExpectedDecrease(
+    const ThresholdRaiseContext& context, double new_threshold) {
+  const double r = context.threshold / new_threshold;  // per-point retention
+  double expected = 0.0;
+  if (context.counts != nullptr) {
+    for (Count c : *context.counts) {
+      if (c <= 1) {
+        expected += 1.0 - r;
+      } else {
+        // P[Bin(c, r) = 0] = (1-r)^c ; P[Bin(c, r) = 1] = c r (1-r)^{c-1}.
+        const double p0 = std::pow(1.0 - r, static_cast<double>(c));
+        const double p1 = static_cast<double>(c) * r *
+                          std::pow(1.0 - r, static_cast<double>(c - 1));
+        expected += 2.0 * p0 + p1;
+      }
+    }
+  } else {
+    // Without the count histogram, fall back to the singleton lower bound.
+    expected = (1.0 - r) * static_cast<double>(context.singletons);
+  }
+  return expected;
+}
+
+double BinarySearchThresholdPolicy::NextThreshold(
+    const ThresholdRaiseContext& context) {
+  const double target = std::max(
+      1.0, target_fraction_ * static_cast<double>(context.footprint_bound));
+  double lo = context.threshold * 1.0001;
+  double hi = context.threshold * max_factor_;
+  if (ExpectedDecrease(context, hi) < target) return hi;
+  for (int iter = 0; iter < 50; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (ExpectedDecrease(context, mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+std::shared_ptr<ThresholdPolicy> DefaultThresholdPolicy() {
+  return std::make_shared<MultiplicativeThresholdPolicy>(1.1);
+}
+
+}  // namespace aqua

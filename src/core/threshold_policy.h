@@ -1,0 +1,109 @@
+#ifndef AQUA_CORE_THRESHOLD_POLICY_H_
+#define AQUA_CORE_THRESHOLD_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aqua {
+
+/// Snapshot of a synopsis's state handed to a threshold policy when the
+/// footprint bound is hit and the entry threshold must be raised.
+struct ThresholdRaiseContext {
+  double threshold = 1.0;        // current τ
+  Words footprint = 0;           // current footprint (= bound + 1)
+  Words footprint_bound = 0;     // prespecified bound m
+  std::int64_t sample_size = 0;  // Σ counts (concise) / Σ counts (counting)
+  std::int64_t singletons = 0;   // entries with count == 1
+  std::int64_t pairs = 0;        // entries with count >= 2
+  /// Counts of all entries (present only for policies that need the exact
+  /// count histogram, e.g. binary search); may be null.
+  const std::vector<Count>* counts = nullptr;
+};
+
+/// Strategy for choosing the new threshold τ' > τ when raising (§3.1).
+///
+/// "The algorithm maintains a concise sample regardless of the sequence of
+/// increasing thresholds used.  Thus, there is complete flexibility in
+/// deciding, when raising the threshold, what the new threshold should be."
+/// The trade-off: a large raise evicts more than needed (smaller
+/// sample-size, fewer future raises); a small raise risks not decreasing
+/// the footprint at all, forcing a repeat.
+class ThresholdPolicy {
+ public:
+  virtual ~ThresholdPolicy() = default;
+  virtual std::string_view Name() const = 0;
+  /// Returns τ' > context.threshold.
+  virtual double NextThreshold(const ThresholdRaiseContext& context) = 0;
+  /// Whether this policy wants ThresholdRaiseContext::counts populated.
+  virtual bool NeedsCounts() const { return false; }
+};
+
+/// τ' = factor · τ.  The paper's experiments use factor 1.1 ("whenever the
+/// threshold is raised, the new threshold is set to 1.1τ").
+class MultiplicativeThresholdPolicy final : public ThresholdPolicy {
+ public:
+  explicit MultiplicativeThresholdPolicy(double factor = 1.1);
+  std::string_view Name() const override { return "multiplicative"; }
+  double NextThreshold(const ThresholdRaiseContext& context) override;
+  double factor() const { return factor_; }
+
+ private:
+  double factor_;
+};
+
+/// Sets τ' so that (1 - τ/τ') · #singletons >= desired decrease — the
+/// paper's "setting the threshold so that (1 - τ/τ') times the number of
+/// singletons is a lower bound on the desired decrease in the footprint".
+/// Every evicted singleton frees exactly one word, so the expected decrease
+/// is at least the target.  Falls back to a multiplicative raise when there
+/// are too few singletons for the bound to be attainable.
+class SingletonBoundThresholdPolicy final : public ThresholdPolicy {
+ public:
+  /// `target_decrease_fraction`: desired footprint decrease as a fraction of
+  /// the bound (the paper leaves this free; a few percent works well).
+  explicit SingletonBoundThresholdPolicy(double target_decrease_fraction =
+                                             0.05,
+                                         double fallback_factor = 1.1);
+  std::string_view Name() const override { return "singleton-bound"; }
+  double NextThreshold(const ThresholdRaiseContext& context) override;
+
+ private:
+  double target_fraction_;
+  double fallback_factor_;
+};
+
+/// Binary search for the smallest τ' whose *expected* footprint decrease
+/// meets the target — the paper's "using binary search to find a threshold
+/// that will create the desired decrease in the footprint".  Uses the exact
+/// per-entry expectation: an entry with count c, retained per-point with
+/// probability r = τ/τ', loses
+///   2·P[Bin(c,r)=0] + 1·P[Bin(c,r)=1]   words if it is a pair (c >= 2),
+///   1·(1-r)                             words if it is a singleton.
+class BinarySearchThresholdPolicy final : public ThresholdPolicy {
+ public:
+  explicit BinarySearchThresholdPolicy(double target_decrease_fraction = 0.05,
+                                       double max_factor = 8.0);
+  std::string_view Name() const override { return "binary-search"; }
+  double NextThreshold(const ThresholdRaiseContext& context) override;
+  bool NeedsCounts() const override { return true; }
+
+  /// Expected footprint decrease if the threshold is raised from
+  /// context.threshold to `new_threshold` (exposed for tests).
+  static double ExpectedDecrease(const ThresholdRaiseContext& context,
+                                 double new_threshold);
+
+ private:
+  double target_fraction_;
+  double max_factor_;
+};
+
+/// The library default: ×1.1, matching the paper's experiments.
+std::shared_ptr<ThresholdPolicy> DefaultThresholdPolicy();
+
+}  // namespace aqua
+
+#endif  // AQUA_CORE_THRESHOLD_POLICY_H_

@@ -1,0 +1,40 @@
+#ifndef AQUA_CORE_VALUE_COUNT_H_
+#define AQUA_CORE_VALUE_COUNT_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace aqua {
+
+/// A <value, count> pair — the unit of the concise representation
+/// (Definition 1).  count == 1 denotes a singleton (1 word); count >= 2
+/// denotes a pair (2 words).
+struct ValueCount {
+  Value value = 0;
+  Count count = 0;
+
+  friend bool operator==(const ValueCount& a, const ValueCount& b) {
+    return a.value == b.value && a.count == b.count;
+  }
+};
+
+/// Footprint of a set of entries under the paper's word model
+/// (Definition 2): singletons cost 1 word, pairs cost 2.
+inline Words FootprintOf(const std::vector<ValueCount>& entries) {
+  Words words = 0;
+  for (const ValueCount& e : entries) words += EntryWords(e.count);
+  return words;
+}
+
+/// Sample-size of a set of entries (Definition 2): total represented
+/// sample points.
+inline std::int64_t SampleSizeOf(const std::vector<ValueCount>& entries) {
+  std::int64_t total = 0;
+  for (const ValueCount& e : entries) total += e.count;
+  return total;
+}
+
+}  // namespace aqua
+
+#endif  // AQUA_CORE_VALUE_COUNT_H_

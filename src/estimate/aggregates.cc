@@ -1,0 +1,138 @@
+#include "estimate/aggregates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aqua {
+namespace {
+
+/// Inverse standard normal CDF (Acklam 2003); |error| < 1.15e-9, ample for
+/// confidence intervals.
+double Probit(double p) {
+  AQUA_CHECK(p > 0.0 && p < 1.0);
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+SampleEstimator::SampleEstimator(std::span<const Value> sample,
+                                 std::int64_t relation_size)
+    : sample_(sample), relation_size_(relation_size) {
+  AQUA_CHECK_GE(relation_size, 0);
+}
+
+double SampleEstimator::NormalQuantile(double confidence) {
+  AQUA_CHECK(confidence > 0.0 && confidence < 1.0);
+  return Probit(0.5 + confidence / 2.0);
+}
+
+Estimate SampleEstimator::Selectivity(const ValuePredicate& pred,
+                                      double confidence) const {
+  Estimate est;
+  est.confidence = confidence;
+  est.sample_points = sample_size();
+  if (sample_.empty()) return est;
+  std::int64_t hits = 0;
+  for (Value v : sample_) {
+    if (pred(v)) ++hits;
+  }
+  const auto m = static_cast<double>(sample_.size());
+  const double p = static_cast<double>(hits) / m;
+  const double z = NormalQuantile(confidence);
+  const double half = z * std::sqrt(std::max(0.0, p * (1.0 - p) / m));
+  est.value = p;
+  est.ci_low = std::max(0.0, p - half);
+  est.ci_high = std::min(1.0, p + half);
+  return est;
+}
+
+Estimate SampleEstimator::SelectivityHoeffding(const ValuePredicate& pred,
+                                               double confidence) const {
+  Estimate est = Selectivity(pred, confidence);
+  if (sample_.empty()) return est;
+  const auto m = static_cast<double>(sample_.size());
+  // Hoeffding: P(|p̂ - p| >= t) <= 2 exp(-2 m t²); solve for t.
+  const double t = std::sqrt(std::log(2.0 / (1.0 - confidence)) / (2.0 * m));
+  est.ci_low = std::max(0.0, est.value - t);
+  est.ci_high = std::min(1.0, est.value + t);
+  return est;
+}
+
+Estimate SampleEstimator::CountWhere(const ValuePredicate& pred,
+                                     double confidence) const {
+  Estimate est = Selectivity(pred, confidence);
+  const auto n = static_cast<double>(relation_size_);
+  est.value *= n;
+  est.ci_low *= n;
+  est.ci_high *= n;
+  return est;
+}
+
+Estimate SampleEstimator::Sum(double confidence) const {
+  Estimate est = Average(confidence);
+  const auto n = static_cast<double>(relation_size_);
+  est.value *= n;
+  est.ci_low *= n;
+  est.ci_high *= n;
+  // Scaling by n can flip the interval orientation only for n < 0, which
+  // cannot happen; nothing further to fix up.
+  return est;
+}
+
+Estimate SampleEstimator::Average(double confidence) const {
+  Estimate est;
+  est.confidence = confidence;
+  est.sample_points = sample_size();
+  if (sample_.empty()) return est;
+  const auto m = static_cast<double>(sample_.size());
+  double mean = 0.0;
+  for (Value v : sample_) mean += static_cast<double>(v);
+  mean /= m;
+  double var = 0.0;
+  for (Value v : sample_) {
+    const double d = static_cast<double>(v) - mean;
+    var += d * d;
+  }
+  var = m > 1 ? var / (m - 1.0) : 0.0;
+  const double z = NormalQuantile(confidence);
+  const double half = z * std::sqrt(var / m);
+  est.value = mean;
+  est.ci_low = mean - half;
+  est.ci_high = mean + half;
+  return est;
+}
+
+}  // namespace aqua

@@ -1,0 +1,78 @@
+#ifndef AQUA_ESTIMATE_AGGREGATES_H_
+#define AQUA_ESTIMATE_AGGREGATES_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "common/types.h"
+
+namespace aqua {
+
+/// An approximate numeric answer with its accuracy measure — "an
+/// approximate answer and an accuracy measure (e.g., a 95% confidence
+/// interval for numerical answers)" (§1).
+struct Estimate {
+  double value = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+  /// Confidence level of [ci_low, ci_high], e.g. 0.95.
+  double confidence = 0.95;
+  /// Number of sample points the estimate was computed from.
+  std::int64_t sample_points = 0;
+
+  bool Contains(double x) const { return x >= ci_low && x <= ci_high; }
+  double HalfWidth() const { return (ci_high - ci_low) / 2.0; }
+};
+
+/// Predicate over attribute values.
+using ValuePredicate = std::function<bool(Value)>;
+
+/// Sampling-based estimators over a uniform point sample of a relation of
+/// size n.  Concise samples plug in via ConciseSample::ToPointSample() and
+/// deliver strictly tighter intervals than a traditional sample of the same
+/// footprint, because their sample-size is larger (§1.1: "since both
+/// concise and counting samples provide more sample points for the same
+/// footprint, they provide more accurate estimations").
+class SampleEstimator {
+ public:
+  /// `sample` is a uniform random sample of the relation's attribute
+  /// values; `relation_size` = n.  The span must outlive the estimator.
+  SampleEstimator(std::span<const Value> sample, std::int64_t relation_size);
+
+  /// Fraction of tuples satisfying `pred`, with a normal-approximation
+  /// confidence interval (clamped to [0,1]).
+  Estimate Selectivity(const ValuePredicate& pred,
+                       double confidence = 0.95) const;
+
+  /// Like Selectivity but with the distribution-free Hoeffding interval.
+  Estimate SelectivityHoeffding(const ValuePredicate& pred,
+                                double confidence = 0.95) const;
+
+  /// COUNT(*) WHERE pred — selectivity scaled by n.
+  Estimate CountWhere(const ValuePredicate& pred,
+                      double confidence = 0.95) const;
+
+  /// SUM(value) over all tuples, via the sample mean scaled by n, with a
+  /// CLT interval from the sample standard deviation.
+  Estimate Sum(double confidence = 0.95) const;
+
+  /// AVG(value) over all tuples.
+  Estimate Average(double confidence = 0.95) const;
+
+  std::int64_t sample_size() const {
+    return static_cast<std::int64_t>(sample_.size());
+  }
+
+  /// Two-sided standard-normal quantile for the given confidence, e.g.
+  /// 1.96 for 0.95 (Acklam's rational approximation of the probit).
+  static double NormalQuantile(double confidence);
+
+ private:
+  std::span<const Value> sample_;
+  std::int64_t relation_size_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_ESTIMATE_AGGREGATES_H_

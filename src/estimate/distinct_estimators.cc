@@ -1,0 +1,74 @@
+#include "estimate/distinct_estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqua {
+
+SampleDistinctStatistics SampleDistinctStatistics::FromEntries(
+    std::span<const ValueCount> entries) {
+  SampleDistinctStatistics s;
+  for (const ValueCount& e : entries) {
+    s.sample_size += e.count;
+    ++s.distinct;
+    if (e.count == 1) ++s.singletons;
+    if (e.count == 2) ++s.doubletons;
+  }
+  return s;
+}
+
+double DistinctEstimators::NaiveScale(const SampleDistinctStatistics& s,
+                                      std::int64_t relation_size) {
+  if (s.sample_size == 0) return 0.0;
+  return static_cast<double>(s.distinct) *
+         static_cast<double>(relation_size) /
+         static_cast<double>(s.sample_size);
+}
+
+double DistinctEstimators::Chao84(const SampleDistinctStatistics& s) {
+  const auto d = static_cast<double>(s.distinct);
+  const auto f1 = static_cast<double>(s.singletons);
+  const auto f2 = static_cast<double>(s.doubletons);
+  if (f2 == 0.0) return d + f1 * (f1 - 1.0) / 2.0;  // bias-corrected form
+  return d + f1 * f1 / (2.0 * f2);
+}
+
+double DistinctEstimators::ChaoLee(const SampleDistinctStatistics& s,
+                                   std::span<const ValueCount> entries) {
+  const auto m = static_cast<double>(s.sample_size);
+  const auto d = static_cast<double>(s.distinct);
+  const auto f1 = static_cast<double>(s.singletons);
+  if (m == 0.0) return 0.0;
+  const double coverage = std::max(1.0 - f1 / m, 1.0 / m);
+  const double d0 = d / coverage;
+  // γ̂² = max(0, D̂₀/ (m(m-1)) · Σ i(i-1) f_i  - 1): squared CV estimate.
+  double sum_ii1 = 0.0;
+  for (const ValueCount& e : entries) {
+    sum_ii1 += static_cast<double>(e.count) *
+               static_cast<double>(e.count - 1);
+  }
+  double gamma_sq = 0.0;
+  if (m > 1.0) {
+    gamma_sq = std::max(0.0, d0 * sum_ii1 / (m * (m - 1.0)) - 1.0);
+  }
+  return d0 + m * (1.0 - coverage) / coverage * gamma_sq;
+}
+
+double DistinctEstimators::Jackknife1(const SampleDistinctStatistics& s) {
+  if (s.sample_size == 0) return 0.0;
+  const auto m = static_cast<double>(s.sample_size);
+  return static_cast<double>(s.distinct) +
+         static_cast<double>(s.singletons) * (m - 1.0) / m;
+}
+
+double DistinctEstimators::SqrtScale(const SampleDistinctStatistics& s,
+                                     std::int64_t relation_size) {
+  if (s.sample_size == 0) return 0.0;
+  const double ratio = static_cast<double>(relation_size) /
+                       static_cast<double>(s.sample_size);
+  return std::sqrt(std::max(1.0, ratio)) *
+             static_cast<double>(s.singletons) +
+         static_cast<double>(s.distinct - s.singletons);
+}
+
+}  // namespace aqua

@@ -1,0 +1,60 @@
+#ifndef AQUA_ESTIMATE_DISTINCT_ESTIMATORS_H_
+#define AQUA_ESTIMATE_DISTINCT_ESTIMATORS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.h"
+#include "core/value_count.h"
+
+namespace aqua {
+
+/// Sampling-based distinct-value estimation ([HNSS95] territory, cited in
+/// §2) — and a natural fit for concise samples, whose representation
+/// already exposes exactly the statistics these estimators need: the
+/// number of sampled distinct values d, the singletons f₁ (count == 1) and
+/// the doubletons f₂ (count == 2).
+struct SampleDistinctStatistics {
+  std::int64_t sample_size = 0;   // m (sample points)
+  std::int64_t distinct = 0;      // d
+  std::int64_t singletons = 0;    // f1
+  std::int64_t doubletons = 0;    // f2
+
+  /// Computed from concise-sample entries (or any <value,count> sample).
+  static SampleDistinctStatistics FromEntries(
+      std::span<const ValueCount> entries);
+};
+
+/// Estimators of the relation's distinct-value count D from a uniform
+/// sample of m of its n tuples.
+class DistinctEstimators {
+ public:
+  /// Naive scale-up d·(n/m): a (bad) baseline that assumes every value's
+  /// sample frequency scales; wildly overestimates on skewed data.
+  static double NaiveScale(const SampleDistinctStatistics& s,
+                           std::int64_t relation_size);
+
+  /// Chao (1984) lower-bound estimator: d + f1² / (2 f2).
+  static double Chao84(const SampleDistinctStatistics& s);
+
+  /// Chao & Lee (1992) coverage-based estimator:
+  ///   Ĉ = 1 - f1/m (Good–Turing sample coverage),
+  ///   D̂ = d/Ĉ + m(1-Ĉ)/Ĉ · γ̂²,
+  /// with γ̂² the estimated squared coefficient of variation of the value
+  /// frequencies — the family [HNSS95] builds its smoothed estimators on.
+  static double ChaoLee(const SampleDistinctStatistics& s,
+                        std::span<const ValueCount> entries);
+
+  /// First-order jackknife: d + f1 · (m-1)/m.
+  static double Jackknife1(const SampleDistinctStatistics& s);
+
+  /// Guaranteed-error style sqrt-scaling: sqrt(n/m)·f1 + (d - f1).
+  /// (Charikar et al.'s GEE, which post-dates the paper, included as the
+  /// modern reference point; it is the minimax-optimal scaling of f1.)
+  static double SqrtScale(const SampleDistinctStatistics& s,
+                          std::int64_t relation_size);
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_ESTIMATE_DISTINCT_ESTIMATORS_H_

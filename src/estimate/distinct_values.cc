@@ -1,0 +1,32 @@
+#include "estimate/distinct_values.h"
+
+#include <cmath>
+
+namespace aqua {
+
+double ExpectedDistinctValues::Stable(std::int64_t m) const {
+  const auto n = static_cast<double>(moments_->size());
+  if (n == 0) return 0.0;
+  double expected = 0.0;
+  for (const ValueCount& vc : moments_->counts()) {
+    const double p = static_cast<double>(vc.count) / n;
+    expected += 1.0 - std::pow(1.0 - p, static_cast<double>(m));
+  }
+  return expected;
+}
+
+double ExpectedDistinctValues::MomentForm(std::int64_t m) const {
+  // Σ_{k=1}^{m} (-1)^{k+1} C(m,k) F_k / n^k with C(m,k) built
+  // incrementally: C(m,k) = C(m,k-1) (m-k+1)/k.
+  double binom = 1.0;
+  double total = 0.0;
+  double sign = 1.0;
+  for (std::int64_t k = 1; k <= m; ++k) {
+    binom *= static_cast<double>(m - k + 1) / static_cast<double>(k);
+    total += sign * binom * moments_->NormalizedMoment(static_cast<int>(k));
+    sign = -sign;
+  }
+  return total;
+}
+
+}  // namespace aqua

@@ -1,0 +1,45 @@
+#ifndef AQUA_ESTIMATE_DISTINCT_VALUES_H_
+#define AQUA_ESTIMATE_DISTINCT_VALUES_H_
+
+#include <cstdint>
+
+#include "estimate/frequency_moments.h"
+
+namespace aqua {
+
+/// Theorem 4 machinery: the expected number of distinct values in a uniform
+/// random sample (with replacement) of size m from a data set, and hence
+/// the expected sample-size gain of a concise sample.
+///
+/// Two algebraically equal forms:
+///   stable:  E[X] = Σ_j (1 - (1 - p_j)^m)            (p_j = n_j / n)
+///   moment:  E[X] = Σ_{k=1}^{m} (-1)^{k+1} C(m,k) F_k / n^k
+/// The moment form is the paper's statement; it alternates with huge terms
+/// and is numerically usable only for small m — the tests verify the two
+/// agree there, and everything else uses the stable form.
+class ExpectedDistinctValues {
+ public:
+  explicit ExpectedDistinctValues(const FrequencyMoments& moments)
+      : moments_(&moments) {}
+
+  /// E[#distinct values in a with-replacement sample of size m].
+  double Stable(std::int64_t m) const;
+
+  /// The Theorem 4 alternating-sum form; accurate only for small m
+  /// (roughly m <= 40 in double precision).
+  double MomentForm(std::int64_t m) const;
+
+  /// Theorem 4's "expected gain": E[m - #distinct values in S] — the number
+  /// of words a concise representation saves relative to a traditional
+  /// sample of the same sample-size m, i.e.
+  /// Σ_{k=2}^{m} (-1)^k C(m,k) F_k / n^k.
+  double ExpectedGain(std::int64_t m) const { return
+    static_cast<double>(m) - Stable(m); }
+
+ private:
+  const FrequencyMoments* moments_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_ESTIMATE_DISTINCT_VALUES_H_

@@ -1,0 +1,54 @@
+#include "estimate/frequency_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hotlist/counting_hot_list.h"
+
+namespace aqua {
+
+Estimate FrequencyEstimator::FromConcise(const ConciseSample& sample,
+                                         Value value, double confidence) {
+  Estimate est;
+  est.confidence = confidence;
+  est.sample_points = sample.SampleSize();
+  const auto m = static_cast<double>(sample.SampleSize());
+  if (m == 0) return est;
+  const auto n = static_cast<double>(sample.ObservedInserts());
+  const auto c = static_cast<double>(sample.CountOf(value));
+  const double p = c / m;
+  const double z = SampleEstimator::NormalQuantile(confidence);
+  const double half = z * std::sqrt(std::max(0.0, p * (1.0 - p) / m)) * n;
+  est.value = p * n;
+  est.ci_low = std::max(0.0, est.value - half);
+  est.ci_high = std::min(n, est.value + half);
+  return est;
+}
+
+Estimate FrequencyEstimator::FromCounting(const CountingSample& sample,
+                                          Value value, double confidence) {
+  Estimate est;
+  est.confidence = confidence;
+  est.sample_points = sample.CountedOccurrences();
+  const Count c = sample.CountOf(value);
+  const double tau = sample.Threshold();
+  const double c_hat = CountingHotList::Compensation(tau);
+  // The pre-admission loss L = f_v - count satisfies
+  // P(L >= γτ) <= (1 - 1/τ)^{γτ} <= e^{-γ}  (Theorem 6(iii) rearranged);
+  // choose γ = ln(1/(1-confidence)) for the requested one-sided coverage.
+  const double gamma = std::log(1.0 / (1.0 - confidence));
+  if (c == 0) {
+    // Absent: f_v is below γτ with the same coverage.
+    est.value = 0.0;
+    est.ci_low = 0.0;
+    est.ci_high = gamma * tau;
+    return est;
+  }
+  est.value = static_cast<double>(c) + c_hat;
+  // count <= f_v always (insert-only); the upper side covers the loss.
+  est.ci_low = static_cast<double>(c);
+  est.ci_high = static_cast<double>(c) + gamma * tau;
+  return est;
+}
+
+}  // namespace aqua

@@ -1,0 +1,31 @@
+#ifndef AQUA_ESTIMATE_FREQUENCY_ESTIMATOR_H_
+#define AQUA_ESTIMATE_FREQUENCY_ESTIMATOR_H_
+
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "estimate/aggregates.h"
+
+namespace aqua {
+
+/// Per-value frequency estimation from the paper's synopses — the primitive
+/// behind predicate-selectivity and join-size estimation over skewed values
+/// ([Ioa93, IC93, IP95] motivate why the skewed values matter most).
+class FrequencyEstimator {
+ public:
+  /// Estimates f_v from a concise sample: sample count scaled by
+  /// n / sample-size, with a binomial normal-approximation interval.
+  static Estimate FromConcise(const ConciseSample& sample, Value value,
+                              double confidence = 0.95);
+
+  /// Estimates f_v from a counting sample: count + ĉ (the §5.2
+  /// compensation).  Under insert-only streams count <= f_v always, and the
+  /// pre-admission loss f_v - count is stochastically dominated by a
+  /// geometric with mean ~τ (Theorem 6), so the interval is
+  /// [count, count + τ·ln(1/(1-confidence))] with the given coverage.
+  static Estimate FromCounting(const CountingSample& sample, Value value,
+                               double confidence = 0.95);
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_ESTIMATE_FREQUENCY_ESTIMATOR_H_

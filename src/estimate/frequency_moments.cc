@@ -1,0 +1,46 @@
+#include "estimate/frequency_moments.h"
+
+#include <cmath>
+
+#include "container/flat_hash_map.h"
+
+namespace aqua {
+
+FrequencyMoments FrequencyMoments::FromData(std::span<const Value> data) {
+  FlatHashMap<Value, Count> table;
+  for (Value v : data) ++table[v];
+  std::vector<ValueCount> counts;
+  counts.reserve(table.size());
+  for (const auto& entry : table) {
+    counts.push_back(ValueCount{entry.key, entry.value});
+  }
+  return FromCounts(std::move(counts));
+}
+
+FrequencyMoments FrequencyMoments::FromCounts(
+    std::vector<ValueCount> counts) {
+  FrequencyMoments fm;
+  fm.counts_ = std::move(counts);
+  for (const ValueCount& vc : fm.counts_) fm.n_ += vc.count;
+  return fm;
+}
+
+double FrequencyMoments::Moment(int k) const {
+  double total = 0.0;
+  for (const ValueCount& vc : counts_) {
+    total += std::pow(static_cast<double>(vc.count), k);
+  }
+  return total;
+}
+
+double FrequencyMoments::NormalizedMoment(int k) const {
+  if (n_ == 0) return 0.0;
+  double total = 0.0;
+  for (const ValueCount& vc : counts_) {
+    total += std::pow(
+        static_cast<double>(vc.count) / static_cast<double>(n_), k);
+  }
+  return total;
+}
+
+}  // namespace aqua

@@ -1,0 +1,45 @@
+#ifndef AQUA_ESTIMATE_FREQUENCY_MOMENTS_H_
+#define AQUA_ESTIMATE_FREQUENCY_MOMENTS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/value_count.h"
+
+namespace aqua {
+
+/// Exact frequency moments of a data set (as used by Theorem 4 and
+/// [AMS96]):  F_k = Σ_j n_j^k  over the values j represented in the set,
+/// where n_j is the number of elements of value j.  F_0 is the number of
+/// distinct values, F_1 the data set size.
+class FrequencyMoments {
+ public:
+  /// Builds the exact value-frequency table from raw data.
+  static FrequencyMoments FromData(std::span<const Value> data);
+
+  /// Builds from an exact <value, count> table.
+  static FrequencyMoments FromCounts(std::vector<ValueCount> counts);
+
+  /// F_k (computed in doubles; overflows are the caller's concern for huge
+  /// k — Theorem 4 normalizes by n^k which we expose via NormalizedMoment).
+  double Moment(int k) const;
+
+  /// F_k / n^k, computed stably as Σ_j (n_j/n)^k.
+  double NormalizedMoment(int k) const;
+
+  std::int64_t distinct_values() const {
+    return static_cast<std::int64_t>(counts_.size());
+  }
+  std::int64_t size() const { return n_; }
+  const std::vector<ValueCount>& counts() const { return counts_; }
+
+ private:
+  std::vector<ValueCount> counts_;
+  std::int64_t n_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_ESTIMATE_FREQUENCY_MOMENTS_H_

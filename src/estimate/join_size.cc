@@ -1,0 +1,96 @@
+#include "estimate/join_size.h"
+
+#include <algorithm>
+
+#include "container/flat_hash_map.h"
+#include "estimate/frequency_estimator.h"
+#include "hotlist/counting_hot_list.h"
+
+namespace aqua {
+
+namespace {
+
+/// Shared skeleton: head = Σ over tracked values of est_r(v)·est_s(v);
+/// tail = uniform-join of the untracked mass.
+double EstimateJoin(const std::vector<ValueCount>& r_entries,
+                double r_scale, double r_offset, double r_total,
+                std::int64_t r_distinct,
+                const std::vector<ValueCount>& s_entries, double s_scale,
+                double s_offset, double s_total, std::int64_t s_distinct) {
+  FlatHashMap<Value, Count> s_index;
+  for (const ValueCount& e : s_entries) s_index.TryInsert(e.value, e.count);
+
+  auto estimate_r = [&](Count c) {
+    return static_cast<double>(c) * r_scale + r_offset;
+  };
+  auto estimate_s = [&](Count c) {
+    return static_cast<double>(c) * s_scale + s_offset;
+  };
+
+  double join = 0.0;
+  double r_head_mass = 0.0, s_head_mass = 0.0;
+  std::int64_t r_head_distinct = 0, s_head_distinct = 0;
+
+  for (const ValueCount& e : r_entries) {
+    const double fr = estimate_r(e.count);
+    r_head_mass += fr;
+    ++r_head_distinct;
+    const Count* sc = s_index.Find(e.value);
+    if (sc != nullptr) join += fr * estimate_s(*sc);
+  }
+  for (const ValueCount& e : s_entries) {
+    s_head_mass += estimate_s(e.count);
+    ++s_head_distinct;
+  }
+
+  // Tail ⋈ tail: untracked mass joins uniformly over the untracked
+  // distinct values shared between the relations.  (Head ⋈ tail terms are
+  // deliberately dropped: a value tracked on one side but not the other is
+  // light on the untracked side, so its contribution is second-order.)
+  const double r_tail_mass = std::max(0.0, r_total - r_head_mass);
+  const double s_tail_mass = std::max(0.0, s_total - s_head_mass);
+  const auto r_tail_distinct =
+      static_cast<double>(std::max<std::int64_t>(r_distinct - r_head_distinct, 0));
+  const auto s_tail_distinct =
+      static_cast<double>(std::max<std::int64_t>(s_distinct - s_head_distinct, 0));
+  if (r_tail_distinct > 0 && s_tail_distinct > 0) {
+    const double shared = std::min(r_tail_distinct, s_tail_distinct);
+    join += shared * (r_tail_mass / r_tail_distinct) *
+            (s_tail_mass / s_tail_distinct);
+  }
+  return join;
+}
+
+}  // namespace
+
+double JoinSizeEstimator::FromCounting(const CountingSample& r,
+                                       const CountingSample& s,
+                                       std::int64_t r_distinct,
+                                       std::int64_t s_distinct) {
+  const double r_hat = CountingHotList::Compensation(r.Threshold());
+  const double s_hat = CountingHotList::Compensation(s.Threshold());
+  return EstimateJoin(r.Entries(), 1.0, r_hat,
+                  static_cast<double>(r.ObservedInserts()), r_distinct,
+                  s.Entries(), 1.0, s_hat,
+                  static_cast<double>(s.ObservedInserts()), s_distinct);
+}
+
+double JoinSizeEstimator::FromConcise(const ConciseSample& r,
+                                      const ConciseSample& s,
+                                      std::int64_t r_distinct,
+                                      std::int64_t s_distinct) {
+  const double r_scale =
+      r.SampleSize() > 0 ? static_cast<double>(r.ObservedInserts()) /
+                               static_cast<double>(r.SampleSize())
+                         : 0.0;
+  const double s_scale =
+      s.SampleSize() > 0 ? static_cast<double>(s.ObservedInserts()) /
+                               static_cast<double>(s.SampleSize())
+                         : 0.0;
+  return EstimateJoin(r.Entries(), r_scale, 0.0,
+                  static_cast<double>(r.ObservedInserts()), r_distinct,
+                  s.Entries(), s_scale, 0.0,
+                  static_cast<double>(s.ObservedInserts()), s_distinct);
+}
+
+}  // namespace aqua

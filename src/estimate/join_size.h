@@ -1,0 +1,39 @@
+#ifndef AQUA_ESTIMATE_JOIN_SIZE_H_
+#define AQUA_ESTIMATE_JOIN_SIZE_H_
+
+#include <cstdint>
+
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+
+namespace aqua {
+
+/// Direct join-size estimation |R ⋈_A S| = Σ_v f_R(v) · f_S(v) from the
+/// paper's synopses (§1.2: hot lists "have been shown to be quite useful
+/// for estimating predicate selectivities and join sizes [Ioa93, IC93,
+/// IP95]" — because the skewed values dominate the sum).
+///
+/// The estimators split the sum into a head term over the values both
+/// synopses track (estimated counts multiplied directly) and a tail term
+/// that assumes the untracked mass joins uniformly over the given number
+/// of untracked distinct values on each side.
+class JoinSizeEstimator {
+ public:
+  /// From two counting samples (the most accurate per-value counts).
+  /// `r_distinct` / `s_distinct` are (estimates of) each relation's total
+  /// distinct-value counts — e.g. from estimate/distinct_estimators.h or a
+  /// sketch.
+  static double FromCounting(const CountingSample& r,
+                             const CountingSample& s,
+                             std::int64_t r_distinct,
+                             std::int64_t s_distinct);
+
+  /// From two concise samples (scaled counts).
+  static double FromConcise(const ConciseSample& r, const ConciseSample& s,
+                            std::int64_t r_distinct,
+                            std::int64_t s_distinct);
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_ESTIMATE_JOIN_SIZE_H_

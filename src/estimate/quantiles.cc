@@ -1,0 +1,46 @@
+#include "estimate/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aqua {
+
+QuantileEstimator::QuantileEstimator(std::span<const Value> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+Value QuantileEstimator::Quantile(double q) const {
+  AQUA_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted_.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(std::min<double>(
+      static_cast<double>(sorted_.size()) - 1.0,
+      std::floor(q * static_cast<double>(sorted_.size()))));
+  return sorted_[idx];
+}
+
+Estimate QuantileEstimator::QuantileWithBounds(double q,
+                                               double confidence) const {
+  Estimate est;
+  est.confidence = confidence;
+  est.sample_points = sample_size();
+  if (sorted_.empty()) return est;
+  const auto m = static_cast<double>(sorted_.size());
+  const double z = SampleEstimator::NormalQuantile(confidence);
+  const double half = z * std::sqrt(std::max(0.0, q * (1.0 - q) / m));
+  est.value = static_cast<double>(Quantile(q));
+  est.ci_low = static_cast<double>(Quantile(std::max(0.0, q - half)));
+  est.ci_high = static_cast<double>(Quantile(std::min(1.0, q + half)));
+  return est;
+}
+
+double QuantileEstimator::RankOf(Value value) const {
+  if (sorted_.empty()) return 0.0;
+  const auto below = std::upper_bound(sorted_.begin(), sorted_.end(), value) -
+                     sorted_.begin();
+  return static_cast<double>(below) / static_cast<double>(sorted_.size());
+}
+
+}  // namespace aqua

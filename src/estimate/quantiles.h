@@ -1,0 +1,49 @@
+#ifndef AQUA_ESTIMATE_QUANTILES_H_
+#define AQUA_ESTIMATE_QUANTILES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "estimate/aggregates.h"
+
+namespace aqua {
+
+/// Sampling-based quantile estimation — one of §6's "other concrete
+/// approximate answer scenarios" for concise samples: a uniform sample of
+/// size m answers any quantile query with rank error O(sqrt(m)) whp, so a
+/// concise sample's larger sample-size directly tightens quantile answers
+/// for the same footprint (the same argument as for counts, §1.1).
+class QuantileEstimator {
+ public:
+  /// `sample`: a uniform point sample (e.g. ConciseSample::ToPointSample());
+  /// copied and sorted once, O(m log m).
+  explicit QuantileEstimator(std::span<const Value> sample);
+
+  /// Estimated q-quantile (0 <= q <= 1) of the relation's values.
+  Value Quantile(double q) const;
+
+  /// Median shorthand.
+  Value Median() const { return Quantile(0.5); }
+
+  /// Estimated q-quantile with a distribution-free confidence interval on
+  /// the *value* obtained by inverting the binomial rank bounds: the true
+  /// q-quantile lies between the sample's (q ± z·sqrt(q(1-q)/m))-quantiles
+  /// with the given confidence.
+  Estimate QuantileWithBounds(double q, double confidence = 0.95) const;
+
+  /// Estimated rank (fraction of tuples <= value).
+  double RankOf(Value value) const;
+
+  std::int64_t sample_size() const {
+    return static_cast<std::int64_t>(sorted_.size());
+  }
+
+ private:
+  std::vector<Value> sorted_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_ESTIMATE_QUANTILES_H_

@@ -1,0 +1,96 @@
+#include "histogram/compressed_histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aqua {
+
+CompressedHistogram::CompressedHistogram(std::span<const Value> sample,
+                                         int buckets,
+                                         std::int64_t relation_size)
+    : relation_size_(relation_size) {
+  AQUA_CHECK_GE(buckets, 2);
+  sample_size_ = static_cast<std::int64_t>(sample.size());
+
+  // Count sample frequencies.
+  FlatHashMap<Value, Count> freq;
+  for (Value v : sample) ++freq[v];
+
+  // Values exceeding the equi-depth depth get singleton buckets.
+  const double depth_cut =
+      static_cast<double>(sample_size_) / static_cast<double>(buckets);
+  for (const auto& entry : freq) {
+    if (static_cast<double>(entry.value) > depth_cut) {
+      singletons_.push_back(ValueCount{entry.key, entry.value});
+      singleton_index_.TryInsert(entry.key, entry.value);
+    }
+  }
+  std::sort(singletons_.begin(), singletons_.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.count > b.count ||
+                     (a.count == b.count && a.value < b.value);
+            });
+  // Cap singletons at buckets - 1 so at least one equi-depth bucket remains.
+  if (static_cast<int>(singletons_.size()) > buckets - 1) {
+    for (std::size_t i = static_cast<std::size_t>(buckets - 1);
+         i < singletons_.size(); ++i) {
+      singleton_index_.Erase(singletons_[i].value);
+    }
+    singletons_.resize(static_cast<std::size_t>(buckets - 1));
+  }
+
+  // Tail: the sample minus singleton values.
+  std::vector<Value> tail_points;
+  for (Value v : sample) {
+    if (!singleton_index_.Contains(v)) tail_points.push_back(v);
+  }
+  tail_fraction_ =
+      sample_size_ > 0
+          ? static_cast<double>(tail_points.size()) /
+                static_cast<double>(sample_size_)
+          : 0.0;
+  const int tail_buckets =
+      std::max(1, buckets - static_cast<int>(singletons_.size()));
+  // Build in tail-sample units; scaling to relation units happens in the
+  // estimators via tail_fraction_ and relation_size_.
+  tail_ = std::make_unique<EquiDepthHistogram>(
+      std::span<const Value>(tail_points), tail_buckets,
+      static_cast<std::int64_t>(tail_points.size()));
+}
+
+int CompressedHistogram::equi_depth_buckets() const {
+  return tail_ ? tail_->bucket_count() : 0;
+}
+
+double CompressedHistogram::EstimateFrequency(Value value) const {
+  if (sample_size_ == 0) return 0.0;
+  const double scale = static_cast<double>(relation_size_) /
+                       static_cast<double>(sample_size_);
+  const Count* c = singleton_index_.Find(value);
+  if (c != nullptr) return static_cast<double>(*c) * scale;
+  // One-point range over the tail histogram: the result is in tail-sample
+  // points, which are a subset of the full sample, so the full-sample scale
+  // applies directly.
+  const double tail_count = tail_->EstimateRangeCount(value, value);
+  return tail_count * scale;
+}
+
+double CompressedHistogram::EstimateRangeCount(Value lo, Value hi) const {
+  if (sample_size_ == 0 || hi < lo) return 0.0;
+  const double scale = static_cast<double>(relation_size_) /
+                       static_cast<double>(sample_size_);
+  double sample_units = 0.0;
+  for (const ValueCount& vc : singletons_) {
+    if (vc.value >= lo && vc.value <= hi) {
+      sample_units += static_cast<double>(vc.count);
+    }
+  }
+  // Tail selectivity is relative to the tail sample; convert to full-sample
+  // units via the tail fraction.
+  sample_units += tail_->EstimateRangeSelectivity(lo, hi) * tail_fraction_ *
+                  static_cast<double>(sample_size_);
+  return sample_units * scale;
+}
+
+}  // namespace aqua

@@ -1,0 +1,56 @@
+#ifndef AQUA_HISTOGRAM_COMPRESSED_HISTOGRAM_H_
+#define AQUA_HISTOGRAM_COMPRESSED_HISTOGRAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "container/flat_hash_map.h"
+#include "core/value_count.h"
+#include "histogram/equi_depth_histogram.h"
+
+namespace aqua {
+
+/// A Compressed histogram ([PIHS96]; maintained from a backing sample in
+/// [GMP97b]): values whose sample frequency exceeds the equi-depth bucket
+/// size get exact singleton buckets, and the remaining values are spread
+/// over equi-depth buckets.  Combines the strengths of the high-biased and
+/// equi-depth forms: exact mass for the skewed head, balanced buckets for
+/// the tail.
+class CompressedHistogram {
+ public:
+  /// Builds from a uniform point sample: any value holding more than
+  /// 1/`buckets` of the sample becomes a singleton bucket; the rest feed an
+  /// equi-depth histogram with the leftover bucket budget.
+  /// `relation_size` = n scales estimates to relation units.
+  CompressedHistogram(std::span<const Value> sample, int buckets,
+                      std::int64_t relation_size);
+
+  /// Estimated number of tuples with value in [lo, hi] (inclusive).
+  double EstimateRangeCount(Value lo, Value hi) const;
+
+  /// Estimated frequency of a single value.
+  double EstimateFrequency(Value value) const;
+
+  /// Singleton buckets, counts in sample units.
+  const std::vector<ValueCount>& singleton_buckets() const {
+    return singletons_;
+  }
+  int equi_depth_buckets() const;
+
+ private:
+  std::vector<ValueCount> singletons_;
+  FlatHashMap<Value, Count> singleton_index_;
+  std::int64_t sample_size_ = 0;
+  std::int64_t relation_size_ = 0;
+  /// Fraction of sample points in the tail (non-singleton) part.
+  double tail_fraction_ = 0.0;
+  /// Equi-depth histogram over the tail points, in tail-sample units.
+  std::unique_ptr<EquiDepthHistogram> tail_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_HISTOGRAM_COMPRESSED_HISTOGRAM_H_

@@ -1,0 +1,69 @@
+#include "histogram/equi_depth_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aqua {
+
+EquiDepthHistogram::EquiDepthHistogram(std::span<const Value> sample,
+                                       int buckets,
+                                       std::int64_t relation_size)
+    : relation_size_(relation_size) {
+  AQUA_CHECK_GE(buckets, 1);
+  sample_size_ = static_cast<std::int64_t>(sample.size());
+  std::vector<Value> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  boundaries_.clear();
+  if (sorted.empty()) {
+    boundaries_ = {0.0, 0.0};
+    points_per_bucket_ = 0.0;
+    return;
+  }
+  points_per_bucket_ =
+      static_cast<double>(sorted.size()) / static_cast<double>(buckets);
+  boundaries_.reserve(static_cast<std::size_t>(buckets) + 1);
+  boundaries_.push_back(static_cast<double>(sorted.front()));
+  for (int b = 1; b < buckets; ++b) {
+    const auto idx = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(sorted.size()) - 1.0,
+        std::floor(points_per_bucket_ * static_cast<double>(b))));
+    boundaries_.push_back(static_cast<double>(sorted[idx]));
+  }
+  boundaries_.push_back(static_cast<double>(sorted.back()));
+}
+
+double EquiDepthHistogram::EstimateRangeSelectivity(Value lo, Value hi) const {
+  if (sample_size_ == 0 || hi < lo) return 0.0;
+  // Fraction of points below x (with intra-bucket linear interpolation).
+  auto cdf = [this](double x) -> double {
+    const double min = boundaries_.front();
+    const double max = boundaries_.back();
+    if (x <= min) return 0.0;
+    if (x >= max) return 1.0;
+    const int buckets = bucket_count();
+    // Find bucket via binary search over boundaries.
+    const auto it =
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), x);
+    auto b = static_cast<int>(it - boundaries_.begin()) - 1;
+    b = std::clamp(b, 0, buckets - 1);
+    const double left = boundaries_[static_cast<std::size_t>(b)];
+    const double right = boundaries_[static_cast<std::size_t>(b) + 1];
+    const double within =
+        right > left ? (x - left) / (right - left) : 1.0;
+    return (static_cast<double>(b) + within) / static_cast<double>(buckets);
+  };
+  // Inclusive range [lo, hi] ≈ CDF(hi + 1) - CDF(lo) on integer domains.
+  const double f = cdf(static_cast<double>(hi) + 1.0) -
+                   cdf(static_cast<double>(lo));
+  return std::clamp(f, 0.0, 1.0);
+}
+
+double EquiDepthHistogram::EstimateRangeCount(Value lo, Value hi) const {
+  return EstimateRangeSelectivity(lo, hi) *
+         static_cast<double>(relation_size_);
+}
+
+}  // namespace aqua

@@ -1,0 +1,56 @@
+#ifndef AQUA_HISTOGRAM_EQUI_DEPTH_HISTOGRAM_H_
+#define AQUA_HISTOGRAM_EQUI_DEPTH_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aqua {
+
+/// An equi-depth histogram: bucket boundaries chosen so every bucket holds
+/// (approximately) the same number of tuples.  [GMP97b] maintains these
+/// incrementally from a backing sample; §2 of our paper observes that "a
+/// concise sample could be used as a backing sample, for more sample points
+/// for the same footprint" — which is exactly what histogram tests and the
+/// backing-sample example demonstrate: more sample points → more accurate
+/// bucket boundaries → tighter range-selectivity estimates.
+///
+/// The histogram is (re)computed from a point sample in O(m log m); range
+/// selectivities are answered in O(log B) with intra-bucket linear
+/// interpolation (the continuous-values assumption).
+class EquiDepthHistogram {
+ public:
+  /// Builds `buckets` equi-depth buckets from a uniform point sample of the
+  /// relation; `relation_size` = n scales estimated counts.
+  EquiDepthHistogram(std::span<const Value> sample, int buckets,
+                     std::int64_t relation_size);
+
+  /// Estimated number of tuples with value in [lo, hi] (inclusive).
+  double EstimateRangeCount(Value lo, Value hi) const;
+
+  /// Estimated fraction of tuples with value in [lo, hi].
+  double EstimateRangeSelectivity(Value lo, Value hi) const;
+
+  int bucket_count() const { return static_cast<int>(boundaries_.size()) - 1; }
+
+  /// Bucket boundaries b_0 <= b_1 <= … <= b_B; bucket i covers
+  /// [b_i, b_{i+1}] with b_0 / b_B the sample min/max.
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  /// Footprint in words: B+1 boundaries plus one shared depth word.
+  Words Footprint() const {
+    return static_cast<Words>(boundaries_.size()) + 1;
+  }
+
+ private:
+  std::vector<double> boundaries_;
+  double points_per_bucket_ = 0.0;  // sample points per bucket
+  std::int64_t sample_size_ = 0;
+  std::int64_t relation_size_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_HISTOGRAM_EQUI_DEPTH_HISTOGRAM_H_

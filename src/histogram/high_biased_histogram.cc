@@ -1,0 +1,70 @@
+#include "histogram/high_biased_histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aqua {
+
+HighBiasedHistogram::HighBiasedHistogram(std::vector<ValueCount> hot,
+                                         std::int64_t relation_size,
+                                         std::int64_t remainder_distinct)
+    : hot_(std::move(hot)),
+      relation_size_(relation_size),
+      remainder_distinct_(std::max<std::int64_t>(remainder_distinct, 0)) {
+  double hot_mass = 0.0;
+  for (const ValueCount& vc : hot_) {
+    index_.TryInsert(vc.value, vc.count);
+    hot_mass += static_cast<double>(vc.count);
+  }
+  remainder_mass_ =
+      std::max(0.0, static_cast<double>(relation_size_) - hot_mass);
+}
+
+double HighBiasedHistogram::EstimateFrequency(Value value) const {
+  const Count* c = index_.Find(value);
+  if (c != nullptr) return static_cast<double>(*c);
+  if (remainder_distinct_ == 0) return 0.0;
+  return remainder_mass_ / static_cast<double>(remainder_distinct_);
+}
+
+double HighBiasedHistogram::EstimateEqualitySelectivity(Value value) const {
+  if (relation_size_ == 0) return 0.0;
+  return EstimateFrequency(value) / static_cast<double>(relation_size_);
+}
+
+double HighBiasedHistogram::EstimateJoinSize(const HighBiasedHistogram& r,
+                                             const HighBiasedHistogram& s) {
+  // Hot ⋈ hot and hot ⋈ remainder terms from r's hot set …
+  double join = 0.0;
+  double r_hot_mass_joining_s_hot = 0.0;
+  for (const ValueCount& vc : r.hot_values()) {
+    const Count* sc = s.index_.Find(vc.value);
+    if (sc != nullptr) {
+      join += static_cast<double>(vc.count) * static_cast<double>(*sc);
+      r_hot_mass_joining_s_hot += static_cast<double>(vc.count);
+    } else if (s.remainder_distinct_ > 0) {
+      join += static_cast<double>(vc.count) * s.remainder_mass_ /
+              static_cast<double>(s.remainder_distinct_);
+    }
+  }
+  // … remainder ⋈ s-hot …
+  for (const ValueCount& vc : s.hot_values()) {
+    if (!r.index_.Contains(vc.value) && r.remainder_distinct_ > 0) {
+      join += static_cast<double>(vc.count) * r.remainder_mass_ /
+              static_cast<double>(r.remainder_distinct_);
+    }
+  }
+  // … remainder ⋈ remainder, assuming the remainders share
+  // min(D_r, D_s) values uniformly.
+  if (r.remainder_distinct_ > 0 && s.remainder_distinct_ > 0) {
+    const double shared = static_cast<double>(
+        std::min(r.remainder_distinct_, s.remainder_distinct_));
+    join += shared *
+            (r.remainder_mass_ / static_cast<double>(r.remainder_distinct_)) *
+            (s.remainder_mass_ / static_cast<double>(s.remainder_distinct_));
+  }
+  return join;
+}
+
+}  // namespace aqua

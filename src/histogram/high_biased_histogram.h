@@ -1,0 +1,63 @@
+#ifndef AQUA_HISTOGRAM_HIGH_BIASED_HISTOGRAM_H_
+#define AQUA_HISTOGRAM_HIGH_BIASED_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "container/flat_hash_map.h"
+#include "core/value_count.h"
+
+namespace aqua {
+
+/// A high-biased histogram [IC93]: the m most frequent values in singleton
+/// buckets with exact (or estimated) counts, plus one aggregate bucket for
+/// everything else.  §1.2: "hot lists of m pairs are denoted as high-biased
+/// histograms of m+1 buckets" — this class is the histogram view of a hot
+/// list, adding the remainder bucket so it can answer frequency and
+/// equality-selectivity estimates over *all* values.
+class HighBiasedHistogram {
+ public:
+  /// `hot`: the m <value, count> pairs (estimated or exact);
+  /// `relation_size`: n; `remainder_distinct`: estimated number of distinct
+  /// values outside the hot set (>= 1 unless the hot set is exhaustive).
+  HighBiasedHistogram(std::vector<ValueCount> hot, std::int64_t relation_size,
+                      std::int64_t remainder_distinct);
+
+  /// Estimated frequency of `value`: its singleton bucket if hot, else the
+  /// remainder bucket's average frequency.
+  double EstimateFrequency(Value value) const;
+
+  /// Estimated selectivity of the equality predicate `A = value`.
+  double EstimateEqualitySelectivity(Value value) const;
+
+  /// Estimated join size |R ⋈ S| on the histogrammed attributes, under the
+  /// standard serial-histogram estimate Σ_v f_R(v)·f_S(v) over hot values
+  /// plus a uniform-remainder term ([Ioa93]'s motivation for keeping the
+  /// skewed values exact).
+  static double EstimateJoinSize(const HighBiasedHistogram& r,
+                                 const HighBiasedHistogram& s);
+
+  std::int64_t relation_size() const { return relation_size_; }
+  const std::vector<ValueCount>& hot_values() const { return hot_; }
+
+  /// Count mass and distinct-value count of the remainder bucket.
+  double remainder_mass() const { return remainder_mass_; }
+  std::int64_t remainder_distinct() const { return remainder_distinct_; }
+
+  /// Footprint: 2 words per hot pair + 2 for the remainder bucket.
+  Words Footprint() const {
+    return 2 * static_cast<Words>(hot_.size()) + 2;
+  }
+
+ private:
+  std::vector<ValueCount> hot_;
+  FlatHashMap<Value, Count> index_;
+  std::int64_t relation_size_;
+  double remainder_mass_;
+  std::int64_t remainder_distinct_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_HISTOGRAM_HIGH_BIASED_HISTOGRAM_H_

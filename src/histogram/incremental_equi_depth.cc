@@ -1,0 +1,167 @@
+#include "histogram/incremental_equi_depth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace aqua {
+
+IncrementalEquiDepthHistogram::IncrementalEquiDepthHistogram(
+    int buckets, double imbalance, SampleProvider sample_provider)
+    : buckets_(buckets),
+      imbalance_(imbalance),
+      sample_provider_(std::move(sample_provider)) {
+  AQUA_CHECK_GE(buckets, 2);
+  AQUA_CHECK(imbalance > 0.0);
+  AQUA_CHECK(sample_provider_ != nullptr);
+  boundaries_.assign(static_cast<std::size_t>(buckets) + 1, 0.0);
+  counts_.assign(static_cast<std::size_t>(buckets), 0.0);
+}
+
+std::size_t IncrementalEquiDepthHistogram::BucketOf(Value value) const {
+  const double x = static_cast<double>(value);
+  // First bucket absorbs anything at or below its upper edge; last bucket
+  // absorbs anything above the top boundary (boundaries stretch lazily).
+  const auto it =
+      std::lower_bound(boundaries_.begin() + 1, boundaries_.end() - 1, x);
+  return static_cast<std::size_t>(it - (boundaries_.begin() + 1));
+}
+
+void IncrementalEquiDepthHistogram::Insert(Value value) {
+  ++total_;
+  if (total_ == 1) {
+    boundaries_.assign(boundaries_.size(), static_cast<double>(value));
+    counts_.assign(counts_.size(), 0.0);
+    counts_[0] = 1.0;
+    return;
+  }
+  const double x = static_cast<double>(value);
+  boundaries_.front() = std::min(boundaries_.front(), x);
+  boundaries_.back() = std::max(boundaries_.back(), x);
+  const std::size_t bucket = BucketOf(value);
+  counts_[bucket] += 1.0;
+
+  const double threshold = (1.0 + imbalance_) *
+                           static_cast<double>(total_) /
+                           static_cast<double>(buckets_);
+  if (counts_[bucket] > threshold && total_ >= 2 * buckets_) {
+    SplitAndMerge(bucket);
+  }
+}
+
+void IncrementalEquiDepthHistogram::SplitAndMerge(std::size_t overfull) {
+  // Median of the backing-sample points inside the over-full bucket.
+  const std::vector<Value> sample = sample_provider_();
+  std::vector<double> inside;
+  const double lo = boundaries_[overfull];
+  const double hi = boundaries_[overfull + 1];
+  for (Value v : sample) {
+    const auto x = static_cast<double>(v);
+    const bool in_low_edge = overfull == 0 && x <= hi && x >= lo;
+    if (in_low_edge || (x > lo && x <= hi)) inside.push_back(x);
+  }
+  std::sort(inside.begin(), inside.end());
+  if (inside.size() < 2) {
+    RecomputeFromSample();
+    return;
+  }
+  const double median = inside[inside.size() / 2];
+  if (median <= lo || median >= hi) {
+    RecomputeFromSample();
+    return;
+  }
+
+  // Merge the adjacent pair with the smallest combined count, excluding
+  // the bucket being split.
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t merge_at = counts_.size();  // left index of the merged pair
+  for (std::size_t i = 0; i + 1 < counts_.size(); ++i) {
+    if (i == overfull || i + 1 == overfull) continue;
+    const double combined = counts_[i] + counts_[i + 1];
+    if (combined < best) {
+      best = combined;
+      merge_at = i;
+    }
+  }
+  if (merge_at == counts_.size() || best > counts_[overfull]) {
+    // No profitable merge (pathological bucket budget): full recompute.
+    RecomputeFromSample();
+    return;
+  }
+
+  // Apply the merge: drop the boundary between merge_at and merge_at+1.
+  counts_[merge_at] += counts_[merge_at + 1];
+  counts_.erase(counts_.begin() + static_cast<std::ptrdiff_t>(merge_at) + 1);
+  boundaries_.erase(boundaries_.begin() +
+                    static_cast<std::ptrdiff_t>(merge_at) + 1);
+  if (merge_at < overfull) --overfull;
+
+  // Apply the split: halve the over-full bucket at the sample median.
+  const double half = counts_[overfull] / 2.0;
+  counts_[overfull] = half;
+  counts_.insert(counts_.begin() + static_cast<std::ptrdiff_t>(overfull) + 1,
+                 half);
+  boundaries_.insert(
+      boundaries_.begin() + static_cast<std::ptrdiff_t>(overfull) + 1,
+      median);
+  ++splits_;
+  AQUA_DCHECK_EQ(static_cast<int>(counts_.size()), buckets_);
+}
+
+void IncrementalEquiDepthHistogram::RecomputeFromSample() {
+  const std::vector<Value> sample = sample_provider_();
+  ++recomputes_;
+  if (sample.empty()) return;
+  std::vector<double> sorted;
+  sorted.reserve(sample.size());
+  for (Value v : sample) sorted.push_back(static_cast<double>(v));
+  std::sort(sorted.begin(), sorted.end());
+  const double per_bucket =
+      static_cast<double>(sorted.size()) / static_cast<double>(buckets_);
+  boundaries_.resize(static_cast<std::size_t>(buckets_) + 1);
+  counts_.assign(static_cast<std::size_t>(buckets_),
+                 static_cast<double>(total_) /
+                     static_cast<double>(buckets_));
+  boundaries_.front() =
+      std::min(boundaries_.front(), sorted.front());
+  boundaries_.back() = std::max(boundaries_.back(), sorted.back());
+  for (int b = 1; b < buckets_; ++b) {
+    const auto idx = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(sorted.size()) - 1.0,
+        std::floor(per_bucket * static_cast<double>(b))));
+    boundaries_[static_cast<std::size_t>(b)] = sorted[idx];
+  }
+  // Boundaries must stay nondecreasing even with stretched extremes.
+  for (std::size_t i = 1; i < boundaries_.size(); ++i) {
+    boundaries_[i] = std::max(boundaries_[i], boundaries_[i - 1]);
+  }
+}
+
+double IncrementalEquiDepthHistogram::EstimateRangeCount(Value lo,
+                                                         Value hi) const {
+  if (total_ == 0 || hi < lo) return 0.0;
+  const double lo_x = static_cast<double>(lo);
+  const double hi_x = static_cast<double>(hi) + 1.0;  // inclusive range
+  double covered = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double left = boundaries_[b];
+    const double right = boundaries_[b + 1];
+    const double width = right - left;
+    if (width <= 0.0) {
+      // Degenerate bucket (single value): counted fully if inside.  Must
+      // be handled before the overlap guard, which would skip it when the
+      // bucket sits exactly on the range edge.
+      if (left >= lo_x && left < hi_x) covered += counts_[b];
+      continue;
+    }
+    if (right <= lo_x || left >= hi_x) continue;
+    const double overlap =
+        std::min(hi_x, right) - std::max(lo_x, left);
+    covered += counts_[b] * std::clamp(overlap / width, 0.0, 1.0);
+  }
+  return covered;
+}
+
+}  // namespace aqua

@@ -1,0 +1,72 @@
+#ifndef AQUA_HISTOGRAM_INCREMENTAL_EQUI_DEPTH_H_
+#define AQUA_HISTOGRAM_INCREMENTAL_EQUI_DEPTH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aqua {
+
+/// Incrementally maintained equi-depth histogram in the style of
+/// [GMP97b] ("Fast incremental maintenance of approximate histograms"),
+/// the companion work §2 builds on: bucket counts are updated in place as
+/// tuples stream in, and when a bucket overflows the imbalance threshold
+/// it is *split at the backing sample's local median* while the two
+/// cheapest adjacent buckets merge, keeping the bucket budget fixed —
+/// avoiding full recomputation on most updates.
+///
+/// A concise sample serves as a drop-in backing sample with more points
+/// for the same footprint (§2), which is exactly what the sample_provider
+/// indirection allows.
+class IncrementalEquiDepthHistogram {
+ public:
+  /// Supplies the current backing-sample points on demand (only consulted
+  /// on splits/recomputes, not per insert).
+  using SampleProvider = std::function<std::vector<Value>()>;
+
+  /// `buckets` = B >= 2; `imbalance` = γ: a bucket splits when its count
+  /// exceeds (1 + γ)·n/B ([GMP97b] uses small constants like 0.5..2).
+  IncrementalEquiDepthHistogram(int buckets, double imbalance,
+                                SampleProvider sample_provider);
+
+  /// Routes one inserted value to its bucket; O(log B), plus an O(B + m)
+  /// split/merge or recompute when the imbalance trigger fires.
+  void Insert(Value value);
+
+  /// Estimated number of tuples in [lo, hi] (inclusive; intra-bucket
+  /// linear interpolation).
+  double EstimateRangeCount(Value lo, Value hi) const;
+
+  std::int64_t total() const { return total_; }
+  int bucket_count() const { return static_cast<int>(counts_.size()); }
+
+  /// Maintenance-event counters (the [GMP97b] efficiency story: splits
+  /// should vastly outnumber full recomputes).
+  std::int64_t splits() const { return splits_; }
+  std::int64_t recomputes() const { return recomputes_; }
+
+  /// Boundaries b_0 <= … <= b_B (bucket i covers (b_i, b_{i+1}], with the
+  /// first bucket closed below).
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  const std::vector<double>& counts() const { return counts_; }
+
+ private:
+  std::size_t BucketOf(Value value) const;
+  void SplitAndMerge(std::size_t overfull);
+  void RecomputeFromSample();
+
+  int buckets_;
+  double imbalance_;
+  SampleProvider sample_provider_;
+  std::vector<double> boundaries_;  // size B+1
+  std::vector<double> counts_;      // size B
+  std::int64_t total_ = 0;
+  std::int64_t splits_ = 0;
+  std::int64_t recomputes_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_HISTOGRAM_INCREMENTAL_EQUI_DEPTH_H_

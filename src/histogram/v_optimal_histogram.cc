@@ -1,0 +1,141 @@
+#include "histogram/v_optimal_histogram.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "container/flat_hash_map.h"
+
+namespace aqua {
+
+std::vector<std::size_t> VOptimalHistogram::OptimalPartition(
+    const std::vector<double>& frequencies, int buckets, double* out_sse) {
+  const std::size_t d = frequencies.size();
+  if (d == 0) {
+    if (out_sse != nullptr) *out_sse = 0.0;
+    return {};
+  }
+  const auto b_max = static_cast<std::size_t>(
+      std::min<std::int64_t>(buckets, static_cast<std::int64_t>(d)));
+
+  // Prefix sums of f and f² make any interval's SSE O(1):
+  //   sse(i, j) = Q[j] - Q[i] - (S[j] - S[i])² / (j - i).
+  std::vector<double> sum(d + 1, 0.0), sum_sq(d + 1, 0.0);
+  for (std::size_t i = 0; i < d; ++i) {
+    sum[i + 1] = sum[i] + frequencies[i];
+    sum_sq[i + 1] = sum_sq[i] + frequencies[i] * frequencies[i];
+  }
+  auto interval_sse = [&](std::size_t i, std::size_t j) {
+    const double s = sum[j] - sum[i];
+    return (sum_sq[j] - sum_sq[i]) - s * s / static_cast<double>(j - i);
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[j]: best SSE for the first j values using exactly the current
+  // number of buckets; choice[b][j]: split point achieving dp with b+1
+  // buckets (more buckets never hurt, so exactly-b_max is optimal).
+  std::vector<double> dp(d + 1, kInf), next(d + 1, kInf);
+  std::vector<std::vector<std::uint32_t>> choice(
+      b_max, std::vector<std::uint32_t>(d + 1, 0));
+  for (std::size_t j = 1; j <= d; ++j) dp[j] = interval_sse(0, j);
+  for (std::size_t b = 1; b < b_max; ++b) {
+    next.assign(d + 1, kInf);
+    // With b+1 buckets, at least b+1 values are needed.
+    for (std::size_t j = b + 1; j <= d; ++j) {
+      for (std::size_t i = b; i < j; ++i) {
+        if (dp[i] == kInf) continue;
+        const double candidate = dp[i] + interval_sse(i, j);
+        if (candidate < next[j]) {
+          next[j] = candidate;
+          choice[b][j] = static_cast<std::uint32_t>(i);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+  if (out_sse != nullptr) *out_sse = dp[d];
+
+  // Walk the choice table back from (b_max buckets, all d values).
+  std::vector<std::size_t> ends;
+  std::size_t j = d;
+  for (std::size_t b = b_max; b-- > 1;) {
+    ends.push_back(j);
+    j = choice[b][j];
+  }
+  ends.push_back(j);  // end of the first bucket
+  std::reverse(ends.begin(), ends.end());
+  return ends;
+}
+
+VOptimalHistogram::VOptimalHistogram(std::span<const Value> sample,
+                                     int buckets,
+                                     std::int64_t relation_size)
+    : relation_size_(relation_size) {
+  AQUA_CHECK_GE(buckets, 1);
+  sample_size_ = static_cast<std::int64_t>(sample.size());
+  if (sample.empty()) return;
+
+  // Distinct sample values with frequencies, sorted by value.
+  FlatHashMap<Value, Count> freq;
+  for (Value v : sample) ++freq[v];
+  std::vector<ValueCount> sorted;
+  sorted.reserve(freq.size());
+  for (const auto& entry : freq) {
+    sorted.push_back(ValueCount{entry.key, entry.value});
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.value < b.value;
+            });
+
+  std::vector<double> frequencies;
+  frequencies.reserve(sorted.size());
+  for (const ValueCount& vc : sorted) {
+    frequencies.push_back(static_cast<double>(vc.count));
+  }
+  const std::vector<std::size_t> ends =
+      OptimalPartition(frequencies, buckets, &sse_);
+
+  std::size_t start = 0;
+  for (std::size_t end : ends) {
+    Bucket bucket;
+    bucket.lo = sorted[start].value;
+    bucket.hi = sorted[end - 1].value;
+    bucket.distinct = static_cast<std::int64_t>(end - start);
+    for (std::size_t i = start; i < end; ++i) {
+      bucket.sample_mass += static_cast<double>(sorted[i].count);
+    }
+    buckets_.push_back(bucket);
+    start = end;
+  }
+}
+
+double VOptimalHistogram::EstimateFrequency(Value value) const {
+  if (sample_size_ == 0) return 0.0;
+  const double scale = static_cast<double>(relation_size_) /
+                       static_cast<double>(sample_size_);
+  for (const Bucket& b : buckets_) {
+    if (value >= b.lo && value <= b.hi) {
+      return b.sample_mass / static_cast<double>(b.distinct) * scale;
+    }
+  }
+  return 0.0;
+}
+
+double VOptimalHistogram::EstimateRangeCount(Value lo, Value hi) const {
+  if (sample_size_ == 0 || hi < lo) return 0.0;
+  const double scale = static_cast<double>(relation_size_) /
+                       static_cast<double>(sample_size_);
+  double mass = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (b.hi < lo || b.lo > hi) continue;
+    // Continuous-spread assumption over the bucket's value span.
+    const double span = static_cast<double>(b.hi - b.lo) + 1.0;
+    const double overlap =
+        static_cast<double>(std::min(hi, b.hi) - std::max(lo, b.lo)) + 1.0;
+    mass += b.sample_mass * (overlap / span);
+  }
+  return mass * scale;
+}
+
+}  // namespace aqua

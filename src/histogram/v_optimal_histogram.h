@@ -1,0 +1,67 @@
+#ifndef AQUA_HISTOGRAM_V_OPTIMAL_HISTOGRAM_H_
+#define AQUA_HISTOGRAM_V_OPTIMAL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "core/value_count.h"
+
+namespace aqua {
+
+/// A V-optimal histogram [PIHS96] — the synopsis §1 holds up as the
+/// state of the art for range selectivity ("it has been shown that for
+/// providing approximate answers to range selectivity queries, the
+/// V-optimal histograms capture important features of the data in a
+/// concise way").  Bucket boundaries minimize the total within-bucket
+/// variance (SSE) of the value frequencies, computed by the classic
+/// O(d²·B) dynamic program over the d distinct values of a sample.
+///
+/// Built over a uniform point sample (a concise sample's point sample
+/// serves as a larger backing sample for the same footprint, §2).
+class VOptimalHistogram {
+ public:
+  /// `sample`: uniform point sample of the relation; `buckets` = B >= 1;
+  /// `relation_size` = n scales estimates.
+  VOptimalHistogram(std::span<const Value> sample, int buckets,
+                    std::int64_t relation_size);
+
+  /// Estimated number of tuples with value in [lo, hi] (inclusive), under
+  /// the standard continuous-spread assumption within buckets.
+  double EstimateRangeCount(Value lo, Value hi) const;
+
+  /// Estimated frequency of one value (bucket average).
+  double EstimateFrequency(Value value) const;
+
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+
+  struct Bucket {
+    Value lo = 0;              // smallest distinct value in the bucket
+    Value hi = 0;              // largest distinct value in the bucket
+    std::int64_t distinct = 0; // distinct sample values in the bucket
+    double sample_mass = 0.0;  // total sample frequency in the bucket
+  };
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+  /// Total within-bucket SSE achieved by the chosen partition (the DP
+  /// objective; exposed for tests against brute force).
+  double sse() const { return sse_; }
+
+  /// Core DP (exposed for tests): partitions `frequencies` (ordered by
+  /// value) into at most `buckets` contiguous runs minimizing total SSE;
+  /// returns the end index (exclusive) of every bucket.
+  static std::vector<std::size_t> OptimalPartition(
+      const std::vector<double>& frequencies, int buckets,
+      double* out_sse = nullptr);
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::int64_t sample_size_ = 0;
+  std::int64_t relation_size_ = 0;
+  double sse_ = 0.0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_HISTOGRAM_V_OPTIMAL_HISTOGRAM_H_

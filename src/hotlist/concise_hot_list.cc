@@ -1,0 +1,16 @@
+#include "hotlist/concise_hot_list.h"
+
+#include "hotlist/reporting.h"
+
+namespace aqua {
+
+HotList ConciseHotList::Report(const HotListQuery& query) const {
+  const std::vector<ValueCount> entries = sample_->Entries();
+  const auto n = static_cast<double>(sample_->ObservedInserts());
+  const auto sample_size = static_cast<double>(sample_->SampleSize());
+  const double scale = sample_size > 0 ? n / sample_size : 0.0;
+  return internal_hotlist::Report(entries, query.k, query.beta, scale,
+                                  /*offset=*/0.0);
+}
+
+}  // namespace aqua

@@ -1,0 +1,33 @@
+#ifndef AQUA_HOTLIST_CONCISE_HOT_LIST_H_
+#define AQUA_HOTLIST_CONCISE_HOT_LIST_H_
+
+#include "core/concise_sample.h"
+#include "hotlist/hot_list.h"
+
+namespace aqua {
+
+/// Hot lists from a concise sample (§5.1, "Using concise samples"): the
+/// entries are already <value, count> pairs; report all with count at least
+/// max(c_k, β), scaling by n/m' where m' is the concise sample's
+/// sample-size (not its footprint — the extra sample points are exactly the
+/// accuracy advantage over TraditionalHotList).
+///
+/// Theorem 7 bounds both directions for this reporter: values with
+/// frequency >= βτ/(1-δ)·2 are reported with probability >= 1-e^{-βδ/(2(1-δ))},
+/// and values with frequency <= βτ/(1+δ) are (falsely) reported with
+/// probability < e^{-βδ²/(3(1+δ))}.
+class ConciseHotList {
+ public:
+  /// `sample` must outlive this object.
+  explicit ConciseHotList(const ConciseSample& sample) : sample_(&sample) {}
+
+  /// Answers a hot list query; O(m) + sorting of the reported items.
+  HotList Report(const HotListQuery& query) const;
+
+ private:
+  const ConciseSample* sample_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_HOTLIST_CONCISE_HOT_LIST_H_

@@ -1,0 +1,30 @@
+#include "hotlist/counting_hot_list.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hotlist/reporting.h"
+
+namespace aqua {
+
+double CountingHotList::Compensation(double threshold) {
+  // Exact form of the §5.2 derivation: the expected number of occurrences
+  // lost before admission, conditioned on admission within f_v = τ trials,
+  // is τ(1 - 2/e)/(1 - 1/e) - 1 for large τ (the paper rounds the leading
+  // coefficient to 0.418).
+  constexpr double kInvE = 0.36787944117144233;  // 1/e
+  const double c_hat = threshold * (1.0 - 2.0 * kInvE) / (1.0 - kInvE) - 1.0;
+  return std::max(0.0, c_hat);
+}
+
+HotList CountingHotList::Report(const HotListQuery& query) const {
+  const std::vector<ValueCount> entries = sample_->Entries();
+  const double tau = sample_->Threshold();
+  const double c_hat = Compensation(tau);
+  // Report all pairs with counts at least max(c_k, τ - ĉ), augmented by ĉ.
+  const double floor = std::max(1.0, tau - c_hat);
+  return internal_hotlist::Report(entries, query.k, floor, /*scale=*/1.0,
+                                  /*offset=*/c_hat);
+}
+
+}  // namespace aqua

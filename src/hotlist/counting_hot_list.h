@@ -1,0 +1,45 @@
+#ifndef AQUA_HOTLIST_COUNTING_HOT_LIST_H_
+#define AQUA_HOTLIST_COUNTING_HOT_LIST_H_
+
+#include "core/counting_sample.h"
+#include "hotlist/hot_list.h"
+
+namespace aqua {
+
+/// Hot lists from a counting sample (§5.1, "Using counting samples"):
+/// instead of scaling, each reported count is augmented by a compensation
+/// ĉ for the occurrences that preceded the successful admission coin toss;
+/// report all pairs with count at least max(c_k, τ - ĉ).
+///
+/// §5.2 derives ĉ by requiring E[count + ĉ | v in S] = f_v exactly at
+/// f_v = τ ("ĉ is the most accurate when it matters most: smaller f_v
+/// should not be reported and the value of ĉ is less important for larger
+/// f_v"), giving
+///
+///     ĉ = τ·(1 - 2/e)/(1 - 1/e) - 1  ≈  0.418τ - 1.
+///
+/// Theorem 8: (i) values with f_v < 0.582τ are never reported; (ii) values
+/// with f_v >= βτ are reported with probability >= 1 - e^{-(β - 0.582)};
+/// (iii) a reported value's augmented count lies in [f_v - τ, f_v + 0.418τ - 1]
+/// with probability >= 1 - e^{-(γ + 0.418)}.
+class CountingHotList {
+ public:
+  /// `sample` must outlive this object.
+  explicit CountingHotList(const CountingSample& sample)
+      : sample_(&sample) {}
+
+  /// Answers a hot list query.  `query.beta` is not used — the counting
+  /// reporter's confidence behaviour is fixed by ĉ (§5.1 notes this is
+  /// "similar to taking β = 2 - ĉ/τ + 1/τ ≈ 1.582").
+  HotList Report(const HotListQuery& query) const;
+
+  /// The compensation ĉ for threshold τ (clamped to be non-negative).
+  static double Compensation(double threshold);
+
+ private:
+  const CountingSample* sample_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_HOTLIST_COUNTING_HOT_LIST_H_

@@ -1,0 +1,13 @@
+#include "hotlist/exact_hot_list.h"
+
+#include "hotlist/reporting.h"
+
+namespace aqua {
+
+HotList ExactHotList::Report(const HotListQuery& query) const {
+  // Exact counts: no confidence floor, no scaling.
+  return internal_hotlist::Report(frequencies_, query.k, /*count_floor=*/1.0,
+                                  /*scale=*/1.0, /*offset=*/0.0);
+}
+
+}  // namespace aqua

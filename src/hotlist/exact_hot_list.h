@@ -1,0 +1,33 @@
+#ifndef AQUA_HOTLIST_EXACT_HOT_LIST_H_
+#define AQUA_HOTLIST_EXACT_HOT_LIST_H_
+
+#include <vector>
+
+#include "core/value_count.h"
+#include "hotlist/hot_list.h"
+
+namespace aqua {
+
+/// Hot lists from exact <value, count> frequencies — the paper's "full
+/// histogram on disk" baseline (§5.1): exact answers, but "each update to R
+/// requires a separate disk access" and the histogram's footprint can be on
+/// the order of n, "so this approach is considered only as a baseline for
+/// our accuracy comparisons".  The warehouse module's FullHistogram
+/// maintains the frequencies and the simulated disk-access count; this
+/// reporter works from any exact frequency snapshot.
+class ExactHotList {
+ public:
+  /// `frequencies` are exact <value, count> pairs for all distinct values.
+  explicit ExactHotList(std::vector<ValueCount> frequencies)
+      : frequencies_(std::move(frequencies)) {}
+
+  /// Answers a hot list query exactly.  `query.beta` is ignored.
+  HotList Report(const HotListQuery& query) const;
+
+ private:
+  std::vector<ValueCount> frequencies_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_HOTLIST_EXACT_HOT_LIST_H_

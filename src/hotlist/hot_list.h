@@ -1,0 +1,40 @@
+#ifndef AQUA_HOTLIST_HOT_LIST_H_
+#define AQUA_HOTLIST_HOT_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aqua {
+
+/// One reported hot-list entry: a value and its estimated warehouse count.
+struct HotListItem {
+  Value value = 0;
+  /// Estimated number of occurrences in the warehouse (scaled/compensated).
+  double estimated_count = 0.0;
+  /// The raw synopsis count the estimate was derived from.
+  Count synopsis_count = 0;
+};
+
+/// Parameters of a hot list query (§5): "an ordered set of <value, count>
+/// pairs for the k most frequently occurring data values".
+struct HotListQuery {
+  /// Number of top values requested.  k == 0 asks for *all* pairs that can
+  /// be reported with confidence — the query form §5.2 analyzes ("report
+  /// all pairs that can be reported with confidence").
+  std::int64_t k = 0;
+  /// Confidence threshold β (§5.2).  Larger β: reported counts are more
+  /// accurate but fewer pairs are reported.  The paper's experiments use
+  /// β = 3 for traditional and concise samples; β is built into the
+  /// counting-sample reporter via the compensation ĉ (β_eff ≈ 1.582).
+  double beta = 3.0;
+};
+
+/// A hot list: items in nonincreasing order of estimated count
+/// (deterministic tie-break by value).
+using HotList = std::vector<HotListItem>;
+
+}  // namespace aqua
+
+#endif  // AQUA_HOTLIST_HOT_LIST_H_

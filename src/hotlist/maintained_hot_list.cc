@@ -1,0 +1,124 @@
+#include "hotlist/maintained_hot_list.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "container/selection.h"
+#include "hotlist/counting_hot_list.h"
+
+namespace aqua {
+
+MaintainedHotList::MaintainedHotList(const CountingSampleOptions& options,
+                                     std::int64_t candidate_capacity)
+    : sample_(options), capacity_(candidate_capacity) {
+  AQUA_CHECK_GE(candidate_capacity, 1);
+  candidates_.reserve(static_cast<std::size_t>(candidate_capacity));
+}
+
+Count MaintainedHotList::MinCandidateCount() const {
+  Count min = std::numeric_limits<Count>::max();
+  for (Value v : candidates_) min = std::min(min, sample_.CountOf(v));
+  return candidates_.empty() ? 0 : min;
+}
+
+void MaintainedHotList::Insert(Value value) {
+  sample_.Insert(value);
+  if (sample_.Cost().threshold_raises != last_raises_) {
+    // A raise shrank counts (and may have evicted values) behind our back.
+    last_raises_ = sample_.Cost().threshold_raises;
+    dirty_ = true;
+  }
+  if (dirty_) return;  // the next Report() rebuilds anyway
+
+  if (candidate_index_.Contains(value)) return;  // its count just grew
+  const Count count = sample_.CountOf(value);
+  if (count == 0) return;  // not admitted to the counting sample
+
+  if (static_cast<std::int64_t>(candidates_.size()) < capacity_) {
+    candidates_.push_back(value);
+    candidate_index_.TryInsert(value, 1);
+    return;
+  }
+  // Fast path: candidate counts only grow between rebuilds, so the cached
+  // minimum is a lower bound on the true minimum — a count at or below it
+  // cannot displace anyone.
+  if (count <= cached_min_count_) return;
+  // Displace the minimum candidate if this value now exceeds it.
+  std::size_t argmin = 0;
+  Count min = std::numeric_limits<Count>::max();
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const Count c = sample_.CountOf(candidates_[i]);
+    if (c < min) {
+      min = c;
+      argmin = i;
+    }
+  }
+  if (count > min) {
+    candidate_index_.Erase(candidates_[argmin]);
+    candidates_[argmin] = value;
+    candidate_index_.TryInsert(value, 1);
+    // The displaced slot now holds `count`; the new minimum is at least the
+    // old one, recomputed cheaply on the next slow path.
+    cached_min_count_ = std::min(min, count);
+  } else {
+    cached_min_count_ = min;
+  }
+}
+
+Status MaintainedHotList::Delete(Value value) {
+  AQUA_RETURN_NOT_OK(sample_.Delete(value));
+  // A shrunken count can invalidate the containment invariant.
+  dirty_ = true;
+  return Status::OK();
+}
+
+void MaintainedHotList::Rebuild() const {
+  candidates_.clear();
+  candidate_index_.Clear();
+  std::vector<ValueCount> entries = sample_.Entries();
+  const auto keep = static_cast<std::size_t>(
+      std::min<std::int64_t>(capacity_,
+                             static_cast<std::int64_t>(entries.size())));
+  std::partial_sort(entries.begin(),
+                    entries.begin() + static_cast<std::ptrdiff_t>(keep),
+                    entries.end(),
+                    [](const ValueCount& a, const ValueCount& b) {
+                      return a.count > b.count ||
+                             (a.count == b.count && a.value < b.value);
+                    });
+  for (std::size_t i = 0; i < keep; ++i) {
+    candidates_.push_back(entries[i].value);
+    candidate_index_.TryInsert(entries[i].value, 1);
+  }
+  cached_min_count_ = keep > 0 ? entries[keep - 1].count : 0;
+  dirty_ = false;
+  ++rebuilds_;
+}
+
+HotList MaintainedHotList::Report(std::int64_t k) const {
+  if (dirty_) Rebuild();
+  k = std::min(k, capacity_);
+  const double c_hat = CountingHotList::Compensation(sample_.Threshold());
+  HotList out;
+  out.reserve(candidates_.size());
+  for (Value v : candidates_) {
+    const Count c = sample_.CountOf(v);
+    if (c == 0) continue;
+    out.push_back(
+        HotListItem{v, static_cast<double>(c) + c_hat, c});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HotListItem& a, const HotListItem& b) {
+              if (a.estimated_count != b.estimated_count) {
+                return a.estimated_count > b.estimated_count;
+              }
+              return a.value < b.value;
+            });
+  if (static_cast<std::int64_t>(out.size()) > k) {
+    out.resize(static_cast<std::size_t>(k));
+  }
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,71 @@
+#ifndef AQUA_HOTLIST_MAINTAINED_HOT_LIST_H_
+#define AQUA_HOTLIST_MAINTAINED_HOT_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "container/flat_hash_map.h"
+#include "core/counting_sample.h"
+#include "hotlist/hot_list.h"
+
+namespace aqua {
+
+/// The §5.1 update-time/response-time trade-off, instantiated: "we can
+/// trade-off update time vs. response time by keeping the concise sample
+/// sorted by counts.  This allows for reporting in O(k) time."
+///
+/// MaintainedHotList wraps a counting sample and keeps a candidate set of
+/// the highest-count values up to date on every insert, so Report() costs
+/// O(K log K) in the candidate capacity K instead of a full O(m) scan and
+/// selection over the synopsis.  The candidate set provably contains the
+/// true top values between rebuilds: a value can only overtake a candidate
+/// by being incremented, and every increment of a non-candidate is checked
+/// against the current minimum candidate count.  Events that shrink counts
+/// out from under the invariant — threshold raises and deletions — mark
+/// the set dirty; the next Report() rebuilds it with one O(m) scan.
+class MaintainedHotList {
+ public:
+  /// `candidate_capacity` K bounds the candidate set; queries may ask for
+  /// up to K values (typically K = a few times the expected query k).
+  MaintainedHotList(const CountingSampleOptions& options,
+                    std::int64_t candidate_capacity);
+
+  /// Observes one insert; O(1) amortized plus an O(K) scan only when a new
+  /// value displaces the minimum candidate.
+  void Insert(Value value);
+
+  /// Observes one delete.  Marks the candidate set dirty (counts shrank).
+  Status Delete(Value value);
+
+  /// Top-k report with the counting-sample compensation ĉ; k is capped at
+  /// the candidate capacity.  O(K log K); O(m) only right after a raise or
+  /// delete.
+  HotList Report(std::int64_t k) const;
+
+  const CountingSample& sample() const { return sample_; }
+
+  /// Candidate-set rebuilds performed so far (for tests/benches).
+  std::int64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  void Rebuild() const;
+  /// Current minimum count across candidates; O(K).
+  Count MinCandidateCount() const;
+
+  CountingSample sample_;
+  std::int64_t capacity_;
+  // Lazily maintained candidate values (mutable: Report() may rebuild).
+  mutable std::vector<Value> candidates_;
+  mutable FlatHashMap<Value, Count> candidate_index_;
+  mutable bool dirty_ = false;
+  mutable std::int64_t rebuilds_ = 0;
+  /// Lower bound on the minimum candidate count (candidate counts only
+  /// grow between rebuilds); lets most non-candidate inserts skip the
+  /// O(K) minimum scan.
+  mutable Count cached_min_count_ = 0;
+  std::int64_t last_raises_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_HOTLIST_MAINTAINED_HOT_LIST_H_

@@ -1,0 +1,40 @@
+#include "hotlist/reporting.h"
+
+#include <algorithm>
+
+#include "container/selection.h"
+
+namespace aqua {
+namespace internal_hotlist {
+
+HotList Report(const std::vector<ValueCount>& entries, std::int64_t k,
+               double count_floor, double scale, double offset) {
+  double cut = count_floor;
+  if (k > 0 && !entries.empty()) {
+    std::vector<Count> counts;
+    counts.reserve(entries.size());
+    for (const ValueCount& e : entries) counts.push_back(e.count);
+    const Count ck = KthLargest(std::move(counts),
+                                static_cast<std::size_t>(k), Count{0});
+    cut = std::max(cut, static_cast<double>(ck));
+  }
+
+  HotList out;
+  for (const ValueCount& e : entries) {
+    if (static_cast<double>(e.count) >= cut) {
+      out.push_back(HotListItem{
+          e.value, static_cast<double>(e.count) * scale + offset, e.count});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HotListItem& a, const HotListItem& b) {
+              if (a.estimated_count != b.estimated_count) {
+                return a.estimated_count > b.estimated_count;
+              }
+              return a.value < b.value;
+            });
+  return out;
+}
+
+}  // namespace internal_hotlist
+}  // namespace aqua

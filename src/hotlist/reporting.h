@@ -1,0 +1,25 @@
+#ifndef AQUA_HOTLIST_REPORTING_H_
+#define AQUA_HOTLIST_REPORTING_H_
+
+#include <vector>
+
+#include "core/value_count.h"
+#include "hotlist/hot_list.h"
+
+namespace aqua {
+namespace internal_hotlist {
+
+/// Shared reporting skeleton for all sample-based hot-list algorithms
+/// (§5.1): compute the k-th largest synopsis count c_k (linear-time
+/// selection), keep every entry whose synopsis count is at least
+/// max(c_k, count_floor), estimate each kept entry's warehouse count as
+/// synopsis_count * scale + offset, and sort nonincreasing by estimate.
+///
+/// k == 0 disables the c_k cut (report everything above the floor).
+HotList Report(const std::vector<ValueCount>& entries, std::int64_t k,
+               double count_floor, double scale, double offset);
+
+}  // namespace internal_hotlist
+}  // namespace aqua
+
+#endif  // AQUA_HOTLIST_REPORTING_H_

@@ -1,0 +1,31 @@
+#include "hotlist/traditional_hot_list.h"
+
+#include <algorithm>
+
+#include "core/value_count.h"
+#include "hotlist/reporting.h"
+
+namespace aqua {
+
+HotList TraditionalHotList::Report(const HotListQuery& query) const {
+  // "Semi-sort" the sample points by value and fold duplicates into
+  // <value, count> pairs.
+  std::vector<Value> points = sample_->Points();
+  std::sort(points.begin(), points.end());
+  std::vector<ValueCount> entries;
+  for (std::size_t i = 0; i < points.size();) {
+    std::size_t j = i;
+    while (j < points.size() && points[j] == points[i]) ++j;
+    entries.push_back(
+        ValueCount{points[i], static_cast<Count>(j - i)});
+    i = j;
+  }
+
+  const auto n = static_cast<double>(sample_->ObservedInserts());
+  const auto m = static_cast<double>(sample_->SampleSize());
+  const double scale = m > 0 ? n / m : 0.0;
+  return internal_hotlist::Report(entries, query.k, query.beta, scale,
+                                  /*offset=*/0.0);
+}
+
+}  // namespace aqua

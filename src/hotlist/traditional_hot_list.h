@@ -1,0 +1,34 @@
+#ifndef AQUA_HOTLIST_TRADITIONAL_HOT_LIST_H_
+#define AQUA_HOTLIST_TRADITIONAL_HOT_LIST_H_
+
+#include "hotlist/hot_list.h"
+#include "sample/reservoir_sample.h"
+
+namespace aqua {
+
+/// Hot lists from a traditional (reservoir) sample (§5.1, "Using
+/// traditional samples"): semi-sort the sample points by value into
+/// <value, count> pairs, compute the k-th largest count c_k, report all
+/// pairs with count at least max(c_k, β), and scale the counts by n/m.
+///
+/// "Note that there may be fewer than k distinct values in the sample, so
+/// fewer than k pairs may be reported" — and with a sample-size of only m,
+/// only a handful of distinct reported counts are possible (each extra
+/// sample point adds n/m to the estimate), producing the characteristic
+/// horizontal rows of Figure 5.
+class TraditionalHotList {
+ public:
+  /// `sample` must outlive this object.
+  explicit TraditionalHotList(const ReservoirSample& sample)
+      : sample_(&sample) {}
+
+  /// Answers a hot list query; O(m log m) in the sample size.
+  HotList Report(const HotListQuery& query) const;
+
+ private:
+  const ReservoirSample* sample_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_HOTLIST_TRADITIONAL_HOT_LIST_H_

@@ -1,0 +1,77 @@
+#include "metrics/hotlist_accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "container/flat_hash_map.h"
+
+namespace aqua {
+
+std::vector<ValueCount> ExactTopK(std::vector<ValueCount> exact_counts,
+                                  std::int64_t k) {
+  std::sort(exact_counts.begin(), exact_counts.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.count > b.count ||
+                     (a.count == b.count && a.value < b.value);
+            });
+  if (k >= 0 && static_cast<std::int64_t>(exact_counts.size()) > k) {
+    // Keep ties at the k-th count: anything with the same count as the
+    // k-th entry still qualifies as a top-k member.
+    const Count cutoff = exact_counts[static_cast<std::size_t>(k - 1)].count;
+    std::size_t end = static_cast<std::size_t>(k);
+    while (end < exact_counts.size() && exact_counts[end].count == cutoff) {
+      ++end;
+    }
+    exact_counts.resize(end);
+  }
+  return exact_counts;
+}
+
+HotListAccuracy EvaluateHotList(const HotList& reported,
+                                const std::vector<ValueCount>& exact_counts,
+                                std::int64_t k) {
+  HotListAccuracy acc;
+  acc.reported = static_cast<std::int64_t>(reported.size());
+
+  FlatHashMap<Value, Count> exact_index;
+  for (const ValueCount& vc : exact_counts) {
+    exact_index.TryInsert(vc.value, vc.count);
+  }
+  const std::vector<ValueCount> top = ExactTopK(exact_counts, k);
+  FlatHashMap<Value, Count> top_index;
+  for (const ValueCount& vc : top) top_index.TryInsert(vc.value, vc.count);
+
+  FlatHashMap<Value, Count> reported_index;
+  double err_sum = 0.0;
+  std::int64_t err_n = 0;
+  for (const HotListItem& item : reported) {
+    reported_index.TryInsert(item.value, 1);
+    if (top_index.Contains(item.value)) {
+      ++acc.true_positives;
+    } else {
+      ++acc.false_positives;
+    }
+    const Count* exact = exact_index.Find(item.value);
+    if (exact != nullptr && *exact > 0) {
+      const double rel = std::abs(item.estimated_count -
+                                  static_cast<double>(*exact)) /
+                         static_cast<double>(*exact);
+      err_sum += rel;
+      acc.max_relative_count_error =
+          std::max(acc.max_relative_count_error, rel);
+      ++err_n;
+    }
+  }
+  acc.mean_relative_count_error = err_n > 0 ? err_sum / err_n : 0.0;
+
+  for (const ValueCount& vc : top) {
+    if (!reported_index.Contains(vc.value)) ++acc.false_negatives;
+  }
+  for (const ValueCount& vc : top) {
+    if (!reported_index.Contains(vc.value)) break;
+    ++acc.correct_prefix;
+  }
+  return acc;
+}
+
+}  // namespace aqua

@@ -1,0 +1,57 @@
+#ifndef AQUA_METRICS_HOTLIST_ACCURACY_H_
+#define AQUA_METRICS_HOTLIST_ACCURACY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/value_count.h"
+#include "hotlist/hot_list.h"
+
+namespace aqua {
+
+/// Accuracy of an approximate hot list against the exact frequencies — the
+/// quantities discussed around Figures 4–6 (false negatives = "gaps in the
+/// values reported", false positives = values "that do not belong among the
+/// k most frequent", count error = "the difference between a reported count
+/// and the top of the histogram box").
+struct HotListAccuracy {
+  std::int64_t reported = 0;
+  /// Reported values that belong to the exact top-k.
+  std::int64_t true_positives = 0;
+  /// Reported values outside the exact top-k.
+  std::int64_t false_positives = 0;
+  /// Exact top-k values that were not reported.
+  std::int64_t false_negatives = 0;
+  /// Longest prefix of the exact top-k that is fully reported ("accurately
+  /// reported the 15 most frequent values").
+  std::int64_t correct_prefix = 0;
+  /// Relative count error |est - exact| / exact over reported true values.
+  double mean_relative_count_error = 0.0;
+  double max_relative_count_error = 0.0;
+
+  double Recall(std::int64_t k) const {
+    return k > 0 ? static_cast<double>(true_positives) /
+                       static_cast<double>(k)
+                 : 0.0;
+  }
+  double Precision() const {
+    return reported > 0 ? static_cast<double>(true_positives) /
+                              static_cast<double>(reported)
+                        : 0.0;
+  }
+};
+
+/// Evaluates `reported` against the exact frequency table for the exact
+/// top-k (ties at the k-th count are all treated as top-k members).
+HotListAccuracy EvaluateHotList(const HotList& reported,
+                                const std::vector<ValueCount>& exact_counts,
+                                std::int64_t k);
+
+/// The exact top-k <value,count> pairs, count-descending (value ascending
+/// tie-break).
+std::vector<ValueCount> ExactTopK(std::vector<ValueCount> exact_counts,
+                                  std::int64_t k);
+
+}  // namespace aqua
+
+#endif  // AQUA_METRICS_HOTLIST_ACCURACY_H_

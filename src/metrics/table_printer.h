@@ -1,0 +1,39 @@
+#ifndef AQUA_METRICS_TABLE_PRINTER_H_
+#define AQUA_METRICS_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aqua {
+
+/// Aligned fixed-column table output for the paper-style benchmark tables
+/// (Tables 1–2, and the per-rank series of Figures 3–6 printed as columns).
+/// Also emits CSV for downstream plotting.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  TablePrinter& AddRow(std::vector<std::string> cells);
+
+  /// Formats helpers for cells.
+  static std::string Num(std::int64_t v);
+  static std::string Num(double v, int precision = 3);
+
+  /// Pretty-prints with padded columns and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Comma-separated output (no padding).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_METRICS_TABLE_PRINTER_H_

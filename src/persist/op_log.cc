@@ -1,0 +1,86 @@
+#include "persist/op_log.h"
+
+#include <fstream>
+#include <iterator>
+
+#include "persist/varint.h"
+
+namespace aqua {
+
+namespace {
+
+/// One op packs into a single varint: kind in bit 0, zigzag(value) above.
+std::uint64_t PackOp(const StreamOp& op) {
+  const std::uint64_t kind_bit =
+      op.kind == StreamOp::Kind::kDelete ? 1u : 0u;
+  return (ZigzagEncode(op.value) << 1) | kind_bit;
+}
+
+StreamOp UnpackOp(std::uint64_t packed) {
+  StreamOp op;
+  op.kind = (packed & 1) ? StreamOp::Kind::kDelete : StreamOp::Kind::kInsert;
+  op.value = ZigzagDecode(packed >> 1);
+  return op;
+}
+
+}  // namespace
+
+OpLogWriter::OpLogWriter(const std::string& path)
+    : path_(path),
+      stream_(path, std::ios::binary | std::ios::trunc) {
+  if (!stream_) {
+    status_ = Status::InvalidArgument("cannot open op log for writing: " +
+                                      path);
+  }
+}
+
+OpLogWriter::~OpLogWriter() { (void)Flush(); }
+
+void OpLogWriter::Append(const StreamOp& op) {
+  PutVarint(PackOp(op), buffer_);
+  ++appended_;
+  if (buffer_.size() >= 1 << 16) (void)Flush();
+}
+
+Status OpLogWriter::Flush() {
+  if (!status_.ok()) return status_;
+  if (!buffer_.empty()) {
+    stream_.write(reinterpret_cast<const char*>(buffer_.data()),
+                  static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+    stream_.flush();
+    if (!stream_) {
+      status_ = Status::Internal("op log write failed: " + path_);
+    }
+  }
+  return status_;
+}
+
+Result<UpdateStream> ReadOpLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open op log: " + path);
+  }
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  VarintReader reader(bytes);
+  UpdateStream ops;
+  while (!reader.AtEnd()) {
+    AQUA_ASSIGN_OR_RETURN(const std::uint64_t packed, reader.Next());
+    ops.push_back(UnpackOp(packed));
+  }
+  return ops;
+}
+
+Status ReplayInto(Synopsis& synopsis, const UpdateStream& ops) {
+  for (const StreamOp& op : ops) {
+    if (op.kind == StreamOp::Kind::kInsert) {
+      synopsis.Insert(op.value);
+    } else {
+      AQUA_RETURN_NOT_OK(synopsis.Delete(op.value));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace aqua

@@ -1,0 +1,60 @@
+#ifndef AQUA_PERSIST_OP_LOG_H_
+#define AQUA_PERSIST_OP_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sample/synopsis.h"
+#include "workload/stream.h"
+
+namespace aqua {
+
+/// An append-only operation log for warehouse load streams (the "logs"
+/// half of footnote 2).  Combined with periodic snapshots, a crashed
+/// approximate answer engine recovers by decoding the latest snapshot and
+/// replaying the log suffix recorded after it — no base-data scan.
+///
+/// On-disk format: a varint record per op — (kind | value-delta zigzag
+/// interleave): kind in the low bit, zigzag(value) above it.  Typical zipf
+/// streams encode in ~1.5 bytes/op.
+class OpLogWriter {
+ public:
+  /// Creates/truncates `path`.  Check status() before use.
+  explicit OpLogWriter(const std::string& path);
+  ~OpLogWriter();
+
+  OpLogWriter(const OpLogWriter&) = delete;
+  OpLogWriter& operator=(const OpLogWriter&) = delete;
+
+  Status status() const { return status_; }
+
+  /// Appends one operation (buffered).
+  void Append(const StreamOp& op);
+
+  /// Flushes buffered records to the file.
+  Status Flush();
+
+  /// Number of ops appended so far.
+  std::int64_t size() const { return appended_; }
+
+ private:
+  std::string path_;
+  std::vector<std::uint8_t> buffer_;
+  std::int64_t appended_ = 0;
+  std::ofstream stream_;
+  Status status_;
+};
+
+/// Reads every op in a log file.  Fails on truncated/corrupt records.
+Result<UpdateStream> ReadOpLog(const std::string& path);
+
+/// Replays `ops` into any synopsis: inserts via Insert(), deletes via
+/// Delete() (which fails for synopses that cannot handle deletions).
+Status ReplayInto(Synopsis& synopsis, const UpdateStream& ops);
+
+}  // namespace aqua
+
+#endif  // AQUA_PERSIST_OP_LOG_H_

@@ -1,0 +1,128 @@
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "persist/varint.h"
+
+namespace aqua {
+namespace {
+
+constexpr std::uint64_t kMagic = 0xA07A;  // "AQUA"-ish
+constexpr std::uint64_t kVersion = 1;
+constexpr std::uint64_t kKindConcise = 1;
+constexpr std::uint64_t kKindCounting = 2;
+
+std::vector<std::uint8_t> EncodeCommon(std::uint64_t kind,
+                                       Words footprint_bound,
+                                       double threshold,
+                                       std::int64_t observed,
+                                       std::vector<ValueCount> entries) {
+  std::vector<std::uint8_t> out;
+  PutVarint(kMagic, out);
+  PutVarint(kVersion, out);
+  PutVarint(kind, out);
+  PutVarint(static_cast<std::uint64_t>(footprint_bound), out);
+  PutVarint(std::bit_cast<std::uint64_t>(threshold), out);
+  PutVarint(static_cast<std::uint64_t>(observed), out);
+  std::sort(entries.begin(), entries.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.value < b.value;
+            });
+  PutVarint(entries.size(), out);
+  Value previous = 0;
+  for (const ValueCount& e : entries) {
+    PutVarintSigned(e.value - previous, out);  // delta from previous value
+    previous = e.value;
+    PutVarint(static_cast<std::uint64_t>(e.count), out);
+  }
+  return out;
+}
+
+struct DecodedSnapshot {
+  std::uint64_t kind = 0;
+  Words footprint_bound = 0;
+  double threshold = 1.0;
+  std::int64_t observed = 0;
+  std::vector<ValueCount> entries;
+};
+
+Result<DecodedSnapshot> DecodeCommon(const std::vector<std::uint8_t>& bytes,
+                                     std::uint64_t expected_kind) {
+  VarintReader reader(bytes);
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t magic, reader.Next());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not an aqua snapshot (bad magic)");
+  }
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t version, reader.Next());
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  DecodedSnapshot snap;
+  AQUA_ASSIGN_OR_RETURN(snap.kind, reader.Next());
+  if (snap.kind != expected_kind) {
+    return Status::InvalidArgument("snapshot holds a different synopsis kind");
+  }
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t bound, reader.Next());
+  snap.footprint_bound = static_cast<Words>(bound);
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t threshold_bits, reader.Next());
+  snap.threshold = std::bit_cast<double>(threshold_bits);
+  if (!std::isfinite(snap.threshold) || snap.threshold < 1.0) {
+    return Status::InvalidArgument("corrupt snapshot threshold");
+  }
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t observed, reader.Next());
+  snap.observed = static_cast<std::int64_t>(observed);
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t n_entries, reader.Next());
+  snap.entries.reserve(n_entries);
+  Value previous = 0;
+  for (std::uint64_t i = 0; i < n_entries; ++i) {
+    AQUA_ASSIGN_OR_RETURN(const std::int64_t delta, reader.NextSigned());
+    AQUA_ASSIGN_OR_RETURN(const std::uint64_t count, reader.Next());
+    previous += delta;
+    snap.entries.push_back(
+        ValueCount{previous, static_cast<Count>(count)});
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot");
+  }
+  return snap;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeSnapshot(const ConciseSample& sample) {
+  return EncodeCommon(kKindConcise, sample.FootprintBound(),
+                      sample.Threshold(), sample.ObservedInserts(),
+                      sample.Entries());
+}
+
+std::vector<std::uint8_t> EncodeSnapshot(const CountingSample& sample) {
+  return EncodeCommon(kKindCounting, sample.FootprintBound(),
+                      sample.Threshold(), sample.ObservedInserts(),
+                      sample.Entries());
+}
+
+Result<ConciseSample> DecodeConciseSnapshot(
+    const std::vector<std::uint8_t>& bytes, std::uint64_t seed) {
+  AQUA_ASSIGN_OR_RETURN(const DecodedSnapshot snap,
+                        DecodeCommon(bytes, kKindConcise));
+  ConciseSampleOptions options;
+  options.footprint_bound = snap.footprint_bound;
+  options.seed = seed;
+  return ConciseSample::Restore(options, snap.threshold, snap.observed,
+                                snap.entries);
+}
+
+Result<CountingSample> DecodeCountingSnapshot(
+    const std::vector<std::uint8_t>& bytes, std::uint64_t seed) {
+  AQUA_ASSIGN_OR_RETURN(const DecodedSnapshot snap,
+                        DecodeCommon(bytes, kKindCounting));
+  CountingSampleOptions options;
+  options.footprint_bound = snap.footprint_bound;
+  options.seed = seed;
+  return CountingSample::Restore(options, snap.threshold, snap.observed,
+                                 snap.entries);
+}
+
+}  // namespace aqua

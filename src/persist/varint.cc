@@ -1,0 +1,38 @@
+#include "persist/varint.h"
+
+namespace aqua {
+
+void PutVarint(std::uint64_t value, std::vector<std::uint8_t>& out) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+void PutVarintSigned(std::int64_t value, std::vector<std::uint8_t>& out) {
+  PutVarint(ZigzagEncode(value), out);
+}
+
+Result<std::uint64_t> VarintReader::Next() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (position_ < size_) {
+    const std::uint8_t byte = data_[position_++];
+    if (shift == 63 && (byte & 0x7E) != 0) {
+      return Status::OutOfRange("varint overflows 64 bits");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) return Status::OutOfRange("varint too long");
+  }
+  return Status::OutOfRange("truncated varint");
+}
+
+Result<std::int64_t> VarintReader::NextSigned() {
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t raw, Next());
+  return ZigzagDecode(raw);
+}
+
+}  // namespace aqua

@@ -1,0 +1,60 @@
+#ifndef AQUA_PERSIST_VARINT_H_
+#define AQUA_PERSIST_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqua {
+
+/// LEB128 variable-length integer coding — the paper's footnote 3
+/// ("variable-length encoding could be used for the counts, so that only
+/// ⌈lg x⌉ bits are needed to store x as a count; this reduces the footprint
+/// but complicates the memory management").  We use it for the persistence
+/// layer (snapshots and operation logs), where compactness is free: counts
+/// and delta-coded values shrink to 1-2 bytes each in practice.
+
+/// Appends `value` to `out` as unsigned LEB128 (7 bits per byte).
+void PutVarint(std::uint64_t value, std::vector<std::uint8_t>& out);
+
+/// Appends a signed value with zigzag coding.
+void PutVarintSigned(std::int64_t value, std::vector<std::uint8_t>& out);
+
+/// Cursor over an encoded buffer.
+class VarintReader {
+ public:
+  VarintReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit VarintReader(const std::vector<std::uint8_t>& buffer)
+      : VarintReader(buffer.data(), buffer.size()) {}
+
+  /// Reads the next unsigned varint; OutOfRange at end or on overlong
+  /// encodings.
+  Result<std::uint64_t> Next();
+
+  /// Reads the next zigzag-coded signed varint.
+  Result<std::int64_t> NextSigned();
+
+  bool AtEnd() const { return position_ == size_; }
+  std::size_t position() const { return position_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t position_ = 0;
+};
+
+/// Zigzag transforms (exposed for tests).
+inline std::uint64_t ZigzagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t ZigzagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace aqua
+
+#endif  // AQUA_PERSIST_VARINT_H_

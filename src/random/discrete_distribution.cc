@@ -1,0 +1,50 @@
+#include "random/discrete_distribution.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace aqua {
+
+DiscreteDistribution::DiscreteDistribution(
+    const std::vector<double>& weights) {
+  AQUA_CHECK(!weights.empty()) << "empty weight vector";
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  AQUA_CHECK(total > 0.0) << "weights must have positive total";
+
+  const std::size_t k = weights.size();
+  normalized_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    AQUA_CHECK(weights[i] >= 0.0) << "negative weight at index" << i;
+    normalized_[i] = weights[i] / total;
+  }
+
+  // Vose's stable construction of the alias table.
+  probability_.assign(k, 0.0);
+  alias_.assign(k, 0);
+  std::vector<double> scaled(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(k);
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly 1 up to rounding.
+  for (std::uint32_t i : large) probability_[i] = 1.0;
+  for (std::uint32_t i : small) probability_[i] = 1.0;
+}
+
+}  // namespace aqua

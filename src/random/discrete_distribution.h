@@ -1,0 +1,42 @@
+#ifndef AQUA_RANDOM_DISCRETE_DISTRIBUTION_H_
+#define AQUA_RANDOM_DISCRETE_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/random.h"
+
+namespace aqua {
+
+/// Walker's alias method: O(K) construction, O(1) sampling from an arbitrary
+/// finite discrete distribution (cf. Matias, Vitter & Ni [MVN93], which the
+/// paper cites for dynamic discrete variate generation; our workloads are
+/// static per experiment, so the static alias table suffices).
+class DiscreteDistribution {
+ public:
+  /// Builds the alias table from non-negative weights (need not be
+  /// normalized).  At least one weight must be positive.
+  explicit DiscreteDistribution(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight, using exactly one uniform draw.
+  std::size_t Sample(Random& random) const {
+    const std::size_t k =
+        static_cast<std::size_t>(random.UniformU64(probability_.size()));
+    return random.NextDouble() < probability_[k] ? k : alias_[k];
+  }
+
+  std::size_t size() const { return probability_.size(); }
+
+  /// Normalized probability of outcome `i` (for tests and analysis).
+  double ProbabilityOf(std::size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> probability_;   // acceptance probability per bucket
+  std::vector<std::uint32_t> alias_;  // alternative outcome per bucket
+  std::vector<double> normalized_;    // exact normalized pmf
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_RANDOM_DISCRETE_DISTRIBUTION_H_

@@ -1,0 +1,42 @@
+#ifndef AQUA_RANDOM_EXPONENTIAL_VALUES_H_
+#define AQUA_RANDOM_EXPONENTIAL_VALUES_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "random/random.h"
+
+namespace aqua {
+
+/// The family of exponential value distributions of Theorem 3:
+/// P(v = i) = α^{-i} (α - 1) for i = 1, 2, …, with α > 1.
+///
+/// This is exactly a shifted geometric distribution with success probability
+/// (α - 1)/α, so draws are exact and O(1).  Theorem 3: a concise sample of
+/// footprint m over such data has expected sample-size ≥ α^{m/2}.
+class ExponentialValueDistribution {
+ public:
+  explicit ExponentialValueDistribution(double alpha) : alpha_(alpha) {
+    AQUA_CHECK(alpha > 1.0) << "Theorem 3 requires alpha > 1";
+  }
+
+  /// Draws a value in {1, 2, …}.
+  std::int64_t Sample(Random& random) const {
+    return 1 + random.Geometric((alpha_ - 1.0) / alpha_);
+  }
+
+  /// P(v = i).
+  double ProbabilityOf(std::int64_t i) const {
+    AQUA_DCHECK_GE(i, 1);
+    return std::pow(alpha_, static_cast<double>(-i)) * (alpha_ - 1.0);
+  }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_RANDOM_EXPONENTIAL_VALUES_H_

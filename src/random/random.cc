@@ -1,0 +1,45 @@
+#include "random/random.h"
+
+namespace aqua {
+
+std::int64_t Random::Binomial(std::int64_t n, double p) {
+  AQUA_DCHECK_GE(n, 0);
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+
+  // Count the rarer outcome so the expected work is min(np, n(1-p)) + 1.
+  const bool reflected = p > 0.5;
+  const double q = reflected ? 1.0 - p : p;
+
+  // Sum geometric gaps: positions of successes are separated by
+  // Geometric(q) failures.  Stops once the positions pass n.
+  std::int64_t successes = 0;
+  std::int64_t position = 0;
+  while (true) {
+    position += Geometric(q) + 1;  // position of the next success (1-based)
+    if (position > n) break;
+    ++successes;
+  }
+  return reflected ? n - successes : successes;
+}
+
+double Random::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method: two independent normals per accepted pair.
+  while (true) {
+    const double u = 2.0 * NextDouble() - 1.0;
+    const double v = 2.0 * NextDouble() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      const double scale = std::sqrt(-2.0 * std::log(s) / s);
+      cached_normal_ = v * scale;
+      have_cached_normal_ = true;
+      return u * scale;
+    }
+  }
+}
+
+}  // namespace aqua

@@ -1,0 +1,128 @@
+#ifndef AQUA_RANDOM_RANDOM_H_
+#define AQUA_RANDOM_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+#include "random/xoshiro256.h"
+
+namespace aqua {
+
+/// Façade over the PRNG engine providing every primitive draw the library
+/// needs: uniform words, unbiased bounded integers (Lemire's method),
+/// doubles in [0,1), Bernoulli trials, exact geometric and binomial
+/// variates, and unit exponentials.
+///
+/// Every public draw method increments a "coin flip" counter exactly once
+/// per logical draw (a geometric skip is one draw; an exact binomial counts
+/// its internal geometric draws).  This is the paper's abstract update-cost
+/// measure: "the number of instructions executed by the algorithm is
+/// directly proportional to the number of coin flips and lookups" (§3.3,
+/// Table 1).
+///
+/// One Random instance is single-threaded; components that need independent
+/// streams should derive child seeds via Fork().
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = kDefaultSeed) : engine_(seed) {}
+
+  /// Next raw 64 random bits.
+  std::uint64_t NextU64() {
+    ++flips_;
+    return engine_();
+  }
+
+  /// Uniform double in [0, 1), 53 bits of precision.
+  double NextDouble() {
+    ++flips_;
+    return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1] — safe as an argument to log().
+  double NextDoublePositive() {
+    ++flips_;
+    return (static_cast<double>(engine_() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire 2019).
+  /// `bound` must be positive.  Counts as one draw.
+  std::uint64_t UniformU64(std::uint64_t bound) {
+    AQUA_DCHECK_GT(bound, 0u);
+    ++flips_;
+    unsigned __int128 m = static_cast<unsigned __int128>(engine_()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(engine_()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Counts as one draw.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    AQUA_DCHECK_LE(lo, hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(NextU64());
+    return lo + static_cast<std::int64_t>(UniformU64(span));
+  }
+
+  /// One coin flip with heads probability `p` (clamped to [0,1]).
+  /// Degenerate probabilities consume no randomness and count no draw.
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Number of failures before the first success in independent trials with
+  /// success probability `p` — the "skip count" of Vitter's Algorithm X:
+  /// P(G = i) = (1-p)^i p.  Requires 0 < p <= 1.  Counts as one draw.
+  std::int64_t Geometric(double p) {
+    AQUA_DCHECK_GT(p, 0.0);
+    if (p >= 1.0) return 0;
+    // Inversion: floor(log(U) / log(1-p)) with U in (0,1].
+    const double g =
+        std::floor(std::log(NextDoublePositive()) / std::log1p(-p));
+    // Guard against rare floating pathologies producing a negative value.
+    return g < 0 ? 0 : static_cast<std::int64_t>(g);
+  }
+
+  /// Exact binomial variate: number of successes in n trials with success
+  /// probability p.
+  ///
+  /// Strategy: reflect so that the counted outcome is the rarer one, then
+  /// count successes by summing geometric inter-arrival gaps — exact for all
+  /// n, p, with O(n·min(p,1-p) + 1) draws.
+  std::int64_t Binomial(std::int64_t n, double p);
+
+  /// Unit-rate exponential variate.
+  double Exponential() { return -std::log(NextDoublePositive()); }
+
+  /// Standard normal variate (Marsaglia polar method).
+  double Normal();
+
+  /// Derives an independent child seed; deterministic given this stream.
+  std::uint64_t Fork() { return NextU64(); }
+
+  /// Total logical draws made so far (the paper's coin-flip count).
+  std::int64_t FlipCount() const { return flips_; }
+  void ResetFlipCount() { flips_ = 0; }
+
+  Xoshiro256& engine() { return engine_; }
+
+ private:
+  static constexpr std::uint64_t kDefaultSeed = 0x19980531ULL;  // SIGMOD'98
+
+  Xoshiro256 engine_;
+  std::int64_t flips_ = 0;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_RANDOM_RANDOM_H_

@@ -1,0 +1,83 @@
+#ifndef AQUA_RANDOM_SKIP_SAMPLER_H_
+#define AQUA_RANDOM_SKIP_SAMPLER_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "random/random.h"
+
+namespace aqua {
+
+/// Geometric skip counting (the coin-flip economization of §3.1, following
+/// Vitter's reservoir Algorithm X [Vit85]).
+///
+/// Instead of flipping a coin with heads probability 1/τ for every stream
+/// element, one random draw determines how many elements to skip before the
+/// next heads: P(skip exactly i) = (1 - 1/τ)^i · (1/τ).  "As τ gets large,
+/// this results in a significant savings in the number of coin flips and
+/// hence the update time."
+///
+/// The sampler exposes a countdown interface: ShouldSelect() is called once
+/// per stream element and returns true only on the elements a per-element
+/// Bernoulli(1/τ) process would have selected.  Changing the selection
+/// probability (a threshold raise) discards the pending skip and redraws,
+/// which preserves correctness because the pending skip was drawn for the
+/// old probability.
+///
+/// The sampler holds no reference to the Random engine — the caller passes
+/// it per call — so objects embedding both a Random and a SkipSampler stay
+/// trivially movable.
+///
+/// DrawCount() counts the random draws taken — the paper's "coin flips"
+/// overhead measure (Table 1): "the number of coin flips is a good measure
+/// of the update time overheads."
+class SkipSampler {
+ public:
+  /// `probability` in (0, 1].  Draws the initial skip from `random`.
+  SkipSampler(Random& random, double probability) {
+    Reset(random, probability);
+  }
+
+  /// Replaces the selection probability and redraws the pending skip.
+  void Reset(Random& random, double probability) {
+    AQUA_CHECK(probability > 0.0 && probability <= 1.0)
+        << "selection probability out of range:" << probability;
+    probability_ = probability;
+    Redraw(random);
+  }
+
+  /// Consumes one stream element; true iff this element is selected.
+  bool ShouldSelect(Random& random) {
+    if (remaining_ > 0) {
+      --remaining_;
+      return false;
+    }
+    Redraw(random);
+    return true;
+  }
+
+  double probability() const { return probability_; }
+
+  /// Random draws taken so far (one per geometric redraw).
+  std::int64_t DrawCount() const { return draws_; }
+
+  void ResetDrawCount() { draws_ = 0; }
+
+ private:
+  void Redraw(Random& random) {
+    if (probability_ >= 1.0) {
+      remaining_ = 0;
+      return;  // Selecting everything needs no randomness at all.
+    }
+    remaining_ = random.Geometric(probability_);
+    ++draws_;
+  }
+
+  double probability_ = 1.0;
+  std::int64_t remaining_ = 0;
+  std::int64_t draws_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_RANDOM_SKIP_SAMPLER_H_

@@ -1,0 +1,82 @@
+#ifndef AQUA_RANDOM_XOSHIRO256_H_
+#define AQUA_RANDOM_XOSHIRO256_H_
+
+#include <array>
+#include <cstdint>
+
+namespace aqua {
+
+/// SplitMix64 step: used to expand a single 64-bit seed into engine state
+/// (the recommended seeding procedure for the xoshiro family).
+inline std::uint64_t SplitMix64Next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ 1.0 — a fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can also
+/// feed <random> distributions where convenient.
+///
+/// All randomized components of the library take an explicit seed and route
+/// their draws through one engine instance, so every experiment is
+/// reproducible bit-for-bit.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64Next(sm);
+    // An all-zero state is invalid for the xoshiro family (it is a fixed
+    // point); SplitMix64 cannot produce four zero outputs from any seed, so
+    // no further handling is required, but we keep a defensive fixup.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Advances the engine 2^128 steps; yields non-overlapping subsequences
+  /// for parallel trials that share a seed.
+  void Jump() {
+    static constexpr std::uint64_t kJump[] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          for (int i = 0; i < 4; ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_RANDOM_XOSHIRO256_H_

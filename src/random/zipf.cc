@@ -1,0 +1,27 @@
+#include "random/zipf.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aqua {
+
+std::vector<double> ZipfDistribution::Pmf(std::int64_t domain_size,
+                                          double alpha) {
+  AQUA_CHECK_GE(domain_size, 1);
+  AQUA_CHECK_GE(alpha, 0.0);
+  std::vector<double> pmf(static_cast<std::size_t>(domain_size));
+  double total = 0.0;
+  for (std::int64_t i = 1; i <= domain_size; ++i) {
+    const double w = std::pow(static_cast<double>(i), -alpha);
+    pmf[static_cast<std::size_t>(i - 1)] = w;
+    total += w;
+  }
+  for (double& p : pmf) p /= total;
+  return pmf;
+}
+
+ZipfDistribution::ZipfDistribution(std::int64_t domain_size, double alpha)
+    : alpha_(alpha), table_(Pmf(domain_size, alpha)) {}
+
+}  // namespace aqua

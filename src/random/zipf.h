@@ -1,0 +1,48 @@
+#ifndef AQUA_RANDOM_ZIPF_H_
+#define AQUA_RANDOM_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "random/discrete_distribution.h"
+#include "random/random.h"
+
+namespace aqua {
+
+/// Zipf(α) distribution over the integer domain [1, D]:
+/// P(v = i) ∝ i^{-α}.  α = 0 is the uniform distribution; the paper sweeps
+/// α from 0 to 3 in increments of 0.25 (§3.3, §5.3).
+///
+/// Sampling is O(1) via an alias table built in O(D).
+class ZipfDistribution {
+ public:
+  /// `domain_size` = D ≥ 1; `alpha` = the zipf parameter ≥ 0.
+  ZipfDistribution(std::int64_t domain_size, double alpha);
+
+  /// Draws a value in [1, D] (rank 1 is the most frequent value).
+  std::int64_t Sample(Random& random) const {
+    return static_cast<std::int64_t>(table_.Sample(random)) + 1;
+  }
+
+  /// Exact probability of value i (1-based).
+  double ProbabilityOf(std::int64_t i) const {
+    return table_.ProbabilityOf(static_cast<std::size_t>(i - 1));
+  }
+
+  std::int64_t domain_size() const {
+    return static_cast<std::int64_t>(table_.size());
+  }
+  double alpha() const { return alpha_; }
+
+  /// The normalized pmf p_1 ≥ p_2 ≥ … ≥ p_D (useful for analytic
+  /// expectations, e.g. Theorem 4 evaluation).
+  static std::vector<double> Pmf(std::int64_t domain_size, double alpha);
+
+ private:
+  double alpha_;
+  DiscreteDistribution table_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_RANDOM_ZIPF_H_

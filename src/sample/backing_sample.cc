@@ -1,0 +1,96 @@
+#include "sample/backing_sample.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aqua {
+
+BackingSample::BackingSample(std::int64_t capacity,
+                             std::int64_t low_watermark, std::uint64_t seed)
+    : capacity_(capacity), low_watermark_(low_watermark), random_(seed) {
+  AQUA_CHECK_GE(capacity, 1);
+  AQUA_CHECK_GE(low_watermark, 0);
+  AQUA_CHECK_LE(low_watermark, capacity);
+  points_.reserve(static_cast<std::size_t>(capacity));
+}
+
+void BackingSample::Insert(Value value) {
+  ++observed_inserts_;
+  ++relation_size_;
+  if (SampleSize() < capacity_ && SampleSize() == relation_size_ - 1) {
+    // Still in the phase where the sample holds the entire relation.
+    points_.push_back(value);
+    return;
+  }
+  if (SampleSize() < capacity_) {
+    // Deletions shrank the sample below capacity: each new tuple enters
+    // with probability sample-size/|R| to stay uniform ([GMP97b] §3.2-style
+    // handling; the sample regrows only via Repopulate()).
+    ++cost_.coin_flips;
+    if (random_.Bernoulli(static_cast<double>(SampleSize() + 1) /
+                          static_cast<double>(relation_size_))) {
+      points_.push_back(value);
+    }
+    return;
+  }
+  // Standard reservoir step at capacity m over relation of size |R|.
+  ++cost_.coin_flips;
+  const auto j = static_cast<std::int64_t>(
+      random_.UniformU64(static_cast<std::uint64_t>(relation_size_)));
+  if (j < capacity_) points_[static_cast<std::size_t>(j)] = value;
+}
+
+Status BackingSample::Delete(Value value) {
+  (void)value;
+  return Status::FailedPrecondition(
+      "backing-sample deletes need the pre-delete frequency; "
+      "use DeleteWithFrequency");
+}
+
+Status BackingSample::DeleteWithFrequency(Value value,
+                                          Count frequency_before) {
+  if (frequency_before <= 0) {
+    return Status::InvalidArgument(
+        "delete of a value with non-positive frequency");
+  }
+  --relation_size_;
+  ++cost_.lookups;
+  const auto in_sample = static_cast<Count>(
+      std::count(points_.begin(), points_.end(), value));
+  if (in_sample == 0) return Status::OK();
+  ++cost_.coin_flips;
+  if (random_.Bernoulli(static_cast<double>(in_sample) /
+                        static_cast<double>(frequency_before))) {
+    auto it = std::find(points_.begin(), points_.end(), value);
+    AQUA_DCHECK(it != points_.end());
+    *it = points_.back();
+    points_.pop_back();
+  }
+  return Status::OK();
+}
+
+void BackingSample::Repopulate(std::span<const Value> base_data) {
+  points_.clear();
+  relation_size_ = static_cast<std::int64_t>(base_data.size());
+  const std::int64_t take =
+      std::min<std::int64_t>(capacity_, relation_size_);
+  // Floyd's algorithm for a uniform sample without replacement would need a
+  // hash set; with m << n a partial Fisher-Yates over indices is simplest.
+  std::vector<std::int64_t> indices(base_data.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<std::int64_t>(i);
+  }
+  for (std::int64_t i = 0; i < take; ++i) {
+    const auto j = i + static_cast<std::int64_t>(random_.UniformU64(
+                           static_cast<std::uint64_t>(
+                               relation_size_ - i)));
+    std::swap(indices[static_cast<std::size_t>(i)],
+              indices[static_cast<std::size_t>(j)]);
+    points_.push_back(base_data[static_cast<std::size_t>(
+        indices[static_cast<std::size_t>(i)])]);
+    ++cost_.coin_flips;
+  }
+}
+
+}  // namespace aqua

@@ -1,0 +1,80 @@
+#ifndef AQUA_SAMPLE_BACKING_SAMPLE_H_
+#define AQUA_SAMPLE_BACKING_SAMPLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "random/random.h"
+#include "sample/synopsis.h"
+
+namespace aqua {
+
+/// A backing sample [GMP97b]: a uniform random sample of a relation that is
+/// kept up-to-date under both insertions and deletions, used to refresh
+/// derived synopses (e.g. equi-depth histograms, histogram/) without
+/// touching the base data.  §2 notes "a concise sample could be used as a
+/// backing sample, for more sample points for the same footprint"; this
+/// class is the traditional-sample version we compare against.
+///
+/// Maintenance:
+///  - Inserts follow reservoir sampling with respect to the current relation
+///    size.
+///  - A delete of value v removes one sample point holding v with
+///    probability (#sample points with value v) / f_v, where f_v is the
+///    value's frequency before the delete — exactly the probability that the
+///    deleted tuple was one of the sampled tuples.  The caller supplies f_v
+///    (the warehouse tracks exact frequencies).
+///  - Deletions shrink the sample; when it drops below the low watermark the
+///    owner must Repopulate() from the base data (the one operation
+///    [GMP97b] cannot avoid).
+class BackingSample final : public Synopsis {
+ public:
+  /// `capacity` = target sample-size m; `low_watermark` < capacity triggers
+  /// NeedsRepopulation() once deletions shrink the sample below it.
+  BackingSample(std::int64_t capacity, std::int64_t low_watermark,
+                std::uint64_t seed);
+
+  std::string_view Name() const override { return "backing-sample"; }
+
+  void Insert(Value value) override;
+
+  /// Unsupported without the frequency hint; use DeleteWithFrequency.
+  Status Delete(Value value) override;
+
+  /// Observes a delete of `value` whose frequency in the relation *before*
+  /// the delete was `frequency_before`.
+  Status DeleteWithFrequency(Value value, Count frequency_before);
+
+  Words Footprint() const override { return capacity_; }
+  const UpdateCost& Cost() const override { return cost_; }
+  std::int64_t ObservedInserts() const override { return observed_inserts_; }
+
+  std::int64_t SampleSize() const {
+    return static_cast<std::int64_t>(points_.size());
+  }
+  const std::vector<Value>& Points() const { return points_; }
+
+  bool NeedsRepopulation() const {
+    return SampleSize() < low_watermark_ && relation_size_ > SampleSize();
+  }
+
+  /// Rebuilds the sample as a fresh uniform sample (without replacement) of
+  /// `base_data`, which must be the relation's current contents.
+  void Repopulate(std::span<const Value> base_data);
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t low_watermark_;
+  Random random_;
+  std::vector<Value> points_;
+  std::int64_t observed_inserts_ = 0;
+  std::int64_t relation_size_ = 0;  // inserts minus deletes
+  UpdateCost cost_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SAMPLE_BACKING_SAMPLE_H_

@@ -1,0 +1,61 @@
+#ifndef AQUA_SAMPLE_BERNOULLI_SAMPLE_H_
+#define AQUA_SAMPLE_BERNOULLI_SAMPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "random/random.h"
+#include "random/skip_sampler.h"
+#include "sample/synopsis.h"
+
+namespace aqua {
+
+/// A Bernoulli (binomial) sample: every inserted value is retained
+/// independently with a fixed probability p.  Unlike a reservoir sample its
+/// size is not bounded — it grows as p·n in expectation — so it is used as a
+/// test fixture and as the reference process in statistical tests of the
+/// threshold-based synopses (a concise sample under a *fixed* threshold τ is
+/// exactly a Bernoulli(1/τ) sample in concise representation).
+class BernoulliSample final : public Synopsis {
+ public:
+  BernoulliSample(double probability, std::uint64_t seed)
+      : probability_(probability),
+        random_(seed),
+        skips_(random_, probability) {
+    AQUA_CHECK(probability > 0.0 && probability <= 1.0);
+  }
+
+  std::string_view Name() const override { return "bernoulli-sample"; }
+
+  void Insert(Value value) override {
+    ++observed_;
+    if (skips_.ShouldSelect(random_)) points_.push_back(value);
+    cost_.coin_flips = skips_.DrawCount();
+  }
+
+  Words Footprint() const override {
+    return static_cast<Words>(points_.size());
+  }
+
+  const UpdateCost& Cost() const override { return cost_; }
+
+  std::int64_t ObservedInserts() const override { return observed_; }
+
+  const std::vector<Value>& Points() const { return points_; }
+
+  double probability() const { return probability_; }
+
+ private:
+  double probability_;
+  Random random_;
+  SkipSampler skips_;
+  std::vector<Value> points_;
+  std::int64_t observed_ = 0;
+  UpdateCost cost_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SAMPLE_BERNOULLI_SAMPLE_H_

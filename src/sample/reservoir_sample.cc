@@ -1,0 +1,101 @@
+#include "sample/reservoir_sample.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace aqua {
+
+ReservoirSample::ReservoirSample(std::int64_t capacity, std::uint64_t seed,
+                                 ReservoirAlgorithm algorithm)
+    : capacity_(capacity), algorithm_(algorithm), random_(seed) {
+  AQUA_CHECK_GE(capacity, 1);
+  points_.reserve(static_cast<std::size_t>(capacity));
+}
+
+void ReservoirSample::Insert(Value value) {
+  ++observed_;
+  if (SampleSize() < capacity_) {
+    points_.push_back(value);
+    // Transitioning to the steady state: prime the skip counter.
+    if (SampleSize() == capacity_ &&
+        algorithm_ != ReservoirAlgorithm::kR) {
+      if (algorithm_ == ReservoirAlgorithm::kX) {
+        ComputeSkipX();
+      } else {
+        w_ = std::exp(std::log(random_.NextDoublePositive()) /
+                      static_cast<double>(capacity_));
+        ++cost_.coin_flips;
+        ComputeSkipL();
+      }
+    }
+    return;
+  }
+  if (algorithm_ == ReservoirAlgorithm::kR) {
+    InsertAlgorithmR(value);
+  } else {
+    InsertWithSkips(value);
+  }
+}
+
+void ReservoirSample::InsertAlgorithmR(Value value) {
+  // Record t (1-based) replaces a uniformly random slot with prob m/t.
+  const auto slot =
+      static_cast<std::int64_t>(random_.UniformU64(
+          static_cast<std::uint64_t>(observed_)));
+  ++cost_.coin_flips;
+  if (slot < capacity_) points_[static_cast<std::size_t>(slot)] = value;
+}
+
+void ReservoirSample::InsertWithSkips(Value value) {
+  if (skip_ > 0) {
+    --skip_;
+    return;
+  }
+  const auto slot = static_cast<std::size_t>(
+      random_.UniformU64(static_cast<std::uint64_t>(capacity_)));
+  ++cost_.coin_flips;
+  points_[slot] = value;
+  if (algorithm_ == ReservoirAlgorithm::kX) {
+    ComputeSkipX();
+  } else {
+    ComputeSkipL();
+    w_ *= std::exp(std::log(random_.NextDoublePositive()) /
+                   static_cast<double>(capacity_));
+    ++cost_.coin_flips;
+  }
+}
+
+void ReservoirSample::ComputeSkipX() {
+  // Algorithm X [Vit85]: with t records processed, the number of records to
+  // skip before the next replacement is the smallest g >= 0 with
+  //   prod_{i=1}^{g+1} (t + i - m) / (t + i)  <=  V,   V ~ U(0,1).
+  // Found by sequential search; costs exactly one uniform draw.
+  const double v = random_.NextDoublePositive();
+  ++cost_.coin_flips;
+  const double t = static_cast<double>(observed_);
+  const double m = static_cast<double>(capacity_);
+  double quot = (t + 1.0 - m) / (t + 1.0);
+  std::int64_t g = 0;
+  while (quot > v) {
+    ++g;
+    quot *= (t + 1.0 + static_cast<double>(g) - m) /
+            (t + 1.0 + static_cast<double>(g));
+  }
+  skip_ = g;
+}
+
+void ReservoirSample::ComputeSkipL() {
+  // Algorithm L: skip ~ floor(log U / log(1 - w)).
+  const double u = random_.NextDoublePositive();
+  ++cost_.coin_flips;
+  const double denom = std::log1p(-w_);
+  if (denom >= 0.0) {  // w_ == 0 can only arise from underflow
+    skip_ = 0;
+    return;
+  }
+  const double g = std::floor(std::log(u) / denom);
+  skip_ = g < 0 ? 0 : static_cast<std::int64_t>(g);
+}
+
+}  // namespace aqua

@@ -1,0 +1,85 @@
+#ifndef AQUA_SAMPLE_RESERVOIR_SAMPLE_H_
+#define AQUA_SAMPLE_RESERVOIR_SAMPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "random/random.h"
+#include "sample/synopsis.h"
+#include "sample/update_cost.h"
+
+namespace aqua {
+
+/// Reservoir sampling algorithm variants [Vit85].
+enum class ReservoirAlgorithm {
+  /// Algorithm R: one uniform draw per stream record.
+  kR,
+  /// Algorithm X: geometric-style skip counting via sequential search; one
+  /// uniform draw per *replacement*, not per record.  This is the variant
+  /// the paper's "traditional" baseline uses and whose draw counts underlie
+  /// Tables 1–2.
+  kX,
+  /// Algorithm L (Li 1994): skip counting in O(1) draws per replacement via
+  /// inversion.  Post-dates the paper; serves the same role as Vitter's
+  /// Algorithm Z (fewer draws for huge streams) with a simpler derivation.
+  kL,
+};
+
+/// A traditional uniform random sample of fixed sample-size m maintained
+/// under insertions with reservoir sampling [Vit85].
+///
+/// For a traditional sample the sample-size equals the footprint (§1.1): m
+/// sample points occupy m words.  This is the baseline that concise and
+/// counting samples are measured against.
+class ReservoirSample final : public Synopsis {
+ public:
+  /// `capacity` = m ≥ 1 sample points; `seed` makes the stream reproducible.
+  ReservoirSample(std::int64_t capacity, std::uint64_t seed,
+                  ReservoirAlgorithm algorithm = ReservoirAlgorithm::kX);
+
+  std::string_view Name() const override { return "traditional-sample"; }
+
+  void Insert(Value value) override;
+
+  /// Footprint = capacity in words (one word per sample point slot).  The
+  /// paper charges the traditional baseline its full prespecified footprint.
+  Words Footprint() const override { return capacity_; }
+
+  const UpdateCost& Cost() const override { return cost_; }
+
+  std::int64_t ObservedInserts() const override { return observed_; }
+
+  /// Number of sample points currently held (= min(n, m)).
+  std::int64_t SampleSize() const {
+    return static_cast<std::int64_t>(points_.size());
+  }
+
+  std::int64_t Capacity() const { return capacity_; }
+
+  /// The sample points, in reservoir order (not sorted).
+  const std::vector<Value>& Points() const { return points_; }
+
+  ReservoirAlgorithm algorithm() const { return algorithm_; }
+
+ private:
+  void InsertAlgorithmR(Value value);
+  void InsertWithSkips(Value value);
+  void ComputeSkipX();
+  void ComputeSkipL();
+
+  std::int64_t capacity_;
+  ReservoirAlgorithm algorithm_;
+  Random random_;
+  std::vector<Value> points_;
+  std::int64_t observed_ = 0;
+  // Records to pass over before the next replacement (Algorithms X/L).
+  std::int64_t skip_ = 0;
+  // Algorithm L state: running max-order-statistic surrogate.
+  double w_ = 0.0;
+  UpdateCost cost_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SAMPLE_RESERVOIR_SAMPLE_H_

@@ -1,0 +1,51 @@
+#ifndef AQUA_SAMPLE_SYNOPSIS_H_
+#define AQUA_SAMPLE_SYNOPSIS_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sample/update_cost.h"
+
+namespace aqua {
+
+/// A synopsis data structure (§1, [GM97]): a small summary maintained inside
+/// the approximate answer engine as new data is loaded into the warehouse.
+///
+/// The effectiveness metrics the paper defines for a synopsis are its
+/// footprint (memory words), the accuracy of the answers it provides, its
+/// response time, and its update time; Footprint() and Cost() expose the
+/// first and last, while accuracy/response time are measured by the query
+/// layer (hotlist/, estimate/).
+class Synopsis {
+ public:
+  virtual ~Synopsis() = default;
+
+  /// Short stable identifier, e.g. "concise-sample".
+  virtual std::string_view Name() const = 0;
+
+  /// Observes one inserted attribute value from the load stream.
+  virtual void Insert(Value value) = 0;
+
+  /// Observes one deleted attribute value.  Synopses that cannot handle
+  /// deletions (e.g. concise samples, §4.1) return FailedPrecondition.
+  virtual Status Delete(Value value) {
+    (void)value;
+    return Status::FailedPrecondition(
+        std::string(Name()) + " does not support deletions");
+  }
+
+  /// Current memory footprint in words (paper §1).
+  virtual Words Footprint() const = 0;
+
+  /// Cumulative update-time overhead counters.
+  virtual const UpdateCost& Cost() const = 0;
+
+  /// Number of inserts observed so far (the warehouse size n under
+  /// insert-only streams).
+  virtual std::int64_t ObservedInserts() const = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SAMPLE_SYNOPSIS_H_

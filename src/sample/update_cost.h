@@ -1,0 +1,51 @@
+#ifndef AQUA_SAMPLE_UPDATE_COST_H_
+#define AQUA_SAMPLE_UPDATE_COST_H_
+
+#include <cstdint>
+
+namespace aqua {
+
+/// Abstract update-time overhead counters, exactly the measures the paper
+/// reports in Tables 1 and 2:
+///
+///  - `coin_flips`: number of random draws performed by the maintenance
+///    algorithm.  With skip counting, one geometric draw replaces a run of
+///    Bernoulli flips and is counted once ("the number of coin flips is a
+///    good measure of the update time overheads", §3.3).
+///  - `lookups`: probes into the synopsis's lookup structure, including the
+///    start-up phase where every insert is placed into the synopsis.
+///  - `threshold_raises`: number of times the entry threshold was raised
+///    (the "raises" column of Table 2).
+struct UpdateCost {
+  std::int64_t coin_flips = 0;
+  std::int64_t lookups = 0;
+  std::int64_t threshold_raises = 0;
+
+  UpdateCost& operator+=(const UpdateCost& other) {
+    coin_flips += other.coin_flips;
+    lookups += other.lookups;
+    threshold_raises += other.threshold_raises;
+    return *this;
+  }
+
+  friend UpdateCost operator+(UpdateCost a, const UpdateCost& b) {
+    a += b;
+    return a;
+  }
+
+  /// Per-insert rates, as reported in Tables 1–2.
+  double FlipsPerInsert(std::int64_t inserts) const {
+    return inserts > 0 ? static_cast<double>(coin_flips) /
+                             static_cast<double>(inserts)
+                       : 0.0;
+  }
+  double LookupsPerInsert(std::int64_t inserts) const {
+    return inserts > 0 ? static_cast<double>(lookups) /
+                             static_cast<double>(inserts)
+                       : 0.0;
+  }
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SAMPLE_UPDATE_COST_H_

@@ -1,0 +1,94 @@
+#include "sketch/ams_sketch.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "random/xoshiro256.h"
+
+namespace aqua {
+
+namespace {
+// Mersenne prime 2^61 - 1 for polynomial hashing.
+constexpr std::uint64_t kPrime = (std::uint64_t{1} << 61) - 1;
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b) {
+  const unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+  std::uint64_t lo = static_cast<std::uint64_t>(p & kPrime);
+  std::uint64_t hi = static_cast<std::uint64_t>(p >> 61);
+  std::uint64_t r = lo + hi;
+  if (r >= kPrime) r -= kPrime;
+  return r;
+}
+
+/// Degree-3 polynomial over GF(2^61 - 1): 4-wise independent.
+std::uint64_t Poly4(const std::uint64_t* c, std::uint64_t x) {
+  std::uint64_t r = c[0];
+  r = MulMod(r, x);
+  r = (r + c[1]) % kPrime;
+  r = MulMod(r, x);
+  r = (r + c[2]) % kPrime;
+  r = MulMod(r, x);
+  r = (r + c[3]) % kPrime;
+  return r;
+}
+
+}  // namespace
+
+AmsSketch::AmsSketch(int depth, int width, std::uint64_t seed)
+    : depth_(depth), width_(width) {
+  AQUA_CHECK_GE(depth, 1);
+  AQUA_CHECK_GE(width, 1);
+  counters_.assign(static_cast<std::size_t>(depth) *
+                       static_cast<std::size_t>(width),
+                   0);
+  // 8 coefficients per row: an independent degree-3 polynomial each for the
+  // ±1 sign hash (needs 4-wise independence) and the bucket hash.
+  coefficients_.resize(static_cast<std::size_t>(depth) * 8);
+  std::uint64_t sm = seed;
+  for (auto& c : coefficients_) c = SplitMix64Next(sm) % kPrime;
+}
+
+std::int64_t AmsSketch::Sign(int row, Value value) const {
+  const std::uint64_t h =
+      Poly4(&coefficients_[static_cast<std::size_t>(row) * 8],
+            (static_cast<std::uint64_t>(value) % kPrime) + 1);
+  return (h & 1) ? +1 : -1;
+}
+
+std::size_t AmsSketch::Bucket(int row, Value value) const {
+  const std::uint64_t h =
+      Poly4(&coefficients_[static_cast<std::size_t>(row) * 8 + 4],
+            (static_cast<std::uint64_t>(value) % kPrime) + 1);
+  return static_cast<std::size_t>(h % static_cast<std::uint64_t>(width_));
+}
+
+void AmsSketch::Update(Value value, std::int64_t delta) {
+  for (int row = 0; row < depth_; ++row) {
+    const std::size_t idx =
+        static_cast<std::size_t>(row) * static_cast<std::size_t>(width_) +
+        Bucket(row, value);
+    counters_[idx] += Sign(row, value) * delta;
+  }
+}
+
+double AmsSketch::EstimateF2() const {
+  std::vector<double> row_estimates;
+  row_estimates.reserve(static_cast<std::size_t>(depth_));
+  for (int row = 0; row < depth_; ++row) {
+    double sum_sq = 0.0;
+    for (int col = 0; col < width_; ++col) {
+      const auto c = static_cast<double>(
+          counters_[static_cast<std::size_t>(row) *
+                        static_cast<std::size_t>(width_) +
+                    static_cast<std::size_t>(col)]);
+      sum_sq += c * c;
+    }
+    row_estimates.push_back(sum_sq);
+  }
+  std::sort(row_estimates.begin(), row_estimates.end());
+  const std::size_t mid = row_estimates.size() / 2;
+  if (row_estimates.size() % 2 == 1) return row_estimates[mid];
+  return 0.5 * (row_estimates[mid - 1] + row_estimates[mid]);
+}
+
+}  // namespace aqua

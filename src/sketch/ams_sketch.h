@@ -1,0 +1,49 @@
+#ifndef AQUA_SKETCH_AMS_SKETCH_H_
+#define AQUA_SKETCH_AMS_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aqua {
+
+/// Alon–Matias–Szegedy sketch for the second frequency moment F₂ = Σ n_j²
+/// [AMS96] — the work §5.2 leans on for the lower bound ("any randomized
+/// online algorithm for approximating the frequency of the mode … requires
+/// space linear in the number of distinct values").
+///
+/// Maintains `depth` × `width` counters; each stream element adds ±1 per
+/// row according to a 4-wise-independent hash of its value.  The estimate
+/// is the median over rows of the mean of squared counters — a classic
+/// (ε, δ) guarantee with width = O(1/ε²), depth = O(lg 1/δ).
+///
+/// Supports deletions (decrements), like the counting sample.
+class AmsSketch {
+ public:
+  AmsSketch(int depth, int width, std::uint64_t seed);
+
+  void Insert(Value value) { Update(value, +1); }
+  void Delete(Value value) { Update(value, -1); }
+
+  /// Estimated F₂ of the inserted-minus-deleted multiset.
+  double EstimateF2() const;
+
+  int depth() const { return depth_; }
+  int width() const { return width_; }
+
+ private:
+  void Update(Value value, std::int64_t delta);
+  /// 4-wise independent ±1 hash for row `row` (polynomial over 2^61 - 1).
+  std::int64_t Sign(int row, Value value) const;
+  std::size_t Bucket(int row, Value value) const;
+
+  int depth_;
+  int width_;
+  std::vector<std::int64_t> counters_;        // depth_ × width_
+  std::vector<std::uint64_t> coefficients_;   // 4 per row
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SKETCH_AMS_SKETCH_H_

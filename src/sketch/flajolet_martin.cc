@@ -1,0 +1,54 @@
+#include "sketch/flajolet_martin.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "random/xoshiro256.h"
+
+namespace aqua {
+
+namespace {
+// Flajolet–Martin magic constant φ.
+constexpr double kPhi = 0.77351;
+}  // namespace
+
+FlajoletMartin::FlajoletMartin(int num_maps, std::uint64_t seed) {
+  AQUA_CHECK_GE(num_maps, 1);
+  bitmaps_.assign(static_cast<std::size_t>(num_maps), 0);
+  salts_.resize(static_cast<std::size_t>(num_maps));
+  std::uint64_t sm = seed;
+  for (auto& salt : salts_) salt = SplitMix64Next(sm);
+}
+
+std::uint64_t FlajoletMartin::Mix(std::uint64_t x, std::uint64_t salt) {
+  x ^= salt;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+void FlajoletMartin::Insert(Value value) {
+  for (std::size_t i = 0; i < bitmaps_.size(); ++i) {
+    const std::uint64_t h = Mix(static_cast<std::uint64_t>(value), salts_[i]);
+    // ρ(h): index of the least significant set bit (all-zero is ~impossible
+    // and maps to the top position).
+    const int rho = h == 0 ? 63 : std::countr_zero(h);
+    bitmaps_[i] |= (std::uint64_t{1} << rho);
+  }
+}
+
+double FlajoletMartin::Estimate() const {
+  double mean_r = 0.0;
+  for (std::uint64_t bitmap : bitmaps_) {
+    // R = index of the lowest unset bit.
+    const int r = std::countr_one(bitmap);
+    mean_r += static_cast<double>(r);
+  }
+  mean_r /= static_cast<double>(bitmaps_.size());
+  return std::pow(2.0, mean_r) / kPhi;
+}
+
+}  // namespace aqua

@@ -1,0 +1,44 @@
+#ifndef AQUA_SKETCH_FLAJOLET_MARTIN_H_
+#define AQUA_SKETCH_FLAJOLET_MARTIN_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aqua {
+
+/// Flajolet–Martin probabilistic distinct-value counting [FM83, FM85]:
+/// estimates the number of distinct values in a single pass with O(lg n)
+/// bits per bitmap.  §2 cites this as prior art ("an algorithm for
+/// approximating the number of distinct values in a relation in a single
+/// pass through the data").
+///
+/// Each of `num_maps` bitmaps records, for a hashed copy of the value, the
+/// position of the lowest zero bit pattern ρ(hash); the mean lowest-unset
+/// index R satisfies E[R] ≈ log2(φ·D) with φ ≈ 0.77351, giving
+/// D̂ = 2^{R̄} / φ.  Averaging across bitmaps (stochastic averaging) tames
+/// the variance.
+class FlajoletMartin {
+ public:
+  explicit FlajoletMartin(int num_maps = 64, std::uint64_t seed = 0x5eedULL);
+
+  /// Observes one (possibly repeated) value.  Idempotent per value per map.
+  void Insert(Value value);
+
+  /// Estimated number of distinct values observed.
+  double Estimate() const;
+
+  int num_maps() const { return static_cast<int>(bitmaps_.size()); }
+
+ private:
+  static std::uint64_t Mix(std::uint64_t x, std::uint64_t salt);
+
+  std::vector<std::uint64_t> bitmaps_;
+  std::vector<std::uint64_t> salts_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SKETCH_FLAJOLET_MARTIN_H_

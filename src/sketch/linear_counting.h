@@ -1,0 +1,70 @@
+#ifndef AQUA_SKETCH_LINEAR_COUNTING_H_
+#define AQUA_SKETCH_LINEAR_COUNTING_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace aqua {
+
+/// Linear probabilistic counting [WVZT90] (cited in §2 among the
+/// distinct-value estimators): hash every value to one bit of a bitmap of
+/// size B; with V = fraction of bits still zero, the MLE of the number of
+/// distinct values is D̂ = -B · ln(V).  Accurate while the load D/B stays
+/// moderate (the paper recommends B ≈ D/ρ for load factors up to ~12);
+/// complements Flajolet–Martin, which needs no advance cardinality bound
+/// but has a higher constant error.
+class LinearCounting {
+ public:
+  explicit LinearCounting(std::size_t bits, std::uint64_t seed = 0x11C0ULL)
+      : bitmap_((bits + 63) / 64, 0), bits_(bits), seed_(seed) {
+    AQUA_CHECK_GE(bits, 1u);
+  }
+
+  void Insert(Value value) {
+    const std::uint64_t h = Mix(static_cast<std::uint64_t>(value) ^ seed_);
+    const std::uint64_t bit = h % bits_;
+    bitmap_[bit >> 6] |= (std::uint64_t{1} << (bit & 63));
+  }
+
+  /// Number of bits still zero.
+  std::int64_t ZeroBits() const {
+    std::int64_t ones = 0;
+    for (std::uint64_t word : bitmap_) ones += std::popcount(word);
+    return static_cast<std::int64_t>(bits_) - ones;
+  }
+
+  /// MLE of the number of distinct values inserted.  When the bitmap is
+  /// saturated (no zero bits) the MLE diverges; returns bits·ln(bits) as
+  /// the conventional saturation answer.
+  double Estimate() const {
+    const std::int64_t zeros = ZeroBits();
+    const auto b = static_cast<double>(bits_);
+    if (zeros == 0) return b * std::log(b);
+    return -b * std::log(static_cast<double>(zeros) / b);
+  }
+
+  std::size_t bits() const { return bits_; }
+
+ private:
+  static std::uint64_t Mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  std::vector<std::uint64_t> bitmap_;
+  std::size_t bits_;
+  std::uint64_t seed_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SKETCH_LINEAR_COUNTING_H_

@@ -1,0 +1,52 @@
+#ifndef AQUA_SKETCH_MORRIS_COUNTER_H_
+#define AQUA_SKETCH_MORRIS_COUNTER_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "random/random.h"
+
+namespace aqua {
+
+/// Morris's approximate counter [Mor78] (analyzed in detail by Flajolet
+/// [Fla85]): counts up to n events in O(lg lg n) bits by storing only the
+/// exponent x and incrementing it with probability b^{-x}.
+///
+/// The estimate (b^x - 1)/(b - 1) is unbiased; smaller bases trade memory
+/// for lower variance (Var ≈ (b-1)/2 · n² for base b).
+///
+/// §2 cites this as prior art in probabilistic counting; the library also
+/// uses it in tests as a reference for "probabilistic counting schemes to
+/// identify newly-popular itemsets" intuition.
+class MorrisCounter {
+ public:
+  /// `base` > 1; base 2 is the classical O(lg lg n)-bit configuration.
+  explicit MorrisCounter(double base, std::uint64_t seed)
+      : base_(base), random_(seed) {}
+
+  /// Registers one event.
+  void Increment() {
+    if (random_.Bernoulli(std::pow(base_, -static_cast<double>(exponent_)))) {
+      ++exponent_;
+    }
+  }
+
+  /// Unbiased estimate of the number of events so far.
+  double Estimate() const {
+    return (std::pow(base_, static_cast<double>(exponent_)) - 1.0) /
+           (base_ - 1.0);
+  }
+
+  /// Stored register value (the only persistent state, O(lg lg n) bits).
+  std::uint32_t exponent() const { return exponent_; }
+  double base() const { return base_; }
+
+ private:
+  double base_;
+  Random random_;
+  std::uint32_t exponent_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SKETCH_MORRIS_COUNTER_H_

@@ -1,0 +1,142 @@
+#include "warehouse/catalog.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "random/xoshiro256.h"
+
+namespace aqua {
+
+namespace {
+// A synopsis below this many words is useless; Seal() rejects budgets that
+// would starve an attribute.
+constexpr Words kMinShare = 16;
+}  // namespace
+
+SynopsisCatalog::SynopsisCatalog(Words total_budget_words,
+                                 std::uint64_t seed)
+    : budget_(total_budget_words), seed_(seed) {
+  AQUA_CHECK_GE(total_budget_words, kMinShare);
+}
+
+Status SynopsisCatalog::RegisterAttribute(const std::string& name,
+                                          const AttributeOptions& options) {
+  if (sealed_) {
+    return Status::FailedPrecondition(
+        "catalog already sealed; register attributes first");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("attribute name must be non-empty");
+  }
+  if (options.weight <= 0.0) {
+    return Status::InvalidArgument("attribute weight must be positive");
+  }
+  if (attributes_.contains(name)) {
+    return Status::AlreadyExists("attribute already registered: " + name);
+  }
+  Attribute attribute;
+  attribute.options = options;
+  attributes_.emplace(name, std::move(attribute));
+  return Status::OK();
+}
+
+Status SynopsisCatalog::Seal() {
+  if (sealed_) return Status::FailedPrecondition("catalog already sealed");
+  if (attributes_.empty()) {
+    return Status::FailedPrecondition("no attributes registered");
+  }
+  double total_weight = 0.0;
+  for (const auto& [name, attribute] : attributes_) {
+    total_weight += attribute.options.weight;
+  }
+  // Count how many synopses each attribute maintains: the share is per
+  // attribute and divided among its synopses by the engine's constructor
+  // taking the same footprint bound for each enabled synopsis; to respect
+  // the *global* budget we divide the attribute share by its synopsis
+  // count.
+  std::uint64_t seed = seed_;
+  for (auto& [name, attribute] : attributes_) {
+    const double fraction = attribute.options.weight / total_weight;
+    const auto share = static_cast<Words>(
+        std::floor(fraction * static_cast<double>(budget_)));
+    int synopses = 0;
+    synopses += attribute.options.maintain_traditional ? 1 : 0;
+    synopses += attribute.options.maintain_concise ? 1 : 0;
+    synopses += attribute.options.maintain_counting ? 1 : 0;
+    if (synopses == 0) {
+      return Status::InvalidArgument("attribute " + name +
+                                     " maintains no synopses");
+    }
+    const Words per_synopsis = share / synopses;
+    if (per_synopsis < kMinShare) {
+      return Status::ResourceExhausted(
+          "budget too small for attribute " + name + ": " +
+          std::to_string(per_synopsis) + " words per synopsis");
+    }
+    attribute.share = share;
+    EngineOptions engine_options;
+    engine_options.footprint_bound = per_synopsis;
+    engine_options.seed = SplitMix64Next(seed);
+    engine_options.maintain_traditional =
+        attribute.options.maintain_traditional;
+    engine_options.maintain_concise = attribute.options.maintain_concise;
+    engine_options.maintain_counting = attribute.options.maintain_counting;
+    engine_options.maintain_distinct_sketch =
+        attribute.options.maintain_distinct_sketch;
+    engine_options.maintain_full_histogram = false;
+    attribute.engine =
+        std::make_unique<ApproximateAnswerEngine>(engine_options);
+  }
+  sealed_ = true;
+  return Status::OK();
+}
+
+Status SynopsisCatalog::Observe(const std::string& attribute,
+                                const StreamOp& op) {
+  if (!sealed_) return Status::FailedPrecondition("catalog not sealed");
+  auto it = attributes_.find(attribute);
+  if (it == attributes_.end()) {
+    return Status::NotFound("unknown attribute: " + attribute);
+  }
+  return it->second.engine->Observe(op);
+}
+
+const ApproximateAnswerEngine* SynopsisCatalog::engine(
+    const std::string& attribute) const {
+  auto it = attributes_.find(attribute);
+  if (it == attributes_.end()) return nullptr;
+  return it->second.engine.get();
+}
+
+Result<QueryResponse<HotList>> SynopsisCatalog::HotListFor(
+    const std::string& attribute, const HotListQuery& query) const {
+  const ApproximateAnswerEngine* e = engine(attribute);
+  if (e == nullptr) {
+    return Status::NotFound("unknown attribute: " + attribute);
+  }
+  return e->HotListAnswer(query);
+}
+
+Result<QueryResponse<Estimate>> SynopsisCatalog::FrequencyFor(
+    const std::string& attribute, Value value) const {
+  const ApproximateAnswerEngine* e = engine(attribute);
+  if (e == nullptr) {
+    return Status::NotFound("unknown attribute: " + attribute);
+  }
+  return e->FrequencyAnswer(value);
+}
+
+Words SynopsisCatalog::TotalFootprint() const {
+  Words total = 0;
+  for (const auto& [name, attribute] : attributes_) {
+    if (attribute.engine) total += attribute.engine->TotalFootprint();
+  }
+  return total;
+}
+
+Words SynopsisCatalog::ShareOf(const std::string& attribute) const {
+  auto it = attributes_.find(attribute);
+  return it == attributes_.end() ? 0 : it->second.share;
+}
+
+}  // namespace aqua

@@ -1,0 +1,89 @@
+#ifndef AQUA_WAREHOUSE_CATALOG_H_
+#define AQUA_WAREHOUSE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "warehouse/engine.h"
+
+namespace aqua {
+
+/// Options for one attribute registered in the catalog.
+struct AttributeOptions {
+  /// Relative share of the catalog's memory budget (default equal shares).
+  double weight = 1.0;
+  /// Synopsis selection, forwarded to the attribute's engine.
+  bool maintain_traditional = false;
+  bool maintain_concise = true;
+  bool maintain_counting = true;
+  bool maintain_distinct_sketch = false;
+};
+
+/// A catalog of per-attribute approximate-answer engines under one global
+/// memory budget (§1: "To handle many base tables and many types of
+/// queries, a large number of synopses may be needed", and memory "remains
+/// a precious resource" — so footprints must be budgeted, not unbounded).
+///
+/// Each registered attribute gets a footprint share proportional to its
+/// weight; the catalog routes observed load-stream operations and queries
+/// by attribute name.
+class SynopsisCatalog {
+ public:
+  /// `total_budget_words`: memory words to divide across all attributes'
+  /// synopses.  Attributes must be registered before the first Observe.
+  SynopsisCatalog(Words total_budget_words, std::uint64_t seed);
+
+  /// Registers an attribute; fails on duplicates or after observation
+  /// started.  The per-attribute footprint is fixed when Seal() is called.
+  Status RegisterAttribute(const std::string& name,
+                           const AttributeOptions& options = {});
+
+  /// Finalizes registration: computes each attribute's footprint share and
+  /// instantiates the engines.  Must be called once before Observe.
+  Status Seal();
+
+  /// Observes one operation on the named attribute.
+  Status Observe(const std::string& attribute, const StreamOp& op);
+
+  /// The engine serving an attribute (null if unknown or not sealed).
+  const ApproximateAnswerEngine* engine(const std::string& attribute) const;
+
+  /// Hot list for one attribute.
+  Result<QueryResponse<HotList>> HotListFor(const std::string& attribute,
+                                         const HotListQuery& query) const;
+
+  /// Frequency estimate for one attribute/value.
+  Result<QueryResponse<Estimate>> FrequencyFor(const std::string& attribute,
+                                            Value value) const;
+
+  /// Total words currently used across all engines (<= budget in words,
+  /// per-synopsis bounds permitting).
+  Words TotalFootprint() const;
+
+  Words budget() const { return budget_; }
+  std::size_t attribute_count() const { return attributes_.size(); }
+  bool sealed() const { return sealed_; }
+
+  /// Footprint share assigned to an attribute (0 if unknown / unsealed).
+  Words ShareOf(const std::string& attribute) const;
+
+ private:
+  struct Attribute {
+    AttributeOptions options;
+    Words share = 0;
+    std::unique_ptr<ApproximateAnswerEngine> engine;
+  };
+
+  Words budget_;
+  std::uint64_t seed_;
+  bool sealed_ = false;
+  std::map<std::string, Attribute> attributes_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_WAREHOUSE_CATALOG_H_

@@ -1,0 +1,169 @@
+#include "warehouse/engine.h"
+
+#include <chrono>
+
+#include "estimate/frequency_estimator.h"
+#include "hotlist/concise_hot_list.h"
+#include "hotlist/counting_hot_list.h"
+#include "hotlist/traditional_hot_list.h"
+
+namespace aqua {
+
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ApproximateAnswerEngine::ApproximateAnswerEngine(const EngineOptions& options)
+    : options_(options) {
+  std::uint64_t seed = options.seed;
+  auto next_seed = [&seed]() { return SplitMix64Next(seed); };
+  if (options.maintain_traditional) {
+    traditional_ = std::make_unique<ReservoirSample>(
+        options.footprint_bound, next_seed());
+  }
+  if (options.maintain_concise) {
+    ConciseSampleOptions cs;
+    cs.footprint_bound = options.footprint_bound;
+    cs.seed = next_seed();
+    concise_ = std::make_unique<ConciseSample>(cs);
+  }
+  if (options.maintain_counting) {
+    CountingSampleOptions ks;
+    ks.footprint_bound = options.footprint_bound;
+    ks.seed = next_seed();
+    counting_ = std::make_unique<CountingSample>(ks);
+  }
+  if (options.maintain_distinct_sketch) {
+    distinct_sketch_ = std::make_unique<FlajoletMartin>(64, next_seed());
+  }
+  if (options.maintain_full_histogram) {
+    full_histogram_ =
+        std::make_unique<FullHistogram>(options.footprint_bound);
+  }
+}
+
+Status ApproximateAnswerEngine::Observe(const StreamOp& op) {
+  if (op.kind == StreamOp::Kind::kInsert) {
+    ++inserts_;
+    if (traditional_) traditional_->Insert(op.value);
+    if (concise_) concise_->Insert(op.value);
+    if (counting_) counting_->Insert(op.value);
+    if (distinct_sketch_) distinct_sketch_->Insert(op.value);
+    if (full_histogram_) full_histogram_->Insert(op.value);
+    return Status::OK();
+  }
+  ++deletes_;
+  // Deletions: counting samples and the full histogram handle them
+  // (Theorem 5); concise and traditional samples cannot be maintained under
+  // deletions (§4.1) and are dropped the first time one arrives, so the
+  // engine never serves stale uniform samples.
+  if (traditional_) traditional_.reset();
+  if (concise_) concise_.reset();
+  Status status = Status::OK();
+  if (counting_) status = counting_->Delete(op.value);
+  if (full_histogram_) {
+    AQUA_RETURN_NOT_OK(full_histogram_->Delete(op.value));
+  }
+  return status;
+}
+
+QueryResponse<HotList> ApproximateAnswerEngine::HotListAnswer(
+    const HotListQuery& query) const {
+  QueryResponse<HotList> response;
+  const std::int64_t start = NowNs();
+  if (full_histogram_) {
+    response.answer = full_histogram_->Report(query);
+    response.method = "full-histogram";
+  } else if (counting_) {
+    response.answer = CountingHotList(*counting_).Report(query);
+    response.method = "counting-sample";
+  } else if (concise_) {
+    response.answer = ConciseHotList(*concise_).Report(query);
+    response.method = "concise-sample";
+  } else if (traditional_) {
+    response.answer = TraditionalHotList(*traditional_).Report(query);
+    response.method = "traditional-sample";
+  } else {
+    response.method = "none";
+  }
+  response.response_ns = NowNs() - start;
+  return response;
+}
+
+QueryResponse<Estimate> ApproximateAnswerEngine::FrequencyAnswer(
+    Value value) const {
+  QueryResponse<Estimate> response;
+  const std::int64_t start = NowNs();
+  if (counting_) {
+    response.answer = FrequencyEstimator::FromCounting(*counting_, value);
+    response.method = "counting-sample";
+  } else if (concise_) {
+    response.answer = FrequencyEstimator::FromConcise(*concise_, value);
+    response.method = "concise-sample";
+  } else {
+    response.method = "none";
+  }
+  response.response_ns = NowNs() - start;
+  return response;
+}
+
+QueryResponse<Estimate> ApproximateAnswerEngine::CountWhereAnswer(
+    const ValuePredicate& pred, double confidence) const {
+  QueryResponse<Estimate> response;
+  const std::int64_t start = NowNs();
+  // Prefer the concise sample: it is a uniform sample with the largest
+  // sample-size for the footprint (§1.1), hence the tightest interval.
+  if (concise_) {
+    const std::vector<Value> points = concise_->ToPointSample();
+    SampleEstimator estimator(points, inserts_);
+    response.answer = estimator.CountWhere(pred, confidence);
+    response.method = "concise-sample";
+  } else if (traditional_) {
+    SampleEstimator estimator(traditional_->Points(), inserts_);
+    response.answer = estimator.CountWhere(pred, confidence);
+    response.method = "traditional-sample";
+  } else {
+    response.method = "none";
+  }
+  response.response_ns = NowNs() - start;
+  return response;
+}
+
+QueryResponse<Estimate> ApproximateAnswerEngine::DistinctValuesAnswer()
+    const {
+  QueryResponse<Estimate> response;
+  const std::int64_t start = NowNs();
+  if (distinct_sketch_) {
+    const double d = distinct_sketch_->Estimate();
+    response.answer.value = d;
+    // [FM85]'s asymptotic standard error is ≈ 0.78/sqrt(#maps) in log2
+    // scale; expose a pragmatic ±2σ multiplicative band.
+    const double sigma_log2 =
+        0.78 / std::sqrt(static_cast<double>(distinct_sketch_->num_maps()));
+    response.answer.ci_low = d * std::pow(2.0, -2.0 * sigma_log2);
+    response.answer.ci_high = d * std::pow(2.0, 2.0 * sigma_log2);
+    response.answer.confidence = 0.95;
+    response.method = "fm-sketch";
+  } else {
+    response.method = "none";
+  }
+  response.response_ns = NowNs() - start;
+  return response;
+}
+
+Words ApproximateAnswerEngine::TotalFootprint() const {
+  Words total = 0;
+  if (traditional_) total += traditional_->Footprint();
+  if (concise_) total += concise_->Footprint();
+  if (counting_) total += counting_->Footprint();
+  if (full_histogram_) total += full_histogram_->Footprint();
+  return total;
+}
+
+}  // namespace aqua

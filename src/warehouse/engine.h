@@ -1,0 +1,103 @@
+#ifndef AQUA_WAREHOUSE_ENGINE_H_
+#define AQUA_WAREHOUSE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "estimate/aggregates.h"
+#include "hotlist/hot_list.h"
+#include "sample/reservoir_sample.h"
+#include "sketch/flajolet_martin.h"
+#include "warehouse/full_histogram.h"
+#include "workload/stream.h"
+
+namespace aqua {
+
+/// Which synopses the engine maintains for an attribute.
+struct EngineOptions {
+  /// Footprint bound per synopsis, in words.
+  Words footprint_bound = 1000;
+  std::uint64_t seed = 0x19980531ULL;
+  bool maintain_traditional = true;
+  bool maintain_concise = true;
+  bool maintain_counting = true;
+  /// Distinct-value sketch ([FM85]) for distinct-count queries.
+  bool maintain_distinct_sketch = true;
+  /// The exact (disk-resident) baseline; off by default — it is the
+  /// accuracy yardstick, not a practical synopsis.
+  bool maintain_full_histogram = false;
+};
+
+/// A query response: the approximate answer plus how it was computed —
+/// "a query response, consisting of an approximate answer and an accuracy
+/// measure" (§1).  The user can then decide whether to have an exact answer
+/// computed from the base data.
+template <typename AnswerT>
+struct QueryResponse {
+  AnswerT answer{};
+  /// Which synopsis produced the answer, e.g. "counting-sample".
+  std::string method;
+  /// Response time in nanoseconds (synopsis-only; no base-data access).
+  std::int64_t response_ns = 0;
+};
+
+/// The approximate answer engine of Figure 2: observes the load stream
+/// alongside the warehouse, maintains its registered synopses entirely in
+/// memory, and answers queries without any access to the base data.
+///
+/// Hot-list answers prefer the counting sample (most accurate), then the
+/// concise sample, then the traditional sample (§6's accuracy ordering);
+/// deletions flow to the synopses that support them and invalidate the
+/// concise/traditional samples only if a delete actually arrives (§4.1:
+/// concise samples cannot be maintained under deletions).
+class ApproximateAnswerEngine {
+ public:
+  explicit ApproximateAnswerEngine(const EngineOptions& options);
+
+  /// Observes one load-stream operation.
+  Status Observe(const StreamOp& op);
+
+  /// Hot list from the most accurate maintained synopsis.
+  QueryResponse<HotList> HotListAnswer(const HotListQuery& query) const;
+
+  /// Estimated frequency of one value.
+  QueryResponse<Estimate> FrequencyAnswer(Value value) const;
+
+  /// Estimated COUNT(*) WHERE pred, from the best available uniform sample.
+  QueryResponse<Estimate> CountWhereAnswer(const ValuePredicate& pred,
+                                           double confidence = 0.95) const;
+
+  /// Estimated number of distinct values.
+  QueryResponse<Estimate> DistinctValuesAnswer() const;
+
+  /// Direct access to the maintained synopses (null when not maintained or
+  /// invalidated by deletions).
+  const ReservoirSample* traditional() const { return traditional_.get(); }
+  const ConciseSample* concise() const { return concise_.get(); }
+  const CountingSample* counting() const { return counting_.get(); }
+  const FullHistogram* full_histogram() const { return full_histogram_.get(); }
+
+  std::int64_t observed_inserts() const { return inserts_; }
+  std::int64_t observed_deletes() const { return deletes_; }
+
+  /// Total words across all maintained synopses.
+  Words TotalFootprint() const;
+
+ private:
+  EngineOptions options_;
+  std::unique_ptr<ReservoirSample> traditional_;
+  std::unique_ptr<ConciseSample> concise_;
+  std::unique_ptr<CountingSample> counting_;
+  std::unique_ptr<FlajoletMartin> distinct_sketch_;
+  std::unique_ptr<FullHistogram> full_histogram_;
+  std::int64_t inserts_ = 0;
+  std::int64_t deletes_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_WAREHOUSE_ENGINE_H_

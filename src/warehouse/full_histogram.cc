@@ -1,0 +1,65 @@
+#include "warehouse/full_histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "container/selection.h"
+#include "hotlist/exact_hot_list.h"
+
+namespace aqua {
+
+FullHistogram::FullHistogram(Words footprint_bound)
+    : footprint_bound_(footprint_bound) {
+  AQUA_CHECK_GE(footprint_bound, 2);
+}
+
+void FullHistogram::Insert(Value value) {
+  ++observed_;
+  ++disk_accesses_;  // "each update to R requires a separate disk access"
+  ++cost_.lookups;
+  ++frequencies_[value];
+}
+
+Status FullHistogram::Delete(Value value) {
+  ++disk_accesses_;
+  ++cost_.lookups;
+  Count* c = frequencies_.Find(value);
+  if (c == nullptr || *c <= 0) {
+    return Status::InvalidArgument("delete of absent value");
+  }
+  if (--*c == 0) frequencies_.Erase(value);
+  return Status::OK();
+}
+
+Words FullHistogram::Footprint() const {
+  const Words pairs = std::min<Words>(
+      static_cast<Words>(frequencies_.size()), footprint_bound_ / 2);
+  return 2 * pairs;
+}
+
+std::vector<ValueCount> FullHistogram::TopPairs(std::int64_t max_pairs) const {
+  std::vector<ValueCount> all;
+  all.reserve(frequencies_.size());
+  for (const auto& entry : frequencies_) {
+    all.push_back(ValueCount{entry.key, entry.value});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.count > b.count ||
+                     (a.count == b.count && a.value < b.value);
+            });
+  if (static_cast<std::int64_t>(all.size()) > max_pairs) {
+    all.resize(static_cast<std::size_t>(max_pairs));
+  }
+  return all;
+}
+
+HotList FullHistogram::Report(const HotListQuery& query) const {
+  const std::int64_t synopsis_pairs = footprint_bound_ / 2;
+  ExactHotList exact(TopPairs(synopsis_pairs));
+  HotListQuery q = query;
+  if (q.k == 0 || q.k > synopsis_pairs) q.k = synopsis_pairs;
+  return exact.Report(q);
+}
+
+}  // namespace aqua

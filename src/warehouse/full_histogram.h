@@ -1,0 +1,71 @@
+#ifndef AQUA_WAREHOUSE_FULL_HISTOGRAM_H_
+#define AQUA_WAREHOUSE_FULL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "container/flat_hash_map.h"
+#include "core/value_count.h"
+#include "hotlist/hot_list.h"
+#include "sample/synopsis.h"
+
+namespace aqua {
+
+/// The paper's "full histogram on disk" baseline (§5.1): exact
+/// <value, count> pairs for *all* distinct values, with a copy of the top
+/// m/2 pairs as the in-engine synopsis.  "This enables exact answers to hot
+/// list queries.  The main drawback … is that each update to R requires a
+/// separate disk access", and the disk footprint may be on the order of n —
+/// so it serves only as the accuracy baseline.
+///
+/// We simulate the disk residency: the histogram lives in memory, but every
+/// update increments a disk-access counter, and DiskFootprint() reports the
+/// words the disk copy would occupy.
+class FullHistogram final : public Synopsis {
+ public:
+  /// `footprint_bound` = m: the in-engine synopsis keeps the top m/2 pairs.
+  explicit FullHistogram(Words footprint_bound);
+
+  std::string_view Name() const override { return "full-histogram"; }
+
+  void Insert(Value value) override;
+  Status Delete(Value value) override;
+
+  /// The *synopsis* footprint (top m/2 pairs): at most the bound.
+  Words Footprint() const override;
+  const UpdateCost& Cost() const override { return cost_; }
+  std::int64_t ObservedInserts() const override { return observed_; }
+
+  /// Words of the full disk-resident histogram (2 per distinct value).
+  Words DiskFootprint() const {
+    return 2 * static_cast<Words>(frequencies_.size());
+  }
+
+  /// Simulated disk accesses performed so far (one per update).
+  std::int64_t DiskAccesses() const { return disk_accesses_; }
+
+  Count FrequencyOf(Value value) const {
+    const Count* c = frequencies_.Find(value);
+    return c == nullptr ? 0 : *c;
+  }
+
+  /// Exact hot list, correct for k <= m/2 (the synopsis copy suffices; the
+  /// reporter recomputes it from the full histogram on demand, as the
+  /// engine would refresh its copy).
+  HotList Report(const HotListQuery& query) const;
+
+  /// The top max_pairs pairs by count — the in-engine synopsis copy.
+  std::vector<ValueCount> TopPairs(std::int64_t max_pairs) const;
+
+ private:
+  Words footprint_bound_;
+  FlatHashMap<Value, Count> frequencies_;
+  std::int64_t observed_ = 0;
+  std::int64_t disk_accesses_ = 0;
+  UpdateCost cost_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_WAREHOUSE_FULL_HISTOGRAM_H_

@@ -1,0 +1,41 @@
+#include "warehouse/relation.h"
+
+namespace aqua {
+
+Status Relation::Delete(Value value) {
+  Count* c = frequencies_.Find(value);
+  if (c == nullptr || *c <= 0) {
+    return Status::InvalidArgument("delete of absent value");
+  }
+  if (--*c == 0) frequencies_.Erase(value);
+  --size_;
+  return Status::OK();
+}
+
+Status Relation::Apply(const StreamOp& op) {
+  if (op.kind == StreamOp::Kind::kInsert) {
+    Insert(op.value);
+    return Status::OK();
+  }
+  return Delete(op.value);
+}
+
+std::vector<ValueCount> Relation::ExactCounts() const {
+  std::vector<ValueCount> out;
+  out.reserve(frequencies_.size());
+  for (const auto& entry : frequencies_) {
+    out.push_back(ValueCount{entry.key, entry.value});
+  }
+  return out;
+}
+
+std::vector<Value> Relation::Materialize() const {
+  std::vector<Value> out;
+  out.reserve(static_cast<std::size_t>(size_));
+  for (const auto& entry : frequencies_) {
+    for (Count i = 0; i < entry.value; ++i) out.push_back(entry.key);
+  }
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,61 @@
+#ifndef AQUA_WAREHOUSE_RELATION_H_
+#define AQUA_WAREHOUSE_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "container/flat_hash_map.h"
+#include "core/value_count.h"
+#include "workload/stream.h"
+
+namespace aqua {
+
+/// The exact contents of one warehouse attribute R.A — the ground truth the
+/// synopses approximate.  Stored as an exact value→frequency table (the
+/// tuple multiset projected onto A; the paper's algorithms only ever see
+/// attribute values, §3 footnote 4).
+class Relation {
+ public:
+  Relation() = default;
+
+  void Insert(Value value) {
+    ++frequencies_[value];
+    ++size_;
+  }
+
+  /// Deletes one occurrence; InvalidArgument if the value is absent.
+  Status Delete(Value value);
+
+  Status Apply(const StreamOp& op);
+
+  /// Number of tuples n.
+  std::int64_t size() const { return size_; }
+
+  /// Number of distinct values D present.
+  std::int64_t distinct_values() const {
+    return static_cast<std::int64_t>(frequencies_.size());
+  }
+
+  /// Exact frequency f_v (0 if absent).
+  Count FrequencyOf(Value value) const {
+    const Count* c = frequencies_.Find(value);
+    return c == nullptr ? 0 : *c;
+  }
+
+  /// Exact <value, count> table (unspecified order).
+  std::vector<ValueCount> ExactCounts() const;
+
+  /// Materializes the multiset as a flat vector (for offline sampling and
+  /// backing-sample repopulation).  O(n) space — test/bench use only.
+  std::vector<Value> Materialize() const;
+
+ private:
+  FlatHashMap<Value, Count> frequencies_;
+  std::int64_t size_ = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_WAREHOUSE_RELATION_H_

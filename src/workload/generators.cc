@@ -1,0 +1,134 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "random/exponential_values.h"
+#include "random/random.h"
+#include "random/zipf.h"
+
+namespace aqua {
+
+std::vector<Value> ZipfValues(std::int64_t n, std::int64_t domain_size,
+                              double alpha, std::uint64_t seed) {
+  AQUA_CHECK_GE(n, 0);
+  Random random(seed);
+  ZipfDistribution zipf(domain_size, alpha);
+  std::vector<Value> values;
+  values.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) values.push_back(zipf.Sample(random));
+  return values;
+}
+
+std::vector<Value> UniformValues(std::int64_t n, std::int64_t domain_size,
+                                 std::uint64_t seed) {
+  AQUA_CHECK_GE(n, 0);
+  AQUA_CHECK_GE(domain_size, 1);
+  Random random(seed);
+  std::vector<Value> values;
+  values.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    values.push_back(random.UniformInt(1, domain_size));
+  }
+  return values;
+}
+
+std::vector<Value> ExponentialValues(std::int64_t n, double alpha,
+                                     std::uint64_t seed) {
+  AQUA_CHECK_GE(n, 0);
+  Random random(seed);
+  ExponentialValueDistribution dist(alpha);
+  std::vector<Value> values;
+  values.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) values.push_back(dist.Sample(random));
+  return values;
+}
+
+std::vector<Value> ShiftingZipfValues(std::int64_t n,
+                                      std::int64_t domain_size, double alpha,
+                                      std::int64_t shift_at,
+                                      std::int64_t rotation,
+                                      std::uint64_t seed) {
+  std::vector<Value> values = ZipfValues(n, domain_size, alpha, seed);
+  for (std::int64_t i = shift_at; i < n; ++i) {
+    const Value rank = values[static_cast<std::size_t>(i)];
+    values[static_cast<std::size_t>(i)] =
+        ((rank - 1 + rotation) % domain_size) + 1;
+  }
+  return values;
+}
+
+UpdateStream InsertStream(const std::vector<Value>& values) {
+  UpdateStream stream;
+  stream.reserve(values.size());
+  for (Value v : values) stream.push_back(StreamOp::Insert(v));
+  return stream;
+}
+
+UpdateStream MixedStream(std::int64_t n_ops, std::int64_t domain_size,
+                         double alpha, double delete_fraction,
+                         std::int64_t warmup, std::uint64_t seed) {
+  AQUA_CHECK(delete_fraction >= 0.0 && delete_fraction < 1.0);
+  Random random(seed);
+  ZipfDistribution zipf(domain_size, alpha);
+  UpdateStream stream;
+  stream.reserve(static_cast<std::size_t>(n_ops));
+  std::vector<Value> live;  // exact multiset of live tuples
+  for (std::int64_t i = 0; i < n_ops; ++i) {
+    const bool do_delete = i >= warmup && !live.empty() &&
+                           random.Bernoulli(delete_fraction);
+    if (do_delete) {
+      const auto idx = static_cast<std::size_t>(
+          random.UniformU64(static_cast<std::uint64_t>(live.size())));
+      stream.push_back(StreamOp::Delete(live[idx]));
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      const Value v = zipf.Sample(random);
+      stream.push_back(StreamOp::Insert(v));
+      live.push_back(v);
+    }
+  }
+  return stream;
+}
+
+Value EncodeItemPair(std::int64_t a, std::int64_t b) {
+  if (a > b) std::swap(a, b);
+  AQUA_CHECK(a >= 0 && b >= 0 && a < (std::int64_t{1} << 31) &&
+             b < (std::int64_t{1} << 31))
+      << "item ids must fit in 31 bits for pair encoding";
+  return (a << 31) | b;
+}
+
+std::pair<std::int64_t, std::int64_t> DecodeItemPair(Value encoded) {
+  return {encoded >> 31, encoded & ((std::int64_t{1} << 31) - 1)};
+}
+
+std::vector<Value> PairItemsetValues(std::int64_t n_baskets,
+                                     std::int64_t item_domain, double alpha,
+                                     int items_per_basket,
+                                     std::uint64_t seed) {
+  AQUA_CHECK_GE(items_per_basket, 2);
+  Random random(seed);
+  ZipfDistribution zipf(item_domain, alpha);
+  std::vector<Value> pairs;
+  std::vector<std::int64_t> basket;
+  for (std::int64_t t = 0; t < n_baskets; ++t) {
+    basket.clear();
+    while (static_cast<int>(basket.size()) < items_per_basket) {
+      const std::int64_t item = zipf.Sample(random);
+      if (std::find(basket.begin(), basket.end(), item) == basket.end()) {
+        basket.push_back(item);
+      }
+    }
+    for (std::size_t i = 0; i < basket.size(); ++i) {
+      for (std::size_t j = i + 1; j < basket.size(); ++j) {
+        pairs.push_back(EncodeItemPair(basket[i], basket[j]));
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace aqua

@@ -1,0 +1,71 @@
+#ifndef AQUA_WORKLOAD_GENERATORS_H_
+#define AQUA_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/stream.h"
+
+namespace aqua {
+
+/// Generators for the synthetic workloads of §3.3 and §5.3: "500K new
+/// values were inserted into an initially empty data warehouse … integer
+/// value domain from [1, D] … a large variety of Zipf data distributions."
+///
+/// All generators are deterministic for a fixed seed.
+
+/// n values drawn i.i.d. Zipf(alpha) over [1, domain_size] (alpha = 0 is
+/// uniform).  Value i has rank i (the paper notes "the exact attribute
+/// values do not effect the relative quality of our techniques").
+std::vector<Value> ZipfValues(std::int64_t n, std::int64_t domain_size,
+                              double alpha, std::uint64_t seed);
+
+/// n values drawn i.i.d. uniform over [1, domain_size].
+std::vector<Value> UniformValues(std::int64_t n, std::int64_t domain_size,
+                                 std::uint64_t seed);
+
+/// n values from the Theorem 3 exponential family P(v=i) = α^{-i}(α-1).
+std::vector<Value> ExponentialValues(std::int64_t n, double alpha,
+                                     std::uint64_t seed);
+
+/// Zipf values whose rank→value mapping shifts mid-stream: after
+/// `shift_at` inserts, rank r maps to value ((r - 1 + rotation) mod D) + 1.
+/// Models "detecting when itemsets that were small become large due to a
+/// shift in the distribution of the newer data" (§1.2).
+std::vector<Value> ShiftingZipfValues(std::int64_t n,
+                                      std::int64_t domain_size, double alpha,
+                                      std::int64_t shift_at,
+                                      std::int64_t rotation,
+                                      std::uint64_t seed);
+
+/// An insert-only stream from a value vector.
+UpdateStream InsertStream(const std::vector<Value>& values);
+
+/// A mixed insert/delete stream: Zipf(alpha) inserts, and after a warm-up
+/// of `warmup` inserts each subsequent op is a delete of a uniformly random
+/// *live* tuple with probability `delete_fraction`.  The multiset of live
+/// tuples is tracked exactly, so every delete targets an existing tuple
+/// (counting samples must stay subsets under such streams, Theorem 5).
+UpdateStream MixedStream(std::int64_t n_ops, std::int64_t domain_size,
+                         double alpha, double delete_fraction,
+                         std::int64_t warmup, std::uint64_t seed);
+
+/// Transactions of `items_per_basket` distinct Zipf-distributed items; all
+/// unordered item pairs of each basket are emitted as single encoded
+/// values — hot lists over them are the "2-itemset" hot lists of §1.2
+/// ("they can be maintained on k-itemsets for any specified k, and used to
+/// produce association rules [AS94]").
+std::vector<Value> PairItemsetValues(std::int64_t n_baskets,
+                                     std::int64_t item_domain, double alpha,
+                                     int items_per_basket,
+                                     std::uint64_t seed);
+
+/// Encodes / decodes an unordered item pair into one Value.
+Value EncodeItemPair(std::int64_t a, std::int64_t b);
+std::pair<std::int64_t, std::int64_t> DecodeItemPair(Value encoded);
+
+}  // namespace aqua
+
+#endif  // AQUA_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,33 @@
+#ifndef AQUA_WORKLOAD_STREAM_H_
+#define AQUA_WORKLOAD_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aqua {
+
+/// One operation in the data warehouse load stream (Figure 2: "new data
+/// being loaded into the data warehouse is also observed by an approximate
+/// answer engine").
+struct StreamOp {
+  enum class Kind : std::uint8_t { kInsert, kDelete };
+
+  Kind kind = Kind::kInsert;
+  Value value = 0;
+
+  static StreamOp Insert(Value v) { return {Kind::kInsert, v}; }
+  static StreamOp Delete(Value v) { return {Kind::kDelete, v}; }
+
+  friend bool operator==(const StreamOp& a, const StreamOp& b) {
+    return a.kind == b.kind && a.value == b.value;
+  }
+};
+
+/// A materialized load stream.
+using UpdateStream = std::vector<StreamOp>;
+
+}  // namespace aqua
+
+#endif  // AQUA_WORKLOAD_STREAM_H_

@@ -1,0 +1,52 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include "core/value_count.h"
+#include "sample/update_cost.h"
+
+namespace aqua {
+namespace {
+
+TEST(TypesTest, EntryWordsFollowsPaperFootnote3) {
+  // A singleton costs 1 word, a <value,count> pair costs 2.
+  EXPECT_EQ(EntryWords(1), 1);
+  EXPECT_EQ(EntryWords(2), 2);
+  EXPECT_EQ(EntryWords(1000000), 2);
+}
+
+TEST(ValueCountTest, FootprintOfMatchesDefinition2) {
+  // S = {<1,3>, <2,5>, 7, 9}: footprint = l + j = 4 + 2 = 6.
+  const std::vector<ValueCount> entries = {{1, 3}, {2, 5}, {7, 1}, {9, 1}};
+  EXPECT_EQ(FootprintOf(entries), 6);
+  // sample-size = l - j + Σ c_i = 2 + 8 = 10.
+  EXPECT_EQ(SampleSizeOf(entries), 10);
+}
+
+TEST(ValueCountTest, EmptySet) {
+  EXPECT_EQ(FootprintOf({}), 0);
+  EXPECT_EQ(SampleSizeOf({}), 0);
+}
+
+TEST(ValueCountTest, Equality) {
+  EXPECT_EQ((ValueCount{1, 2}), (ValueCount{1, 2}));
+  EXPECT_FALSE((ValueCount{1, 2}) == (ValueCount{1, 3}));
+  EXPECT_FALSE((ValueCount{1, 2}) == (ValueCount{2, 2}));
+}
+
+TEST(UpdateCostTest, AccumulatesAndNormalizes) {
+  UpdateCost a{10, 20, 3};
+  const UpdateCost b{5, 80, 1};
+  a += b;
+  EXPECT_EQ(a.coin_flips, 15);
+  EXPECT_EQ(a.lookups, 100);
+  EXPECT_EQ(a.threshold_raises, 4);
+  EXPECT_DOUBLE_EQ(a.FlipsPerInsert(1000), 0.015);
+  EXPECT_DOUBLE_EQ(a.LookupsPerInsert(1000), 0.1);
+  EXPECT_DOUBLE_EQ(a.FlipsPerInsert(0), 0.0);
+  const UpdateCost c = a + b;
+  EXPECT_EQ(c.coin_flips, 20);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,122 @@
+#include "concurrency/shared_synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "hotlist/counting_hot_list.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(SharedSynopsisTest, SingleThreadBehavesLikePlain) {
+  SharedSynopsis<ConciseSample> shared(
+      ConciseSample(ConciseSampleOptions{.footprint_bound = 100, .seed = 1}));
+  for (Value v = 0; v < 1000; ++v) shared.Insert(v % 10);
+  shared.WithRead([](const ConciseSample& s) {
+    EXPECT_EQ(s.ObservedInserts(), 1000);
+    EXPECT_TRUE(s.Validate().ok());
+    return 0;
+  });
+}
+
+TEST(SharedSynopsisTest, ConcurrentInsertsAllObserved) {
+  SharedSynopsis<ConciseSample> shared(ConciseSample(
+      ConciseSampleOptions{.footprint_bound = 500, .seed = 2}));
+  constexpr int kThreads = 8;
+  constexpr std::int64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, t] {
+      const std::vector<Value> data =
+          ZipfValues(kPerThread, 1000, 1.0, 100 + static_cast<std::uint64_t>(t));
+      for (Value v : data) shared.Insert(v);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  shared.WithRead([&](const ConciseSample& s) {
+    EXPECT_EQ(s.ObservedInserts(), kThreads * kPerThread);
+    EXPECT_TRUE(s.Validate().ok());
+    EXPECT_LE(s.Footprint(), 500);
+    return 0;
+  });
+}
+
+TEST(SharedSynopsisTest, BatchInserterFlushesEverything) {
+  SharedSynopsis<CountingSample> shared(CountingSample(
+      CountingSampleOptions{.footprint_bound = 300, .seed = 3}));
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 30000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, t] {
+      BatchInserter<CountingSample> inserter(&shared, 512);
+      const std::vector<Value> data = ZipfValues(
+          kPerThread, 500, 1.25, 200 + static_cast<std::uint64_t>(t));
+      for (Value v : data) inserter.Add(v);
+      // Destructor flushes the tail.
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  shared.WithRead([&](const CountingSample& s) {
+    EXPECT_EQ(s.ObservedInserts(), kThreads * kPerThread);
+    EXPECT_TRUE(s.Validate().ok());
+    return 0;
+  });
+}
+
+TEST(SharedSynopsisTest, ConcurrentReadsDuringWrites) {
+  SharedSynopsis<CountingSample> shared(CountingSample(
+      CountingSampleOptions{.footprint_bound = 200, .seed = 4}));
+  std::thread writer([&shared] {
+    const std::vector<Value> data = ZipfValues(200000, 1000, 1.2, 5);
+    for (Value v : data) shared.Insert(v);
+  });
+  std::int64_t queries = 0;
+  while (queries < 50) {
+    const HotList hot = shared.WithRead([](const CountingSample& s) {
+      return CountingHotList(s).Report({.k = 5, .beta = 3});
+    });
+    // Reports are internally consistent snapshots.
+    for (std::size_t i = 1; i < hot.size(); ++i) {
+      ASSERT_LE(hot[i].estimated_count, hot[i - 1].estimated_count);
+    }
+    ++queries;
+  }
+  writer.join();
+  shared.WithRead([](const CountingSample& s) {
+    EXPECT_TRUE(s.Validate().ok());
+    return 0;
+  });
+}
+
+TEST(SharedSynopsisTest, DeletesUnderConcurrency) {
+  SharedSynopsis<CountingSample> shared(CountingSample(
+      CountingSampleOptions{.footprint_bound = 400, .seed = 6}));
+  // Pre-populate so deletes hit live values.
+  for (int i = 0; i < 10000; ++i) shared.Insert(i % 50);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&shared, t] {
+      for (int i = 0; i < 2000; ++i) {
+        if ((i + t) % 2 == 0) {
+          shared.Insert(i % 50);
+        } else {
+          (void)shared.Delete(i % 50);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  shared.WithRead([](const CountingSample& s) {
+    EXPECT_TRUE(s.Validate().ok());
+    return 0;
+  });
+}
+
+}  // namespace
+}  // namespace aqua

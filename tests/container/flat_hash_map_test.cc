@@ -1,0 +1,194 @@
+#include "container/flat_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "random/random.h"
+
+namespace aqua {
+namespace {
+
+using Map = FlatHashMap<std::int64_t, std::int64_t>;
+
+TEST(FlatHashMapTest, StartsEmpty) {
+  Map map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(42), nullptr);
+  EXPECT_FALSE(map.Contains(42));
+}
+
+TEST(FlatHashMapTest, InsertAndFind) {
+  Map map;
+  auto [v, inserted] = map.TryInsert(1, 100);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*v, 100);
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.Find(1), nullptr);
+  EXPECT_EQ(*map.Find(1), 100);
+}
+
+TEST(FlatHashMapTest, TryInsertExistingReturnsOldValue) {
+  Map map;
+  map.TryInsert(1, 100);
+  auto [v, inserted] = map.TryInsert(1, 999);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*v, 100);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, SubscriptDefaultConstructs) {
+  Map map;
+  EXPECT_EQ(map[7], 0);
+  map[7] += 5;
+  EXPECT_EQ(map[7], 5);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, EraseRemovesKey) {
+  Map map;
+  map.TryInsert(1, 10);
+  map.TryInsert(2, 20);
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Erase(1));
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.Find(1), nullptr);
+  ASSERT_NE(map.Find(2), nullptr);
+  EXPECT_EQ(*map.Find(2), 20);
+}
+
+TEST(FlatHashMapTest, GrowsPastInitialCapacity) {
+  Map map;
+  for (std::int64_t i = 0; i < 10000; ++i) map.TryInsert(i, i * 2);
+  EXPECT_EQ(map.size(), 10000u);
+  for (std::int64_t i = 0; i < 10000; ++i) {
+    ASSERT_NE(map.Find(i), nullptr) << i;
+    EXPECT_EQ(*map.Find(i), i * 2);
+  }
+}
+
+TEST(FlatHashMapTest, NegativeAndExtremeKeys) {
+  Map map;
+  const std::int64_t keys[] = {-1, 0, INT64_MIN, INT64_MAX, -123456789};
+  for (std::int64_t k : keys) map.TryInsert(k, k);
+  for (std::int64_t k : keys) {
+    ASSERT_NE(map.Find(k), nullptr) << k;
+    EXPECT_EQ(*map.Find(k), k);
+  }
+}
+
+TEST(FlatHashMapTest, IteratorVisitsAllEntriesOnce) {
+  Map map;
+  for (std::int64_t i = 0; i < 100; ++i) map.TryInsert(i, i);
+  std::unordered_map<std::int64_t, int> seen;
+  for (const auto& entry : map) ++seen[entry.key];
+  EXPECT_EQ(seen.size(), 100u);
+  for (const auto& [k, n] : seen) {
+    EXPECT_EQ(n, 1) << k;
+  }
+}
+
+TEST(FlatHashMapTest, ClearEmptiesTheMap) {
+  Map map;
+  for (std::int64_t i = 0; i < 100; ++i) map.TryInsert(i, i);
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(5), nullptr);
+  map.TryInsert(5, 50);
+  EXPECT_EQ(*map.Find(5), 50);
+}
+
+TEST(FlatHashMapTest, RetainIfKeepsAndRemoves) {
+  Map map;
+  for (std::int64_t i = 0; i < 1000; ++i) map.TryInsert(i, i);
+  map.RetainIf([](std::int64_t key, std::int64_t&) { return key % 3 == 0; });
+  EXPECT_EQ(map.size(), 334u);  // 0, 3, …, 999
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(map.Contains(i), i % 3 == 0) << i;
+  }
+}
+
+TEST(FlatHashMapTest, RetainIfCanMutateValues) {
+  Map map;
+  for (std::int64_t i = 0; i < 100; ++i) map.TryInsert(i, i);
+  map.RetainIf([](std::int64_t, std::int64_t& v) {
+    v *= 10;
+    return true;
+  });
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(*map.Find(i), i * 10);
+}
+
+TEST(FlatHashMapTest, RetainIfVisitsEachEntryExactlyOnce) {
+  Map map;
+  for (std::int64_t i = 0; i < 500; ++i) map.TryInsert(i, 0);
+  std::unordered_map<std::int64_t, int> visits;
+  map.RetainIf([&visits](std::int64_t key, std::int64_t&) {
+    ++visits[key];
+    return key % 2 == 0;
+  });
+  EXPECT_EQ(visits.size(), 500u);
+  for (const auto& [k, n] : visits) {
+    EXPECT_EQ(n, 1) << k;
+  }
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsIncrementalGrowth) {
+  Map map(5000);
+  const std::size_t cap = map.capacity();
+  for (std::int64_t i = 0; i < 5000; ++i) map.TryInsert(i, i);
+  EXPECT_EQ(map.capacity(), cap);
+}
+
+TEST(FlatHashMapTest, RandomizedOracleComparison) {
+  Map map;
+  std::unordered_map<std::int64_t, std::int64_t> oracle;
+  Random rng(77);
+  for (int op = 0; op < 200000; ++op) {
+    const std::int64_t key = rng.UniformInt(0, 999);
+    switch (rng.UniformInt(0, 2)) {
+      case 0: {
+        const std::int64_t val = rng.UniformInt(0, 1 << 20);
+        const bool fresh = oracle.emplace(key, val).second;
+        auto [v, inserted] = map.TryInsert(key, val);
+        ASSERT_EQ(inserted, fresh);
+        ASSERT_EQ(*v, oracle[key]);
+        break;
+      }
+      case 1: {
+        const bool had = oracle.erase(key) > 0;
+        ASSERT_EQ(map.Erase(key), had);
+        break;
+      }
+      default: {
+        const auto it = oracle.find(key);
+        const std::int64_t* v = map.Find(key);
+        if (it == oracle.end()) {
+          ASSERT_EQ(v, nullptr);
+        } else {
+          ASSERT_NE(v, nullptr);
+          ASSERT_EQ(*v, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(map.size(), oracle.size());
+  }
+}
+
+TEST(IntegerHashTest, AvalanchesLowBits) {
+  IntegerHash hash;
+  // Sequential keys must not map to sequential hashes (identity hashing is
+  // what this type exists to avoid).
+  int collisions_mod_small = 0;
+  for (std::int64_t i = 0; i < 1024; ++i) {
+    if ((hash(i) & 1023) == static_cast<std::size_t>(i & 1023)) {
+      ++collisions_mod_small;
+    }
+  }
+  EXPECT_LT(collisions_mod_small, 16);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,53 @@
+#include "container/selection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace aqua {
+namespace {
+
+TEST(KthLargestTest, BasicOrderStatistics) {
+  const std::vector<int> v = {5, 1, 9, 3, 7};
+  EXPECT_EQ(KthLargest(v, 1), 9);
+  EXPECT_EQ(KthLargest(v, 2), 7);
+  EXPECT_EQ(KthLargest(v, 3), 5);
+  EXPECT_EQ(KthLargest(v, 5), 1);
+}
+
+TEST(KthLargestTest, KZeroActsAsOne) {
+  EXPECT_EQ(KthLargest(std::vector<int>{2, 8, 4}, 0), 8);
+}
+
+TEST(KthLargestTest, KBeyondSizeReturnsMinimum) {
+  EXPECT_EQ(KthLargest(std::vector<int>{2, 8, 4}, 100), 2);
+}
+
+TEST(KthLargestTest, EmptyReturnsSentinel) {
+  EXPECT_EQ(KthLargest(std::vector<int>{}, 3, -1), -1);
+}
+
+TEST(KthLargestTest, DuplicatesCounted) {
+  const std::vector<int> v = {5, 5, 5, 1};
+  EXPECT_EQ(KthLargest(v, 3), 5);
+  EXPECT_EQ(KthLargest(v, 4), 1);
+}
+
+TEST(SortByDescendingTest, SortsByProjection) {
+  std::vector<std::string> words = {"bb", "a", "dddd", "ccc"};
+  SortByDescending(words, [](const std::string& s) { return s.size(); });
+  EXPECT_EQ(words, (std::vector<std::string>{"dddd", "ccc", "bb", "a"}));
+}
+
+TEST(SortByDescendingTest, StableForTies) {
+  std::vector<std::pair<int, int>> items = {{1, 0}, {2, 1}, {1, 2}, {2, 3}};
+  SortByDescending(items, [](const auto& p) { return p.first; });
+  EXPECT_EQ(items[0].second, 1);
+  EXPECT_EQ(items[1].second, 3);
+  EXPECT_EQ(items[2].second, 0);
+  EXPECT_EQ(items[3].second, 2);
+}
+
+}  // namespace
+}  // namespace aqua

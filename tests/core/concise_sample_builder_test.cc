@@ -1,0 +1,71 @@
+#include "core/concise_sample_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(ConciseSampleBuilderTest, EmptyData) {
+  const OfflineConciseSample s =
+      BuildOfflineConciseSample(std::vector<Value>{}, 100, 1);
+  EXPECT_EQ(s.sample_size, 0);
+  EXPECT_EQ(s.footprint, 0);
+  EXPECT_TRUE(s.entries.empty());
+}
+
+TEST(ConciseSampleBuilderTest, FootprintWithinBound) {
+  const std::vector<Value> data = ZipfValues(100000, 5000, 1.0, 1);
+  const OfflineConciseSample s = BuildOfflineConciseSample(data, 100, 2);
+  EXPECT_LE(s.footprint, 100);
+  EXPECT_EQ(s.footprint, FootprintOf(s.entries));
+  EXPECT_EQ(s.sample_size, SampleSizeOf(s.entries));
+}
+
+TEST(ConciseSampleBuilderTest, ConsumesWholeDatasetWhenAllValuesFit) {
+  // D distinct values with 2D <= m: the loop can only stop at n samples.
+  const std::vector<Value> data = ZipfValues(20000, 40, 1.0, 3);
+  const OfflineConciseSample s = BuildOfflineConciseSample(data, 100, 4);
+  EXPECT_EQ(s.sample_size, 20000);
+  EXPECT_EQ(s.disk_accesses, 20000);
+}
+
+TEST(ConciseSampleBuilderTest, SkewIncreasesSampleSize) {
+  const std::vector<Value> uniform = ZipfValues(100000, 5000, 0.0, 5);
+  const std::vector<Value> skewed = ZipfValues(100000, 5000, 1.5, 5);
+  const OfflineConciseSample su = BuildOfflineConciseSample(uniform, 200, 6);
+  const OfflineConciseSample ss = BuildOfflineConciseSample(skewed, 200, 6);
+  EXPECT_GT(ss.sample_size, 3 * su.sample_size);
+}
+
+TEST(ConciseSampleBuilderTest, DeterministicForFixedSeed) {
+  const std::vector<Value> data = ZipfValues(50000, 1000, 1.0, 7);
+  const OfflineConciseSample a = BuildOfflineConciseSample(data, 150, 8);
+  const OfflineConciseSample b = BuildOfflineConciseSample(data, 150, 8);
+  EXPECT_EQ(a.sample_size, b.sample_size);
+  EXPECT_EQ(a.footprint, b.footprint);
+}
+
+TEST(ConciseSampleBuilderTest, OneDiskAccessPerSamplePoint) {
+  const std::vector<Value> data = ZipfValues(50000, 5000, 0.5, 9);
+  const OfflineConciseSample s = BuildOfflineConciseSample(data, 100, 10);
+  // The ignored final point also cost an access; allow that off-by-one.
+  EXPECT_GE(s.disk_accesses, s.sample_size);
+  EXPECT_LE(s.disk_accesses, s.sample_size + 1);
+}
+
+TEST(ConciseSampleBuilderTest, EntriesDrawnFromData) {
+  const std::vector<Value> data = ZipfValues(10000, 300, 1.0, 11);
+  const OfflineConciseSample s = BuildOfflineConciseSample(data, 120, 12);
+  for (const ValueCount& e : s.entries) {
+    EXPECT_GE(e.value, 1);
+    EXPECT_LE(e.value, 300);
+    EXPECT_GE(e.count, 1);
+  }
+}
+
+}  // namespace
+}  // namespace aqua

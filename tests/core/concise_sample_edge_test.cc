@@ -1,0 +1,145 @@
+// Edge-case and failure-injection tests for ConciseSample, complementing
+// the mainline suite in concise_sample_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "core/concise_sample.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+ConciseSampleOptions Opts(Words bound, std::uint64_t seed,
+                          std::shared_ptr<ThresholdPolicy> policy = nullptr) {
+  ConciseSampleOptions o;
+  o.footprint_bound = bound;
+  o.seed = seed;
+  o.policy = std::move(policy);
+  return o;
+}
+
+TEST(ConciseSampleEdgeTest, MinimumFootprintOfTwo) {
+  // The smallest legal synopsis: room for exactly one <value,count> pair.
+  ConciseSample s(Opts(2, 1));
+  for (Value v : ZipfValues(50000, 100, 1.0, 2)) {
+    s.Insert(v);
+    ASSERT_LE(s.Footprint(), 2);
+  }
+  ASSERT_TRUE(s.Validate().ok());
+  EXPECT_LE(s.DistinctValues(), 2);
+}
+
+TEST(ConciseSampleEdgeTest, SingleValueStreamAtMinimumFootprint) {
+  ConciseSample s(Opts(2, 3));
+  for (int i = 0; i < 100000; ++i) s.Insert(7);
+  // One pair holds everything; no raise ever needed.
+  EXPECT_EQ(s.Footprint(), 2);
+  EXPECT_EQ(s.SampleSize(), 100000);
+  EXPECT_EQ(s.Cost().threshold_raises, 0);
+}
+
+TEST(ConciseSampleEdgeTest, ExtremeValuesSurvive) {
+  ConciseSample s(Opts(100, 4));
+  const Value extremes[] = {std::numeric_limits<Value>::min(),
+                            std::numeric_limits<Value>::max(), 0, -1, 1};
+  for (int round = 0; round < 100; ++round) {
+    for (Value v : extremes) s.Insert(v);
+  }
+  ASSERT_TRUE(s.Validate().ok());
+  for (Value v : extremes) EXPECT_EQ(s.CountOf(v), 100);
+}
+
+TEST(ConciseSampleEdgeTest, AggressiveRaisePolicyStaysCorrect) {
+  // A ×16 raise policy evicts most of the sample each time; invariants and
+  // uniform-sampling semantics must survive.
+  ConciseSample s(
+      Opts(100, 5, std::make_shared<MultiplicativeThresholdPolicy>(16.0)));
+  for (Value v : ZipfValues(300000, 5000, 1.0, 6)) {
+    s.Insert(v);
+    ASSERT_LE(s.Footprint(), 100);
+  }
+  ASSERT_TRUE(s.Validate().ok());
+  // Expected sample-size n/τ still honored within wide noise.
+  const double expected = 300000.0 / s.Threshold();
+  EXPECT_LT(std::abs(static_cast<double>(s.SampleSize()) - expected),
+            4.0 * expected + 50.0);
+}
+
+TEST(ConciseSampleEdgeTest, TinyRaisePolicyTerminates) {
+  // A 0.1% raise frequently fails to shrink the footprint, exercising the
+  // "raise and try again" loop.
+  ConciseSample s(
+      Opts(64, 7, std::make_shared<MultiplicativeThresholdPolicy>(1.001)));
+  for (Value v : ZipfValues(100000, 2000, 0.75, 8)) s.Insert(v);
+  ASSERT_TRUE(s.Validate().ok());
+  EXPECT_GT(s.Cost().threshold_raises, 100);
+}
+
+TEST(ConciseSampleEdgeTest, AlternatingHotColdPattern) {
+  // Adversarial-ish pattern: a burst of one hot value, then a sweep of
+  // fresh singletons, repeated.  Footprint accounting must track the
+  // singleton<->pair churn exactly.
+  ConciseSample s(Opts(128, 9));
+  Value fresh = 1000;
+  for (int round = 0; round < 2000; ++round) {
+    for (int i = 0; i < 20; ++i) s.Insert(1);
+    for (int i = 0; i < 20; ++i) s.Insert(fresh++);
+    if (round % 100 == 0) {
+      ASSERT_TRUE(s.Validate().ok()) << "round " << round;
+    }
+  }
+  ASSERT_TRUE(s.Validate().ok());
+  EXPECT_GT(s.CountOf(1), 0);  // the persistent hot value survives
+}
+
+TEST(ConciseSampleEdgeTest, NaiveModeRaisesBehaveLikeSkipMode) {
+  ConciseSampleOptions o = Opts(64, 10);
+  o.use_skip_counting = false;
+  ConciseSample s(o);
+  for (Value v : ZipfValues(100000, 2000, 1.0, 11)) {
+    s.Insert(v);
+    ASSERT_LE(s.Footprint(), 64);
+  }
+  ASSERT_TRUE(s.Validate().ok());
+  EXPECT_GT(s.Cost().threshold_raises, 0);
+}
+
+TEST(ConciseSampleEdgeTest, RestoredSampleRaisesCorrectly) {
+  // Restore near the footprint bound, then force raises with new inserts.
+  std::vector<ValueCount> entries;
+  for (Value v = 0; v < 40; ++v) entries.push_back({v, 2});  // 80 words
+  auto restored = ConciseSample::Restore(Opts(81, 12), 4.0, 1000, entries);
+  ASSERT_TRUE(restored.ok());
+  for (Value v : ZipfValues(50000, 500, 1.0, 13)) restored->Insert(v);
+  ASSERT_TRUE(restored->Validate().ok());
+  EXPECT_LE(restored->Footprint(), 81);
+  EXPECT_GT(restored->Threshold(), 4.0);
+}
+
+TEST(ConciseSampleEdgeTest, EntriesSnapshotIsStable) {
+  ConciseSample s(Opts(100, 14));
+  for (Value v : ZipfValues(20000, 300, 1.0, 15)) s.Insert(v);
+  auto a = s.Entries();
+  auto b = s.Entries();
+  auto by_value = [](const ValueCount& x, const ValueCount& y) {
+    return x.value < y.value;
+  };
+  std::sort(a.begin(), a.end(), by_value);
+  std::sort(b.begin(), b.end(), by_value);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ConciseSampleEdgeTest, CostAccessorIsIdempotent) {
+  ConciseSample s(Opts(100, 16));
+  for (Value v : ZipfValues(10000, 500, 1.0, 17)) s.Insert(v);
+  const std::int64_t flips1 = s.Cost().coin_flips;
+  const std::int64_t flips2 = s.Cost().coin_flips;
+  EXPECT_EQ(flips1, flips2);
+  EXPECT_GT(flips1, 0);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,144 @@
+// Edge-case and failure-injection tests for CountingSample.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/counting_sample.h"
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+CountingSampleOptions Opts(Words bound, std::uint64_t seed) {
+  return CountingSampleOptions{.footprint_bound = bound, .seed = seed};
+}
+
+TEST(CountingSampleEdgeTest, MinimumFootprintOfTwo) {
+  CountingSample s(Opts(2, 1));
+  for (Value v : ZipfValues(50000, 100, 1.0, 2)) {
+    s.Insert(v);
+    ASSERT_LE(s.Footprint(), 2);
+  }
+  ASSERT_TRUE(s.Validate().ok());
+}
+
+TEST(CountingSampleEdgeTest, DeleteEverythingRepeatedly) {
+  CountingSample s(Opts(100, 3));
+  for (int round = 0; round < 50; ++round) {
+    for (Value v = 0; v < 20; ++v) s.Insert(v);
+    for (Value v = 0; v < 20; ++v) {
+      ASSERT_TRUE(s.Delete(v).ok());
+    }
+    ASSERT_TRUE(s.Validate().ok()) << "round " << round;
+  }
+  EXPECT_EQ(s.Footprint(), 0);
+  EXPECT_EQ(s.CountedOccurrences(), 0);
+}
+
+TEST(CountingSampleEdgeTest, InterleavedInsertDeleteOfOneValue) {
+  CountingSample s(Opts(10, 4));
+  Count live = 0;
+  Random rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    if (live > 0 && rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(s.Delete(42).ok());
+      --live;
+    } else {
+      s.Insert(42);
+      ++live;
+    }
+    ASSERT_EQ(s.CountOf(42), live);  // τ stays 1: exact tracking
+  }
+  ASSERT_TRUE(s.Validate().ok());
+}
+
+TEST(CountingSampleEdgeTest, DeleteAfterThresholdRaises) {
+  CountingSample s(Opts(100, 6));
+  Relation relation;
+  for (Value v : ZipfValues(200000, 2000, 1.0, 7)) {
+    s.Insert(v);
+    relation.Insert(v);
+  }
+  ASSERT_GT(s.Threshold(), 1.0);
+  // Delete every remaining occurrence of the hottest value.
+  const Value hot = 1;
+  while (relation.FrequencyOf(hot) > 0) {
+    ASSERT_TRUE(s.Delete(hot).ok());
+    ASSERT_TRUE(relation.Delete(hot).ok());
+  }
+  EXPECT_EQ(s.CountOf(hot), 0);
+  ASSERT_TRUE(s.Validate().ok());
+  // Subset invariant still holds for everything else.
+  for (const ValueCount& e : s.Entries()) {
+    ASSERT_LE(e.count, relation.FrequencyOf(e.value));
+  }
+}
+
+TEST(CountingSampleEdgeTest, ExtremeValues) {
+  CountingSample s(Opts(100, 8));
+  const Value extremes[] = {std::numeric_limits<Value>::min(),
+                            std::numeric_limits<Value>::max(), 0};
+  for (int i = 0; i < 50; ++i) {
+    for (Value v : extremes) s.Insert(v);
+  }
+  for (Value v : extremes) EXPECT_EQ(s.CountOf(v), 50);
+  for (Value v : extremes) ASSERT_TRUE(s.Delete(v).ok());
+  for (Value v : extremes) EXPECT_EQ(s.CountOf(v), 49);
+  ASSERT_TRUE(s.Validate().ok());
+}
+
+TEST(CountingSampleEdgeTest, RestoredSampleHandlesDeletes) {
+  std::vector<ValueCount> entries = {{1, 10}, {2, 1}, {3, 5}};
+  auto restored = CountingSample::Restore(Opts(100, 9), 3.0, 500, entries);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(restored->Delete(1).ok());
+  EXPECT_EQ(restored->CountOf(1), 9);
+  ASSERT_TRUE(restored->Delete(2).ok());
+  EXPECT_EQ(restored->CountOf(2), 0);
+  ASSERT_TRUE(restored->Validate().ok());
+}
+
+TEST(CountingSampleEdgeTest, RestoreValidation) {
+  const CountingSampleOptions o = Opts(4, 10);
+  EXPECT_TRUE(CountingSample::Restore(o, 2.0, 5, {{1, 2}, {2, 2}, {3, 1}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_FALSE(CountingSample::Restore(o, 0.0, 5, {{1, 1}}).ok());
+  EXPECT_FALSE(CountingSample::Restore(o, 2.0, 5, {{1, -3}}).ok());
+  EXPECT_TRUE(CountingSample::Restore(o, 2.0, 5, {{1, 2}, {2, 1}}).ok());
+}
+
+TEST(CountingSampleEdgeTest, HeavyChurnNearFootprintBound) {
+  // Distinct-value churn keeps the synopsis at its bound, forcing raises
+  // while deletes drain counts concurrently.
+  CountingSample s(Opts(64, 11));
+  Relation relation;
+  const UpdateStream stream = MixedStream(200000, 400, 0.6, 0.35, 1000, 12);
+  for (const StreamOp& op : stream) {
+    if (op.kind == StreamOp::Kind::kInsert) {
+      s.Insert(op.value);
+      relation.Insert(op.value);
+    } else {
+      ASSERT_TRUE(s.Delete(op.value).ok());
+      ASSERT_TRUE(relation.Delete(op.value).ok());
+    }
+    ASSERT_LE(s.Footprint(), 64);
+  }
+  ASSERT_TRUE(s.Validate().ok());
+  for (const ValueCount& e : s.Entries()) {
+    ASSERT_LE(e.count, relation.FrequencyOf(e.value));
+  }
+}
+
+TEST(CountingSampleEdgeTest, ObservedInsertsExcludesDeletes) {
+  CountingSample s(Opts(100, 13));
+  for (int i = 0; i < 10; ++i) s.Insert(1);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(s.Delete(1).ok());
+  EXPECT_EQ(s.ObservedInserts(), 10);
+  EXPECT_EQ(s.CountOf(1), 6);
+}
+
+}  // namespace
+}  // namespace aqua

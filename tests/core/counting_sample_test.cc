@@ -1,0 +1,235 @@
+#include "core/counting_sample.h"
+
+#include <gtest/gtest.h>
+
+#include "core/concise_sample.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+CountingSampleOptions Opts(Words bound, std::uint64_t seed,
+                           bool skip = true) {
+  CountingSampleOptions o;
+  o.footprint_bound = bound;
+  o.seed = seed;
+  o.use_skip_counting = skip;
+  return o;
+}
+
+TEST(CountingSampleTest, EmptySample) {
+  CountingSample s(Opts(100, 1));
+  EXPECT_EQ(s.CountedOccurrences(), 0);
+  EXPECT_EQ(s.Footprint(), 0);
+  EXPECT_DOUBLE_EQ(s.Threshold(), 1.0);
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_EQ(s.Name(), "counting-sample");
+}
+
+TEST(CountingSampleTest, ExactWhenAllValuesFit) {
+  // While τ = 1 every value is admitted, so counts are exact.
+  CountingSample s(Opts(1000, 2));
+  Relation relation;
+  for (Value v : ZipfValues(50000, 400, 1.5, 99)) {
+    s.Insert(v);
+    relation.Insert(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Threshold(), 1.0);
+  for (const ValueCount& vc : relation.ExactCounts()) {
+    EXPECT_EQ(s.CountOf(vc.value), vc.count) << "value " << vc.value;
+  }
+  EXPECT_EQ(s.Cost().coin_flips, 0);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(CountingSampleTest, LookupOnEveryInsert) {
+  CountingSample s(Opts(100, 3));
+  const std::vector<Value> data = ZipfValues(100000, 5000, 1.0, 100);
+  for (Value v : data) s.Insert(v);
+  // §4.1: "they perform a look-up at each update".
+  EXPECT_EQ(s.Cost().lookups, static_cast<std::int64_t>(data.size()));
+}
+
+TEST(CountingSampleTest, FootprintNeverExceedsBound) {
+  CountingSample s(Opts(100, 4));
+  for (Value v : ZipfValues(200000, 5000, 1.0, 101)) {
+    s.Insert(v);
+    ASSERT_LE(s.Footprint(), 100);
+  }
+  EXPECT_GT(s.Threshold(), 1.0);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(CountingSampleTest, CountsNeverExceedTrueFrequencies) {
+  // Under insert-only streams the counted occurrences are a subset of the
+  // true occurrences (property 1 of Definition 3).
+  CountingSample s(Opts(200, 5));
+  Relation relation;
+  for (Value v : ZipfValues(150000, 2000, 1.25, 102)) {
+    s.Insert(v);
+    relation.Insert(v);
+    }
+  for (const ValueCount& e : s.Entries()) {
+    ASSERT_LE(e.count, relation.FrequencyOf(e.value))
+        << "value " << e.value;
+  }
+}
+
+TEST(CountingSampleTest, HotValuesCountsNearlyExact) {
+  // Theorem 6(iii): frequent values are admitted early, so their counts
+  // miss at most ~τ occurrences.
+  CountingSample s(Opts(500, 6));
+  Relation relation;
+  for (Value v : ZipfValues(300000, 5000, 1.25, 103)) {
+    s.Insert(v);
+    relation.Insert(v);
+  }
+  const double tau = s.Threshold();
+  // The most frequent value.
+  const Count f1 = relation.FrequencyOf(1);
+  const Count c1 = s.CountOf(1);
+  ASSERT_GT(c1, 0);
+  EXPECT_GE(static_cast<double>(c1), static_cast<double>(f1) - 12.0 * tau);
+  EXPECT_LE(c1, f1);
+}
+
+TEST(CountingSampleTest, DeleteDecrementsPresentValue) {
+  CountingSample s(Opts(100, 7));
+  for (int i = 0; i < 10; ++i) s.Insert(42);
+  ASSERT_EQ(s.CountOf(42), 10);
+  ASSERT_TRUE(s.Delete(42).ok());
+  EXPECT_EQ(s.CountOf(42), 9);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(CountingSampleTest, DeleteToZeroRemovesValue) {
+  CountingSample s(Opts(100, 8));
+  s.Insert(7);
+  ASSERT_EQ(s.CountOf(7), 1);
+  ASSERT_TRUE(s.Delete(7).ok());
+  EXPECT_EQ(s.CountOf(7), 0);
+  EXPECT_EQ(s.Footprint(), 0);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(CountingSampleTest, DeleteOfAbsentValueIsNoOp) {
+  CountingSample s(Opts(100, 9));
+  s.Insert(1);
+  EXPECT_TRUE(s.Delete(999).ok());
+  EXPECT_EQ(s.CountOf(1), 1);
+}
+
+TEST(CountingSampleTest, MixedStreamKeepsSubsetInvariant) {
+  CountingSample s(Opts(150, 10));
+  Relation relation;
+  const UpdateStream stream = MixedStream(120000, 1500, 1.0, 0.25, 5000, 104);
+  for (const StreamOp& op : stream) {
+    if (op.kind == StreamOp::Kind::kInsert) {
+      s.Insert(op.value);
+      relation.Insert(op.value);
+    } else {
+      ASSERT_TRUE(s.Delete(op.value).ok());
+      ASSERT_TRUE(relation.Delete(op.value).ok());
+    }
+    ASSERT_LE(s.Footprint(), 150);
+  }
+  ASSERT_TRUE(s.Validate().ok());
+  for (const ValueCount& e : s.Entries()) {
+    ASSERT_LE(e.count, relation.FrequencyOf(e.value))
+        << "value " << e.value;
+  }
+}
+
+TEST(CountingSampleTest, ConversionYieldsValidConciseEntries) {
+  CountingSample s(Opts(300, 11));
+  for (Value v : ZipfValues(200000, 3000, 1.25, 105)) s.Insert(v);
+  const std::vector<ValueCount> counting = s.Entries();
+  const std::vector<ValueCount> concise = s.ToConciseEntries(42);
+  ASSERT_EQ(concise.size(), counting.size());
+  // Conversion only shrinks counts, never below 1 (§4: "the footprint
+  // decreases by one for each pair for which all its coins are tails").
+  std::int64_t reduced = 0;
+  for (std::size_t i = 0; i < concise.size(); ++i) {
+    EXPECT_EQ(concise[i].value, counting[i].value);
+    EXPECT_GE(concise[i].count, 1);
+    EXPECT_LE(concise[i].count, counting[i].count);
+    reduced += counting[i].count - concise[i].count;
+  }
+  EXPECT_GT(reduced, 0);
+  EXPECT_LE(FootprintOf(concise), FootprintOf(counting));
+}
+
+TEST(CountingSampleTest, ConversionExpectedSize) {
+  // E[converted count] = 1 + (c-1)/τ per entry.
+  CountingSample s(Opts(300, 12));
+  for (Value v : ZipfValues(200000, 3000, 1.25, 106)) s.Insert(v);
+  const double tau = s.Threshold();
+  double expected = 0.0;
+  for (const ValueCount& e : s.Entries()) {
+    expected += 1.0 + static_cast<double>(e.count - 1) / tau;
+  }
+  double mean = 0.0;
+  constexpr int kTrials = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    mean += static_cast<double>(
+        SampleSizeOf(s.ToConciseEntries(1000 + static_cast<std::uint64_t>(t))));
+  }
+  mean /= kTrials;
+  EXPECT_NEAR(mean, expected, 0.15 * expected);
+}
+
+TEST(CountingSampleTest, DeterministicForFixedSeed) {
+  CountingSample a(Opts(100, 13)), b(Opts(100, 13));
+  for (Value v : ZipfValues(80000, 1000, 1.0, 107)) {
+    a.Insert(v);
+    b.Insert(v);
+  }
+  EXPECT_EQ(a.CountedOccurrences(), b.CountedOccurrences());
+  EXPECT_DOUBLE_EQ(a.Threshold(), b.Threshold());
+}
+
+TEST(CountingSampleTest, SkipAndNaiveModesAgreeStatistically) {
+  const std::vector<Value> data = ZipfValues(60000, 1500, 1.0, 108);
+  double mean_skip = 0.0, mean_naive = 0.0;
+  constexpr int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    CountingSample skip(Opts(200, 600 + static_cast<std::uint64_t>(t), true));
+    CountingSample naive(
+        Opts(200, 800 + static_cast<std::uint64_t>(t), false));
+    for (Value v : data) {
+      skip.Insert(v);
+      naive.Insert(v);
+    }
+    mean_skip += static_cast<double>(skip.CountedOccurrences());
+    mean_naive += static_cast<double>(naive.CountedOccurrences());
+  }
+  mean_skip /= kTrials;
+  mean_naive /= kTrials;
+  EXPECT_NEAR(mean_skip, mean_naive, 0.2 * mean_naive);
+}
+
+TEST(CountingSampleTest, MoreRaisesThanConciseOnSameStream) {
+  // Table 2's observation: the counting sample raises the threshold more
+  // often because most entries are pairs (counting all occurrences).
+  const std::vector<Value> data = ZipfValues(200000, 5000, 1.0, 109);
+  CountingSample counting(Opts(1000, 14));
+  ConciseSampleOptions co;
+  co.footprint_bound = 1000;
+  co.seed = 14;
+  ConciseSample concise(co);
+  for (Value v : data) {
+    counting.Insert(v);
+    concise.Insert(v);
+  }
+  EXPECT_GE(counting.Cost().threshold_raises,
+            concise.Cost().threshold_raises);
+  EXPECT_GE(counting.Threshold(), concise.Threshold());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,114 @@
+#include "core/threshold_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aqua {
+namespace {
+
+ThresholdRaiseContext MakeContext(double tau, std::int64_t singletons,
+                                  std::int64_t pairs, Words bound) {
+  ThresholdRaiseContext c;
+  c.threshold = tau;
+  c.footprint_bound = bound;
+  c.footprint = bound + 1;
+  c.singletons = singletons;
+  c.pairs = pairs;
+  c.sample_size = singletons + 3 * pairs;
+  return c;
+}
+
+TEST(MultiplicativePolicyTest, ScalesByFactor) {
+  MultiplicativeThresholdPolicy policy(1.1);
+  const ThresholdRaiseContext c = MakeContext(10.0, 50, 25, 100);
+  EXPECT_DOUBLE_EQ(policy.NextThreshold(c), 11.0);
+  EXPECT_EQ(policy.Name(), "multiplicative");
+  EXPECT_FALSE(policy.NeedsCounts());
+}
+
+TEST(MultiplicativePolicyTest, RejectsNonIncreasingFactor) {
+  EXPECT_DEATH({ MultiplicativeThresholdPolicy p(1.0); (void)p; },
+               "exceed 1");
+}
+
+TEST(SingletonBoundPolicyTest, MeetsTargetInExpectation) {
+  SingletonBoundThresholdPolicy policy(0.05);
+  const ThresholdRaiseContext c = MakeContext(10.0, 80, 10, 100);
+  const double next = policy.NextThreshold(c);
+  ASSERT_GT(next, 10.0);
+  // (1 - τ/τ') * singletons >= 5% of the bound = 5 evictions.
+  const double expected_singleton_evictions =
+      (1.0 - 10.0 / next) * 80.0;
+  EXPECT_GE(expected_singleton_evictions, 5.0 - 1e-9);
+}
+
+TEST(SingletonBoundPolicyTest, FallsBackWithFewSingletons) {
+  SingletonBoundThresholdPolicy policy(0.05, 1.25);
+  const ThresholdRaiseContext c = MakeContext(10.0, 2, 49, 100);
+  EXPECT_DOUBLE_EQ(policy.NextThreshold(c), 12.5);
+}
+
+TEST(BinarySearchPolicyTest, ExpectedDecreaseIsExactForSingletons) {
+  std::vector<Count> counts(100, 1);
+  ThresholdRaiseContext c = MakeContext(10.0, 100, 0, 100);
+  c.counts = &counts;
+  // Retention r = 10/20 = 0.5: each singleton evicts w.p. 0.5 → 50 words.
+  EXPECT_NEAR(BinarySearchThresholdPolicy::ExpectedDecrease(c, 20.0), 50.0,
+              1e-9);
+}
+
+TEST(BinarySearchPolicyTest, ExpectedDecreaseForPairs) {
+  std::vector<Count> counts = {2};
+  ThresholdRaiseContext c = MakeContext(10.0, 0, 1, 100);
+  c.counts = &counts;
+  const double r = 0.5;
+  // 2·(1-r)² + 2·r·(1-r) words expected.
+  const double expected = 2 * (1 - r) * (1 - r) + 2 * r * (1 - r);
+  EXPECT_NEAR(BinarySearchThresholdPolicy::ExpectedDecrease(c, 20.0),
+              expected, 1e-9);
+}
+
+TEST(BinarySearchPolicyTest, ExpectedDecreaseMonotoneInThreshold) {
+  std::vector<Count> counts = {1, 1, 2, 5, 10, 100};
+  ThresholdRaiseContext c = MakeContext(10.0, 2, 4, 100);
+  c.counts = &counts;
+  double last = 0.0;
+  for (double next : {11.0, 12.0, 15.0, 20.0, 40.0}) {
+    const double dec = BinarySearchThresholdPolicy::ExpectedDecrease(c, next);
+    EXPECT_GE(dec, last);
+    last = dec;
+  }
+}
+
+TEST(BinarySearchPolicyTest, FindsThresholdMeetingTarget) {
+  BinarySearchThresholdPolicy policy(0.05);
+  std::vector<Count> counts(200, 1);
+  ThresholdRaiseContext c = MakeContext(10.0, 200, 0, 200);
+  c.counts = &counts;
+  const double next = policy.NextThreshold(c);
+  ASSERT_GT(next, 10.0);
+  const double dec = BinarySearchThresholdPolicy::ExpectedDecrease(c, next);
+  EXPECT_GE(dec, 10.0 - 0.1);   // target = 5% of 200
+  EXPECT_LE(dec, 11.0);         // …and not wildly more (binary search tight)
+  EXPECT_TRUE(policy.NeedsCounts());
+}
+
+TEST(BinarySearchPolicyTest, CapsAtMaxFactor) {
+  BinarySearchThresholdPolicy policy(0.5, 2.0);
+  // One pair with a huge count: even doubling τ cannot evict 50 words.
+  std::vector<Count> counts = {1000000};
+  ThresholdRaiseContext c = MakeContext(10.0, 0, 1, 100);
+  c.counts = &counts;
+  EXPECT_DOUBLE_EQ(policy.NextThreshold(c), 20.0);
+}
+
+TEST(DefaultPolicyTest, IsPaperMultiplicative) {
+  auto policy = DefaultThresholdPolicy();
+  EXPECT_EQ(policy->Name(), "multiplicative");
+  const ThresholdRaiseContext c = MakeContext(100.0, 10, 10, 100);
+  EXPECT_NEAR(policy->NextThreshold(c), 110.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aqua

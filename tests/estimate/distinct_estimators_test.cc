@@ -1,0 +1,118 @@
+#include "estimate/distinct_estimators.h"
+
+#include <gtest/gtest.h>
+
+#include "core/concise_sample.h"
+#include "sample/reservoir_sample.h"
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(SampleDistinctStatisticsTest, CountsFromEntries) {
+  const std::vector<ValueCount> entries = {{1, 1}, {2, 1}, {3, 2}, {4, 5}};
+  const auto s = SampleDistinctStatistics::FromEntries(entries);
+  EXPECT_EQ(s.sample_size, 9);
+  EXPECT_EQ(s.distinct, 4);
+  EXPECT_EQ(s.singletons, 2);
+  EXPECT_EQ(s.doubletons, 1);
+}
+
+TEST(DistinctEstimatorsTest, KnownFormulas) {
+  SampleDistinctStatistics s;
+  s.sample_size = 100;
+  s.distinct = 40;
+  s.singletons = 20;
+  s.doubletons = 10;
+  EXPECT_DOUBLE_EQ(DistinctEstimators::NaiveScale(s, 10000), 4000.0);
+  EXPECT_DOUBLE_EQ(DistinctEstimators::Chao84(s), 40.0 + 400.0 / 20.0);
+  EXPECT_DOUBLE_EQ(DistinctEstimators::Jackknife1(s), 40.0 + 20.0 * 0.99);
+  EXPECT_DOUBLE_EQ(DistinctEstimators::SqrtScale(s, 10000),
+                   10.0 * 20.0 + 20.0);
+}
+
+TEST(DistinctEstimatorsTest, Chao84ZeroDoubletonsFallback) {
+  SampleDistinctStatistics s;
+  s.sample_size = 10;
+  s.distinct = 5;
+  s.singletons = 3;
+  s.doubletons = 0;
+  EXPECT_DOUBLE_EQ(DistinctEstimators::Chao84(s), 5.0 + 3.0);
+}
+
+TEST(DistinctEstimatorsTest, EmptySample) {
+  SampleDistinctStatistics s;
+  EXPECT_DOUBLE_EQ(DistinctEstimators::NaiveScale(s, 100), 0.0);
+  EXPECT_DOUBLE_EQ(DistinctEstimators::Jackknife1(s), 0.0);
+  EXPECT_DOUBLE_EQ(DistinctEstimators::SqrtScale(s, 100), 0.0);
+  EXPECT_DOUBLE_EQ(DistinctEstimators::ChaoLee(s, {}), 0.0);
+}
+
+TEST(DistinctEstimatorsTest, ExhaustiveSampleIsExact) {
+  // A sample of the whole relation has f1 counting truly-unique values;
+  // every estimator should land at D for a no-singleton dataset.
+  std::vector<ValueCount> entries;
+  for (Value v = 1; v <= 50; ++v) entries.push_back({v, 4});
+  const auto s = SampleDistinctStatistics::FromEntries(entries);
+  EXPECT_DOUBLE_EQ(DistinctEstimators::Chao84(s), 50.0);
+  EXPECT_DOUBLE_EQ(DistinctEstimators::Jackknife1(s), 50.0);
+  EXPECT_DOUBLE_EQ(DistinctEstimators::SqrtScale(s, 200), 50.0);
+}
+
+TEST(DistinctEstimatorsTest, ConciseSampleDrivesReasonableEstimates) {
+  // End to end: estimate D from a concise sample of a uniform relation.
+  // Uniform data is the easy regime for coverage estimators.
+  Relation relation;
+  ConciseSample sample(
+      ConciseSampleOptions{.footprint_bound = 2000, .seed = 1});
+  for (Value v : UniformValues(300000, 3000, 2)) {
+    relation.Insert(v);
+    sample.Insert(v);
+  }
+  const std::vector<ValueCount> entries = sample.Entries();
+  const auto s = SampleDistinctStatistics::FromEntries(entries);
+  const auto truth = static_cast<double>(relation.distinct_values());
+
+  const double chao_lee = DistinctEstimators::ChaoLee(s, entries);
+  const double sqrt_scale =
+      DistinctEstimators::SqrtScale(s, relation.size());
+  EXPECT_NEAR(chao_lee, truth, 0.5 * truth);
+  // GEE's guarantee is only a sqrt(n/m) ratio bound — check exactly that.
+  const double ratio = std::sqrt(static_cast<double>(relation.size()) /
+                                 static_cast<double>(s.sample_size));
+  EXPECT_GE(sqrt_scale, truth / ratio);
+  EXPECT_LE(sqrt_scale, truth * ratio);
+  // Chao84 is a lower bound in expectation.
+  EXPECT_LE(DistinctEstimators::Chao84(s), truth * 1.2);
+}
+
+TEST(DistinctEstimatorsTest, OrderingOnSkewedData) {
+  // On skewed data the naive scale-up wildly overshoots relative to the
+  // coverage-based estimators.
+  ReservoirSample reservoir(2000, 3);
+  Relation relation;
+  for (Value v : ZipfValues(300000, 3000, 1.2, 4)) {
+    relation.Insert(v);
+    reservoir.Insert(v);
+  }
+  // Fold the reservoir into entries.
+  std::vector<Value> points = reservoir.Points();
+  std::sort(points.begin(), points.end());
+  std::vector<ValueCount> entries;
+  for (std::size_t i = 0; i < points.size();) {
+    std::size_t j = i;
+    while (j < points.size() && points[j] == points[i]) ++j;
+    entries.push_back({points[i], static_cast<Count>(j - i)});
+    i = j;
+  }
+  const auto s = SampleDistinctStatistics::FromEntries(entries);
+  const auto truth = static_cast<double>(relation.distinct_values());
+  const double naive = DistinctEstimators::NaiveScale(s, relation.size());
+  const double chao = DistinctEstimators::Chao84(s);
+  EXPECT_GT(naive, truth * 2.0);
+  EXPECT_LT(std::abs(chao - truth), std::abs(naive - truth));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,84 @@
+#include "estimate/distinct_values.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "container/flat_hash_map.h"
+#include "random/random.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(ExpectedDistinctValuesTest, MomentFormEqualsStableFormForSmallM) {
+  // Theorem 4's alternating-sum form must agree with the direct form.
+  const std::vector<Value> data = ZipfValues(5000, 50, 1.0, 1);
+  const FrequencyMoments fm = FrequencyMoments::FromData(data);
+  const ExpectedDistinctValues edv(fm);
+  for (std::int64_t m : {1, 2, 5, 10, 20, 30}) {
+    EXPECT_NEAR(edv.MomentForm(m), edv.Stable(m),
+                1e-6 * std::max(1.0, edv.Stable(m)))
+        << "m=" << m;
+  }
+}
+
+TEST(ExpectedDistinctValuesTest, SingleSampleIsOneDistinct) {
+  const std::vector<Value> data = {1, 1, 2, 3};
+  const FrequencyMoments fm = FrequencyMoments::FromData(data);
+  EXPECT_NEAR(ExpectedDistinctValues(fm).Stable(1), 1.0, 1e-12);
+}
+
+TEST(ExpectedDistinctValuesTest, ApproachesDAsMGrows) {
+  const std::vector<Value> data = UniformValues(10000, 20, 2);
+  const FrequencyMoments fm = FrequencyMoments::FromData(data);
+  const ExpectedDistinctValues edv(fm);
+  EXPECT_NEAR(edv.Stable(10000), 20.0, 0.05);
+  EXPECT_LT(edv.Stable(5), edv.Stable(50));
+}
+
+TEST(ExpectedDistinctValuesTest, GainIsMMinusDistinct) {
+  const std::vector<Value> data = ZipfValues(20000, 100, 1.5, 3);
+  const FrequencyMoments fm = FrequencyMoments::FromData(data);
+  const ExpectedDistinctValues edv(fm);
+  const std::int64_t m = 500;
+  EXPECT_NEAR(edv.ExpectedGain(m),
+              static_cast<double>(m) - edv.Stable(m), 1e-9);
+  EXPECT_GT(edv.ExpectedGain(m), 0.0);
+}
+
+TEST(ExpectedDistinctValuesTest, MatchesSimulation) {
+  // Draw with-replacement samples and compare the empirical mean distinct
+  // count to the formula.
+  const std::vector<Value> data = ZipfValues(5000, 200, 1.0, 4);
+  const FrequencyMoments fm = FrequencyMoments::FromData(data);
+  const ExpectedDistinctValues edv(fm);
+  constexpr std::int64_t kM = 100;
+  constexpr int kTrials = 400;
+  Random rng(5);
+  double mean_distinct = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    FlatHashMap<Value, Count> seen;
+    for (std::int64_t i = 0; i < kM; ++i) {
+      const Value v = data[static_cast<std::size_t>(
+          rng.UniformU64(data.size()))];
+      seen.TryInsert(v, 1);
+    }
+    mean_distinct += static_cast<double>(seen.size());
+  }
+  mean_distinct /= kTrials;
+  EXPECT_NEAR(mean_distinct, edv.Stable(kM), 0.05 * edv.Stable(kM));
+}
+
+TEST(ExpectedDistinctValuesTest, SkewReducesExpectedDistinct) {
+  const FrequencyMoments uniform =
+      FrequencyMoments::FromData(ZipfValues(50000, 1000, 0.0, 6));
+  const FrequencyMoments skewed =
+      FrequencyMoments::FromData(ZipfValues(50000, 1000, 2.0, 6));
+  const std::int64_t m = 500;
+  EXPECT_LT(ExpectedDistinctValues(skewed).Stable(m),
+            ExpectedDistinctValues(uniform).Stable(m));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,79 @@
+#include "estimate/frequency_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(FrequencyEstimatorTest, ConciseEstimateNearTruthForHotValue) {
+  ConciseSample sample(
+      ConciseSampleOptions{.footprint_bound = 1000, .seed = 1});
+  Relation relation;
+  for (Value v : ZipfValues(300000, 5000, 1.25, 2)) {
+    sample.Insert(v);
+    relation.Insert(v);
+  }
+  const Count truth = relation.FrequencyOf(1);
+  const Estimate e = FrequencyEstimator::FromConcise(sample, 1);
+  EXPECT_NEAR(e.value, static_cast<double>(truth),
+              0.3 * static_cast<double>(truth));
+  EXPECT_LE(e.ci_low, e.value);
+  EXPECT_GE(e.ci_high, e.value);
+}
+
+TEST(FrequencyEstimatorTest, ConciseAbsentValueEstimatesZero) {
+  ConciseSample sample(
+      ConciseSampleOptions{.footprint_bound = 100, .seed = 3});
+  for (Value v : ZipfValues(50000, 100, 1.0, 4)) sample.Insert(v);
+  const Estimate e = FrequencyEstimator::FromConcise(sample, 99999);
+  EXPECT_DOUBLE_EQ(e.value, 0.0);
+}
+
+TEST(FrequencyEstimatorTest, CountingEnvelopeContainsTruth) {
+  CountingSample sample(
+      CountingSampleOptions{.footprint_bound = 1000, .seed = 5});
+  Relation relation;
+  for (Value v : ZipfValues(300000, 5000, 1.25, 6)) {
+    sample.Insert(v);
+    relation.Insert(v);
+  }
+  // The lower bound (count <= f_v) is deterministic under insert-only
+  // streams; the upper bound holds with the requested coverage.
+  std::int64_t covered = 0, total = 0;
+  for (const ValueCount& e : sample.Entries()) {
+    const Estimate est =
+        FrequencyEstimator::FromCounting(sample, e.value, 0.95);
+    const auto truth = static_cast<double>(relation.FrequencyOf(e.value));
+    ASSERT_GE(truth, est.ci_low) << "value " << e.value;
+    covered += (truth <= est.ci_high + 1e-9);
+    ++total;
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GE(static_cast<double>(covered) / static_cast<double>(total), 0.92);
+}
+
+TEST(FrequencyEstimatorTest, CountingAbsentValueEnvelope) {
+  CountingSample sample(
+      CountingSampleOptions{.footprint_bound = 100, .seed = 7});
+  for (Value v : ZipfValues(100000, 5000, 1.0, 8)) sample.Insert(v);
+  const Estimate e = FrequencyEstimator::FromCounting(sample, -1, 0.95);
+  EXPECT_DOUBLE_EQ(e.value, 0.0);
+  EXPECT_DOUBLE_EQ(e.ci_low, 0.0);
+  // Upper bound: γτ with γ = ln 20 ≈ 3.0.
+  EXPECT_NEAR(e.ci_high, 3.0 * sample.Threshold(),
+              0.01 * sample.Threshold());
+}
+
+TEST(FrequencyEstimatorTest, CountingExactAtThresholdOne) {
+  CountingSample sample(
+      CountingSampleOptions{.footprint_bound = 1000, .seed = 9});
+  for (int i = 0; i < 123; ++i) sample.Insert(5);
+  const Estimate e = FrequencyEstimator::FromCounting(sample, 5);
+  EXPECT_DOUBLE_EQ(e.value, 123.0);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,59 @@
+#include "estimate/frequency_moments.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aqua {
+namespace {
+
+TEST(FrequencyMomentsTest, EmptyData) {
+  const FrequencyMoments fm =
+      FrequencyMoments::FromData(std::vector<Value>{});
+  EXPECT_EQ(fm.size(), 0);
+  EXPECT_EQ(fm.distinct_values(), 0);
+  EXPECT_DOUBLE_EQ(fm.Moment(2), 0.0);
+}
+
+TEST(FrequencyMomentsTest, KnownSmallDataset) {
+  // {a×3, b×2, c×1}: F0=3, F1=6, F2=14, F3=36.
+  const std::vector<Value> data = {7, 7, 7, 8, 8, 9};
+  const FrequencyMoments fm = FrequencyMoments::FromData(data);
+  EXPECT_EQ(fm.distinct_values(), 3);
+  EXPECT_EQ(fm.size(), 6);
+  EXPECT_DOUBLE_EQ(fm.Moment(0), 3.0);
+  EXPECT_DOUBLE_EQ(fm.Moment(1), 6.0);
+  EXPECT_DOUBLE_EQ(fm.Moment(2), 14.0);
+  EXPECT_DOUBLE_EQ(fm.Moment(3), 36.0);
+}
+
+TEST(FrequencyMomentsTest, NormalizedMomentIsStable) {
+  const std::vector<Value> data = {7, 7, 7, 8, 8, 9};
+  const FrequencyMoments fm = FrequencyMoments::FromData(data);
+  // F2/n² = 14/36.
+  EXPECT_NEAR(fm.NormalizedMoment(2), 14.0 / 36.0, 1e-12);
+  // Normalized F1 is always 1.
+  EXPECT_NEAR(fm.NormalizedMoment(1), 1.0, 1e-12);
+}
+
+TEST(FrequencyMomentsTest, FromCountsAgreesWithFromData) {
+  const std::vector<Value> data = {1, 1, 2, 3, 3, 3, 3};
+  const FrequencyMoments a = FrequencyMoments::FromData(data);
+  const FrequencyMoments b =
+      FrequencyMoments::FromCounts({{1, 2}, {2, 1}, {3, 4}});
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a.Moment(2), b.Moment(2));
+  EXPECT_DOUBLE_EQ(a.Moment(5), b.Moment(5));
+}
+
+TEST(FrequencyMomentsTest, UniformDataMinimizesF2) {
+  // For fixed n and D, F2 is minimized when counts are equal.
+  const FrequencyMoments uniform =
+      FrequencyMoments::FromCounts({{1, 5}, {2, 5}, {3, 5}, {4, 5}});
+  const FrequencyMoments skewed =
+      FrequencyMoments::FromCounts({{1, 17}, {2, 1}, {3, 1}, {4, 1}});
+  EXPECT_LT(uniform.Moment(2), skewed.Moment(2));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,94 @@
+#include "estimate/join_size.h"
+
+#include <gtest/gtest.h>
+
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+struct JoinFixture {
+  Relation r_relation, s_relation;
+  CountingSample r_counting, s_counting;
+  ConciseSample r_concise, s_concise;
+  double exact_join = 0.0;
+
+  JoinFixture(std::int64_t n_r, double alpha_r, std::int64_t n_s,
+              double alpha_s, std::int64_t domain, std::uint64_t seed)
+      : r_counting(CountingSampleOptions{.footprint_bound = 1000,
+                                         .seed = seed + 1}),
+        s_counting(CountingSampleOptions{.footprint_bound = 1000,
+                                         .seed = seed + 2}),
+        r_concise(ConciseSampleOptions{.footprint_bound = 1000,
+                                       .seed = seed + 3}),
+        s_concise(ConciseSampleOptions{.footprint_bound = 1000,
+                                       .seed = seed + 4}) {
+    for (Value v : ZipfValues(n_r, domain, alpha_r, seed + 5)) {
+      r_relation.Insert(v);
+      r_counting.Insert(v);
+      r_concise.Insert(v);
+    }
+    for (Value v : ZipfValues(n_s, domain, alpha_s, seed + 6)) {
+      s_relation.Insert(v);
+      s_counting.Insert(v);
+      s_concise.Insert(v);
+    }
+    for (const ValueCount& vc : r_relation.ExactCounts()) {
+      exact_join += static_cast<double>(vc.count) *
+                    static_cast<double>(s_relation.FrequencyOf(vc.value));
+    }
+  }
+};
+
+TEST(JoinSizeEstimatorTest, CountingEstimateWithinModestError) {
+  JoinFixture f(400000, 1.2, 200000, 1.0, 10000, 1);
+  const double estimate = JoinSizeEstimator::FromCounting(
+      f.r_counting, f.s_counting, f.r_relation.distinct_values(),
+      f.s_relation.distinct_values());
+  EXPECT_NEAR(estimate, f.exact_join, 0.15 * f.exact_join);
+}
+
+TEST(JoinSizeEstimatorTest, ConciseEstimateWithinModestError) {
+  JoinFixture f(400000, 1.2, 200000, 1.0, 10000, 2);
+  const double estimate = JoinSizeEstimator::FromConcise(
+      f.r_concise, f.s_concise, f.r_relation.distinct_values(),
+      f.s_relation.distinct_values());
+  EXPECT_NEAR(estimate, f.exact_join, 0.3 * f.exact_join);
+}
+
+TEST(JoinSizeEstimatorTest, ExactWhenBothSamplesHoldEverything) {
+  // Small domains: τ stays 1, the counting samples are exact histograms,
+  // and the tail term is zero.
+  JoinFixture f(30000, 1.0, 20000, 1.5, 200, 3);
+  ASSERT_DOUBLE_EQ(f.r_counting.Threshold(), 1.0);
+  ASSERT_DOUBLE_EQ(f.s_counting.Threshold(), 1.0);
+  const double estimate = JoinSizeEstimator::FromCounting(
+      f.r_counting, f.s_counting, f.r_relation.distinct_values(),
+      f.s_relation.distinct_values());
+  EXPECT_NEAR(estimate, f.exact_join, 1e-6 * f.exact_join);
+}
+
+TEST(JoinSizeEstimatorTest, SkewDominatedJoinTrackedByHead) {
+  // Highly skewed join: the hot head carries ~all the mass; the estimate
+  // must track it even with a large untracked tail.
+  JoinFixture f(500000, 1.6, 500000, 1.6, 50000, 4);
+  const double estimate = JoinSizeEstimator::FromCounting(
+      f.r_counting, f.s_counting, f.r_relation.distinct_values(),
+      f.s_relation.distinct_values());
+  EXPECT_NEAR(estimate, f.exact_join, 0.1 * f.exact_join);
+}
+
+TEST(JoinSizeEstimatorTest, DisjointRelationsEstimateNearZero) {
+  // R over [1,100], S over [10001,10100]: exact join 0; only the generic
+  // tail term can contribute, and it must be tiny relative to |R|·|S|.
+  CountingSample r(CountingSampleOptions{.footprint_bound = 500, .seed = 5});
+  CountingSample s(CountingSampleOptions{.footprint_bound = 500, .seed = 6});
+  for (Value v : ZipfValues(50000, 100, 1.0, 7)) r.Insert(v);
+  for (Value v : ZipfValues(50000, 100, 1.0, 8)) s.Insert(v + 10000);
+  const double estimate = JoinSizeEstimator::FromCounting(r, s, 100, 100);
+  EXPECT_LT(estimate, 0.01 * 50000.0 * 50000.0 / 100.0);
+}
+
+}  // namespace
+}  // namespace aqua

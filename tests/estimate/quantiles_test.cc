@@ -1,0 +1,78 @@
+#include "estimate/quantiles.h"
+
+#include <gtest/gtest.h>
+
+#include "core/concise_sample.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(QuantileEstimatorTest, EmptySample) {
+  QuantileEstimator q(std::vector<Value>{});
+  EXPECT_EQ(q.Median(), 0);
+  EXPECT_DOUBLE_EQ(q.RankOf(5), 0.0);
+}
+
+TEST(QuantileEstimatorTest, ExactOnFullPopulation) {
+  std::vector<Value> values;
+  for (Value v = 1; v <= 100; ++v) values.push_back(v);
+  QuantileEstimator q(values);
+  EXPECT_EQ(q.Quantile(0.0), 1);
+  EXPECT_EQ(q.Median(), 51);
+  EXPECT_EQ(q.Quantile(0.25), 26);
+  EXPECT_EQ(q.Quantile(1.0), 100);
+  EXPECT_DOUBLE_EQ(q.RankOf(50), 0.5);
+  EXPECT_DOUBLE_EQ(q.RankOf(0), 0.0);
+  EXPECT_DOUBLE_EQ(q.RankOf(1000), 1.0);
+}
+
+TEST(QuantileEstimatorTest, SampleQuantilesNearTruth) {
+  const std::vector<Value> data = UniformValues(500000, 10000, 1);
+  const std::vector<Value> sample = UniformValues(4000, 10000, 2);
+  QuantileEstimator q(sample);
+  // Uniform over [1,10000]: the q-quantile is ≈ 10000q.
+  EXPECT_NEAR(static_cast<double>(q.Median()), 5000.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(q.Quantile(0.9)), 9000.0, 300.0);
+}
+
+TEST(QuantileEstimatorTest, BoundsContainTruthAtStatedRate) {
+  // Uniform [1, 1000]: true q-quantile = 1000q.  Check 95% CI coverage.
+  constexpr int kTrials = 200;
+  int covered = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const std::vector<Value> sample =
+        UniformValues(500, 1000, 100 + static_cast<std::uint64_t>(t));
+    QuantileEstimator q(sample);
+    const Estimate e = q.QuantileWithBounds(0.5, 0.95);
+    covered += (e.ci_low <= 500.0 && 500.0 <= e.ci_high);
+  }
+  EXPECT_GE(covered, static_cast<int>(kTrials * 0.88));
+}
+
+TEST(QuantileEstimatorTest, ConciseSampleQuantilesOnSkewedData) {
+  // On zipf data the median is a tiny value; the concise sample's point
+  // expansion answers it despite the 500-word footprint.
+  const std::vector<Value> data = ZipfValues(400000, 10000, 1.2, 3);
+  ConciseSample concise(
+      ConciseSampleOptions{.footprint_bound = 500, .seed = 4});
+  for (Value v : data) concise.Insert(v);
+  QuantileEstimator q(concise.ToPointSample());
+
+  std::vector<Value> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const Value true_median = sorted[sorted.size() / 2];
+  // Rank error, not value error, is what the sample bounds: the estimated
+  // median's rank in the data must be near 0.5.
+  const auto below = std::lower_bound(sorted.begin(), sorted.end(),
+                                      q.Median()) -
+                     sorted.begin();
+  const double rank = static_cast<double>(below) /
+                      static_cast<double>(sorted.size());
+  EXPECT_NEAR(rank, 0.5, 0.08);
+  EXPECT_LE(std::abs(static_cast<double>(q.Median() - true_median)),
+            std::max<double>(2.0, 0.5 * static_cast<double>(true_median)));
+}
+
+}  // namespace
+}  // namespace aqua

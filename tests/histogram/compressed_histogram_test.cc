@@ -1,0 +1,60 @@
+#include "histogram/compressed_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(CompressedHistogramTest, SkewedHeadGetsSingletonBuckets) {
+  const std::vector<Value> sample = ZipfValues(20000, 1000, 1.5, 1);
+  CompressedHistogram h(sample, 20, 20000);
+  ASSERT_FALSE(h.singleton_buckets().empty());
+  // The most frequent value must be a singleton bucket.
+  bool found = false;
+  for (const ValueCount& vc : h.singleton_buckets()) found |= (vc.value == 1);
+  EXPECT_TRUE(found);
+  EXPECT_GE(h.equi_depth_buckets(), 1);
+}
+
+TEST(CompressedHistogramTest, UniformDataHasNoSingletons) {
+  const std::vector<Value> sample = UniformValues(20000, 1000, 2);
+  CompressedHistogram h(sample, 10, 20000);
+  EXPECT_TRUE(h.singleton_buckets().empty());
+}
+
+TEST(CompressedHistogramTest, HotFrequencyNearExact) {
+  const std::vector<Value> data = ZipfValues(100000, 500, 1.5, 3);
+  CompressedHistogram h(data, 20, 100000);  // sample == data here
+  std::int64_t truth = 0;
+  for (Value v : data) truth += (v == 1);
+  EXPECT_NEAR(h.EstimateFrequency(1), static_cast<double>(truth),
+              0.01 * static_cast<double>(truth));
+}
+
+TEST(CompressedHistogramTest, FullRangeCoversRelation) {
+  const std::vector<Value> sample = ZipfValues(30000, 1000, 1.0, 4);
+  CompressedHistogram h(sample, 15, 600000);
+  EXPECT_NEAR(h.EstimateRangeCount(1, 1000), 600000.0, 6000.0);
+}
+
+TEST(CompressedHistogramTest, RangeCountBlendsSingletonsAndTail) {
+  const std::vector<Value> data = ZipfValues(100000, 1000, 1.25, 5);
+  CompressedHistogram h(data, 20, 100000);
+  std::int64_t truth = 0;
+  for (Value v : data) truth += (v <= 10);
+  EXPECT_NEAR(h.EstimateRangeCount(1, 10), static_cast<double>(truth),
+              0.12 * static_cast<double>(truth));
+}
+
+TEST(CompressedHistogramTest, InvertedRangeIsZero) {
+  const std::vector<Value> sample = UniformValues(1000, 100, 6);
+  CompressedHistogram h(sample, 5, 1000);
+  EXPECT_DOUBLE_EQ(h.EstimateRangeCount(80, 20), 0.0);
+}
+
+}  // namespace
+}  // namespace aqua

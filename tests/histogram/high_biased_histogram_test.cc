@@ -1,0 +1,67 @@
+#include "histogram/high_biased_histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+HighBiasedHistogram MakeBasic() {
+  // n = 1000; hot: {1: 500, 2: 200}; remainder 300 over 30 values.
+  return HighBiasedHistogram({{1, 500}, {2, 200}}, 1000, 30);
+}
+
+TEST(HighBiasedHistogramTest, HotValuesExact) {
+  const HighBiasedHistogram h = MakeBasic();
+  EXPECT_DOUBLE_EQ(h.EstimateFrequency(1), 500.0);
+  EXPECT_DOUBLE_EQ(h.EstimateFrequency(2), 200.0);
+}
+
+TEST(HighBiasedHistogramTest, RemainderIsUniformAverage) {
+  const HighBiasedHistogram h = MakeBasic();
+  EXPECT_DOUBLE_EQ(h.EstimateFrequency(99), 10.0);  // 300 / 30
+  EXPECT_DOUBLE_EQ(h.remainder_mass(), 300.0);
+}
+
+TEST(HighBiasedHistogramTest, EqualitySelectivity) {
+  const HighBiasedHistogram h = MakeBasic();
+  EXPECT_DOUBLE_EQ(h.EstimateEqualitySelectivity(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.EstimateEqualitySelectivity(99), 0.01);
+}
+
+TEST(HighBiasedHistogramTest, ZeroRemainderDistinct) {
+  HighBiasedHistogram h({{1, 10}}, 10, 0);
+  EXPECT_DOUBLE_EQ(h.EstimateFrequency(2), 0.0);
+}
+
+TEST(HighBiasedHistogramTest, FootprintCountsPairsPlusRemainder) {
+  EXPECT_EQ(MakeBasic().Footprint(), 2 * 2 + 2);
+}
+
+TEST(HighBiasedHistogramTest, JoinSizeExactWhenBothFullyHot) {
+  // R: {1: 3, 2: 4}; S: {1: 5, 2: 6}; no remainder.
+  HighBiasedHistogram r({{1, 3}, {2, 4}}, 7, 0);
+  HighBiasedHistogram s({{1, 5}, {2, 6}}, 11, 0);
+  EXPECT_DOUBLE_EQ(HighBiasedHistogram::EstimateJoinSize(r, s),
+                   3 * 5 + 4 * 6);
+}
+
+TEST(HighBiasedHistogramTest, JoinSizeIncludesRemainderTerms) {
+  // R hot {1:10}, remainder 10 over 10 values; S hot {1:10}, remainder 10
+  // over 10 values.  Hot⋈hot = 100; remainder⋈remainder adds 10·1·1 = 10.
+  HighBiasedHistogram r({{1, 10}}, 20, 10);
+  HighBiasedHistogram s({{1, 10}}, 20, 10);
+  const double join = HighBiasedHistogram::EstimateJoinSize(r, s);
+  EXPECT_DOUBLE_EQ(join, 100.0 + 10.0);
+}
+
+TEST(HighBiasedHistogramTest, SkewDominatedJoinMatchesIntuition) {
+  // The hot value dominates the join size ([IC93]'s motivation).
+  HighBiasedHistogram r({{7, 1000}}, 1100, 100);
+  HighBiasedHistogram s({{7, 2000}}, 2100, 100);
+  const double join = HighBiasedHistogram::EstimateJoinSize(r, s);
+  EXPECT_GT(join, 1000.0 * 2000.0);
+  EXPECT_LT(join, 1000.0 * 2000.0 * 1.1);
+}
+
+}  // namespace
+}  // namespace aqua

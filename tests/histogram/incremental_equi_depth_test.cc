@@ -1,0 +1,116 @@
+#include "histogram/incremental_equi_depth.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sample/backing_sample.h"
+#include "core/concise_sample.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(IncrementalEquiDepthTest, EmptyHistogram) {
+  IncrementalEquiDepthHistogram h(4, 1.0, [] { return std::vector<Value>{}; });
+  EXPECT_EQ(h.total(), 0);
+  EXPECT_DOUBLE_EQ(h.EstimateRangeCount(1, 10), 0.0);
+}
+
+TEST(IncrementalEquiDepthTest, CountsSumToTotal) {
+  BackingSample backing(200, 20, 1);
+  IncrementalEquiDepthHistogram h(8, 0.5,
+                                  [&backing] { return backing.Points(); });
+  for (Value v : ZipfValues(100000, 2000, 1.0, 2)) {
+    backing.Insert(v);
+    h.Insert(v);
+  }
+  const double sum =
+      std::accumulate(h.counts().begin(), h.counts().end(), 0.0);
+  EXPECT_NEAR(sum, static_cast<double>(h.total()), 1e-6);
+  EXPECT_EQ(h.total(), 100000);
+  EXPECT_EQ(h.bucket_count(), 8);
+}
+
+TEST(IncrementalEquiDepthTest, SplitsKeepBucketsBalanced) {
+  BackingSample backing(500, 50, 3);
+  IncrementalEquiDepthHistogram h(10, 0.5,
+                                  [&backing] { return backing.Points(); });
+  for (Value v : ZipfValues(200000, 5000, 1.0, 4)) {
+    backing.Insert(v);
+    h.Insert(v);
+  }
+  EXPECT_GT(h.splits(), 0);
+  // No bucket should end far beyond the imbalance threshold.
+  const double threshold = 1.5 * 200000.0 / 10.0;
+  for (double c : h.counts()) EXPECT_LE(c, threshold * 1.3);
+}
+
+TEST(IncrementalEquiDepthTest, SplitsOutnumberRecomputes) {
+  // The [GMP97b] efficiency claim: local split&merge handles nearly all
+  // imbalance events without touching the full sample.
+  BackingSample backing(500, 50, 5);
+  IncrementalEquiDepthHistogram h(10, 0.5,
+                                  [&backing] { return backing.Points(); });
+  for (Value v : ZipfValues(300000, 10000, 0.8, 6)) {
+    backing.Insert(v);
+    h.Insert(v);
+  }
+  EXPECT_GT(h.splits(), 2 * h.recomputes());
+}
+
+TEST(IncrementalEquiDepthTest, RangeCountsTrackTruthOnUniform) {
+  BackingSample backing(1000, 100, 7);
+  IncrementalEquiDepthHistogram h(20, 0.5,
+                                  [&backing] { return backing.Points(); });
+  const std::vector<Value> data = UniformValues(200000, 1000, 8);
+  for (Value v : data) {
+    backing.Insert(v);
+    h.Insert(v);
+  }
+  std::int64_t truth = 0;
+  for (Value v : data) truth += (v >= 100 && v <= 400);
+  EXPECT_NEAR(h.EstimateRangeCount(100, 400), static_cast<double>(truth),
+              0.1 * static_cast<double>(truth));
+  // Full-range query returns ~everything.
+  EXPECT_NEAR(h.EstimateRangeCount(1, 1000), 200000.0, 4000.0);
+}
+
+TEST(IncrementalEquiDepthTest, ConciseSampleAsBackingSample) {
+  // §2: "a concise sample could be used as a backing sample".
+  ConciseSample concise(
+      ConciseSampleOptions{.footprint_bound = 400, .seed = 9});
+  IncrementalEquiDepthHistogram h(
+      10, 0.5, [&concise] { return concise.ToPointSample(); });
+  const std::vector<Value> data = ZipfValues(150000, 2000, 1.2, 10);
+  for (Value v : data) {
+    concise.Insert(v);
+    h.Insert(v);
+  }
+  // Equi-depth buckets dilute the extreme head under the continuous-spread
+  // assumption, so tolerances differ by range width: generous for the
+  // narrow head, tight for a range covering whole buckets.
+  std::int64_t head_truth = 0, wide_truth = 0;
+  for (Value v : data) {
+    head_truth += (v <= 10);
+    wide_truth += (v <= 100);
+  }
+  EXPECT_NEAR(h.EstimateRangeCount(1, 10), static_cast<double>(head_truth),
+              0.5 * static_cast<double>(head_truth));
+  EXPECT_NEAR(h.EstimateRangeCount(1, 100),
+              static_cast<double>(wide_truth),
+              0.2 * static_cast<double>(wide_truth));
+}
+
+TEST(IncrementalEquiDepthTest, SingleValueStreamStaysDegenerate) {
+  IncrementalEquiDepthHistogram h(4, 1.0, [] {
+    return std::vector<Value>(100, 7);
+  });
+  for (int i = 0; i < 10000; ++i) h.Insert(7);
+  EXPECT_EQ(h.total(), 10000);
+  EXPECT_NEAR(h.EstimateRangeCount(7, 7), 10000.0, 1.0);
+  EXPECT_NEAR(h.EstimateRangeCount(8, 9), 0.0, 1.0);
+}
+
+}  // namespace
+}  // namespace aqua

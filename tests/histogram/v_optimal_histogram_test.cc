@@ -1,0 +1,138 @@
+#include "histogram/v_optimal_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "histogram/equi_depth_histogram.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+/// Brute-force minimum SSE over all partitions (exponential; tiny inputs).
+double BruteForceSse(const std::vector<double>& f, int buckets) {
+  const std::size_t d = f.size();
+  auto sse = [&](std::size_t i, std::size_t j) {
+    double mean = 0.0;
+    for (std::size_t k = i; k < j; ++k) mean += f[k];
+    mean /= static_cast<double>(j - i);
+    double total = 0.0;
+    for (std::size_t k = i; k < j; ++k) total += (f[k] - mean) * (f[k] - mean);
+    return total;
+  };
+  double best = std::numeric_limits<double>::infinity();
+  // Enumerate partitions as bitmasks of split positions.
+  const std::size_t splits = d - 1;
+  for (std::uint64_t mask = 0; mask < (1ULL << splits); ++mask) {
+    if (std::popcount(mask) != buckets - 1) continue;
+    double total = 0.0;
+    std::size_t start = 0;
+    for (std::size_t pos = 0; pos < splits; ++pos) {
+      if (mask & (1ULL << pos)) {
+        total += sse(start, pos + 1);
+        start = pos + 1;
+      }
+    }
+    total += sse(start, d);
+    best = std::min(best, total);
+  }
+  return best;
+}
+
+TEST(VOptimalPartitionTest, MatchesBruteForceOnSmallInputs) {
+  const std::vector<std::vector<double>> cases = {
+      {5, 5, 5, 1, 1, 1},
+      {10, 1, 10, 1, 10, 1},
+      {1, 2, 3, 4, 5, 6, 7, 8},
+      {100, 90, 5, 4, 3, 50, 49, 2},
+      {7, 7, 7, 7},
+  };
+  for (const auto& f : cases) {
+    for (int buckets = 1;
+         buckets <= static_cast<int>(f.size()) && buckets <= 4; ++buckets) {
+      double dp_sse = 0.0;
+      const auto ends =
+          VOptimalHistogram::OptimalPartition(f, buckets, &dp_sse);
+      EXPECT_EQ(ends.size(), static_cast<std::size_t>(buckets));
+      EXPECT_EQ(ends.back(), f.size());
+      EXPECT_NEAR(dp_sse, BruteForceSse(f, buckets), 1e-9)
+          << "buckets=" << buckets;
+    }
+  }
+}
+
+TEST(VOptimalPartitionTest, OneBucketSseIsTotalVariance) {
+  const std::vector<double> f = {2, 4, 6};
+  double sse = 0.0;
+  const auto ends = VOptimalHistogram::OptimalPartition(f, 1, &sse);
+  EXPECT_EQ(ends, (std::vector<std::size_t>{3}));
+  EXPECT_NEAR(sse, 8.0, 1e-12);  // mean 4: (4 + 0 + 4)
+}
+
+TEST(VOptimalPartitionTest, EnoughBucketsGivesZeroSse) {
+  const std::vector<double> f = {9, 1, 5, 5, 7};
+  double sse = 1.0;
+  const auto ends = VOptimalHistogram::OptimalPartition(f, 5, &sse);
+  EXPECT_EQ(ends.size(), 5u);
+  EXPECT_NEAR(sse, 0.0, 1e-12);
+}
+
+TEST(VOptimalPartitionTest, BucketsCappedAtDistinctValues) {
+  const std::vector<double> f = {1, 2};
+  const auto ends = VOptimalHistogram::OptimalPartition(f, 10);
+  EXPECT_EQ(ends.size(), 2u);
+}
+
+TEST(VOptimalHistogramTest, SeparatesHeadFromTail) {
+  // Skewed data: the optimal partition isolates the huge head frequencies
+  // into their own buckets.
+  const std::vector<Value> sample = ZipfValues(50000, 1000, 1.5, 1);
+  VOptimalHistogram h(sample, 10, 50000);
+  ASSERT_GE(h.bucket_count(), 2);
+  // The first bucket must cover very few distinct values (the head).
+  EXPECT_LE(h.buckets().front().distinct, 3);
+  // Head frequency estimate is nearly exact.
+  std::int64_t f1 = 0;
+  for (Value v : sample) f1 += (v == 1);
+  EXPECT_NEAR(h.EstimateFrequency(1), static_cast<double>(f1),
+              0.35 * static_cast<double>(f1));
+}
+
+TEST(VOptimalHistogramTest, RangeCountFullDomain) {
+  const std::vector<Value> sample = ZipfValues(30000, 500, 1.0, 2);
+  VOptimalHistogram h(sample, 12, 300000);
+  EXPECT_NEAR(h.EstimateRangeCount(1, 500), 300000.0, 3000.0);
+  EXPECT_DOUBLE_EQ(h.EstimateRangeCount(400, 300), 0.0);
+}
+
+TEST(VOptimalHistogramTest, BeatsEquiDepthOnSkewedRangeError) {
+  // V-optimal's motivating property (§1 / [PIHS96]): lower range-count
+  // error on skewed frequency vectors than equi-depth with the same bucket
+  // budget, for ranges inside the skewed head.
+  const std::vector<Value> data = ZipfValues(200000, 2000, 1.3, 3);
+  VOptimalHistogram vopt(data, 16, 200000);
+  EquiDepthHistogram equi(data, 16, 200000);
+  double vopt_err = 0.0, equi_err = 0.0;
+  for (Value hi = 2; hi <= 20; hi += 2) {
+    std::int64_t truth = 0;
+    for (Value v : data) truth += (v <= hi);
+    vopt_err += std::abs(vopt.EstimateRangeCount(1, hi) -
+                         static_cast<double>(truth));
+    equi_err += std::abs(equi.EstimateRangeCount(1, hi) -
+                         static_cast<double>(truth));
+  }
+  EXPECT_LT(vopt_err, equi_err);
+}
+
+TEST(VOptimalHistogramTest, EmptySample) {
+  VOptimalHistogram h(std::vector<Value>{}, 5, 100);
+  EXPECT_EQ(h.bucket_count(), 0);
+  EXPECT_DOUBLE_EQ(h.EstimateRangeCount(1, 10), 0.0);
+  EXPECT_DOUBLE_EQ(h.EstimateFrequency(1), 0.0);
+}
+
+}  // namespace
+}  // namespace aqua

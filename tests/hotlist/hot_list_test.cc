@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hotlist/concise_hot_list.h"
+#include "hotlist/counting_hot_list.h"
+#include "hotlist/exact_hot_list.h"
+#include "hotlist/traditional_hot_list.h"
+#include "metrics/hotlist_accuracy.h"
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+struct Fixture {
+  Relation relation;
+  ReservoirSample traditional;
+  ConciseSample concise;
+  CountingSample counting;
+
+  Fixture(std::int64_t n, std::int64_t d, double alpha, Words m,
+          std::uint64_t seed)
+      : traditional(m, seed + 1),
+        concise(ConciseSampleOptions{.footprint_bound = m, .seed = seed + 2}),
+        counting(
+            CountingSampleOptions{.footprint_bound = m, .seed = seed + 3}) {
+    for (Value v : ZipfValues(n, d, alpha, seed)) {
+      relation.Insert(v);
+      traditional.Insert(v);
+      concise.Insert(v);
+      counting.Insert(v);
+    }
+  }
+};
+
+TEST(ExactHotListTest, ReportsTopKExactly) {
+  ExactHotList exact({{1, 100}, {2, 50}, {3, 25}, {4, 10}});
+  const HotList top2 = exact.Report({.k = 2});
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].value, 1);
+  EXPECT_DOUBLE_EQ(top2[0].estimated_count, 100.0);
+  EXPECT_EQ(top2[1].value, 2);
+}
+
+TEST(ExactHotListTest, KZeroReportsEverything) {
+  ExactHotList exact({{1, 3}, {2, 2}, {3, 1}});
+  EXPECT_EQ(exact.Report({.k = 0}).size(), 3u);
+}
+
+TEST(ExactHotListTest, SortsDescendingWithValueTieBreak) {
+  ExactHotList exact({{5, 10}, {2, 10}, {9, 20}});
+  const HotList list = exact.Report({.k = 0});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].value, 9);
+  EXPECT_EQ(list[1].value, 2);
+  EXPECT_EQ(list[2].value, 5);
+}
+
+TEST(TraditionalHotListTest, ScalesCountsByNOverM) {
+  // Deterministic setup: stream shorter than capacity, so the sample is the
+  // whole stream and scale = 1.
+  ReservoirSample sample(1000, 7);
+  for (int i = 0; i < 60; ++i) sample.Insert(1);
+  for (int i = 0; i < 30; ++i) sample.Insert(2);
+  for (int i = 0; i < 10; ++i) sample.Insert(3);
+  TraditionalHotList hot(sample);
+  const HotList list = hot.Report({.k = 0, .beta = 3});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[0].estimated_count, 60.0);
+  EXPECT_EQ(list[0].value, 1);
+  EXPECT_DOUBLE_EQ(list[2].estimated_count, 10.0);
+}
+
+TEST(TraditionalHotListTest, BetaFiltersLowCounts) {
+  ReservoirSample sample(1000, 8);
+  for (int i = 0; i < 10; ++i) sample.Insert(1);
+  sample.Insert(2);  // singleton: below β = 3
+  sample.Insert(2);
+  sample.Insert(3);
+  TraditionalHotList hot(sample);
+  const HotList list = hot.Report({.k = 0, .beta = 3});
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].value, 1);
+}
+
+TEST(TraditionalHotListTest, ReportsQuantizedCounts) {
+  // Figure 5's horizontal rows: every reported count is a multiple of n/m.
+  Fixture f(200000, 2000, 1.0, 1000, 42);
+  TraditionalHotList hot(f.traditional);
+  const HotList list = hot.Report({.k = 0, .beta = 3});
+  ASSERT_FALSE(list.empty());
+  const double unit = 200000.0 / 1000.0;
+  for (const HotListItem& item : list) {
+    const double multiple = item.estimated_count / unit;
+    EXPECT_NEAR(multiple, std::round(multiple), 1e-9);
+  }
+}
+
+TEST(ConciseHotListTest, UsesSampleSizeForScale) {
+  Fixture f(200000, 500, 1.5, 100, 43);
+  ASSERT_GT(f.concise.SampleSize(), f.concise.Footprint());
+  ConciseHotList hot(f.concise);
+  const HotList list = hot.Report({.k = 5, .beta = 3});
+  ASSERT_FALSE(list.empty());
+  // The top estimate should be within 35% of the true top count.
+  const Count top_true = ExactTopK(f.relation.ExactCounts(), 1)[0].count;
+  EXPECT_NEAR(list[0].estimated_count, static_cast<double>(top_true),
+              0.35 * static_cast<double>(top_true));
+}
+
+TEST(CountingHotListTest, CompensationFormula) {
+  // ĉ = τ(1 - 2/e)/(1 - 1/e) - 1 ≈ 0.418τ - 1, clamped at 0.
+  EXPECT_DOUBLE_EQ(CountingHotList::Compensation(1.0), 0.0);
+  EXPECT_NEAR(CountingHotList::Compensation(1000.0), 0.418 * 1000.0 - 1.0,
+              1.0);
+  EXPECT_NEAR(CountingHotList::Compensation(100.0) /
+                  CountingHotList::Compensation(200.0),
+              (0.418 * 100 - 1) / (0.418 * 200 - 1), 0.01);
+}
+
+TEST(CountingHotListTest, ExactWhenThresholdIsOne) {
+  CountingSample sample(CountingSampleOptions{.footprint_bound = 1000,
+                                              .seed = 9});
+  for (int i = 0; i < 100; ++i) sample.Insert(1);
+  for (int i = 0; i < 50; ++i) sample.Insert(2);
+  CountingHotList hot(sample);
+  const HotList list = hot.Report({.k = 0});
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_DOUBLE_EQ(list[0].estimated_count, 100.0);
+  EXPECT_DOUBLE_EQ(list[1].estimated_count, 50.0);
+}
+
+TEST(CountingHotListTest, NeverReportsBelowPointFiveEightTwoTau) {
+  // Theorem 8(i).
+  Fixture f(300000, 5000, 1.25, 1000, 44);
+  CountingHotList hot(f.counting);
+  const double tau = f.counting.Threshold();
+  const double c_hat = CountingHotList::Compensation(tau);
+  for (const HotListItem& item : hot.Report({.k = 0})) {
+    EXPECT_GE(static_cast<double>(item.synopsis_count), tau - c_hat - 1e-9);
+  }
+}
+
+TEST(HotListComparisonTest, AccuracyOrderingOnModerateSkew) {
+  // §6: counting >= concise >= traditional in accuracy.  Compare top-20
+  // recall on the Figure 6 configuration (smaller n for test speed).
+  double recall_trad = 0.0, recall_concise = 0.0, recall_counting = 0.0;
+  constexpr int kTrials = 3;
+  constexpr std::int64_t kK = 20;
+  for (int t = 0; t < kTrials; ++t) {
+    Fixture f(200000, 20000, 1.25, 1000,
+              1000 + static_cast<std::uint64_t>(t) * 17);
+    const auto exact = f.relation.ExactCounts();
+    const HotListQuery q{.k = 0, .beta = 3};
+    recall_trad +=
+        EvaluateHotList(TraditionalHotList(f.traditional).Report(q), exact,
+                        kK)
+            .Recall(kK);
+    recall_concise +=
+        EvaluateHotList(ConciseHotList(f.concise).Report(q), exact, kK)
+            .Recall(kK);
+    recall_counting +=
+        EvaluateHotList(CountingHotList(f.counting).Report(q), exact, kK)
+            .Recall(kK);
+  }
+  EXPECT_GE(recall_counting, recall_concise - 0.05 * kTrials);
+  EXPECT_GE(recall_concise, recall_trad - 0.05 * kTrials);
+  EXPECT_GT(recall_counting, recall_trad);
+}
+
+TEST(HotListComparisonTest, CountingCountErrorSmallerThanTraditional) {
+  Fixture f(300000, 5000, 1.0, 1000, 45);
+  const auto exact = f.relation.ExactCounts();
+  const HotListQuery q{.k = 0, .beta = 3};
+  const HotListAccuracy trad = EvaluateHotList(
+      TraditionalHotList(f.traditional).Report(q), exact, 30);
+  const HotListAccuracy counting =
+      EvaluateHotList(CountingHotList(f.counting).Report(q), exact, 30);
+  EXPECT_LT(counting.mean_relative_count_error,
+            trad.mean_relative_count_error);
+}
+
+TEST(HotListComparisonTest, LargerBetaReportsFewer) {
+  Fixture f(100000, 2000, 1.0, 500, 46);
+  ConciseHotList hot(f.concise);
+  const std::size_t at3 = hot.Report({.k = 0, .beta = 3}).size();
+  const std::size_t at10 = hot.Report({.k = 0, .beta = 10}).size();
+  EXPECT_LE(at10, at3);
+}
+
+TEST(HotListComparisonTest, KCutsReportLength) {
+  Fixture f(100000, 500, 1.5, 500, 47);
+  ConciseHotList hot(f.concise);
+  const HotList all = hot.Report({.k = 0, .beta = 3});
+  const HotList top5 = hot.Report({.k = 5, .beta = 3});
+  ASSERT_GE(all.size(), top5.size());
+  // Ties at the 5th count may legitimately push past k.
+  EXPECT_LE(top5.size(), all.size());
+  EXPECT_GE(top5.size(), std::min<std::size_t>(5u, all.size()));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,121 @@
+#include "hotlist/maintained_hot_list.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hotlist/counting_hot_list.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+CountingSampleOptions Opts(Words bound, std::uint64_t seed) {
+  return CountingSampleOptions{.footprint_bound = bound, .seed = seed};
+}
+
+/// Reference: top-k counts straight from the underlying sample's entries.
+/// Comparing count sequences (not values) keeps the check exact even when
+/// equal counts tie at the k-th rank.
+std::vector<Count> ReferenceTopK(const CountingSample& sample,
+                                 std::int64_t k) {
+  std::vector<ValueCount> entries = sample.Entries();
+  std::sort(entries.begin(), entries.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.count > b.count ||
+                     (a.count == b.count && a.value < b.value);
+            });
+  std::vector<Count> top;
+  for (std::int64_t i = 0;
+       i < k && i < static_cast<std::int64_t>(entries.size()); ++i) {
+    top.push_back(entries[static_cast<std::size_t>(i)].count);
+  }
+  return top;
+}
+
+std::vector<Count> ReportedValues(const HotList& list) {
+  std::vector<Count> counts;
+  for (const HotListItem& item : list) counts.push_back(item.synopsis_count);
+  return counts;
+}
+
+TEST(MaintainedHotListTest, EmptyReportsNothing) {
+  MaintainedHotList hot(Opts(100, 1), 10);
+  EXPECT_TRUE(hot.Report(5).empty());
+}
+
+TEST(MaintainedHotListTest, MatchesReferenceOnInsertOnlyStream) {
+  MaintainedHotList hot(Opts(500, 2), 30);
+  for (Value v : ZipfValues(200000, 2000, 1.25, 3)) hot.Insert(v);
+  EXPECT_EQ(ReportedValues(hot.Report(10)),
+            ReferenceTopK(hot.sample(), 10));
+  EXPECT_EQ(ReportedValues(hot.Report(30)),
+            ReferenceTopK(hot.sample(), 30));
+}
+
+TEST(MaintainedHotListTest, MatchesReferenceAtEveryCheckpoint) {
+  MaintainedHotList hot(Opts(200, 4), 15);
+  const std::vector<Value> data = ZipfValues(100000, 1000, 1.0, 5);
+  std::int64_t i = 0;
+  for (Value v : data) {
+    hot.Insert(v);
+    if (++i % 20000 == 0) {
+      ASSERT_EQ(ReportedValues(hot.Report(10)),
+                ReferenceTopK(hot.sample(), 10))
+          << "at insert " << i;
+    }
+  }
+}
+
+TEST(MaintainedHotListTest, HandlesDeletesViaRebuild) {
+  MaintainedHotList hot(Opts(300, 6), 20);
+  const UpdateStream stream = MixedStream(100000, 1000, 1.2, 0.25, 5000, 7);
+  for (const StreamOp& op : stream) {
+    if (op.kind == StreamOp::Kind::kInsert) {
+      hot.Insert(op.value);
+    } else {
+      ASSERT_TRUE(hot.Delete(op.value).ok());
+    }
+  }
+  EXPECT_EQ(ReportedValues(hot.Report(10)),
+            ReferenceTopK(hot.sample(), 10));
+  EXPECT_GT(hot.rebuilds(), 0);
+}
+
+TEST(MaintainedHotListTest, EstimatesMatchCountingHotList) {
+  MaintainedHotList hot(Opts(500, 8), 25);
+  CountingSample mirror(Opts(500, 8));
+  for (Value v : ZipfValues(150000, 1000, 1.25, 9)) {
+    hot.Insert(v);
+    mirror.Insert(v);
+  }
+  // Identical seeds → identical samples; the maintained report's estimates
+  // must agree with the on-demand reporter for the same values.
+  const HotList maintained = hot.Report(10);
+  const HotList on_demand = CountingHotList(mirror).Report({.k = 10});
+  ASSERT_FALSE(maintained.empty());
+  for (std::size_t i = 0;
+       i < std::min(maintained.size(), on_demand.size()); ++i) {
+    EXPECT_EQ(maintained[i].value, on_demand[i].value) << i;
+    EXPECT_DOUBLE_EQ(maintained[i].estimated_count,
+                     on_demand[i].estimated_count)
+        << i;
+  }
+}
+
+TEST(MaintainedHotListTest, KCappedAtCandidateCapacity) {
+  MaintainedHotList hot(Opts(200, 10), 5);
+  for (Value v : ZipfValues(50000, 100, 1.5, 11)) hot.Insert(v);
+  EXPECT_LE(hot.Report(50).size(), 5u);
+}
+
+TEST(MaintainedHotListTest, FewRebuildsOnInsertOnlyStreams) {
+  MaintainedHotList hot(Opts(500, 12), 20);
+  for (Value v : ZipfValues(200000, 2000, 1.0, 13)) hot.Insert(v);
+  (void)hot.Report(10);
+  // Rebuilds only after threshold raises, which are logarithmically rare.
+  EXPECT_LE(hot.rebuilds(), hot.sample().Cost().threshold_raises + 1);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,71 @@
+#include "metrics/hotlist_accuracy.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+const std::vector<ValueCount> kExact = {
+    {1, 100}, {2, 80}, {3, 60}, {4, 40}, {5, 20}, {6, 10}, {7, 5}};
+
+TEST(ExactTopKTest, SortsAndTruncates) {
+  const auto top3 = ExactTopK(kExact, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].value, 1);
+  EXPECT_EQ(top3[2].value, 3);
+}
+
+TEST(ExactTopKTest, KeepsTiesAtCutoff) {
+  const std::vector<ValueCount> tied = {{1, 10}, {2, 5}, {3, 5}, {4, 1}};
+  const auto top2 = ExactTopK(tied, 2);
+  ASSERT_EQ(top2.size(), 3u);  // value 3 ties with value 2
+}
+
+TEST(EvaluateHotListTest, PerfectReport) {
+  HotList reported = {{1, 100.0, 100}, {2, 80.0, 80}, {3, 60.0, 60}};
+  const HotListAccuracy acc = EvaluateHotList(reported, kExact, 3);
+  EXPECT_EQ(acc.reported, 3);
+  EXPECT_EQ(acc.true_positives, 3);
+  EXPECT_EQ(acc.false_positives, 0);
+  EXPECT_EQ(acc.false_negatives, 0);
+  EXPECT_EQ(acc.correct_prefix, 3);
+  EXPECT_DOUBLE_EQ(acc.mean_relative_count_error, 0.0);
+  EXPECT_DOUBLE_EQ(acc.Recall(3), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Precision(), 1.0);
+}
+
+TEST(EvaluateHotListTest, FalseNegativeBreaksPrefix) {
+  // Top-4 is {1,2,3,4}; value 2 missing → prefix stops at 1.
+  HotList reported = {{1, 100.0, 100}, {3, 60.0, 60}, {4, 40.0, 40}};
+  const HotListAccuracy acc = EvaluateHotList(reported, kExact, 4);
+  EXPECT_EQ(acc.true_positives, 3);
+  EXPECT_EQ(acc.false_negatives, 1);
+  EXPECT_EQ(acc.correct_prefix, 1);
+}
+
+TEST(EvaluateHotListTest, FalsePositivesCounted) {
+  HotList reported = {{1, 100.0, 100}, {99, 55.0, 55}};
+  const HotListAccuracy acc = EvaluateHotList(reported, kExact, 2);
+  EXPECT_EQ(acc.true_positives, 1);
+  EXPECT_EQ(acc.false_positives, 1);
+  EXPECT_DOUBLE_EQ(acc.Precision(), 0.5);
+}
+
+TEST(EvaluateHotListTest, CountErrorsAveraged) {
+  // Errors: |90-100|/100 = 0.1 and |100-80|/80 = 0.25.
+  HotList reported = {{1, 90.0, 90}, {2, 100.0, 100}};
+  const HotListAccuracy acc = EvaluateHotList(reported, kExact, 2);
+  EXPECT_NEAR(acc.mean_relative_count_error, (0.1 + 0.25) / 2, 1e-12);
+  EXPECT_NEAR(acc.max_relative_count_error, 0.25, 1e-12);
+}
+
+TEST(EvaluateHotListTest, EmptyReport) {
+  const HotListAccuracy acc = EvaluateHotList({}, kExact, 3);
+  EXPECT_EQ(acc.reported, 0);
+  EXPECT_EQ(acc.false_negatives, 3);
+  EXPECT_DOUBLE_EQ(acc.Recall(3), 0.0);
+  EXPECT_DOUBLE_EQ(acc.Precision(), 0.0);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,51 @@
+#include "metrics/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aqua {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Each line has the same length (padding applied), ignoring the rule.
+  std::istringstream is(out);
+  std::string line1, rule, line2, line3;
+  std::getline(is, line1);
+  std::getline(is, rule);
+  std::getline(is, line2);
+  std::getline(is, line3);
+  EXPECT_EQ(line1.size(), line2.size());
+  EXPECT_EQ(line2.size(), line3.size());
+  EXPECT_EQ(rule.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"}).AddRow({"3", "4"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(static_cast<std::int64_t>(42)), "42");
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(0.0005, 3), "0.001");
+}
+
+TEST(TablePrinterDeathTest, RowArityMustMatchHeaders) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "AQUA_CHECK");
+}
+
+}  // namespace
+}  // namespace aqua

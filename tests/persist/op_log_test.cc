@@ -1,0 +1,140 @@
+#include "persist/op_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/counting_sample.h"
+#include "persist/snapshot.h"
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(OpLogTest, RoundTripsMixedOps) {
+  const std::string path = TempPath("roundtrip.log");
+  const UpdateStream stream = MixedStream(20000, 500, 1.0, 0.3, 1000, 1);
+  {
+    OpLogWriter writer(path);
+    ASSERT_TRUE(writer.status().ok());
+    for (const StreamOp& op : stream) writer.Append(op);
+    ASSERT_TRUE(writer.Flush().ok());
+    EXPECT_EQ(writer.size(), static_cast<std::int64_t>(stream.size()));
+  }
+  auto read = ReadOpLog(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, stream);
+  std::remove(path.c_str());
+}
+
+TEST(OpLogTest, EmptyLog) {
+  const std::string path = TempPath("empty.log");
+  {
+    OpLogWriter writer(path);
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  auto read = ReadOpLog(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  std::remove(path.c_str());
+}
+
+TEST(OpLogTest, UnwritablePathReportsError) {
+  OpLogWriter writer("/nonexistent-dir/impossible.log");
+  EXPECT_FALSE(writer.status().ok());
+  writer.Append(StreamOp::Insert(1));
+  EXPECT_FALSE(writer.Flush().ok());
+}
+
+TEST(OpLogTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(ReadOpLog(TempPath("does-not-exist.log")).status().IsNotFound());
+}
+
+TEST(OpLogTest, NegativeValuesSurvive) {
+  const std::string path = TempPath("negative.log");
+  const UpdateStream stream = {StreamOp::Insert(-5), StreamOp::Delete(-5),
+                               StreamOp::Insert(INT64_MIN / 2)};
+  {
+    OpLogWriter writer(path);
+    for (const StreamOp& op : stream) writer.Append(op);
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  auto read = ReadOpLog(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, stream);
+  std::remove(path.c_str());
+}
+
+TEST(OpLogTest, CompactEncoding) {
+  const std::string path = TempPath("compact.log");
+  const std::vector<Value> values = ZipfValues(50000, 1000, 1.0, 2);
+  {
+    OpLogWriter writer(path);
+    for (Value v : values) writer.Append(StreamOp::Insert(v));
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto bytes = static_cast<double>(in.tellg());
+  // Zipf values over [1,1000] pack into ~1.5 bytes/op.
+  EXPECT_LT(bytes / static_cast<double>(values.size()), 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(OpLogTest, SnapshotPlusLogRecovery) {
+  // The footnote-2 recovery protocol end to end: run a counting sample,
+  // snapshot it, keep logging the tail of the stream, "crash", then
+  // recover = decode snapshot + replay the log suffix.  The recovered
+  // synopsis must satisfy the counting-sample invariants against the full
+  // relation.
+  const std::string path = TempPath("recovery.log");
+  const UpdateStream stream = MixedStream(120000, 1000, 1.2, 0.2, 5000, 3);
+  const std::size_t snapshot_at = stream.size() / 2;
+
+  CountingSample live(
+      CountingSampleOptions{.footprint_bound = 200, .seed = 4});
+  Relation relation;
+  std::vector<std::uint8_t> snapshot;
+  {
+    OpLogWriter writer(path);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const StreamOp& op = stream[i];
+      if (op.kind == StreamOp::Kind::kInsert) {
+        live.Insert(op.value);
+        relation.Insert(op.value);
+      } else {
+        ASSERT_TRUE(live.Delete(op.value).ok());
+        ASSERT_TRUE(relation.Delete(op.value).ok());
+      }
+      if (i + 1 == snapshot_at) {
+        snapshot = EncodeSnapshot(live);
+      } else if (i + 1 > snapshot_at) {
+        writer.Append(op);
+      }
+    }
+    ASSERT_TRUE(writer.Flush().ok());
+  }
+
+  auto recovered = DecodeCountingSnapshot(snapshot, /*seed=*/77);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  auto tail = ReadOpLog(path);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_TRUE(ReplayInto(*recovered, *tail).ok());
+
+  ASSERT_TRUE(recovered->Validate().ok());
+  EXPECT_LE(recovered->Footprint(), 200);
+  // Counting-sample invariant vs the ground truth: counts never exceed
+  // true frequencies.
+  for (const ValueCount& e : recovered->Entries()) {
+    EXPECT_LE(e.count, relation.FrequencyOf(e.value)) << e.value;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,131 @@
+#include "persist/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+template <typename S>
+std::vector<ValueCount> SortedEntries(const S& s) {
+  std::vector<ValueCount> entries = s.Entries();
+  std::sort(entries.begin(), entries.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.value < b.value;
+            });
+  return entries;
+}
+
+TEST(SnapshotTest, ConciseRoundTripPreservesState) {
+  ConciseSample original(
+      ConciseSampleOptions{.footprint_bound = 300, .seed = 1});
+  for (Value v : ZipfValues(100000, 2000, 1.25, 2)) original.Insert(v);
+
+  const std::vector<std::uint8_t> bytes = EncodeSnapshot(original);
+  auto restored = DecodeConciseSnapshot(bytes, /*seed=*/99);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  EXPECT_EQ(restored->SampleSize(), original.SampleSize());
+  EXPECT_EQ(restored->Footprint(), original.Footprint());
+  EXPECT_EQ(restored->DistinctValues(), original.DistinctValues());
+  EXPECT_DOUBLE_EQ(restored->Threshold(), original.Threshold());
+  EXPECT_EQ(restored->ObservedInserts(), original.ObservedInserts());
+  EXPECT_EQ(SortedEntries(*restored), SortedEntries(original));
+  EXPECT_TRUE(restored->Validate().ok());
+}
+
+TEST(SnapshotTest, CountingRoundTripPreservesState) {
+  CountingSample original(
+      CountingSampleOptions{.footprint_bound = 300, .seed = 3});
+  for (Value v : ZipfValues(100000, 2000, 1.25, 4)) original.Insert(v);
+
+  const std::vector<std::uint8_t> bytes = EncodeSnapshot(original);
+  auto restored = DecodeCountingSnapshot(bytes, /*seed=*/98);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  EXPECT_EQ(restored->CountedOccurrences(), original.CountedOccurrences());
+  EXPECT_EQ(restored->Footprint(), original.Footprint());
+  EXPECT_DOUBLE_EQ(restored->Threshold(), original.Threshold());
+  EXPECT_EQ(SortedEntries(*restored), SortedEntries(original));
+  EXPECT_TRUE(restored->Validate().ok());
+}
+
+TEST(SnapshotTest, RestoredSampleKeepsWorking) {
+  ConciseSample original(
+      ConciseSampleOptions{.footprint_bound = 200, .seed = 5});
+  const std::vector<Value> first = ZipfValues(50000, 1000, 1.0, 6);
+  const std::vector<Value> second = ZipfValues(50000, 1000, 1.0, 7);
+  for (Value v : first) original.Insert(v);
+
+  auto restored = DecodeConciseSnapshot(EncodeSnapshot(original), 100);
+  ASSERT_TRUE(restored.ok());
+  for (Value v : second) {
+    original.Insert(v);
+    restored->Insert(v);
+  }
+  ASSERT_TRUE(restored->Validate().ok());
+  EXPECT_LE(restored->Footprint(), 200);
+  // Different random streams, same distribution: sample-sizes agree within
+  // statistical noise.
+  EXPECT_NEAR(static_cast<double>(restored->SampleSize()),
+              static_cast<double>(original.SampleSize()),
+              0.35 * static_cast<double>(original.SampleSize()));
+}
+
+TEST(SnapshotTest, SnapshotIsCompact) {
+  // ~150 entries with delta-coded values and varint counts: a few bytes per
+  // entry, far below the 8-bytes-per-word in-memory image.
+  ConciseSample s(ConciseSampleOptions{.footprint_bound = 300, .seed = 8});
+  for (Value v : ZipfValues(100000, 2000, 1.0, 9)) s.Insert(v);
+  const std::vector<std::uint8_t> bytes = EncodeSnapshot(s);
+  EXPECT_LT(static_cast<Words>(bytes.size()), s.Footprint() * 8);
+  EXPECT_GT(bytes.size(), 16u);
+}
+
+TEST(SnapshotTest, RejectsWrongKind) {
+  ConciseSample concise(
+      ConciseSampleOptions{.footprint_bound = 100, .seed = 10});
+  concise.Insert(1);
+  EXPECT_TRUE(DecodeCountingSnapshot(EncodeSnapshot(concise), 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SnapshotTest, RejectsCorruptMagicAndTruncation) {
+  ConciseSample s(ConciseSampleOptions{.footprint_bound = 100, .seed = 11});
+  for (Value v = 0; v < 50; ++v) s.Insert(v);
+  std::vector<std::uint8_t> bytes = EncodeSnapshot(s);
+
+  std::vector<std::uint8_t> bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeConciseSnapshot(bad_magic, 1).ok());
+
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 3);
+  EXPECT_FALSE(DecodeConciseSnapshot(truncated, 1).ok());
+
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeConciseSnapshot(trailing, 1).ok());
+}
+
+TEST(RestoreTest, RejectsInvalidState) {
+  ConciseSampleOptions o{.footprint_bound = 4, .seed = 12};
+  // Footprint bound exceeded.
+  EXPECT_TRUE(ConciseSample::Restore(o, 2.0, 10,
+                                     {{1, 5}, {2, 5}, {3, 1}})
+                  .status()
+                  .IsInvalidArgument());
+  // Bad threshold / counts / duplicates.
+  EXPECT_FALSE(ConciseSample::Restore(o, 0.5, 10, {{1, 1}}).ok());
+  EXPECT_FALSE(ConciseSample::Restore(o, 2.0, 10, {{1, 0}}).ok());
+  EXPECT_FALSE(ConciseSample::Restore(o, 2.0, 10, {{1, 1}, {1, 2}}).ok());
+  EXPECT_FALSE(ConciseSample::Restore(o, 2.0, -1, {{1, 1}}).ok());
+  // A valid restore for contrast.
+  EXPECT_TRUE(ConciseSample::Restore(o, 2.0, 10, {{1, 3}, {2, 1}}).ok());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,100 @@
+#include "persist/varint.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "random/random.h"
+
+namespace aqua {
+namespace {
+
+TEST(VarintTest, SmallValuesAreOneByte) {
+  std::vector<std::uint8_t> out;
+  PutVarint(0, out);
+  PutVarint(127, out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(VarintTest, BoundaryValuesRoundTrip) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 std::numeric_limits<std::uint32_t>::max(),
+                                 std::numeric_limits<std::uint64_t>::max()};
+  std::vector<std::uint8_t> out;
+  for (std::uint64_t v : cases) PutVarint(v, out);
+  VarintReader reader(out);
+  for (std::uint64_t v : cases) {
+    auto r = reader.Next();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(VarintTest, SignedZigzagRoundTrip) {
+  const std::int64_t cases[] = {0,
+                                -1,
+                                1,
+                                -64,
+                                64,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  std::vector<std::uint8_t> out;
+  for (std::int64_t v : cases) PutVarintSigned(v, out);
+  VarintReader reader(out);
+  for (std::int64_t v : cases) {
+    auto r = reader.NextSigned();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, v);
+  }
+}
+
+TEST(VarintTest, ZigzagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+  EXPECT_EQ(ZigzagDecode(ZigzagEncode(-123456789)), -123456789);
+}
+
+TEST(VarintTest, TruncatedInputErrors) {
+  std::vector<std::uint8_t> out;
+  PutVarint(1u << 20, out);
+  out.pop_back();  // drop the terminating byte
+  VarintReader reader(out);
+  EXPECT_TRUE(reader.Next().status().IsOutOfRange());
+}
+
+TEST(VarintTest, EmptyInputErrors) {
+  std::vector<std::uint8_t> empty;
+  VarintReader reader(empty);
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(reader.Next().status().IsOutOfRange());
+}
+
+TEST(VarintTest, RandomizedRoundTrip) {
+  Random rng(1);
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint8_t> out;
+  for (int i = 0; i < 10000; ++i) {
+    // Mix magnitudes: shift a full-width draw by a random amount.
+    const std::uint64_t v = rng.NextU64() >> rng.UniformInt(0, 63);
+    values.push_back(v);
+    PutVarint(v, out);
+  }
+  VarintReader reader(out);
+  for (std::uint64_t v : values) {
+    auto r = reader.Next();
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r, v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/concise_sample.h"
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+/// Property sweep over (zipf parameter, footprint bound): every structural
+/// invariant of the concise sample must hold on every prefix-checkpoint of
+/// the stream, and across repeated trials the sample must be *uniform*:
+/// each value's expected representation is proportional to its frequency
+/// (Theorem 2).
+class ConciseUniformityProperty
+    : public ::testing::TestWithParam<std::tuple<double, Words>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConciseUniformityProperty,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.0, 1.5, 2.0, 3.0),
+                       ::testing::Values<Words>(64, 256, 1024)),
+    [](const auto& info) {
+      const double alpha = std::get<0>(info.param);
+      const Words m = std::get<1>(info.param);
+      return "zipf" + std::to_string(static_cast<int>(alpha * 10)) + "_m" +
+             std::to_string(m);
+    });
+
+TEST_P(ConciseUniformityProperty, InvariantsHoldOnEveryCheckpoint) {
+  const auto [alpha, bound] = GetParam();
+  ConciseSampleOptions o;
+  o.footprint_bound = bound;
+  o.seed = 0xABC0 + static_cast<std::uint64_t>(bound);
+  ConciseSample s(o);
+  const std::vector<Value> data =
+      ZipfValues(60000, 2000, alpha, 17 + static_cast<std::uint64_t>(bound));
+  std::int64_t i = 0;
+  for (Value v : data) {
+    s.Insert(v);
+    if (++i % 10000 == 0) {
+      ASSERT_TRUE(s.Validate().ok()) << "at insert " << i;
+      ASSERT_LE(s.Footprint(), bound);
+      ASSERT_GE(s.SampleSize(), s.DistinctValues());
+      ASSERT_EQ(s.Footprint(), s.DistinctValues() + s.PairCount());
+      ASSERT_GE(s.Threshold(), 1.0);
+    }
+  }
+  EXPECT_EQ(s.ObservedInserts(), static_cast<std::int64_t>(data.size()));
+}
+
+TEST_P(ConciseUniformityProperty, SampleProportionsTrackFrequencies) {
+  const auto [alpha, bound] = GetParam();
+  // One fixed data multiset; many independent sampling trials.  The
+  // aggregated sample composition must match the data composition (the
+  // definition of a uniform sample).
+  const std::vector<Value> data = ZipfValues(30000, 300, alpha, 4242);
+  Relation relation;
+  for (Value v : data) relation.Insert(v);
+
+  constexpr int kTrials = 30;
+  double total_points = 0.0;
+  std::vector<double> per_value(301, 0.0);
+  for (int t = 0; t < kTrials; ++t) {
+    ConciseSampleOptions o;
+    o.footprint_bound = bound;
+    o.seed = 9000 + static_cast<std::uint64_t>(t);
+    ConciseSample s(o);
+    for (Value v : data) s.Insert(v);
+    for (const ValueCount& e : s.Entries()) {
+      per_value[static_cast<std::size_t>(e.value)] +=
+          static_cast<double>(e.count);
+      total_points += static_cast<double>(e.count);
+    }
+  }
+  ASSERT_GT(total_points, 0.0);
+  // Check the three most frequent values (enough sampled mass to compare).
+  for (Value v = 1; v <= 3; ++v) {
+    const double expected_fraction =
+        static_cast<double>(relation.FrequencyOf(v)) /
+        static_cast<double>(data.size());
+    const double observed_fraction =
+        per_value[static_cast<std::size_t>(v)] / total_points;
+    // Generous band: binomial noise over ~kTrials*bound points.
+    const double slack =
+        6.0 * std::sqrt(expected_fraction / total_points) + 0.02;
+    EXPECT_NEAR(observed_fraction, expected_fraction, slack)
+        << "value " << v << " zipf " << alpha << " m " << bound;
+  }
+}
+
+TEST(ConciseSampleDistributionTest, CountDistributionIsBinomialGivenTau) {
+  // Theorem 2 refined: conditioned on the final threshold τ, each value's
+  // sample count is Binomial(f_v, 1/τ).  With a fixed stream the final τ
+  // is (nearly) deterministic per seed class; compare the tracer value's
+  // count mean and variance against the binomial prediction using each
+  // trial's own τ.
+  const std::vector<Value> data = ZipfValues(40000, 400, 1.0, 31415);
+  std::int64_t fv = 0;
+  for (Value v : data) fv += (v == 5);
+  ASSERT_GT(fv, 100);
+
+  constexpr int kTrials = 200;
+  double mean = 0.0, mean_sq = 0.0, predicted_mean = 0.0,
+         predicted_var = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    ConciseSampleOptions o;
+    o.footprint_bound = 256;
+    o.seed = 5000 + static_cast<std::uint64_t>(t);
+    ConciseSample s(o);
+    for (Value v : data) s.Insert(v);
+    const auto c = static_cast<double>(s.CountOf(5));
+    mean += c;
+    mean_sq += c * c;
+    const double p = 1.0 / s.Threshold();
+    predicted_mean += static_cast<double>(fv) * p;
+    predicted_var += static_cast<double>(fv) * p * (1.0 - p);
+  }
+  mean /= kTrials;
+  mean_sq /= kTrials;
+  predicted_mean /= kTrials;
+  predicted_var /= kTrials;
+  const double var = mean_sq - mean * mean;
+  // Mean within 5σ of the prediction; variance within a loose band (the
+  // per-trial τ variation inflates it slightly).
+  EXPECT_NEAR(mean, predicted_mean,
+              5.0 * std::sqrt(predicted_var / kTrials) + 0.5);
+  EXPECT_GT(var, 0.4 * predicted_var);
+  EXPECT_LT(var, 2.5 * predicted_var);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/counting_sample.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+/// Theorem 6 property sweep: a value occurring f_v times is in the counting
+/// sample with probability 1 - (1 - 1/τ)^{f_v} for the *current* threshold
+/// τ, regardless of the update history (Theorem 5's invariant).  We plant a
+/// tracer value with controlled frequency inside a noise stream, run many
+/// trials, and compare the empirical inclusion rate with the prediction
+/// computed from each trial's final threshold.
+class CountingInclusionProperty : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(FrequencyMultipliers, CountingInclusionProperty,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0),
+                         [](const auto& info) {
+                           return "fv_tau_x" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+TEST_P(CountingInclusionProperty, InclusionMatchesTheorem6) {
+  const double multiplier = GetParam();
+  constexpr Words kBound = 100;
+  constexpr std::int64_t kNoise = 40000;
+  constexpr Value kTracer = -777;  // outside the noise domain
+
+  // Calibrate: run once without the tracer to learn the typical final τ.
+  double tau_estimate;
+  {
+    CountingSampleOptions o;
+    o.footprint_bound = kBound;
+    o.seed = 1;
+    CountingSample s(o);
+    for (Value v : ZipfValues(kNoise, 2000, 0.8, 2)) s.Insert(v);
+    tau_estimate = s.Threshold();
+  }
+  const auto fv = static_cast<std::int64_t>(
+      std::max(1.0, multiplier * tau_estimate));
+
+  constexpr int kTrials = 250;
+  double included = 0.0;
+  double predicted = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    CountingSampleOptions o;
+    o.footprint_bound = kBound;
+    o.seed = 100 + static_cast<std::uint64_t>(t);
+    CountingSample s(o);
+    const std::vector<Value> noise =
+        ZipfValues(kNoise, 2000, 0.8, 500 + static_cast<std::uint64_t>(t));
+    // Spread the tracer's occurrences evenly through the stream.
+    const std::int64_t gap = kNoise / (fv + 1);
+    std::int64_t next_tracer = gap;
+    std::int64_t emitted = 0;
+    for (std::int64_t i = 0; i < kNoise; ++i) {
+      s.Insert(noise[static_cast<std::size_t>(i)]);
+      if (i == next_tracer && emitted < fv) {
+        s.Insert(kTracer);
+        ++emitted;
+        next_tracer += gap;
+      }
+    }
+    while (emitted < fv) {
+      s.Insert(kTracer);
+      ++emitted;
+    }
+    included += (s.CountOf(kTracer) > 0) ? 1.0 : 0.0;
+    const double tau = s.Threshold();
+    predicted +=
+        1.0 - std::pow(1.0 - 1.0 / tau, static_cast<double>(fv));
+  }
+  included /= kTrials;
+  predicted /= kTrials;
+  // Binomial noise over kTrials plus the tracer's own perturbation of τ.
+  const double slack =
+      4.0 * std::sqrt(predicted * (1.0 - predicted) / kTrials) + 0.06;
+  EXPECT_NEAR(included, predicted, slack)
+      << "fv=" << fv << " (multiplier " << multiplier << ")";
+}
+
+TEST(CountingInclusionTest, CountNeverExceedsFrequency) {
+  // Deterministic companion: across all trials of the sweep above the
+  // tracer count never exceeds its true frequency (Definition 3).
+  CountingSampleOptions o;
+  o.footprint_bound = 64;
+  o.seed = 3;
+  CountingSample s(o);
+  constexpr Value kTracer = -5;
+  std::int64_t emitted = 0;
+  const std::vector<Value> noise = ZipfValues(30000, 1000, 1.0, 4);
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    s.Insert(noise[i]);
+    if (i % 100 == 0) {
+      s.Insert(kTracer);
+      ++emitted;
+      ASSERT_LE(s.CountOf(kTracer), emitted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aqua

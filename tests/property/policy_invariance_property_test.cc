@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/concise_sample.h"
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+/// Theorem 2's flexibility claim: "the algorithm maintains a concise
+/// sample regardless of the sequence of increasing thresholds used" — so
+/// *any* raise policy must yield a statistically identical uniform sample
+/// (conditioned on its final threshold).  We run each policy across many
+/// seeds and check that the aggregated sample composition matches the data
+/// composition, and that sample-size ≈ n/τ holds per policy.
+class PolicyInvarianceProperty
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::shared_ptr<ThresholdPolicy> MakePolicy() const {
+    const std::string name = GetParam();
+    if (name == "x1.1") {
+      return std::make_shared<MultiplicativeThresholdPolicy>(1.1);
+    }
+    if (name == "x2") {
+      return std::make_shared<MultiplicativeThresholdPolicy>(2.0);
+    }
+    if (name == "binary") {
+      return std::make_shared<BinarySearchThresholdPolicy>(0.05);
+    }
+    return std::make_shared<SingletonBoundThresholdPolicy>(0.05);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicyInvarianceProperty,
+                         ::testing::Values("x1.1", "x2", "binary",
+                                           "singleton"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(PolicyInvarianceProperty, SampleCompositionTracksData) {
+  const std::vector<Value> data = ZipfValues(40000, 500, 1.0, 777);
+  Relation relation;
+  for (Value v : data) relation.Insert(v);
+
+  constexpr int kTrials = 25;
+  double total_points = 0.0;
+  std::vector<double> mass(501, 0.0);
+  double size_vs_ntau = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    ConciseSampleOptions o;
+    o.footprint_bound = 128;
+    o.seed = 3000 + static_cast<std::uint64_t>(t);
+    o.policy = MakePolicy();
+    ConciseSample s(o);
+    for (Value v : data) s.Insert(v);
+    ASSERT_TRUE(s.Validate().ok());
+    for (const ValueCount& e : s.Entries()) {
+      mass[static_cast<std::size_t>(e.value)] +=
+          static_cast<double>(e.count);
+      total_points += static_cast<double>(e.count);
+    }
+    size_vs_ntau += static_cast<double>(s.SampleSize()) /
+                    (static_cast<double>(data.size()) / s.Threshold());
+  }
+  ASSERT_GT(total_points, 0.0);
+  // Composition: top-2 values' share of the sample ≈ their share of the
+  // data (uniformity is policy-independent).
+  for (Value v = 1; v <= 2; ++v) {
+    const double data_share =
+        static_cast<double>(relation.FrequencyOf(v)) /
+        static_cast<double>(data.size());
+    const double sample_share =
+        mass[static_cast<std::size_t>(v)] / total_points;
+    EXPECT_NEAR(sample_share, data_share, 0.25 * data_share + 0.01)
+        << "value " << v;
+  }
+  // E[sample-size] = n/τ for every policy.
+  EXPECT_NEAR(size_vs_ntau / kTrials, 1.0, 0.25);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/concise_sample.h"
+#include "hotlist/concise_hot_list.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+/// Theorem 7 sweep (accuracy of hot lists from concise samples with
+/// confidence threshold β): frequent values — f_v well above βτ — are
+/// reported with high probability, and infrequent values — f_v well below
+/// βτ — are reported with vanishing probability.  We plant a tracer value
+/// of controlled frequency and measure its reporting rate across trials.
+class Theorem7Property : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(FrequencyMultipliers, Theorem7Property,
+                         ::testing::Values(0.2, 4.0, 8.0),
+                         [](const auto& info) {
+                           return "fv_betatau_x" +
+                                  std::to_string(
+                                      static_cast<int>(info.param * 10));
+                         });
+
+TEST_P(Theorem7Property, ReportingProbabilityMatchesRegime) {
+  const double multiplier = GetParam();
+  constexpr Words kBound = 200;
+  constexpr double kBeta = 3.0;
+  constexpr std::int64_t kNoise = 60000;
+  constexpr Value kTracer = -42;
+
+  // Calibrate the typical final threshold on a tracer-free run.
+  double tau_estimate;
+  {
+    ConciseSampleOptions o;
+    o.footprint_bound = kBound;
+    o.seed = 1;
+    ConciseSample s(o);
+    for (Value v : ZipfValues(kNoise, 3000, 0.9, 2)) s.Insert(v);
+    tau_estimate = s.Threshold();
+  }
+  const auto fv = static_cast<std::int64_t>(
+      std::max(1.0, multiplier * kBeta * tau_estimate));
+
+  constexpr int kTrials = 120;
+  int reported = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    ConciseSampleOptions o;
+    o.footprint_bound = kBound;
+    o.seed = 100 + static_cast<std::uint64_t>(t);
+    ConciseSample s(o);
+    const std::vector<Value> noise =
+        ZipfValues(kNoise, 3000, 0.9, 700 + static_cast<std::uint64_t>(t));
+    const std::int64_t gap = kNoise / (fv + 1);
+    std::int64_t emitted = 0;
+    for (std::int64_t i = 0; i < kNoise; ++i) {
+      s.Insert(noise[static_cast<std::size_t>(i)]);
+      if (emitted < fv && i % gap == gap - 1) {
+        s.Insert(kTracer);
+        ++emitted;
+      }
+    }
+    while (emitted++ < fv) s.Insert(kTracer);
+
+    const HotList hot = ConciseHotList(s).Report({.k = 0, .beta = kBeta});
+    for (const HotListItem& item : hot) {
+      if (item.value == kTracer) {
+        ++reported;
+        break;
+      }
+    }
+  }
+  const double rate = static_cast<double>(reported) / kTrials;
+  if (multiplier >= 8.0) {
+    // Far above βτ: Theorem 7(1) with δ→0 — near-certain reporting.
+    EXPECT_GT(rate, 0.9) << "fv=" << fv;
+  } else if (multiplier >= 4.0) {
+    EXPECT_GT(rate, 0.6) << "fv=" << fv;
+  } else {
+    // Far below βτ: Theorem 7(2) — rare false reporting.
+    EXPECT_LT(rate, 0.15) << "fv=" << fv;
+  }
+}
+
+}  // namespace
+}  // namespace aqua

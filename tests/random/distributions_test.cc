@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "random/discrete_distribution.h"
+#include "random/exponential_values.h"
+#include "random/random.h"
+#include "random/zipf.h"
+
+namespace aqua {
+namespace {
+
+TEST(DiscreteDistributionTest, NormalizesWeights) {
+  DiscreteDistribution d({1.0, 3.0, 6.0});
+  EXPECT_NEAR(d.ProbabilityOf(0), 0.1, 1e-12);
+  EXPECT_NEAR(d.ProbabilityOf(1), 0.3, 1e-12);
+  EXPECT_NEAR(d.ProbabilityOf(2), 0.6, 1e-12);
+}
+
+TEST(DiscreteDistributionTest, SingleOutcome) {
+  DiscreteDistribution d({5.0});
+  Random rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.Sample(rng), 0u);
+}
+
+TEST(DiscreteDistributionTest, ZeroWeightNeverSampled) {
+  DiscreteDistribution d({1.0, 0.0, 1.0});
+  Random rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(d.Sample(rng), 1u);
+}
+
+TEST(DiscreteDistributionTest, EmpiricalMatchesPmf) {
+  const std::vector<double> weights = {10, 1, 5, 0.5, 20, 2, 7, 0.1};
+  DiscreteDistribution d(weights);
+  Random rng(3);
+  constexpr int kDraws = 400000;
+  std::vector<int> histogram(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) ++histogram[d.Sample(rng)];
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double p_hat = static_cast<double>(histogram[i]) / kDraws;
+    const double p = d.ProbabilityOf(i);
+    EXPECT_NEAR(p_hat, p, 4.0 * std::sqrt(p * (1 - p) / kDraws) + 1e-4)
+        << "outcome " << i;
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOneAndIsMonotone) {
+  for (double alpha : {0.0, 0.5, 1.0, 2.0, 3.0}) {
+    const std::vector<double> pmf = ZipfDistribution::Pmf(1000, alpha);
+    const double total = std::accumulate(pmf.begin(), pmf.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9) << "alpha=" << alpha;
+    for (std::size_t i = 1; i < pmf.size(); ++i) {
+      EXPECT_LE(pmf[i], pmf[i - 1] + 1e-15) << "alpha=" << alpha;
+    }
+  }
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  const std::vector<double> pmf = ZipfDistribution::Pmf(100, 0.0);
+  for (double p : pmf) EXPECT_NEAR(p, 0.01, 1e-12);
+}
+
+TEST(ZipfTest, PmfFollowsPowerLaw) {
+  const double alpha = 1.5;
+  ZipfDistribution zipf(500, alpha);
+  // p_i / p_j should equal (j/i)^alpha.
+  const double ratio = zipf.ProbabilityOf(2) / zipf.ProbabilityOf(8);
+  EXPECT_NEAR(ratio, std::pow(4.0, alpha), 1e-9);
+}
+
+TEST(ZipfTest, SamplesStayInDomain) {
+  ZipfDistribution zipf(50, 1.0);
+  Random rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = zipf.Sample(rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 50);
+  }
+}
+
+TEST(ZipfTest, EmpiricalHeadFrequencyMatches) {
+  ZipfDistribution zipf(1000, 1.0);
+  Random rng(5);
+  constexpr int kDraws = 200000;
+  int ones = 0;
+  for (int i = 0; i < kDraws; ++i) ones += (zipf.Sample(rng) == 1);
+  const double p1 = zipf.ProbabilityOf(1);
+  EXPECT_NEAR(static_cast<double>(ones) / kDraws, p1, 0.01);
+}
+
+TEST(ExponentialValuesTest, PmfIsNormalized) {
+  ExponentialValueDistribution dist(1.5);
+  double total = 0.0;
+  for (std::int64_t i = 1; i <= 200; ++i) total += dist.ProbabilityOf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ExponentialValuesTest, EmpiricalMatchesPmf) {
+  ExponentialValueDistribution dist(2.0);  // P(1)=1/2, P(2)=1/4, …
+  Random rng(6);
+  constexpr int kDraws = 200000;
+  std::int64_t ones = 0, twos = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::int64_t v = dist.Sample(rng);
+    EXPECT_GE(v, 1);
+    ones += (v == 1);
+    twos += (v == 2);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kDraws, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(twos) / kDraws, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,262 @@
+#include "random/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace aqua {
+namespace {
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomTest, NextDoublePositiveNeverZero) {
+  Random rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.NextDoublePositive(), 0.0);
+    EXPECT_LE(rng.NextDoublePositive(), 1.0);
+  }
+}
+
+TEST(RandomTest, UniformU64StaysInBounds) {
+  Random rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.UniformU64(bound), bound);
+  }
+}
+
+TEST(RandomTest, UniformU64IsRoughlyUniform) {
+  Random rng(4);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.UniformU64(kBuckets)];
+  // Chi-square with 9 dof: 99.99th percentile ≈ 33.7.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : histogram) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 35.0);
+}
+
+TEST(RandomTest, UniformIntCoversInclusiveRange) {
+  Random rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, BernoulliDegenerateCases) {
+  Random rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RandomTest, BernoulliMatchesProbability) {
+  Random rng(7);
+  constexpr int kDraws = 200000;
+  int heads = 0;
+  for (int i = 0; i < kDraws; ++i) heads += rng.Bernoulli(0.3);
+  const double p_hat = static_cast<double>(heads) / kDraws;
+  EXPECT_NEAR(p_hat, 0.3, 0.01);
+}
+
+TEST(RandomTest, GeometricMeanMatchesTheory) {
+  Random rng(8);
+  // E[failures before success] = (1-p)/p.
+  for (double p : {0.5, 0.1, 0.01}) {
+    constexpr int kDraws = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += static_cast<double>(rng.Geometric(p));
+    }
+    const double mean = sum / kDraws;
+    const double expected = (1.0 - p) / p;
+    EXPECT_NEAR(mean, expected, expected * 0.1 + 0.05) << "p=" << p;
+  }
+}
+
+TEST(RandomTest, GeometricWithProbabilityOneIsZero) {
+  Random rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 0);
+}
+
+TEST(RandomTest, BinomialDegenerateCases) {
+  Random rng(10);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.Binomial(100, 0.0), 0);
+  EXPECT_EQ(rng.Binomial(100, 1.0), 100);
+}
+
+TEST(RandomTest, BinomialStaysInRange) {
+  Random rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t x = rng.Binomial(20, 0.37);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 20);
+  }
+}
+
+TEST(RandomTest, BinomialMeanAndVarianceMatchTheory) {
+  Random rng(12);
+  // Both a small-p and a reflected large-p case.
+  struct Case {
+    std::int64_t n;
+    double p;
+  };
+  for (const Case& c : {Case{50, 0.1}, Case{50, 0.9}, Case{200, 0.5}}) {
+    constexpr int kDraws = 40000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      const auto x = static_cast<double>(rng.Binomial(c.n, c.p));
+      sum += x;
+      sum_sq += x * x;
+    }
+    const double mean = sum / kDraws;
+    const double var = sum_sq / kDraws - mean * mean;
+    const double expected_mean = static_cast<double>(c.n) * c.p;
+    const double expected_var = expected_mean * (1.0 - c.p);
+    EXPECT_NEAR(mean, expected_mean, 0.05 * expected_mean + 0.1)
+        << "n=" << c.n << " p=" << c.p;
+    EXPECT_NEAR(var, expected_var, 0.15 * expected_var + 0.2)
+        << "n=" << c.n << " p=" << c.p;
+  }
+}
+
+TEST(RandomTest, BinomialMatchesExactPmfChiSquare) {
+  // Chi-square goodness of fit against the exact Binomial(8, 0.3) pmf.
+  Random rng(18);
+  constexpr std::int64_t kN = 8;
+  constexpr double kP = 0.3;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kN + 1, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[static_cast<std::size_t>(rng.Binomial(kN, kP))];
+  }
+  // pmf via the recurrence p(k+1) = p(k) (n-k)/(k+1) p/(1-p).
+  std::vector<double> pmf(kN + 1);
+  pmf[0] = std::pow(1.0 - kP, static_cast<double>(kN));
+  for (std::int64_t k = 0; k < kN; ++k) {
+    pmf[static_cast<std::size_t>(k + 1)] =
+        pmf[static_cast<std::size_t>(k)] *
+        static_cast<double>(kN - k) / static_cast<double>(k + 1) * kP /
+        (1.0 - kP);
+  }
+  double chi2 = 0.0;
+  for (std::size_t k = 0; k <= kN; ++k) {
+    const double expected = pmf[k] * kDraws;
+    const double diff = histogram[k] - expected;
+    chi2 += diff * diff / expected;
+  }
+  // 8 dof: 99.99th percentile ≈ 31.8.
+  EXPECT_LT(chi2, 33.0);
+}
+
+TEST(RandomTest, GeometricMatchesExactPmfChiSquare) {
+  Random rng(19);
+  constexpr double kP = 0.25;
+  constexpr int kDraws = 100000;
+  constexpr int kBuckets = 12;  // 0..10 plus tail
+  std::vector<int> histogram(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const std::int64_t g = rng.Geometric(kP);
+    ++histogram[static_cast<std::size_t>(std::min<std::int64_t>(
+        g, kBuckets - 1))];
+  }
+  double chi2 = 0.0;
+  double tail = 1.0;
+  for (int k = 0; k < kBuckets - 1; ++k) {
+    const double p = std::pow(1.0 - kP, k) * kP;
+    tail -= p;
+    const double expected = p * kDraws;
+    const double diff = histogram[static_cast<std::size_t>(k)] - expected;
+    chi2 += diff * diff / expected;
+  }
+  const double expected_tail = tail * kDraws;
+  const double diff = histogram[kBuckets - 1] - expected_tail;
+  chi2 += diff * diff / expected_tail;
+  // 11 dof: 99.99th percentile ≈ 37.4.
+  EXPECT_LT(chi2, 39.0);
+}
+
+TEST(RandomTest, NormalMomentsMatchStandard) {
+  Random rng(13);
+  constexpr int kDraws = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RandomTest, ExponentialMeanIsOne) {
+  Random rng(14);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Exponential();
+  EXPECT_NEAR(sum / kDraws, 1.0, 0.02);
+}
+
+TEST(RandomTest, FlipCountingCountsLogicalDraws) {
+  Random rng(15);
+  rng.ResetFlipCount();
+  rng.NextU64();
+  rng.NextDouble();
+  rng.UniformU64(10);
+  rng.Bernoulli(0.5);
+  rng.Geometric(0.5);
+  EXPECT_EQ(rng.FlipCount(), 5);
+  // Degenerate Bernoulli consumes no randomness.
+  rng.Bernoulli(0.0);
+  rng.Bernoulli(1.0);
+  EXPECT_EQ(rng.FlipCount(), 5);
+}
+
+TEST(RandomTest, BinomialFlipCountIsProportionalToRareOutcome) {
+  Random rng(16);
+  rng.ResetFlipCount();
+  // p = 0.9 keep: rare outcome rate 0.1, so ~n*0.1 + 1 draws per call.
+  constexpr int kCalls = 1000;
+  for (int i = 0; i < kCalls; ++i) rng.Binomial(100, 0.9);
+  const double flips_per_call =
+      static_cast<double>(rng.FlipCount()) / kCalls;
+  EXPECT_LT(flips_per_call, 20.0);
+  EXPECT_GT(flips_per_call, 5.0);
+}
+
+TEST(RandomTest, ForkProducesDistinctStreams) {
+  Random parent(17);
+  Random a(parent.Fork());
+  Random b(parent.Fork());
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace aqua

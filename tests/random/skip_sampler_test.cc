@@ -1,0 +1,80 @@
+#include "random/skip_sampler.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(SkipSamplerTest, ProbabilityOneSelectsEverythingWithNoDraws) {
+  Random rng(1);
+  SkipSampler sampler(rng, 1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(sampler.ShouldSelect(rng));
+  EXPECT_EQ(sampler.DrawCount(), 0);
+}
+
+TEST(SkipSamplerTest, SelectionRateMatchesProbability) {
+  Random rng(2);
+  for (double p : {0.5, 0.1, 0.01}) {
+    SkipSampler sampler(rng, p);
+    constexpr int kEvents = 200000;
+    int selected = 0;
+    for (int i = 0; i < kEvents; ++i) selected += sampler.ShouldSelect(rng);
+    const double rate = static_cast<double>(selected) / kEvents;
+    EXPECT_NEAR(rate, p, 0.15 * p + 0.001) << "p=" << p;
+  }
+}
+
+TEST(SkipSamplerTest, OneDrawPerSelection) {
+  Random rng(3);
+  SkipSampler sampler(rng, 0.01);
+  constexpr int kEvents = 100000;
+  int selected = 0;
+  const std::int64_t draws_before = sampler.DrawCount();
+  for (int i = 0; i < kEvents; ++i) selected += sampler.ShouldSelect(rng);
+  const std::int64_t draws = sampler.DrawCount() - draws_before;
+  // One redraw per selection (the constructor's initial draw is already in
+  // draws_before).  The economization of §3.1: draws << events.
+  EXPECT_EQ(draws, selected);
+  EXPECT_LT(draws, kEvents / 50);
+}
+
+TEST(SkipSamplerTest, ResetRedrawsPendingSkip) {
+  Random rng(4);
+  SkipSampler sampler(rng, 0.001);
+  sampler.Reset(rng, 1.0);
+  EXPECT_TRUE(sampler.ShouldSelect(rng));
+  EXPECT_DOUBLE_EQ(sampler.probability(), 1.0);
+}
+
+TEST(SkipSamplerTest, MovableWithoutDanglingState) {
+  // The sampler holds no engine reference, so moving the pair of (engine,
+  // sampler) — as synopses returned by value do — must keep working.
+  Random rng(5);
+  SkipSampler original(rng, 0.5);
+  SkipSampler moved = std::move(original);
+  int selected = 0;
+  for (int i = 0; i < 1000; ++i) selected += moved.ShouldSelect(rng);
+  EXPECT_GT(selected, 300);
+  EXPECT_LT(selected, 700);
+}
+
+TEST(SkipSamplerTest, MatchesPerEventBernoulliDistribution) {
+  // The skip process and a per-event Bernoulli process must produce
+  // statistically identical selection streams; compare selection totals.
+  Random rng_skip(5), rng_flip(6);
+  const double p = 0.05;
+  SkipSampler sampler(rng_skip, p);
+  constexpr int kEvents = 400000;
+  std::int64_t skip_selected = 0, flip_selected = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    skip_selected += sampler.ShouldSelect(rng_skip);
+    flip_selected += rng_flip.Bernoulli(p);
+  }
+  const double diff =
+      std::abs(static_cast<double>(skip_selected - flip_selected));
+  // Two binomial(kEvents, p) draws differ by O(sqrt(kEvents p)).
+  EXPECT_LT(diff, 6.0 * std::sqrt(kEvents * p));
+}
+
+}  // namespace
+}  // namespace aqua

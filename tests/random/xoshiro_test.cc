@@ -1,0 +1,71 @@
+#include "random/xoshiro256.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace aqua {
+namespace {
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 123, s2 = 123;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64Next(s1), SplitMix64Next(s2));
+  }
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t a = SplitMix64Next(s);
+  const std::uint64_t b = SplitMix64Next(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Xoshiro256Test, DeterministicForFixedSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256Test, OutputLooksFullRange) {
+  Xoshiro256 rng(7);
+  bool high_bit = false, low_bit = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = rng();
+    high_bit |= (x >> 63) & 1;
+    low_bit |= x & 1;
+  }
+  EXPECT_TRUE(high_bit);
+  EXPECT_TRUE(low_bit);
+}
+
+TEST(Xoshiro256Test, JumpYieldsDisjointStream) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  b.Jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a());
+  int overlap = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (first.count(b())) ++overlap;
+  }
+  EXPECT_EQ(overlap, 0);
+}
+
+TEST(Xoshiro256Test, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(5);
+  EXPECT_GE(rng(), Xoshiro256::min());
+}
+
+}  // namespace
+}  // namespace aqua

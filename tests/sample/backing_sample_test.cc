@@ -1,0 +1,154 @@
+#include "sample/backing_sample.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "warehouse/relation.h"
+
+namespace aqua {
+namespace {
+
+TEST(BackingSampleTest, FillsToCapacityUnderInserts) {
+  BackingSample sample(50, 10, 1);
+  for (Value v = 0; v < 1000; ++v) sample.Insert(v % 7);
+  EXPECT_EQ(sample.SampleSize(), 50);
+  EXPECT_FALSE(sample.NeedsRepopulation());
+}
+
+TEST(BackingSampleTest, HoldsWholeRelationWhileSmall) {
+  BackingSample sample(100, 10, 2);
+  for (Value v = 0; v < 30; ++v) sample.Insert(v);
+  EXPECT_EQ(sample.SampleSize(), 30);
+}
+
+TEST(BackingSampleTest, PlainDeleteIsRejected) {
+  BackingSample sample(10, 2, 3);
+  sample.Insert(1);
+  EXPECT_TRUE(sample.Delete(1).IsFailedPrecondition());
+}
+
+TEST(BackingSampleTest, DeleteWithBadFrequencyRejected) {
+  BackingSample sample(10, 2, 4);
+  EXPECT_TRUE(sample.DeleteWithFrequency(1, 0).IsInvalidArgument());
+}
+
+TEST(BackingSampleTest, SampleStaysSubsetUnderDeletes) {
+  // Track the exact relation; after deleting all copies of a value, the
+  // sample must not contain it.
+  BackingSample sample(64, 8, 5);
+  Relation relation;
+  for (Value v = 0; v < 2000; ++v) {
+    const Value val = v % 20;
+    sample.Insert(val);
+    relation.Insert(val);
+  }
+  // Delete every copy of values 0..4.
+  for (Value val = 0; val < 5; ++val) {
+    while (relation.FrequencyOf(val) > 0) {
+      const Count before = relation.FrequencyOf(val);
+      ASSERT_TRUE(sample.DeleteWithFrequency(val, before).ok());
+      ASSERT_TRUE(relation.Delete(val).ok());
+    }
+  }
+  for (Value p : sample.Points()) {
+    EXPECT_GE(p, 5);
+    EXPECT_LT(p, 20);
+  }
+}
+
+TEST(BackingSampleTest, RepopulationTriggerAndRebuild) {
+  BackingSample sample(40, 35, 6);
+  Relation relation;
+  for (Value v = 0; v < 500; ++v) {
+    sample.Insert(v);
+    relation.Insert(v);
+  }
+  // Hammer deletions until the sample shrinks below the watermark.
+  Value next = 0;
+  while (!sample.NeedsRepopulation() && relation.size() > 100) {
+    const Count before = relation.FrequencyOf(next);
+    if (before > 0) {
+      ASSERT_TRUE(sample.DeleteWithFrequency(next, before).ok());
+      ASSERT_TRUE(relation.Delete(next).ok());
+    }
+    ++next;
+  }
+  ASSERT_TRUE(sample.NeedsRepopulation());
+  const std::vector<Value> base = relation.Materialize();
+  sample.Repopulate(base);
+  EXPECT_EQ(sample.SampleSize(), 40);
+  EXPECT_FALSE(sample.NeedsRepopulation());
+  // All points must come from the current base data.
+  for (Value p : sample.Points()) {
+    EXPECT_GT(relation.FrequencyOf(p), 0);
+  }
+}
+
+TEST(BackingSampleTest, RepopulateSamplesWithoutReplacement) {
+  BackingSample sample(20, 5, 7);
+  std::vector<Value> base(100);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = static_cast<Value>(i);
+  }
+  sample.Repopulate(base);
+  std::vector<Value> points = sample.Points();
+  std::sort(points.begin(), points.end());
+  EXPECT_TRUE(std::adjacent_find(points.begin(), points.end()) ==
+              points.end());
+}
+
+TEST(BackingSampleTest, SurvivorsStayUniformAfterDeletes) {
+  // Delete every tuple of half the values; among surviving values the
+  // sample must remain balanced (each survivor value has equal frequency).
+  constexpr int kTrials = 800;
+  constexpr Value kValues = 10;
+  constexpr Count kPerValue = 100;
+  std::vector<double> mass(kValues, 0.0);
+  double total = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    BackingSample sample(30, 2, 9000 + static_cast<std::uint64_t>(t));
+    for (Count i = 0; i < kPerValue; ++i) {
+      for (Value v = 0; v < kValues; ++v) sample.Insert(v);
+    }
+    for (Value v = 0; v < kValues / 2; ++v) {
+      for (Count remaining = kPerValue; remaining > 0; --remaining) {
+        ASSERT_TRUE(sample.DeleteWithFrequency(v, remaining).ok());
+      }
+    }
+    for (Value p : sample.Points()) {
+      ASSERT_GE(p, kValues / 2);  // deleted values must be gone
+      mass[static_cast<std::size_t>(p)] += 1.0;
+      total += 1.0;
+    }
+  }
+  ASSERT_GT(total, 0.0);
+  for (Value v = kValues / 2; v < kValues; ++v) {
+    const double share = mass[static_cast<std::size_t>(v)] / total;
+    EXPECT_NEAR(share, 1.0 / (kValues / 2.0), 0.03) << "value " << v;
+  }
+}
+
+TEST(BackingSampleTest, InclusionStaysUniformUnderInsertOnly) {
+  constexpr int kTrials = 1500;
+  constexpr std::int64_t kN = 400;
+  constexpr std::int64_t kM = 40;
+  std::vector<int> inclusion(kN, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    BackingSample sample(kM, 4, 100 + static_cast<std::uint64_t>(t));
+    for (Value v = 0; v < kN; ++v) sample.Insert(v);
+    for (Value p : sample.Points()) ++inclusion[static_cast<std::size_t>(p)];
+  }
+  const double expected = static_cast<double>(kTrials) * kM / kN;
+  const double sigma = std::sqrt(expected * (1.0 - static_cast<double>(kM) / kN));
+  for (std::int64_t pos : {std::int64_t{0}, kN / 2, kN - 1}) {
+    EXPECT_NEAR(inclusion[static_cast<std::size_t>(pos)], expected,
+                5.0 * sigma)
+        << "position " << pos;
+  }
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,48 @@
+#include "sample/bernoulli_sample.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(BernoulliSampleTest, ProbabilityOneKeepsEverything) {
+  BernoulliSample sample(1.0, 1);
+  for (Value v = 0; v < 100; ++v) sample.Insert(v);
+  EXPECT_EQ(sample.Points().size(), 100u);
+  EXPECT_EQ(sample.Cost().coin_flips, 0);
+}
+
+TEST(BernoulliSampleTest, SizeConcentratesAroundPN) {
+  BernoulliSample sample(0.05, 2);
+  constexpr std::int64_t kN = 100000;
+  for (Value v = 0; v < kN; ++v) sample.Insert(v);
+  const auto size = static_cast<double>(sample.Points().size());
+  EXPECT_NEAR(size, 0.05 * kN, 6.0 * std::sqrt(0.05 * kN));
+  EXPECT_EQ(sample.ObservedInserts(), kN);
+  EXPECT_EQ(sample.Footprint(),
+            static_cast<Words>(sample.Points().size()));
+}
+
+TEST(BernoulliSampleTest, PointsAreSubsetOfStream) {
+  BernoulliSample sample(0.2, 3);
+  for (Value v = 0; v < 1000; ++v) sample.Insert(v * 3 + 1);
+  for (Value p : sample.Points()) EXPECT_EQ((p - 1) % 3, 0);
+}
+
+TEST(BernoulliSampleTest, DrawsOnePerSelection) {
+  BernoulliSample sample(0.01, 4);
+  constexpr std::int64_t kN = 100000;
+  for (Value v = 0; v < kN; ++v) sample.Insert(v);
+  // Skip counting: draws ≈ selections + 1, far below one per insert.
+  EXPECT_LE(sample.Cost().coin_flips,
+            static_cast<std::int64_t>(sample.Points().size()) + 1);
+}
+
+TEST(BernoulliSampleTest, DeleteUnsupported) {
+  BernoulliSample sample(0.5, 5);
+  EXPECT_TRUE(sample.Delete(1).IsFailedPrecondition());
+  EXPECT_EQ(sample.Name(), "bernoulli-sample");
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,124 @@
+#include "sample/reservoir_sample.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace aqua {
+namespace {
+
+class ReservoirAlgorithms
+    : public ::testing::TestWithParam<ReservoirAlgorithm> {};
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ReservoirAlgorithms,
+                         ::testing::Values(ReservoirAlgorithm::kR,
+                                           ReservoirAlgorithm::kX,
+                                           ReservoirAlgorithm::kL),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case ReservoirAlgorithm::kR: return "R";
+                             case ReservoirAlgorithm::kX: return "X";
+                             default: return "L";
+                           }
+                         });
+
+TEST_P(ReservoirAlgorithms, HoldsEntireStreamWhileBelowCapacity) {
+  ReservoirSample sample(100, 1, GetParam());
+  for (Value v = 0; v < 50; ++v) sample.Insert(v);
+  EXPECT_EQ(sample.SampleSize(), 50);
+  std::vector<Value> points = sample.Points();
+  std::sort(points.begin(), points.end());
+  for (Value v = 0; v < 50; ++v) EXPECT_EQ(points[v], v);
+}
+
+TEST_P(ReservoirAlgorithms, SampleSizeCapsAtCapacity) {
+  ReservoirSample sample(64, 2, GetParam());
+  for (Value v = 0; v < 10000; ++v) sample.Insert(v);
+  EXPECT_EQ(sample.SampleSize(), 64);
+  EXPECT_EQ(sample.Footprint(), 64);
+  EXPECT_EQ(sample.ObservedInserts(), 10000);
+}
+
+TEST_P(ReservoirAlgorithms, SampleIsSubsetOfStream) {
+  ReservoirSample sample(32, 3, GetParam());
+  for (Value v = 0; v < 5000; ++v) sample.Insert(v * 7);
+  for (Value p : sample.Points()) {
+    EXPECT_EQ(p % 7, 0);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 5000 * 7);
+  }
+}
+
+TEST_P(ReservoirAlgorithms, MarginalInclusionIsUniform) {
+  // Every stream position must be included with probability m/n.  Run many
+  // trials and check early/middle/late positions' inclusion rates.
+  constexpr int kTrials = 2000;
+  constexpr std::int64_t kN = 500;
+  constexpr std::int64_t kM = 50;
+  std::vector<int> inclusion(kN, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSample sample(kM, 1000 + static_cast<std::uint64_t>(t),
+                           GetParam());
+    for (Value v = 0; v < kN; ++v) sample.Insert(v);
+    for (Value p : sample.Points()) ++inclusion[static_cast<std::size_t>(p)];
+  }
+  const double expected = static_cast<double>(kTrials) * kM / kN;
+  // 5σ band for a binomial(kTrials, m/n).
+  const double sigma =
+      std::sqrt(kTrials * (static_cast<double>(kM) / kN) *
+                (1.0 - static_cast<double>(kM) / kN));
+  for (std::int64_t pos : {std::int64_t{0}, kN / 2, kN - 1}) {
+    EXPECT_NEAR(inclusion[static_cast<std::size_t>(pos)], expected,
+                5.0 * sigma)
+        << "position " << pos;
+  }
+}
+
+TEST(ReservoirSampleTest, AlgorithmXUsesFarFewerDrawsThanR) {
+  constexpr std::int64_t kN = 200000;
+  constexpr std::int64_t kM = 100;
+  ReservoirSample r(kM, 4, ReservoirAlgorithm::kR);
+  ReservoirSample x(kM, 4, ReservoirAlgorithm::kX);
+  for (Value v = 0; v < kN; ++v) {
+    r.Insert(v);
+    x.Insert(v);
+  }
+  // R: one draw per record past the fill phase.
+  EXPECT_GE(r.Cost().coin_flips, kN - kM);
+  // X: ~2 draws per replacement, ~m ln(n/m) replacements ≈ 1520.
+  EXPECT_LT(x.Cost().coin_flips, 5000);
+  EXPECT_GT(x.Cost().coin_flips, 200);
+}
+
+TEST(ReservoirSampleTest, AlgorithmLDrawCountComparableToX) {
+  constexpr std::int64_t kN = 200000;
+  constexpr std::int64_t kM = 100;
+  ReservoirSample l(kM, 5, ReservoirAlgorithm::kL);
+  for (Value v = 0; v < kN; ++v) l.Insert(v);
+  EXPECT_LT(l.Cost().coin_flips, 8000);
+}
+
+TEST(ReservoirSampleTest, DeterministicForFixedSeed) {
+  ReservoirSample a(32, 99), b(32, 99);
+  for (Value v = 0; v < 10000; ++v) {
+    a.Insert(v);
+    b.Insert(v);
+  }
+  EXPECT_EQ(a.Points(), b.Points());
+}
+
+TEST(ReservoirSampleTest, NameAndCapacity) {
+  ReservoirSample s(10, 1);
+  EXPECT_EQ(s.Name(), "traditional-sample");
+  EXPECT_EQ(s.Capacity(), 10);
+  EXPECT_EQ(s.algorithm(), ReservoirAlgorithm::kX);
+}
+
+TEST(ReservoirSampleTest, DeleteUnsupported) {
+  ReservoirSample s(10, 1);
+  EXPECT_TRUE(s.Delete(1).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,68 @@
+#include "sketch/ams_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include "estimate/frequency_moments.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(AmsSketchTest, EmptyEstimatesZero) {
+  AmsSketch sketch(5, 64, 1);
+  EXPECT_DOUBLE_EQ(sketch.EstimateF2(), 0.0);
+}
+
+TEST(AmsSketchTest, SingleValueF2IsCountSquared) {
+  AmsSketch sketch(5, 64, 2);
+  for (int i = 0; i < 100; ++i) sketch.Insert(7);
+  EXPECT_NEAR(sketch.EstimateF2(), 10000.0, 1.0);
+}
+
+TEST(AmsSketchTest, EstimateCloseToExactF2) {
+  const std::vector<Value> data = ZipfValues(100000, 2000, 1.0, 3);
+  const double exact = FrequencyMoments::FromData(data).Moment(2);
+  AmsSketch sketch(7, 256, 4);
+  for (Value v : data) sketch.Insert(v);
+  EXPECT_NEAR(sketch.EstimateF2(), exact, 0.25 * exact);
+}
+
+TEST(AmsSketchTest, DeletionsCancelInsertions) {
+  AmsSketch sketch(5, 64, 5);
+  for (Value v = 0; v < 500; ++v) sketch.Insert(v);
+  for (Value v = 0; v < 500; ++v) sketch.Delete(v);
+  EXPECT_DOUBLE_EQ(sketch.EstimateF2(), 0.0);
+}
+
+TEST(AmsSketchTest, TurnstileStreamMatchesNetFrequencies) {
+  // Insert twice / delete once per value → net frequency 1 each, F2 = D.
+  constexpr std::int64_t kD = 400;
+  AmsSketch sketch(7, 256, 6);
+  for (Value v = 0; v < kD; ++v) {
+    sketch.Insert(v);
+    sketch.Insert(v);
+    sketch.Delete(v);
+  }
+  EXPECT_NEAR(sketch.EstimateF2(), static_cast<double>(kD),
+              0.35 * static_cast<double>(kD));
+}
+
+TEST(AmsSketchTest, WiderSketchIsMoreAccurate) {
+  const std::vector<Value> data = ZipfValues(50000, 1000, 1.25, 7);
+  const double exact = FrequencyMoments::FromData(data).Moment(2);
+  constexpr int kTrials = 15;
+  auto mse = [&](int width) {
+    double total = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      AmsSketch sketch(5, width, 100 + static_cast<std::uint64_t>(t));
+      for (Value v : data) sketch.Insert(v);
+      const double rel = sketch.EstimateF2() / exact - 1.0;
+      total += rel * rel;
+    }
+    return total / kTrials;
+  };
+  EXPECT_LT(mse(512), mse(8) + 1e-4);
+}
+
+}  // namespace
+}  // namespace aqua

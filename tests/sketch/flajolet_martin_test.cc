@@ -1,0 +1,67 @@
+#include "sketch/flajolet_martin.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(FlajoletMartinTest, EmptyEstimatesNearOne) {
+  FlajoletMartin fm(64, 1);
+  EXPECT_LT(fm.Estimate(), 2.0);
+}
+
+TEST(FlajoletMartinTest, InsertIsIdempotentPerValue) {
+  FlajoletMartin fm(64, 2);
+  for (int i = 0; i < 1000; ++i) fm.Insert(42);
+  // One distinct value: estimate stays small regardless of multiplicity.
+  EXPECT_LT(fm.Estimate(), 8.0);
+}
+
+TEST(FlajoletMartinTest, EstimateWithinSmallFactorOfTruth) {
+  for (std::int64_t d : {100, 1000, 10000}) {
+    FlajoletMartin fm(64, 3);
+    for (Value v = 1; v <= d; ++v) fm.Insert(v);
+    const double est = fm.Estimate();
+    EXPECT_GT(est, static_cast<double>(d) / 2.0) << "d=" << d;
+    EXPECT_LT(est, static_cast<double>(d) * 2.0) << "d=" << d;
+  }
+}
+
+TEST(FlajoletMartinTest, SkewDoesNotAffectDistinctCount) {
+  // 500K zipf-2 inserts over domain 1000 touch nearly every value many
+  // times; the estimate tracks distinct values, not stream length.
+  FlajoletMartin fm(64, 4);
+  std::int64_t distinct_upper = 0;
+  std::vector<bool> seen(5001, false);
+  for (Value v : ZipfValues(200000, 5000, 2.0, 5)) {
+    fm.Insert(v);
+    if (!seen[static_cast<std::size_t>(v)]) {
+      seen[static_cast<std::size_t>(v)] = true;
+      ++distinct_upper;
+    }
+  }
+  const double est = fm.Estimate();
+  EXPECT_GT(est, static_cast<double>(distinct_upper) / 2.5);
+  EXPECT_LT(est, static_cast<double>(distinct_upper) * 2.5);
+}
+
+TEST(FlajoletMartinTest, MoreMapsReduceVariance) {
+  constexpr std::int64_t kD = 2000;
+  constexpr int kTrials = 30;
+  auto mse = [&](int maps) {
+    double total = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      FlajoletMartin fm(maps, 100 + static_cast<std::uint64_t>(t));
+      for (Value v = 1; v <= kD; ++v) fm.Insert(v);
+      const double rel = fm.Estimate() / kD - 1.0;
+      total += rel * rel;
+    }
+    return total / kTrials;
+  };
+  EXPECT_LT(mse(128), mse(4) + 0.05);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,61 @@
+#include "sketch/morris_counter.h"
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+namespace {
+
+TEST(MorrisCounterTest, StartsAtZero) {
+  MorrisCounter counter(2.0, 1);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 0.0);
+  EXPECT_EQ(counter.exponent(), 0u);
+}
+
+TEST(MorrisCounterTest, FirstIncrementIsExact) {
+  MorrisCounter counter(2.0, 2);
+  counter.Increment();
+  // With exponent 0 the increment succeeds with probability 1.
+  EXPECT_EQ(counter.exponent(), 1u);
+  EXPECT_DOUBLE_EQ(counter.Estimate(), 1.0);
+}
+
+TEST(MorrisCounterTest, EstimateIsUnbiasedOnAverage) {
+  constexpr int kEvents = 10000;
+  constexpr int kTrials = 300;
+  double mean = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    MorrisCounter counter(2.0, 100 + static_cast<std::uint64_t>(t));
+    for (int i = 0; i < kEvents; ++i) counter.Increment();
+    mean += counter.Estimate();
+  }
+  mean /= kTrials;
+  // Base 2: std ≈ n/sqrt(2); mean of 300 trials has σ ≈ n/24.
+  EXPECT_NEAR(mean, kEvents, kEvents * 0.2);
+}
+
+TEST(MorrisCounterTest, SmallerBaseIsMoreAccurate) {
+  constexpr int kEvents = 10000;
+  constexpr int kTrials = 150;
+  auto mse = [&](double base, std::uint64_t salt) {
+    double total = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      MorrisCounter counter(base, salt + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kEvents; ++i) counter.Increment();
+      const double err = counter.Estimate() - kEvents;
+      total += err * err;
+    }
+    return total / kTrials;
+  };
+  EXPECT_LT(mse(1.1, 1000), mse(2.0, 2000));
+}
+
+TEST(MorrisCounterTest, ExponentGrowsLogarithmically) {
+  MorrisCounter counter(2.0, 3);
+  for (int i = 0; i < 1 << 16; ++i) counter.Increment();
+  // Exponent ~ log2(n) = 16; far below n (the whole point: lg lg n bits).
+  EXPECT_LT(counter.exponent(), 26u);
+  EXPECT_GT(counter.exponent(), 8u);
+}
+
+}  // namespace
+}  // namespace aqua

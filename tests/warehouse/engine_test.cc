@@ -1,0 +1,174 @@
+#include "warehouse/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/hotlist_accuracy.h"
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+EngineOptions AllOn(Words m, std::uint64_t seed) {
+  EngineOptions o;
+  o.footprint_bound = m;
+  o.seed = seed;
+  o.maintain_full_histogram = false;
+  return o;
+}
+
+TEST(EngineTest, MaintainsConfiguredSynopses) {
+  ApproximateAnswerEngine engine(AllOn(100, 1));
+  EXPECT_NE(engine.traditional(), nullptr);
+  EXPECT_NE(engine.concise(), nullptr);
+  EXPECT_NE(engine.counting(), nullptr);
+  EXPECT_EQ(engine.full_histogram(), nullptr);
+}
+
+TEST(EngineTest, ObserveRoutesInserts) {
+  ApproximateAnswerEngine engine(AllOn(100, 2));
+  for (Value v : ZipfValues(10000, 100, 1.0, 3)) {
+    ASSERT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+  }
+  EXPECT_EQ(engine.observed_inserts(), 10000);
+  EXPECT_EQ(engine.traditional()->ObservedInserts(), 10000);
+  EXPECT_EQ(engine.concise()->ObservedInserts(), 10000);
+  EXPECT_EQ(engine.counting()->ObservedInserts(), 10000);
+}
+
+TEST(EngineTest, HotListPrefersCountingSample) {
+  ApproximateAnswerEngine engine(AllOn(500, 4));
+  for (Value v : ZipfValues(100000, 1000, 1.25, 5)) {
+    ASSERT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+  }
+  const auto response = engine.HotListAnswer({.k = 10, .beta = 3});
+  EXPECT_EQ(response.method, "counting-sample");
+  EXPECT_FALSE(response.answer.empty());
+  EXPECT_GE(response.response_ns, 0);
+}
+
+TEST(EngineTest, DeletionsDropConciseAndTraditional) {
+  ApproximateAnswerEngine engine(AllOn(100, 6));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(engine.Observe(StreamOp::Insert(7)).ok());
+  }
+  ASSERT_TRUE(engine.Observe(StreamOp::Delete(7)).ok());
+  EXPECT_EQ(engine.traditional(), nullptr);
+  EXPECT_EQ(engine.concise(), nullptr);
+  ASSERT_NE(engine.counting(), nullptr);
+  EXPECT_EQ(engine.counting()->CountOf(7), 99);
+  EXPECT_EQ(engine.observed_deletes(), 1);
+  // Hot lists still work, served by the counting sample.
+  EXPECT_EQ(engine.HotListAnswer({.k = 1}).method, "counting-sample");
+}
+
+TEST(EngineTest, FullHistogramServesExactHotLists) {
+  EngineOptions o = AllOn(100, 7);
+  o.maintain_full_histogram = true;
+  ApproximateAnswerEngine engine(o);
+  Relation relation;
+  for (Value v : ZipfValues(50000, 500, 1.5, 8)) {
+    ASSERT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+    relation.Insert(v);
+  }
+  const auto response = engine.HotListAnswer({.k = 10});
+  EXPECT_EQ(response.method, "full-histogram");
+  const HotListAccuracy acc =
+      EvaluateHotList(response.answer, relation.ExactCounts(), 10);
+  EXPECT_EQ(acc.false_positives, 0);
+  EXPECT_DOUBLE_EQ(acc.max_relative_count_error, 0.0);
+}
+
+TEST(EngineTest, FrequencyAnswerUsesCountingSample) {
+  ApproximateAnswerEngine engine(AllOn(1000, 9));
+  Relation relation;
+  for (Value v : ZipfValues(100000, 1000, 1.25, 10)) {
+    ASSERT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+    relation.Insert(v);
+  }
+  const auto response = engine.FrequencyAnswer(1);
+  EXPECT_EQ(response.method, "counting-sample");
+  const auto truth = static_cast<double>(relation.FrequencyOf(1));
+  EXPECT_NEAR(response.answer.value, truth, 0.2 * truth);
+}
+
+TEST(EngineTest, CountWhereAnswerFromConciseSample) {
+  ApproximateAnswerEngine engine(AllOn(1000, 11));
+  for (Value v : UniformValues(100000, 1000, 12)) {
+    ASSERT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+  }
+  const auto response =
+      engine.CountWhereAnswer([](Value v) { return v <= 100; });
+  EXPECT_EQ(response.method, "concise-sample");
+  EXPECT_NEAR(response.answer.value, 10000.0, 4000.0);
+}
+
+TEST(EngineTest, DistinctValuesAnswerWithinFactor) {
+  ApproximateAnswerEngine engine(AllOn(1000, 13));
+  for (Value v : UniformValues(200000, 5000, 14)) {
+    ASSERT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+  }
+  const auto response = engine.DistinctValuesAnswer();
+  EXPECT_EQ(response.method, "fm-sketch");
+  EXPECT_GT(response.answer.value, 5000.0 / 2.0);
+  EXPECT_LT(response.answer.value, 5000.0 * 2.0);
+}
+
+TEST(EngineTest, TotalFootprintSumsSynopses) {
+  ApproximateAnswerEngine engine(AllOn(100, 15));
+  for (Value v : ZipfValues(10000, 1000, 1.0, 16)) {
+    ASSERT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+  }
+  const Words total = engine.TotalFootprint();
+  EXPECT_GT(total, 0);
+  EXPECT_LE(total, 3 * 100);
+}
+
+TEST(EngineTest, HotListFallsBackToConciseThenTraditional) {
+  EngineOptions concise_only = AllOn(200, 20);
+  concise_only.maintain_counting = false;
+  ApproximateAnswerEngine engine(concise_only);
+  for (Value v : ZipfValues(20000, 200, 1.2, 21)) {
+    ASSERT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+  }
+  EXPECT_EQ(engine.HotListAnswer({.k = 5, .beta = 3}).method,
+            "concise-sample");
+
+  EngineOptions traditional_only = AllOn(200, 22);
+  traditional_only.maintain_counting = false;
+  traditional_only.maintain_concise = false;
+  ApproximateAnswerEngine engine2(traditional_only);
+  for (Value v : ZipfValues(20000, 200, 1.2, 23)) {
+    ASSERT_TRUE(engine2.Observe(StreamOp::Insert(v)).ok());
+  }
+  EXPECT_EQ(engine2.HotListAnswer({.k = 5, .beta = 3}).method,
+            "traditional-sample");
+  // CountWhere falls back to the traditional sample as well.
+  EXPECT_EQ(engine2.CountWhereAnswer([](Value) { return true; }).method,
+            "traditional-sample");
+}
+
+TEST(EngineTest, DeleteOfAbsentValueFailsFullHistogram) {
+  EngineOptions o = AllOn(100, 24);
+  o.maintain_full_histogram = true;
+  ApproximateAnswerEngine engine(o);
+  ASSERT_TRUE(engine.Observe(StreamOp::Insert(1)).ok());
+  EXPECT_FALSE(engine.Observe(StreamOp::Delete(999)).ok());
+}
+
+TEST(EngineTest, NoSynopsesConfigured) {
+  EngineOptions o;
+  o.maintain_traditional = false;
+  o.maintain_concise = false;
+  o.maintain_counting = false;
+  o.maintain_distinct_sketch = false;
+  ApproximateAnswerEngine engine(o);
+  ASSERT_TRUE(engine.Observe(StreamOp::Insert(1)).ok());
+  EXPECT_EQ(engine.HotListAnswer({.k = 1}).method, "none");
+  EXPECT_EQ(engine.CountWhereAnswer([](Value) { return true; }).method,
+            "none");
+  EXPECT_EQ(engine.DistinctValuesAnswer().method, "none");
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,75 @@
+#include "warehouse/full_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "warehouse/relation.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(FullHistogramTest, ExactFrequencies) {
+  FullHistogram h(100);
+  for (int i = 0; i < 7; ++i) h.Insert(1);
+  for (int i = 0; i < 3; ++i) h.Insert(2);
+  EXPECT_EQ(h.FrequencyOf(1), 7);
+  EXPECT_EQ(h.FrequencyOf(2), 3);
+  EXPECT_EQ(h.FrequencyOf(3), 0);
+  EXPECT_EQ(h.ObservedInserts(), 10);
+}
+
+TEST(FullHistogramTest, OneDiskAccessPerUpdate) {
+  FullHistogram h(100);
+  for (Value v : ZipfValues(5000, 100, 1.0, 1)) h.Insert(v);
+  ASSERT_TRUE(h.Delete(1).ok());
+  EXPECT_EQ(h.DiskAccesses(), 5001);
+  EXPECT_EQ(h.Cost().lookups, 5001);
+}
+
+TEST(FullHistogramTest, DeleteErrorsOnAbsentValue) {
+  FullHistogram h(10);
+  EXPECT_TRUE(h.Delete(99).IsInvalidArgument());
+}
+
+TEST(FullHistogramTest, SynopsisFootprintCapped) {
+  FullHistogram h(100);
+  for (Value v = 0; v < 1000; ++v) h.Insert(v);
+  EXPECT_EQ(h.Footprint(), 100);           // top 50 pairs
+  EXPECT_EQ(h.DiskFootprint(), 2 * 1000);  // the disk copy is O(D)
+}
+
+TEST(FullHistogramTest, TopPairsAreExactTop) {
+  FullHistogram h(100);
+  Relation relation;
+  for (Value v : ZipfValues(50000, 500, 1.2, 2)) {
+    h.Insert(v);
+    relation.Insert(v);
+  }
+  const auto top = h.TopPairs(10);
+  ASSERT_EQ(top.size(), 10u);
+  for (const ValueCount& vc : top) {
+    EXPECT_EQ(vc.count, relation.FrequencyOf(vc.value));
+  }
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].count, top[i].count);
+  }
+}
+
+TEST(FullHistogramTest, ReportAnswersExactlyUpToHalfFootprint) {
+  FullHistogram h(40);  // synopsis: top 20 pairs
+  Relation relation;
+  for (Value v : ZipfValues(50000, 500, 1.5, 3)) {
+    h.Insert(v);
+    relation.Insert(v);
+  }
+  const HotList list = h.Report({.k = 10});
+  ASSERT_GE(list.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(
+        list[i].estimated_count,
+        static_cast<double>(relation.FrequencyOf(list[i].value)));
+  }
+}
+
+}  // namespace
+}  // namespace aqua

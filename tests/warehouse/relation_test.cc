@@ -1,0 +1,72 @@
+#include "warehouse/relation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace aqua {
+namespace {
+
+TEST(RelationTest, StartsEmpty) {
+  Relation r;
+  EXPECT_EQ(r.size(), 0);
+  EXPECT_EQ(r.distinct_values(), 0);
+  EXPECT_EQ(r.FrequencyOf(1), 0);
+}
+
+TEST(RelationTest, InsertTracksFrequencies) {
+  Relation r;
+  r.Insert(1);
+  r.Insert(1);
+  r.Insert(2);
+  EXPECT_EQ(r.size(), 3);
+  EXPECT_EQ(r.distinct_values(), 2);
+  EXPECT_EQ(r.FrequencyOf(1), 2);
+  EXPECT_EQ(r.FrequencyOf(2), 1);
+}
+
+TEST(RelationTest, DeleteDecrementsAndRemoves) {
+  Relation r;
+  r.Insert(1);
+  r.Insert(1);
+  ASSERT_TRUE(r.Delete(1).ok());
+  EXPECT_EQ(r.FrequencyOf(1), 1);
+  ASSERT_TRUE(r.Delete(1).ok());
+  EXPECT_EQ(r.FrequencyOf(1), 0);
+  EXPECT_EQ(r.distinct_values(), 0);
+  EXPECT_TRUE(r.Delete(1).IsInvalidArgument());
+}
+
+TEST(RelationTest, ApplyRoutesOps) {
+  Relation r;
+  ASSERT_TRUE(r.Apply(StreamOp::Insert(5)).ok());
+  ASSERT_TRUE(r.Apply(StreamOp::Delete(5)).ok());
+  EXPECT_TRUE(r.Apply(StreamOp::Delete(5)).IsInvalidArgument());
+}
+
+TEST(RelationTest, ExactCountsRoundTrip) {
+  Relation r;
+  for (int i = 0; i < 5; ++i) r.Insert(10);
+  for (int i = 0; i < 3; ++i) r.Insert(20);
+  auto counts = r.ExactCounts();
+  std::sort(counts.begin(), counts.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.value < b.value;
+            });
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], (ValueCount{10, 5}));
+  EXPECT_EQ(counts[1], (ValueCount{20, 3}));
+}
+
+TEST(RelationTest, MaterializeExpandsMultiset) {
+  Relation r;
+  r.Insert(7);
+  r.Insert(7);
+  r.Insert(8);
+  std::vector<Value> all = r.Materialize();
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<Value>{7, 7, 8}));
+}
+
+}  // namespace
+}  // namespace aqua

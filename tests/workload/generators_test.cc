@@ -1,0 +1,115 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "warehouse/relation.h"
+
+namespace aqua {
+namespace {
+
+TEST(GeneratorsTest, ZipfValuesSizeAndDomain) {
+  const std::vector<Value> v = ZipfValues(10000, 500, 1.0, 1);
+  EXPECT_EQ(v.size(), 10000u);
+  for (Value x : v) {
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 500);
+  }
+}
+
+TEST(GeneratorsTest, ZipfDeterministicPerSeed) {
+  EXPECT_EQ(ZipfValues(1000, 100, 1.5, 7), ZipfValues(1000, 100, 1.5, 7));
+  EXPECT_NE(ZipfValues(1000, 100, 1.5, 7), ZipfValues(1000, 100, 1.5, 8));
+}
+
+TEST(GeneratorsTest, ZipfSkewConcentratesMass) {
+  const std::vector<Value> v = ZipfValues(50000, 1000, 2.0, 2);
+  std::int64_t ones = 0;
+  for (Value x : v) ones += (x == 1);
+  // p(1) ≈ 0.608 for zipf-2 over 1000 values.
+  EXPECT_GT(ones, 50000 * 0.55);
+}
+
+TEST(GeneratorsTest, UniformValuesCoverDomain) {
+  const std::vector<Value> v = UniformValues(100000, 10, 3);
+  std::map<Value, int> counts;
+  for (Value x : v) ++counts[x];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, 10000, 600) << value;
+  }
+}
+
+TEST(GeneratorsTest, ExponentialValuesMostlySmall) {
+  const std::vector<Value> v = ExponentialValues(10000, 2.0, 4);
+  std::int64_t small = 0;
+  for (Value x : v) small += (x <= 2);
+  EXPECT_GT(small, 7000);  // P(v<=2) = 0.75
+}
+
+TEST(GeneratorsTest, ShiftingZipfRotatesHotSet) {
+  const std::vector<Value> v =
+      ShiftingZipfValues(20000, 1000, 1.5, 10000, 500, 5);
+  std::int64_t ones_before = 0, ones_after = 0, shifted_after = 0;
+  for (std::size_t i = 0; i < 10000; ++i) ones_before += (v[i] == 1);
+  for (std::size_t i = 10000; i < 20000; ++i) {
+    ones_after += (v[i] == 1);
+    shifted_after += (v[i] == 501);  // rank 1 maps to 501 after the shift
+  }
+  EXPECT_GT(ones_before, 1000);
+  EXPECT_GT(shifted_after, 1000);
+  EXPECT_LT(ones_after, 100);
+}
+
+TEST(GeneratorsTest, InsertStreamWrapsValues) {
+  const UpdateStream s = InsertStream({1, 2, 3});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], StreamOp::Insert(1));
+  EXPECT_EQ(s[2], StreamOp::Insert(3));
+}
+
+TEST(GeneratorsTest, MixedStreamDeletesOnlyLiveTuples) {
+  const UpdateStream s = MixedStream(50000, 500, 1.0, 0.3, 1000, 6);
+  Relation relation;
+  std::int64_t deletes = 0;
+  for (const StreamOp& op : s) {
+    ASSERT_TRUE(relation.Apply(op).ok())
+        << "delete of dead tuple in generated stream";
+    deletes += (op.kind == StreamOp::Kind::kDelete);
+  }
+  EXPECT_GT(deletes, 5000);
+  EXPECT_EQ(relation.size(),
+            static_cast<std::int64_t>(s.size()) - 2 * deletes);
+}
+
+TEST(GeneratorsTest, MixedStreamWarmupIsInsertOnly) {
+  const UpdateStream s = MixedStream(20000, 500, 1.0, 0.5, 5000, 7);
+  for (std::size_t i = 0; i < 5000; ++i) {
+    EXPECT_EQ(s[i].kind, StreamOp::Kind::kInsert);
+  }
+}
+
+TEST(GeneratorsTest, PairEncodingRoundTrips) {
+  const Value e = EncodeItemPair(123, 45678);
+  const auto [a, b] = DecodeItemPair(e);
+  EXPECT_EQ(a, 123);
+  EXPECT_EQ(b, 45678);
+  // Unordered: (x, y) and (y, x) encode identically.
+  EXPECT_EQ(EncodeItemPair(45678, 123), e);
+}
+
+TEST(GeneratorsTest, PairItemsetEmitsAllBasketPairs) {
+  // items_per_basket = 3 → 3 pairs per basket.
+  const std::vector<Value> pairs = PairItemsetValues(1000, 100, 1.0, 3, 8);
+  EXPECT_EQ(pairs.size(), 3000u);
+  for (Value p : pairs) {
+    const auto [a, b] = DecodeItemPair(p);
+    EXPECT_GE(a, 1);
+    EXPECT_LE(b, 100);
+    EXPECT_LT(a, b);  // distinct items, canonical order
+  }
+}
+
+}  // namespace
+}  // namespace aqua
