@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skip.dir/ablation_skip.cc.o"
+  "CMakeFiles/ablation_skip.dir/ablation_skip.cc.o.d"
+  "ablation_skip"
+  "ablation_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libaqua_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deletions.dir/deletions.cc.o"
+  "CMakeFiles/deletions.dir/deletions.cc.o.d"
+  "deletions"
+  "deletions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deletions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

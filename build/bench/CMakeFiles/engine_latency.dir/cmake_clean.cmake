@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_latency.dir/engine_latency.cc.o"
+  "CMakeFiles/engine_latency.dir/engine_latency.cc.o.d"
+  "engine_latency"
+  "engine_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure3.dir/figure3.cc.o"
+  "CMakeFiles/figure3.dir/figure3.cc.o.d"
+  "figure3"
+  "figure3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

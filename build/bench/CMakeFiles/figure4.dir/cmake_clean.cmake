@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4.dir/figure4.cc.o"
+  "CMakeFiles/figure4.dir/figure4.cc.o.d"
+  "figure4"
+  "figure4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

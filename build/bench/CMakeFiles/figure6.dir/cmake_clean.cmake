@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6.dir/figure6.cc.o"
+  "CMakeFiles/figure6.dir/figure6.cc.o.d"
+  "figure6"
+  "figure6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/response_time.dir/response_time.cc.o"
+  "CMakeFiles/response_time.dir/response_time.cc.o.d"
+  "response_time"
+  "response_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem3.dir/theorem3.cc.o"
+  "CMakeFiles/theorem3.dir/theorem3.cc.o.d"
+  "theorem3"
+  "theorem3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

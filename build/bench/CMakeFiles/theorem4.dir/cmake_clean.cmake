@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem4.dir/theorem4.cc.o"
+  "CMakeFiles/theorem4.dir/theorem4.cc.o.d"
+  "theorem4"
+  "theorem4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

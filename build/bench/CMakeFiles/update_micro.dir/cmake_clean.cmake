@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_micro.dir/update_micro.cc.o"
+  "CMakeFiles/update_micro.dir/update_micro.cc.o.d"
+  "update_micro"
+  "update_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

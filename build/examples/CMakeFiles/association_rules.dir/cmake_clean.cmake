@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/association_rules.dir/association_rules.cpp.o"
+  "CMakeFiles/association_rules.dir/association_rules.cpp.o.d"
+  "association_rules"
+  "association_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/association_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

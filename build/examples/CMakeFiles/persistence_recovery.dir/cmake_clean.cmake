@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_recovery.dir/persistence_recovery.cpp.o"
+  "CMakeFiles/persistence_recovery.dir/persistence_recovery.cpp.o.d"
+  "persistence_recovery"
+  "persistence_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

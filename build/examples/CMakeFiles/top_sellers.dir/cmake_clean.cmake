@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/top_sellers.dir/top_sellers.cpp.o"
+  "CMakeFiles/top_sellers.dir/top_sellers.cpp.o.d"
+  "top_sellers"
+  "top_sellers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/top_sellers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

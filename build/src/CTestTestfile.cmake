@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("random")
+subdirs("container")
+subdirs("sample")
+subdirs("core")
+subdirs("hotlist")
+subdirs("estimate")
+subdirs("sketch")
+subdirs("histogram")
+subdirs("workload")
+subdirs("warehouse")
+subdirs("metrics")
+subdirs("persist")
+subdirs("concurrency")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_common.dir/status.cc.o"
+  "CMakeFiles/aqua_common.dir/status.cc.o.d"
+  "libaqua_common.a"
+  "libaqua_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_concurrency.dir/concurrency.cc.o"
+  "CMakeFiles/aqua_concurrency.dir/concurrency.cc.o.d"
+  "libaqua_concurrency.a"
+  "libaqua_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

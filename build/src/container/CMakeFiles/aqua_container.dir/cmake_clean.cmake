@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_container.dir/container.cc.o"
+  "CMakeFiles/aqua_container.dir/container.cc.o.d"
+  "libaqua_container.a"
+  "libaqua_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

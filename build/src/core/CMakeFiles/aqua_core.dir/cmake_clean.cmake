@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_core.dir/concise_sample.cc.o"
+  "CMakeFiles/aqua_core.dir/concise_sample.cc.o.d"
+  "CMakeFiles/aqua_core.dir/concise_sample_builder.cc.o"
+  "CMakeFiles/aqua_core.dir/concise_sample_builder.cc.o.d"
+  "CMakeFiles/aqua_core.dir/counting_sample.cc.o"
+  "CMakeFiles/aqua_core.dir/counting_sample.cc.o.d"
+  "CMakeFiles/aqua_core.dir/threshold_policy.cc.o"
+  "CMakeFiles/aqua_core.dir/threshold_policy.cc.o.d"
+  "libaqua_core.a"
+  "libaqua_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimate/aggregates.cc" "src/estimate/CMakeFiles/aqua_estimate.dir/aggregates.cc.o" "gcc" "src/estimate/CMakeFiles/aqua_estimate.dir/aggregates.cc.o.d"
+  "/root/repo/src/estimate/distinct_estimators.cc" "src/estimate/CMakeFiles/aqua_estimate.dir/distinct_estimators.cc.o" "gcc" "src/estimate/CMakeFiles/aqua_estimate.dir/distinct_estimators.cc.o.d"
+  "/root/repo/src/estimate/distinct_values.cc" "src/estimate/CMakeFiles/aqua_estimate.dir/distinct_values.cc.o" "gcc" "src/estimate/CMakeFiles/aqua_estimate.dir/distinct_values.cc.o.d"
+  "/root/repo/src/estimate/frequency_estimator.cc" "src/estimate/CMakeFiles/aqua_estimate.dir/frequency_estimator.cc.o" "gcc" "src/estimate/CMakeFiles/aqua_estimate.dir/frequency_estimator.cc.o.d"
+  "/root/repo/src/estimate/frequency_moments.cc" "src/estimate/CMakeFiles/aqua_estimate.dir/frequency_moments.cc.o" "gcc" "src/estimate/CMakeFiles/aqua_estimate.dir/frequency_moments.cc.o.d"
+  "/root/repo/src/estimate/join_size.cc" "src/estimate/CMakeFiles/aqua_estimate.dir/join_size.cc.o" "gcc" "src/estimate/CMakeFiles/aqua_estimate.dir/join_size.cc.o.d"
+  "/root/repo/src/estimate/quantiles.cc" "src/estimate/CMakeFiles/aqua_estimate.dir/quantiles.cc.o" "gcc" "src/estimate/CMakeFiles/aqua_estimate.dir/quantiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/aqua_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotlist/CMakeFiles/aqua_hotlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/aqua_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/aqua_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_estimate.dir/aggregates.cc.o"
+  "CMakeFiles/aqua_estimate.dir/aggregates.cc.o.d"
+  "CMakeFiles/aqua_estimate.dir/distinct_estimators.cc.o"
+  "CMakeFiles/aqua_estimate.dir/distinct_estimators.cc.o.d"
+  "CMakeFiles/aqua_estimate.dir/distinct_values.cc.o"
+  "CMakeFiles/aqua_estimate.dir/distinct_values.cc.o.d"
+  "CMakeFiles/aqua_estimate.dir/frequency_estimator.cc.o"
+  "CMakeFiles/aqua_estimate.dir/frequency_estimator.cc.o.d"
+  "CMakeFiles/aqua_estimate.dir/frequency_moments.cc.o"
+  "CMakeFiles/aqua_estimate.dir/frequency_moments.cc.o.d"
+  "CMakeFiles/aqua_estimate.dir/join_size.cc.o"
+  "CMakeFiles/aqua_estimate.dir/join_size.cc.o.d"
+  "CMakeFiles/aqua_estimate.dir/quantiles.cc.o"
+  "CMakeFiles/aqua_estimate.dir/quantiles.cc.o.d"
+  "libaqua_estimate.a"
+  "libaqua_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/histogram/compressed_histogram.cc" "src/histogram/CMakeFiles/aqua_histogram.dir/compressed_histogram.cc.o" "gcc" "src/histogram/CMakeFiles/aqua_histogram.dir/compressed_histogram.cc.o.d"
+  "/root/repo/src/histogram/equi_depth_histogram.cc" "src/histogram/CMakeFiles/aqua_histogram.dir/equi_depth_histogram.cc.o" "gcc" "src/histogram/CMakeFiles/aqua_histogram.dir/equi_depth_histogram.cc.o.d"
+  "/root/repo/src/histogram/high_biased_histogram.cc" "src/histogram/CMakeFiles/aqua_histogram.dir/high_biased_histogram.cc.o" "gcc" "src/histogram/CMakeFiles/aqua_histogram.dir/high_biased_histogram.cc.o.d"
+  "/root/repo/src/histogram/incremental_equi_depth.cc" "src/histogram/CMakeFiles/aqua_histogram.dir/incremental_equi_depth.cc.o" "gcc" "src/histogram/CMakeFiles/aqua_histogram.dir/incremental_equi_depth.cc.o.d"
+  "/root/repo/src/histogram/v_optimal_histogram.cc" "src/histogram/CMakeFiles/aqua_histogram.dir/v_optimal_histogram.cc.o" "gcc" "src/histogram/CMakeFiles/aqua_histogram.dir/v_optimal_histogram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/aqua_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/aqua_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/aqua_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

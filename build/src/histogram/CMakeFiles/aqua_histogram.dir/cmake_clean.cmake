@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_histogram.dir/compressed_histogram.cc.o"
+  "CMakeFiles/aqua_histogram.dir/compressed_histogram.cc.o.d"
+  "CMakeFiles/aqua_histogram.dir/equi_depth_histogram.cc.o"
+  "CMakeFiles/aqua_histogram.dir/equi_depth_histogram.cc.o.d"
+  "CMakeFiles/aqua_histogram.dir/high_biased_histogram.cc.o"
+  "CMakeFiles/aqua_histogram.dir/high_biased_histogram.cc.o.d"
+  "CMakeFiles/aqua_histogram.dir/incremental_equi_depth.cc.o"
+  "CMakeFiles/aqua_histogram.dir/incremental_equi_depth.cc.o.d"
+  "CMakeFiles/aqua_histogram.dir/v_optimal_histogram.cc.o"
+  "CMakeFiles/aqua_histogram.dir/v_optimal_histogram.cc.o.d"
+  "libaqua_histogram.a"
+  "libaqua_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hotlist/concise_hot_list.cc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/concise_hot_list.cc.o" "gcc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/concise_hot_list.cc.o.d"
+  "/root/repo/src/hotlist/counting_hot_list.cc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/counting_hot_list.cc.o" "gcc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/counting_hot_list.cc.o.d"
+  "/root/repo/src/hotlist/exact_hot_list.cc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/exact_hot_list.cc.o" "gcc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/exact_hot_list.cc.o.d"
+  "/root/repo/src/hotlist/maintained_hot_list.cc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/maintained_hot_list.cc.o" "gcc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/maintained_hot_list.cc.o.d"
+  "/root/repo/src/hotlist/reporting.cc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/reporting.cc.o" "gcc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/reporting.cc.o.d"
+  "/root/repo/src/hotlist/traditional_hot_list.cc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/traditional_hot_list.cc.o" "gcc" "src/hotlist/CMakeFiles/aqua_hotlist.dir/traditional_hot_list.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/aqua_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/aqua_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/aqua_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_hotlist.dir/concise_hot_list.cc.o"
+  "CMakeFiles/aqua_hotlist.dir/concise_hot_list.cc.o.d"
+  "CMakeFiles/aqua_hotlist.dir/counting_hot_list.cc.o"
+  "CMakeFiles/aqua_hotlist.dir/counting_hot_list.cc.o.d"
+  "CMakeFiles/aqua_hotlist.dir/exact_hot_list.cc.o"
+  "CMakeFiles/aqua_hotlist.dir/exact_hot_list.cc.o.d"
+  "CMakeFiles/aqua_hotlist.dir/maintained_hot_list.cc.o"
+  "CMakeFiles/aqua_hotlist.dir/maintained_hot_list.cc.o.d"
+  "CMakeFiles/aqua_hotlist.dir/reporting.cc.o"
+  "CMakeFiles/aqua_hotlist.dir/reporting.cc.o.d"
+  "CMakeFiles/aqua_hotlist.dir/traditional_hot_list.cc.o"
+  "CMakeFiles/aqua_hotlist.dir/traditional_hot_list.cc.o.d"
+  "libaqua_hotlist.a"
+  "libaqua_hotlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_hotlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/hotlist_accuracy.cc" "src/metrics/CMakeFiles/aqua_metrics.dir/hotlist_accuracy.cc.o" "gcc" "src/metrics/CMakeFiles/aqua_metrics.dir/hotlist_accuracy.cc.o.d"
+  "/root/repo/src/metrics/table_printer.cc" "src/metrics/CMakeFiles/aqua_metrics.dir/table_printer.cc.o" "gcc" "src/metrics/CMakeFiles/aqua_metrics.dir/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/aqua_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotlist/CMakeFiles/aqua_hotlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/aqua_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/aqua_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

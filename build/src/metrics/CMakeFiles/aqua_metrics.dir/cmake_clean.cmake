@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_metrics.dir/hotlist_accuracy.cc.o"
+  "CMakeFiles/aqua_metrics.dir/hotlist_accuracy.cc.o.d"
+  "CMakeFiles/aqua_metrics.dir/table_printer.cc.o"
+  "CMakeFiles/aqua_metrics.dir/table_printer.cc.o.d"
+  "libaqua_metrics.a"
+  "libaqua_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/persist/op_log.cc" "src/persist/CMakeFiles/aqua_persist.dir/op_log.cc.o" "gcc" "src/persist/CMakeFiles/aqua_persist.dir/op_log.cc.o.d"
+  "/root/repo/src/persist/snapshot.cc" "src/persist/CMakeFiles/aqua_persist.dir/snapshot.cc.o" "gcc" "src/persist/CMakeFiles/aqua_persist.dir/snapshot.cc.o.d"
+  "/root/repo/src/persist/varint.cc" "src/persist/CMakeFiles/aqua_persist.dir/varint.cc.o" "gcc" "src/persist/CMakeFiles/aqua_persist.dir/varint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/aqua_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aqua_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/aqua_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/aqua_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_persist.dir/op_log.cc.o"
+  "CMakeFiles/aqua_persist.dir/op_log.cc.o.d"
+  "CMakeFiles/aqua_persist.dir/snapshot.cc.o"
+  "CMakeFiles/aqua_persist.dir/snapshot.cc.o.d"
+  "CMakeFiles/aqua_persist.dir/varint.cc.o"
+  "CMakeFiles/aqua_persist.dir/varint.cc.o.d"
+  "libaqua_persist.a"
+  "libaqua_persist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_persist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

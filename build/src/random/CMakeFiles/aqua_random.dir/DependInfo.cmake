@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/random/discrete_distribution.cc" "src/random/CMakeFiles/aqua_random.dir/discrete_distribution.cc.o" "gcc" "src/random/CMakeFiles/aqua_random.dir/discrete_distribution.cc.o.d"
+  "/root/repo/src/random/random.cc" "src/random/CMakeFiles/aqua_random.dir/random.cc.o" "gcc" "src/random/CMakeFiles/aqua_random.dir/random.cc.o.d"
+  "/root/repo/src/random/zipf.cc" "src/random/CMakeFiles/aqua_random.dir/zipf.cc.o" "gcc" "src/random/CMakeFiles/aqua_random.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

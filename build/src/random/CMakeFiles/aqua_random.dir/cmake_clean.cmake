@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_random.dir/discrete_distribution.cc.o"
+  "CMakeFiles/aqua_random.dir/discrete_distribution.cc.o.d"
+  "CMakeFiles/aqua_random.dir/random.cc.o"
+  "CMakeFiles/aqua_random.dir/random.cc.o.d"
+  "CMakeFiles/aqua_random.dir/zipf.cc.o"
+  "CMakeFiles/aqua_random.dir/zipf.cc.o.d"
+  "libaqua_random.a"
+  "libaqua_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

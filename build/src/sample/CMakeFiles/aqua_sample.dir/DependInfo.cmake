@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sample/backing_sample.cc" "src/sample/CMakeFiles/aqua_sample.dir/backing_sample.cc.o" "gcc" "src/sample/CMakeFiles/aqua_sample.dir/backing_sample.cc.o.d"
+  "/root/repo/src/sample/reservoir_sample.cc" "src/sample/CMakeFiles/aqua_sample.dir/reservoir_sample.cc.o" "gcc" "src/sample/CMakeFiles/aqua_sample.dir/reservoir_sample.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/aqua_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

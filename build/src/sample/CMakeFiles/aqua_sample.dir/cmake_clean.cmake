@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_sample.dir/backing_sample.cc.o"
+  "CMakeFiles/aqua_sample.dir/backing_sample.cc.o.d"
+  "CMakeFiles/aqua_sample.dir/reservoir_sample.cc.o"
+  "CMakeFiles/aqua_sample.dir/reservoir_sample.cc.o.d"
+  "libaqua_sample.a"
+  "libaqua_sample.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_sample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

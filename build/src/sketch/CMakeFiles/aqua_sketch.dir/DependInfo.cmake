@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/ams_sketch.cc" "src/sketch/CMakeFiles/aqua_sketch.dir/ams_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/aqua_sketch.dir/ams_sketch.cc.o.d"
+  "/root/repo/src/sketch/flajolet_martin.cc" "src/sketch/CMakeFiles/aqua_sketch.dir/flajolet_martin.cc.o" "gcc" "src/sketch/CMakeFiles/aqua_sketch.dir/flajolet_martin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/aqua_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_sketch.dir/ams_sketch.cc.o"
+  "CMakeFiles/aqua_sketch.dir/ams_sketch.cc.o.d"
+  "CMakeFiles/aqua_sketch.dir/flajolet_martin.cc.o"
+  "CMakeFiles/aqua_sketch.dir/flajolet_martin.cc.o.d"
+  "libaqua_sketch.a"
+  "libaqua_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/warehouse/catalog.cc" "src/warehouse/CMakeFiles/aqua_warehouse.dir/catalog.cc.o" "gcc" "src/warehouse/CMakeFiles/aqua_warehouse.dir/catalog.cc.o.d"
+  "/root/repo/src/warehouse/engine.cc" "src/warehouse/CMakeFiles/aqua_warehouse.dir/engine.cc.o" "gcc" "src/warehouse/CMakeFiles/aqua_warehouse.dir/engine.cc.o.d"
+  "/root/repo/src/warehouse/full_histogram.cc" "src/warehouse/CMakeFiles/aqua_warehouse.dir/full_histogram.cc.o" "gcc" "src/warehouse/CMakeFiles/aqua_warehouse.dir/full_histogram.cc.o.d"
+  "/root/repo/src/warehouse/relation.cc" "src/warehouse/CMakeFiles/aqua_warehouse.dir/relation.cc.o" "gcc" "src/warehouse/CMakeFiles/aqua_warehouse.dir/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/aqua_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/aqua_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotlist/CMakeFiles/aqua_hotlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/aqua_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/aqua_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aqua_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/aqua_random.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_warehouse.dir/catalog.cc.o"
+  "CMakeFiles/aqua_warehouse.dir/catalog.cc.o.d"
+  "CMakeFiles/aqua_warehouse.dir/engine.cc.o"
+  "CMakeFiles/aqua_warehouse.dir/engine.cc.o.d"
+  "CMakeFiles/aqua_warehouse.dir/full_histogram.cc.o"
+  "CMakeFiles/aqua_warehouse.dir/full_histogram.cc.o.d"
+  "CMakeFiles/aqua_warehouse.dir/relation.cc.o"
+  "CMakeFiles/aqua_warehouse.dir/relation.cc.o.d"
+  "libaqua_warehouse.a"
+  "libaqua_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

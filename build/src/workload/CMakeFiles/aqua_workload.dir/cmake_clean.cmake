@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_workload.dir/generators.cc.o"
+  "CMakeFiles/aqua_workload.dir/generators.cc.o.d"
+  "libaqua_workload.a"
+  "libaqua_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

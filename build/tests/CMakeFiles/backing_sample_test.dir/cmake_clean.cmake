@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backing_sample_test.dir/sample/backing_sample_test.cc.o"
+  "CMakeFiles/backing_sample_test.dir/sample/backing_sample_test.cc.o.d"
+  "backing_sample_test"
+  "backing_sample_test.pdb"
+  "backing_sample_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backing_sample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

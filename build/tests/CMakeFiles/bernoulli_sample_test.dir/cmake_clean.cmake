@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bernoulli_sample_test.dir/sample/bernoulli_sample_test.cc.o"
+  "CMakeFiles/bernoulli_sample_test.dir/sample/bernoulli_sample_test.cc.o.d"
+  "bernoulli_sample_test"
+  "bernoulli_sample_test.pdb"
+  "bernoulli_sample_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bernoulli_sample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_histogram_test.dir/histogram/compressed_histogram_test.cc.o"
+  "CMakeFiles/compressed_histogram_test.dir/histogram/compressed_histogram_test.cc.o.d"
+  "compressed_histogram_test"
+  "compressed_histogram_test.pdb"
+  "compressed_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concise_sample_builder_test.dir/core/concise_sample_builder_test.cc.o"
+  "CMakeFiles/concise_sample_builder_test.dir/core/concise_sample_builder_test.cc.o.d"
+  "concise_sample_builder_test"
+  "concise_sample_builder_test.pdb"
+  "concise_sample_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concise_sample_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

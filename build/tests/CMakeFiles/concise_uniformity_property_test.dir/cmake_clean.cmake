@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concise_uniformity_property_test.dir/property/concise_uniformity_property_test.cc.o"
+  "CMakeFiles/concise_uniformity_property_test.dir/property/concise_uniformity_property_test.cc.o.d"
+  "concise_uniformity_property_test"
+  "concise_uniformity_property_test.pdb"
+  "concise_uniformity_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concise_uniformity_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

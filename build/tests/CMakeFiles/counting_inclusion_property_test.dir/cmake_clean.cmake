@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counting_inclusion_property_test.dir/property/counting_inclusion_property_test.cc.o"
+  "CMakeFiles/counting_inclusion_property_test.dir/property/counting_inclusion_property_test.cc.o.d"
+  "counting_inclusion_property_test"
+  "counting_inclusion_property_test.pdb"
+  "counting_inclusion_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_inclusion_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counting_sample_edge_test.dir/core/counting_sample_edge_test.cc.o"
+  "CMakeFiles/counting_sample_edge_test.dir/core/counting_sample_edge_test.cc.o.d"
+  "counting_sample_edge_test"
+  "counting_sample_edge_test.pdb"
+  "counting_sample_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counting_sample_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

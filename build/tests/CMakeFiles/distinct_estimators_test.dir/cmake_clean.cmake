@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_estimators_test.dir/estimate/distinct_estimators_test.cc.o"
+  "CMakeFiles/distinct_estimators_test.dir/estimate/distinct_estimators_test.cc.o.d"
+  "distinct_estimators_test"
+  "distinct_estimators_test.pdb"
+  "distinct_estimators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_estimators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

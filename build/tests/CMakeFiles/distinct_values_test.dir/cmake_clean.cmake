@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distinct_values_test.dir/estimate/distinct_values_test.cc.o"
+  "CMakeFiles/distinct_values_test.dir/estimate/distinct_values_test.cc.o.d"
+  "distinct_values_test"
+  "distinct_values_test.pdb"
+  "distinct_values_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distinct_values_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

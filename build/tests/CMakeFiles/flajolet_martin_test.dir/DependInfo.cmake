@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sketch/flajolet_martin_test.cc" "tests/CMakeFiles/flajolet_martin_test.dir/sketch/flajolet_martin_test.cc.o" "gcc" "tests/CMakeFiles/flajolet_martin_test.dir/sketch/flajolet_martin_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/histogram/CMakeFiles/aqua_histogram.dir/DependInfo.cmake"
+  "/root/repo/build/src/warehouse/CMakeFiles/aqua_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimate/CMakeFiles/aqua_estimate.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/aqua_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/aqua_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotlist/CMakeFiles/aqua_hotlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/persist/CMakeFiles/aqua_persist.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/aqua_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/sample/CMakeFiles/aqua_sample.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aqua_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/aqua_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/aqua_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqua_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flajolet_martin_test.dir/sketch/flajolet_martin_test.cc.o"
+  "CMakeFiles/flajolet_martin_test.dir/sketch/flajolet_martin_test.cc.o.d"
+  "flajolet_martin_test"
+  "flajolet_martin_test.pdb"
+  "flajolet_martin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flajolet_martin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_estimator_test.dir/estimate/frequency_estimator_test.cc.o"
+  "CMakeFiles/frequency_estimator_test.dir/estimate/frequency_estimator_test.cc.o.d"
+  "frequency_estimator_test"
+  "frequency_estimator_test.pdb"
+  "frequency_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

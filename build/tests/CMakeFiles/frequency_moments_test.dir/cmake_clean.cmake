@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_moments_test.dir/estimate/frequency_moments_test.cc.o"
+  "CMakeFiles/frequency_moments_test.dir/estimate/frequency_moments_test.cc.o.d"
+  "frequency_moments_test"
+  "frequency_moments_test.pdb"
+  "frequency_moments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_moments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_histogram_test.dir/warehouse/full_histogram_test.cc.o"
+  "CMakeFiles/full_histogram_test.dir/warehouse/full_histogram_test.cc.o.d"
+  "full_histogram_test"
+  "full_histogram_test.pdb"
+  "full_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

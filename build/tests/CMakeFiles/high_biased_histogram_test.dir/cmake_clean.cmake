@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/high_biased_histogram_test.dir/histogram/high_biased_histogram_test.cc.o"
+  "CMakeFiles/high_biased_histogram_test.dir/histogram/high_biased_histogram_test.cc.o.d"
+  "high_biased_histogram_test"
+  "high_biased_histogram_test.pdb"
+  "high_biased_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/high_biased_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_list_test.dir/hotlist/hot_list_test.cc.o"
+  "CMakeFiles/hot_list_test.dir/hotlist/hot_list_test.cc.o.d"
+  "hot_list_test"
+  "hot_list_test.pdb"
+  "hot_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

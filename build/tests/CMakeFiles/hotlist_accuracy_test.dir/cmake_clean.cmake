@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotlist_accuracy_test.dir/metrics/hotlist_accuracy_test.cc.o"
+  "CMakeFiles/hotlist_accuracy_test.dir/metrics/hotlist_accuracy_test.cc.o.d"
+  "hotlist_accuracy_test"
+  "hotlist_accuracy_test.pdb"
+  "hotlist_accuracy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotlist_accuracy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_equi_depth_test.dir/histogram/incremental_equi_depth_test.cc.o"
+  "CMakeFiles/incremental_equi_depth_test.dir/histogram/incremental_equi_depth_test.cc.o.d"
+  "incremental_equi_depth_test"
+  "incremental_equi_depth_test.pdb"
+  "incremental_equi_depth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_equi_depth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_size_test.dir/estimate/join_size_test.cc.o"
+  "CMakeFiles/join_size_test.dir/estimate/join_size_test.cc.o.d"
+  "join_size_test"
+  "join_size_test.pdb"
+  "join_size_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_size_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

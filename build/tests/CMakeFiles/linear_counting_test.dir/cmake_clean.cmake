@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_counting_test.dir/sketch/linear_counting_test.cc.o"
+  "CMakeFiles/linear_counting_test.dir/sketch/linear_counting_test.cc.o.d"
+  "linear_counting_test"
+  "linear_counting_test.pdb"
+  "linear_counting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintained_hot_list_test.dir/hotlist/maintained_hot_list_test.cc.o"
+  "CMakeFiles/maintained_hot_list_test.dir/hotlist/maintained_hot_list_test.cc.o.d"
+  "maintained_hot_list_test"
+  "maintained_hot_list_test.pdb"
+  "maintained_hot_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintained_hot_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

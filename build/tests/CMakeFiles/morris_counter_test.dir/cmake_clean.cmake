@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/morris_counter_test.dir/sketch/morris_counter_test.cc.o"
+  "CMakeFiles/morris_counter_test.dir/sketch/morris_counter_test.cc.o.d"
+  "morris_counter_test"
+  "morris_counter_test.pdb"
+  "morris_counter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/morris_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

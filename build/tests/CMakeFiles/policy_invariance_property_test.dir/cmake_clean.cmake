@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_invariance_property_test.dir/property/policy_invariance_property_test.cc.o"
+  "CMakeFiles/policy_invariance_property_test.dir/property/policy_invariance_property_test.cc.o.d"
+  "policy_invariance_property_test"
+  "policy_invariance_property_test.pdb"
+  "policy_invariance_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_invariance_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_synopsis_test.dir/concurrency/shared_synopsis_test.cc.o"
+  "CMakeFiles/shared_synopsis_test.dir/concurrency/shared_synopsis_test.cc.o.d"
+  "shared_synopsis_test"
+  "shared_synopsis_test.pdb"
+  "shared_synopsis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_synopsis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skip_sampler_test.dir/random/skip_sampler_test.cc.o"
+  "CMakeFiles/skip_sampler_test.dir/random/skip_sampler_test.cc.o.d"
+  "skip_sampler_test"
+  "skip_sampler_test.pdb"
+  "skip_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skip_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

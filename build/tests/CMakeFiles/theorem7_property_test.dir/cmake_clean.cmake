@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem7_property_test.dir/property/theorem7_property_test.cc.o"
+  "CMakeFiles/theorem7_property_test.dir/property/theorem7_property_test.cc.o.d"
+  "theorem7_property_test"
+  "theorem7_property_test.pdb"
+  "theorem7_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem7_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

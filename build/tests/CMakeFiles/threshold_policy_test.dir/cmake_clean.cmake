@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_policy_test.dir/core/threshold_policy_test.cc.o"
+  "CMakeFiles/threshold_policy_test.dir/core/threshold_policy_test.cc.o.d"
+  "threshold_policy_test"
+  "threshold_policy_test.pdb"
+  "threshold_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

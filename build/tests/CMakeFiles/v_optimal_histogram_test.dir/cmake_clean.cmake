@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v_optimal_histogram_test.dir/histogram/v_optimal_histogram_test.cc.o"
+  "CMakeFiles/v_optimal_histogram_test.dir/histogram/v_optimal_histogram_test.cc.o.d"
+  "v_optimal_histogram_test"
+  "v_optimal_histogram_test.pdb"
+  "v_optimal_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v_optimal_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

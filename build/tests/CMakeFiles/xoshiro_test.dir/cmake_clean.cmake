@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoshiro_test.dir/random/xoshiro_test.cc.o"
+  "CMakeFiles/xoshiro_test.dir/random/xoshiro_test.cc.o.d"
+  "xoshiro_test"
+  "xoshiro_test.pdb"
+  "xoshiro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoshiro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
