@@ -1,6 +1,10 @@
 #include "bench/bench_util.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <limits>
 
 #include "container/flat_hash_map.h"
@@ -96,6 +100,63 @@ void PrintRankTable(const Relation& relation,
   table.Print(std::cout);
   std::cout << "(rows below the -- rule are false positives, shown with "
                "their actual frequency)\n";
+}
+
+namespace {
+
+/// Escapes the handful of characters bench/metric names could contain.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool BenchReport::WriteJson(const std::string& path) const {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench: cannot open --json path " << path << "\n";
+    return false;
+  }
+  out << "{\"bench\": \"" << JsonEscape(bench_name_) << "\", \"results\": [";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const Row& row = results_[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "  {\"name\": \"" << JsonEscape(row.name) << "\", \"metrics\": {";
+    for (std::size_t j = 0; j < row.metrics.size(); ++j) {
+      if (j > 0) out << ", ";
+      out << "\"" << JsonEscape(row.metrics[j].first)
+          << "\": " << JsonNumber(row.metrics[j].second);
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+std::string BenchReport::JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      return argv[i] + 7;
+    }
+  }
+  return "";
 }
 
 }  // namespace bench

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/concise_sample.h"
@@ -76,6 +77,43 @@ struct AlgoReport {
 void PrintRankTable(const Relation& relation,
                     const std::vector<AlgoReport>& reports,
                     std::int64_t max_rows);
+
+/// Machine-readable benchmark output: collects named results with numeric
+/// metrics and serializes them as one JSON document
+///
+///   {"bench": "<name>", "results":
+///     [{"name": "...", "metrics": {"elements_per_sec": 1.2e7, ...}}, ...]}
+///
+/// so each bench run can be archived (BENCH_<name>.json) and the perf
+/// trajectory diffed across PRs.  Pass `--json <path>` to a bench binary
+/// (see JsonPathFromArgs) to enable it; stdout tables are unaffected.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Records one result row.  Metric names should be stable across PRs.
+  void Add(std::string name,
+           std::vector<std::pair<std::string, double>> metrics) {
+    results_.push_back({std::move(name), std::move(metrics)});
+  }
+
+  /// Writes the JSON document; returns false (with a note on stderr) if the
+  /// file cannot be opened.  No-op when `path` is empty.
+  bool WriteJson(const std::string& path) const;
+
+  /// Extracts the value of a `--json <path>` argument pair (or
+  /// `--json=<path>`); empty string when the flag is absent.
+  static std::string JsonPathFromArgs(int argc, char** argv);
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string bench_name_;
+  std::vector<Row> results_;
+};
 
 }  // namespace bench
 }  // namespace aqua

@@ -1,89 +1,184 @@
-// Update-time microbenchmarks (google-benchmark): wall-clock ns/insert for
-// every synopsis the library maintains, across skews, plus the lookup
-// structure underneath them.  Complements the paper's abstract flip/lookup
-// measures (Tables 1-2) with machine time.
+// Update-time microbenchmarks: wall-clock ns/insert for every synopsis the
+// library maintains, across skews, for both the per-element Insert path and
+// the batched InsertBatch fast path (which skip-counts over unselected
+// elements — §3.1's economization applied per batch instead of per call).
+// Complements the paper's abstract flip/lookup measures (Tables 1-2) with
+// machine time.  Emits machine-readable JSON with --json <path>.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
 
-#include "container/flat_hash_map.h"
+#include "bench/bench_util.h"
 #include "core/concise_sample.h"
 #include "core/counting_sample.h"
+#include "metrics/table_printer.h"
 #include "sample/reservoir_sample.h"
 #include "sketch/flajolet_martin.h"
 #include "warehouse/full_histogram.h"
 #include "workload/generators.h"
 
 namespace aqua {
+namespace bench {
 namespace {
 
 constexpr std::int64_t kStream = 100000;
+constexpr std::size_t kBatch = 4096;
+constexpr int kReps = 3;
 
-const std::vector<Value>& StreamData(int alpha_x100) {
-  static const std::vector<Value> z0 = ZipfValues(kStream, 5000, 0.0, 81);
-  static const std::vector<Value> z1 = ZipfValues(kStream, 5000, 1.0, 82);
-  static const std::vector<Value> z2 = ZipfValues(kStream, 5000, 2.0, 83);
-  if (alpha_x100 == 0) return z0;
-  if (alpha_x100 == 100) return z1;
-  return z2;
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
-template <typename MakeSynopsis>
-void RunStream(benchmark::State& state, MakeSynopsis make) {
-  const std::vector<Value>& data =
-      StreamData(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    auto s = make();
-    for (Value v : data) s.Insert(v);
-    benchmark::DoNotOptimize(&s);
+/// Best-of-kReps wall time for `run(data)`, in seconds.
+double TimeBest(const std::vector<Value>& data,
+                const std::function<void(const std::vector<Value>&)>& run) {
+  double best = 1e300;
+  for (int r = 0; r < kReps; ++r) {
+    const double start = NowSeconds();
+    run(data);
+    const double secs = NowSeconds() - start;
+    if (secs < best) best = secs;
   }
-  state.SetItemsProcessed(state.iterations() * kStream);
+  return best;
 }
 
-void BM_Traditional(benchmark::State& state) {
-  RunStream(state, [] { return ReservoirSample(1000, 84); });
-}
-void BM_Concise(benchmark::State& state) {
-  RunStream(state, [] {
-    return ConciseSample(
-        ConciseSampleOptions{.footprint_bound = 1000, .seed = 85});
-  });
-}
-void BM_Counting(benchmark::State& state) {
-  RunStream(state, [] {
-    return CountingSample(
-        CountingSampleOptions{.footprint_bound = 1000, .seed = 86});
-  });
-}
-void BM_FullHistogram(benchmark::State& state) {
-  RunStream(state, [] { return FullHistogram(1000); });
-}
-void BM_FmSketch(benchmark::State& state) {
-  RunStream(state, [] { return FlajoletMartin(16, 87); });
+template <typename S>
+void FeedPerElement(S& s, const std::vector<Value>& data) {
+  for (Value v : data) s.Insert(v);
 }
 
-BENCHMARK(BM_Traditional)->Arg(0)->Arg(100)->Arg(200)->ArgName("zipf_x100");
-BENCHMARK(BM_Concise)->Arg(0)->Arg(100)->Arg(200)->ArgName("zipf_x100");
-BENCHMARK(BM_Counting)->Arg(0)->Arg(100)->Arg(200)->ArgName("zipf_x100");
-BENCHMARK(BM_FullHistogram)->Arg(0)->Arg(100)->Arg(200)->ArgName("zipf_x100");
-BENCHMARK(BM_FmSketch)->Arg(0)->Arg(100)->Arg(200)->ArgName("zipf_x100");
-
-void BM_FlatHashMapUpsert(benchmark::State& state) {
-  const std::vector<Value>& data =
-      StreamData(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    FlatHashMap<Value, Count> map;
-    for (Value v : data) ++map[v];
-    benchmark::DoNotOptimize(map.size());
+template <typename S>
+void FeedBatched(S& s, const std::vector<Value>& data) {
+  const std::span<const Value> all(data);
+  for (std::size_t i = 0; i < all.size(); i += kBatch) {
+    s.InsertBatch(all.subspan(i, std::min(kBatch, all.size() - i)));
   }
-  state.SetItemsProcessed(state.iterations() * kStream);
 }
-BENCHMARK(BM_FlatHashMapUpsert)
-    ->Arg(0)
-    ->Arg(100)
-    ->Arg(200)
-    ->ArgName("zipf_x100");
+
+struct Scenario {
+  std::string name;
+  std::vector<Value> data;
+};
+
+class Bench {
+ public:
+  Bench(TablePrinter* table, BenchReport* report)
+      : table_(table), report_(report) {}
+
+  /// Times one (synopsis, path, scenario) cell and records it.
+  void Run(const std::string& synopsis, const std::string& path,
+           const Scenario& scenario,
+           const std::function<void(const std::vector<Value>&)>& run) {
+    const double secs = TimeBest(scenario.data, run);
+    const auto n = static_cast<double>(scenario.data.size());
+    const double ns = secs / n * 1e9;
+    table_->AddRow({synopsis, path, scenario.name, TablePrinter::Num(ns, 1),
+                    TablePrinter::Num(n / secs / 1e6, 2)});
+    report_->Add(synopsis + "/" + path + "/" + scenario.name,
+                 {{"ns_per_element", ns}, {"elements_per_sec", n / secs}});
+  }
+
+ private:
+  TablePrinter* table_;
+  BenchReport* report_;
+};
 
 }  // namespace
+}  // namespace bench
 }  // namespace aqua
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace aqua;
+  using namespace aqua::bench;
+
+  const std::string json_path = BenchReport::JsonPathFromArgs(argc, argv);
+  BenchReport report("update_micro");
+  TablePrinter table({"synopsis", "path", "stream", "ns/elem", "Melem/s"});
+  Bench bench(&table, &report);
+
+  PrintHeader("update-time microbenchmarks (per-element vs batched)");
+
+  // The classic skew sweep (100K elements, domain 5K, m=1000).
+  std::vector<Scenario> skews;
+  skews.push_back({"zipf0.0", ZipfValues(kStream, 5000, 0.0, 81)});
+  skews.push_back({"zipf1.0", ZipfValues(kStream, 5000, 1.0, 82)});
+  skews.push_back({"zipf2.0", ZipfValues(kStream, 5000, 2.0, 83)});
+  // The large-τ regime: a long low-duplication stream drives the concise
+  // sample's threshold high, so almost every element is skip-jumped; this
+  // is where the batched path's O(#selected + 1) cost shows up.
+  Scenario large_tau{"uniform1M", UniformValues(1000000, 200000, 88)};
+
+  for (const Scenario& s : skews) {
+    bench.Run("traditional", "insert", s, [](const std::vector<Value>& d) {
+      ReservoirSample r(1000, 84);
+      FeedPerElement(r, d);
+    });
+    bench.Run("traditional", "batch", s, [](const std::vector<Value>& d) {
+      ReservoirSample r(1000, 84);
+      FeedBatched(r, d);
+    });
+    bench.Run("concise", "insert", s, [](const std::vector<Value>& d) {
+      ConciseSample c(ConciseSampleOptions{.footprint_bound = 1000,
+                                           .seed = 85});
+      FeedPerElement(c, d);
+    });
+    bench.Run("concise", "batch", s, [](const std::vector<Value>& d) {
+      ConciseSample c(ConciseSampleOptions{.footprint_bound = 1000,
+                                           .seed = 85});
+      FeedBatched(c, d);
+    });
+    bench.Run("counting", "insert", s, [](const std::vector<Value>& d) {
+      CountingSample k(CountingSampleOptions{.footprint_bound = 1000,
+                                             .seed = 86});
+      FeedPerElement(k, d);
+    });
+    bench.Run("counting", "batch", s, [](const std::vector<Value>& d) {
+      CountingSample k(CountingSampleOptions{.footprint_bound = 1000,
+                                             .seed = 86});
+      FeedBatched(k, d);
+    });
+    bench.Run("full-histogram", "insert", s, [](const std::vector<Value>& d) {
+      FullHistogram h(1000);
+      FeedPerElement(h, d);
+    });
+    bench.Run("fm-sketch", "insert", s, [](const std::vector<Value>& d) {
+      FlajoletMartin f(16, 87);
+      FeedPerElement(f, d);
+    });
+  }
+
+  bench.Run("concise", "insert", large_tau, [](const std::vector<Value>& d) {
+    ConciseSample c(ConciseSampleOptions{.footprint_bound = 1000,
+                                         .seed = 89});
+    FeedPerElement(c, d);
+  });
+  bench.Run("concise", "batch", large_tau, [](const std::vector<Value>& d) {
+    ConciseSample c(ConciseSampleOptions{.footprint_bound = 1000,
+                                         .seed = 89});
+    FeedBatched(c, d);
+  });
+  bench.Run("traditional", "insert", large_tau,
+            [](const std::vector<Value>& d) {
+              ReservoirSample r(1000, 90);
+              FeedPerElement(r, d);
+            });
+  bench.Run("traditional", "batch", large_tau,
+            [](const std::vector<Value>& d) {
+              ReservoirSample r(1000, 90);
+              FeedBatched(r, d);
+            });
+
+  table.Print(std::cout);
+  std::cout << "(batch path feeds " << kBatch
+            << "-element spans through InsertBatch; insert path is one "
+               "virtual call per element)\n";
+  if (!report.WriteJson(json_path)) return 1;
+  return 0;
+}

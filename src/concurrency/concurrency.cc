@@ -1,3 +1,4 @@
 // Anchor translation unit for the (otherwise header-only) concurrency
 // module.
 #include "concurrency/shared_synopsis.h"
+#include "concurrency/sharded_synopsis.h"

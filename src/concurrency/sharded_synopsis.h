@@ -1,0 +1,195 @@
+#ifndef AQUA_CONCURRENCY_SHARDED_SYNOPSIS_H_
+#define AQUA_CONCURRENCY_SHARDED_SYNOPSIS_H_
+
+#include <atomic>
+#include <concepts>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "concurrency/shared_synopsis.h"
+
+namespace aqua {
+
+/// Synopses that can absorb an independently-built synopsis of a disjoint
+/// substream while staying statistically valid (Theorem-2 threshold-aligned
+/// subsampling for concise samples; hypergeometric union for reservoirs).
+template <typename S>
+concept Mergeable = requires(S s, const S& other) {
+  { s.MergeFrom(other) } -> std::same_as<Status>;
+};
+
+/// Scale-out ingestion for any mergeable synopsis (§6: "issues of
+/// concurrency bottlenecks need to be addressed").
+///
+/// SharedSynopsis serializes all producers through one mutex; under heavy
+/// multi-producer load that lock is the bottleneck no matter how cheap the
+/// per-element work is.  ShardedSynopsis instead partitions the stream
+/// round-robin across N independently-locked shards, each maintaining its
+/// own synopsis of the substream it observes.  Because round-robin
+/// interleaving makes every substream a deterministic 1/N slice of the
+/// stream (and each shard's synopsis is a uniform sample of its slice),
+/// merging the shards with MergeFrom yields one synopsis that is a uniform
+/// sample of the whole stream — the same partition-then-merge trick modern
+/// AQP systems use to scale summary construction out.
+///
+/// Producers should prefer InsertBatch (one lock acquisition and one
+/// skip-counted scan per batch) or, better, a per-producer
+/// ShardedBatchInserter.  The query path calls Snapshot() to obtain a
+/// single merged synopsis.
+template <typename S>
+class ShardedSynopsis {
+ public:
+  /// Builds `num_shards >= 1` shards; `make_shard(i)` must return the
+  /// synopsis for shard i, seeded independently per shard (the shards'
+  /// random streams must not be correlated or the merged sample is not
+  /// uniform).
+  template <typename Factory>
+  ShardedSynopsis(std::size_t num_shards, Factory&& make_shard) {
+    AQUA_CHECK_GE(num_shards, std::size_t{1});
+    shards_.reserve(num_shards);
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(make_shard(i)));
+    }
+  }
+
+  ShardedSynopsis(const ShardedSynopsis&) = delete;
+  ShardedSynopsis& operator=(const ShardedSynopsis&) = delete;
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Next shard in round-robin order (one atomic increment; no lock).
+  std::size_t NextShard() {
+    return ticket_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  }
+
+  void Insert(Value value) {
+    Shard& shard = *shards_[NextShard()];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.synopsis.Insert(value);
+  }
+
+  /// Applies the whole batch to one round-robin-chosen shard under a single
+  /// lock acquisition, through the synopsis-level fast path when available.
+  void InsertBatch(std::span<const Value> values) {
+    InsertBatchToShard(NextShard(), values);
+  }
+
+  /// Targets a specific shard (producers pinning shards for locality).
+  void InsertBatchToShard(std::size_t index, std::span<const Value> values) {
+    Shard& shard = *shards_[index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if constexpr (BatchInsertable<S>) {
+      shard.synopsis.InsertBatch(values);
+    } else {
+      for (Value v : values) shard.synopsis.Insert(v);
+    }
+  }
+
+  /// Routes a delete to the next round-robin shard.  Because inserts of any
+  /// given value are spread round-robin too, each shard's synopsis is an
+  /// exchangeable view of the value's occurrences; synopses that support
+  /// deletes (counting samples, Theorem 5) stay valid shard-locally.
+  Status Delete(Value value) {
+    Shard& shard = *shards_[NextShard()];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.synopsis.Delete(value);
+  }
+
+  /// Total inserts observed across all shards (locks each shard briefly).
+  std::int64_t ObservedInserts() const {
+    std::int64_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->synopsis.ObservedInserts();
+    }
+    return total;
+  }
+
+  /// Merges per-shard copies into one synopsis for the query path.  Each
+  /// shard is copied under its own lock (a consistent per-shard snapshot;
+  /// shards are not frozen relative to each other — under continuous
+  /// ingestion the merged view may be a few in-flight batches skewed, like
+  /// any sampling snapshot).  Requires S to be copyable and Mergeable.
+  Result<S> Snapshot() const
+    requires Mergeable<S> && std::copy_constructible<S>
+  {
+    S merged = CopyShard(0);
+    for (std::size_t i = 1; i < shards_.size(); ++i) {
+      const S shard_copy = CopyShard(i);
+      AQUA_RETURN_NOT_OK(merged.MergeFrom(shard_copy));
+    }
+    return merged;
+  }
+
+  /// Runs `fn(const S&)` on one shard under its lock (tests, maintenance).
+  template <typename Fn>
+  auto WithShard(std::size_t index, Fn&& fn) const {
+    const Shard& shard = *shards_[index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return fn(static_cast<const S&>(shard.synopsis));
+  }
+
+ private:
+  // One cache line per shard so neighboring locks don't false-share.
+  struct alignas(64) Shard {
+    explicit Shard(S s) : synopsis(std::move(s)) {}
+    mutable std::mutex mutex;
+    S synopsis;
+  };
+
+  S CopyShard(std::size_t index) const {
+    const Shard& shard = *shards_[index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.synopsis;
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> ticket_{0};
+};
+
+/// Per-producer insert buffer for a ShardedSynopsis: Add() is lock-free on
+/// the producer's own buffer; every `batch_size` elements the buffer drains
+/// into the next round-robin shard under one lock acquisition, through the
+/// synopsis-level batch fast path.  Destruction (or Flush) drains the tail.
+template <typename S>
+class ShardedBatchInserter {
+ public:
+  explicit ShardedBatchInserter(ShardedSynopsis<S>* sharded,
+                                std::size_t batch_size = 1024)
+      : sharded_(sharded), batch_size_(batch_size) {
+    buffer_.reserve(batch_size);
+  }
+
+  ~ShardedBatchInserter() { Flush(); }
+
+  ShardedBatchInserter(const ShardedBatchInserter&) = delete;
+  ShardedBatchInserter& operator=(const ShardedBatchInserter&) = delete;
+
+  void Add(Value value) {
+    buffer_.push_back(value);
+    if (buffer_.size() >= batch_size_) Flush();
+  }
+
+  void Flush() {
+    if (buffer_.empty()) return;
+    sharded_->InsertBatch(buffer_);
+    buffer_.clear();
+  }
+
+ private:
+  ShardedSynopsis<S>* sharded_;
+  std::size_t batch_size_;
+  std::vector<Value> buffer_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_CONCURRENCY_SHARDED_SYNOPSIS_H_

@@ -11,6 +11,14 @@
 
 namespace aqua {
 
+/// Synopses that expose a batched insert path (one call per batch instead
+/// of one virtual call per element; concise/traditional samples also skip
+/// over unselected elements inside the batch).
+template <typename S>
+concept BatchInsertable = requires(S s, std::span<const Value> values) {
+  s.InsertBatch(values);
+};
+
 /// Thread-safe wrapper around any synopsis (§6: the paper assumes
 /// "batch-like processing of data warehouse inserts, in which inserts and
 /// queries do not intermix … To address the more general case …, issues of
@@ -39,10 +47,17 @@ class SharedSynopsis {
     return synopsis_.Delete(value);
   }
 
-  /// Applies a whole batch under one lock acquisition.
+  /// Applies a whole batch under one lock acquisition.  When `S` provides a
+  /// synopsis-level InsertBatch (see BatchInsertable), the batch is handed
+  /// to it so the skip counter can jump over unselected elements; otherwise
+  /// falls back to the per-element loop.
   void InsertBatch(std::span<const Value> values) {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (Value v : values) synopsis_.Insert(v);
+    if constexpr (BatchInsertable<S>) {
+      synopsis_.InsertBatch(values);
+    } else {
+      for (Value v : values) synopsis_.Insert(v);
+    }
   }
 
   /// Runs `fn(const S&)` under the lock and returns its result — the query

@@ -66,6 +66,76 @@ void ConciseSample::Insert(Value value) {
   while (footprint_ > footprint_bound_) RaiseThreshold();
 }
 
+void ConciseSample::InsertBatch(std::span<const Value> values) {
+  if (!use_skip_counting_) {
+    // The ablation baseline flips one coin per element anyway; nothing to
+    // amortize beyond the call overhead.
+    for (Value v : values) Insert(v);
+    return;
+  }
+  std::size_t i = 0;
+  const std::size_t n = values.size();
+  while (i < n) {
+    const auto left = static_cast<std::int64_t>(n - i);
+    const std::int64_t pending = selector_.PendingSkip();
+    if (pending >= left) {
+      // No selection lands in the rest of this batch: fast-forward and done.
+      selector_.SkipAhead(left);
+      observed_ += left;
+      return;
+    }
+    // Jump straight to the next selected element.
+    selector_.SkipAhead(pending);
+    i += static_cast<std::size_t>(pending);
+    observed_ += pending + 1;
+    const bool selected = selector_.ShouldSelect(random_);
+    AQUA_DCHECK(selected);
+    (void)selected;
+    Select(values[i]);
+    ++i;
+    // Same per-selection overflow handling as Insert(): footprint checks
+    // are already amortized to one per *selected* element.
+    while (footprint_ > footprint_bound_) RaiseThreshold();
+  }
+}
+
+Status ConciseSample::MergeFrom(const ConciseSample& other) {
+  if (&other == this) {
+    return Status::InvalidArgument("cannot merge a concise sample into itself");
+  }
+  // Align this side to τ' = max(τ, τ_other) (no-op when already there).
+  const double target = std::max(threshold_, other.threshold_);
+  if (target > threshold_) SubsampleTo(target);
+
+  // Align the incoming side while unioning: each of an entry's count points
+  // survives independently with probability τ_other/τ' (an exact binomial
+  // draw — the batch counterpart of per-point coins).
+  const double keep = other.threshold_ / target;
+  for (const auto& entry : other.entries_) {
+    const Count kept =
+        keep >= 1.0 ? entry.value
+                    : static_cast<Count>(random_.Binomial(entry.value, keep));
+    if (kept == 0) continue;
+    auto [count, inserted] = entries_.TryInsert(entry.key, kept);
+    if (inserted) {
+      footprint_ += EntryWords(kept);
+      if (kept > 1) ++pairs_;
+    } else {
+      if (*count == 1) {
+        footprint_ += 1;  // singleton -> pair: the count word materializes
+        ++pairs_;
+      }
+      *count += kept;
+    }
+    sample_size_ += kept;
+  }
+  observed_ += other.observed_;
+  // The union may overflow this sample's bound; the normal overflow path
+  // restores the invariant (and keeps uniformity, Theorem 2).
+  while (footprint_ > footprint_bound_) RaiseThreshold();
+  return Status::OK();
+}
+
 void ConciseSample::Select(Value value) {
   ++cost_.lookups;
   auto [count, inserted] = entries_.TryInsert(value, 1);
@@ -102,7 +172,11 @@ void ConciseSample::RaiseThreshold() {
   const double new_threshold = policy_->NextThreshold(context);
   AQUA_CHECK(new_threshold > threshold_)
       << "threshold policy must strictly increase the threshold";
+  SubsampleTo(new_threshold);
+}
 
+void ConciseSample::SubsampleTo(double new_threshold) {
+  AQUA_DCHECK_GT(new_threshold, threshold_);
   // Subject each of the sample-size(S) points to the stricter threshold:
   // retain independently with probability τ/τ'.  The concise representation
   // flattens to a sequence of sample points (an entry with count c spans c

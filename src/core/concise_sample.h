@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -77,6 +78,25 @@ class ConciseSample final : public Synopsis {
   /// Observes one inserted value from the load stream.  O(1) amortized.
   void Insert(Value value) override;
 
+  /// Observes a whole batch of inserted values.  Exploits the geometric
+  /// skip counter to jump over unselected elements in O(1) each
+  /// (SkipSampler::SkipAhead), so the cost is O(#selected + 1) per batch
+  /// instead of one call (and one countdown decrement) per element.
+  /// Draw-for-draw equivalent to calling Insert() on each element in order:
+  /// the random stream, entries, threshold, and all counters end identical.
+  void InsertBatch(std::span<const Value> values);
+
+  /// Merges `other` — a concise sample of a *disjoint* substream — into
+  /// this sample (Theorem 2 threshold alignment): both sides are aligned to
+  /// τ' = max(τ_this, τ_other) by retaining each sample point independently
+  /// with probability τ_i/τ', then the entries are unioned.  Since each
+  /// side is a uniform sample of its substream with selection probability
+  /// 1/τ_i, the union is a uniform sample of the concatenated stream with
+  /// selection probability 1/τ'.  If the union overflows this sample's
+  /// footprint bound, the threshold is raised further (the normal §3.1
+  /// overflow path).  Fails on self-merge.
+  Status MergeFrom(const ConciseSample& other);
+
   /// Footprint in words: #distinct represented values + #pairs.
   Words Footprint() const override { return footprint_; }
 
@@ -122,6 +142,10 @@ class ConciseSample final : public Synopsis {
  private:
   void Select(Value value);
   void RaiseThreshold();
+  /// Theorem-2 subsampling scan: retains each sample point independently
+  /// with probability τ/new_threshold, then installs the new threshold and
+  /// re-primes the skip counter.  Shared by RaiseThreshold and MergeFrom.
+  void SubsampleTo(double new_threshold);
 
   Words footprint_bound_;
   bool use_skip_counting_;

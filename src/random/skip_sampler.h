@@ -56,6 +56,21 @@ class SkipSampler {
     return true;
   }
 
+  /// Number of further stream elements that are guaranteed unselected (the
+  /// pending geometric skip).  The element *after* these is selected.
+  std::int64_t PendingSkip() const { return remaining_; }
+
+  /// Fast-forwards past `n <= PendingSkip()` unselected stream elements in
+  /// O(1) — the batch counterpart of n ShouldSelect() calls returning false.
+  /// State evolution (and hence the random stream) is identical to the
+  /// per-element path, which is what makes batched and per-element
+  /// ingestion draw-for-draw equivalent.
+  void SkipAhead(std::int64_t n) {
+    AQUA_DCHECK_GE(n, 0);
+    AQUA_DCHECK_LE(n, remaining_);
+    remaining_ -= n;
+  }
+
   double probability() const { return probability_; }
 
   /// Random draws taken so far (one per geometric redraw).

@@ -52,6 +52,10 @@ void ReservoirSample::InsertWithSkips(Value value) {
     --skip_;
     return;
   }
+  Replace(value);
+}
+
+void ReservoirSample::Replace(Value value) {
   const auto slot = static_cast<std::size_t>(
       random_.UniformU64(static_cast<std::uint64_t>(capacity_)));
   ++cost_.coin_flips;
@@ -64,6 +68,113 @@ void ReservoirSample::InsertWithSkips(Value value) {
                    static_cast<double>(capacity_));
     ++cost_.coin_flips;
   }
+}
+
+void ReservoirSample::InsertBatch(std::span<const Value> values) {
+  std::size_t i = 0;
+  const std::size_t n = values.size();
+  // Fill phase (and the fill->steady transition) per element.
+  while (i < n && SampleSize() < capacity_) Insert(values[i++]);
+  if (algorithm_ == ReservoirAlgorithm::kR) {
+    // Algorithm R draws per record; nothing to jump over.
+    for (; i < n; ++i) Insert(values[i]);
+    return;
+  }
+  while (i < n) {
+    const auto left = static_cast<std::int64_t>(n - i);
+    if (skip_ >= left) {
+      // No replacement lands in the rest of this batch.
+      skip_ -= left;
+      observed_ += left;
+      return;
+    }
+    // Jump straight to the next replaced record.  ComputeSkipX reads
+    // observed_ as "records processed including this one", so advance it
+    // before drawing.
+    i += static_cast<std::size_t>(skip_);
+    observed_ += skip_ + 1;
+    skip_ = 0;
+    Replace(values[i]);
+    ++i;
+  }
+}
+
+Status ReservoirSample::MergeFrom(const ReservoirSample& other) {
+  if (&other == this) {
+    return Status::InvalidArgument(
+        "cannot merge a reservoir sample into itself");
+  }
+  const std::int64_t na = observed_;
+  const std::int64_t nb = other.observed_;
+  const std::int64_t n = na + nb;
+  const std::int64_t m = std::min(capacity_, n);
+  if (other.SampleSize() < std::min(m, nb)) {
+    return Status::InvalidArgument(
+        "other reservoir holds too few points to merge (smaller capacity)");
+  }
+  // A single reservoir of size m over the concatenated stream would hold
+  // K ~ Hypergeometric(n, na, m) points of substream A; and a uniform
+  // K-subset of this reservoir (itself a uniform subset of substream A) is
+  // a uniform K-subset of substream A.  Draw K by sequential sampling
+  // without replacement — O(m) draws, exact.
+  std::int64_t k = 0;
+  std::int64_t rem_a = na;
+  std::int64_t rem_total = n;
+  for (std::int64_t i = 0; i < m; ++i) {
+    if (static_cast<std::int64_t>(random_.UniformU64(
+            static_cast<std::uint64_t>(rem_total))) < rem_a) {
+      ++k;
+      --rem_a;
+    }
+    --rem_total;
+  }
+  // Uniform k-subset of ours + (m-k)-subset of theirs via partial
+  // Fisher-Yates.
+  std::vector<Value> merged;
+  merged.reserve(static_cast<std::size_t>(m));
+  auto take = [&](std::vector<Value> pool, std::int64_t want) {
+    for (std::int64_t j = 0; j < want; ++j) {
+      const auto pick =
+          static_cast<std::size_t>(j) +
+          static_cast<std::size_t>(random_.UniformU64(
+              static_cast<std::uint64_t>(pool.size() - static_cast<std::size_t>(j))));
+      std::swap(pool[static_cast<std::size_t>(j)], pool[pick]);
+      merged.push_back(pool[static_cast<std::size_t>(j)]);
+    }
+  };
+  take(points_, k);
+  take(other.points_, m - k);
+  points_ = std::move(merged);
+  observed_ = n;
+  if (SampleSize() == capacity_) {
+    PrimeSkipAfterMerge();
+  } else {
+    skip_ = 0;  // still filling; the transition in Insert() will prime
+  }
+  return Status::OK();
+}
+
+void ReservoirSample::PrimeSkipAfterMerge() {
+  if (algorithm_ == ReservoirAlgorithm::kR) return;
+  if (algorithm_ == ReservoirAlgorithm::kX) {
+    // Algorithm X's skip distribution depends only on (t, m); exact.
+    ComputeSkipX();
+    return;
+  }
+  // Algorithm L's w_ is the m-th smallest of t uniform keys (the reservoir
+  // holds the m smallest keys; a new record replaces when its key < w_).
+  // Sample it exactly in m draws via the Renyi representation of descending
+  // order statistics applied to the complemented keys:
+  //   m-th smallest of t  =  1 - prod_{i=1..m} U_i^{1/(t-i+1)}.
+  double prod = 1.0;
+  const double t = static_cast<double>(observed_);
+  for (std::int64_t i = 1; i <= capacity_; ++i) {
+    prod *= std::exp(std::log(random_.NextDoublePositive()) /
+                     (t - static_cast<double>(i) + 1.0));
+    ++cost_.coin_flips;
+  }
+  w_ = 1.0 - prod;
+  ComputeSkipL();
 }
 
 void ReservoirSample::ComputeSkipX() {

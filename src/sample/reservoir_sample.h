@@ -2,8 +2,10 @@
 #define AQUA_SAMPLE_RESERVOIR_SAMPLE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "random/random.h"
 #include "sample/synopsis.h"
@@ -42,6 +44,22 @@ class ReservoirSample final : public Synopsis {
 
   void Insert(Value value) override;
 
+  /// Observes a whole batch of stream records.  For Algorithms X/L the
+  /// pending skip counter jumps over passed-over records in O(1)
+  /// (cost O(#replacements + 1) per batch); Algorithm R still draws per
+  /// record.  Draw-for-draw equivalent to per-element Insert().
+  void InsertBatch(std::span<const Value> values);
+
+  /// Merges `other` — a reservoir sample of a *disjoint* substream — into
+  /// this sample, producing a uniform m-subset of the concatenated stream:
+  /// the number of points kept from this side is drawn exactly
+  /// hypergeometric (the count a single reservoir over the union would
+  /// have), then uniform subsets of both reservoirs are unioned and the
+  /// skip state is re-primed for the combined stream length.  Fails on
+  /// self-merge, or if `other` holds fewer points than the union sample
+  /// could need from it (its capacity is smaller than this one's).
+  Status MergeFrom(const ReservoirSample& other);
+
   /// Footprint = capacity in words (one word per sample point slot).  The
   /// paper charges the traditional baseline its full prespecified footprint.
   Words Footprint() const override { return capacity_; }
@@ -65,8 +83,13 @@ class ReservoirSample final : public Synopsis {
  private:
   void InsertAlgorithmR(Value value);
   void InsertWithSkips(Value value);
+  /// Replaces a uniformly random slot with `value` and draws the next skip.
+  void Replace(Value value);
   void ComputeSkipX();
   void ComputeSkipL();
+  /// Re-derives the skip state (and Algorithm L's w_) from scratch for the
+  /// current observed_/capacity_ — used after a merge rewrites history.
+  void PrimeSkipAfterMerge();
 
   std::int64_t capacity_;
   ReservoirAlgorithm algorithm_;

@@ -73,6 +73,35 @@ Status ApproximateAnswerEngine::Observe(const StreamOp& op) {
   return status;
 }
 
+Status ApproximateAnswerEngine::ObserveBatch(std::span<const StreamOp> ops) {
+  std::vector<Value> run;
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    if (ops[i].kind != StreamOp::Kind::kInsert) {
+      AQUA_RETURN_NOT_OK(Observe(ops[i]));
+      ++i;
+      continue;
+    }
+    run.clear();
+    while (i < ops.size() && ops[i].kind == StreamOp::Kind::kInsert) {
+      run.push_back(ops[i].value);
+      ++i;
+    }
+    inserts_ += static_cast<std::int64_t>(run.size());
+    if (traditional_) traditional_->InsertBatch(run);
+    if (concise_) concise_->InsertBatch(run);
+    if (counting_) counting_->InsertBatch(run);
+    // Sketch and histogram have per-element update rules; no batch path.
+    if (distinct_sketch_) {
+      for (Value v : run) distinct_sketch_->Insert(v);
+    }
+    if (full_histogram_) {
+      for (Value v : run) full_histogram_->Insert(v);
+    }
+  }
+  return Status::OK();
+}
+
 QueryResponse<HotList> ApproximateAnswerEngine::HotListAnswer(
     const HotListQuery& query) const {
   QueryResponse<HotList> response;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "core/concise_sample.h"
@@ -60,6 +61,14 @@ class ApproximateAnswerEngine {
 
   /// Observes one load-stream operation.
   Status Observe(const StreamOp& op);
+
+  /// Observes a whole slice of the load stream.  Maximal runs of
+  /// consecutive inserts are routed through the synopses' batched fast
+  /// paths (concise/traditional samples skip over unselected elements, one
+  /// geometric jump each, instead of one virtual call per element);
+  /// deletes are applied individually with the same semantics as
+  /// Observe().  Statistically identical to observing op-by-op.
+  Status ObserveBatch(std::span<const StreamOp> ops);
 
   /// Hot list from the most accurate maintained synopsis.
   QueryResponse<HotList> HotListAnswer(const HotListQuery& query) const;

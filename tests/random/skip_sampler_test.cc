@@ -76,5 +76,38 @@ TEST(SkipSamplerTest, MatchesPerEventBernoulliDistribution) {
   EXPECT_LT(diff, 6.0 * std::sqrt(kEvents * p));
 }
 
+TEST(SkipSamplerTest, SkipAheadMatchesRepeatedShouldSelect) {
+  // Jumping the countdown in one O(1) step must be indistinguishable from
+  // decrementing it event by event (the batched-ingestion fast path).
+  Random rng_step(7), rng_jump(7);
+  SkipSampler stepped(rng_step, 0.02);
+  SkipSampler jumped(rng_jump, 0.02);
+  for (int round = 0; round < 200; ++round) {
+    const std::int64_t pending = jumped.PendingSkip();
+    EXPECT_EQ(pending, stepped.PendingSkip());
+    // Per-event path: `pending` rejections, then one selection.
+    for (std::int64_t i = 0; i < pending; ++i) {
+      EXPECT_FALSE(stepped.ShouldSelect(rng_step));
+    }
+    EXPECT_TRUE(stepped.ShouldSelect(rng_step));
+    // Batched path: one jump, then the same selection draw.
+    jumped.SkipAhead(pending);
+    EXPECT_EQ(jumped.PendingSkip(), 0);
+    EXPECT_TRUE(jumped.ShouldSelect(rng_jump));
+    EXPECT_EQ(jumped.DrawCount(), stepped.DrawCount());
+  }
+}
+
+TEST(SkipSamplerTest, PartialSkipAheadLeavesRemainder) {
+  Random rng(8);
+  SkipSampler sampler(rng, 0.001);  // skips are long at p = 0.001
+  const std::int64_t pending = sampler.PendingSkip();
+  ASSERT_GT(pending, 1);
+  sampler.SkipAhead(pending / 2);
+  EXPECT_EQ(sampler.PendingSkip(), pending - pending / 2);
+  sampler.SkipAhead(0);  // no-op
+  EXPECT_EQ(sampler.PendingSkip(), pending - pending / 2);
+}
+
 }  // namespace
 }  // namespace aqua

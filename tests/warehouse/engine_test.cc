@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "metrics/hotlist_accuracy.h"
 #include "warehouse/relation.h"
 #include "workload/generators.h"
@@ -154,6 +156,71 @@ TEST(EngineTest, DeleteOfAbsentValueFailsFullHistogram) {
   ApproximateAnswerEngine engine(o);
   ASSERT_TRUE(engine.Observe(StreamOp::Insert(1)).ok());
   EXPECT_FALSE(engine.Observe(StreamOp::Delete(999)).ok());
+}
+
+TEST(EngineTest, ObserveBatchMatchesPerOpObserve) {
+  // Same seed, same op stream: the batched ingestion path must land every
+  // synopsis in exactly the state the per-op path produces (the batch
+  // path only re-buckets the stream into insert runs; it consumes the
+  // same random draws).
+  EngineOptions o = AllOn(300, 30);
+  o.maintain_full_histogram = true;
+  ApproximateAnswerEngine per_op(o);
+  ApproximateAnswerEngine batched(o);
+
+  std::vector<StreamOp> ops;
+  for (Value v : ZipfValues(30000, 400, 1.0, 31)) {
+    ops.push_back(StreamOp::Insert(v));
+  }
+  for (const StreamOp& op : ops) ASSERT_TRUE(per_op.Observe(op).ok());
+  ASSERT_TRUE(batched.ObserveBatch(ops).ok());
+
+  EXPECT_EQ(batched.observed_inserts(), per_op.observed_inserts());
+  EXPECT_EQ(batched.traditional()->Points(), per_op.traditional()->Points());
+  EXPECT_EQ(batched.concise()->SampleSize(), per_op.concise()->SampleSize());
+  EXPECT_EQ(batched.concise()->Threshold(), per_op.concise()->Threshold());
+  EXPECT_EQ(batched.concise()->Cost().coin_flips,
+            per_op.concise()->Cost().coin_flips);
+  EXPECT_EQ(batched.counting()->Threshold(), per_op.counting()->Threshold());
+  EXPECT_EQ(batched.counting()->CountedOccurrences(),
+            per_op.counting()->CountedOccurrences());
+  const auto response = batched.HotListAnswer({.k = 5});
+  EXPECT_EQ(response.method, "full-histogram");
+}
+
+TEST(EngineTest, ObserveBatchHandlesInterleavedDeletes) {
+  // Deletes split the insert runs; counts must come out exact on the
+  // counting sample and the per-op engine must agree.
+  EngineOptions o = AllOn(300, 32);
+  ApproximateAnswerEngine per_op(o);
+  ApproximateAnswerEngine batched(o);
+
+  std::vector<StreamOp> ops;
+  for (int round = 0; round < 50; ++round) {
+    for (Value v = 0; v < 20; ++v) ops.push_back(StreamOp::Insert(v));
+    ops.push_back(StreamOp::Delete(round % 20));
+  }
+  for (const StreamOp& op : ops) ASSERT_TRUE(per_op.Observe(op).ok());
+  ASSERT_TRUE(batched.ObserveBatch(ops).ok());
+
+  EXPECT_EQ(batched.observed_inserts(), per_op.observed_inserts());
+  EXPECT_EQ(batched.observed_deletes(), per_op.observed_deletes());
+  EXPECT_EQ(batched.observed_deletes(), 50);
+  ASSERT_NE(batched.counting(), nullptr);
+  for (Value v = 0; v < 20; ++v) {
+    EXPECT_EQ(batched.counting()->CountOf(v), per_op.counting()->CountOf(v));
+  }
+}
+
+TEST(EngineTest, ObserveBatchPropagatesDeleteErrors) {
+  EngineOptions o = AllOn(100, 33);
+  o.maintain_full_histogram = true;
+  ApproximateAnswerEngine engine(o);
+  const std::vector<StreamOp> ops = {StreamOp::Insert(1),
+                                     StreamOp::Delete(999)};
+  EXPECT_FALSE(engine.ObserveBatch(ops).ok());
+  // The insert run before the failing delete was applied.
+  EXPECT_EQ(engine.observed_inserts(), 1);
 }
 
 TEST(EngineTest, NoSynopsesConfigured) {
