@@ -15,6 +15,8 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "concurrency/shared_synopsis.h"
+#include "container/flat_hash_map.h"
+#include "random/xoshiro256.h"
 
 namespace aqua {
 
@@ -26,24 +28,49 @@ concept Mergeable = requires(S s, const S& other) {
   { s.MergeFrom(other) } -> std::same_as<Status>;
 };
 
+/// Synopses whose private random stream can be replaced wholesale.
+/// Snapshot() requires this: a merged snapshot starts as a copy of shard 0,
+/// and without a reseed its merge draws would replay exactly the random
+/// values shard 0 will consume for its future inserts (and successive
+/// snapshots would reuse identical randomness).
+template <typename S>
+concept Reseedable = requires(S s, std::uint64_t seed) { s.Reseed(seed); };
+
+/// How a ShardedSynopsis assigns stream operations to shards.
+enum class ShardRouting {
+  /// Each operation goes to the next shard in ticket order: perfectly
+  /// balanced regardless of the value distribution, but *insert-only* —
+  /// a delete could land on a shard that never saw the value's inserts,
+  /// silently breaking the aggregate count, so Delete() is refused.
+  kRoundRobin,
+  /// All operations on a value go to the shard chosen by hash(value), so a
+  /// delete always reaches the shard that observed every insert of that
+  /// value and shard-local delete semantics (Theorem 5) stay exact.  The
+  /// substreams are still disjoint, so Snapshot() merging stays valid; the
+  /// cost is load skew when a few values dominate the stream.
+  kByValue,
+};
+
 /// Scale-out ingestion for any mergeable synopsis (§6: "issues of
 /// concurrency bottlenecks need to be addressed").
 ///
 /// SharedSynopsis serializes all producers through one mutex; under heavy
 /// multi-producer load that lock is the bottleneck no matter how cheap the
 /// per-element work is.  ShardedSynopsis instead partitions the stream
-/// round-robin across N independently-locked shards, each maintaining its
-/// own synopsis of the substream it observes.  Because round-robin
-/// interleaving makes every substream a deterministic 1/N slice of the
-/// stream (and each shard's synopsis is a uniform sample of its slice),
-/// merging the shards with MergeFrom yields one synopsis that is a uniform
-/// sample of the whole stream — the same partition-then-merge trick modern
-/// AQP systems use to scale summary construction out.
+/// across N independently-locked shards, each maintaining its own synopsis
+/// of the disjoint substream it observes.  Because each shard's synopsis is
+/// a uniform sample of its substream, merging the shards with MergeFrom
+/// yields one synopsis that is a uniform sample of the whole stream — the
+/// same partition-then-merge trick modern AQP systems use to scale summary
+/// construction out.
 ///
-/// Producers should prefer InsertBatch (one lock acquisition and one
-/// skip-counted scan per batch) or, better, a per-producer
-/// ShardedBatchInserter.  The query path calls Snapshot() to obtain a
-/// single merged synopsis.
+/// The routing policy picks the partition: kRoundRobin (default) gives
+/// perfectly balanced 1/N slices but supports inserts only; kByValue
+/// hash-partitions by value, which additionally supports deletes (see
+/// ShardRouting).  Producers should prefer InsertBatch (one lock
+/// acquisition and one skip-counted scan per batch) or, better, a
+/// per-producer ShardedBatchInserter.  The query path calls Snapshot() to
+/// obtain a single merged synopsis.
 template <typename S>
 class ShardedSynopsis {
  public:
@@ -52,7 +79,9 @@ class ShardedSynopsis {
   /// random streams must not be correlated or the merged sample is not
   /// uniform).
   template <typename Factory>
-  ShardedSynopsis(std::size_t num_shards, Factory&& make_shard) {
+  ShardedSynopsis(std::size_t num_shards, Factory&& make_shard,
+                  ShardRouting routing = ShardRouting::kRoundRobin)
+      : routing_(routing) {
     AQUA_CHECK_GE(num_shards, std::size_t{1});
     shards_.reserve(num_shards);
     for (std::size_t i = 0; i < num_shards; ++i) {
@@ -65,21 +94,42 @@ class ShardedSynopsis {
 
   std::size_t num_shards() const { return shards_.size(); }
 
+  ShardRouting routing() const { return routing_; }
+
   /// Next shard in round-robin order (one atomic increment; no lock).
   std::size_t NextShard() {
     return ticket_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   }
 
+  /// The shard that owns `value` under kByValue routing.
+  std::size_t ShardForValue(Value value) const {
+    return IntegerHash{}(value) % shards_.size();
+  }
+
   void Insert(Value value) {
-    Shard& shard = *shards_[NextShard()];
+    const std::size_t index = routing_ == ShardRouting::kByValue
+                                  ? ShardForValue(value)
+                                  : NextShard();
+    Shard& shard = *shards_[index];
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.synopsis.Insert(value);
   }
 
-  /// Applies the whole batch to one round-robin-chosen shard under a single
-  /// lock acquisition, through the synopsis-level fast path when available.
+  /// Applies the whole batch under one lock acquisition per touched shard,
+  /// through the synopsis-level fast path when available.  kRoundRobin
+  /// sends the whole batch to the next shard; kByValue partitions it by
+  /// value hash first (each value's run still reaches its owning shard as
+  /// one contiguous sub-batch).
   void InsertBatch(std::span<const Value> values) {
-    InsertBatchToShard(NextShard(), values);
+    if (routing_ == ShardRouting::kRoundRobin) {
+      InsertBatchToShard(NextShard(), values);
+      return;
+    }
+    std::vector<std::vector<Value>> groups(shards_.size());
+    for (Value v : values) groups[ShardForValue(v)].push_back(v);
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (!groups[i].empty()) InsertBatchToShard(i, groups[i]);
+    }
   }
 
   /// Targets a specific shard (producers pinning shards for locality).
@@ -93,12 +143,19 @@ class ShardedSynopsis {
     }
   }
 
-  /// Routes a delete to the next round-robin shard.  Because inserts of any
-  /// given value are spread round-robin too, each shard's synopsis is an
-  /// exchangeable view of the value's occurrences; synopses that support
-  /// deletes (counting samples, Theorem 5) stay valid shard-locally.
+  /// Routes a delete to the shard that observed every insert of `value`.
+  /// Only kByValue routing can do that — under kRoundRobin a value's
+  /// inserts are spread across shards, so a delete could land on a shard
+  /// that never counted the value (a silent no-op for counting samples,
+  /// Theorem 5) while the counting shard keeps it, over-counting the
+  /// aggregate.  Refused with FailedPrecondition in that mode.
   Status Delete(Value value) {
-    Shard& shard = *shards_[NextShard()];
+    if (routing_ != ShardRouting::kByValue) {
+      return Status::FailedPrecondition(
+          "ShardedSynopsis::Delete requires ShardRouting::kByValue; "
+          "round-robin sharding is insert-only");
+    }
+    Shard& shard = *shards_[ShardForValue(value)];
     std::lock_guard<std::mutex> lock(shard.mutex);
     return shard.synopsis.Delete(value);
   }
@@ -117,11 +174,24 @@ class ShardedSynopsis {
   /// shard is copied under its own lock (a consistent per-shard snapshot;
   /// shards are not frozen relative to each other — under continuous
   /// ingestion the merged view may be a few in-flight batches skewed, like
-  /// any sampling snapshot).  Requires S to be copyable and Mergeable.
+  /// any sampling snapshot).  Requires S to be copyable, Mergeable and
+  /// Reseedable.
+  ///
+  /// The merged copy is reseeded before merging: it starts life as a copy
+  /// of shard 0, and without a fresh stream its subsampling/binomial merge
+  /// draws would replay exactly the random values shard 0 will consume for
+  /// its future inserts — and successive Snapshot() calls would reuse
+  /// identical randomness, perfectly correlating repeated-snapshot
+  /// statistics.  A per-call sequence number mixed through SplitMix64
+  /// gives every snapshot its own independent stream (deterministic per
+  /// ShardedSynopsis instance, so tests stay reproducible).
   Result<S> Snapshot() const
-    requires Mergeable<S> && std::copy_constructible<S>
+    requires Mergeable<S> && Reseedable<S> && std::copy_constructible<S>
   {
     S merged = CopyShard(0);
+    std::uint64_t sm = kSnapshotSeedTag ^
+                       snapshot_seq_.fetch_add(1, std::memory_order_relaxed);
+    merged.Reseed(SplitMix64Next(sm));
     for (std::size_t i = 1; i < shards_.size(); ++i) {
       const S shard_copy = CopyShard(i);
       AQUA_RETURN_NOT_OK(merged.MergeFrom(shard_copy));
@@ -145,6 +215,8 @@ class ShardedSynopsis {
     S synopsis;
   };
 
+  static constexpr std::uint64_t kSnapshotSeedTag = 0x5a45b07c0de5eedULL;
+
   S CopyShard(std::size_t index) const {
     const Shard& shard = *shards_[index];
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -152,7 +224,9 @@ class ShardedSynopsis {
   }
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  ShardRouting routing_;
   std::atomic<std::size_t> ticket_{0};
+  mutable std::atomic<std::uint64_t> snapshot_seq_{0};
 };
 
 /// Per-producer insert buffer for a ShardedSynopsis: Add() is lock-free on

@@ -136,6 +136,13 @@ Status ConciseSample::MergeFrom(const ConciseSample& other) {
   return Status::OK();
 }
 
+void ConciseSample::Reseed(std::uint64_t seed) {
+  random_ = Random(seed);
+  // The pending skip was drawn from the old stream; redraw it so nothing
+  // of the old randomness survives.
+  if (use_skip_counting_) selector_.Reset(random_, 1.0 / threshold_);
+}
+
 void ConciseSample::Select(Value value) {
   ++cost_.lookups;
   auto [count, inserted] = entries_.TryInsert(value, 1);

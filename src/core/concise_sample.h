@@ -97,6 +97,13 @@ class ConciseSample final : public Synopsis {
   /// overflow path).  Fails on self-merge.
   Status MergeFrom(const ConciseSample& other);
 
+  /// Replaces the private random stream with a fresh one derived from
+  /// `seed` and redraws the pending skip.  The sample's contents are
+  /// untouched and every future draw is independent of the old stream —
+  /// used on copies (e.g. ShardedSynopsis::Snapshot) so they don't replay
+  /// the original's randomness.  Resets the coin-flip counters.
+  void Reseed(std::uint64_t seed);
+
   /// Footprint in words: #distinct represented values + #pairs.
   Words Footprint() const override { return footprint_; }
 

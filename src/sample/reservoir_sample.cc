@@ -154,6 +154,18 @@ Status ReservoirSample::MergeFrom(const ReservoirSample& other) {
   return Status::OK();
 }
 
+void ReservoirSample::Reseed(std::uint64_t seed) {
+  random_ = Random(seed);
+  if (SampleSize() == capacity_) {
+    // Steady state: the pending skip (and L's w_) came from the old
+    // stream; re-derive them from the new one.  Exact for X; for L the
+    // order-statistic re-draw is the same one MergeFrom uses.
+    PrimeSkipAfterMerge();
+  } else {
+    skip_ = 0;  // still filling; the transition in Insert() will prime
+  }
+}
+
 void ReservoirSample::PrimeSkipAfterMerge() {
   if (algorithm_ == ReservoirAlgorithm::kR) return;
   if (algorithm_ == ReservoirAlgorithm::kX) {

@@ -60,6 +60,13 @@ class ReservoirSample final : public Synopsis {
   /// could need from it (its capacity is smaller than this one's).
   Status MergeFrom(const ReservoirSample& other);
 
+  /// Replaces the private random stream with a fresh one derived from
+  /// `seed` and re-primes the skip state (for X/L) from the new stream.
+  /// The sample points are untouched and every future draw is independent
+  /// of the old stream — used on copies (e.g. ShardedSynopsis::Snapshot)
+  /// so they don't replay the original's randomness.
+  void Reseed(std::uint64_t seed);
+
   /// Footprint = capacity in words (one word per sample point slot).  The
   /// paper charges the traditional baseline its full prespecified footprint.
   Words Footprint() const override { return capacity_; }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -95,11 +96,50 @@ TEST(ShardedSynopsisTest, SnapshotOfReservoirShards) {
   EXPECT_EQ(snapshot->SampleSize(), 500);
 }
 
-TEST(ShardedSynopsisTest, DeleteRoutesToAShard) {
-  ShardedSynopsis<CountingSample> sharded(2, [](std::size_t i) {
-    return CountingSample(CountingSampleOptions{
-        .footprint_bound = 100, .seed = 50 + static_cast<std::uint64_t>(i)});
-  });
+ShardedSynopsis<CountingSample> MakeCountingShards(std::size_t shards,
+                                                   ShardRouting routing) {
+  return ShardedSynopsis<CountingSample>(
+      shards,
+      [](std::size_t i) {
+        return CountingSample(CountingSampleOptions{
+            .footprint_bound = 100,
+            .seed = 50 + static_cast<std::uint64_t>(i)});
+      },
+      routing);
+}
+
+TEST(ShardedSynopsisTest, DeleteRefusedUnderRoundRobin) {
+  // Round-robin spreads a value's inserts across shards, so a delete has
+  // no shard it can correctly land on; it must be refused, not silently
+  // misapplied.
+  auto sharded = MakeCountingShards(2, ShardRouting::kRoundRobin);
+  sharded.Insert(7);
+  EXPECT_TRUE(sharded.Delete(7).IsFailedPrecondition());
+}
+
+TEST(ShardedSynopsisTest, ValueRoutedDeleteReachesTheInsertingShard) {
+  // Regression: with round-robin routing, one insert of v followed by one
+  // delete of v could leave aggregate count 1 (the delete no-op'd on a
+  // shard that never saw v).  Value routing sends both to the same shard.
+  auto sharded = MakeCountingShards(2, ShardRouting::kByValue);
+  for (Value v = 0; v < 8; ++v) {
+    sharded.Insert(v);
+    ASSERT_TRUE(sharded.Delete(v).ok());
+  }
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    total += sharded.WithShard(i, [](const CountingSample& s) {
+      EXPECT_TRUE(s.Validate().ok());
+      std::int64_t count = 0;
+      for (Value v = 0; v < 8; ++v) count += s.CountOf(v);
+      return count;
+    });
+  }
+  EXPECT_EQ(total, 0);  // τ stays 1 under bound 100, so counts are exact
+}
+
+TEST(ShardedSynopsisTest, ValueRoutedCountsStayExactUnderDeletes) {
+  auto sharded = MakeCountingShards(2, ShardRouting::kByValue);
   for (int i = 0; i < 1000; ++i) sharded.Insert(7);
   ASSERT_TRUE(sharded.Delete(7).ok());
   std::int64_t total = 0;
@@ -110,6 +150,56 @@ TEST(ShardedSynopsisTest, DeleteRoutesToAShard) {
     });
   }
   EXPECT_EQ(total, 999);  // τ stays 1 under bound 100 with one value
+}
+
+TEST(ShardedSynopsisTest, ValueRoutedBatchKeepsValuesOnTheirShard) {
+  // InsertBatch under kByValue must partition the batch the same way
+  // Insert routes single values, or deletes would miss batched inserts.
+  auto sharded = MakeCountingShards(4, ShardRouting::kByValue);
+  std::vector<Value> batch;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (Value v = 0; v < 40; ++v) batch.push_back(v);
+  }
+  sharded.InsertBatch(batch);
+  EXPECT_EQ(sharded.ObservedInserts(), 400);
+  for (Value v = 0; v < 40; ++v) {
+    ASSERT_TRUE(sharded.Delete(v).ok());
+    // All 10 occurrences live on the owning shard: count is now exactly 9.
+    const std::size_t owner = sharded.ShardForValue(v);
+    const Count count = sharded.WithShard(
+        owner, [v](const CountingSample& s) { return s.CountOf(v); });
+    EXPECT_EQ(count, 9);
+  }
+}
+
+TEST(ShardedSynopsisTest, SnapshotsDrawIndependentRandomness) {
+  // Snapshot() starts from a copy of shard 0; without a reseed its merge
+  // draws would replay shard 0's future stream and successive snapshots
+  // would be byte-identical.  Force merge-time subsampling (per-shard
+  // footprints sum past the bound) and check two snapshots of the same
+  // frozen state diverge.
+  auto sharded = MakeConciseShards(4, 100, 90);
+  const std::vector<Value> data = ZipfValues(200000, 5000, 0.5, 91);
+  ShardedBatchInserter<ConciseSample> inserter(&sharded, 1024);
+  for (Value v : data) inserter.Add(v);
+  inserter.Flush();
+
+  auto first = sharded.Snapshot();
+  auto second = sharded.Snapshot();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(first->Validate().ok());
+  EXPECT_TRUE(second->Validate().ok());
+  auto sorted_entries = [](const ConciseSample& s) {
+    std::vector<ValueCount> entries = s.Entries();
+    std::sort(entries.begin(), entries.end(),
+              [](const ValueCount& a, const ValueCount& b) {
+                return a.value < b.value;
+              });
+    return entries;
+  };
+  EXPECT_NE(sorted_entries(*first), sorted_entries(*second))
+      << "two snapshots replayed identical merge randomness";
 }
 
 TEST(ShardedSynopsisTest, SingleShardDegeneratesToShared) {

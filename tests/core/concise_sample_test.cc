@@ -20,6 +20,38 @@ ConciseSampleOptions Opts(Words bound, std::uint64_t seed,
   return o;
 }
 
+TEST(ConciseSampleTest, ReseedDecorrelatesFutureDraws) {
+  // A copy shares the original's random stream state; fed the same suffix
+  // it stays byte-identical.  After Reseed the copy's selections must
+  // diverge (contents are untouched at the moment of reseeding).
+  ConciseSample original(Opts(100, 5));
+  const std::vector<Value> prefix = ZipfValues(50000, 2000, 1.0, 6);
+  original.InsertBatch(prefix);
+  ASSERT_GT(original.Threshold(), 1.0);  // selection is actually random
+
+  ConciseSample twin = original;
+  ConciseSample reseeded = original;
+  reseeded.Reseed(999);
+  EXPECT_EQ(reseeded.Entries().size(), original.Entries().size());
+  EXPECT_DOUBLE_EQ(reseeded.Threshold(), original.Threshold());
+
+  const std::vector<Value> suffix = ZipfValues(50000, 2000, 1.0, 7);
+  original.InsertBatch(suffix);
+  twin.InsertBatch(suffix);
+  reseeded.InsertBatch(suffix);
+  auto sorted_entries = [](const ConciseSample& s) {
+    std::vector<ValueCount> entries = s.Entries();
+    std::sort(entries.begin(), entries.end(),
+              [](const ValueCount& a, const ValueCount& b) {
+                return a.value < b.value;
+              });
+    return entries;
+  };
+  EXPECT_EQ(sorted_entries(twin), sorted_entries(original));
+  EXPECT_NE(sorted_entries(reseeded), sorted_entries(original));
+  EXPECT_TRUE(reseeded.Validate().ok());
+}
+
 TEST(ConciseSampleTest, EmptySample) {
   ConciseSample s(Opts(100, 1));
   EXPECT_EQ(s.SampleSize(), 0);

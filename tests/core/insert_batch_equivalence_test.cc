@@ -1,0 +1,128 @@
+// The batched ingestion fast path must be *draw-for-draw* equivalent to
+// per-element Insert(): with the same seed, feeding the stream through
+// InsertBatch (any batching) must consume the same random draws and land in
+// the same final state.  This pins the skip-ahead bookkeeping exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "sample/reservoir_sample.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+std::vector<ValueCount> Sorted(std::vector<ValueCount> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.value < b.value;
+            });
+  return entries;
+}
+
+template <typename S>
+void FeedBatched(S& s, const std::vector<Value>& data,
+                 std::size_t batch_size) {
+  const std::span<const Value> all(data);
+  for (std::size_t i = 0; i < all.size(); i += batch_size) {
+    s.InsertBatch(all.subspan(i, std::min(batch_size, all.size() - i)));
+  }
+}
+
+class InsertBatchEquivalence : public ::testing::TestWithParam<std::size_t> {
+};
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, InsertBatchEquivalence,
+                         ::testing::Values<std::size_t>(1, 7, 100, 4096,
+                                                        1 << 20),
+                         [](const auto& info) {
+                           return "batch" + std::to_string(info.param);
+                         });
+
+TEST_P(InsertBatchEquivalence, ConciseSampleMatchesDrawForDraw) {
+  const std::vector<Value> data = ZipfValues(80000, 3000, 1.0, 111);
+  ConciseSampleOptions o;
+  o.footprint_bound = 500;
+  o.seed = 42;
+  ConciseSample per_element(o);
+  ConciseSample batched(o);
+  for (Value v : data) per_element.Insert(v);
+  FeedBatched(batched, data, GetParam());
+
+  EXPECT_EQ(batched.ObservedInserts(), per_element.ObservedInserts());
+  EXPECT_EQ(batched.Threshold(), per_element.Threshold());
+  EXPECT_EQ(batched.SampleSize(), per_element.SampleSize());
+  EXPECT_EQ(batched.Footprint(), per_element.Footprint());
+  EXPECT_EQ(Sorted(batched.Entries()), Sorted(per_element.Entries()));
+  // Same number of logical random draws: the batch path saves countdown
+  // decrements, not randomness.
+  EXPECT_EQ(batched.Cost().coin_flips, per_element.Cost().coin_flips);
+  EXPECT_TRUE(batched.Validate().ok());
+}
+
+TEST_P(InsertBatchEquivalence, CountingSampleMatchesDrawForDraw) {
+  const std::vector<Value> data = ZipfValues(60000, 4000, 0.5, 222);
+  CountingSampleOptions o;
+  o.footprint_bound = 400;
+  o.seed = 43;
+  CountingSample per_element(o);
+  CountingSample batched(o);
+  for (Value v : data) per_element.Insert(v);
+  FeedBatched(batched, data, GetParam());
+
+  EXPECT_EQ(batched.ObservedInserts(), per_element.ObservedInserts());
+  EXPECT_EQ(batched.Threshold(), per_element.Threshold());
+  EXPECT_EQ(Sorted(batched.Entries()), Sorted(per_element.Entries()));
+  EXPECT_EQ(batched.Cost().coin_flips, per_element.Cost().coin_flips);
+  EXPECT_TRUE(batched.Validate().ok());
+}
+
+TEST_P(InsertBatchEquivalence, ReservoirSampleMatchesDrawForDraw) {
+  const std::vector<Value> data = UniformValues(200000, 100000, 333);
+  for (ReservoirAlgorithm algo :
+       {ReservoirAlgorithm::kR, ReservoirAlgorithm::kX,
+        ReservoirAlgorithm::kL}) {
+    ReservoirSample per_element(1000, 44, algo);
+    ReservoirSample batched(1000, 44, algo);
+    for (Value v : data) per_element.Insert(v);
+    FeedBatched(batched, data, GetParam());
+
+    EXPECT_EQ(batched.ObservedInserts(), per_element.ObservedInserts());
+    EXPECT_EQ(batched.Points(), per_element.Points())
+        << "algorithm " << static_cast<int>(algo);
+    EXPECT_EQ(batched.Cost().coin_flips, per_element.Cost().coin_flips);
+  }
+}
+
+TEST(InsertBatchTest, EmptyBatchIsANoOp) {
+  ConciseSample s(ConciseSampleOptions{.footprint_bound = 100, .seed = 7});
+  s.InsertBatch({});
+  EXPECT_EQ(s.ObservedInserts(), 0);
+  ReservoirSample r(10, 7);
+  r.InsertBatch({});
+  EXPECT_EQ(r.ObservedInserts(), 0);
+}
+
+TEST(InsertBatchTest, NaiveCoinFlipModeStillMatches) {
+  // With skip counting disabled the batch path falls back to per-element
+  // coins; equivalence must still hold.
+  const std::vector<Value> data = ZipfValues(20000, 500, 1.5, 555);
+  ConciseSampleOptions o;
+  o.footprint_bound = 200;
+  o.seed = 45;
+  o.use_skip_counting = false;
+  ConciseSample per_element(o);
+  ConciseSample batched(o);
+  for (Value v : data) per_element.Insert(v);
+  FeedBatched(batched, data, 512);
+  EXPECT_EQ(Sorted(batched.Entries()), Sorted(per_element.Entries()));
+  EXPECT_EQ(batched.Threshold(), per_element.Threshold());
+}
+
+}  // namespace
+}  // namespace aqua
