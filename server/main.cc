@@ -1,0 +1,391 @@
+// aqua_serve: an approximate-query HTTP server over the serving engine.
+//
+// Every query endpoint returns the paper's notion of a query response — an
+// approximate answer plus an accuracy measure (§1) — together with the
+// server-side response time in nanoseconds:
+//
+//   GET /hotlist?k=10&beta=3        hot list (§5)
+//   GET /frequency?value=42         per-value frequency estimate
+//   GET /count_where?low=1&high=99  COUNT(*) WHERE low <= v <= high
+//   GET /distinct                   distinct-values estimate ([FM85])
+//   GET /stats                      ingest counters + snapshot-cache stats
+//   GET /healthz                    liveness probe
+//   POST /ingest                    body: JSON array (or bare list) of values
+//   POST /delete                    body: a single value
+//
+// Queries are answered from epoch-cached snapshots (SnapshotCache), so a
+// request costs a pointer load plus the answer computation; snapshots trail
+// ingest by at most --cache-stale-ops operations or --cache-stale-ms
+// milliseconds.  When the bounded request queue is full the server answers
+// 503 instead of queueing without bound.  SIGTERM/SIGINT drain gracefully.
+
+#include <signal.h>
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "server/json.h"
+#include "server/server.h"
+#include "server/serving_engine.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+struct ServeFlags {
+  HttpServerOptions http;
+  ServingEngineOptions engine;
+  // --preload-zipf N,DOMAIN,ALPHA,SEED
+  std::int64_t preload_n = 0;
+  std::int64_t preload_domain = 1000;
+  double preload_alpha = 1.0;
+  std::uint64_t preload_seed = 42;
+  bool enable_debug = false;
+};
+
+bool ParseInt64(std::string_view s, std::int64_t* out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size() && !s.empty();
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size() && !s.empty();
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --port N             listen port (0 = ephemeral; default 0)\n"
+      "  --bind ADDR          bind address (default 127.0.0.1)\n"
+      "  --workers N          handler threads (default 4)\n"
+      "  --queue-capacity N   bounded request queue (default 256)\n"
+      "  --shards N           ingest shards for the concise sample "
+      "(default 8)\n"
+      "  --footprint N        per-synopsis footprint bound, words "
+      "(default 4096)\n"
+      "  --seed N             synopsis RNG seed\n"
+      "  --cache-stale-ops N  snapshot refresh after N ingest ops "
+      "(default 8192)\n"
+      "  --cache-stale-ms N   snapshot refresh after N ms (default 100)\n"
+      "  --preload-zipf N,DOMAIN,ALPHA,SEED  ingest a Zipf stream at "
+      "startup\n"
+      "  --enable-debug       expose GET /debug/sleep?ms= (testing only)\n",
+      argv0);
+}
+
+bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    std::int64_t n = 0;
+    if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      std::exit(0);
+    } else if (arg == "--enable-debug") {
+      flags->enable_debug = true;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 0 || n > 65535) {
+        return false;
+      }
+      flags->http.port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--bind") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      flags->http.bind_address = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1) return false;
+      flags->http.workers = static_cast<int>(n);
+    } else if (arg == "--queue-capacity") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1) return false;
+      flags->http.queue_capacity = static_cast<std::size_t>(n);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1) return false;
+      flags->engine.shards = static_cast<std::size_t>(n);
+    } else if (arg == "--footprint") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 16) return false;
+      flags->engine.footprint_bound = n;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n)) return false;
+      flags->engine.seed = static_cast<std::uint64_t>(n);
+    } else if (arg == "--cache-stale-ops") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1) return false;
+      flags->engine.cache_max_stale_ops = n;
+    } else if (arg == "--cache-stale-ms") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 0) return false;
+      flags->engine.cache_max_stale_interval = std::chrono::milliseconds(n);
+    } else if (arg == "--preload-zipf") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      // N,DOMAIN,ALPHA,SEED
+      std::string spec(v);
+      std::vector<std::string_view> parts;
+      std::string_view rest(spec);
+      while (true) {
+        const std::size_t comma = rest.find(',');
+        parts.push_back(rest.substr(0, comma));
+        if (comma == std::string_view::npos) break;
+        rest = rest.substr(comma + 1);
+      }
+      std::int64_t seed = 0;
+      if (parts.size() != 4 || !ParseInt64(parts[0], &flags->preload_n) ||
+          !ParseInt64(parts[1], &flags->preload_domain) ||
+          !ParseDouble(parts[2], &flags->preload_alpha) ||
+          !ParseInt64(parts[3], &seed)) {
+        return false;
+      }
+      flags->preload_seed = static_cast<std::uint64_t>(seed);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+HttpResponse JsonOk(std::string body) {
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse JsonError(int code, std::string_view message) {
+  HttpResponse response;
+  response.status_code = code;
+  JsonWriter w;
+  w.BeginObject().Key("error").String(message).EndObject();
+  response.body = w.TakeString();
+  return response;
+}
+
+void WriteEstimate(JsonWriter& w, const QueryResponse<Estimate>& response) {
+  w.BeginObject();
+  w.Key("estimate").Double(response.answer.value);
+  w.Key("ci_low").Double(response.answer.ci_low);
+  w.Key("ci_high").Double(response.answer.ci_high);
+  w.Key("confidence").Double(response.answer.confidence);
+  w.Key("sample_points").Int(response.answer.sample_points);
+  w.Key("method").String(response.method);
+  w.Key("response_ns").Int(response.response_ns);
+  w.EndObject();
+}
+
+void RegisterRoutes(HttpServer& server, ServingEngine& engine,
+                    const ServeFlags& flags) {
+  server.Route("GET", "/healthz", [](const HttpRequest&) {
+    return JsonOk("{\"ok\":true}");
+  });
+
+  server.Route("GET", "/hotlist", [&engine](const HttpRequest& request) {
+    const auto k = request.QueryInt("k", 10);
+    const auto beta = request.QueryDouble("beta", 3.0);
+    if (!k.has_value() || *k < 0 || !beta.has_value() || *beta < 0) {
+      return JsonError(400, "k and beta must be nonnegative numbers");
+    }
+    HotListQuery query;
+    query.k = *k;
+    query.beta = *beta;
+    const QueryResponse<HotList> response = engine.HotListAnswer(query);
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("items").BeginArray();
+    for (const HotListItem& item : response.answer) {
+      w.BeginObject();
+      w.Key("value").Int(item.value);
+      w.Key("estimated_count").Double(item.estimated_count);
+      w.Key("synopsis_count").Int(item.synopsis_count);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("method").String(response.method);
+    w.Key("response_ns").Int(response.response_ns);
+    w.EndObject();
+    return JsonOk(w.TakeString());
+  });
+
+  server.Route("GET", "/frequency", [&engine](const HttpRequest& request) {
+    const auto value = request.QueryInt("value", /*fallback=*/0);
+    if (!value.has_value() || !request.QueryParam("value").has_value()) {
+      return JsonError(400, "missing or malformed ?value=");
+    }
+    JsonWriter w;
+    WriteEstimate(w, engine.FrequencyAnswer(*value));
+    return JsonOk(w.TakeString());
+  });
+
+  server.Route("GET", "/count_where", [&engine](const HttpRequest& request) {
+    const auto low = request.QueryInt(
+        "low", std::numeric_limits<std::int64_t>::min());
+    const auto high = request.QueryInt(
+        "high", std::numeric_limits<std::int64_t>::max());
+    const auto confidence = request.QueryDouble("confidence", 0.95);
+    if (!low.has_value() || !high.has_value() || !confidence.has_value() ||
+        *confidence <= 0.0 || *confidence >= 1.0) {
+      return JsonError(400,
+                       "malformed ?low=/?high=/?confidence= (confidence in "
+                       "(0,1))");
+    }
+    const Value lo = *low;
+    const Value hi = *high;
+    const QueryResponse<Estimate> response = engine.CountWhereAnswer(
+        [lo, hi](Value v) { return v >= lo && v <= hi; }, *confidence);
+    JsonWriter w;
+    WriteEstimate(w, response);
+    return JsonOk(w.TakeString());
+  });
+
+  server.Route("GET", "/distinct", [&engine](const HttpRequest&) {
+    JsonWriter w;
+    WriteEstimate(w, engine.DistinctValuesAnswer());
+    return JsonOk(w.TakeString());
+  });
+
+  server.Route("GET", "/stats", [&engine, &server](const HttpRequest&) {
+    const ServingEngine::Stats stats = engine.GetStats();
+    const HttpServer::ServerStats http = server.Stats();
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("inserts").Int(stats.inserts);
+    w.Key("deletes").Int(stats.deletes);
+    w.Key("concise_valid").Bool(stats.concise_valid);
+    w.Key("shards").UInt(stats.shards);
+    w.Key("footprint_bound").Int(stats.footprint_bound);
+    w.Key("concise_cache").BeginObject();
+    w.Key("epoch").UInt(stats.concise_epoch);
+    w.Key("hits").Int(stats.concise_cache.hits);
+    w.Key("refreshes").Int(stats.concise_cache.refreshes);
+    w.Key("stale_served").Int(stats.concise_cache.stale_served);
+    w.EndObject();
+    w.Key("counting_cache").BeginObject();
+    w.Key("epoch").UInt(stats.counting_epoch);
+    w.Key("hits").Int(stats.counting_cache.hits);
+    w.Key("refreshes").Int(stats.counting_cache.refreshes);
+    w.Key("stale_served").Int(stats.counting_cache.stale_served);
+    w.EndObject();
+    w.Key("http").BeginObject();
+    w.Key("accepted").Int(http.accepted);
+    w.Key("requests").Int(http.requests);
+    w.Key("responses_503").Int(http.responses_503);
+    w.Key("bad_requests").Int(http.bad_requests);
+    w.Key("queue_depth").UInt(http.queue_depth);
+    w.EndObject();
+    w.EndObject();
+    return JsonOk(w.TakeString());
+  });
+
+  server.Route("POST", "/ingest", [&engine](const HttpRequest& request) {
+    Result<std::vector<Value>> values = ParseValueArray(request.body);
+    if (!values.ok()) {
+      return JsonError(400, values.status().message());
+    }
+    engine.InsertBatch(values.ValueOrDie());
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("ingested").UInt(values.ValueOrDie().size());
+    w.Key("total_inserts").Int(engine.observed_inserts());
+    w.EndObject();
+    return JsonOk(w.TakeString());
+  });
+
+  server.Route("POST", "/delete", [&engine](const HttpRequest& request) {
+    Result<std::vector<Value>> values = ParseValueArray(request.body);
+    if (!values.ok()) {
+      return JsonError(400, values.status().message());
+    }
+    for (Value v : values.ValueOrDie()) {
+      const Status status = engine.Delete(v);
+      if (!status.ok()) return JsonError(409, status.message());
+    }
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("deleted").UInt(values.ValueOrDie().size());
+    w.Key("total_deletes").Int(engine.observed_deletes());
+    w.EndObject();
+    return JsonOk(w.TakeString());
+  });
+
+  if (flags.enable_debug) {
+    // Deterministic worker occupancy for overload tests: holds a worker
+    // thread for ?ms= milliseconds before answering.
+    server.Route("GET", "/debug/sleep", [](const HttpRequest& request) {
+      const auto ms = request.QueryInt("ms", 100);
+      if (!ms.has_value() || *ms < 0 || *ms > 10000) {
+        return JsonError(400, "ms must be in [0, 10000]");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(*ms));
+      return JsonOk("{\"slept_ms\":" + std::to_string(*ms) + "}");
+    });
+  }
+}
+
+int ServeMain(int argc, char** argv) {
+  ServeFlags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  // Block SIGTERM/SIGINT in every thread; the main thread sigwait()s below
+  // so signals become a plain synchronous drain instead of an async handler.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  ServingEngine engine(flags.engine);
+  if (flags.preload_n > 0) {
+    const std::vector<Value> values =
+        ZipfValues(flags.preload_n, flags.preload_domain, flags.preload_alpha,
+                   flags.preload_seed);
+    engine.InsertBatch(values);
+    std::fprintf(stderr, "preloaded %lld Zipf(%.2f) values over [1, %lld]\n",
+                 static_cast<long long>(flags.preload_n), flags.preload_alpha,
+                 static_cast<long long>(flags.preload_domain));
+  }
+
+  HttpServer server(flags.http);
+  RegisterRoutes(server, engine, flags);
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to start: %s\n",
+                 std::string(status.message()).c_str());
+    return 1;
+  }
+  // The e2e test and scripts parse this exact line to learn the port.
+  std::printf("aqua_serve listening on %s:%u\n",
+              flags.http.bind_address.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::fprintf(stderr, "signal %d: draining\n", sig);
+  server.Shutdown();
+  return 0;
+}
+
+}  // namespace
+}  // namespace aqua
+
+int main(int argc, char** argv) { return aqua::ServeMain(argc, argv); }

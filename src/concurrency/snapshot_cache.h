@@ -1,0 +1,219 @@
+#ifndef AQUA_CONCURRENCY_SNAPSHOT_CACHE_H_
+#define AQUA_CONCURRENCY_SNAPSHOT_CACHE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace aqua {
+
+/// Epoch-cached synopsis snapshots for the query path.
+///
+/// ShardedSynopsis::Snapshot() merges per-shard copies on every call — a
+/// per-query cost that grows with shard count and footprint, and the reason
+/// a serving layer cannot sit directly on the sharded ingest structure.
+/// SnapshotCache decouples the two: a *refresher* (typically a lambda
+/// calling Snapshot()) rebuilds a merged snapshot only when the cached one
+/// is older than a staleness bound, and query threads read the current
+/// epoch's `shared_ptr<const S>` atomically — a pointer load instead of a
+/// merge.  This is the standard bounded-staleness trade AQP serving systems
+/// make: answers are already approximate, so serving a snapshot that trails
+/// the ingest frontier by a bounded number of operations (or a bounded wall
+/// interval) costs accuracy that is second-order next to the sampling error
+/// itself.
+///
+/// Epoch swap, double-buffered: the refresher builds the next snapshot off
+/// to the side while the current epoch keeps serving; the new epoch is then
+/// published with one pointer swap under a dedicated pointer mutex held for
+/// a few instructions (never across the merge — libstdc++'s
+/// atomic<shared_ptr> would do the same internally, via a spinlock
+/// ThreadSanitizer cannot model).  Readers that obtained the old epoch keep
+/// it alive through their shared_ptr — no reader ever waits on a refresh,
+/// and no refresh ever mutates a snapshot a reader can see.
+///
+/// Staleness is measured two ways, whichever trips first:
+///  - ops-observed: the ingest path reports progress via OnOps(n); once
+///    `max_stale_ops` operations accumulate since the last refresh, the
+///    next Get() re-merges.
+///  - wall-interval: once `max_stale_interval` elapses since the last
+///    refresh, the next Get() re-merges (covers idle-ingest streams where
+///    a trickle of ops would otherwise never trip the ops bound).
+///
+/// Refresh happens *inline in at most one query thread at a time*: the
+/// first Get() to observe staleness takes the refresh mutex and re-merges;
+/// concurrent Get() calls that lose the try_lock race serve the previous
+/// epoch instead of convoying behind the merge.  Ingest threads never
+/// refresh (OnOps is one relaxed fetch_add).  Callers wanting refresh
+/// entirely off the query path can run a maintenance thread that calls
+/// Refresh() on a timer; Get() then almost always hits.
+template <typename S>
+class SnapshotCache {
+ public:
+  /// Rebuilds a merged snapshot from the live synopsis, e.g.
+  /// `[&sharded] { return sharded.Snapshot(); }`.
+  using Refresher = std::function<Result<S>()>;
+
+  struct Options {
+    /// Refresh after this many OnOps-reported operations (<= 0: never
+    /// triggered by ops).
+    std::int64_t max_stale_ops = 8192;
+    /// Refresh after this much wall time (<= zero: never triggered by
+    /// time).
+    std::chrono::nanoseconds max_stale_interval =
+        std::chrono::milliseconds(100);
+  };
+
+  struct CacheStats {
+    /// Get() calls answered from the current epoch without refreshing.
+    std::int64_t hits = 0;
+    /// Snapshot rebuilds (inline or via Refresh()).
+    std::int64_t refreshes = 0;
+    /// Get() calls that observed staleness but served the previous epoch
+    /// because another thread was already refreshing.
+    std::int64_t stale_served = 0;
+  };
+
+  SnapshotCache(Refresher refresher, const Options& options)
+      : refresher_(std::move(refresher)), options_(options) {}
+
+  SnapshotCache(const SnapshotCache&) = delete;
+  SnapshotCache& operator=(const SnapshotCache&) = delete;
+
+  /// Ingest-side progress report; one relaxed fetch_add, never refreshes.
+  void OnOps(std::int64_t n) {
+    ops_since_refresh_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Returns the current epoch's snapshot, refreshing first if the
+  /// staleness bound is exceeded (or no snapshot exists yet).  Only the
+  /// winning thread refreshes; losers serve the previous epoch.  Fails
+  /// only if a needed refresh fails and no previous epoch exists.
+  Result<std::shared_ptr<const S>> Get() const {
+    std::shared_ptr<const S> current = LoadCurrent();
+    if (current != nullptr && !IsStale()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return current;
+    }
+    if (current == nullptr) {
+      // First snapshot: every caller must block until one exists.
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      current = LoadCurrent();
+      if (current == nullptr || IsStale()) {
+        AQUA_RETURN_NOT_OK(RefreshLocked());
+      }
+    } else if (refresh_mutex_.try_lock()) {
+      std::lock_guard<std::mutex> lock(refresh_mutex_, std::adopt_lock);
+      if (IsStale()) {
+        const Status status = RefreshLocked();
+        // A failed re-merge is not fatal while a previous epoch exists:
+        // serve it (still within one failed refresh of the bound).
+        if (!status.ok() && LoadCurrent() == nullptr) {
+          return status;
+        }
+      }
+    } else {
+      stale_served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return LoadCurrent();
+  }
+
+  /// Forces a rebuild and epoch swap regardless of staleness (maintenance
+  /// threads, tests).
+  Status Refresh() const {
+    std::lock_guard<std::mutex> lock(refresh_mutex_);
+    return RefreshLocked();
+  }
+
+  /// Current epoch's snapshot without any refresh; null before the first
+  /// successful Get()/Refresh().
+  std::shared_ptr<const S> Peek() const { return LoadCurrent(); }
+
+  /// Number of epoch swaps so far (0 before the first refresh).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// True when the next Get() would attempt a refresh.
+  bool IsStale() const {
+    if (options_.max_stale_ops > 0 &&
+        ops_since_refresh_.load(std::memory_order_relaxed) >=
+            options_.max_stale_ops) {
+      return true;
+    }
+    if (options_.max_stale_interval > std::chrono::nanoseconds::zero()) {
+      const std::int64_t last =
+          last_refresh_ns_.load(std::memory_order_relaxed);
+      if (NowNs() - last >= options_.max_stale_interval.count()) return true;
+    }
+    return false;
+  }
+
+  CacheStats Stats() const {
+    CacheStats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.refreshes = refreshes_.load(std::memory_order_relaxed);
+    stats.stale_served = stale_served_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+ private:
+  static std::int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  std::shared_ptr<const S> LoadCurrent() const {
+    std::lock_guard<std::mutex> lock(ptr_mutex_);
+    return current_;
+  }
+
+  /// Builds the next epoch off to the side, then publishes it with one
+  /// pointer swap.  Caller holds refresh_mutex_; ptr_mutex_ is taken only
+  /// around the swap itself, never across the merge.
+  Status RefreshLocked() const {
+    // Sampled *before* the merge: ops that land while the merge runs stay
+    // in the counter and count toward the next staleness window.
+    const std::int64_t ops_before =
+        ops_since_refresh_.load(std::memory_order_relaxed);
+    Result<S> merged = refresher_();
+    if (!merged.ok()) return merged.status();
+    auto next = std::make_shared<const S>(std::move(merged).ValueOrDie());
+    {
+      std::lock_guard<std::mutex> lock(ptr_mutex_);
+      current_.swap(next);
+    }
+    next.reset();  // old epoch's last owner may be a pinned reader, not us
+    ops_since_refresh_.fetch_sub(ops_before, std::memory_order_relaxed);
+    last_refresh_ns_.store(NowNs(), std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    refreshes_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  Refresher refresher_;
+  Options options_;
+
+  /// Guards only the current_ pointer (copy in, swap out); held for a few
+  /// instructions so readers and the publisher never convoy.
+  mutable std::mutex ptr_mutex_;
+  mutable std::shared_ptr<const S> current_;
+  mutable std::mutex refresh_mutex_;
+  mutable std::atomic<std::int64_t> ops_since_refresh_{0};
+  mutable std::atomic<std::int64_t> last_refresh_ns_{0};
+  mutable std::atomic<std::uint64_t> epoch_{0};
+  mutable std::atomic<std::int64_t> hits_{0};
+  mutable std::atomic<std::int64_t> refreshes_{0};
+  mutable std::atomic<std::int64_t> stale_served_{0};
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_CONCURRENCY_SNAPSHOT_CACHE_H_

@@ -65,6 +65,11 @@ Result<DecodedSnapshot> DecodeCommon(const std::vector<std::uint8_t>& bytes,
     return Status::InvalidArgument("snapshot holds a different synopsis kind");
   }
   AQUA_ASSIGN_OR_RETURN(const std::uint64_t bound, reader.Next());
+  // Validated here, not in the sample constructor: a corrupt bound must
+  // surface as a Status, never as an AQUA_CHECK abort on untrusted bytes.
+  if (bound < 2 || bound > (std::uint64_t{1} << 48)) {
+    return Status::InvalidArgument("corrupt snapshot footprint bound");
+  }
   snap.footprint_bound = static_cast<Words>(bound);
   AQUA_ASSIGN_OR_RETURN(const std::uint64_t threshold_bits, reader.Next());
   snap.threshold = std::bit_cast<double>(threshold_bits);
@@ -74,6 +79,12 @@ Result<DecodedSnapshot> DecodeCommon(const std::vector<std::uint8_t>& bytes,
   AQUA_ASSIGN_OR_RETURN(const std::uint64_t observed, reader.Next());
   snap.observed = static_cast<std::int64_t>(observed);
   AQUA_ASSIGN_OR_RETURN(const std::uint64_t n_entries, reader.Next());
+  // Every entry costs at least 2 encoded bytes (delta + count), so a count
+  // claiming more entries than the remaining bytes could hold is corrupt —
+  // rejected before reserve() can turn it into a giant allocation.
+  if (n_entries > (bytes.size() - reader.position()) / 2) {
+    return Status::InvalidArgument("corrupt snapshot entry count");
+  }
   snap.entries.reserve(n_entries);
   Value previous = 0;
   for (std::uint64_t i = 0; i < n_entries; ++i) {

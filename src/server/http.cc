@@ -1,0 +1,284 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace aqua {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<std::string_view> HttpRequest::QueryParam(
+    std::string_view name) const {
+  for (const auto& [key, value] : query) {
+    if (key == name) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> HttpRequest::QueryInt(
+    std::string_view name, std::int64_t fallback) const {
+  const auto raw = QueryParam(name);
+  if (!raw.has_value()) return fallback;
+  std::int64_t value = 0;
+  const char* begin = raw->data();
+  const char* end = begin + raw->size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || raw->empty()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> HttpRequest::QueryDouble(std::string_view name,
+                                               double fallback) const {
+  const auto raw = QueryParam(name);
+  if (!raw.has_value()) return fallback;
+  double value = 0.0;
+  const char* begin = raw->data();
+  const char* end = begin + raw->size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || raw->empty()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::string_view> HttpRequest::Header(
+    std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+std::string_view HttpStatusText(int code) {
+  switch (code) {
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 411:
+      return "Length Required";
+    case 413:
+      return "Payload Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out;
+  out.reserve(128 + body.size());
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(status_code));
+  out.push_back(' ');
+  out.append(HttpStatusText(status_code));
+  out.append("\r\nContent-Type: ");
+  out.append(content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(body.size()));
+  out.append("\r\nConnection: ");
+  out.append(keep_alive ? "keep-alive" : "close");
+  out.append("\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+std::optional<std::string> HttpRequestParser::PercentDecode(
+    std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '%') {
+      out.push_back(in[i]);
+      continue;
+    }
+    if (i + 2 >= in.size()) return std::nullopt;
+    const int hi = HexDigit(in[i + 1]);
+    const int lo = HexDigit(in[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(std::string reason) {
+  state_ = State::kError;
+  error_ = std::move(reason);
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(std::string_view bytes) {
+  if (state_ == State::kError) return state_;
+  buffer_.append(bytes);
+  if (state_ == State::kComplete) return state_;  // pipelined backlog
+  return TryParse();
+}
+
+HttpRequestParser::State HttpRequestParser::Reparse() {
+  if (state_ != State::kNeedMore) return state_;
+  return TryParse();
+}
+
+HttpRequestParser::State HttpRequestParser::TryParse() {
+  const std::size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return Fail("request header section exceeds limit");
+    }
+    return state_ = State::kNeedMore;
+  }
+  if (header_end > limits_.max_header_bytes) {
+    return Fail("request header section exceeds limit");
+  }
+
+  const std::string_view head(buffer_.data(), header_end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                        : line_end);
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail("malformed request line");
+  }
+  HttpRequest request;
+  request.method = std::string(request_line.substr(0, sp1));
+  const std::string_view target =
+      request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = request_line.substr(sp2 + 1);
+  if (request.method.empty() || target.empty()) {
+    return Fail("empty method or target");
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Fail("unsupported HTTP version");
+  }
+  request.keep_alive = (version == "HTTP/1.1");
+
+  // Split target into path and query string; decode both.
+  const std::size_t qmark = target.find('?');
+  const std::string_view raw_path = target.substr(0, qmark);
+  auto decoded_path = PercentDecode(raw_path);
+  if (!decoded_path.has_value()) return Fail("malformed percent-escape");
+  request.path = std::move(*decoded_path);
+  if (qmark != std::string_view::npos) {
+    std::string_view qs = target.substr(qmark + 1);
+    while (!qs.empty()) {
+      const std::size_t amp = qs.find('&');
+      const std::string_view pair = qs.substr(0, amp);
+      if (!pair.empty()) {
+        const std::size_t eq = pair.find('=');
+        auto key = PercentDecode(pair.substr(0, eq));
+        auto value = PercentDecode(
+            eq == std::string_view::npos ? std::string_view()
+                                         : pair.substr(eq + 1));
+        if (!key.has_value() || !value.has_value()) {
+          return Fail("malformed percent-escape in query");
+        }
+        request.query.emplace_back(std::move(*key), std::move(*value));
+      }
+      if (amp == std::string_view::npos) break;
+      qs = qs.substr(amp + 1);
+    }
+  }
+
+  // Header fields.
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  std::uint64_t content_length = 0;
+  bool saw_content_length = false;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    if (line.front() == ' ' || line.front() == '\t') {
+      return Fail("obsolete header folding rejected");
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail("malformed header field");
+    }
+    const std::string_view name = line.substr(0, colon);
+    const std::string_view value = Trim(line.substr(colon + 1));
+    if (EqualsIgnoreCase(name, "Content-Length")) {
+      const auto [ptr, ec] = std::from_chars(
+          value.data(), value.data() + value.size(), content_length);
+      if (ec != std::errc() || ptr != value.data() + value.size() ||
+          value.empty()) {
+        return Fail("malformed Content-Length");
+      }
+      saw_content_length = true;
+    } else if (EqualsIgnoreCase(name, "Transfer-Encoding")) {
+      return Fail("chunked transfer-encoding not supported");
+    } else if (EqualsIgnoreCase(name, "Connection")) {
+      if (EqualsIgnoreCase(value, "close")) request.keep_alive = false;
+      if (EqualsIgnoreCase(value, "keep-alive")) request.keep_alive = true;
+    }
+    request.headers.emplace_back(std::string(name), std::string(value));
+  }
+
+  if (saw_content_length && content_length > limits_.max_body_bytes) {
+    return Fail("request body exceeds limit");
+  }
+  const std::size_t body_start = header_end + 4;
+  const std::size_t body_bytes = saw_content_length
+                                     ? static_cast<std::size_t>(content_length)
+                                     : 0;
+  if (buffer_.size() - body_start < body_bytes) {
+    return state_ = State::kNeedMore;
+  }
+  request.body = buffer_.substr(body_start, body_bytes);
+  buffer_.erase(0, body_start + body_bytes);
+  request_ = std::move(request);
+  return state_ = State::kComplete;
+}
+
+HttpRequest HttpRequestParser::TakeRequest() {
+  HttpRequest out = std::move(request_);
+  request_ = HttpRequest{};
+  state_ = State::kNeedMore;
+  return out;
+}
+
+}  // namespace aqua

@@ -1,0 +1,110 @@
+#ifndef AQUA_SERVER_HTTP_H_
+#define AQUA_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aqua {
+
+/// One parsed HTTP/1.1 request.
+struct HttpRequest {
+  std::string method;
+  /// Path component of the request target (before '?'), percent-decoded.
+  std::string path;
+  /// Decoded key=value pairs from the query string, in order.
+  std::vector<std::pair<std::string, std::string>> query;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  /// First query parameter named `name` (decoded), if present.
+  std::optional<std::string_view> QueryParam(std::string_view name) const;
+  /// Typed accessors: the fallback is returned when the parameter is
+  /// absent; std::nullopt is returned when it is present but malformed
+  /// (callers turn that into a 400).
+  std::optional<std::int64_t> QueryInt(std::string_view name,
+                                       std::int64_t fallback) const;
+  std::optional<double> QueryDouble(std::string_view name,
+                                    double fallback) const;
+  /// First header named `name` (case-insensitive), if present.
+  std::optional<std::string_view> Header(std::string_view name) const;
+};
+
+/// One HTTP response about to be serialized.
+struct HttpResponse {
+  int status_code = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  bool keep_alive = true;
+
+  /// Full wire form: status line, headers (Content-Length, Content-Type,
+  /// Connection), blank line, body.
+  std::string Serialize() const;
+};
+
+/// Canonical reason phrase for the status codes the server emits.
+std::string_view HttpStatusText(int code);
+
+/// Incremental HTTP/1.1 request parser: feed raw bytes as they arrive on
+/// the socket; when a full request (headers + declared body) is buffered,
+/// state() turns kComplete and TakeRequest() yields it, retaining any
+/// pipelined leftover bytes for the next request.  Malformed or oversized
+/// input turns the state kError with a human-readable reason; the
+/// connection should answer 400 and close.
+///
+/// Scope (what an AQP serving endpoint needs, nothing more): GET/POST with
+/// Content-Length bodies.  No chunked transfer-encoding (411 upstream), no
+/// multiline header folding (rejected), no trailers.
+class HttpRequestParser {
+ public:
+  enum class State { kNeedMore, kComplete, kError };
+
+  struct Limits {
+    std::size_t max_header_bytes = 16 * 1024;
+    std::size_t max_body_bytes = 8 * 1024 * 1024;
+  };
+
+  HttpRequestParser() = default;
+  explicit HttpRequestParser(const Limits& limits) : limits_(limits) {}
+
+  /// Appends bytes and attempts to complete a request.  Returns the state
+  /// after consuming them (kComplete leaves further pipelined bytes
+  /// buffered).
+  State Feed(std::string_view bytes);
+
+  /// Attempts to parse a complete request out of already-buffered bytes
+  /// (used after TakeRequest to surface pipelined requests without a read).
+  State Reparse();
+
+  State state() const { return state_; }
+  const std::string& error() const { return error_; }
+
+  /// Moves the completed request out and resets to parse the next one.
+  /// Only valid in kComplete.
+  HttpRequest TakeRequest();
+
+  /// Bytes buffered but not yet consumed by a completed request.
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+  /// Percent-decodes `in` (+ is *not* treated as space; targets only), or
+  /// returns std::nullopt on malformed escapes.
+  static std::optional<std::string> PercentDecode(std::string_view in);
+
+ private:
+  State Fail(std::string reason);
+  State TryParse();
+
+  Limits limits_;
+  std::string buffer_;
+  HttpRequest request_;
+  State state_ = State::kNeedMore;
+  std::string error_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SERVER_HTTP_H_

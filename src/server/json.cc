@@ -1,0 +1,199 @@
+#include "server/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace aqua {
+
+JsonWriter::JsonWriter() { out_.reserve(256); }
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (top.kind == 'O') {
+    AQUA_CHECK(top.key_pending) << "JSON object value without a Key()";
+    top.key_pending = false;
+    return;
+  }
+  if (top.has_value) out_.push_back(',');
+  top.has_value = true;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back({'O', false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  AQUA_CHECK(!stack_.empty() && stack_.back().kind == 'O')
+      << "EndObject without matching BeginObject";
+  AQUA_CHECK(!stack_.back().key_pending) << "EndObject with a dangling Key()";
+  stack_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back({'A', false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  AQUA_CHECK(!stack_.empty() && stack_.back().kind == 'A')
+      << "EndArray without matching BeginArray";
+  stack_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  AQUA_CHECK(!stack_.empty() && stack_.back().kind == 'O')
+      << "Key() outside an object";
+  Frame& top = stack_.back();
+  AQUA_CHECK(!top.key_pending) << "two Key() calls in a row";
+  if (top.has_value) out_.push_back(',');
+  top.has_value = true;
+  top.key_pending = true;
+  out_.push_back('"');
+  Escape(key, out_);
+  out_.append("\":");
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  Escape(value, out_);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out_.append(buf, ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(std::uint64_t value) {
+  BeforeValue();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out_.append(buf, ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_.append("null");
+    return *this;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out_.append(buf, ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_.append(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_.append("null");
+  return *this;
+}
+
+void JsonWriter::Escape(std::string_view value, std::string& out) {
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+Result<std::vector<Value>> ParseValueArray(std::string_view body) {
+  std::vector<Value> values;
+  std::size_t i = 0;
+  const std::size_t n = body.size();
+  auto skip_separators = [&] {
+    while (i < n && (body[i] == ' ' || body[i] == '\t' || body[i] == '\n' ||
+                     body[i] == '\r' || body[i] == ',')) {
+      ++i;
+    }
+  };
+  skip_separators();
+  bool bracketed = false;
+  if (i < n && body[i] == '[') {
+    bracketed = true;
+    ++i;
+  }
+  while (true) {
+    skip_separators();
+    if (i >= n) break;
+    if (body[i] == ']') {
+      if (!bracketed) {
+        return Status::InvalidArgument("unexpected ']' in value list");
+      }
+      bracketed = false;
+      ++i;
+      skip_separators();
+      if (i != n) {
+        return Status::InvalidArgument("trailing bytes after ']'");
+      }
+      break;
+    }
+    Value value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(body.data() + i, body.data() + n, value);
+    if (ec == std::errc::result_out_of_range) {
+      return Status::InvalidArgument("value out of 64-bit range");
+    }
+    if (ec != std::errc() || ptr == body.data() + i) {
+      return Status::InvalidArgument("expected an integer at offset " +
+                                     std::to_string(i));
+    }
+    values.push_back(value);
+    i = static_cast<std::size_t>(ptr - body.data());
+  }
+  if (bracketed) {
+    return Status::InvalidArgument("unterminated '[' in value list");
+  }
+  return values;
+}
+
+}  // namespace aqua

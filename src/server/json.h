@@ -1,0 +1,70 @@
+#ifndef AQUA_SERVER_JSON_H_
+#define AQUA_SERVER_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace aqua {
+
+/// Minimal streaming JSON writer for the serving layer's responses.  Scope:
+/// objects, arrays, strings (escaped), 64-bit integers, doubles
+/// (shortest-round-trip via to_chars; non-finite values emit null, since
+/// JSON has no NaN/Inf), booleans and null.  Comma placement is handled by
+/// a small nesting stack; misuse (e.g. a value where a key is required)
+/// trips an AQUA_CHECK in debug use rather than emitting invalid JSON.
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& UInt(std::uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document built so far.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// Appends `value` JSON-escaped (without surrounding quotes) to `out`.
+  static void Escape(std::string_view value, std::string& out);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One frame per open container: 'O' object, 'A' array; paired with
+  // whether a value has been written at this level (comma needed).
+  struct Frame {
+    char kind;
+    bool has_value;
+    bool key_pending;
+  };
+  std::vector<Frame> stack_;
+};
+
+/// Parses a request body holding a list of attribute values for the ingest
+/// endpoints.  Accepts a JSON array of integers (`[1, 2, 3]`) and, as a
+/// convenience for curl/scripting, bare whitespace- or comma-separated
+/// integers (`1 2 3`).  Fails with InvalidArgument on anything else —
+/// including trailing garbage, non-integer tokens, and out-of-range
+/// values — and never throws.
+Result<std::vector<Value>> ParseValueArray(std::string_view body);
+
+}  // namespace aqua
+
+#endif  // AQUA_SERVER_JSON_H_

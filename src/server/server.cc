@@ -1,0 +1,389 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace aqua {
+
+namespace {
+
+/// Writes the whole buffer on a nonblocking socket, waiting with poll() on
+/// EAGAIN.  Returns false on error or timeout (the connection is dead).
+bool WriteAll(int fd, const char* data, std::size_t size,
+              int timeout_ms = 5000) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(const HttpServerOptions& options) : options_(options) {
+  limits_.max_header_bytes = options.max_header_bytes;
+  limits_.max_body_bytes = options.max_body_bytes;
+}
+
+HttpServer::~HttpServer() {
+  if (started_.load()) Shutdown();
+}
+
+void HttpServer::Route(std::string method, std::string path,
+                       Handler handler) {
+  routes_.emplace_back(
+      std::make_pair(std::move(method), std::move(path)),
+      std::move(handler));
+}
+
+Status HttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Internal(std::string("bind: ") + strerror(errno));
+  }
+  if (::listen(listen_fd_, 256) < 0) {
+    return Status::Internal(std::string("listen: ") + strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Status::Internal(std::string("getsockname: ") + strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || event_fd_ < 0) {
+    return Status::Internal("epoll_create1/eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = event_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+
+  started_.store(true);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  const int workers = options_.workers > 0 ? options_.workers : 1;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void HttpServer::Shutdown() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    Wait();
+    return;
+  }
+  // Wake the IO thread; it begins the drain.
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
+
+  if (io_thread_.joinable()) io_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_done_ = true;
+  }
+  shutdown_cv_.notify_all();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (event_fd_ >= 0) ::close(event_fd_);
+  listen_fd_ = epoll_fd_ = event_fd_ = -1;
+}
+
+void HttpServer::Wait() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_done_; });
+}
+
+HttpServer::ServerStats HttpServer::Stats() const {
+  ServerStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.responses_503 = responses_503_.load(std::memory_order_relaxed);
+  stats.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stats.queue_depth = queue_.size();
+  }
+  return stats;
+}
+
+void HttpServer::IoLoop() {
+  bool draining = false;
+  epoll_event events[64];
+  for (;;) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, 100);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptAll();
+      } else if (fd == event_fd_) {
+        std::uint64_t drain;
+        while (::read(event_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        ProcessRearms();
+      } else {
+        const auto it = connections_.find(fd);
+        if (it != connections_.end()) HandleReadable(it->second);
+      }
+    }
+    ProcessRearms();
+    if (stopping_.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      BeginDrain();
+    }
+    if (draining && in_flight_.load(std::memory_order_acquire) == 0) {
+      bool queue_empty;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_empty = queue_.empty();
+        if (queue_empty) queue_closed_ = true;
+      }
+      if (queue_empty) {
+        queue_cv_.notify_all();
+        break;
+      }
+    }
+  }
+  // Close whatever is still registered (idle keep-alive connections).
+  for (auto& [fd, conn] : connections_) {
+    ::close(fd);
+    delete conn;
+  }
+  connections_.clear();
+}
+
+void HttpServer::BeginDrain() {
+  // Stop accepting; queued and in-flight requests still complete.
+  if (listen_fd_ >= 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  }
+}
+
+void HttpServer::AcceptAll() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error: epoll will re-fire
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto* conn = new Connection(fd, limits_);
+    connections_[fd] = conn;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      CloseConnection(conn);
+    }
+  }
+}
+
+void HttpServer::HandleReadable(Connection* conn) {
+  char buf[16384];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      const auto state =
+          conn->parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      if (state == HttpRequestParser::State::kComplete) {
+        // One request at a time per connection; pipelined bytes stay
+        // buffered until the response is written and the fd re-armed.
+        DispatchOrShed(conn);
+        return;
+      }
+      if (state == HttpRequestParser::State::kError) {
+        bad_requests_.fetch_add(1, std::memory_order_relaxed);
+        HttpResponse response;
+        response.status_code = 400;
+        response.keep_alive = false;
+        response.body = "{\"error\":\"" + conn->parser.error() + "\"}";
+        WriteDirect(conn, response);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      CloseConnection(conn);  // peer closed
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);
+    return;
+  }
+}
+
+void HttpServer::DispatchOrShed(Connection* conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  WorkItem item;
+  item.conn = conn;
+  item.request = conn->parser.TakeRequest();
+  bool shed = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_closed_ || queue_.size() >= options_.queue_capacity) {
+      shed = true;
+    } else {
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      queue_.push_back(std::move(item));
+    }
+  }
+  if (shed) {
+    responses_503_.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response;
+    response.status_code = 503;
+    response.keep_alive = false;
+    response.body =
+        "{\"error\":\"request queue full; retry with backoff\"}";
+    WriteDirect(conn, response);
+    return;
+  }
+  queue_cv_.notify_one();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HttpServer::ProcessRearms() {
+  std::vector<RearmItem> items;
+  {
+    std::lock_guard<std::mutex> lock(rearm_mutex_);
+    items.swap(rearms_);
+  }
+  for (const RearmItem& item : items) {
+    Connection* conn = item.conn;
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (item.close || stopping_.load(std::memory_order_acquire)) {
+      CloseConnection(conn);
+      continue;
+    }
+    // Pipelined request already buffered?  Serve it without a read.
+    if (conn->parser.Reparse() == HttpRequestParser::State::kComplete) {
+      // Re-register momentarily so DispatchOrShed's DEL is balanced.
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = conn->fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev);
+      DispatchOrShed(conn);
+      continue;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev) < 0) {
+      CloseConnection(conn);
+    }
+  }
+}
+
+void HttpServer::CloseConnection(Connection* conn) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  connections_.erase(conn->fd);
+  ::close(conn->fd);
+  delete conn;
+}
+
+void HttpServer::WriteDirect(Connection* conn, const HttpResponse& response) {
+  const std::string wire = response.Serialize();
+  WriteAll(conn->fd, wire.data(), wire.size(), /*timeout_ms=*/1000);
+  CloseConnection(conn);
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return queue_closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    HttpResponse response;
+    const Handler* handler = nullptr;
+    bool path_known = false;
+    for (const auto& [key, h] : routes_) {
+      if (key.second == item.request.path) {
+        path_known = true;
+        if (key.first == item.request.method) {
+          handler = &h;
+          break;
+        }
+      }
+    }
+    if (handler != nullptr) {
+      response = (*handler)(item.request);
+    } else {
+      response.status_code = path_known ? 405 : 404;
+      response.body = path_known ? "{\"error\":\"method not allowed\"}"
+                                 : "{\"error\":\"no such endpoint\"}";
+    }
+    response.keep_alive = response.keep_alive && item.request.keep_alive;
+
+    const std::string wire = response.Serialize();
+    const bool write_ok =
+        WriteAll(item.conn->fd, wire.data(), wire.size());
+
+    RearmItem rearm;
+    rearm.conn = item.conn;
+    rearm.close = !write_ok || !response.keep_alive;
+    {
+      std::lock_guard<std::mutex> lock(rearm_mutex_);
+      rearms_.push_back(rearm);
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
+  }
+}
+
+}  // namespace aqua

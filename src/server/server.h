@@ -1,0 +1,159 @@
+#ifndef AQUA_SERVER_SERVER_H_
+#define AQUA_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "server/http.h"
+
+namespace aqua {
+
+/// Configuration of an HttpServer.
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port() after Start().
+  std::uint16_t port = 0;
+  /// Handler threads.
+  int workers = 4;
+  /// Bounded request queue: parsed requests waiting for a worker.  When
+  /// full, new requests are answered 503 immediately — backpressure
+  /// instead of unbounded queueing (the BlinkDB-style bounded-response
+  /// contract: shed load rather than stretch latency).
+  std::size_t queue_capacity = 256;
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+/// A small epoll-based HTTP/1.1 server: one IO thread owns every socket
+/// (accept, read, parse, write-on-overload, close); complete requests are
+/// handed to a bounded queue consumed by worker threads, which compute the
+/// response and write it back on the (handed-off) connection.  Keep-alive
+/// and pipelined requests are supported; chunked uploads are not.
+///
+/// Lifecycle: Route(...) then Start(); Shutdown() stops accepting, drains
+/// queued and in-flight requests, then joins every thread (graceful drain —
+/// wire it to SIGTERM in main()).  Wait() blocks until a Shutdown()
+/// completes.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(const HttpServerOptions& options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for exact (method, path) matches.  Must be called
+  /// before Start().  Unknown paths answer 404; known paths with a
+  /// different method answer 405.
+  void Route(std::string method, std::string path, Handler handler);
+
+  /// Binds, listens and spawns the IO + worker threads.
+  Status Start();
+
+  /// The bound port (valid after Start()).
+  std::uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, answer everything already queued or
+  /// in flight, join all threads.  Idempotent; safe from any thread except
+  /// a worker.
+  void Shutdown();
+
+  /// Blocks until Shutdown() has completed (from any thread).
+  void Wait();
+
+  struct ServerStats {
+    std::int64_t accepted = 0;
+    std::int64_t requests = 0;
+    std::int64_t responses_503 = 0;
+    std::int64_t bad_requests = 0;
+    std::size_t queue_depth = 0;
+  };
+  ServerStats Stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    HttpRequestParser parser;
+    explicit Connection(int f, const HttpRequestParser::Limits& limits)
+        : fd(f), parser(limits) {}
+  };
+
+  struct WorkItem {
+    Connection* conn = nullptr;
+    HttpRequest request;
+  };
+
+  struct RearmItem {
+    Connection* conn = nullptr;
+    bool close = false;
+  };
+
+  void IoLoop();
+  void WorkerLoop();
+  void AcceptAll();
+  void HandleReadable(Connection* conn);
+  /// Parser produced a complete request: unhook from epoll and enqueue (or
+  /// 503 when the queue is full).
+  void DispatchOrShed(Connection* conn);
+  void ProcessRearms();
+  void CloseConnection(Connection* conn);
+  /// Best-effort synchronous write from the IO thread (400/503 paths).
+  void WriteDirect(Connection* conn, const HttpResponse& response);
+  void BeginDrain();
+
+  HttpServerOptions options_;
+  HttpRequestParser::Limits limits_;
+  std::vector<std::pair<std::pair<std::string, std::string>, Handler>>
+      routes_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+
+  // Bounded request queue (mutex + cv; closed on drain once empty).
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+  bool queue_closed_ = false;
+
+  // Connections finished by workers, waiting for the IO thread to re-arm
+  // or close them.
+  std::mutex rearm_mutex_;
+  std::vector<RearmItem> rearms_;
+
+  // IO-thread-owned registry of live connections (fd -> connection).
+  std::map<int, Connection*> connections_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<int> in_flight_{0};
+  std::mutex shutdown_mutex_;
+  bool shutdown_done_ = false;
+  std::condition_variable shutdown_cv_;
+
+  std::atomic<std::int64_t> accepted_{0};
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> responses_503_{0};
+  std::atomic<std::int64_t> bad_requests_{0};
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SERVER_SERVER_H_

@@ -102,21 +102,32 @@ Status ApproximateAnswerEngine::ObserveBatch(std::span<const StreamOp> ops) {
   return Status::OK();
 }
 
-QueryResponse<HotList> ApproximateAnswerEngine::HotListAnswer(
-    const HotListQuery& query) const {
+SynopsisView ApproximateAnswerEngine::View() const {
+  SynopsisView view;
+  view.full_histogram = full_histogram_.get();
+  view.counting = counting_.get();
+  view.concise = concise_.get();
+  view.traditional = traditional_.get();
+  view.distinct_sketch = distinct_sketch_.get();
+  view.observed_inserts = inserts_;
+  return view;
+}
+
+QueryResponse<HotList> AnswerHotList(const SynopsisView& view,
+                                     const HotListQuery& query) {
   QueryResponse<HotList> response;
   const std::int64_t start = NowNs();
-  if (full_histogram_) {
-    response.answer = full_histogram_->Report(query);
+  if (view.full_histogram != nullptr) {
+    response.answer = view.full_histogram->Report(query);
     response.method = "full-histogram";
-  } else if (counting_) {
-    response.answer = CountingHotList(*counting_).Report(query);
+  } else if (view.counting != nullptr) {
+    response.answer = CountingHotList(*view.counting).Report(query);
     response.method = "counting-sample";
-  } else if (concise_) {
-    response.answer = ConciseHotList(*concise_).Report(query);
+  } else if (view.concise != nullptr) {
+    response.answer = ConciseHotList(*view.concise).Report(query);
     response.method = "concise-sample";
-  } else if (traditional_) {
-    response.answer = TraditionalHotList(*traditional_).Report(query);
+  } else if (view.traditional != nullptr) {
+    response.answer = TraditionalHotList(*view.traditional).Report(query);
     response.method = "traditional-sample";
   } else {
     response.method = "none";
@@ -125,15 +136,15 @@ QueryResponse<HotList> ApproximateAnswerEngine::HotListAnswer(
   return response;
 }
 
-QueryResponse<Estimate> ApproximateAnswerEngine::FrequencyAnswer(
-    Value value) const {
+QueryResponse<Estimate> AnswerFrequency(const SynopsisView& view,
+                                        Value value) {
   QueryResponse<Estimate> response;
   const std::int64_t start = NowNs();
-  if (counting_) {
-    response.answer = FrequencyEstimator::FromCounting(*counting_, value);
+  if (view.counting != nullptr) {
+    response.answer = FrequencyEstimator::FromCounting(*view.counting, value);
     response.method = "counting-sample";
-  } else if (concise_) {
-    response.answer = FrequencyEstimator::FromConcise(*concise_, value);
+  } else if (view.concise != nullptr) {
+    response.answer = FrequencyEstimator::FromConcise(*view.concise, value);
     response.method = "concise-sample";
   } else {
     response.method = "none";
@@ -142,19 +153,21 @@ QueryResponse<Estimate> ApproximateAnswerEngine::FrequencyAnswer(
   return response;
 }
 
-QueryResponse<Estimate> ApproximateAnswerEngine::CountWhereAnswer(
-    const ValuePredicate& pred, double confidence) const {
+QueryResponse<Estimate> AnswerCountWhere(const SynopsisView& view,
+                                         const ValuePredicate& pred,
+                                         double confidence) {
   QueryResponse<Estimate> response;
   const std::int64_t start = NowNs();
   // Prefer the concise sample: it is a uniform sample with the largest
   // sample-size for the footprint (§1.1), hence the tightest interval.
-  if (concise_) {
-    const std::vector<Value> points = concise_->ToPointSample();
-    SampleEstimator estimator(points, inserts_);
+  if (view.concise != nullptr) {
+    const std::vector<Value> points = view.concise->ToPointSample();
+    SampleEstimator estimator(points, view.observed_inserts);
     response.answer = estimator.CountWhere(pred, confidence);
     response.method = "concise-sample";
-  } else if (traditional_) {
-    SampleEstimator estimator(traditional_->Points(), inserts_);
+  } else if (view.traditional != nullptr) {
+    SampleEstimator estimator(view.traditional->Points(),
+                              view.observed_inserts);
     response.answer = estimator.CountWhere(pred, confidence);
     response.method = "traditional-sample";
   } else {
@@ -164,17 +177,17 @@ QueryResponse<Estimate> ApproximateAnswerEngine::CountWhereAnswer(
   return response;
 }
 
-QueryResponse<Estimate> ApproximateAnswerEngine::DistinctValuesAnswer()
-    const {
+QueryResponse<Estimate> AnswerDistinctValues(const SynopsisView& view) {
   QueryResponse<Estimate> response;
   const std::int64_t start = NowNs();
-  if (distinct_sketch_) {
-    const double d = distinct_sketch_->Estimate();
+  if (view.distinct_sketch != nullptr) {
+    const double d = view.distinct_sketch->Estimate();
     response.answer.value = d;
     // [FM85]'s asymptotic standard error is ≈ 0.78/sqrt(#maps) in log2
     // scale; expose a pragmatic ±2σ multiplicative band.
     const double sigma_log2 =
-        0.78 / std::sqrt(static_cast<double>(distinct_sketch_->num_maps()));
+        0.78 /
+        std::sqrt(static_cast<double>(view.distinct_sketch->num_maps()));
     response.answer.ci_low = d * std::pow(2.0, -2.0 * sigma_log2);
     response.answer.ci_high = d * std::pow(2.0, 2.0 * sigma_log2);
     response.answer.confidence = 0.95;
@@ -184,6 +197,26 @@ QueryResponse<Estimate> ApproximateAnswerEngine::DistinctValuesAnswer()
   }
   response.response_ns = NowNs() - start;
   return response;
+}
+
+QueryResponse<HotList> ApproximateAnswerEngine::HotListAnswer(
+    const HotListQuery& query) const {
+  return AnswerHotList(View(), query);
+}
+
+QueryResponse<Estimate> ApproximateAnswerEngine::FrequencyAnswer(
+    Value value) const {
+  return AnswerFrequency(View(), value);
+}
+
+QueryResponse<Estimate> ApproximateAnswerEngine::CountWhereAnswer(
+    const ValuePredicate& pred, double confidence) const {
+  return AnswerCountWhere(View(), pred, confidence);
+}
+
+QueryResponse<Estimate> ApproximateAnswerEngine::DistinctValuesAnswer()
+    const {
+  return AnswerDistinctValues(View());
 }
 
 Words ApproximateAnswerEngine::TotalFootprint() const {

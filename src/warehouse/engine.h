@@ -46,6 +46,35 @@ struct QueryResponse {
   std::int64_t response_ns = 0;
 };
 
+/// A read-only view over whichever synopses a caller has available.  The
+/// engine builds one from its own members; the serving layer (src/server/)
+/// builds one from epoch-cached snapshots merged off the ingest path.  Null
+/// pointers mean "not maintained / not available"; the answer functions
+/// below pick the most accurate non-null synopsis exactly as the engine
+/// does (§6's accuracy ordering).
+struct SynopsisView {
+  const FullHistogram* full_histogram = nullptr;
+  const CountingSample* counting = nullptr;
+  const ConciseSample* concise = nullptr;
+  const ReservoirSample* traditional = nullptr;
+  const FlajoletMartin* distinct_sketch = nullptr;
+  /// Size n of the observed stream (scales sample estimates to the
+  /// relation).
+  std::int64_t observed_inserts = 0;
+};
+
+/// Answer functions over a SynopsisView: const-safe query entry points
+/// shared by ApproximateAnswerEngine and the serving layer.  Each returns
+/// the approximate answer, the method that produced it ("none" when no
+/// usable synopsis is in the view), and the compute-only response time.
+QueryResponse<HotList> AnswerHotList(const SynopsisView& view,
+                                     const HotListQuery& query);
+QueryResponse<Estimate> AnswerFrequency(const SynopsisView& view, Value value);
+QueryResponse<Estimate> AnswerCountWhere(const SynopsisView& view,
+                                         const ValuePredicate& pred,
+                                         double confidence = 0.95);
+QueryResponse<Estimate> AnswerDistinctValues(const SynopsisView& view);
+
 /// The approximate answer engine of Figure 2: observes the load stream
 /// alongside the warehouse, maintains its registered synopses entirely in
 /// memory, and answers queries without any access to the base data.
@@ -89,6 +118,13 @@ class ApproximateAnswerEngine {
   const ConciseSample* concise() const { return concise_.get(); }
   const CountingSample* counting() const { return counting_.get(); }
   const FullHistogram* full_histogram() const { return full_histogram_.get(); }
+  const FlajoletMartin* distinct_sketch() const {
+    return distinct_sketch_.get();
+  }
+
+  /// The engine's current synopses as a SynopsisView (what every query
+  /// method answers from).
+  SynopsisView View() const;
 
   std::int64_t observed_inserts() const { return inserts_; }
   std::int64_t observed_deletes() const { return deletes_; }

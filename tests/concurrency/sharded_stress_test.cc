@@ -1,0 +1,238 @@
+// Concurrency stress tests: Snapshot() racing InsertBatch()/Delete() on a
+// ShardedSynopsis under both routing policies, and SnapshotCache readers
+// racing ingest-side OnOps() and forced Refresh() calls.  The assertions
+// are deliberately weak (counts within the bounds the interleaving allows,
+// merged snapshots structurally valid) — the tests' real teeth are the
+// ThreadSanitizer CI job, which fails on any data race these interleavings
+// expose.
+//
+// The container pins us to few cores, so each test keeps thread counts
+// small and iteration counts moderate; TSan's happens-before analysis does
+// not need parallel *speed*, only overlapping critical sections.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "concurrency/sharded_synopsis.h"
+#include "concurrency/snapshot_cache.h"
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "random/xoshiro256.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+ConciseSample MakeConciseShard(std::size_t i, Words footprint = 512) {
+  ConciseSampleOptions options;
+  options.footprint_bound = footprint;
+  std::uint64_t sm = 0xC0FFEE ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+  options.seed = SplitMix64Next(sm);
+  return ConciseSample(options);
+}
+
+CountingSample MakeCountingShard(std::size_t i, Words footprint = 512) {
+  CountingSampleOptions options;
+  options.footprint_bound = footprint;
+  std::uint64_t sm = 0xD0D0 ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+  options.seed = SplitMix64Next(sm);
+  return CountingSample(options);
+}
+
+TEST(ShardedStress, SnapshotRacesInsertBatchRoundRobin) {
+  constexpr std::size_t kShards = 4;
+  constexpr int kWriters = 2;
+  constexpr int kBatches = 200;
+  constexpr std::size_t kBatch = 256;
+  ShardedSynopsis<ConciseSample> sharded(
+      kShards, [](std::size_t i) { return MakeConciseShard(i); },
+      ShardRouting::kRoundRobin);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&sharded, w] {
+      const std::vector<Value> values = ZipfValues(
+          kBatches * static_cast<std::int64_t>(kBatch), 500, 1.0, 77 + w);
+      for (std::size_t off = 0; off < values.size(); off += kBatch) {
+        sharded.InsertBatch(
+            std::span<const Value>(values.data() + off, kBatch));
+      }
+    });
+  }
+  std::thread reader([&sharded, &stop] {
+    std::int64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const Result<ConciseSample> snapshot = sharded.Snapshot();
+      ASSERT_TRUE(snapshot.ok());
+      // Observed inserts only grow; a merged snapshot reflects some prefix
+      // of each shard's stream.
+      const std::int64_t n = snapshot.ValueOrDie().ObservedInserts();
+      EXPECT_GE(n, last);
+      last = n;
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const Result<ConciseSample> final_snapshot = sharded.Snapshot();
+  ASSERT_TRUE(final_snapshot.ok());
+  EXPECT_EQ(final_snapshot.ValueOrDie().ObservedInserts(),
+            static_cast<std::int64_t>(kWriters * kBatches * kBatch));
+}
+
+TEST(ShardedStress, SnapshotRacesInsertAndDeleteByValue) {
+  constexpr std::size_t kShards = 4;
+  ShardedSynopsis<CountingSample> sharded(
+      kShards, [](std::size_t i) { return MakeCountingShard(i); },
+      ShardRouting::kByValue);
+
+  // Seed every value with enough occurrences that concurrent deletes always
+  // find something to delete on the owning shard.
+  std::vector<Value> warmup;
+  for (Value v = 1; v <= 64; ++v) {
+    for (int i = 0; i < 50; ++i) warmup.push_back(v);
+  }
+  sharded.InsertBatch(warmup);
+
+  std::atomic<bool> stop{false};
+  std::thread inserter([&sharded] {
+    const std::vector<Value> values = ZipfValues(20000, 64, 0.5, 1234);
+    for (std::size_t off = 0; off < values.size(); off += 128) {
+      const std::size_t len = std::min<std::size_t>(128, values.size() - off);
+      sharded.InsertBatch(std::span<const Value>(values.data() + off, len));
+    }
+  });
+  std::thread deleter([&sharded] {
+    Xoshiro256 rng(4321);
+    for (int i = 0; i < 2000; ++i) {
+      // Every value has >= 50 seeded occurrences and only 2000 deletes run,
+      // so deletes of present values must succeed (Theorem 5 exactness).
+      const Value v = static_cast<Value>(1 + rng() % 64);
+      const Status status = sharded.Delete(v);
+      EXPECT_TRUE(status.ok()) << status.message();
+    }
+  });
+  std::thread reader([&sharded, &stop] {
+    // Counting samples are unmergeable (no Snapshot()); race the read path
+    // that exists: per-shard locked reads of the aggregate count and a
+    // shard-local copy under the shard lock.
+    while (!stop.load(std::memory_order_acquire)) {
+      EXPECT_GE(sharded.ObservedInserts(), 0);
+      sharded.WithShard(0, [](const CountingSample& shard) {
+        const CountingSample copy = shard;
+        EXPECT_GE(copy.ObservedInserts(), 0);
+        return 0;
+      });
+    }
+  });
+  inserter.join();
+  deleter.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // ObservedInserts counts the insert stream only (deletes adjust counts,
+  // not n); every one of warmup + 20000 inserts must be accounted for.
+  const std::int64_t expected =
+      static_cast<std::int64_t>(warmup.size()) + 20000;
+  EXPECT_EQ(sharded.ObservedInserts(), expected);
+}
+
+TEST(ShardedStress, RoundRobinDeleteRefusedDuringRace) {
+  ShardedSynopsis<CountingSample> sharded(
+      2, [](std::size_t i) { return MakeCountingShard(i); },
+      ShardRouting::kRoundRobin);
+  sharded.InsertBatch(std::vector<Value>(100, 7));
+  const Status status = sharded.Delete(7);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotCacheStress, GetRacesOnOpsAndRefresh) {
+  constexpr std::size_t kShards = 4;
+  ShardedSynopsis<ConciseSample> sharded(
+      kShards, [](std::size_t i) { return MakeConciseShard(i); },
+      ShardRouting::kRoundRobin);
+  SnapshotCache<ConciseSample> cache(
+      [&sharded] { return sharded.Snapshot(); },
+      {.max_stale_ops = 512,
+       .max_stale_interval = std::chrono::milliseconds(1)});
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&sharded, &cache] {
+    const std::vector<Value> values = ZipfValues(50000, 500, 1.0, 99);
+    for (std::size_t off = 0; off < values.size(); off += 128) {
+      const std::size_t len = std::min<std::size_t>(128, values.size() - off);
+      sharded.InsertBatch(std::span<const Value>(values.data() + off, len));
+      cache.OnOps(static_cast<std::int64_t>(len));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&cache, &stop] {
+      std::uint64_t last_epoch = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto snapshot = cache.Get();
+        ASSERT_TRUE(snapshot.ok());
+        ASSERT_NE(snapshot.ValueOrDie(), nullptr);
+        EXPECT_GE(snapshot.ValueOrDie()->ObservedInserts(), 0);
+        const std::uint64_t epoch = cache.epoch();
+        EXPECT_GE(epoch, last_epoch);  // epochs only move forward
+        last_epoch = epoch;
+      }
+    });
+  }
+  std::thread maintenance([&cache, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      EXPECT_TRUE(cache.Refresh().ok());
+    }
+  });
+  writer.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  maintenance.join();
+
+  // After the dust settles, one forced refresh must observe every insert.
+  ASSERT_TRUE(cache.Refresh().ok());
+  EXPECT_EQ(cache.Peek()->ObservedInserts(), 50000);
+
+  const auto stats = cache.Stats();
+  EXPECT_GT(stats.refreshes, 0);
+}
+
+TEST(SnapshotCacheStress, PinnedEpochSurvivesConcurrentSwaps) {
+  ShardedSynopsis<ConciseSample> sharded(
+      2, [](std::size_t i) { return MakeConciseShard(i); },
+      ShardRouting::kRoundRobin);
+  sharded.InsertBatch(std::vector<Value>(1000, 42));
+  SnapshotCache<ConciseSample> cache(
+      [&sharded] { return sharded.Snapshot(); },
+      {.max_stale_ops = 1, .max_stale_interval = std::chrono::nanoseconds(0)});
+
+  // Pin an epoch, then force many swaps; the pinned snapshot must stay
+  // valid and unchanged (readers never block refreshes, refreshes never
+  // mutate a published snapshot).
+  const auto pinned = cache.Get();
+  ASSERT_TRUE(pinned.ok());
+  const std::int64_t pinned_inserts =
+      pinned.ValueOrDie()->ObservedInserts();
+  std::thread churn([&sharded, &cache] {
+    for (int i = 0; i < 200; ++i) {
+      sharded.InsertBatch(std::vector<Value>(10, 7));
+      cache.OnOps(10);
+      (void)cache.Get();
+    }
+  });
+  churn.join();
+  EXPECT_EQ(pinned.ValueOrDie()->ObservedInserts(), pinned_inserts);
+  EXPECT_GT(cache.epoch(), 1u);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,15 +1,29 @@
+// Tolerance policy: statistical assertions in this file run once per base
+// seed in kSweepSeeds (data stream and all sampler seeds derived from the
+// base seed) with per-seed bands sized at 4-6 sigma; the sweep tolerates
+// kAllowedSeedFailures bad seeds out of kSweepSeedCount, so no band is
+// tuned to a single RNG stream.  See tests/property/seed_sweep.h.
+// Structural invariants (Validate(), footprint bounds, observed-insert
+// accounting) remain hard assertions on every seed.
+
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <tuple>
 #include <vector>
 
 #include "core/concise_sample.h"
+#include "property/seed_sweep.h"
 #include "warehouse/relation.h"
 #include "workload/generators.h"
 
 namespace aqua {
 namespace {
+
+std::uint64_t TrialSeed(std::uint64_t base, int trial) {
+  return base ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(trial + 1));
+}
 
 /// Property sweep over (zipf parameter, footprint bound): every structural
 /// invariant of the concise sample must hold on every prefix-checkpoint of
@@ -54,42 +68,47 @@ TEST_P(ConciseUniformityProperty, InvariantsHoldOnEveryCheckpoint) {
 
 TEST_P(ConciseUniformityProperty, SampleProportionsTrackFrequencies) {
   const auto [alpha, bound] = GetParam();
-  // One fixed data multiset; many independent sampling trials.  The
-  // aggregated sample composition must match the data composition (the
-  // definition of a uniform sample).
-  const std::vector<Value> data = ZipfValues(30000, 300, alpha, 4242);
-  Relation relation;
-  for (Value v : data) relation.Insert(v);
+  RunSeedSweep([alpha = alpha, bound = bound](std::uint64_t base) {
+    // One fixed data multiset per base seed; many independent sampling
+    // trials.  The aggregated sample composition must match the data
+    // composition (the definition of a uniform sample).
+    const std::vector<Value> data = ZipfValues(30000, 300, alpha, base);
+    Relation relation;
+    for (Value v : data) relation.Insert(v);
 
-  constexpr int kTrials = 30;
-  double total_points = 0.0;
-  std::vector<double> per_value(301, 0.0);
-  for (int t = 0; t < kTrials; ++t) {
-    ConciseSampleOptions o;
-    o.footprint_bound = bound;
-    o.seed = 9000 + static_cast<std::uint64_t>(t);
-    ConciseSample s(o);
-    for (Value v : data) s.Insert(v);
-    for (const ValueCount& e : s.Entries()) {
-      per_value[static_cast<std::size_t>(e.value)] +=
-          static_cast<double>(e.count);
-      total_points += static_cast<double>(e.count);
+    constexpr int kTrials = 20;
+    double total_points = 0.0;
+    std::vector<double> per_value(301, 0.0);
+    for (int t = 0; t < kTrials; ++t) {
+      ConciseSampleOptions o;
+      o.footprint_bound = bound;
+      o.seed = TrialSeed(base, t);
+      ConciseSample s(o);
+      for (Value v : data) s.Insert(v);
+      for (const ValueCount& e : s.Entries()) {
+        per_value[static_cast<std::size_t>(e.value)] +=
+            static_cast<double>(e.count);
+        total_points += static_cast<double>(e.count);
+      }
     }
-  }
-  ASSERT_GT(total_points, 0.0);
-  // Check the three most frequent values (enough sampled mass to compare).
-  for (Value v = 1; v <= 3; ++v) {
-    const double expected_fraction =
-        static_cast<double>(relation.FrequencyOf(v)) /
-        static_cast<double>(data.size());
-    const double observed_fraction =
-        per_value[static_cast<std::size_t>(v)] / total_points;
-    // Generous band: binomial noise over ~kTrials*bound points.
-    const double slack =
-        6.0 * std::sqrt(expected_fraction / total_points) + 0.02;
-    EXPECT_NEAR(observed_fraction, expected_fraction, slack)
-        << "value " << v << " zipf " << alpha << " m " << bound;
-  }
+    if (total_points <= 0.0) return false;
+    // Check the three most frequent values (enough sampled mass to
+    // compare).
+    for (Value v = 1; v <= 3; ++v) {
+      const double expected_fraction =
+          static_cast<double>(relation.FrequencyOf(v)) /
+          static_cast<double>(data.size());
+      const double observed_fraction =
+          per_value[static_cast<std::size_t>(v)] / total_points;
+      // Generous band: binomial noise over ~kTrials*bound points.
+      const double slack =
+          6.0 * std::sqrt(expected_fraction / total_points) + 0.02;
+      if (std::abs(observed_fraction - expected_fraction) > slack) {
+        return false;
+      }
+    }
+    return true;
+  });
 }
 
 TEST(ConciseSampleDistributionTest, CountDistributionIsBinomialGivenTau) {
@@ -98,38 +117,41 @@ TEST(ConciseSampleDistributionTest, CountDistributionIsBinomialGivenTau) {
   // is (nearly) deterministic per seed class; compare the tracer value's
   // count mean and variance against the binomial prediction using each
   // trial's own τ.
-  const std::vector<Value> data = ZipfValues(40000, 400, 1.0, 31415);
-  std::int64_t fv = 0;
-  for (Value v : data) fv += (v == 5);
-  ASSERT_GT(fv, 100);
+  RunSeedSweep([](std::uint64_t base) {
+    const std::vector<Value> data = ZipfValues(40000, 400, 1.0, base);
+    std::int64_t fv = 0;
+    for (Value v : data) fv += (v == 5);
+    if (fv <= 100) return false;  // Zipf(1.0) guarantees a heavy value 5
 
-  constexpr int kTrials = 200;
-  double mean = 0.0, mean_sq = 0.0, predicted_mean = 0.0,
-         predicted_var = 0.0;
-  for (int t = 0; t < kTrials; ++t) {
-    ConciseSampleOptions o;
-    o.footprint_bound = 256;
-    o.seed = 5000 + static_cast<std::uint64_t>(t);
-    ConciseSample s(o);
-    for (Value v : data) s.Insert(v);
-    const auto c = static_cast<double>(s.CountOf(5));
-    mean += c;
-    mean_sq += c * c;
-    const double p = 1.0 / s.Threshold();
-    predicted_mean += static_cast<double>(fv) * p;
-    predicted_var += static_cast<double>(fv) * p * (1.0 - p);
-  }
-  mean /= kTrials;
-  mean_sq /= kTrials;
-  predicted_mean /= kTrials;
-  predicted_var /= kTrials;
-  const double var = mean_sq - mean * mean;
-  // Mean within 5σ of the prediction; variance within a loose band (the
-  // per-trial τ variation inflates it slightly).
-  EXPECT_NEAR(mean, predicted_mean,
-              5.0 * std::sqrt(predicted_var / kTrials) + 0.5);
-  EXPECT_GT(var, 0.4 * predicted_var);
-  EXPECT_LT(var, 2.5 * predicted_var);
+    constexpr int kTrials = 80;
+    double mean = 0.0, mean_sq = 0.0, predicted_mean = 0.0,
+           predicted_var = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      ConciseSampleOptions o;
+      o.footprint_bound = 256;
+      o.seed = TrialSeed(base, t);
+      ConciseSample s(o);
+      for (Value v : data) s.Insert(v);
+      const auto c = static_cast<double>(s.CountOf(5));
+      mean += c;
+      mean_sq += c * c;
+      const double p = 1.0 / s.Threshold();
+      predicted_mean += static_cast<double>(fv) * p;
+      predicted_var += static_cast<double>(fv) * p * (1.0 - p);
+    }
+    mean /= kTrials;
+    mean_sq /= kTrials;
+    predicted_mean /= kTrials;
+    predicted_var /= kTrials;
+    const double var = mean_sq - mean * mean;
+    // Mean within 5σ of the prediction; variance within a loose band (the
+    // per-trial τ variation inflates it slightly).
+    if (std::abs(mean - predicted_mean) >
+        5.0 * std::sqrt(predicted_var / kTrials) + 0.5) {
+      return false;
+    }
+    return var > 0.4 * predicted_var && var < 2.5 * predicted_var;
+  });
 }
 
 }  // namespace

@@ -1,9 +1,19 @@
+// Tolerance policy: the inclusion-rate check runs once per base seed in
+// kSweepSeeds (calibration stream, noise streams, sampler seeds all
+// derived from the base seed); the per-seed band is 4 binomial sigma at
+// kTrials trials plus an absolute floor for the tracer's perturbation of
+// τ, and the sweep tolerates kAllowedSeedFailures bad seeds.  See
+// tests/property/seed_sweep.h.  The count-never-exceeds-frequency
+// companion is Definition 3 exactness and stays a hard assertion.
+
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "core/counting_sample.h"
+#include "property/seed_sweep.h"
 #include "workload/generators.h"
 
 namespace aqua {
@@ -27,61 +37,65 @@ INSTANTIATE_TEST_SUITE_P(FrequencyMultipliers, CountingInclusionProperty,
 
 TEST_P(CountingInclusionProperty, InclusionMatchesTheorem6) {
   const double multiplier = GetParam();
-  constexpr Words kBound = 100;
-  constexpr std::int64_t kNoise = 40000;
-  constexpr Value kTracer = -777;  // outside the noise domain
+  RunSeedSweep([multiplier](std::uint64_t base) {
+    constexpr Words kBound = 100;
+    constexpr std::int64_t kNoise = 40000;
+    constexpr Value kTracer = -777;  // outside the noise domain
 
-  // Calibrate: run once without the tracer to learn the typical final τ.
-  double tau_estimate;
-  {
-    CountingSampleOptions o;
-    o.footprint_bound = kBound;
-    o.seed = 1;
-    CountingSample s(o);
-    for (Value v : ZipfValues(kNoise, 2000, 0.8, 2)) s.Insert(v);
-    tau_estimate = s.Threshold();
-  }
-  const auto fv = static_cast<std::int64_t>(
-      std::max(1.0, multiplier * tau_estimate));
+    // Calibrate: run once without the tracer to learn the typical final τ.
+    double tau_estimate;
+    {
+      CountingSampleOptions o;
+      o.footprint_bound = kBound;
+      o.seed = base ^ 0xCA11B8ULL;
+      CountingSample s(o);
+      for (Value v : ZipfValues(kNoise, 2000, 0.8, base ^ 0x5712EA3ULL)) {
+        s.Insert(v);
+      }
+      tau_estimate = s.Threshold();
+    }
+    const auto fv = static_cast<std::int64_t>(
+        std::max(1.0, multiplier * tau_estimate));
 
-  constexpr int kTrials = 250;
-  double included = 0.0;
-  double predicted = 0.0;
-  for (int t = 0; t < kTrials; ++t) {
-    CountingSampleOptions o;
-    o.footprint_bound = kBound;
-    o.seed = 100 + static_cast<std::uint64_t>(t);
-    CountingSample s(o);
-    const std::vector<Value> noise =
-        ZipfValues(kNoise, 2000, 0.8, 500 + static_cast<std::uint64_t>(t));
-    // Spread the tracer's occurrences evenly through the stream.
-    const std::int64_t gap = kNoise / (fv + 1);
-    std::int64_t next_tracer = gap;
-    std::int64_t emitted = 0;
-    for (std::int64_t i = 0; i < kNoise; ++i) {
-      s.Insert(noise[static_cast<std::size_t>(i)]);
-      if (i == next_tracer && emitted < fv) {
+    constexpr int kTrials = 100;
+    double included = 0.0;
+    double predicted = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto trial = static_cast<std::uint64_t>(t);
+      CountingSampleOptions o;
+      o.footprint_bound = kBound;
+      o.seed = base + 104729ULL * (trial + 1);
+      CountingSample s(o);
+      const std::vector<Value> noise =
+          ZipfValues(kNoise, 2000, 0.8, base + 7919ULL * (trial + 1));
+      // Spread the tracer's occurrences evenly through the stream.
+      const std::int64_t gap = kNoise / (fv + 1);
+      std::int64_t next_tracer = gap;
+      std::int64_t emitted = 0;
+      for (std::int64_t i = 0; i < kNoise; ++i) {
+        s.Insert(noise[static_cast<std::size_t>(i)]);
+        if (i == next_tracer && emitted < fv) {
+          s.Insert(kTracer);
+          ++emitted;
+          next_tracer += gap;
+        }
+      }
+      while (emitted < fv) {
         s.Insert(kTracer);
         ++emitted;
-        next_tracer += gap;
       }
+      included += (s.CountOf(kTracer) > 0) ? 1.0 : 0.0;
+      const double tau = s.Threshold();
+      predicted +=
+          1.0 - std::pow(1.0 - 1.0 / tau, static_cast<double>(fv));
     }
-    while (emitted < fv) {
-      s.Insert(kTracer);
-      ++emitted;
-    }
-    included += (s.CountOf(kTracer) > 0) ? 1.0 : 0.0;
-    const double tau = s.Threshold();
-    predicted +=
-        1.0 - std::pow(1.0 - 1.0 / tau, static_cast<double>(fv));
-  }
-  included /= kTrials;
-  predicted /= kTrials;
-  // Binomial noise over kTrials plus the tracer's own perturbation of τ.
-  const double slack =
-      4.0 * std::sqrt(predicted * (1.0 - predicted) / kTrials) + 0.06;
-  EXPECT_NEAR(included, predicted, slack)
-      << "fv=" << fv << " (multiplier " << multiplier << ")";
+    included /= kTrials;
+    predicted /= kTrials;
+    // Binomial noise over kTrials plus the tracer's own perturbation of τ.
+    const double slack =
+        4.0 * std::sqrt(predicted * (1.0 - predicted) / kTrials) + 0.06;
+    return std::abs(included - predicted) <= slack;
+  });
 }
 
 TEST(CountingInclusionTest, CountNeverExceedsFrequency) {

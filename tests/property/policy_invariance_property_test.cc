@@ -1,10 +1,20 @@
+// Tolerance policy: the composition and sample-size checks run once per
+// base seed in kSweepSeeds (data stream and per-trial sampler seeds
+// derived from the base seed); per-seed bands allow ~25% relative error
+// plus an absolute floor, and the sweep tolerates kAllowedSeedFailures
+// bad seeds.  See tests/property/seed_sweep.h.  Validate() stays a hard
+// assertion: Theorem 2's invariant holds for every policy on every seed.
+
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/concise_sample.h"
+#include "property/seed_sweep.h"
 #include "warehouse/relation.h"
 #include "workload/generators.h"
 
@@ -47,44 +57,48 @@ INSTANTIATE_TEST_SUITE_P(Policies, PolicyInvarianceProperty,
                          });
 
 TEST_P(PolicyInvarianceProperty, SampleCompositionTracksData) {
-  const std::vector<Value> data = ZipfValues(40000, 500, 1.0, 777);
-  Relation relation;
-  for (Value v : data) relation.Insert(v);
+  RunSeedSweep([this](std::uint64_t base) {
+    const std::vector<Value> data = ZipfValues(40000, 500, 1.0, base);
+    Relation relation;
+    for (Value v : data) relation.Insert(v);
 
-  constexpr int kTrials = 25;
-  double total_points = 0.0;
-  std::vector<double> mass(501, 0.0);
-  double size_vs_ntau = 0.0;
-  for (int t = 0; t < kTrials; ++t) {
-    ConciseSampleOptions o;
-    o.footprint_bound = 128;
-    o.seed = 3000 + static_cast<std::uint64_t>(t);
-    o.policy = MakePolicy();
-    ConciseSample s(o);
-    for (Value v : data) s.Insert(v);
-    ASSERT_TRUE(s.Validate().ok());
-    for (const ValueCount& e : s.Entries()) {
-      mass[static_cast<std::size_t>(e.value)] +=
-          static_cast<double>(e.count);
-      total_points += static_cast<double>(e.count);
+    constexpr int kTrials = 12;
+    double total_points = 0.0;
+    std::vector<double> mass(501, 0.0);
+    double size_vs_ntau = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      ConciseSampleOptions o;
+      o.footprint_bound = 128;
+      o.seed = base + 104729ULL * (static_cast<std::uint64_t>(t) + 1);
+      o.policy = MakePolicy();
+      ConciseSample s(o);
+      for (Value v : data) s.Insert(v);
+      // Structural: Theorem 2's invariant is policy- and seed-independent.
+      EXPECT_TRUE(s.Validate().ok());
+      for (const ValueCount& e : s.Entries()) {
+        mass[static_cast<std::size_t>(e.value)] +=
+            static_cast<double>(e.count);
+        total_points += static_cast<double>(e.count);
+      }
+      size_vs_ntau += static_cast<double>(s.SampleSize()) /
+                      (static_cast<double>(data.size()) / s.Threshold());
     }
-    size_vs_ntau += static_cast<double>(s.SampleSize()) /
-                    (static_cast<double>(data.size()) / s.Threshold());
-  }
-  ASSERT_GT(total_points, 0.0);
-  // Composition: top-2 values' share of the sample ≈ their share of the
-  // data (uniformity is policy-independent).
-  for (Value v = 1; v <= 2; ++v) {
-    const double data_share =
-        static_cast<double>(relation.FrequencyOf(v)) /
-        static_cast<double>(data.size());
-    const double sample_share =
-        mass[static_cast<std::size_t>(v)] / total_points;
-    EXPECT_NEAR(sample_share, data_share, 0.25 * data_share + 0.01)
-        << "value " << v;
-  }
-  // E[sample-size] = n/τ for every policy.
-  EXPECT_NEAR(size_vs_ntau / kTrials, 1.0, 0.25);
+    if (total_points <= 0.0) return false;
+    // Composition: top-2 values' share of the sample ≈ their share of the
+    // data (uniformity is policy-independent).
+    for (Value v = 1; v <= 2; ++v) {
+      const double data_share =
+          static_cast<double>(relation.FrequencyOf(v)) /
+          static_cast<double>(data.size());
+      const double sample_share =
+          mass[static_cast<std::size_t>(v)] / total_points;
+      if (std::abs(sample_share - data_share) > 0.25 * data_share + 0.01) {
+        return false;
+      }
+    }
+    // E[sample-size] = n/τ for every policy.
+    return std::abs(size_vs_ntau / kTrials - 1.0) < 0.25;
+  });
 }
 
 }  // namespace

@@ -1,0 +1,72 @@
+#ifndef AQUA_TESTS_PROPERTY_SEED_SWEEP_H_
+#define AQUA_TESTS_PROPERTY_SEED_SWEEP_H_
+
+// Seed-sweep harness for the statistical property tests.
+//
+// Tolerance policy
+// ----------------
+// Every chi-square / uniformity / inclusion-rate check in tests/property/
+// is a *statistical* assertion: it can fail on a correct implementation
+// with some small probability p_false.  A single hard-coded RNG stream
+// hides that — the tolerances silently end up tuned to the one stream that
+// happens to pass.  Instead, each check runs once per seed in kSweepSeeds
+// (five fixed, arbitrary, mutually unrelated base seeds; each run derives
+// its data stream and all per-trial sampler seeds from the base seed), and
+// the test asserts that at most kAllowedSeedFailures of the five runs
+// fail.
+//
+// The per-seed tolerances are sized so that p_false is a few percent at
+// worst (4-6 sigma bands, generous chi-square ceilings).  Binomially,
+// with p_false = 0.05 per seed the probability of >= 2 failures in 5
+// independent runs is ~2%, and a real bias — which shifts *every* stream,
+// not one — fails all five.  So the budget of one keeps flakes near zero
+// without loosening the per-seed bands to the point of vacuity.
+//
+// Usage: the statistical body of a test becomes a callable
+// `bool check(std::uint64_t base_seed)` using EXPECT-free comparisons
+// (return false instead of asserting), and the test calls
+// `RunSeedSweep(check)`.  Structural invariants (Validate(), footprint
+// bounds, exactness guarantees) stay as hard per-seed ASSERTs inside the
+// callable: they must hold on every stream, so a sweep must not absorb
+// their failures.
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace aqua {
+
+/// Five fixed base seeds, deliberately unrelated (no shared affine
+/// pattern a generator could alias with).
+inline constexpr std::uint64_t kSweepSeeds[] = {
+    0x0000A4A2ULL, 0x5EEDBEEFULL, 0x00C0FFEEULL, 0x12345678ULL,
+    0x9E3779B9ULL};
+
+inline constexpr int kSweepSeedCount = 5;
+inline constexpr int kAllowedSeedFailures = 1;
+
+/// Runs `check` once per sweep seed and fails the test when more than
+/// kAllowedSeedFailures runs report failure.  `check` returns true on
+/// pass; it may also use ASSERT_*/FAIL for structural invariants that no
+/// seed is allowed to violate.
+inline void RunSeedSweep(
+    const std::function<bool(std::uint64_t)>& check) {
+  std::vector<std::uint64_t> failed;
+  for (const std::uint64_t seed : kSweepSeeds) {
+    if (!check(seed)) failed.push_back(seed);
+  }
+  std::ostringstream which;
+  for (const std::uint64_t seed : failed) which << " 0x" << std::hex << seed;
+  EXPECT_LE(static_cast<int>(failed.size()), kAllowedSeedFailures)
+      << "statistical check failed on " << failed.size() << "/"
+      << kSweepSeedCount << " sweep seeds:" << which.str()
+      << " — a systematic bias, not single-stream bad luck";
+}
+
+}  // namespace aqua
+
+#endif  // AQUA_TESTS_PROPERTY_SEED_SWEEP_H_

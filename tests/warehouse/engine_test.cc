@@ -212,6 +212,112 @@ TEST(EngineTest, ObserveBatchHandlesInterleavedDeletes) {
   }
 }
 
+// Asserts that every piece of engine state the batched path can influence
+// matches the per-op path exactly: invalidation flags (which synopses
+// survived the deletes), insert/delete accounting, counting-sample state,
+// and the deterministic distinct sketch.
+void ExpectEnginesIdentical(const ApproximateAnswerEngine& batched,
+                            const ApproximateAnswerEngine& per_op,
+                            Value domain) {
+  EXPECT_EQ(batched.observed_inserts(), per_op.observed_inserts());
+  EXPECT_EQ(batched.observed_deletes(), per_op.observed_deletes());
+  // Invalidation flags: a delete anywhere in the stream must drop the
+  // concise and traditional samples on *both* paths — run-splitting must
+  // not let the batched path keep a uniform sample the per-op path lost.
+  EXPECT_EQ(batched.traditional() == nullptr,
+            per_op.traditional() == nullptr);
+  EXPECT_EQ(batched.concise() == nullptr, per_op.concise() == nullptr);
+  ASSERT_EQ(batched.counting() == nullptr, per_op.counting() == nullptr);
+  if (batched.counting() != nullptr) {
+    EXPECT_EQ(batched.counting()->Threshold(),
+              per_op.counting()->Threshold());
+    EXPECT_EQ(batched.counting()->CountedOccurrences(),
+              per_op.counting()->CountedOccurrences());
+    EXPECT_EQ(batched.counting()->ObservedInserts(),
+              per_op.counting()->ObservedInserts());
+    for (Value v = 0; v <= domain; ++v) {
+      EXPECT_EQ(batched.counting()->CountOf(v), per_op.counting()->CountOf(v))
+          << "value " << v;
+    }
+  }
+  ASSERT_EQ(batched.distinct_sketch() == nullptr,
+            per_op.distinct_sketch() == nullptr);
+  if (batched.distinct_sketch() != nullptr) {
+    EXPECT_DOUBLE_EQ(batched.distinct_sketch()->Estimate(),
+                     per_op.distinct_sketch()->Estimate());
+  }
+}
+
+TEST(EngineTest, ObserveBatchInvalidationMatchesPerOp) {
+  // One delete mid-batch: both paths must drop the uniform samples at the
+  // same stream position and agree on everything that remains.
+  EngineOptions o = AllOn(300, 40);
+  ApproximateAnswerEngine per_op(o);
+  ApproximateAnswerEngine batched(o);
+
+  std::vector<StreamOp> ops;
+  for (Value v : ZipfValues(5000, 50, 1.0, 41)) {
+    ops.push_back(StreamOp::Insert(v));
+  }
+  ops.push_back(StreamOp::Delete(1));
+  for (Value v : ZipfValues(5000, 50, 1.0, 42)) {
+    ops.push_back(StreamOp::Insert(v));
+  }
+
+  for (const StreamOp& op : ops) ASSERT_TRUE(per_op.Observe(op).ok());
+  ASSERT_TRUE(batched.ObserveBatch(ops).ok());
+
+  ExpectEnginesIdentical(batched, per_op, 50);
+  EXPECT_EQ(batched.traditional(), nullptr);
+  EXPECT_EQ(batched.concise(), nullptr);
+  // Both engines answer hot lists the same way after invalidation.
+  EXPECT_EQ(batched.HotListAnswer({.k = 5}).method, "counting-sample");
+  EXPECT_EQ(per_op.HotListAnswer({.k = 5}).method, "counting-sample");
+}
+
+TEST(EngineTest, ObserveBatchDeleteFirstAndLastMatchPerOp) {
+  // A batch that *starts* with a delete (no preceding insert run) and
+  // *ends* with one (no following run) exercises both run-splitting edges.
+  EngineOptions o = AllOn(200, 43);
+  ApproximateAnswerEngine per_op(o);
+  ApproximateAnswerEngine batched(o);
+
+  std::vector<StreamOp> ops;
+  ops.push_back(StreamOp::Delete(7));  // absent: Theorem 5 no-op, still ok
+  for (Value v = 0; v < 30; ++v) {
+    for (int r = 0; r < 10; ++r) ops.push_back(StreamOp::Insert(v));
+  }
+  ops.push_back(StreamOp::Delete(3));
+
+  for (const StreamOp& op : ops) ASSERT_TRUE(per_op.Observe(op).ok());
+  ASSERT_TRUE(batched.ObserveBatch(ops).ok());
+
+  ExpectEnginesIdentical(batched, per_op, 30);
+  EXPECT_EQ(batched.observed_deletes(), 2);
+}
+
+TEST(EngineTest, ObserveBatchConsecutiveDeletesMatchPerOp) {
+  // Consecutive deletes produce empty insert runs between them; the
+  // batched path must consume them one-by-one exactly like Observe.
+  EngineOptions o = AllOn(200, 44);
+  ApproximateAnswerEngine per_op(o);
+  ApproximateAnswerEngine batched(o);
+
+  std::vector<StreamOp> ops;
+  for (int r = 0; r < 40; ++r) {
+    for (Value v = 0; v < 10; ++v) ops.push_back(StreamOp::Insert(v));
+  }
+  for (int i = 0; i < 5; ++i) ops.push_back(StreamOp::Delete(2));
+  for (Value v = 0; v < 10; ++v) ops.push_back(StreamOp::Insert(v));
+  for (int i = 0; i < 3; ++i) ops.push_back(StreamOp::Delete(9));
+
+  for (const StreamOp& op : ops) ASSERT_TRUE(per_op.Observe(op).ok());
+  ASSERT_TRUE(batched.ObserveBatch(ops).ok());
+
+  ExpectEnginesIdentical(batched, per_op, 10);
+  EXPECT_EQ(batched.observed_deletes(), 8);
+}
+
 TEST(EngineTest, ObserveBatchPropagatesDeleteErrors) {
   EngineOptions o = AllOn(100, 33);
   o.maintain_full_histogram = true;
