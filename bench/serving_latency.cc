@@ -22,9 +22,9 @@
 #include "concurrency/sharded_synopsis.h"
 #include "concurrency/snapshot_cache.h"
 #include "core/concise_sample.h"
+#include "hotlist/concise_hot_list.h"
 #include "random/xoshiro256.h"
 #include "server/serving_engine.h"
-#include "warehouse/engine.h"
 #include "workload/generators.h"
 
 namespace aqua {
@@ -81,14 +81,9 @@ int Main(int argc, char** argv) {
   HotListQuery query;
   query.k = 10;
 
-  auto answer_from = [&query](const ConciseSample& snapshot,
-                              std::int64_t inserts) {
-    SynopsisView view;
-    view.concise = &snapshot;
-    view.observed_inserts = inserts;
-    return AnswerHotList(view, query);
+  auto answer_from = [&query](const ConciseSample& snapshot) {
+    return ConciseHotList(snapshot).Report(query);
   };
-  const std::int64_t observed = sharded.ObservedInserts();
 
   // Path A: per-request merge.
   std::vector<std::int64_t> merge_ns;
@@ -96,9 +91,9 @@ int Main(int argc, char** argv) {
   for (int i = 0; i < kQueries; ++i) {
     const std::int64_t start = NowNs();
     const ConciseSample snapshot = sharded.Snapshot().ValueOrDie();
-    const auto response = answer_from(snapshot, observed);
+    const HotList answer = answer_from(snapshot);
     merge_ns.push_back(NowNs() - start);
-    if (response.answer.empty()) std::fprintf(stderr, "empty hot list?\n");
+    if (answer.empty()) std::fprintf(stderr, "empty hot list?\n");
   }
   const LatencySummary merged = Summarize(merge_ns);
 
@@ -115,9 +110,9 @@ int Main(int argc, char** argv) {
   for (int i = 0; i < kQueries; ++i) {
     const std::int64_t start = NowNs();
     const auto snapshot = cache.Get().ValueOrDie();
-    const auto response = answer_from(*snapshot, observed);
+    const HotList answer = answer_from(*snapshot);
     cached_ns.push_back(NowNs() - start);
-    if (response.answer.empty()) std::fprintf(stderr, "empty hot list?\n");
+    if (answer.empty()) std::fprintf(stderr, "empty hot list?\n");
   }
   const LatencySummary cached = Summarize(cached_ns);
 

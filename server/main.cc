@@ -13,6 +13,19 @@
 //   POST /ingest                    body: JSON array (or bare list) of values
 //   POST /delete                    body: a single value
 //
+// With one or more --attr flags the multi-attribute catalog is served too,
+// under the same footprint budget (--catalog-budget):
+//
+//   GET /attr/{name}/hotlist?k=10&beta=3
+//   GET /attr/{name}/frequency?value=42
+//   GET /attr/{name}/count_where?low=1&high=99
+//   GET /attr/{name}/distinct
+//   GET /attr/{name}/stats
+//   POST /attr/{name}/ingest        body: JSON array of values
+//   POST /attr/{name}/delete        body: JSON array of values
+//
+// Unknown attributes answer 404.
+//
 // Queries are answered from epoch-cached snapshots (SnapshotCache), so a
 // request costs a pointer load plus the answer computation; snapshots trail
 // ingest by at most --cache-stale-ops operations or --cache-stale-ms
@@ -27,15 +40,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "server/json.h"
 #include "server/server.h"
 #include "server/serving_engine.h"
+#include "warehouse/catalog.h"
 #include "workload/generators.h"
+#include "workload/stream.h"
 
 namespace aqua {
 namespace {
@@ -43,6 +61,9 @@ namespace {
 struct ServeFlags {
   HttpServerOptions http;
   ServingEngineOptions engine;
+  // --attr name[:weight], repeatable; non-empty enables the catalog routes.
+  std::vector<std::pair<std::string, double>> attrs;
+  Words catalog_budget = 16384;
   // --preload-zipf N,DOMAIN,ALPHA,SEED
   std::int64_t preload_n = 0;
   std::int64_t preload_domain = 1000;
@@ -77,6 +98,10 @@ void Usage(const char* argv0) {
       "  --cache-stale-ops N  snapshot refresh after N ingest ops "
       "(default 8192)\n"
       "  --cache-stale-ms N   snapshot refresh after N ms (default 100)\n"
+      "  --attr NAME[:WEIGHT] serve /attr/NAME/... from the catalog "
+      "(repeatable)\n"
+      "  --catalog-budget N   total words across all --attr synopses "
+      "(default 16384)\n"
       "  --preload-zipf N,DOMAIN,ALPHA,SEED  ingest a Zipf stream at "
       "startup\n"
       "  --enable-debug       expose GET /debug/sleep?ms= (testing only)\n",
@@ -133,6 +158,24 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       const char* v = next();
       if (v == nullptr || !ParseInt64(v, &n) || n < 0) return false;
       flags->engine.cache_max_stale_interval = std::chrono::milliseconds(n);
+    } else if (arg == "--attr") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      std::string_view spec(v);
+      double weight = 1.0;
+      const std::size_t colon = spec.rfind(':');
+      if (colon != std::string_view::npos) {
+        if (!ParseDouble(spec.substr(colon + 1), &weight) || weight <= 0.0) {
+          return false;
+        }
+        spec = spec.substr(0, colon);
+      }
+      if (spec.empty()) return false;
+      flags->attrs.emplace_back(std::string(spec), weight);
+    } else if (arg == "--catalog-budget") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 16) return false;
+      flags->catalog_budget = n;
     } else if (arg == "--preload-zipf") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -189,6 +232,60 @@ void WriteEstimate(JsonWriter& w, const QueryResponse<Estimate>& response) {
   w.EndObject();
 }
 
+void WriteHotList(JsonWriter& w, const QueryResponse<HotList>& response) {
+  w.BeginObject();
+  w.Key("items").BeginArray();
+  for (const HotListItem& item : response.answer) {
+    w.BeginObject();
+    w.Key("value").Int(item.value);
+    w.Key("estimated_count").Double(item.estimated_count);
+    w.Key("synopsis_count").Int(item.synopsis_count);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("method").String(response.method);
+  w.Key("response_ns").Int(response.response_ns);
+  w.EndObject();
+}
+
+void WriteSynopsisStats(JsonWriter& w,
+                        const std::vector<SynopsisHandleStats>& synopses) {
+  w.Key("synopses").BeginArray();
+  for (const SynopsisHandleStats& s : synopses) {
+    w.BeginObject();
+    w.Key("name").String(s.name);
+    w.Key("valid").Bool(s.valid);
+    w.Key("cached").Bool(s.cached);
+    w.Key("sharded").Bool(s.sharded);
+    w.Key("footprint").Int(s.footprint);
+    w.Key("epoch").UInt(s.epoch);
+    w.Key("cache").BeginObject();
+    w.Key("hits").Int(s.cache.hits);
+    w.Key("refreshes").Int(s.cache.refreshes);
+    w.Key("stale_served").Int(s.cache.stale_served);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+/// Parses GET hot-list/frequency/count_where parameters shared by the
+/// engine and catalog handlers.  Each returns nullopt after filling *error
+/// with a 400 response.
+std::optional<HotListQuery> ParseHotListQuery(const HttpRequest& request,
+                                              HttpResponse* error) {
+  const auto k = request.QueryInt("k", 10);
+  const auto beta = request.QueryDouble("beta", 3.0);
+  if (!k.has_value() || *k < 0 || !beta.has_value() || *beta < 0) {
+    *error = JsonError(400, "k and beta must be nonnegative numbers");
+    return std::nullopt;
+  }
+  HotListQuery query;
+  query.k = *k;
+  query.beta = *beta;
+  return query;
+}
+
 void RegisterRoutes(HttpServer& server, ServingEngine& engine,
                     const ServeFlags& flags) {
   server.Route("GET", "/healthz", [](const HttpRequest&) {
@@ -196,29 +293,11 @@ void RegisterRoutes(HttpServer& server, ServingEngine& engine,
   });
 
   server.Route("GET", "/hotlist", [&engine](const HttpRequest& request) {
-    const auto k = request.QueryInt("k", 10);
-    const auto beta = request.QueryDouble("beta", 3.0);
-    if (!k.has_value() || *k < 0 || !beta.has_value() || *beta < 0) {
-      return JsonError(400, "k and beta must be nonnegative numbers");
-    }
-    HotListQuery query;
-    query.k = *k;
-    query.beta = *beta;
-    const QueryResponse<HotList> response = engine.HotListAnswer(query);
+    HttpResponse error;
+    const auto query = ParseHotListQuery(request, &error);
+    if (!query.has_value()) return error;
     JsonWriter w;
-    w.BeginObject();
-    w.Key("items").BeginArray();
-    for (const HotListItem& item : response.answer) {
-      w.BeginObject();
-      w.Key("value").Int(item.value);
-      w.Key("estimated_count").Double(item.estimated_count);
-      w.Key("synopsis_count").Int(item.synopsis_count);
-      w.EndObject();
-    }
-    w.EndArray();
-    w.Key("method").String(response.method);
-    w.Key("response_ns").Int(response.response_ns);
-    w.EndObject();
+    WriteHotList(w, engine.HotListAnswer(*query));
     return JsonOk(w.TakeString());
   });
 
@@ -269,18 +348,7 @@ void RegisterRoutes(HttpServer& server, ServingEngine& engine,
     w.Key("concise_valid").Bool(stats.concise_valid);
     w.Key("shards").UInt(stats.shards);
     w.Key("footprint_bound").Int(stats.footprint_bound);
-    w.Key("concise_cache").BeginObject();
-    w.Key("epoch").UInt(stats.concise_epoch);
-    w.Key("hits").Int(stats.concise_cache.hits);
-    w.Key("refreshes").Int(stats.concise_cache.refreshes);
-    w.Key("stale_served").Int(stats.concise_cache.stale_served);
-    w.EndObject();
-    w.Key("counting_cache").BeginObject();
-    w.Key("epoch").UInt(stats.counting_epoch);
-    w.Key("hits").Int(stats.counting_cache.hits);
-    w.Key("refreshes").Int(stats.counting_cache.refreshes);
-    w.Key("stale_served").Int(stats.counting_cache.stale_served);
-    w.EndObject();
+    WriteSynopsisStats(w, stats.synopses);
     w.Key("http").BeginObject();
     w.Key("accepted").Int(http.accepted);
     w.Key("requests").Int(http.requests);
@@ -337,6 +405,160 @@ void RegisterRoutes(HttpServer& server, ServingEngine& engine,
   }
 }
 
+/// Maps a catalog Result to the HTTP layer: NotFound (unknown attribute)
+/// answers 404, everything else 500.
+HttpResponse CatalogError(const Status& status) {
+  return JsonError(status.code() == StatusCode::kNotFound ? 404 : 500,
+                   status.message());
+}
+
+HttpResponse HandleCatalogGet(const SynopsisCatalog& catalog,
+                              const std::string& attribute,
+                              std::string_view endpoint,
+                              const HttpRequest& request) {
+  if (endpoint == "hotlist") {
+    HttpResponse error;
+    const auto query = ParseHotListQuery(request, &error);
+    if (!query.has_value()) return error;
+    const auto response = catalog.HotListFor(attribute, *query);
+    if (!response.ok()) return CatalogError(response.status());
+    JsonWriter w;
+    WriteHotList(w, response.ValueOrDie());
+    return JsonOk(w.TakeString());
+  }
+  if (endpoint == "frequency") {
+    const auto value = request.QueryInt("value", /*fallback=*/0);
+    if (!value.has_value() || !request.QueryParam("value").has_value()) {
+      return JsonError(400, "missing or malformed ?value=");
+    }
+    const auto response = catalog.FrequencyFor(attribute, *value);
+    if (!response.ok()) return CatalogError(response.status());
+    JsonWriter w;
+    WriteEstimate(w, response.ValueOrDie());
+    return JsonOk(w.TakeString());
+  }
+  if (endpoint == "count_where") {
+    const auto low =
+        request.QueryInt("low", std::numeric_limits<std::int64_t>::min());
+    const auto high =
+        request.QueryInt("high", std::numeric_limits<std::int64_t>::max());
+    const auto confidence = request.QueryDouble("confidence", 0.95);
+    if (!low.has_value() || !high.has_value() || !confidence.has_value() ||
+        *confidence <= 0.0 || *confidence >= 1.0) {
+      return JsonError(400,
+                       "malformed ?low=/?high=/?confidence= (confidence in "
+                       "(0,1))");
+    }
+    const Value lo = *low;
+    const Value hi = *high;
+    const auto response = catalog.CountWhereFor(
+        attribute, [lo, hi](Value v) { return v >= lo && v <= hi; },
+        *confidence);
+    if (!response.ok()) return CatalogError(response.status());
+    JsonWriter w;
+    WriteEstimate(w, response.ValueOrDie());
+    return JsonOk(w.TakeString());
+  }
+  if (endpoint == "distinct") {
+    const auto response = catalog.DistinctFor(attribute);
+    if (!response.ok()) return CatalogError(response.status());
+    JsonWriter w;
+    WriteEstimate(w, response.ValueOrDie());
+    return JsonOk(w.TakeString());
+  }
+  if (endpoint == "stats") {
+    const auto stats = catalog.StatsFor(attribute);
+    if (!stats.ok()) return CatalogError(stats.status());
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("attribute").String(attribute);
+    w.Key("inserts").Int(stats.ValueOrDie().inserts);
+    w.Key("deletes").Int(stats.ValueOrDie().deletes);
+    w.Key("share_words").Int(catalog.ShareOf(attribute));
+    WriteSynopsisStats(w, stats.ValueOrDie().synopses);
+    w.EndObject();
+    return JsonOk(w.TakeString());
+  }
+  return JsonError(404, "no such endpoint");
+}
+
+HttpResponse HandleCatalogPost(SynopsisCatalog& catalog,
+                               const std::string& attribute,
+                               std::string_view endpoint,
+                               const HttpRequest& request) {
+  if (endpoint != "ingest" && endpoint != "delete") {
+    return JsonError(404, "no such endpoint");
+  }
+  Result<std::vector<Value>> values = ParseValueArray(request.body);
+  if (!values.ok()) return JsonError(400, values.status().message());
+  if (endpoint == "ingest") {
+    const Status status = catalog.InsertBatch(attribute, values.ValueOrDie());
+    if (!status.ok()) return CatalogError(status);
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("attribute").String(attribute);
+    w.Key("ingested").UInt(values.ValueOrDie().size());
+    w.EndObject();
+    return JsonOk(w.TakeString());
+  }
+  for (Value v : values.ValueOrDie()) {
+    StreamOp op;
+    op.kind = StreamOp::Kind::kDelete;
+    op.value = v;
+    const Status status = catalog.Observe(attribute, op);
+    if (!status.ok()) {
+      return status.code() == StatusCode::kNotFound
+                 ? CatalogError(status)
+                 : JsonError(409, status.message());
+    }
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("attribute").String(attribute);
+  w.Key("deleted").UInt(values.ValueOrDie().size());
+  w.EndObject();
+  return JsonOk(w.TakeString());
+}
+
+/// Serves /attr/{name}/{endpoint} from the sealed catalog.  The path split
+/// happens here so one prefix route covers every attribute.
+void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog) {
+  auto split = [](const std::string& path)
+      -> std::optional<std::pair<std::string, std::string>> {
+    constexpr std::string_view kPrefix = "/attr/";
+    std::string_view rest(path);
+    rest.remove_prefix(kPrefix.size());
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos || slash == 0) return std::nullopt;
+    const std::string_view endpoint = rest.substr(slash + 1);
+    if (endpoint.empty() ||
+        endpoint.find('/') != std::string_view::npos) {
+      return std::nullopt;
+    }
+    return std::make_pair(std::string(rest.substr(0, slash)),
+                          std::string(endpoint));
+  };
+
+  server.RoutePrefix(
+      "GET", "/attr/", [&catalog, split](const HttpRequest& request) {
+        const auto parts = split(request.path);
+        if (!parts.has_value()) {
+          return JsonError(404, "expected /attr/{name}/{endpoint}");
+        }
+        return HandleCatalogGet(catalog, parts->first, parts->second,
+                                request);
+      });
+  server.RoutePrefix(
+      "POST", "/attr/", [&catalog, split](const HttpRequest& request) {
+        const auto parts = split(request.path);
+        if (!parts.has_value()) {
+          return JsonError(404, "expected /attr/{name}/{endpoint}");
+        }
+        return HandleCatalogPost(catalog, parts->first, parts->second,
+                                 request);
+      });
+}
+
 int ServeMain(int argc, char** argv) {
   ServeFlags flags;
   if (!ParseFlags(argc, argv, &flags)) {
@@ -364,8 +586,40 @@ int ServeMain(int argc, char** argv) {
                  static_cast<long long>(flags.preload_domain));
   }
 
+  std::unique_ptr<SynopsisCatalog> catalog;
+  if (!flags.attrs.empty()) {
+    CatalogOptions catalog_options;
+    catalog_options.seed = flags.engine.seed;
+    catalog_options.cache_max_stale_ops = flags.engine.cache_max_stale_ops;
+    catalog_options.cache_max_stale_interval =
+        flags.engine.cache_max_stale_interval;
+    catalog = std::make_unique<SynopsisCatalog>(flags.catalog_budget,
+                                                catalog_options);
+    for (const auto& [name, weight] : flags.attrs) {
+      AttributeOptions attr_options;
+      attr_options.weight = weight;
+      const Status status = catalog->RegisterAttribute(name, attr_options);
+      if (!status.ok()) {
+        std::fprintf(stderr, "bad --attr %s: %s\n", name.c_str(),
+                     std::string(status.message()).c_str());
+        return 2;
+      }
+    }
+    const Status sealed = catalog->Seal();
+    if (!sealed.ok()) {
+      std::fprintf(stderr, "catalog seal failed: %s\n",
+                   std::string(sealed.message()).c_str());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "catalog: %zu attributes under a %lld-word budget\n",
+                 catalog->attribute_count(),
+                 static_cast<long long>(catalog->budget()));
+  }
+
   HttpServer server(flags.http);
   RegisterRoutes(server, engine, flags);
+  if (catalog != nullptr) RegisterCatalogRoutes(server, *catalog);
   const Status status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "failed to start: %s\n",

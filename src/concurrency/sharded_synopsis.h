@@ -160,6 +160,20 @@ class ShardedSynopsis {
     return shard.synopsis.Delete(value);
   }
 
+  /// Total words across all shards (locks each shard briefly).
+  Words Footprint() const
+    requires requires(const S s) {
+      { s.Footprint() } -> std::convertible_to<Words>;
+    }
+  {
+    Words total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      total += shard->synopsis.Footprint();
+    }
+    return total;
+  }
+
   /// Total inserts observed across all shards (locks each shard briefly).
   std::int64_t ObservedInserts() const {
     std::int64_t total = 0;

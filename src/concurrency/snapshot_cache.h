@@ -14,6 +14,18 @@
 
 namespace aqua {
 
+/// Observability counters for one SnapshotCache (non-template so callers
+/// can aggregate stats across caches of different synopsis types).
+struct SnapshotCacheStats {
+  /// Get() calls answered from the current epoch without refreshing.
+  std::int64_t hits = 0;
+  /// Snapshot rebuilds (inline or via Refresh()).
+  std::int64_t refreshes = 0;
+  /// Get() calls that observed staleness but served the previous epoch
+  /// because another thread was already refreshing.
+  std::int64_t stale_served = 0;
+};
+
 /// Epoch-cached synopsis snapshots for the query path.
 ///
 /// ShardedSynopsis::Snapshot() merges per-shard copies on every call — a
@@ -70,15 +82,7 @@ class SnapshotCache {
         std::chrono::milliseconds(100);
   };
 
-  struct CacheStats {
-    /// Get() calls answered from the current epoch without refreshing.
-    std::int64_t hits = 0;
-    /// Snapshot rebuilds (inline or via Refresh()).
-    std::int64_t refreshes = 0;
-    /// Get() calls that observed staleness but served the previous epoch
-    /// because another thread was already refreshing.
-    std::int64_t stale_served = 0;
-  };
+  using CacheStats = SnapshotCacheStats;
 
   SnapshotCache(Refresher refresher, const Options& options)
       : refresher_(std::move(refresher)), options_(options) {}

@@ -1,0 +1,56 @@
+#ifndef AQUA_REGISTRY_ANSWER_SOURCE_H_
+#define AQUA_REGISTRY_ANSWER_SOURCE_H_
+
+#include <string_view>
+
+#include "estimate/aggregates.h"
+#include "hotlist/hot_list.h"
+#include "sample/capabilities.h"
+
+namespace aqua {
+
+/// A pinned, read-only answer computation surface over one synopsis.
+///
+/// SynopsisHandle::Pin() returns one of these over whatever state the
+/// handle serves from — the live synopsis in unsynchronized mode, the
+/// epoch-cached snapshot in concurrent mode — and keeps that state alive
+/// for the duration of the computation.  Callers must check Answers(kind)
+/// before calling the corresponding answer method; the defaults return
+/// empty answers so a mis-routed call degrades rather than crashes.
+class AnswerSource {
+ public:
+  virtual ~AnswerSource() = default;
+
+  /// The method tag reported in QueryResponse ("counting-sample", ...).
+  virtual std::string_view Method() const = 0;
+
+  virtual bool Answers(QueryKind kind) const = 0;
+
+  virtual HotList HotListAnswer(const HotListQuery& query,
+                                const QueryContext& ctx) const {
+    (void)query;
+    (void)ctx;
+    return {};
+  }
+  virtual Estimate FrequencyAnswer(Value value, const QueryContext& ctx) const {
+    (void)value;
+    (void)ctx;
+    return {};
+  }
+  virtual Estimate CountWhereAnswer(const ValuePredicate& pred,
+                                    double confidence,
+                                    const QueryContext& ctx) const {
+    (void)pred;
+    (void)confidence;
+    (void)ctx;
+    return {};
+  }
+  virtual Estimate DistinctAnswer(const QueryContext& ctx) const {
+    (void)ctx;
+    return {};
+  }
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_REGISTRY_ANSWER_SOURCE_H_

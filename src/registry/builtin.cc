@@ -1,0 +1,163 @@
+#include "registry/builtin.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "estimate/frequency_estimator.h"
+#include "hotlist/concise_hot_list.h"
+#include "hotlist/counting_hot_list.h"
+#include "hotlist/traditional_hot_list.h"
+#include "persist/snapshot.h"
+
+namespace aqua {
+
+SynopsisDescriptor<ReservoirSample> TraditionalSampleDescriptor(
+    Words footprint_bound) {
+  SynopsisDescriptor<ReservoirSample> descriptor;
+  descriptor.name = std::string(kTraditionalSynopsisName);
+  descriptor.on_delete = DeleteBehavior::kInvalidates;
+  descriptor.rank[static_cast<int>(QueryKind::kHotList)] = kRankTraditional;
+  descriptor.rank[static_cast<int>(QueryKind::kCountWhere)] =
+      kRankTraditional;
+  descriptor.factory = [footprint_bound](std::uint64_t seed) {
+    return ReservoirSample(footprint_bound, seed);
+  };
+  descriptor.answers.hot_list = [](const ReservoirSample& sample,
+                                   const HotListQuery& query,
+                                   const QueryContext&) {
+    return TraditionalHotList(sample).Report(query);
+  };
+  descriptor.answers.count_where =
+      [](const ReservoirSample& sample, const ValuePredicate& pred,
+         double confidence, const QueryContext& ctx) {
+        SampleEstimator estimator(sample.Points(), ctx.observed_inserts);
+        return estimator.CountWhere(pred, confidence);
+      };
+  return descriptor;
+}
+
+SynopsisDescriptor<ConciseSample> ConciseSampleDescriptor(
+    Words footprint_bound) {
+  SynopsisDescriptor<ConciseSample> descriptor;
+  descriptor.name = std::string(kConciseSynopsisName);
+  descriptor.on_delete = DeleteBehavior::kInvalidates;
+  descriptor.rank[static_cast<int>(QueryKind::kHotList)] = kRankConcise;
+  descriptor.rank[static_cast<int>(QueryKind::kFrequency)] = kRankConcise;
+  // Preferred uniform sample for predicate counts: largest sample-size for
+  // the footprint (§1.1), hence the tightest interval.
+  descriptor.rank[static_cast<int>(QueryKind::kCountWhere)] = kRankConcise;
+  descriptor.factory = [footprint_bound](std::uint64_t seed) {
+    ConciseSampleOptions options;
+    options.footprint_bound = footprint_bound;
+    options.seed = seed;
+    return ConciseSample(options);
+  };
+  descriptor.answers.hot_list = [](const ConciseSample& sample,
+                                   const HotListQuery& query,
+                                   const QueryContext&) {
+    return ConciseHotList(sample).Report(query);
+  };
+  descriptor.answers.frequency = [](const ConciseSample& sample, Value value,
+                                    const QueryContext&) {
+    return FrequencyEstimator::FromConcise(sample, value);
+  };
+  descriptor.answers.count_where =
+      [](const ConciseSample& sample, const ValuePredicate& pred,
+         double confidence, const QueryContext& ctx) {
+        const std::vector<Value> points = sample.ToPointSample();
+        SampleEstimator estimator(points, ctx.observed_inserts);
+        return estimator.CountWhere(pred, confidence);
+      };
+  descriptor.encode = [](const ConciseSample& sample) {
+    return EncodeSnapshot(sample);
+  };
+  descriptor.decode = [](const std::vector<std::uint8_t>& bytes,
+                         std::uint64_t seed) {
+    return DecodeConciseSnapshot(bytes, seed);
+  };
+  return descriptor;
+}
+
+SynopsisDescriptor<CountingSample> CountingSampleDescriptor(
+    Words footprint_bound) {
+  SynopsisDescriptor<CountingSample> descriptor;
+  descriptor.name = std::string(kCountingSynopsisName);
+  // Theorem 5: counting samples apply deletes exactly.
+  descriptor.on_delete = DeleteBehavior::kApplies;
+  descriptor.rank[static_cast<int>(QueryKind::kHotList)] = kRankCounting;
+  descriptor.rank[static_cast<int>(QueryKind::kFrequency)] = kRankCounting;
+  descriptor.factory = [footprint_bound](std::uint64_t seed) {
+    CountingSampleOptions options;
+    options.footprint_bound = footprint_bound;
+    options.seed = seed;
+    return CountingSample(options);
+  };
+  descriptor.answers.hot_list = [](const CountingSample& sample,
+                                   const HotListQuery& query,
+                                   const QueryContext&) {
+    return CountingHotList(sample).Report(query);
+  };
+  descriptor.answers.frequency = [](const CountingSample& sample,
+                                    Value value, const QueryContext&) {
+    return FrequencyEstimator::FromCounting(sample, value);
+  };
+  descriptor.encode = [](const CountingSample& sample) {
+    return EncodeSnapshot(sample);
+  };
+  descriptor.decode = [](const std::vector<std::uint8_t>& bytes,
+                         std::uint64_t seed) {
+    return DecodeCountingSnapshot(bytes, seed);
+  };
+  return descriptor;
+}
+
+SynopsisDescriptor<FlajoletMartin> DistinctSketchDescriptor(int num_maps) {
+  SynopsisDescriptor<FlajoletMartin> descriptor;
+  descriptor.name = std::string(kDistinctSketchName);
+  // Removing a value cannot clear a shared bitmap bit; deletes pass by.
+  descriptor.on_delete = DeleteBehavior::kIgnores;
+  descriptor.rank[static_cast<int>(QueryKind::kDistinct)] = kRankCounting;
+  descriptor.factory = [num_maps](std::uint64_t seed) {
+    return FlajoletMartin(num_maps, seed);
+  };
+  descriptor.answers.distinct = [](const FlajoletMartin& sketch,
+                                   const QueryContext&) {
+    Estimate estimate;
+    const double d = sketch.Estimate();
+    estimate.value = d;
+    // [FM85]'s asymptotic standard error is ≈ 0.78/sqrt(#maps) in log2
+    // scale; expose a pragmatic ±2σ multiplicative band.
+    const double sigma_log2 =
+        0.78 / std::sqrt(static_cast<double>(sketch.num_maps()));
+    estimate.ci_low = d * std::pow(2.0, -2.0 * sigma_log2);
+    estimate.ci_high = d * std::pow(2.0, 2.0 * sigma_log2);
+    estimate.confidence = 0.95;
+    return estimate;
+  };
+  return descriptor;
+}
+
+Status RegisterBuiltinSynopses(SynopsisRegistry& registry,
+                               const SynopsisSelection& selection,
+                               const BuiltinBounds& bounds) {
+  if (selection.maintain_traditional) {
+    AQUA_RETURN_NOT_OK(
+        registry.Register(TraditionalSampleDescriptor(bounds.sharded)));
+  }
+  if (selection.maintain_concise) {
+    AQUA_RETURN_NOT_OK(
+        registry.Register(ConciseSampleDescriptor(bounds.sharded)));
+  }
+  if (selection.maintain_counting) {
+    AQUA_RETURN_NOT_OK(
+        registry.Register(CountingSampleDescriptor(bounds.single)));
+  }
+  if (selection.maintain_distinct_sketch) {
+    AQUA_RETURN_NOT_OK(
+        registry.Register(DistinctSketchDescriptor(bounds.sketch_maps)));
+  }
+  return Status::OK();
+}
+
+}  // namespace aqua

@@ -1,0 +1,86 @@
+#ifndef AQUA_REGISTRY_BUILTIN_H_
+#define AQUA_REGISTRY_BUILTIN_H_
+
+#include <string_view>
+
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "registry/registry.h"
+#include "sample/reservoir_sample.h"
+#include "sketch/flajolet_martin.h"
+
+namespace aqua {
+
+/// Which of the paper's synopses a driver maintains.  This is the one
+/// documented default, shared by EngineOptions, ServingEngineOptions and
+/// AttributeOptions (which previously each hardcoded diverging defaults):
+/// maintain every sampling synopsis plus the distinct sketch; the full
+/// histogram stays off because it is the accuracy yardstick, not a
+/// practical synopsis.
+struct SynopsisSelection {
+  bool maintain_traditional = true;
+  bool maintain_concise = true;
+  bool maintain_counting = true;
+  /// Distinct-value sketch ([FM85]) for distinct-count queries.
+  bool maintain_distinct_sketch = true;
+  /// The exact (disk-resident) baseline; off by default.
+  bool maintain_full_histogram = false;
+};
+
+/// Canonical registration names (and response `method` tags).
+inline constexpr std::string_view kTraditionalSynopsisName =
+    "traditional-sample";
+inline constexpr std::string_view kConciseSynopsisName = "concise-sample";
+inline constexpr std::string_view kCountingSynopsisName = "counting-sample";
+inline constexpr std::string_view kDistinctSketchName = "fm-sketch";
+inline constexpr std::string_view kFullHistogramName = "full-histogram";
+
+/// §6 accuracy ranks (lower answers first): the full histogram is exact,
+/// counting samples beat concise samples ("considerably more accurate",
+/// §5.2), which beat traditional samples (§1.1's sample-size argument).
+inline constexpr int kRankExact = 0;
+inline constexpr int kRankCounting = 10;
+inline constexpr int kRankConcise = 20;
+inline constexpr int kRankTraditional = 30;
+
+/// The FM sketch word cost with the default 64 stochastic-averaging maps
+/// (one bitmap word + one salt word per map); budgeters carve this out
+/// before dividing sample shares.
+inline constexpr int kDefaultSketchMaps = 64;
+inline constexpr Words kDefaultSketchWords = 2 * kDefaultSketchMaps;
+
+/// Descriptors for the paper's synopses; the bound parameters are baked
+/// into the returned factory.  (The full-histogram descriptor lives in
+/// warehouse/, next to the FullHistogram itself.)
+SynopsisDescriptor<ReservoirSample> TraditionalSampleDescriptor(
+    Words footprint_bound);
+SynopsisDescriptor<ConciseSample> ConciseSampleDescriptor(
+    Words footprint_bound);
+SynopsisDescriptor<CountingSample> CountingSampleDescriptor(
+    Words footprint_bound);
+SynopsisDescriptor<FlajoletMartin> DistinctSketchDescriptor(
+    int num_maps = kDefaultSketchMaps);
+
+/// Footprint bounds for RegisterBuiltinSynopses.  `sharded` applies per
+/// shard to shardable synopses (concise/traditional) in concurrent
+/// registries; drivers that deliberately over-provision shards (the
+/// serving engine) pass the same value for both, budgeted drivers (the
+/// catalog) divide.
+struct BuiltinBounds {
+  Words single = 1000;
+  Words sharded = 1000;
+  int sketch_maps = kDefaultSketchMaps;
+};
+
+/// Registers the selected built-in synopses in canonical order
+/// (traditional, concise, counting, sketch) — the seed chain depends on
+/// registration order, so every driver registering the same selection gets
+/// the same synopses.  The full histogram is warehouse-level and is
+/// registered by the drivers that maintain it.
+Status RegisterBuiltinSynopses(SynopsisRegistry& registry,
+                               const SynopsisSelection& selection,
+                               const BuiltinBounds& bounds);
+
+}  // namespace aqua
+
+#endif  // AQUA_REGISTRY_BUILTIN_H_

@@ -1,0 +1,24 @@
+#ifndef AQUA_REGISTRY_QUERY_RESPONSE_H_
+#define AQUA_REGISTRY_QUERY_RESPONSE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aqua {
+
+/// A query response: the approximate answer plus how it was computed —
+/// "a query response, consisting of an approximate answer and an accuracy
+/// measure" (§1).  The user can then decide whether to have an exact answer
+/// computed from the base data.
+template <typename AnswerT>
+struct QueryResponse {
+  AnswerT answer{};
+  /// Which synopsis produced the answer, e.g. "counting-sample".
+  std::string method;
+  /// Response time in nanoseconds (synopsis-only; no base-data access).
+  std::int64_t response_ns = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_REGISTRY_QUERY_RESPONSE_H_

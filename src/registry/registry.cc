@@ -1,0 +1,192 @@
+#include "registry/registry.h"
+
+#include <chrono>
+
+namespace aqua {
+
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Status SynopsisRegistry::ValidateRanks(
+    const std::string& name, const std::array<int, kNumQueryKinds>& rank,
+    const std::array<bool, kNumQueryKinds>& has_answerer) {
+  for (int kind = 0; kind < kNumQueryKinds; ++kind) {
+    const bool ranked = rank[kind] != kCannotAnswer;
+    if (ranked && !has_answerer[kind]) {
+      return Status::InvalidArgument(
+          name + ": rank declared for a query kind without an answer "
+                 "function");
+    }
+    if (!ranked && has_answerer[kind]) {
+      return Status::InvalidArgument(
+          name + ": answer function provided for a query kind without a "
+                 "rank");
+    }
+  }
+  return Status::OK();
+}
+
+void SynopsisRegistry::IndexHandle(SynopsisHandle* handle) {
+  for (int kind = 0; kind < kNumQueryKinds; ++kind) {
+    const int rank = handle->Capabilities().rank[kind];
+    if (rank == kCannotAnswer) continue;
+    auto& list = by_kind_[kind];
+    auto it = list.begin();
+    while (it != list.end() && (*it)->Capabilities().rank[kind] <= rank) {
+      ++it;
+    }
+    list.insert(it, handle);
+  }
+}
+
+Status SynopsisRegistry::Observe(const StreamOp& op) {
+  if (op.kind == StreamOp::Kind::kInsert) {
+    const Value value = op.value;
+    InsertBatch(std::span<const Value>(&value, 1));
+    return Status::OK();
+  }
+  return Delete(op.value);
+}
+
+Status SynopsisRegistry::ObserveBatch(std::span<const StreamOp> ops) {
+  std::vector<Value> run;
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    if (ops[i].kind != StreamOp::Kind::kInsert) {
+      AQUA_RETURN_NOT_OK(Observe(ops[i]));
+      ++i;
+      continue;
+    }
+    run.clear();
+    while (i < ops.size() && ops[i].kind == StreamOp::Kind::kInsert) {
+      run.push_back(ops[i].value);
+      ++i;
+    }
+    InsertBatch(run);
+  }
+  return Status::OK();
+}
+
+void SynopsisRegistry::InsertBatch(std::span<const Value> values) {
+  if (values.empty()) return;
+  for (const auto& handle : handles_) handle->InsertBatch(values);
+  const auto n = static_cast<std::int64_t>(values.size());
+  inserts_.fetch_add(n, std::memory_order_relaxed);
+  for (const auto& handle : handles_) handle->OnIngest(n);
+}
+
+Status SynopsisRegistry::Delete(Value value) {
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  Status status = Status::OK();
+  for (const auto& handle : handles_) {
+    const Status handle_status = handle->Delete(value);
+    if (!handle_status.ok() && status.ok()) status = handle_status;
+  }
+  for (const auto& handle : handles_) handle->OnIngest(1);
+  return status;
+}
+
+QueryResponse<HotList> SynopsisRegistry::HotListAnswer(
+    const HotListQuery& query) const {
+  const std::int64_t start = NowNs();
+  QueryResponse<HotList> response = AnswerFromBest<HotList>(
+      QueryKind::kHotList,
+      [&query](const AnswerSource& source, const QueryContext& ctx) {
+        return source.HotListAnswer(query, ctx);
+      });
+  response.response_ns = NowNs() - start;  // includes any cache access
+  return response;
+}
+
+QueryResponse<Estimate> SynopsisRegistry::FrequencyAnswer(Value value) const {
+  const std::int64_t start = NowNs();
+  QueryResponse<Estimate> response = AnswerFromBest<Estimate>(
+      QueryKind::kFrequency,
+      [value](const AnswerSource& source, const QueryContext& ctx) {
+        return source.FrequencyAnswer(value, ctx);
+      });
+  response.response_ns = NowNs() - start;
+  return response;
+}
+
+QueryResponse<Estimate> SynopsisRegistry::CountWhereAnswer(
+    const ValuePredicate& pred, double confidence) const {
+  const std::int64_t start = NowNs();
+  QueryResponse<Estimate> response = AnswerFromBest<Estimate>(
+      QueryKind::kCountWhere,
+      [&pred, confidence](const AnswerSource& source,
+                          const QueryContext& ctx) {
+        return source.CountWhereAnswer(pred, confidence, ctx);
+      });
+  response.response_ns = NowNs() - start;
+  return response;
+}
+
+QueryResponse<Estimate> SynopsisRegistry::DistinctValuesAnswer() const {
+  const std::int64_t start = NowNs();
+  QueryResponse<Estimate> response = AnswerFromBest<Estimate>(
+      QueryKind::kDistinct,
+      [](const AnswerSource& source, const QueryContext& ctx) {
+        return source.DistinctAnswer(ctx);
+      });
+  response.response_ns = NowNs() - start;
+  return response;
+}
+
+bool SynopsisRegistry::HasDeletable() const {
+  for (const auto& handle : handles_) {
+    if (handle->valid() &&
+        handle->Capabilities().on_delete == DeleteBehavior::kApplies) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Words SynopsisRegistry::TotalFootprint() const {
+  Words total = 0;
+  for (const auto& handle : handles_) total += handle->Footprint();
+  return total;
+}
+
+const SynopsisHandle* SynopsisRegistry::handle(std::string_view name) const {
+  for (const auto& candidate : handles_) {
+    if (candidate->Name() == name) return candidate.get();
+  }
+  return nullptr;
+}
+
+SynopsisHandle* SynopsisRegistry::mutable_handle(std::string_view name) {
+  for (const auto& candidate : handles_) {
+    if (candidate->Name() == name) return candidate.get();
+  }
+  return nullptr;
+}
+
+RegistryStats SynopsisRegistry::GetStats() const {
+  RegistryStats stats;
+  stats.inserts = observed_inserts();
+  stats.deletes = observed_deletes();
+  stats.synopses.reserve(handles_.size());
+  for (const auto& handle : handles_) {
+    SynopsisHandleStats s;
+    s.name = std::string(handle->Name());
+    s.valid = handle->valid();
+    s.cached = handle->Cached();
+    s.sharded = handle->Capabilities().sharded;
+    s.footprint = handle->Footprint();
+    s.epoch = handle->CacheEpoch();
+    s.cache = handle->CacheStats();
+    stats.synopses.push_back(std::move(s));
+  }
+  return stats;
+}
+
+}  // namespace aqua

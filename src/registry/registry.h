@@ -1,0 +1,238 @@
+#ifndef AQUA_REGISTRY_REGISTRY_H_
+#define AQUA_REGISTRY_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "registry/query_response.h"
+#include "registry/typed_handle.h"
+#include "workload/stream.h"
+
+namespace aqua {
+
+/// Per-handle observability snapshot (see SynopsisRegistry::GetStats).
+struct SynopsisHandleStats {
+  std::string name;
+  bool valid = true;
+  bool cached = false;
+  bool sharded = false;
+  Words footprint = 0;
+  std::uint64_t epoch = 0;
+  SnapshotCacheStats cache;
+};
+
+struct RegistryStats {
+  std::int64_t inserts = 0;
+  std::int64_t deletes = 0;
+  std::vector<SynopsisHandleStats> synopses;
+};
+
+/// The registry-backed core both engines drive: owns any number of
+/// type-erased synopsis handles, routes the load stream to all of them, and
+/// answers each query kind from the most accurate valid synopsis (§6's
+/// accuracy ordering, expressed as per-kind ranks declared at
+/// registration — never hand-maintained per engine again).
+///
+/// Thread-safety follows the execution mode: kConcurrent registries accept
+/// ingest and queries from any thread (handles shard or lock internally;
+/// counters are atomic); kUnsynchronized registries are single-threaded
+/// like ApproximateAnswerEngine.  Register() itself is never thread-safe —
+/// register every synopsis before ingest/queries begin, which is what both
+/// engine constructors do.
+class SynopsisRegistry {
+ public:
+  struct Options {
+    ExecutionMode mode = ExecutionMode::kUnsynchronized;
+    /// Ingest shards per shardable synopsis (concurrent mode).
+    std::size_t shards = 1;
+    /// Base of the per-handle seed chain (deterministic per registration
+    /// order).
+    std::uint64_t seed = 0x19980531ULL;
+    /// Snapshot-cache staleness bounds (concurrent mode).
+    std::int64_t cache_max_stale_ops = 8192;
+    std::chrono::nanoseconds cache_max_stale_interval =
+        std::chrono::milliseconds(100);
+  };
+
+  explicit SynopsisRegistry(const Options& options) : options_(options) {
+    seed_chain_ = options.seed;
+  }
+
+  SynopsisRegistry(const SynopsisRegistry&) = delete;
+  SynopsisRegistry& operator=(const SynopsisRegistry&) = delete;
+
+  /// Registers a synopsis type under its descriptor.  Validates that the
+  /// declared capabilities are coherent (kApplies needs a Delete member;
+  /// every declared rank needs an answer function and vice versa) and
+  /// instantiates the handle for this registry's execution mode.
+  template <RegistrableSynopsis S>
+  Status Register(SynopsisDescriptor<S> descriptor) {
+    if (descriptor.name.empty()) {
+      return Status::InvalidArgument("synopsis name must be non-empty");
+    }
+    if (handle(descriptor.name) != nullptr) {
+      return Status::AlreadyExists("synopsis already registered: " +
+                                   descriptor.name);
+    }
+    if (descriptor.factory == nullptr) {
+      return Status::InvalidArgument(descriptor.name +
+                                     ": descriptor needs a factory");
+    }
+    if (descriptor.on_delete == DeleteBehavior::kApplies &&
+        !DeletableSynopsis<S>) {
+      return Status::InvalidArgument(
+          descriptor.name +
+          ": DeleteBehavior::kApplies requires a Delete(Value) member");
+    }
+    AQUA_RETURN_NOT_OK(ValidateRanks(
+        descriptor.name, descriptor.rank,
+        {descriptor.answers.hot_list != nullptr,
+         descriptor.answers.frequency != nullptr,
+         descriptor.answers.count_where != nullptr,
+         descriptor.answers.distinct != nullptr}));
+    HandleOptions handle_options;
+    handle_options.mode = options_.mode;
+    handle_options.shards = options_.shards;
+    handle_options.seed = SplitMix64Next(seed_chain_);
+    handle_options.cache_max_stale_ops = options_.cache_max_stale_ops;
+    handle_options.cache_max_stale_interval =
+        options_.cache_max_stale_interval;
+    auto typed = std::make_unique<TypedSynopsisHandle<S>>(
+        std::move(descriptor), handle_options);
+    IndexHandle(typed.get());
+    handles_.push_back(std::move(typed));
+    return Status::OK();
+  }
+
+  /// Observes one load-stream operation (insert or delete).
+  Status Observe(const StreamOp& op);
+
+  /// Observes a whole slice of the load stream.  Maximal runs of
+  /// consecutive inserts are routed through the handles' batched fast
+  /// paths; deletes are applied individually with the same semantics as
+  /// Observe().  Statistically identical to observing op-by-op.
+  Status ObserveBatch(std::span<const StreamOp> ops);
+
+  /// Ingests a batch of inserted values into every valid handle.
+  void InsertBatch(std::span<const Value> values);
+
+  /// Routes one delete to every handle per its DeleteBehavior; returns the
+  /// first error (invalidations and exact applications still happen for
+  /// the other handles).
+  Status Delete(Value value);
+
+  /// Queries: one answer path for both engines.  Handles that answer the
+  /// kind are tried in ascending rank order; the first valid handle that
+  /// can pin a snapshot answers.  Method is "none" when nothing can.
+  QueryResponse<HotList> HotListAnswer(const HotListQuery& query) const;
+  QueryResponse<Estimate> FrequencyAnswer(Value value) const;
+  QueryResponse<Estimate> CountWhereAnswer(const ValuePredicate& pred,
+                                           double confidence = 0.95) const;
+  QueryResponse<Estimate> DistinctValuesAnswer() const;
+
+  /// True when some valid handle applies deletes exactly (drivers that
+  /// refuse deletes otherwise, like ServingEngine, check this).
+  bool HasDeletable() const;
+
+  /// Total words across all valid handles.
+  Words TotalFootprint() const;
+
+  std::int64_t observed_inserts() const {
+    return inserts_.load(std::memory_order_relaxed);
+  }
+  std::int64_t observed_deletes() const {
+    return deletes_.load(std::memory_order_relaxed);
+  }
+
+  /// The handle registered under `name`; null when unknown.
+  const SynopsisHandle* handle(std::string_view name) const;
+
+  /// Mutable handle access for restore-before-serving flows (persistence).
+  SynopsisHandle* mutable_handle(std::string_view name);
+
+  std::size_t size() const { return handles_.size(); }
+
+  const Options& options() const { return options_; }
+
+  RegistryStats GetStats() const;
+
+  /// Typed read access to the live synopsis of an unsynchronized handle
+  /// (the engine's direct accessors); null when unknown, invalidated, the
+  /// wrong type, or a concurrent handle.
+  template <RegistrableSynopsis S>
+  const S* LiveUnsynchronized(std::string_view name) const {
+    const auto* typed = TypedHandle<S>(name);
+    return typed != nullptr ? typed->LiveUnsynchronized() : nullptr;
+  }
+
+  /// Typed consistent copy of a handle's current state, in any mode
+  /// (tests, persistence).
+  template <RegistrableSynopsis S>
+  Result<S> StateCopy(std::string_view name) const {
+    const auto* typed = TypedHandle<S>(name);
+    if (typed == nullptr) {
+      return Status::NotFound("no synopsis of that name and type: " +
+                              std::string(name));
+    }
+    return typed->StateCopy();
+  }
+
+ private:
+  Status ValidateRanks(const std::string& name,
+                       const std::array<int, kNumQueryKinds>& rank,
+                       const std::array<bool, kNumQueryKinds>& has_answerer);
+
+  /// Inserts the handle into each per-kind list it answers, keeping the
+  /// lists sorted by ascending rank (ties: registration order).
+  void IndexHandle(SynopsisHandle* handle);
+
+  template <RegistrableSynopsis S>
+  const TypedSynopsisHandle<S>* TypedHandle(std::string_view name) const {
+    return dynamic_cast<const TypedSynopsisHandle<S>*>(handle(name));
+  }
+
+  /// The single method-selection path: tries the kind's handles in rank
+  /// order and computes the answer from the first pinnable one.
+  template <typename AnswerT, typename ComputeFn>
+  QueryResponse<AnswerT> AnswerFromBest(QueryKind kind,
+                                        ComputeFn&& compute) const;
+
+  Options options_;
+  std::uint64_t seed_chain_ = 0;
+  std::vector<std::unique_ptr<SynopsisHandle>> handles_;
+  /// Per query kind, the handles that answer it, ascending rank.
+  std::array<std::vector<SynopsisHandle*>, kNumQueryKinds> by_kind_;
+  std::atomic<std::int64_t> inserts_{0};
+  std::atomic<std::int64_t> deletes_{0};
+};
+
+template <typename AnswerT, typename ComputeFn>
+QueryResponse<AnswerT> SynopsisRegistry::AnswerFromBest(
+    QueryKind kind, ComputeFn&& compute) const {
+  QueryResponse<AnswerT> response;
+  response.method = "none";
+  const QueryContext ctx{observed_inserts()};
+  for (const SynopsisHandle* candidate :
+       by_kind_[static_cast<int>(kind)]) {
+    const std::shared_ptr<const AnswerSource> source = candidate->Pin();
+    if (source == nullptr) continue;  // invalidated or snapshot unavailable
+    response.answer = compute(*source, ctx);
+    response.method = std::string(source->Method());
+    break;
+  }
+  return response;
+}
+
+}  // namespace aqua
+
+#endif  // AQUA_REGISTRY_REGISTRY_H_

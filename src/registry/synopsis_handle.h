@@ -1,0 +1,78 @@
+#ifndef AQUA_REGISTRY_SYNOPSIS_HANDLE_H_
+#define AQUA_REGISTRY_SYNOPSIS_HANDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "concurrency/snapshot_cache.h"
+#include "registry/answer_source.h"
+#include "sample/capabilities.h"
+
+namespace aqua {
+
+/// Type-erased ownership of one synopsis inside a SynopsisRegistry.
+///
+/// A handle wraps a concrete synopsis type together with its declared
+/// capabilities (delete semantics, mergeability, persistence, §6 accuracy
+/// ranks) and the machinery its execution mode needs: unsynchronized
+/// handles hold the synopsis directly; concurrent handles instantiate
+/// ShardedSynopsis (mergeable types) or SharedSynopsis (unmergeable types)
+/// for ingest plus a SnapshotCache for the query path.  The registry only
+/// ever talks to this interface — adding a synopsis type is a registration,
+/// not an engine fork.
+class SynopsisHandle {
+ public:
+  virtual ~SynopsisHandle() = default;
+
+  /// Stable identifier; doubles as the response `method` tag.
+  virtual std::string_view Name() const = 0;
+
+  virtual const SynopsisCapabilities& Capabilities() const = 0;
+
+  /// False once invalidated (DeleteBehavior::kInvalidates + a delete
+  /// arrived, §4.1); an invalid handle ignores ingest and answers nothing.
+  virtual bool valid() const = 0;
+
+  /// Ingests a batch of inserted values (thread-safe in concurrent mode).
+  virtual void InsertBatch(std::span<const Value> values) = 0;
+
+  /// Applies one delete per the declared DeleteBehavior: applies it
+  /// exactly, invalidates the handle, or ignores it.
+  virtual Status Delete(Value value) = 0;
+
+  /// Ingest-progress report for the handle's snapshot cache (no-op for
+  /// unsynchronized handles).
+  virtual void OnIngest(std::int64_t n) = 0;
+
+  /// Current words of memory; 0 once invalidated.
+  virtual Words Footprint() const = 0;
+
+  /// Pins an answer source over the handle's current state — the live
+  /// synopsis (unsynchronized mode) or the epoch-cached snapshot
+  /// (concurrent mode).  Null when invalidated or no snapshot can be
+  /// built.
+  virtual std::shared_ptr<const AnswerSource> Pin() const = 0;
+
+  /// Serialized state via the descriptor's persist codec; Unimplemented
+  /// when the synopsis declared none.
+  virtual Result<std::vector<std::uint8_t>> EncodeState() const = 0;
+
+  /// Replaces the handle's state from serialized bytes (unsynchronized
+  /// handles only — restore before serving begins).
+  virtual Status RestoreState(const std::vector<std::uint8_t>& bytes) = 0;
+
+  /// Epoch-cache observability (zeros for unsynchronized handles).
+  virtual std::uint64_t CacheEpoch() const = 0;
+  virtual SnapshotCacheStats CacheStats() const = 0;
+  virtual bool Cached() const = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_REGISTRY_SYNOPSIS_HANDLE_H_

@@ -1,0 +1,371 @@
+#ifndef AQUA_REGISTRY_TYPED_HANDLE_H_
+#define AQUA_REGISTRY_TYPED_HANDLE_H_
+
+#include <atomic>
+#include <chrono>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "concurrency/shared_synopsis.h"
+#include "concurrency/sharded_synopsis.h"
+#include "concurrency/snapshot_cache.h"
+#include "random/xoshiro256.h"
+#include "registry/synopsis_handle.h"
+
+namespace aqua {
+
+/// Minimum contract for a registrable synopsis type: per-element insert, a
+/// word footprint, and copyability (snapshots are copies).
+template <typename S>
+concept RegistrableSynopsis =
+    std::copy_constructible<S> && requires(S s, const S cs, Value v) {
+      s.Insert(v);
+      { cs.Footprint() } -> std::convertible_to<Words>;
+    };
+
+/// Synopses with an exact delete operation (counting sample Theorem 5,
+/// full histogram).  Required when a descriptor declares
+/// DeleteBehavior::kApplies.
+template <typename S>
+concept DeletableSynopsis = requires(S s, Value v) {
+  { s.Delete(v) } -> std::same_as<Status>;
+};
+
+/// Synopses whose independently-built copies merge back into one valid
+/// synopsis.  This is what gates sharded ingest: a concurrent handle for a
+/// shardable type spreads inserts over a ShardedSynopsis and re-merges on
+/// snapshot; everything else stays single-instance behind a SharedSynopsis.
+template <typename S>
+concept ShardableSynopsis = Mergeable<S> && Reseedable<S>;
+
+/// How answers are computed from a pinned snapshot of `S`.  Null entries
+/// mean the synopsis does not answer that kind; each non-null entry must
+/// have a matching rank in the descriptor (Register validates).
+template <typename S>
+struct AnswerFunctions {
+  std::function<HotList(const S&, const HotListQuery&, const QueryContext&)>
+      hot_list;
+  std::function<Estimate(const S&, Value, const QueryContext&)> frequency;
+  std::function<Estimate(const S&, const ValuePredicate&, double,
+                         const QueryContext&)>
+      count_where;
+  std::function<Estimate(const S&, const QueryContext&)> distinct;
+};
+
+/// Everything the registry needs to own and serve one synopsis type:
+/// construction, delete semantics, §6 accuracy ranks, answer computation,
+/// and (optionally) a persist codec.  A descriptor is registered once and
+/// serves both engines — there is no per-engine fork.
+template <typename S>
+struct SynopsisDescriptor {
+  /// Stable id; doubles as the response `method` tag.
+  std::string name;
+  DeleteBehavior on_delete = DeleteBehavior::kIgnores;
+  /// Per-QueryKind accuracy rank; kCannotAnswer where not served.
+  std::array<int, kNumQueryKinds> rank = {kCannotAnswer, kCannotAnswer,
+                                          kCannotAnswer, kCannotAnswer};
+  /// Builds one instance (one shard, in sharded mode) from a seed.
+  std::function<S(std::uint64_t seed)> factory;
+  AnswerFunctions<S> answers;
+  /// Optional persist codec (persist/snapshot.h-style byte format).
+  std::function<std::vector<std::uint8_t>(const S&)> encode;
+  std::function<Result<S>(const std::vector<std::uint8_t>&, std::uint64_t)>
+      decode;
+};
+
+/// How a handle arbitrates between ingest and queries.
+enum class ExecutionMode {
+  /// Single-threaded driver (ApproximateAnswerEngine): the synopsis is
+  /// held directly, queries read it in place.
+  kUnsynchronized,
+  /// Concurrent driver (ServingEngine, SynopsisCatalog): sharded or locked
+  /// ingest, queries from epoch-cached snapshots.
+  kConcurrent,
+};
+
+/// Per-handle construction parameters, chosen by the registry.
+struct HandleOptions {
+  ExecutionMode mode = ExecutionMode::kUnsynchronized;
+  /// Ingest shards for shardable synopses in concurrent mode.
+  std::size_t shards = 1;
+  std::uint64_t seed = 0;
+  /// Snapshot-cache staleness bounds (see SnapshotCache).
+  std::int64_t cache_max_stale_ops = 8192;
+  std::chrono::nanoseconds cache_max_stale_interval =
+      std::chrono::milliseconds(100);
+};
+
+/// The AnswerSource a TypedSynopsisHandle pins: a snapshot (or live
+/// reference) of `S` plus the descriptor's answer functions.
+template <RegistrableSynopsis S>
+class TypedAnswerSource final : public AnswerSource {
+ public:
+  TypedAnswerSource(std::shared_ptr<const SynopsisDescriptor<S>> descriptor,
+                    std::shared_ptr<const S> snapshot)
+      : descriptor_(std::move(descriptor)), snapshot_(std::move(snapshot)) {}
+
+  std::string_view Method() const override { return descriptor_->name; }
+
+  bool Answers(QueryKind kind) const override {
+    return descriptor_->rank[static_cast<int>(kind)] != kCannotAnswer;
+  }
+
+  HotList HotListAnswer(const HotListQuery& query,
+                        const QueryContext& ctx) const override {
+    return descriptor_->answers.hot_list(*snapshot_, query, ctx);
+  }
+  Estimate FrequencyAnswer(Value value,
+                           const QueryContext& ctx) const override {
+    return descriptor_->answers.frequency(*snapshot_, value, ctx);
+  }
+  Estimate CountWhereAnswer(const ValuePredicate& pred, double confidence,
+                            const QueryContext& ctx) const override {
+    return descriptor_->answers.count_where(*snapshot_, pred, confidence,
+                                            ctx);
+  }
+  Estimate DistinctAnswer(const QueryContext& ctx) const override {
+    return descriptor_->answers.distinct(*snapshot_, ctx);
+  }
+
+ private:
+  std::shared_ptr<const SynopsisDescriptor<S>> descriptor_;
+  std::shared_ptr<const S> snapshot_;
+};
+
+/// The one concrete SynopsisHandle implementation: binds a synopsis type to
+/// its descriptor and instantiates the execution-mode machinery that the
+/// type's capabilities permit —
+///   unsynchronized: the synopsis inline, answers read it in place;
+///   concurrent + shardable: ShardedSynopsis ingest, merge-on-refresh
+///     SnapshotCache (kByValue routing when deletes must apply exactly);
+///   concurrent + unmergeable: SharedSynopsis ingest, copy-under-lock
+///     SnapshotCache.
+template <RegistrableSynopsis S>
+class TypedSynopsisHandle final : public SynopsisHandle {
+ public:
+  TypedSynopsisHandle(SynopsisDescriptor<S> descriptor,
+                      const HandleOptions& options)
+      : descriptor_(std::make_shared<const SynopsisDescriptor<S>>(
+            std::move(descriptor))),
+        mode_(options.mode),
+        seed_(options.seed) {
+    caps_.on_delete = descriptor_->on_delete;
+    caps_.rank = descriptor_->rank;
+    caps_.mergeable = Mergeable<S>;
+    caps_.reseedable = Reseedable<S>;
+    caps_.batch_insertable = BatchInsertable<S>;
+    caps_.persistable =
+        descriptor_->encode != nullptr && descriptor_->decode != nullptr;
+    if (mode_ == ExecutionMode::kUnsynchronized) {
+      live_.emplace(descriptor_->factory(ShardSeed(0)));
+      return;
+    }
+    const typename SnapshotCache<S>::Options cache_options{
+        .max_stale_ops = options.cache_max_stale_ops,
+        .max_stale_interval = options.cache_max_stale_interval};
+    if constexpr (ShardableSynopsis<S>) {
+      caps_.sharded = true;
+      // Deletes that must apply exactly need every op on a value to reach
+      // one shard (Theorem 5 stays shard-local); insert-only and
+      // invalidating synopses take the perfectly-balanced routing.
+      const ShardRouting routing =
+          caps_.on_delete == DeleteBehavior::kApplies
+              ? ShardRouting::kByValue
+              : ShardRouting::kRoundRobin;
+      sharded_ = std::make_unique<ShardedSynopsis<S>>(
+          options.shards,
+          [this](std::size_t i) { return descriptor_->factory(ShardSeed(i)); },
+          routing);
+      cache_ = std::make_unique<SnapshotCache<S>>(
+          [this]() -> Result<S> { return sharded_->Snapshot(); },
+          cache_options);
+    } else {
+      shared_ =
+          std::make_unique<SharedSynopsis<S>>(descriptor_->factory(ShardSeed(0)));
+      cache_ = std::make_unique<SnapshotCache<S>>(
+          [this]() -> Result<S> {
+            // Unmergeable: the "snapshot" is a copy taken under the shared
+            // lock — still O(footprint), still off the per-query path
+            // thanks to the epoch cache.
+            return shared_->WithRead([](const S& s) { return s; });
+          },
+          cache_options);
+    }
+  }
+
+  TypedSynopsisHandle(const TypedSynopsisHandle&) = delete;
+  TypedSynopsisHandle& operator=(const TypedSynopsisHandle&) = delete;
+
+  std::string_view Name() const override { return descriptor_->name; }
+
+  const SynopsisCapabilities& Capabilities() const override { return caps_; }
+
+  bool valid() const override {
+    return valid_.load(std::memory_order_acquire);
+  }
+
+  void InsertBatch(std::span<const Value> values) override {
+    if (values.empty() || !valid()) return;
+    if (live_.has_value()) {
+      if constexpr (BatchInsertable<S>) {
+        live_->InsertBatch(values);
+      } else {
+        for (Value v : values) live_->Insert(v);
+      }
+    } else if (sharded_ != nullptr) {
+      sharded_->InsertBatch(values);
+    } else if (shared_ != nullptr) {
+      shared_->InsertBatch(values);
+    }
+  }
+
+  Status Delete(Value value) override {
+    switch (caps_.on_delete) {
+      case DeleteBehavior::kIgnores:
+        return Status::OK();
+      case DeleteBehavior::kInvalidates:
+        // §4.1: cannot be maintained under deletions.  Unsynchronized
+        // handles reclaim the memory immediately; concurrent handles keep
+        // the storage intact (an in-flight refresh may still read it) and
+        // just stop serving.
+        valid_.store(false, std::memory_order_release);
+        if (live_.has_value()) live_.reset();
+        return Status::OK();
+      case DeleteBehavior::kApplies:
+        if constexpr (DeletableSynopsis<S>) {
+          if (live_.has_value()) return live_->Delete(value);
+          if (sharded_ != nullptr) return sharded_->Delete(value);
+          if (shared_ != nullptr) return shared_->Delete(value);
+        }
+        return Status::Internal(std::string(Name()) +
+                                ": kApplies without a Delete member");
+    }
+    return Status::Internal("unreachable");
+  }
+
+  void OnIngest(std::int64_t n) override {
+    if (cache_ != nullptr) cache_->OnOps(n);
+  }
+
+  Words Footprint() const override {
+    if (!valid()) return 0;
+    if (live_.has_value()) return live_->Footprint();
+    if (sharded_ != nullptr) return sharded_->Footprint();
+    if (shared_ != nullptr) {
+      return shared_->WithRead([](const S& s) { return s.Footprint(); });
+    }
+    return 0;
+  }
+
+  std::shared_ptr<const AnswerSource> Pin() const override {
+    if (!valid()) return nullptr;
+    std::shared_ptr<const S> snapshot;
+    if (live_.has_value()) {
+      // Non-owning alias: the unsynchronized driver guarantees the handle
+      // outlives the answer computation.
+      snapshot = std::shared_ptr<const S>(std::shared_ptr<const S>(),
+                                          std::addressof(*live_));
+    } else {
+      Result<std::shared_ptr<const S>> cached = cache_->Get();
+      if (!cached.ok()) return nullptr;
+      snapshot = std::move(cached).ValueOrDie();
+    }
+    return std::make_shared<TypedAnswerSource<S>>(descriptor_,
+                                                  std::move(snapshot));
+  }
+
+  /// A consistent copy of the current state: the live synopsis, the merged
+  /// shard snapshot, or a copy under the shared lock (tests, persistence).
+  Result<S> StateCopy() const {
+    if (!valid()) {
+      return Status::FailedPrecondition(std::string(Name()) +
+                                        " invalidated by deletions");
+    }
+    if (live_.has_value()) return S(*live_);
+    if constexpr (ShardableSynopsis<S>) {
+      if (sharded_ != nullptr) return sharded_->Snapshot();
+    }
+    if (shared_ != nullptr) {
+      return shared_->WithRead([](const S& s) { return s; });
+    }
+    return Status::Internal("handle has no storage");
+  }
+
+  /// The live synopsis in unsynchronized mode; null otherwise (including
+  /// after invalidation).
+  const S* LiveUnsynchronized() const {
+    return live_.has_value() ? std::addressof(*live_) : nullptr;
+  }
+
+  Result<std::vector<std::uint8_t>> EncodeState() const override {
+    if (descriptor_->encode == nullptr) {
+      return Status::Unimplemented(std::string(Name()) +
+                                   " has no persist codec");
+    }
+    AQUA_ASSIGN_OR_RETURN(const S copy, StateCopy());
+    return descriptor_->encode(copy);
+  }
+
+  Status RestoreState(const std::vector<std::uint8_t>& bytes) override {
+    if (descriptor_->decode == nullptr) {
+      return Status::Unimplemented(std::string(Name()) +
+                                   " has no persist codec");
+    }
+    if (mode_ != ExecutionMode::kUnsynchronized) {
+      return Status::Unimplemented(
+          "RestoreState supports unsynchronized handles only; restore "
+          "before serving begins");
+    }
+    std::uint64_t chain = seed_ ^ kRestoreSeedTag;
+    AQUA_ASSIGN_OR_RETURN(S restored,
+                          descriptor_->decode(bytes, SplitMix64Next(chain)));
+    live_.emplace(std::move(restored));
+    valid_.store(true, std::memory_order_release);
+    return Status::OK();
+  }
+
+  std::uint64_t CacheEpoch() const override {
+    return cache_ != nullptr ? cache_->epoch() : 0;
+  }
+
+  SnapshotCacheStats CacheStats() const override {
+    return cache_ != nullptr ? cache_->Stats() : SnapshotCacheStats{};
+  }
+
+  bool Cached() const override { return cache_ != nullptr; }
+
+ private:
+  static constexpr std::uint64_t kRestoreSeedTag = 0x7e57a7edc0dec0deULL;
+
+  /// Independent per-shard streams (correlated shards would break merge
+  /// uniformity); SplitMix64 over seed + shard index.
+  std::uint64_t ShardSeed(std::size_t i) const {
+    std::uint64_t s = seed_ + 0x9e3779b97f4a7c15ULL * (i + 1);
+    return SplitMix64Next(s);
+  }
+
+  std::shared_ptr<const SynopsisDescriptor<S>> descriptor_;
+  SynopsisCapabilities caps_;
+  ExecutionMode mode_;
+  std::uint64_t seed_;
+
+  std::optional<S> live_;
+  std::unique_ptr<ShardedSynopsis<S>> sharded_;
+  std::unique_ptr<SharedSynopsis<S>> shared_;
+  std::unique_ptr<SnapshotCache<S>> cache_;
+
+  std::atomic<bool> valid_{true};
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_REGISTRY_TYPED_HANDLE_H_

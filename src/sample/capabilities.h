@@ -1,0 +1,76 @@
+#ifndef AQUA_SAMPLE_CAPABILITIES_H_
+#define AQUA_SAMPLE_CAPABILITIES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace aqua {
+
+/// The query kinds an AQUA synopsis can answer (the paper's query classes:
+/// hot lists §5, per-value frequencies §5.2, predicate counts §1.1, and
+/// distinct-value counts §2's [FM85] citation).
+enum class QueryKind : int {
+  kHotList = 0,
+  kFrequency = 1,
+  kCountWhere = 2,
+  kDistinct = 3,
+};
+
+inline constexpr int kNumQueryKinds = 4;
+
+/// What a synopsis does when a delete arrives (§4.1).
+enum class DeleteBehavior {
+  /// Insert-only structure; deletes pass it by (the FM sketch — removing a
+  /// value cannot clear a shared bitmap bit).
+  kIgnores,
+  /// Cannot be maintained under deletions; invalidated by the first delete
+  /// so stale uniform samples are never served (concise/traditional
+  /// samples, §4.1).
+  kInvalidates,
+  /// Applies the delete exactly (counting sample, Theorem 5; the full
+  /// histogram).
+  kApplies,
+};
+
+/// Rank value meaning "this synopsis does not answer that query kind".
+inline constexpr int kCannotAnswer = -1;
+
+/// Everything the registry needs to know about a synopsis besides how to
+/// compute answers: delete semantics, concurrency-relevant traits (derived
+/// from the synopsis type at registration), persistence, and the per-kind
+/// accuracy rank implementing §6's "most accurate synopsis first" ordering
+/// (lower rank answers first; ties break by registration order).
+struct SynopsisCapabilities {
+  DeleteBehavior on_delete = DeleteBehavior::kIgnores;
+  /// MergeFrom over disjoint substreams (gates sharded ingest).
+  bool mergeable = false;
+  /// Reseed of the private random stream (required for merged snapshots).
+  bool reseedable = false;
+  /// Synopsis-level InsertBatch fast path.
+  bool batch_insertable = false;
+  /// Has a persist encode/decode codec.
+  bool persistable = false;
+  /// This handle instance shards its ingest (concurrent mode + mergeable).
+  bool sharded = false;
+  std::array<int, kNumQueryKinds> rank = {kCannotAnswer, kCannotAnswer,
+                                          kCannotAnswer, kCannotAnswer};
+
+  int RankFor(QueryKind kind) const { return rank[static_cast<int>(kind)]; }
+  bool Answers(QueryKind kind) const {
+    return RankFor(kind) != kCannotAnswer;
+  }
+};
+
+/// Stream-level context an answer computation needs beyond the synopsis
+/// itself.
+struct QueryContext {
+  /// Size n of the observed stream (scales sample estimates to the
+  /// relation).
+  std::int64_t observed_inserts = 0;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SAMPLE_CAPABILITIES_H_

@@ -59,6 +59,13 @@ void HttpServer::Route(std::string method, std::string path,
       std::move(handler));
 }
 
+void HttpServer::RoutePrefix(std::string method, std::string prefix,
+                             Handler handler) {
+  prefix_routes_.emplace_back(
+      std::make_pair(std::move(method), std::move(prefix)),
+      std::move(handler));
+}
+
 Status HttpServer::Start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
@@ -358,6 +365,19 @@ void HttpServer::WorkerLoop() {
         if (key.first == item.request.method) {
           handler = &h;
           break;
+        }
+      }
+    }
+    if (handler == nullptr) {
+      // Exact routes miss: longest matching prefix wins.
+      std::size_t best_len = 0;
+      for (const auto& [key, h] : prefix_routes_) {
+        if (!item.request.path.starts_with(key.second)) continue;
+        path_known = true;
+        if (key.first == item.request.method &&
+            key.second.size() >= best_len) {
+          best_len = key.second.size();
+          handler = &h;
         }
       }
     }

@@ -60,6 +60,12 @@ class HttpServer {
   /// different method answer 405.
   void Route(std::string method, std::string path, Handler handler);
 
+  /// Registers a handler for every path starting with `prefix` (e.g.
+  /// "/attr/").  Exact routes win over prefixes; among prefixes the longest
+  /// match wins.  Must be called before Start().  A path matched only by a
+  /// prefix with a different method answers 405 like exact routes.
+  void RoutePrefix(std::string method, std::string prefix, Handler handler);
+
   /// Binds, listens and spawns the IO + worker threads.
   Status Start();
 
@@ -118,6 +124,9 @@ class HttpServer {
   HttpRequestParser::Limits limits_;
   std::vector<std::pair<std::pair<std::string, std::string>, Handler>>
       routes_;
+  // (method, prefix) -> handler; consulted after exact routes miss.
+  std::vector<std::pair<std::pair<std::string, std::string>, Handler>>
+      prefix_routes_;
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;

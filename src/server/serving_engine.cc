@@ -1,179 +1,57 @@
 #include "server/serving_engine.h"
 
-#include <chrono>
-#include <utility>
-
-#include "random/xoshiro256.h"
+#include "common/check.h"
 
 namespace aqua {
 
 namespace {
 
-std::int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+SynopsisRegistry::Options RegistryOptions(
+    const ServingEngineOptions& options) {
+  SynopsisRegistry::Options registry_options;
+  registry_options.mode = ExecutionMode::kConcurrent;
+  registry_options.shards = options.shards;
+  registry_options.seed = options.seed;
+  registry_options.cache_max_stale_ops = options.cache_max_stale_ops;
+  registry_options.cache_max_stale_interval =
+      options.cache_max_stale_interval;
+  return registry_options;
 }
 
 }  // namespace
 
 ServingEngine::ServingEngine(const ServingEngineOptions& options)
-    : options_(options),
-      concise_(
-          options.shards,
-          [&options](std::size_t i) {
-            ConciseSampleOptions o;
-            o.footprint_bound = options.footprint_bound;
-            // Independent per-shard streams (correlated shards would break
-            // merge uniformity); SplitMix64 over seed + shard index.
-            std::uint64_t s = options.seed + 0x9e3779b97f4a7c15ULL * (i + 1);
-            o.seed = SplitMix64Next(s);
-            return ConciseSample(o);
-          },
-          ShardRouting::kRoundRobin),
-      concise_cache_([this] { return concise_.Snapshot(); },
-                     {.max_stale_ops = options.cache_max_stale_ops,
-                      .max_stale_interval = options.cache_max_stale_interval}) {
-  std::uint64_t seed = options.seed ^ 0x5e41f1c3a9d2b807ULL;
-  if (options.maintain_counting) {
-    CountingSampleOptions ks;
-    ks.footprint_bound = options.footprint_bound;
-    ks.seed = SplitMix64Next(seed);
-    counting_ =
-        std::make_unique<SharedSynopsis<CountingSample>>(CountingSample(ks));
-    counting_cache_ = std::make_unique<SnapshotCache<CountingSample>>(
-        [this]() -> Result<CountingSample> {
-          // A counting sample cannot be merged, so the "snapshot" is a
-          // copy taken under the shared lock — still O(footprint), still
-          // off the per-query path thanks to the epoch cache.
-          return counting_->WithRead(
-              [](const CountingSample& s) { return s; });
-        },
-        SnapshotCache<CountingSample>::Options{
-            .max_stale_ops = options.cache_max_stale_ops,
-            .max_stale_interval = options.cache_max_stale_interval});
+    : options_(options), registry_(RegistryOptions(options)) {
+  BuiltinBounds bounds;
+  bounds.single = options.footprint_bound;
+  bounds.sharded = options.footprint_bound;
+  AQUA_CHECK(RegisterBuiltinSynopses(registry_, options, bounds).ok());
+  if (options.maintain_full_histogram) {
+    AQUA_CHECK(registry_
+                   .Register(FullHistogramDescriptor(options.footprint_bound))
+                   .ok());
   }
-  if (options.maintain_distinct_sketch) {
-    distinct_sketch_ =
-        std::make_unique<FlajoletMartin>(64, SplitMix64Next(seed));
-  }
-}
-
-void ServingEngine::InsertBatch(std::span<const Value> values) {
-  if (values.empty()) return;
-  if (concise_valid_.load(std::memory_order_acquire)) {
-    concise_.InsertBatch(values);
-  }
-  if (counting_) counting_->InsertBatch(values);
-  if (distinct_sketch_) {
-    std::lock_guard<std::mutex> lock(sketch_mutex_);
-    for (Value v : values) distinct_sketch_->Insert(v);
-  }
-  const auto n = static_cast<std::int64_t>(values.size());
-  inserts_.fetch_add(n, std::memory_order_relaxed);
-  concise_cache_.OnOps(n);
-  if (counting_cache_) counting_cache_->OnOps(n);
 }
 
 Status ServingEngine::Delete(Value value) {
-  if (!counting_) {
+  if (!registry_.HasDeletable()) {
     return Status::FailedPrecondition(
         "deletes require the counting sample (concise samples cannot be "
         "maintained under deletions, §4.1)");
   }
-  // Drop concise-based serving permanently (§4.1), exactly like
-  // ApproximateAnswerEngine::Observe on the first delete.
-  concise_valid_.store(false, std::memory_order_release);
-  const Status status = counting_->Delete(value);
-  deletes_.fetch_add(1, std::memory_order_relaxed);
-  concise_cache_.OnOps(1);
-  if (counting_cache_) counting_cache_->OnOps(1);
-  return status;
-}
-
-ServingEngine::PinnedSnapshots ServingEngine::Pin(bool need_counting,
-                                                  bool need_concise) const {
-  PinnedSnapshots pinned;
-  if (need_counting && counting_cache_) {
-    auto counting = counting_cache_->Get();
-    if (counting.ok()) pinned.counting = std::move(counting).ValueOrDie();
-  }
-  if (need_concise && concise_valid_.load(std::memory_order_acquire)) {
-    auto concise = concise_cache_.Get();
-    if (concise.ok()) pinned.concise = std::move(concise).ValueOrDie();
-  }
-  return pinned;
-}
-
-QueryResponse<HotList> ServingEngine::HotListAnswer(
-    const HotListQuery& query) const {
-  const std::int64_t start = NowNs();
-  const PinnedSnapshots pinned = Pin(/*need_counting=*/true,
-                                     /*need_concise=*/true);
-  SynopsisView view;
-  view.counting = pinned.counting.get();
-  view.concise = pinned.concise.get();
-  view.observed_inserts = observed_inserts();
-  QueryResponse<HotList> response = AnswerHotList(view, query);
-  response.response_ns = NowNs() - start;  // includes the cache access
-  return response;
-}
-
-QueryResponse<Estimate> ServingEngine::FrequencyAnswer(Value value) const {
-  const std::int64_t start = NowNs();
-  const PinnedSnapshots pinned = Pin(/*need_counting=*/true,
-                                     /*need_concise=*/true);
-  SynopsisView view;
-  view.counting = pinned.counting.get();
-  view.concise = pinned.concise.get();
-  view.observed_inserts = observed_inserts();
-  QueryResponse<Estimate> response = AnswerFrequency(view, value);
-  response.response_ns = NowNs() - start;
-  return response;
-}
-
-QueryResponse<Estimate> ServingEngine::CountWhereAnswer(
-    const ValuePredicate& pred, double confidence) const {
-  const std::int64_t start = NowNs();
-  const PinnedSnapshots pinned = Pin(/*need_counting=*/false,
-                                     /*need_concise=*/true);
-  SynopsisView view;
-  view.concise = pinned.concise.get();
-  view.observed_inserts = observed_inserts();
-  QueryResponse<Estimate> response = AnswerCountWhere(view, pred, confidence);
-  response.response_ns = NowNs() - start;
-  return response;
-}
-
-QueryResponse<Estimate> ServingEngine::DistinctValuesAnswer() const {
-  const std::int64_t start = NowNs();
-  QueryResponse<Estimate> response;
-  if (distinct_sketch_) {
-    // The sketch is tiny; answer under its lock rather than snapshotting.
-    std::lock_guard<std::mutex> lock(sketch_mutex_);
-    SynopsisView view;
-    view.distinct_sketch = distinct_sketch_.get();
-    response = AnswerDistinctValues(view);
-  } else {
-    response.method = "none";
-  }
-  response.response_ns = NowNs() - start;
-  return response;
+  return registry_.Delete(value);
 }
 
 ServingEngine::Stats ServingEngine::GetStats() const {
   Stats stats;
-  stats.inserts = observed_inserts();
-  stats.deletes = observed_deletes();
-  stats.concise_valid = concise_valid_.load(std::memory_order_acquire);
-  stats.shards = concise_.num_shards();
+  RegistryStats registry_stats = registry_.GetStats();
+  stats.inserts = registry_stats.inserts;
+  stats.deletes = registry_stats.deletes;
+  stats.shards = options_.shards;
   stats.footprint_bound = options_.footprint_bound;
-  stats.concise_epoch = concise_cache_.epoch();
-  stats.concise_cache = concise_cache_.Stats();
-  if (counting_cache_) {
-    stats.counting_epoch = counting_cache_->epoch();
-    stats.counting_cache = counting_cache_->Stats();
-  }
+  const SynopsisHandle* concise = registry_.handle(kConciseSynopsisName);
+  stats.concise_valid = concise != nullptr && concise->valid();
+  stats.synopses = std::move(registry_stats.synopses);
   return stats;
 }
 

@@ -1,34 +1,29 @@
 #ifndef AQUA_SERVER_SERVING_ENGINE_H_
 #define AQUA_SERVER_SERVING_ENGINE_H_
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <memory>
-#include <mutex>
 #include <span>
+#include <utility>
+#include <vector>
 
-#include "concurrency/sharded_synopsis.h"
-#include "concurrency/snapshot_cache.h"
-#include "concurrency/shared_synopsis.h"
-#include "core/concise_sample.h"
-#include "core/counting_sample.h"
-#include "sketch/flajolet_martin.h"
+#include "registry/builtin.h"
+#include "registry/query_response.h"
+#include "registry/registry.h"
 #include "warehouse/engine.h"
 
 namespace aqua {
 
-/// Configuration of a ServingEngine.
-struct ServingEngineOptions {
-  /// Ingest shards for the concise sample (kRoundRobin routing).
+/// Configuration of a ServingEngine.  The synopsis selection shares the
+/// SynopsisSelection defaults with the warehouse engine; the serving
+/// footprint bound applies per synopsis *per shard* (serving deliberately
+/// over-provisions shards — the budget-enforcing path is SynopsisCatalog).
+struct ServingEngineOptions : SynopsisSelection {
+  /// Ingest shards per shardable synopsis.
   std::size_t shards = 8;
   /// Footprint bound per synopsis, in words.
   Words footprint_bound = 4096;
   std::uint64_t seed = 0x19980531ULL;
-  /// Counting sample (most accurate hot lists; exact delete handling).
-  bool maintain_counting = true;
-  /// [FM85] sketch for /distinct.
-  bool maintain_distinct_sketch = true;
   /// Snapshot-cache staleness bounds (see SnapshotCache).
   std::int64_t cache_max_stale_ops = 8192;
   std::chrono::nanoseconds cache_max_stale_interval =
@@ -39,38 +34,52 @@ struct ServingEngineOptions {
 /// API, but safe under concurrent ingest and queries, and with per-query
 /// cost independent of the shard count.
 ///
-/// Ingest side: inserts land in a ShardedSynopsis<ConciseSample>
-/// (round-robin, one lock per shard) and a SharedSynopsis<CountingSample>
-/// (counting samples are deliberately unmergeable — DESIGN.md §6 — so they
-/// stay single-instance behind one mutex); the FM sketch takes its own
-/// short lock.  Deletes go to the counting sample (exact, Theorem 5) and
-/// permanently invalidate the concise sample, mirroring the engine's §4.1
-/// semantics.
-///
-/// Query side: answers are computed over *epoch-cached snapshots*
-/// (SnapshotCache) instead of merging shards or locking the ingest
-/// structures per request — a query costs a pointer load plus the answer
-/// computation, and snapshots trail ingest by at most the configured
-/// staleness bound.  Responses' response_ns includes the cache access, so
-/// serving-latency benchmarks measure the path clients actually see.
+/// Like the warehouse engine, this is now a thin driver over one
+/// SynopsisRegistry — in concurrent mode, so each handle instantiates the
+/// machinery its capabilities permit: mergeable synopses
+/// (concise/traditional) shard their ingest across per-lock shards and
+/// re-merge on snapshot refresh; unmergeable ones (counting sample, FM
+/// sketch) stay single-instance behind one mutex with copy-on-refresh
+/// snapshots.  Every query kind answers from epoch-cached snapshots
+/// (SnapshotCache) through the registry's single rank-ordered answer path;
+/// deletes follow §4.1 per-synopsis semantics and are refused entirely
+/// when no delete-capable synopsis is maintained.
 class ServingEngine {
  public:
   explicit ServingEngine(const ServingEngineOptions& options);
 
-  /// Ingests a batch of inserted values (thread-safe).
-  void InsertBatch(std::span<const Value> values);
+  /// Registers an additional synopsis served through the same answer path
+  /// (call before ingest begins).
+  template <RegistrableSynopsis S>
+  Status RegisterSynopsis(SynopsisDescriptor<S> descriptor) {
+    return registry_.Register(std::move(descriptor));
+  }
 
-  /// Ingests one delete (thread-safe).  Requires the counting sample;
-  /// invalidates concise-sample answers from this point on.
+  /// Ingests a batch of inserted values (thread-safe).
+  void InsertBatch(std::span<const Value> values) {
+    registry_.InsertBatch(values);
+  }
+
+  /// Ingests one delete (thread-safe).  Requires a delete-capable synopsis
+  /// (the counting sample); invalidates concise-sample answers from this
+  /// point on.
   Status Delete(Value value);
 
   /// Queries, served from cached snapshots.  Method selection follows the
-  /// engine's accuracy ordering; "none" when no usable synopsis remains.
-  QueryResponse<HotList> HotListAnswer(const HotListQuery& query) const;
-  QueryResponse<Estimate> FrequencyAnswer(Value value) const;
+  /// registry's accuracy ordering; "none" when no usable synopsis remains.
+  QueryResponse<HotList> HotListAnswer(const HotListQuery& query) const {
+    return registry_.HotListAnswer(query);
+  }
+  QueryResponse<Estimate> FrequencyAnswer(Value value) const {
+    return registry_.FrequencyAnswer(value);
+  }
   QueryResponse<Estimate> CountWhereAnswer(const ValuePredicate& pred,
-                                           double confidence = 0.95) const;
-  QueryResponse<Estimate> DistinctValuesAnswer() const;
+                                           double confidence = 0.95) const {
+    return registry_.CountWhereAnswer(pred, confidence);
+  }
+  QueryResponse<Estimate> DistinctValuesAnswer() const {
+    return registry_.DistinctValuesAnswer();
+  }
 
   struct Stats {
     std::int64_t inserts = 0;
@@ -78,42 +87,22 @@ class ServingEngine {
     bool concise_valid = true;
     std::size_t shards = 0;
     Words footprint_bound = 0;
-    std::uint64_t concise_epoch = 0;
-    std::uint64_t counting_epoch = 0;
-    SnapshotCache<ConciseSample>::CacheStats concise_cache;
-    SnapshotCache<CountingSample>::CacheStats counting_cache;
+    std::vector<SynopsisHandleStats> synopses;
   };
   Stats GetStats() const;
 
+  const SynopsisRegistry& registry() const { return registry_; }
+
   std::int64_t observed_inserts() const {
-    return inserts_.load(std::memory_order_relaxed);
+    return registry_.observed_inserts();
   }
   std::int64_t observed_deletes() const {
-    return deletes_.load(std::memory_order_relaxed);
+    return registry_.observed_deletes();
   }
 
  private:
-  /// Cached snapshots pinned for the duration of one answer computation.
-  struct PinnedSnapshots {
-    std::shared_ptr<const CountingSample> counting;
-    std::shared_ptr<const ConciseSample> concise;
-  };
-  PinnedSnapshots Pin(bool need_counting, bool need_concise) const;
-
   ServingEngineOptions options_;
-  ShardedSynopsis<ConciseSample> concise_;
-  std::unique_ptr<SharedSynopsis<CountingSample>> counting_;
-  mutable std::mutex sketch_mutex_;
-  std::unique_ptr<FlajoletMartin> distinct_sketch_;
-
-  SnapshotCache<ConciseSample> concise_cache_;
-  std::unique_ptr<SnapshotCache<CountingSample>> counting_cache_;
-
-  std::atomic<std::int64_t> inserts_{0};
-  std::atomic<std::int64_t> deletes_{0};
-  /// Cleared by the first delete: concise samples cannot be maintained
-  /// under deletions (§4.1), so concise-based answers stop being served.
-  std::atomic<bool> concise_valid_{true};
+  SynopsisRegistry registry_;
 };
 
 }  // namespace aqua

@@ -32,6 +32,11 @@ class FlajoletMartin {
 
   int num_maps() const { return static_cast<int>(bitmaps_.size()); }
 
+  /// Words of memory: one bitmap word plus one salt word per map.
+  Words Footprint() const {
+    return static_cast<Words>(bitmaps_.size() + salts_.size());
+  }
+
  private:
   static std::uint64_t Mix(std::uint64_t x, std::uint64_t salt);
 

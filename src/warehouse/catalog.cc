@@ -15,8 +15,13 @@ constexpr Words kMinShare = 16;
 
 SynopsisCatalog::SynopsisCatalog(Words total_budget_words,
                                  std::uint64_t seed)
-    : budget_(total_budget_words), seed_(seed) {
+    : SynopsisCatalog(total_budget_words, CatalogOptions{.seed = seed}) {}
+
+SynopsisCatalog::SynopsisCatalog(Words total_budget_words,
+                                 const CatalogOptions& options)
+    : budget_(total_budget_words), options_(options) {
   AQUA_CHECK_GE(total_budget_words, kMinShare);
+  AQUA_CHECK_GE(options.shards, std::size_t{1});
 }
 
 Status SynopsisCatalog::RegisterAttribute(const std::string& name,
@@ -49,89 +54,161 @@ Status SynopsisCatalog::Seal() {
   for (const auto& [name, attribute] : attributes_) {
     total_weight += attribute.options.weight;
   }
-  // Count how many synopses each attribute maintains: the share is per
-  // attribute and divided among its synopses by the engine's constructor
-  // taking the same footprint bound for each enabled synopsis; to respect
-  // the *global* budget we divide the attribute share by its synopsis
-  // count.
-  std::uint64_t seed = seed_;
+  // Budget carve per attribute: the weighted share is first charged the
+  // fixed sketch words (the FM sketch's footprint does not scale with its
+  // bound), then divided equally among the selected sample synopses;
+  // sharded (mergeable) synopses split their per-synopsis slice across
+  // shards so the attribute's total footprint stays within its share.
+  std::uint64_t seed = options_.seed;
   for (auto& [name, attribute] : attributes_) {
     const double fraction = attribute.options.weight / total_weight;
     const auto share = static_cast<Words>(
         std::floor(fraction * static_cast<double>(budget_)));
+    Words sample_words = share;
+    if (attribute.options.maintain_distinct_sketch) {
+      if (share < kDefaultSketchWords) {
+        return Status::ResourceExhausted(
+            "budget too small for attribute " + name + ": the sketch alone "
+            "needs " + std::to_string(kDefaultSketchWords) + " words");
+      }
+      sample_words -= kDefaultSketchWords;
+    }
     int synopses = 0;
     synopses += attribute.options.maintain_traditional ? 1 : 0;
     synopses += attribute.options.maintain_concise ? 1 : 0;
     synopses += attribute.options.maintain_counting ? 1 : 0;
-    if (synopses == 0) {
+    synopses += attribute.options.maintain_full_histogram ? 1 : 0;
+    if (synopses == 0 && !attribute.options.maintain_distinct_sketch) {
       return Status::InvalidArgument("attribute " + name +
                                      " maintains no synopses");
     }
-    const Words per_synopsis = share / synopses;
-    if (per_synopsis < kMinShare) {
-      return Status::ResourceExhausted(
-          "budget too small for attribute " + name + ": " +
-          std::to_string(per_synopsis) + " words per synopsis");
+    BuiltinBounds bounds;
+    if (synopses > 0) {
+      const Words per_synopsis = sample_words / synopses;
+      const auto shards = static_cast<Words>(options_.shards);
+      const bool has_sharded = attribute.options.maintain_traditional ||
+                               attribute.options.maintain_concise;
+      const Words per_shard = per_synopsis / shards;
+      const Words smallest = has_sharded ? per_shard : per_synopsis;
+      if (smallest < kMinShare) {
+        return Status::ResourceExhausted(
+            "budget too small for attribute " + name + ": " +
+            std::to_string(smallest) + " words per synopsis");
+      }
+      bounds.single = per_synopsis;
+      bounds.sharded = per_shard;
     }
     attribute.share = share;
-    EngineOptions engine_options;
-    engine_options.footprint_bound = per_synopsis;
-    engine_options.seed = SplitMix64Next(seed);
-    engine_options.maintain_traditional =
-        attribute.options.maintain_traditional;
-    engine_options.maintain_concise = attribute.options.maintain_concise;
-    engine_options.maintain_counting = attribute.options.maintain_counting;
-    engine_options.maintain_distinct_sketch =
-        attribute.options.maintain_distinct_sketch;
-    engine_options.maintain_full_histogram = false;
-    attribute.engine =
-        std::make_unique<ApproximateAnswerEngine>(engine_options);
+    SynopsisRegistry::Options registry_options;
+    registry_options.mode = ExecutionMode::kConcurrent;
+    registry_options.shards = options_.shards;
+    registry_options.seed = SplitMix64Next(seed);
+    registry_options.cache_max_stale_ops = options_.cache_max_stale_ops;
+    registry_options.cache_max_stale_interval =
+        options_.cache_max_stale_interval;
+    attribute.registry = std::make_unique<SynopsisRegistry>(registry_options);
+    AQUA_RETURN_NOT_OK(
+        RegisterBuiltinSynopses(*attribute.registry, attribute.options,
+                                bounds));
+    if (attribute.options.maintain_full_histogram) {
+      AQUA_RETURN_NOT_OK(attribute.registry->Register(
+          FullHistogramDescriptor(bounds.single)));
+    }
   }
   sealed_ = true;
   return Status::OK();
 }
 
-Status SynopsisCatalog::Observe(const std::string& attribute,
-                                const StreamOp& op) {
+Result<const SynopsisRegistry*> SynopsisCatalog::RegistryFor(
+    const std::string& attribute) const {
   if (!sealed_) return Status::FailedPrecondition("catalog not sealed");
   auto it = attributes_.find(attribute);
   if (it == attributes_.end()) {
     return Status::NotFound("unknown attribute: " + attribute);
   }
-  return it->second.engine->Observe(op);
+  return it->second.registry.get();
 }
 
-const ApproximateAnswerEngine* SynopsisCatalog::engine(
+Result<SynopsisRegistry*> SynopsisCatalog::MutableRegistryFor(
+    const std::string& attribute) {
+  if (!sealed_) return Status::FailedPrecondition("catalog not sealed");
+  auto it = attributes_.find(attribute);
+  if (it == attributes_.end()) {
+    return Status::NotFound("unknown attribute: " + attribute);
+  }
+  return it->second.registry.get();
+}
+
+Status SynopsisCatalog::Observe(const std::string& attribute,
+                                const StreamOp& op) {
+  AQUA_ASSIGN_OR_RETURN(SynopsisRegistry* r, MutableRegistryFor(attribute));
+  return r->Observe(op);
+}
+
+Status SynopsisCatalog::ObserveBatch(const std::string& attribute,
+                                     std::span<const StreamOp> ops) {
+  AQUA_ASSIGN_OR_RETURN(SynopsisRegistry* r, MutableRegistryFor(attribute));
+  return r->ObserveBatch(ops);
+}
+
+Status SynopsisCatalog::InsertBatch(const std::string& attribute,
+                                    std::span<const Value> values) {
+  AQUA_ASSIGN_OR_RETURN(SynopsisRegistry* r, MutableRegistryFor(attribute));
+  r->InsertBatch(values);
+  return Status::OK();
+}
+
+const SynopsisRegistry* SynopsisCatalog::registry(
     const std::string& attribute) const {
   auto it = attributes_.find(attribute);
   if (it == attributes_.end()) return nullptr;
-  return it->second.engine.get();
+  return it->second.registry.get();
 }
 
 Result<QueryResponse<HotList>> SynopsisCatalog::HotListFor(
     const std::string& attribute, const HotListQuery& query) const {
-  const ApproximateAnswerEngine* e = engine(attribute);
-  if (e == nullptr) {
-    return Status::NotFound("unknown attribute: " + attribute);
-  }
-  return e->HotListAnswer(query);
+  AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
+  return r->HotListAnswer(query);
 }
 
 Result<QueryResponse<Estimate>> SynopsisCatalog::FrequencyFor(
     const std::string& attribute, Value value) const {
-  const ApproximateAnswerEngine* e = engine(attribute);
-  if (e == nullptr) {
-    return Status::NotFound("unknown attribute: " + attribute);
-  }
-  return e->FrequencyAnswer(value);
+  AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
+  return r->FrequencyAnswer(value);
+}
+
+Result<QueryResponse<Estimate>> SynopsisCatalog::CountWhereFor(
+    const std::string& attribute, const ValuePredicate& pred,
+    double confidence) const {
+  AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
+  return r->CountWhereAnswer(pred, confidence);
+}
+
+Result<QueryResponse<Estimate>> SynopsisCatalog::DistinctFor(
+    const std::string& attribute) const {
+  AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
+  return r->DistinctValuesAnswer();
+}
+
+Result<RegistryStats> SynopsisCatalog::StatsFor(
+    const std::string& attribute) const {
+  AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
+  return r->GetStats();
 }
 
 Words SynopsisCatalog::TotalFootprint() const {
   Words total = 0;
   for (const auto& [name, attribute] : attributes_) {
-    if (attribute.engine) total += attribute.engine->TotalFootprint();
+    if (attribute.registry) total += attribute.registry->TotalFootprint();
   }
   return total;
+}
+
+std::vector<std::string> SynopsisCatalog::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(attributes_.size());
+  for (const auto& [name, attribute] : attributes_) names.push_back(name);
+  return names;
 }
 
 Words SynopsisCatalog::ShareOf(const std::string& attribute) const {

@@ -1,72 +1,112 @@
 #ifndef AQUA_WAREHOUSE_CATALOG_H_
 #define AQUA_WAREHOUSE_CATALOG_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "registry/builtin.h"
+#include "registry/registry.h"
 #include "warehouse/engine.h"
 
 namespace aqua {
 
-/// Options for one attribute registered in the catalog.
-struct AttributeOptions {
+/// Options for one attribute registered in the catalog.  The synopsis
+/// selection shares the SynopsisSelection defaults with both engines.
+struct AttributeOptions : SynopsisSelection {
   /// Relative share of the catalog's memory budget (default equal shares).
   double weight = 1.0;
-  /// Synopsis selection, forwarded to the attribute's engine.
-  bool maintain_traditional = false;
-  bool maintain_concise = true;
-  bool maintain_counting = true;
-  bool maintain_distinct_sketch = false;
 };
 
-/// A catalog of per-attribute approximate-answer engines under one global
-/// memory budget (§1: "To handle many base tables and many types of
-/// queries, a large number of synopses may be needed", and memory "remains
-/// a precious resource" — so footprints must be budgeted, not unbounded).
+/// Catalog-wide serving parameters.
+struct CatalogOptions {
+  std::uint64_t seed = 0x19980531ULL;
+  /// Ingest shards per shardable synopsis per attribute.  Unlike the
+  /// serving engine, the catalog *divides* each sharded synopsis's budget
+  /// share across its shards, so the global budget holds regardless.
+  std::size_t shards = 1;
+  /// Snapshot-cache staleness bounds (see SnapshotCache).
+  std::int64_t cache_max_stale_ops = 8192;
+  std::chrono::nanoseconds cache_max_stale_interval =
+      std::chrono::milliseconds(100);
+};
+
+/// A catalog of per-attribute synopsis registries under one global memory
+/// budget (§1: "To handle many base tables and many types of queries, a
+/// large number of synopses may be needed", and memory "remains a precious
+/// resource" — so footprints must be budgeted, not unbounded).
 ///
-/// Each registered attribute gets a footprint share proportional to its
-/// weight; the catalog routes observed load-stream operations and queries
-/// by attribute name.
+/// This is the multi-attribute serving surface: each registered attribute
+/// gets a footprint share proportional to its weight, carved into
+/// per-synopsis bounds at Seal(); ingest (Observe/ObserveBatch/
+/// InsertBatch) routes by attribute name into concurrent registries, so
+/// after Seal() the catalog is safe under concurrent ingest and queries,
+/// and every query kind answers from the attribute's epoch-cached
+/// snapshots exactly like ServingEngine.
 class SynopsisCatalog {
  public:
   /// `total_budget_words`: memory words to divide across all attributes'
   /// synopses.  Attributes must be registered before the first Observe.
   SynopsisCatalog(Words total_budget_words, std::uint64_t seed);
+  SynopsisCatalog(Words total_budget_words, const CatalogOptions& options);
 
   /// Registers an attribute; fails on duplicates or after observation
   /// started.  The per-attribute footprint is fixed when Seal() is called.
   Status RegisterAttribute(const std::string& name,
                            const AttributeOptions& options = {});
 
-  /// Finalizes registration: computes each attribute's footprint share and
-  /// instantiates the engines.  Must be called once before Observe.
+  /// Finalizes registration: computes each attribute's footprint share,
+  /// carves out the fixed sketch words, divides the rest among the
+  /// selected sample synopses (and their shards), and instantiates the
+  /// registries.  Must be called once before Observe.
   Status Seal();
 
-  /// Observes one operation on the named attribute.
+  /// Observes one operation on the named attribute (thread-safe after
+  /// Seal).
   Status Observe(const std::string& attribute, const StreamOp& op);
 
-  /// The engine serving an attribute (null if unknown or not sealed).
-  const ApproximateAnswerEngine* engine(const std::string& attribute) const;
+  /// Observes a slice of the named attribute's load stream; insert runs
+  /// take the batched fast paths.
+  Status ObserveBatch(const std::string& attribute,
+                      std::span<const StreamOp> ops);
 
-  /// Hot list for one attribute.
+  /// Ingests a batch of inserted values for one attribute.
+  Status InsertBatch(const std::string& attribute,
+                     std::span<const Value> values);
+
+  /// The registry serving an attribute (null if unknown or not sealed).
+  const SynopsisRegistry* registry(const std::string& attribute) const;
+
+  /// Queries, one per kind, routed by attribute; NotFound for unknown
+  /// attributes, FailedPrecondition before Seal().
   Result<QueryResponse<HotList>> HotListFor(const std::string& attribute,
-                                         const HotListQuery& query) const;
-
-  /// Frequency estimate for one attribute/value.
+                                            const HotListQuery& query) const;
   Result<QueryResponse<Estimate>> FrequencyFor(const std::string& attribute,
-                                            Value value) const;
+                                               Value value) const;
+  Result<QueryResponse<Estimate>> CountWhereFor(
+      const std::string& attribute, const ValuePredicate& pred,
+      double confidence = 0.95) const;
+  Result<QueryResponse<Estimate>> DistinctFor(
+      const std::string& attribute) const;
 
-  /// Total words currently used across all engines (<= budget in words,
-  /// per-synopsis bounds permitting).
+  /// Per-attribute ingest counters and per-synopsis cache/footprint stats.
+  Result<RegistryStats> StatsFor(const std::string& attribute) const;
+
+  /// Total words currently used across all registries (<= budget in
+  /// words, per-synopsis bounds permitting).
   Words TotalFootprint() const;
 
   Words budget() const { return budget_; }
   std::size_t attribute_count() const { return attributes_.size(); }
   bool sealed() const { return sealed_; }
+
+  /// Registered attribute names, sorted.
+  std::vector<std::string> AttributeNames() const;
 
   /// Footprint share assigned to an attribute (0 if unknown / unsealed).
   Words ShareOf(const std::string& attribute) const;
@@ -75,11 +115,15 @@ class SynopsisCatalog {
   struct Attribute {
     AttributeOptions options;
     Words share = 0;
-    std::unique_ptr<ApproximateAnswerEngine> engine;
+    std::unique_ptr<SynopsisRegistry> registry;
   };
 
+  Result<const SynopsisRegistry*> RegistryFor(
+      const std::string& attribute) const;
+  Result<SynopsisRegistry*> MutableRegistryFor(const std::string& attribute);
+
   Words budget_;
-  std::uint64_t seed_;
+  CatalogOptions options_;
   bool sealed_ = false;
   std::map<std::string, Attribute> attributes_;
 };

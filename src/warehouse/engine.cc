@@ -1,231 +1,51 @@
 #include "warehouse/engine.h"
 
-#include <chrono>
+#include <string>
 
-#include "estimate/frequency_estimator.h"
-#include "hotlist/concise_hot_list.h"
-#include "hotlist/counting_hot_list.h"
-#include "hotlist/traditional_hot_list.h"
+#include "common/check.h"
 
 namespace aqua {
 
 namespace {
 
-std::int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+SynopsisRegistry::Options RegistryOptions(const EngineOptions& options) {
+  SynopsisRegistry::Options registry_options;
+  registry_options.mode = ExecutionMode::kUnsynchronized;
+  registry_options.shards = 1;
+  registry_options.seed = options.seed;
+  return registry_options;
 }
 
 }  // namespace
 
+SynopsisDescriptor<FullHistogram> FullHistogramDescriptor(
+    Words footprint_bound) {
+  SynopsisDescriptor<FullHistogram> descriptor;
+  descriptor.name = std::string(kFullHistogramName);
+  descriptor.on_delete = DeleteBehavior::kApplies;
+  descriptor.rank[static_cast<int>(QueryKind::kHotList)] = kRankExact;
+  descriptor.factory = [footprint_bound](std::uint64_t) {
+    return FullHistogram(footprint_bound);
+  };
+  descriptor.answers.hot_list = [](const FullHistogram& histogram,
+                                   const HotListQuery& query,
+                                   const QueryContext&) {
+    return histogram.Report(query);
+  };
+  return descriptor;
+}
+
 ApproximateAnswerEngine::ApproximateAnswerEngine(const EngineOptions& options)
-    : options_(options) {
-  std::uint64_t seed = options.seed;
-  auto next_seed = [&seed]() { return SplitMix64Next(seed); };
-  if (options.maintain_traditional) {
-    traditional_ = std::make_unique<ReservoirSample>(
-        options.footprint_bound, next_seed());
-  }
-  if (options.maintain_concise) {
-    ConciseSampleOptions cs;
-    cs.footprint_bound = options.footprint_bound;
-    cs.seed = next_seed();
-    concise_ = std::make_unique<ConciseSample>(cs);
-  }
-  if (options.maintain_counting) {
-    CountingSampleOptions ks;
-    ks.footprint_bound = options.footprint_bound;
-    ks.seed = next_seed();
-    counting_ = std::make_unique<CountingSample>(ks);
-  }
-  if (options.maintain_distinct_sketch) {
-    distinct_sketch_ = std::make_unique<FlajoletMartin>(64, next_seed());
-  }
+    : registry_(RegistryOptions(options)) {
+  BuiltinBounds bounds;
+  bounds.single = options.footprint_bound;
+  bounds.sharded = options.footprint_bound;
+  AQUA_CHECK(RegisterBuiltinSynopses(registry_, options, bounds).ok());
   if (options.maintain_full_histogram) {
-    full_histogram_ =
-        std::make_unique<FullHistogram>(options.footprint_bound);
+    AQUA_CHECK(registry_
+                   .Register(FullHistogramDescriptor(options.footprint_bound))
+                   .ok());
   }
-}
-
-Status ApproximateAnswerEngine::Observe(const StreamOp& op) {
-  if (op.kind == StreamOp::Kind::kInsert) {
-    ++inserts_;
-    if (traditional_) traditional_->Insert(op.value);
-    if (concise_) concise_->Insert(op.value);
-    if (counting_) counting_->Insert(op.value);
-    if (distinct_sketch_) distinct_sketch_->Insert(op.value);
-    if (full_histogram_) full_histogram_->Insert(op.value);
-    return Status::OK();
-  }
-  ++deletes_;
-  // Deletions: counting samples and the full histogram handle them
-  // (Theorem 5); concise and traditional samples cannot be maintained under
-  // deletions (§4.1) and are dropped the first time one arrives, so the
-  // engine never serves stale uniform samples.
-  if (traditional_) traditional_.reset();
-  if (concise_) concise_.reset();
-  Status status = Status::OK();
-  if (counting_) status = counting_->Delete(op.value);
-  if (full_histogram_) {
-    AQUA_RETURN_NOT_OK(full_histogram_->Delete(op.value));
-  }
-  return status;
-}
-
-Status ApproximateAnswerEngine::ObserveBatch(std::span<const StreamOp> ops) {
-  std::vector<Value> run;
-  std::size_t i = 0;
-  while (i < ops.size()) {
-    if (ops[i].kind != StreamOp::Kind::kInsert) {
-      AQUA_RETURN_NOT_OK(Observe(ops[i]));
-      ++i;
-      continue;
-    }
-    run.clear();
-    while (i < ops.size() && ops[i].kind == StreamOp::Kind::kInsert) {
-      run.push_back(ops[i].value);
-      ++i;
-    }
-    inserts_ += static_cast<std::int64_t>(run.size());
-    if (traditional_) traditional_->InsertBatch(run);
-    if (concise_) concise_->InsertBatch(run);
-    if (counting_) counting_->InsertBatch(run);
-    // Sketch and histogram have per-element update rules; no batch path.
-    if (distinct_sketch_) {
-      for (Value v : run) distinct_sketch_->Insert(v);
-    }
-    if (full_histogram_) {
-      for (Value v : run) full_histogram_->Insert(v);
-    }
-  }
-  return Status::OK();
-}
-
-SynopsisView ApproximateAnswerEngine::View() const {
-  SynopsisView view;
-  view.full_histogram = full_histogram_.get();
-  view.counting = counting_.get();
-  view.concise = concise_.get();
-  view.traditional = traditional_.get();
-  view.distinct_sketch = distinct_sketch_.get();
-  view.observed_inserts = inserts_;
-  return view;
-}
-
-QueryResponse<HotList> AnswerHotList(const SynopsisView& view,
-                                     const HotListQuery& query) {
-  QueryResponse<HotList> response;
-  const std::int64_t start = NowNs();
-  if (view.full_histogram != nullptr) {
-    response.answer = view.full_histogram->Report(query);
-    response.method = "full-histogram";
-  } else if (view.counting != nullptr) {
-    response.answer = CountingHotList(*view.counting).Report(query);
-    response.method = "counting-sample";
-  } else if (view.concise != nullptr) {
-    response.answer = ConciseHotList(*view.concise).Report(query);
-    response.method = "concise-sample";
-  } else if (view.traditional != nullptr) {
-    response.answer = TraditionalHotList(*view.traditional).Report(query);
-    response.method = "traditional-sample";
-  } else {
-    response.method = "none";
-  }
-  response.response_ns = NowNs() - start;
-  return response;
-}
-
-QueryResponse<Estimate> AnswerFrequency(const SynopsisView& view,
-                                        Value value) {
-  QueryResponse<Estimate> response;
-  const std::int64_t start = NowNs();
-  if (view.counting != nullptr) {
-    response.answer = FrequencyEstimator::FromCounting(*view.counting, value);
-    response.method = "counting-sample";
-  } else if (view.concise != nullptr) {
-    response.answer = FrequencyEstimator::FromConcise(*view.concise, value);
-    response.method = "concise-sample";
-  } else {
-    response.method = "none";
-  }
-  response.response_ns = NowNs() - start;
-  return response;
-}
-
-QueryResponse<Estimate> AnswerCountWhere(const SynopsisView& view,
-                                         const ValuePredicate& pred,
-                                         double confidence) {
-  QueryResponse<Estimate> response;
-  const std::int64_t start = NowNs();
-  // Prefer the concise sample: it is a uniform sample with the largest
-  // sample-size for the footprint (§1.1), hence the tightest interval.
-  if (view.concise != nullptr) {
-    const std::vector<Value> points = view.concise->ToPointSample();
-    SampleEstimator estimator(points, view.observed_inserts);
-    response.answer = estimator.CountWhere(pred, confidence);
-    response.method = "concise-sample";
-  } else if (view.traditional != nullptr) {
-    SampleEstimator estimator(view.traditional->Points(),
-                              view.observed_inserts);
-    response.answer = estimator.CountWhere(pred, confidence);
-    response.method = "traditional-sample";
-  } else {
-    response.method = "none";
-  }
-  response.response_ns = NowNs() - start;
-  return response;
-}
-
-QueryResponse<Estimate> AnswerDistinctValues(const SynopsisView& view) {
-  QueryResponse<Estimate> response;
-  const std::int64_t start = NowNs();
-  if (view.distinct_sketch != nullptr) {
-    const double d = view.distinct_sketch->Estimate();
-    response.answer.value = d;
-    // [FM85]'s asymptotic standard error is ≈ 0.78/sqrt(#maps) in log2
-    // scale; expose a pragmatic ±2σ multiplicative band.
-    const double sigma_log2 =
-        0.78 /
-        std::sqrt(static_cast<double>(view.distinct_sketch->num_maps()));
-    response.answer.ci_low = d * std::pow(2.0, -2.0 * sigma_log2);
-    response.answer.ci_high = d * std::pow(2.0, 2.0 * sigma_log2);
-    response.answer.confidence = 0.95;
-    response.method = "fm-sketch";
-  } else {
-    response.method = "none";
-  }
-  response.response_ns = NowNs() - start;
-  return response;
-}
-
-QueryResponse<HotList> ApproximateAnswerEngine::HotListAnswer(
-    const HotListQuery& query) const {
-  return AnswerHotList(View(), query);
-}
-
-QueryResponse<Estimate> ApproximateAnswerEngine::FrequencyAnswer(
-    Value value) const {
-  return AnswerFrequency(View(), value);
-}
-
-QueryResponse<Estimate> ApproximateAnswerEngine::CountWhereAnswer(
-    const ValuePredicate& pred, double confidence) const {
-  return AnswerCountWhere(View(), pred, confidence);
-}
-
-QueryResponse<Estimate> ApproximateAnswerEngine::DistinctValuesAnswer()
-    const {
-  return AnswerDistinctValues(View());
-}
-
-Words ApproximateAnswerEngine::TotalFootprint() const {
-  Words total = 0;
-  if (traditional_) total += traditional_->Footprint();
-  if (concise_) total += concise_->Footprint();
-  if (counting_) total += counting_->Footprint();
-  if (full_histogram_) total += full_histogram_->Footprint();
-  return total;
 }
 
 }  // namespace aqua

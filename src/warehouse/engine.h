@@ -2,15 +2,16 @@
 #define AQUA_WAREHOUSE_ENGINE_H_
 
 #include <cstdint>
-#include <memory>
-#include <optional>
 #include <span>
-#include <string>
+#include <utility>
 
 #include "core/concise_sample.h"
 #include "core/counting_sample.h"
 #include "estimate/aggregates.h"
 #include "hotlist/hot_list.h"
+#include "registry/builtin.h"
+#include "registry/query_response.h"
+#include "registry/registry.h"
 #include "sample/reservoir_sample.h"
 #include "sketch/flajolet_martin.h"
 #include "warehouse/full_histogram.h"
@@ -18,78 +19,47 @@
 
 namespace aqua {
 
-/// Which synopses the engine maintains for an attribute.
-struct EngineOptions {
+/// Which synopses the engine maintains for an attribute.  The synopsis
+/// selection (and its defaults) is SynopsisSelection — one documented
+/// default shared with the serving engine and the catalog.
+struct EngineOptions : SynopsisSelection {
   /// Footprint bound per synopsis, in words.
   Words footprint_bound = 1000;
   std::uint64_t seed = 0x19980531ULL;
-  bool maintain_traditional = true;
-  bool maintain_concise = true;
-  bool maintain_counting = true;
-  /// Distinct-value sketch ([FM85]) for distinct-count queries.
-  bool maintain_distinct_sketch = true;
-  /// The exact (disk-resident) baseline; off by default — it is the
-  /// accuracy yardstick, not a practical synopsis.
-  bool maintain_full_histogram = false;
 };
 
-/// A query response: the approximate answer plus how it was computed —
-/// "a query response, consisting of an approximate answer and an accuracy
-/// measure" (§1).  The user can then decide whether to have an exact answer
-/// computed from the base data.
-template <typename AnswerT>
-struct QueryResponse {
-  AnswerT answer{};
-  /// Which synopsis produced the answer, e.g. "counting-sample".
-  std::string method;
-  /// Response time in nanoseconds (synopsis-only; no base-data access).
-  std::int64_t response_ns = 0;
-};
-
-/// A read-only view over whichever synopses a caller has available.  The
-/// engine builds one from its own members; the serving layer (src/server/)
-/// builds one from epoch-cached snapshots merged off the ingest path.  Null
-/// pointers mean "not maintained / not available"; the answer functions
-/// below pick the most accurate non-null synopsis exactly as the engine
-/// does (§6's accuracy ordering).
-struct SynopsisView {
-  const FullHistogram* full_histogram = nullptr;
-  const CountingSample* counting = nullptr;
-  const ConciseSample* concise = nullptr;
-  const ReservoirSample* traditional = nullptr;
-  const FlajoletMartin* distinct_sketch = nullptr;
-  /// Size n of the observed stream (scales sample estimates to the
-  /// relation).
-  std::int64_t observed_inserts = 0;
-};
-
-/// Answer functions over a SynopsisView: const-safe query entry points
-/// shared by ApproximateAnswerEngine and the serving layer.  Each returns
-/// the approximate answer, the method that produced it ("none" when no
-/// usable synopsis is in the view), and the compute-only response time.
-QueryResponse<HotList> AnswerHotList(const SynopsisView& view,
-                                     const HotListQuery& query);
-QueryResponse<Estimate> AnswerFrequency(const SynopsisView& view, Value value);
-QueryResponse<Estimate> AnswerCountWhere(const SynopsisView& view,
-                                         const ValuePredicate& pred,
-                                         double confidence = 0.95);
-QueryResponse<Estimate> AnswerDistinctValues(const SynopsisView& view);
+/// Registry descriptor for the exact full-histogram baseline (declared
+/// here, next to FullHistogram, so the registry module does not depend on
+/// warehouse/).  Hot lists only, rank kRankExact; deletes apply exactly
+/// and fail on absent values.
+SynopsisDescriptor<FullHistogram> FullHistogramDescriptor(
+    Words footprint_bound);
 
 /// The approximate answer engine of Figure 2: observes the load stream
 /// alongside the warehouse, maintains its registered synopses entirely in
 /// memory, and answers queries without any access to the base data.
 ///
-/// Hot-list answers prefer the counting sample (most accurate), then the
-/// concise sample, then the traditional sample (§6's accuracy ordering);
-/// deletions flow to the synopses that support them and invalidate the
-/// concise/traditional samples only if a delete actually arrives (§4.1:
-/// concise samples cannot be maintained under deletions).
+/// This is a thin single-threaded driver over a SynopsisRegistry: the
+/// selected built-in synopses are registered at construction, queries go
+/// through the registry's single rank-ordered answer path (§6's accuracy
+/// ordering — hot lists prefer the counting sample, then concise, then
+/// traditional), and deletions flow to each synopsis per its declared
+/// DeleteBehavior (§4.1: concise/traditional samples are invalidated by
+/// the first delete; counting samples and the full histogram apply it
+/// exactly).
 class ApproximateAnswerEngine {
  public:
   explicit ApproximateAnswerEngine(const EngineOptions& options);
 
+  /// Registers an additional synopsis served through the same answer path
+  /// (call before the first Observe).
+  template <RegistrableSynopsis S>
+  Status RegisterSynopsis(SynopsisDescriptor<S> descriptor) {
+    return registry_.Register(std::move(descriptor));
+  }
+
   /// Observes one load-stream operation.
-  Status Observe(const StreamOp& op);
+  Status Observe(const StreamOp& op) { return registry_.Observe(op); }
 
   /// Observes a whole slice of the load stream.  Maximal runs of
   /// consecutive inserts are routed through the synopses' batched fast
@@ -97,50 +67,68 @@ class ApproximateAnswerEngine {
   /// geometric jump each, instead of one virtual call per element);
   /// deletes are applied individually with the same semantics as
   /// Observe().  Statistically identical to observing op-by-op.
-  Status ObserveBatch(std::span<const StreamOp> ops);
+  Status ObserveBatch(std::span<const StreamOp> ops) {
+    return registry_.ObserveBatch(ops);
+  }
 
   /// Hot list from the most accurate maintained synopsis.
-  QueryResponse<HotList> HotListAnswer(const HotListQuery& query) const;
+  QueryResponse<HotList> HotListAnswer(const HotListQuery& query) const {
+    return registry_.HotListAnswer(query);
+  }
 
   /// Estimated frequency of one value.
-  QueryResponse<Estimate> FrequencyAnswer(Value value) const;
+  QueryResponse<Estimate> FrequencyAnswer(Value value) const {
+    return registry_.FrequencyAnswer(value);
+  }
 
   /// Estimated COUNT(*) WHERE pred, from the best available uniform sample.
   QueryResponse<Estimate> CountWhereAnswer(const ValuePredicate& pred,
-                                           double confidence = 0.95) const;
+                                           double confidence = 0.95) const {
+    return registry_.CountWhereAnswer(pred, confidence);
+  }
 
   /// Estimated number of distinct values.
-  QueryResponse<Estimate> DistinctValuesAnswer() const;
+  QueryResponse<Estimate> DistinctValuesAnswer() const {
+    return registry_.DistinctValuesAnswer();
+  }
 
   /// Direct access to the maintained synopses (null when not maintained or
   /// invalidated by deletions).
-  const ReservoirSample* traditional() const { return traditional_.get(); }
-  const ConciseSample* concise() const { return concise_.get(); }
-  const CountingSample* counting() const { return counting_.get(); }
-  const FullHistogram* full_histogram() const { return full_histogram_.get(); }
+  const ReservoirSample* traditional() const {
+    return registry_.LiveUnsynchronized<ReservoirSample>(
+        kTraditionalSynopsisName);
+  }
+  const ConciseSample* concise() const {
+    return registry_.LiveUnsynchronized<ConciseSample>(kConciseSynopsisName);
+  }
+  const CountingSample* counting() const {
+    return registry_.LiveUnsynchronized<CountingSample>(
+        kCountingSynopsisName);
+  }
+  const FullHistogram* full_histogram() const {
+    return registry_.LiveUnsynchronized<FullHistogram>(kFullHistogramName);
+  }
   const FlajoletMartin* distinct_sketch() const {
-    return distinct_sketch_.get();
+    return registry_.LiveUnsynchronized<FlajoletMartin>(kDistinctSketchName);
   }
 
-  /// The engine's current synopses as a SynopsisView (what every query
-  /// method answers from).
-  SynopsisView View() const;
+  /// The registry-backed core (capability introspection, stats, custom
+  /// typed access).
+  const SynopsisRegistry& registry() const { return registry_; }
+  SynopsisRegistry& registry() { return registry_; }
 
-  std::int64_t observed_inserts() const { return inserts_; }
-  std::int64_t observed_deletes() const { return deletes_; }
+  std::int64_t observed_inserts() const {
+    return registry_.observed_inserts();
+  }
+  std::int64_t observed_deletes() const {
+    return registry_.observed_deletes();
+  }
 
   /// Total words across all maintained synopses.
-  Words TotalFootprint() const;
+  Words TotalFootprint() const { return registry_.TotalFootprint(); }
 
  private:
-  EngineOptions options_;
-  std::unique_ptr<ReservoirSample> traditional_;
-  std::unique_ptr<ConciseSample> concise_;
-  std::unique_ptr<CountingSample> counting_;
-  std::unique_ptr<FlajoletMartin> distinct_sketch_;
-  std::unique_ptr<FullHistogram> full_histogram_;
-  std::int64_t inserts_ = 0;
-  std::int64_t deletes_ = 0;
+  SynopsisRegistry registry_;
 };
 
 }  // namespace aqua

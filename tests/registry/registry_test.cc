@@ -1,0 +1,234 @@
+// Tests of the type-erased synopsis registry: one descriptor registered
+// once must be served by BOTH engines through the same rank-ordered answer
+// path (the acceptance criterion for collapsing the per-engine method
+// selection), capabilities must gate the concurrent machinery (mergeable
+// synopses shard, unmergeable ones stay single-instance), and descriptor
+// validation must reject incoherent registrations.
+
+#include "registry/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "registry/builtin.h"
+#include "server/serving_engine.h"
+#include "warehouse/engine.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+/// A custom synopsis private to this test: exact distinct count via a set.
+/// Deliberately minimal — no MergeFrom/Reseed/InsertBatch/Delete — so the
+/// registry must fall back to per-element inserts and single-instance
+/// (SharedSynopsis) execution in concurrent mode.
+struct ExactDistinct {
+  std::set<Value> values;
+  void Insert(Value v) { values.insert(v); }
+  Words Footprint() const { return static_cast<Words>(values.size()); }
+};
+
+SynopsisDescriptor<ExactDistinct> ExactDistinctDescriptor(
+    std::string name = "exact-distinct",
+    DeleteBehavior on_delete = DeleteBehavior::kIgnores,
+    int rank = kRankExact) {
+  SynopsisDescriptor<ExactDistinct> d;
+  d.name = std::move(name);
+  d.on_delete = on_delete;
+  d.rank[static_cast<int>(QueryKind::kDistinct)] = rank;
+  d.factory = [](std::uint64_t) { return ExactDistinct{}; };
+  d.answers.distinct = [](const ExactDistinct& s, const QueryContext&) {
+    Estimate e;
+    e.value = static_cast<double>(s.values.size());
+    e.ci_low = e.value;
+    e.ci_high = e.value;
+    e.confidence = 1.0;
+    e.sample_points = static_cast<std::int64_t>(s.values.size());
+    return e;
+  };
+  return d;
+}
+
+std::int64_t TrueDistinct(const std::vector<Value>& values) {
+  return static_cast<std::int64_t>(
+      std::set<Value>(values.begin(), values.end()).size());
+}
+
+// The tentpole's acceptance test: ONE descriptor, registered once per
+// driver, served by both the single-threaded engine and the concurrent
+// serving engine — same method tag, same exact answer, and it outranks the
+// built-in FM sketch in both without any per-engine selection code.
+TEST(SynopsisRegistryTest, CustomSynopsisServedByBothEngines) {
+  const std::vector<Value> stream = UniformValues(20000, 700, 99);
+  const auto truth = static_cast<double>(TrueDistinct(stream));
+
+  ApproximateAnswerEngine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterSynopsis(ExactDistinctDescriptor()).ok());
+  for (Value v : stream) ASSERT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+  const auto warehouse_answer = engine.DistinctValuesAnswer();
+  EXPECT_EQ(warehouse_answer.method, "exact-distinct");
+  EXPECT_DOUBLE_EQ(warehouse_answer.answer.value, truth);
+
+  ServingEngineOptions serving_options;
+  serving_options.shards = 4;
+  ServingEngine serving(serving_options);
+  ASSERT_TRUE(serving.RegisterSynopsis(ExactDistinctDescriptor()).ok());
+  serving.InsertBatch(stream);
+  const auto serving_answer = serving.DistinctValuesAnswer();
+  EXPECT_EQ(serving_answer.method, "exact-distinct");
+  EXPECT_DOUBLE_EQ(serving_answer.answer.value, truth);
+}
+
+TEST(SynopsisRegistryTest, CapabilitiesGateShardingAndCaching) {
+  ServingEngineOptions options;
+  options.shards = 4;
+  ServingEngine serving(options);
+  ASSERT_TRUE(serving.RegisterSynopsis(ExactDistinctDescriptor()).ok());
+  serving.InsertBatch(UniformValues(1000, 100, 7));
+
+  const RegistryStats stats = serving.registry().GetStats();
+  bool checked_sharded = false;
+  bool checked_single = false;
+  for (const SynopsisHandleStats& s : stats.synopses) {
+    // Every concurrent handle answers from an epoch cache.
+    EXPECT_TRUE(s.cached) << s.name;
+    if (s.name == kConciseSynopsisName ||
+        s.name == kTraditionalSynopsisName) {
+      EXPECT_TRUE(s.sharded) << s.name;  // mergeable + reseedable
+      checked_sharded = true;
+    }
+    if (s.name == kCountingSynopsisName || s.name == kDistinctSketchName ||
+        s.name == "exact-distinct") {
+      EXPECT_FALSE(s.sharded) << s.name;  // unmergeable
+      checked_single = true;
+    }
+  }
+  EXPECT_TRUE(checked_sharded);
+  EXPECT_TRUE(checked_single);
+
+  // The unsynchronized engine uses no caches at all.
+  ApproximateAnswerEngine engine(EngineOptions{});
+  for (const SynopsisHandleStats& s : engine.registry().GetStats().synopses) {
+    EXPECT_FALSE(s.cached) << s.name;
+    EXPECT_FALSE(s.sharded) << s.name;
+  }
+}
+
+TEST(SynopsisRegistryTest, RegisterValidatesDescriptors) {
+  SynopsisRegistry registry(SynopsisRegistry::Options{});
+
+  // Coherent descriptor registers once, duplicates are rejected.
+  ASSERT_TRUE(registry.Register(ExactDistinctDescriptor()).ok());
+  EXPECT_EQ(registry.Register(ExactDistinctDescriptor()).code(),
+            StatusCode::kAlreadyExists);
+
+  auto unnamed = ExactDistinctDescriptor("");
+  EXPECT_TRUE(registry.Register(std::move(unnamed)).IsInvalidArgument());
+
+  auto no_factory = ExactDistinctDescriptor("no-factory");
+  no_factory.factory = nullptr;
+  EXPECT_TRUE(registry.Register(std::move(no_factory)).IsInvalidArgument());
+
+  // kApplies without a Delete(Value) member cannot be honored.
+  auto applies = ExactDistinctDescriptor("applies", DeleteBehavior::kApplies);
+  EXPECT_TRUE(registry.Register(std::move(applies)).IsInvalidArgument());
+
+  // A rank without an answer function (and vice versa) is incoherent.
+  auto rank_only = ExactDistinctDescriptor("rank-only");
+  rank_only.rank[static_cast<int>(QueryKind::kHotList)] = 1;
+  EXPECT_TRUE(registry.Register(std::move(rank_only)).IsInvalidArgument());
+
+  auto answer_only = ExactDistinctDescriptor("answer-only");
+  answer_only.rank[static_cast<int>(QueryKind::kDistinct)] = kCannotAnswer;
+  EXPECT_TRUE(registry.Register(std::move(answer_only)).IsInvalidArgument());
+}
+
+TEST(SynopsisRegistryTest, RankOrderSelectsBestThenFallsBack) {
+  // Two synopses answer the same kind; the better rank must serve until a
+  // delete invalidates it, then the worse one takes over — the single
+  // answer path both engines now share.
+  SynopsisRegistry registry(SynopsisRegistry::Options{});
+  ASSERT_TRUE(
+      registry
+          .Register(ExactDistinctDescriptor(
+              "fragile-distinct", DeleteBehavior::kInvalidates, kRankExact))
+          .ok());
+  ASSERT_TRUE(registry
+                  .Register(ExactDistinctDescriptor(
+                      "sturdy-distinct", DeleteBehavior::kIgnores,
+                      kRankConcise))
+                  .ok());
+
+  for (Value v : UniformValues(500, 50, 3)) {
+    ASSERT_TRUE(registry.Observe(StreamOp::Insert(v)).ok());
+  }
+  EXPECT_EQ(registry.DistinctValuesAnswer().method, "fragile-distinct");
+
+  ASSERT_TRUE(registry.Delete(1).ok());
+  EXPECT_FALSE(registry.handle("fragile-distinct")->valid());
+  EXPECT_EQ(registry.DistinctValuesAnswer().method, "sturdy-distinct");
+
+  // Invalidated handles stop counting toward the footprint.
+  for (const SynopsisHandleStats& s : registry.GetStats().synopses) {
+    if (s.name == "fragile-distinct") {
+      EXPECT_EQ(s.footprint, 0);
+    }
+  }
+}
+
+TEST(SynopsisRegistryTest, PersistRoundTripsThroughHandles) {
+  // The persist capability travels with the descriptor: encode a concise
+  // sample out of one engine, restore it into a fresh one, and the restored
+  // sample must be byte-identical in its observable state.
+  ApproximateAnswerEngine source(EngineOptions{});
+  for (Value v : ZipfValues(30000, 400, 1.1, 17)) {
+    ASSERT_TRUE(source.Observe(StreamOp::Insert(v)).ok());
+  }
+  const SynopsisHandle* handle =
+      source.registry().handle(kConciseSynopsisName);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_TRUE(handle->Capabilities().persistable);
+  const auto bytes = handle->EncodeState();
+  ASSERT_TRUE(bytes.ok());
+
+  ApproximateAnswerEngine restored(EngineOptions{});
+  SynopsisHandle* target =
+      restored.registry().mutable_handle(kConciseSynopsisName);
+  ASSERT_NE(target, nullptr);
+  ASSERT_TRUE(target->RestoreState(bytes.ValueOrDie()).ok());
+  ASSERT_NE(restored.concise(), nullptr);
+  EXPECT_EQ(restored.concise()->SampleSize(), source.concise()->SampleSize());
+  EXPECT_EQ(restored.concise()->Threshold(), source.concise()->Threshold());
+
+  // The sketch has no codec; the capability and the error say so.
+  const SynopsisHandle* sketch =
+      source.registry().handle(kDistinctSketchName);
+  ASSERT_NE(sketch, nullptr);
+  EXPECT_FALSE(sketch->Capabilities().persistable);
+  EXPECT_EQ(sketch->EncodeState().status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(SynopsisRegistryTest, DeleteBehaviorsRouteIndependently) {
+  // One registry, three delete behaviors: kIgnores keeps serving,
+  // kInvalidates stops, kApplies adjusts counts — all from one Delete call.
+  ApproximateAnswerEngine engine(EngineOptions{});
+  ASSERT_TRUE(engine.RegisterSynopsis(ExactDistinctDescriptor()).ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(engine.Observe(StreamOp::Insert(i % 10)).ok());
+  }
+  ASSERT_TRUE(engine.Observe(StreamOp::Delete(3)).ok());
+
+  EXPECT_EQ(engine.concise(), nullptr);              // kInvalidates
+  ASSERT_NE(engine.counting(), nullptr);             // kApplies
+  EXPECT_EQ(engine.counting()->CountOf(3), 49);
+  const auto distinct = engine.DistinctValuesAnswer();  // kIgnores
+  EXPECT_EQ(distinct.method, "exact-distinct");
+  EXPECT_DOUBLE_EQ(distinct.answer.value, 10.0);
+}
+
+}  // namespace
+}  // namespace aqua

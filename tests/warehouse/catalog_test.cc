@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/counting_sample.h"
 #include "workload/generators.h"
 
 namespace aqua {
@@ -28,8 +29,8 @@ TEST(SynopsisCatalogTest, SealSplitsBudgetByWeight) {
   ASSERT_TRUE(catalog.Seal().ok());
   EXPECT_EQ(catalog.ShareOf("hot"), 8000);
   EXPECT_EQ(catalog.ShareOf("cold"), 4000);
-  EXPECT_NE(catalog.engine("hot"), nullptr);
-  EXPECT_EQ(catalog.engine("unknown"), nullptr);
+  EXPECT_NE(catalog.registry("hot"), nullptr);
+  EXPECT_EQ(catalog.registry("unknown"), nullptr);
 }
 
 TEST(SynopsisCatalogTest, SealRejectsStarvedAttributes) {
@@ -45,8 +46,10 @@ TEST(SynopsisCatalogTest, SealRequiresAttributesAndSynopses) {
 
   SynopsisCatalog none(1000, 5);
   AttributeOptions no_synopses;
+  no_synopses.maintain_traditional = false;
   no_synopses.maintain_concise = false;
   no_synopses.maintain_counting = false;
+  no_synopses.maintain_distinct_sketch = false;
   ASSERT_TRUE(none.RegisterAttribute("a", no_synopses).ok());
   EXPECT_TRUE(none.Seal().IsInvalidArgument());
 }
@@ -110,11 +113,16 @@ TEST(SynopsisCatalogTest, DeletesRouteToCountingSamples) {
     ASSERT_TRUE(catalog.Observe("a", StreamOp::Insert(7)).ok());
   }
   ASSERT_TRUE(catalog.Observe("a", StreamOp::Delete(7)).ok());
-  const ApproximateAnswerEngine* engine = catalog.engine("a");
-  ASSERT_NE(engine, nullptr);
-  ASSERT_NE(engine->counting(), nullptr);
-  EXPECT_EQ(engine->counting()->CountOf(7), 999);
-  EXPECT_EQ(engine->concise(), nullptr);  // dropped on first delete
+  const SynopsisRegistry* registry = catalog.registry("a");
+  ASSERT_NE(registry, nullptr);
+  const auto counting =
+      registry->StateCopy<CountingSample>(kCountingSynopsisName);
+  ASSERT_TRUE(counting.ok());
+  EXPECT_EQ(counting.ValueOrDie().CountOf(7), 999);
+  // The concise sample is invalidated by the first delete (§4.1).
+  const SynopsisHandle* concise = registry->handle(kConciseSynopsisName);
+  ASSERT_NE(concise, nullptr);
+  EXPECT_FALSE(concise->valid());
 }
 
 }  // namespace
