@@ -23,9 +23,10 @@ struct RangeQuery {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   constexpr std::int64_t kN = 500000;
   constexpr std::int64_t kD = 5000;
@@ -49,7 +50,8 @@ int main() {
       for (int trial = 0; trial < kTrials; ++trial) {
         const std::uint64_t seed =
             TrialSeed(9800 + static_cast<int>(alpha * 4), trial);
-        const std::vector<Value> data = ZipfValues(kN, kD, alpha, seed);
+        const std::vector<Value> data =
+            ZipfValues(SmokeCap(kN), kD, alpha, seed);
 
         std::vector<Value> points;
         if (use_concise) {

@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "core/concise_sample.h"
 #include "core/counting_sample.h"
 #include "workload/generators.h"
@@ -13,7 +16,8 @@
 namespace aqua {
 namespace {
 
-constexpr std::int64_t kStream = 100000;
+// Shrunk by --smoke (see main) before the first StreamData() call.
+std::int64_t kStream = 100000;
 
 const std::vector<Value>& StreamData(double alpha) {
   static const std::vector<Value> low = ZipfValues(kStream, 5000, 0.5, 71);
@@ -62,4 +66,25 @@ BENCHMARK(BM_CountingInsert)
 }  // namespace
 }  // namespace aqua
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a `--smoke` flag (stripped before google-benchmark
+// sees the args) that shrinks the replayed stream so CI can execute every
+// bench binary quickly.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      aqua::kStream = 2000;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,9 +12,10 @@
 #include "bench/bench_util.h"
 #include "metrics/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   struct PolicyCase {
     const char* name;

@@ -147,6 +147,29 @@ bool BenchReport::WriteJson(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+namespace {
+bool g_smoke = false;
+constexpr std::int64_t kSmokeInserts = 2000;
+constexpr std::int64_t kSmokeCap = 2000;
+}  // namespace
+
+bool SmokeMode() { return g_smoke; }
+
+bool ApplySmoke(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+  if (g_smoke) {
+    kInserts = kSmokeInserts;
+    kTrials = 1;
+  }
+  return g_smoke;
+}
+
+std::int64_t SmokeCap(std::int64_t n) {
+  return g_smoke && n > kSmokeCap ? kSmokeCap : n;
+}
+
 std::string BenchReport::JsonPathFromArgs(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {

@@ -19,10 +19,24 @@ namespace bench {
 
 /// The paper's experimental constants (§3.3, §5.3): 500K inserts into an
 /// initially empty warehouse, 5-trial averages, ×1.1 threshold raises,
-/// confidence threshold β = 3.
-inline constexpr std::int64_t kInserts = 500000;
-inline constexpr int kTrials = 5;
+/// confidence threshold β = 3.  kInserts/kTrials are mutable so a `--smoke`
+/// run (ApplySmoke) can shrink every bench to CI-sized streams; benches
+/// read them after ApplySmoke and never write them.
+inline std::int64_t kInserts = 500000;
+inline int kTrials = 5;
 inline constexpr double kBeta = 3.0;
+
+/// True after ApplySmoke observed `--smoke` among the args.
+bool SmokeMode();
+
+/// Detects `--smoke` among the args; when present, shrinks kInserts and
+/// kTrials to CI-sized values and returns true.  Call first thing in
+/// main(), before any use of the constants above.
+bool ApplySmoke(int argc, char** argv);
+
+/// Caps a bench-local stream length under smoke mode (identity otherwise),
+/// for benches whose sweeps use their own sizes instead of kInserts.
+std::int64_t SmokeCap(std::int64_t n);
 
 /// Base seed; trial t of scenario s uses kSeed + 1000003·s + t.
 inline constexpr std::uint64_t kSeed = 0x533D;

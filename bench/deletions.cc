@@ -12,9 +12,10 @@
 #include "metrics/hotlist_accuracy.h"
 #include "metrics/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   PrintHeader(
       "Counting samples under deletions: 500000 ops, domain [1,5000], "

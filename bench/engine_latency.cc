@@ -13,9 +13,10 @@
 #include "metrics/table_printer.h"
 #include "warehouse/engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   PrintHeader(
       "Approximate vs exact answer latency (hot list k=10; count "
@@ -25,6 +26,7 @@ int main() {
 
   for (std::int64_t n : {std::int64_t{100000}, std::int64_t{1000000},
                          std::int64_t{4000000}}) {
+    n = SmokeCap(n);
     const std::vector<Value> data =
         ZipfValues(n, 50000, 1.1, TrialSeed(9980, 0));
     EngineOptions options;

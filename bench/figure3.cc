@@ -71,8 +71,9 @@ void RunPanel(const Panel& panel, int scenario_base) {
 }  // namespace bench
 }  // namespace aqua
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
   std::cout << "Figure 3: comparing sample-sizes of concise and traditional "
                "samples as a function of skew\n"
             << "(" << kInserts << " inserts, " << kTrials

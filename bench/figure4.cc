@@ -14,9 +14,10 @@
 #include "metrics/hotlist_accuracy.h"
 #include "warehouse/full_histogram.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   PrintHeader(
       "Figure 4: hot-list algorithms, 500000 values in [1,500], "

@@ -15,9 +15,10 @@
 #include "hotlist/traditional_hot_list.h"
 #include "metrics/hotlist_accuracy.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   PrintHeader(
       "Figure 5: counting vs traditional, 500000 values in [1,5000], "

@@ -151,8 +151,10 @@ int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
 
-  const std::int64_t elements =
-      std::max<std::int64_t>(1, FlagValue(argc, argv, "--elements", 10000000));
+  const bool smoke = ApplySmoke(argc, argv);
+  const std::int64_t elements = std::max<std::int64_t>(
+      1,
+      FlagValue(argc, argv, "--elements", smoke ? 20000 : 10000000));
   const auto hw = static_cast<std::int64_t>(
       std::max(1u, std::thread::hardware_concurrency()));
   const std::int64_t max_threads =

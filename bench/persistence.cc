@@ -11,9 +11,10 @@
 #include "persist/op_log.h"
 #include "persist/snapshot.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   PrintHeader(
       "Snapshot size & codec throughput (concise samples, 500000 inserts, "

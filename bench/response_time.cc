@@ -12,9 +12,10 @@
 #include "hotlist/maintained_hot_list.h"
 #include "metrics/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   PrintHeader(
       "Hot-list response time: on-demand O(m) reporting vs maintained O(k) "

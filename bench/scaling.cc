@@ -11,9 +11,10 @@
 #include "bench/bench_util.h"
 #include "metrics/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   PrintHeader(
       "Amortized update cost vs stream length (concise + counting, "
@@ -24,6 +25,7 @@ int main() {
 
   for (std::int64_t n : {std::int64_t{10000}, std::int64_t{100000},
                          std::int64_t{1000000}, std::int64_t{5000000}}) {
+    n = SmokeCap(n);
     const std::vector<Value> data =
         ZipfValues(n, 5000, 1.0, TrialSeed(9900, 0));
 

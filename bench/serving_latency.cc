@@ -57,6 +57,9 @@ LatencySummary Summarize(std::vector<std::int64_t>& samples) {
 }
 
 int Main(int argc, char** argv) {
+  const bool smoke = bench::ApplySmoke(argc, argv);
+  const std::int64_t preload = smoke ? 2000 : kPreload;
+  const int queries = smoke ? 200 : kQueries;
   const std::string json_path =
       bench::BenchReport::JsonPathFromArgs(argc, argv);
   bench::BenchReport report("serving_latency");
@@ -72,7 +75,7 @@ int Main(int argc, char** argv) {
       },
       ShardRouting::kRoundRobin);
   const std::vector<Value> stream =
-      ZipfValues(kPreload, kDomain, kAlpha, bench::kSeed);
+      ZipfValues(preload, kDomain, kAlpha, bench::kSeed);
   for (std::size_t off = 0; off < stream.size(); off += 1024) {
     const std::size_t len = std::min<std::size_t>(1024, stream.size() - off);
     sharded.InsertBatch(std::span<const Value>(stream.data() + off, len));
@@ -87,8 +90,8 @@ int Main(int argc, char** argv) {
 
   // Path A: per-request merge.
   std::vector<std::int64_t> merge_ns;
-  merge_ns.reserve(kQueries);
-  for (int i = 0; i < kQueries; ++i) {
+  merge_ns.reserve(queries);
+  for (int i = 0; i < queries; ++i) {
     const std::int64_t start = NowNs();
     const ConciseSample snapshot = sharded.Snapshot().ValueOrDie();
     const HotList answer = answer_from(snapshot);
@@ -106,8 +109,8 @@ int Main(int argc, char** argv) {
        .max_stale_interval = std::chrono::seconds(3600)});
   (void)cache.Get();  // warm the first epoch outside the timed loop
   std::vector<std::int64_t> cached_ns;
-  cached_ns.reserve(kQueries);
-  for (int i = 0; i < kQueries; ++i) {
+  cached_ns.reserve(queries);
+  for (int i = 0; i < queries; ++i) {
     const std::int64_t start = NowNs();
     const auto snapshot = cache.Get().ValueOrDie();
     const HotList answer = answer_from(*snapshot);
@@ -128,8 +131,8 @@ int Main(int argc, char** argv) {
   }
   (void)engine.HotListAnswer(query);  // warm both caches
   std::vector<std::int64_t> engine_ns;
-  engine_ns.reserve(kQueries);
-  for (int i = 0; i < kQueries; ++i) {
+  engine_ns.reserve(queries);
+  for (int i = 0; i < queries; ++i) {
     const auto response = engine.HotListAnswer(query);
     engine_ns.push_back(response.response_ns);
   }
@@ -149,7 +152,7 @@ int Main(int argc, char** argv) {
   std::printf("\ncached-vs-merge speedup: p50 %.1fx, p99 %.1fx "
               "(%zu shards, %lld preloaded)\n",
               speedup_p50, speedup_p99, kShards,
-              static_cast<long long>(kPreload));
+              static_cast<long long>(preload));
 
   report.Add("per_request_snapshot",
              {{"p50_ns", merged.p50_ns}, {"p99_ns", merged.p99_ns}});

@@ -27,9 +27,10 @@ struct Scenario {
 }  // namespace bench
 }  // namespace aqua
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   const Scenario scenarios[] = {
       {"Fig. 3(a)", 100, 5000},

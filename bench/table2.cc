@@ -23,9 +23,10 @@ struct Scenario {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   const Scenario scenarios[] = {
       {"Figure 4", 500, 1.5, 100, 4000},
@@ -51,7 +52,8 @@ int main() {
     TablePrinter table({"algorithm", "flips", "lookups", "raises",
                         "sample-size", "threshold", "reported"});
     table.AddRow({"concise",
-                  TablePrinter::Num(e.concise.Cost().FlipsPerInsert(kInserts), 3),
+                  TablePrinter::Num(
+                      e.concise.Cost().FlipsPerInsert(kInserts), 3),
                   TablePrinter::Num(
                       e.concise.Cost().LookupsPerInsert(kInserts), 3),
                   TablePrinter::Num(e.concise.Cost().threshold_raises),

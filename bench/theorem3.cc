@@ -11,9 +11,10 @@
 #include "core/concise_sample_builder.h"
 #include "metrics/table_printer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   PrintHeader("Lemma 1: single-valued relation, footprint 100");
   {

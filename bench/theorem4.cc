@@ -13,9 +13,10 @@
 #include "metrics/table_printer.h"
 #include "random/random.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
+  ApplySmoke(argc, argv);
 
   constexpr std::int64_t kN = 100000;
   constexpr std::int64_t kD = 2000;
@@ -29,7 +30,7 @@ int main() {
   for (int step = 0; step <= 12; ++step) {
     const double alpha = 0.25 * step;
     const std::vector<Value> data =
-        ZipfValues(kN, kD, alpha, TrialSeed(8000 + step, 0));
+        ZipfValues(SmokeCap(kN), kD, alpha, TrialSeed(8000 + step, 0));
     const FrequencyMoments fm = FrequencyMoments::FromData(data);
     const ExpectedDistinctValues edv(fm);
 

@@ -98,6 +98,8 @@ int main(int argc, char** argv) {
   using namespace aqua;
   using namespace aqua::bench;
 
+  ApplySmoke(argc, argv);
+  const std::int64_t stream_n = SmokeCap(kStream);
   const std::string json_path = BenchReport::JsonPathFromArgs(argc, argv);
   BenchReport report("update_micro");
   TablePrinter table({"synopsis", "path", "stream", "ns/elem", "Melem/s"});
@@ -107,13 +109,14 @@ int main(int argc, char** argv) {
 
   // The classic skew sweep (100K elements, domain 5K, m=1000).
   std::vector<Scenario> skews;
-  skews.push_back({"zipf0.0", ZipfValues(kStream, 5000, 0.0, 81)});
-  skews.push_back({"zipf1.0", ZipfValues(kStream, 5000, 1.0, 82)});
-  skews.push_back({"zipf2.0", ZipfValues(kStream, 5000, 2.0, 83)});
+  skews.push_back({"zipf0.0", ZipfValues(stream_n, 5000, 0.0, 81)});
+  skews.push_back({"zipf1.0", ZipfValues(stream_n, 5000, 1.0, 82)});
+  skews.push_back({"zipf2.0", ZipfValues(stream_n, 5000, 2.0, 83)});
   // The large-τ regime: a long low-duplication stream drives the concise
   // sample's threshold high, so almost every element is skip-jumped; this
   // is where the batched path's O(#selected + 1) cost shows up.
-  Scenario large_tau{"uniform1M", UniformValues(1000000, 200000, 88)};
+  Scenario large_tau{"uniform1M",
+                     UniformValues(SmokeCap(1000000), 200000, 88)};
 
   for (const Scenario& s : skews) {
     bench.Run("traditional", "insert", s, [](const std::vector<Value>& d) {

@@ -7,6 +7,7 @@
 //   GET /hotlist?k=10&beta=3        hot list (§5)
 //   GET /frequency?value=42         per-value frequency estimate
 //   GET /count_where?low=1&high=99  COUNT(*) WHERE low <= v <= high
+//   GET /quantile?q=0.5             estimated q-quantile of the relation
 //   GET /distinct                   distinct-values estimate ([FM85])
 //   GET /stats                      ingest counters + snapshot-cache stats
 //   GET /healthz                    liveness probe
@@ -19,6 +20,7 @@
 //   GET /attr/{name}/hotlist?k=10&beta=3
 //   GET /attr/{name}/frequency?value=42
 //   GET /attr/{name}/count_where?low=1&high=99
+//   GET /attr/{name}/quantile?q=0.5
 //   GET /attr/{name}/distinct
 //   GET /attr/{name}/stats
 //   POST /attr/{name}/ingest        body: JSON array of values
@@ -26,11 +28,13 @@
 //
 // Unknown attributes answer 404.
 //
-// Queries are answered from epoch-cached snapshots (SnapshotCache), so a
-// request costs a pointer load plus the answer computation; snapshots trail
-// ingest by at most --cache-stale-ops operations or --cache-stale-ms
-// milliseconds.  When the bounded request queue is full the server answers
-// 503 instead of queueing without bound.  SIGTERM/SIGINT drain gracefully.
+// Queries are answered from epoch-cached snapshots (SnapshotCache) and the
+// frozen view built alongside each epoch, so a request costs a pointer load
+// plus O(k) (hot list) or O(log m) (count_where/quantile) answer
+// computation; snapshots trail ingest by at most --cache-stale-ops
+// operations or --cache-stale-ms milliseconds.  When the bounded request
+// queue is full the server answers 503 instead of queueing without
+// bound.  SIGTERM/SIGINT drain gracefully.
 
 #include <signal.h>
 
@@ -259,6 +263,8 @@ void WriteSynopsisStats(JsonWriter& w,
     w.Key("sharded").Bool(s.sharded);
     w.Key("footprint").Int(s.footprint);
     w.Key("epoch").UInt(s.epoch);
+    w.Key("has_view").Bool(s.has_view);
+    w.Key("view_build_ns").Int(s.view_build_ns);
     w.Key("cache").BeginObject();
     w.Key("hits").Int(s.cache.hits);
     w.Key("refreshes").Int(s.cache.refreshes);
@@ -284,6 +290,53 @@ std::optional<HotListQuery> ParseHotListQuery(const HttpRequest& request,
   query.k = *k;
   query.beta = *beta;
   return query;
+}
+
+struct RangeQuery {
+  ValueRange range;
+  double confidence = 0.95;
+};
+
+std::optional<RangeQuery> ParseRangeQuery(const HttpRequest& request,
+                                          HttpResponse* error) {
+  const auto low =
+      request.QueryInt("low", std::numeric_limits<std::int64_t>::min());
+  const auto high =
+      request.QueryInt("high", std::numeric_limits<std::int64_t>::max());
+  const auto confidence = request.QueryDouble("confidence", 0.95);
+  if (!low.has_value() || !high.has_value() || !confidence.has_value() ||
+      *confidence <= 0.0 || *confidence >= 1.0) {
+    *error = JsonError(400,
+                       "malformed ?low=/?high=/?confidence= (confidence in "
+                       "(0,1))");
+    return std::nullopt;
+  }
+  RangeQuery query;
+  query.range.low = *low;
+  query.range.high = *high;
+  query.confidence = *confidence;
+  return query;
+}
+
+struct QuantileQueryParams {
+  double q = 0.5;
+  double confidence = 0.95;
+};
+
+std::optional<QuantileQueryParams> ParseQuantileQuery(
+    const HttpRequest& request, HttpResponse* error) {
+  const auto q = request.QueryDouble("q", 0.5);
+  const auto confidence = request.QueryDouble("confidence", 0.95);
+  if (!q.has_value() || *q < 0.0 || *q > 1.0 || !confidence.has_value() ||
+      *confidence <= 0.0 || *confidence >= 1.0) {
+    *error = JsonError(
+        400, "malformed ?q=/?confidence= (q in [0,1], confidence in (0,1))");
+    return std::nullopt;
+  }
+  QuantileQueryParams params;
+  params.q = *q;
+  params.confidence = *confidence;
+  return params;
 }
 
 void RegisterRoutes(HttpServer& server, ServingEngine& engine,
@@ -312,23 +365,23 @@ void RegisterRoutes(HttpServer& server, ServingEngine& engine,
   });
 
   server.Route("GET", "/count_where", [&engine](const HttpRequest& request) {
-    const auto low = request.QueryInt(
-        "low", std::numeric_limits<std::int64_t>::min());
-    const auto high = request.QueryInt(
-        "high", std::numeric_limits<std::int64_t>::max());
-    const auto confidence = request.QueryDouble("confidence", 0.95);
-    if (!low.has_value() || !high.has_value() || !confidence.has_value() ||
-        *confidence <= 0.0 || *confidence >= 1.0) {
-      return JsonError(400,
-                       "malformed ?low=/?high=/?confidence= (confidence in "
-                       "(0,1))");
-    }
-    const Value lo = *low;
-    const Value hi = *high;
-    const QueryResponse<Estimate> response = engine.CountWhereAnswer(
-        [lo, hi](Value v) { return v >= lo && v <= hi; }, *confidence);
+    HttpResponse error;
+    const auto query = ParseRangeQuery(request, &error);
+    if (!query.has_value()) return error;
+    // The range overload answers in O(log m) from the epoch's frozen view
+    // when one exists (identical estimate to the predicate form).
     JsonWriter w;
-    WriteEstimate(w, response);
+    WriteEstimate(w, engine.CountWhereAnswer(query->range,
+                                             query->confidence));
+    return JsonOk(w.TakeString());
+  });
+
+  server.Route("GET", "/quantile", [&engine](const HttpRequest& request) {
+    HttpResponse error;
+    const auto params = ParseQuantileQuery(request, &error);
+    if (!params.has_value()) return error;
+    JsonWriter w;
+    WriteEstimate(w, engine.QuantileAnswer(params->q, params->confidence));
     return JsonOk(w.TakeString());
   });
 
@@ -438,22 +491,22 @@ HttpResponse HandleCatalogGet(const SynopsisCatalog& catalog,
     return JsonOk(w.TakeString());
   }
   if (endpoint == "count_where") {
-    const auto low =
-        request.QueryInt("low", std::numeric_limits<std::int64_t>::min());
-    const auto high =
-        request.QueryInt("high", std::numeric_limits<std::int64_t>::max());
-    const auto confidence = request.QueryDouble("confidence", 0.95);
-    if (!low.has_value() || !high.has_value() || !confidence.has_value() ||
-        *confidence <= 0.0 || *confidence >= 1.0) {
-      return JsonError(400,
-                       "malformed ?low=/?high=/?confidence= (confidence in "
-                       "(0,1))");
-    }
-    const Value lo = *low;
-    const Value hi = *high;
-    const auto response = catalog.CountWhereFor(
-        attribute, [lo, hi](Value v) { return v >= lo && v <= hi; },
-        *confidence);
+    HttpResponse error;
+    const auto query = ParseRangeQuery(request, &error);
+    if (!query.has_value()) return error;
+    const auto response =
+        catalog.CountWhereFor(attribute, query->range, query->confidence);
+    if (!response.ok()) return CatalogError(response.status());
+    JsonWriter w;
+    WriteEstimate(w, response.ValueOrDie());
+    return JsonOk(w.TakeString());
+  }
+  if (endpoint == "quantile") {
+    HttpResponse error;
+    const auto params = ParseQuantileQuery(request, &error);
+    if (!params.has_value()) return error;
+    const auto response =
+        catalog.QuantileFor(attribute, params->q, params->confidence);
     if (!response.ok()) return CatalogError(response.status());
     JsonWriter w;
     WriteEstimate(w, response.ValueOrDie());

@@ -100,8 +100,14 @@ class SnapshotCache {
   /// winning thread refreshes; losers serve the previous epoch.  Fails
   /// only if a needed refresh fails and no previous epoch exists.
   Result<std::shared_ptr<const S>> Get() const {
+    // At most one clock read per Get(): the ops bound is checked first
+    // (no clock needed when it trips), and the wall reading taken for the
+    // first interval check is reused by the under-lock recheck.  Reuse is
+    // conservative: a stale reading only shrinks the apparent interval, so
+    // it can skip a refresh another thread just performed, never miss one.
+    std::int64_t now = kClockUnread;
     std::shared_ptr<const S> current = LoadCurrent();
-    if (current != nullptr && !IsStale()) {
+    if (current != nullptr && !IsStaleAt(&now)) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       return current;
     }
@@ -109,12 +115,12 @@ class SnapshotCache {
       // First snapshot: every caller must block until one exists.
       std::lock_guard<std::mutex> lock(refresh_mutex_);
       current = LoadCurrent();
-      if (current == nullptr || IsStale()) {
+      if (current == nullptr || IsStaleAt(&now)) {
         AQUA_RETURN_NOT_OK(RefreshLocked());
       }
     } else if (refresh_mutex_.try_lock()) {
       std::lock_guard<std::mutex> lock(refresh_mutex_, std::adopt_lock);
-      if (IsStale()) {
+      if (IsStaleAt(&now)) {
         const Status status = RefreshLocked();
         // A failed re-merge is not fatal while a previous epoch exists:
         // serve it (still within one failed refresh of the bound).
@@ -146,17 +152,8 @@ class SnapshotCache {
 
   /// True when the next Get() would attempt a refresh.
   bool IsStale() const {
-    if (options_.max_stale_ops > 0 &&
-        ops_since_refresh_.load(std::memory_order_relaxed) >=
-            options_.max_stale_ops) {
-      return true;
-    }
-    if (options_.max_stale_interval > std::chrono::nanoseconds::zero()) {
-      const std::int64_t last =
-          last_refresh_ns_.load(std::memory_order_relaxed);
-      if (NowNs() - last >= options_.max_stale_interval.count()) return true;
-    }
-    return false;
+    std::int64_t now = kClockUnread;
+    return IsStaleAt(&now);
   }
 
   CacheStats Stats() const {
@@ -168,6 +165,29 @@ class SnapshotCache {
   }
 
  private:
+  /// Sentinel for "no wall reading taken yet" in IsStaleAt's lazy-clock
+  /// protocol (the steady clock never reads as this value).
+  static constexpr std::int64_t kClockUnread = -1;
+
+  /// IsStale with a caller-scoped clock cache: the ops bound is checked
+  /// first and short-circuits without touching the clock; the interval
+  /// bound reads NowNs() only once per *now — repeated calls within one
+  /// Get() reuse the first reading.
+  bool IsStaleAt(std::int64_t* now) const {
+    if (options_.max_stale_ops > 0 &&
+        ops_since_refresh_.load(std::memory_order_relaxed) >=
+            options_.max_stale_ops) {
+      return true;
+    }
+    if (options_.max_stale_interval > std::chrono::nanoseconds::zero()) {
+      const std::int64_t last =
+          last_refresh_ns_.load(std::memory_order_relaxed);
+      if (*now == kClockUnread) *now = NowNs();
+      if (*now - last >= options_.max_stale_interval.count()) return true;
+    }
+    return false;
+  }
+
   static std::int64_t NowNs() {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
                std::chrono::steady_clock::now().time_since_epoch())

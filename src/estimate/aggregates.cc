@@ -61,21 +61,39 @@ double SampleEstimator::NormalQuantile(double confidence) {
 
 Estimate SampleEstimator::Selectivity(const ValuePredicate& pred,
                                       double confidence) const {
-  Estimate est;
-  est.confidence = confidence;
-  est.sample_points = sample_size();
-  if (sample_.empty()) return est;
   std::int64_t hits = 0;
   for (Value v : sample_) {
     if (pred(v)) ++hits;
   }
-  const auto m = static_cast<double>(sample_.size());
+  return SelectivityFromHits(hits, sample_size(), confidence);
+}
+
+Estimate SampleEstimator::SelectivityFromHits(std::int64_t hits,
+                                              std::int64_t sample_size,
+                                              double confidence) {
+  Estimate est;
+  est.confidence = confidence;
+  est.sample_points = sample_size;
+  if (sample_size == 0) return est;
+  const auto m = static_cast<double>(sample_size);
   const double p = static_cast<double>(hits) / m;
   const double z = NormalQuantile(confidence);
   const double half = z * std::sqrt(std::max(0.0, p * (1.0 - p) / m));
   est.value = p;
   est.ci_low = std::max(0.0, p - half);
   est.ci_high = std::min(1.0, p + half);
+  return est;
+}
+
+Estimate SampleEstimator::CountWhereFromHits(std::int64_t hits,
+                                             std::int64_t sample_size,
+                                             std::int64_t relation_size,
+                                             double confidence) {
+  Estimate est = SelectivityFromHits(hits, sample_size, confidence);
+  const auto n = static_cast<double>(relation_size);
+  est.value *= n;
+  est.ci_low *= n;
+  est.ci_high *= n;
   return est;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <span>
 
 #include "common/types.h"
@@ -28,6 +29,23 @@ struct Estimate {
 /// Predicate over attribute values.
 using ValuePredicate = std::function<bool(Value)>;
 
+/// An inclusive value interval [low, high] — the structured form of the
+/// most common predicate shape.  Passing a range (instead of an opaque
+/// ValuePredicate) lets value-ordered answer structures (FrozenView) count
+/// it in O(log m) via prefix sums; AsPredicate() is the exact fallback for
+/// scan-based paths, so both produce identical hit counts.
+struct ValueRange {
+  Value low = std::numeric_limits<Value>::min();
+  Value high = std::numeric_limits<Value>::max();
+
+  bool Contains(Value v) const { return v >= low && v <= high; }
+  ValuePredicate AsPredicate() const {
+    const Value lo = low;
+    const Value hi = high;
+    return [lo, hi](Value v) { return v >= lo && v <= hi; };
+  }
+};
+
 /// Sampling-based estimators over a uniform point sample of a relation of
 /// size n.  Concise samples plug in via ConciseSample::ToPointSample() and
 /// deliver strictly tighter intervals than a traditional sample of the same
@@ -52,6 +70,20 @@ class SampleEstimator {
   /// COUNT(*) WHERE pred — selectivity scaled by n.
   Estimate CountWhere(const ValuePredicate& pred,
                       double confidence = 0.95) const;
+
+  /// The arithmetic core of Selectivity once the hit count is known —
+  /// shared with answer structures that derive `hits` without scanning
+  /// points (FrozenView's prefix sums), so both paths produce bit-identical
+  /// estimates.
+  static Estimate SelectivityFromHits(std::int64_t hits,
+                                      std::int64_t sample_size,
+                                      double confidence);
+
+  /// CountWhere's core: SelectivityFromHits scaled to a relation of size n.
+  static Estimate CountWhereFromHits(std::int64_t hits,
+                                     std::int64_t sample_size,
+                                     std::int64_t relation_size,
+                                     double confidence);
 
   /// SUM(value) over all tuples, via the sample mean scaled by n, with a
   /// CLT interval from the sample standard deviation.

@@ -9,13 +9,21 @@ namespace aqua {
 
 Estimate FrequencyEstimator::FromConcise(const ConciseSample& sample,
                                          Value value, double confidence) {
+  return FromConciseCounts(sample.CountOf(value), sample.SampleSize(),
+                           sample.ObservedInserts(), confidence);
+}
+
+Estimate FrequencyEstimator::FromConciseCounts(Count count,
+                                               std::int64_t sample_size,
+                                               std::int64_t observed_inserts,
+                                               double confidence) {
   Estimate est;
   est.confidence = confidence;
-  est.sample_points = sample.SampleSize();
-  const auto m = static_cast<double>(sample.SampleSize());
+  est.sample_points = sample_size;
+  const auto m = static_cast<double>(sample_size);
   if (m == 0) return est;
-  const auto n = static_cast<double>(sample.ObservedInserts());
-  const auto c = static_cast<double>(sample.CountOf(value));
+  const auto n = static_cast<double>(observed_inserts);
+  const auto c = static_cast<double>(count);
   const double p = c / m;
   const double z = SampleEstimator::NormalQuantile(confidence);
   const double half = z * std::sqrt(std::max(0.0, p * (1.0 - p) / m)) * n;
@@ -27,11 +35,18 @@ Estimate FrequencyEstimator::FromConcise(const ConciseSample& sample,
 
 Estimate FrequencyEstimator::FromCounting(const CountingSample& sample,
                                           Value value, double confidence) {
+  return FromCountingCounts(sample.CountOf(value), sample.Threshold(),
+                            sample.CountedOccurrences(), confidence);
+}
+
+Estimate FrequencyEstimator::FromCountingCounts(
+    Count count, double threshold, std::int64_t counted_occurrences,
+    double confidence) {
   Estimate est;
   est.confidence = confidence;
-  est.sample_points = sample.CountedOccurrences();
-  const Count c = sample.CountOf(value);
-  const double tau = sample.Threshold();
+  est.sample_points = counted_occurrences;
+  const Count c = count;
+  const double tau = threshold;
   const double c_hat = CountingHotList::Compensation(tau);
   // The pre-admission loss L = f_v - count satisfies
   // P(L >= γτ) <= (1 - 1/τ)^{γτ} <= e^{-γ}  (Theorem 6(iii) rearranged);

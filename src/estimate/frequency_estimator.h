@@ -17,6 +17,14 @@ class FrequencyEstimator {
   static Estimate FromConcise(const ConciseSample& sample, Value value,
                               double confidence = 0.95);
 
+  /// The arithmetic core of FromConcise once the synopsis count is known —
+  /// shared with frozen views, which look the count up in O(log m) with
+  /// `sample_size`/`observed_inserts` captured at freeze time, so both
+  /// paths produce bit-identical estimates.
+  static Estimate FromConciseCounts(Count count, std::int64_t sample_size,
+                                    std::int64_t observed_inserts,
+                                    double confidence = 0.95);
+
   /// Estimates f_v from a counting sample: count + ĉ (the §5.2
   /// compensation).  Under insert-only streams count <= f_v always, and the
   /// pre-admission loss f_v - count is stochastically dominated by a
@@ -24,6 +32,12 @@ class FrequencyEstimator {
   /// [count, count + τ·ln(1/(1-confidence))] with the given coverage.
   static Estimate FromCounting(const CountingSample& sample, Value value,
                                double confidence = 0.95);
+
+  /// FromCounting's core over the frozen scalars (threshold τ and the
+  /// counted-occurrences total that reports as sample_points).
+  static Estimate FromCountingCounts(Count count, double threshold,
+                                     std::int64_t counted_occurrences,
+                                     double confidence = 0.95);
 };
 
 }  // namespace aqua

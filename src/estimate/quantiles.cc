@@ -15,25 +15,14 @@ QuantileEstimator::QuantileEstimator(std::span<const Value> sample)
 Value QuantileEstimator::Quantile(double q) const {
   AQUA_CHECK(q >= 0.0 && q <= 1.0);
   if (sorted_.empty()) return 0;
-  const auto idx = static_cast<std::size_t>(std::min<double>(
-      static_cast<double>(sorted_.size()) - 1.0,
-      std::floor(q * static_cast<double>(sorted_.size()))));
-  return sorted_[idx];
+  return sorted_[internal_quantile::IndexFor(q, sorted_.size())];
 }
 
 Estimate QuantileEstimator::QuantileWithBounds(double q,
                                                double confidence) const {
-  Estimate est;
-  est.confidence = confidence;
-  est.sample_points = sample_size();
-  if (sorted_.empty()) return est;
-  const auto m = static_cast<double>(sorted_.size());
-  const double z = SampleEstimator::NormalQuantile(confidence);
-  const double half = z * std::sqrt(std::max(0.0, q * (1.0 - q) / m));
-  est.value = static_cast<double>(Quantile(q));
-  est.ci_low = static_cast<double>(Quantile(std::max(0.0, q - half)));
-  est.ci_high = static_cast<double>(Quantile(std::min(1.0, q + half)));
-  return est;
+  return internal_quantile::WithBounds(
+      [this](double qq) { return Quantile(qq); }, sample_size(), q,
+      confidence);
 }
 
 double QuantileEstimator::RankOf(Value value) const {

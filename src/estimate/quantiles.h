@@ -1,6 +1,8 @@
 #ifndef AQUA_ESTIMATE_QUANTILES_H_
 #define AQUA_ESTIMATE_QUANTILES_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -9,6 +11,39 @@
 #include "estimate/aggregates.h"
 
 namespace aqua {
+
+namespace internal_quantile {
+
+/// The sorted-sample index answering the q-quantile over m points —
+/// min(m - 1, floor(q·m)), the one place that rounding rule lives.
+inline std::size_t IndexFor(double q, std::size_t m) {
+  return static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(m) - 1.0,
+                       std::floor(q * static_cast<double>(m))));
+}
+
+/// The interval arithmetic of QuantileEstimator::QuantileWithBounds over
+/// any rank-lookup primitive: `value_at(q)` must return the sorted
+/// sample's value at IndexFor(q, m).  Shared between the per-query sorting
+/// estimator and frozen views (which look ranks up in O(log m) via count
+/// prefix sums), so both paths produce bit-identical estimates.
+template <typename LookupFn>
+Estimate WithBounds(const LookupFn& value_at, std::int64_t m, double q,
+                    double confidence) {
+  Estimate est;
+  est.confidence = confidence;
+  est.sample_points = m;
+  if (m == 0) return est;
+  const auto md = static_cast<double>(m);
+  const double z = SampleEstimator::NormalQuantile(confidence);
+  const double half = z * std::sqrt(std::max(0.0, q * (1.0 - q) / md));
+  est.value = static_cast<double>(value_at(q));
+  est.ci_low = static_cast<double>(value_at(std::max(0.0, q - half)));
+  est.ci_high = static_cast<double>(value_at(std::min(1.0, q + half)));
+  return est;
+}
+
+}  // namespace internal_quantile
 
 /// Sampling-based quantile estimation — one of §6's "other concrete
 /// approximate answer scenarios" for concise samples: a uniform sample of

@@ -45,7 +45,23 @@ class AnswerSource {
     (void)ctx;
     return {};
   }
+  /// Structured-range form of CountWhere.  The default folds the range
+  /// into a predicate, so every source answers ranges; sources with a
+  /// value-ordered view override this with an O(log m) prefix-sum count
+  /// (producing the identical hit total, hence the identical estimate).
+  virtual Estimate CountWhereRangeAnswer(const ValueRange& range,
+                                         double confidence,
+                                         const QueryContext& ctx) const {
+    return CountWhereAnswer(range.AsPredicate(), confidence, ctx);
+  }
   virtual Estimate DistinctAnswer(const QueryContext& ctx) const {
+    (void)ctx;
+    return {};
+  }
+  virtual Estimate QuantileAnswer(double q, double confidence,
+                                  const QueryContext& ctx) const {
+    (void)q;
+    (void)confidence;
     (void)ctx;
     return {};
   }

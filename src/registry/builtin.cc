@@ -5,10 +5,12 @@
 #include <vector>
 
 #include "estimate/frequency_estimator.h"
+#include "estimate/quantiles.h"
 #include "hotlist/concise_hot_list.h"
 #include "hotlist/counting_hot_list.h"
 #include "hotlist/traditional_hot_list.h"
 #include "persist/snapshot.h"
+#include "view/view_builders.h"
 
 namespace aqua {
 
@@ -20,6 +22,7 @@ SynopsisDescriptor<ReservoirSample> TraditionalSampleDescriptor(
   descriptor.rank[static_cast<int>(QueryKind::kHotList)] = kRankTraditional;
   descriptor.rank[static_cast<int>(QueryKind::kCountWhere)] =
       kRankTraditional;
+  descriptor.rank[static_cast<int>(QueryKind::kQuantile)] = kRankTraditional;
   descriptor.factory = [footprint_bound](std::uint64_t seed) {
     return ReservoirSample(footprint_bound, seed);
   };
@@ -34,6 +37,14 @@ SynopsisDescriptor<ReservoirSample> TraditionalSampleDescriptor(
         SampleEstimator estimator(sample.Points(), ctx.observed_inserts);
         return estimator.CountWhere(pred, confidence);
       };
+  descriptor.answers.quantile = [](const ReservoirSample& sample, double q,
+                                   double confidence, const QueryContext&) {
+    return QuantileEstimator(sample.Points())
+        .QuantileWithBounds(q, confidence);
+  };
+  descriptor.view_builder = [](const ReservoirSample& sample) {
+    return BuildTraditionalView(sample);
+  };
   return descriptor;
 }
 
@@ -44,9 +55,10 @@ SynopsisDescriptor<ConciseSample> ConciseSampleDescriptor(
   descriptor.on_delete = DeleteBehavior::kInvalidates;
   descriptor.rank[static_cast<int>(QueryKind::kHotList)] = kRankConcise;
   descriptor.rank[static_cast<int>(QueryKind::kFrequency)] = kRankConcise;
-  // Preferred uniform sample for predicate counts: largest sample-size for
-  // the footprint (§1.1), hence the tightest interval.
+  // Preferred uniform sample for predicate counts and quantiles: largest
+  // sample-size for the footprint (§1.1), hence the tightest interval.
   descriptor.rank[static_cast<int>(QueryKind::kCountWhere)] = kRankConcise;
+  descriptor.rank[static_cast<int>(QueryKind::kQuantile)] = kRankConcise;
   descriptor.factory = [footprint_bound](std::uint64_t seed) {
     ConciseSampleOptions options;
     options.footprint_bound = footprint_bound;
@@ -69,6 +81,14 @@ SynopsisDescriptor<ConciseSample> ConciseSampleDescriptor(
         SampleEstimator estimator(points, ctx.observed_inserts);
         return estimator.CountWhere(pred, confidence);
       };
+  descriptor.answers.quantile = [](const ConciseSample& sample, double q,
+                                   double confidence, const QueryContext&) {
+    return QuantileEstimator(sample.ToPointSample())
+        .QuantileWithBounds(q, confidence);
+  };
+  descriptor.view_builder = [](const ConciseSample& sample) {
+    return BuildConciseView(sample);
+  };
   descriptor.encode = [](const ConciseSample& sample) {
     return EncodeSnapshot(sample);
   };
@@ -102,6 +122,9 @@ SynopsisDescriptor<CountingSample> CountingSampleDescriptor(
                                     Value value, const QueryContext&) {
     return FrequencyEstimator::FromCounting(sample, value);
   };
+  descriptor.view_builder = [](const CountingSample& sample) {
+    return BuildCountingView(sample);
+  };
   descriptor.encode = [](const CountingSample& sample) {
     return EncodeSnapshot(sample);
   };
@@ -123,17 +146,12 @@ SynopsisDescriptor<FlajoletMartin> DistinctSketchDescriptor(int num_maps) {
   };
   descriptor.answers.distinct = [](const FlajoletMartin& sketch,
                                    const QueryContext&) {
-    Estimate estimate;
-    const double d = sketch.Estimate();
-    estimate.value = d;
-    // [FM85]'s asymptotic standard error is ≈ 0.78/sqrt(#maps) in log2
-    // scale; expose a pragmatic ±2σ multiplicative band.
-    const double sigma_log2 =
-        0.78 / std::sqrt(static_cast<double>(sketch.num_maps()));
-    estimate.ci_low = d * std::pow(2.0, -2.0 * sigma_log2);
-    estimate.ci_high = d * std::pow(2.0, 2.0 * sigma_log2);
-    estimate.confidence = 0.95;
-    return estimate;
+    // The arithmetic lives in FmDistinctEstimate (view/view_builders.h) so
+    // the frozen view's precomputed estimate is bit-identical.
+    return FmDistinctEstimate(sketch);
+  };
+  descriptor.view_builder = [](const FlajoletMartin& sketch) {
+    return BuildDistinctSketchView(sketch);
   };
   return descriptor;
 }

@@ -129,12 +129,37 @@ QueryResponse<Estimate> SynopsisRegistry::CountWhereAnswer(
   return response;
 }
 
+QueryResponse<Estimate> SynopsisRegistry::CountWhereAnswer(
+    const ValueRange& range, double confidence) const {
+  const std::int64_t start = NowNs();
+  QueryResponse<Estimate> response = AnswerFromBest<Estimate>(
+      QueryKind::kCountWhere,
+      [&range, confidence](const AnswerSource& source,
+                           const QueryContext& ctx) {
+        return source.CountWhereRangeAnswer(range, confidence, ctx);
+      });
+  response.response_ns = NowNs() - start;
+  return response;
+}
+
 QueryResponse<Estimate> SynopsisRegistry::DistinctValuesAnswer() const {
   const std::int64_t start = NowNs();
   QueryResponse<Estimate> response = AnswerFromBest<Estimate>(
       QueryKind::kDistinct,
       [](const AnswerSource& source, const QueryContext& ctx) {
         return source.DistinctAnswer(ctx);
+      });
+  response.response_ns = NowNs() - start;
+  return response;
+}
+
+QueryResponse<Estimate> SynopsisRegistry::QuantileAnswer(
+    double q, double confidence) const {
+  const std::int64_t start = NowNs();
+  QueryResponse<Estimate> response = AnswerFromBest<Estimate>(
+      QueryKind::kQuantile,
+      [q, confidence](const AnswerSource& source, const QueryContext& ctx) {
+        return source.QuantileAnswer(q, confidence, ctx);
       });
   response.response_ns = NowNs() - start;
   return response;
@@ -184,6 +209,8 @@ RegistryStats SynopsisRegistry::GetStats() const {
     s.footprint = handle->Footprint();
     s.epoch = handle->CacheEpoch();
     s.cache = handle->CacheStats();
+    s.has_view = handle->HasView();
+    s.view_build_ns = handle->ViewBuildNs();
     stats.synopses.push_back(std::move(s));
   }
   return stats;

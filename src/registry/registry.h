@@ -29,6 +29,10 @@ struct SynopsisHandleStats {
   Words footprint = 0;
   std::uint64_t epoch = 0;
   SnapshotCacheStats cache;
+  /// Whether the current epoch carries a frozen view, and the wall time
+  /// its build added to the refresh.
+  bool has_view = false;
+  std::int64_t view_build_ns = 0;
 };
 
 struct RegistryStats {
@@ -99,7 +103,8 @@ class SynopsisRegistry {
         {descriptor.answers.hot_list != nullptr,
          descriptor.answers.frequency != nullptr,
          descriptor.answers.count_where != nullptr,
-         descriptor.answers.distinct != nullptr}));
+         descriptor.answers.distinct != nullptr,
+         descriptor.answers.quantile != nullptr}));
     HandleOptions handle_options;
     handle_options.mode = options_.mode;
     handle_options.shards = options_.shards;
@@ -138,7 +143,16 @@ class SynopsisRegistry {
   QueryResponse<Estimate> FrequencyAnswer(Value value) const;
   QueryResponse<Estimate> CountWhereAnswer(const ValuePredicate& pred,
                                            double confidence = 0.95) const;
+  /// Structured-range COUNT(*) WHERE low <= v <= high.  Same estimate as
+  /// the predicate form, but sources with a frozen view count the range in
+  /// O(log m) instead of scanning.
+  QueryResponse<Estimate> CountWhereAnswer(const ValueRange& range,
+                                           double confidence = 0.95) const;
   QueryResponse<Estimate> DistinctValuesAnswer() const;
+  /// Estimated q-quantile (0 <= q <= 1) of the relation's values, from the
+  /// best-ranked uniform sample.
+  QueryResponse<Estimate> QuantileAnswer(double q,
+                                         double confidence = 0.95) const;
 
   /// True when some valid handle applies deletes exactly (drivers that
   /// refuse deletes otherwise, like ServingEngine, check this).

@@ -71,6 +71,12 @@ class SynopsisHandle {
   virtual std::uint64_t CacheEpoch() const = 0;
   virtual SnapshotCacheStats CacheStats() const = 0;
   virtual bool Cached() const = 0;
+
+  /// Frozen-view observability: whether the current epoch carries a
+  /// read-optimized view, and what it cost to build (ns).  Zeros for
+  /// unsynchronized handles and synopses without a view builder.
+  virtual bool HasView() const = 0;
+  virtual std::int64_t ViewBuildNs() const = 0;
 };
 
 }  // namespace aqua

@@ -20,6 +20,7 @@
 #include "concurrency/snapshot_cache.h"
 #include "random/xoshiro256.h"
 #include "registry/synopsis_handle.h"
+#include "view/frozen_view.h"
 
 namespace aqua {
 
@@ -59,6 +60,9 @@ struct AnswerFunctions {
                          const QueryContext&)>
       count_where;
   std::function<Estimate(const S&, const QueryContext&)> distinct;
+  std::function<Estimate(const S&, double q, double confidence,
+                         const QueryContext&)>
+      quantile;
 };
 
 /// Everything the registry needs to own and serve one synopsis type:
@@ -72,10 +76,17 @@ struct SynopsisDescriptor {
   DeleteBehavior on_delete = DeleteBehavior::kIgnores;
   /// Per-QueryKind accuracy rank; kCannotAnswer where not served.
   std::array<int, kNumQueryKinds> rank = {kCannotAnswer, kCannotAnswer,
-                                          kCannotAnswer, kCannotAnswer};
+                                          kCannotAnswer, kCannotAnswer,
+                                          kCannotAnswer};
   /// Builds one instance (one shard, in sharded mode) from a seed.
   std::function<S(std::uint64_t seed)> factory;
   AnswerFunctions<S> answers;
+  /// Optional freeze-time view constructor (view_builders.h).  When set,
+  /// concurrent handles build a FrozenView from every merged snapshot and
+  /// publish {snapshot, view} under one epoch swap; query kinds the view
+  /// serves answer from it instead of the answer functions.
+  /// Unsynchronized handles ignore it (no epoch to amortize over).
+  std::function<FrozenView(const S&)> view_builder;
   /// Optional persist codec (persist/snapshot.h-style byte format).
   std::function<std::vector<std::uint8_t>(const S&)> encode;
   std::function<Result<S>(const std::vector<std::uint8_t>&, std::uint64_t)>
@@ -104,14 +115,37 @@ struct HandleOptions {
       std::chrono::milliseconds(100);
 };
 
+/// One epoch's published state: the merged snapshot plus the read-optimized
+/// view frozen from it (when the descriptor declares a view builder).  The
+/// SnapshotCache publishes the whole struct under one `shared_ptr` swap, so
+/// a reader that pins an epoch gets a {snapshot, view} pair that is
+/// mutually consistent by construction — no extra synchronization.
+template <typename S>
+struct EpochState {
+  S snapshot;
+  std::optional<FrozenView> view;
+  /// Wall time the view build added to this epoch's refresh (0: no view).
+  std::int64_t view_build_ns = 0;
+};
+
 /// The AnswerSource a TypedSynopsisHandle pins: a snapshot (or live
-/// reference) of `S` plus the descriptor's answer functions.
+/// reference) of `S`, the epoch's frozen view when one exists, and the
+/// descriptor's answer functions as the direct path.  Each answer method
+/// prefers the view (O(k)/O(log m)) and falls back to the descriptor's
+/// per-query computation — the fallback covers unsynchronized handles,
+/// synopses without a view builder, and query kinds a view doesn't serve.
 template <RegistrableSynopsis S>
 class TypedAnswerSource final : public AnswerSource {
  public:
+  /// `view` must stay valid while `snapshot` is held (the handle passes a
+  /// pointer into the EpochState that `snapshot` aliases, so the pinned
+  /// epoch keeps both alive).
   TypedAnswerSource(std::shared_ptr<const SynopsisDescriptor<S>> descriptor,
-                    std::shared_ptr<const S> snapshot)
-      : descriptor_(std::move(descriptor)), snapshot_(std::move(snapshot)) {}
+                    std::shared_ptr<const S> snapshot,
+                    const FrozenView* view = nullptr)
+      : descriptor_(std::move(descriptor)),
+        snapshot_(std::move(snapshot)),
+        view_(view) {}
 
   std::string_view Method() const override { return descriptor_->name; }
 
@@ -119,26 +153,60 @@ class TypedAnswerSource final : public AnswerSource {
     return descriptor_->rank[static_cast<int>(kind)] != kCannotAnswer;
   }
 
+  /// True when this source would answer the kind from the frozen view
+  /// (bench/stats introspection).
+  bool AnswersFromView(QueryKind kind) const {
+    return view_ != nullptr && view_->Answers(kind);
+  }
+
   HotList HotListAnswer(const HotListQuery& query,
                         const QueryContext& ctx) const override {
+    if (AnswersFromView(QueryKind::kHotList)) {
+      return view_->HotListAnswer(query);
+    }
     return descriptor_->answers.hot_list(*snapshot_, query, ctx);
   }
   Estimate FrequencyAnswer(Value value,
                            const QueryContext& ctx) const override {
+    if (AnswersFromView(QueryKind::kFrequency)) {
+      return view_->FrequencyAnswer(value);
+    }
     return descriptor_->answers.frequency(*snapshot_, value, ctx);
   }
   Estimate CountWhereAnswer(const ValuePredicate& pred, double confidence,
                             const QueryContext& ctx) const override {
+    if (AnswersFromView(QueryKind::kCountWhere)) {
+      return view_->CountWhereAnswer(pred, confidence, ctx);
+    }
     return descriptor_->answers.count_where(*snapshot_, pred, confidence,
                                             ctx);
   }
+  Estimate CountWhereRangeAnswer(const ValueRange& range, double confidence,
+                                 const QueryContext& ctx) const override {
+    if (AnswersFromView(QueryKind::kCountWhere)) {
+      return view_->CountWhereRangeAnswer(range, confidence, ctx);
+    }
+    return descriptor_->answers.count_where(*snapshot_, range.AsPredicate(),
+                                            confidence, ctx);
+  }
   Estimate DistinctAnswer(const QueryContext& ctx) const override {
+    if (AnswersFromView(QueryKind::kDistinct)) {
+      return view_->DistinctAnswer();
+    }
     return descriptor_->answers.distinct(*snapshot_, ctx);
+  }
+  Estimate QuantileAnswer(double q, double confidence,
+                          const QueryContext& ctx) const override {
+    if (AnswersFromView(QueryKind::kQuantile)) {
+      return view_->QuantileAnswer(q, confidence);
+    }
+    return descriptor_->answers.quantile(*snapshot_, q, confidence, ctx);
   }
 
  private:
   std::shared_ptr<const SynopsisDescriptor<S>> descriptor_;
   std::shared_ptr<const S> snapshot_;
+  const FrozenView* view_;
 };
 
 /// The one concrete SynopsisHandle implementation: binds a synopsis type to
@@ -169,7 +237,7 @@ class TypedSynopsisHandle final : public SynopsisHandle {
       live_.emplace(descriptor_->factory(ShardSeed(0)));
       return;
     }
-    const typename SnapshotCache<S>::Options cache_options{
+    const typename SnapshotCache<EpochState<S>>::Options cache_options{
         .max_stale_ops = options.cache_max_stale_ops,
         .max_stale_interval = options.cache_max_stale_interval};
     if constexpr (ShardableSynopsis<S>) {
@@ -185,18 +253,23 @@ class TypedSynopsisHandle final : public SynopsisHandle {
           options.shards,
           [this](std::size_t i) { return descriptor_->factory(ShardSeed(i)); },
           routing);
-      cache_ = std::make_unique<SnapshotCache<S>>(
-          [this]() -> Result<S> { return sharded_->Snapshot(); },
+      cache_ = std::make_unique<SnapshotCache<EpochState<S>>>(
+          [this]() -> Result<EpochState<S>> {
+            AQUA_ASSIGN_OR_RETURN(S merged, sharded_->Snapshot());
+            return FreezeEpoch(std::move(merged));
+          },
           cache_options);
     } else {
-      shared_ =
-          std::make_unique<SharedSynopsis<S>>(descriptor_->factory(ShardSeed(0)));
-      cache_ = std::make_unique<SnapshotCache<S>>(
-          [this]() -> Result<S> {
+      shared_ = std::make_unique<SharedSynopsis<S>>(
+          descriptor_->factory(ShardSeed(0)));
+      cache_ = std::make_unique<SnapshotCache<EpochState<S>>>(
+          [this]() -> Result<EpochState<S>> {
             // Unmergeable: the "snapshot" is a copy taken under the shared
             // lock — still O(footprint), still off the per-query path
-            // thanks to the epoch cache.
-            return shared_->WithRead([](const S& s) { return s; });
+            // thanks to the epoch cache.  The view is built *outside* the
+            // lock, from the copy.
+            return FreezeEpoch(
+                shared_->WithRead([](const S& s) { return s; }));
           },
           cache_options);
     }
@@ -269,18 +342,26 @@ class TypedSynopsisHandle final : public SynopsisHandle {
   std::shared_ptr<const AnswerSource> Pin() const override {
     if (!valid()) return nullptr;
     std::shared_ptr<const S> snapshot;
+    const FrozenView* view = nullptr;
     if (live_.has_value()) {
       // Non-owning alias: the unsynchronized driver guarantees the handle
-      // outlives the answer computation.
+      // outlives the answer computation.  No view — nothing to amortize
+      // a freeze over without epochs.
       snapshot = std::shared_ptr<const S>(std::shared_ptr<const S>(),
                                           std::addressof(*live_));
     } else {
-      Result<std::shared_ptr<const S>> cached = cache_->Get();
+      Result<std::shared_ptr<const EpochState<S>>> cached = cache_->Get();
       if (!cached.ok()) return nullptr;
-      snapshot = std::move(cached).ValueOrDie();
+      std::shared_ptr<const EpochState<S>> state =
+          std::move(cached).ValueOrDie();
+      if (state->view.has_value()) view = std::addressof(*state->view);
+      // Aliasing ptr: owns the whole EpochState, points at the snapshot —
+      // so the pinned source keeps the view alive too.
+      const S* snapshot_ptr = std::addressof(state->snapshot);
+      snapshot = std::shared_ptr<const S>(std::move(state), snapshot_ptr);
     }
     return std::make_shared<TypedAnswerSource<S>>(descriptor_,
-                                                  std::move(snapshot));
+                                                  std::move(snapshot), view);
   }
 
   /// A consistent copy of the current state: the live synopsis, the merged
@@ -343,8 +424,39 @@ class TypedSynopsisHandle final : public SynopsisHandle {
 
   bool Cached() const override { return cache_ != nullptr; }
 
+  bool HasView() const override {
+    if (cache_ == nullptr) return false;
+    const std::shared_ptr<const EpochState<S>> state = cache_->Peek();
+    return state != nullptr && state->view.has_value();
+  }
+
+  std::int64_t ViewBuildNs() const override {
+    if (cache_ == nullptr) return 0;
+    const std::shared_ptr<const EpochState<S>> state = cache_->Peek();
+    return state != nullptr ? state->view_build_ns : 0;
+  }
+
  private:
   static constexpr std::uint64_t kRestoreSeedTag = 0x7e57a7edc0dec0deULL;
+
+  static std::int64_t NowNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Turns a freshly built snapshot into the epoch's published state,
+  /// freezing the read-optimized view (and timing the build) when the
+  /// descriptor declares a builder.
+  EpochState<S> FreezeEpoch(S&& snapshot) const {
+    EpochState<S> state{std::move(snapshot), std::nullopt, 0};
+    if (descriptor_->view_builder != nullptr) {
+      const std::int64_t start = NowNs();
+      state.view = descriptor_->view_builder(state.snapshot);
+      state.view_build_ns = NowNs() - start;
+    }
+    return state;
+  }
 
   /// Independent per-shard streams (correlated shards would break merge
   /// uniformity); SplitMix64 over seed + shard index.
@@ -361,7 +473,7 @@ class TypedSynopsisHandle final : public SynopsisHandle {
   std::optional<S> live_;
   std::unique_ptr<ShardedSynopsis<S>> sharded_;
   std::unique_ptr<SharedSynopsis<S>> shared_;
-  std::unique_ptr<SnapshotCache<S>> cache_;
+  std::unique_ptr<SnapshotCache<EpochState<S>>> cache_;
 
   std::atomic<bool> valid_{true};
 };

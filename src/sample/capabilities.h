@@ -9,16 +9,18 @@
 namespace aqua {
 
 /// The query kinds an AQUA synopsis can answer (the paper's query classes:
-/// hot lists §5, per-value frequencies §5.2, predicate counts §1.1, and
-/// distinct-value counts §2's [FM85] citation).
+/// hot lists §5, per-value frequencies §5.2, predicate counts §1.1,
+/// distinct-value counts §2's [FM85] citation, and quantiles — one of §6's
+/// "other concrete approximate answer scenarios" for uniform samples).
 enum class QueryKind : int {
   kHotList = 0,
   kFrequency = 1,
   kCountWhere = 2,
   kDistinct = 3,
+  kQuantile = 4,
 };
 
-inline constexpr int kNumQueryKinds = 4;
+inline constexpr int kNumQueryKinds = 5;
 
 /// What a synopsis does when a delete arrives (§4.1).
 enum class DeleteBehavior {
@@ -55,7 +57,8 @@ struct SynopsisCapabilities {
   /// This handle instance shards its ingest (concurrent mode + mergeable).
   bool sharded = false;
   std::array<int, kNumQueryKinds> rank = {kCannotAnswer, kCannotAnswer,
-                                          kCannotAnswer, kCannotAnswer};
+                                          kCannotAnswer, kCannotAnswer,
+                                          kCannotAnswer};
 
   int RankFor(QueryKind kind) const { return rank[static_cast<int>(kind)]; }
   bool Answers(QueryKind kind) const {

@@ -77,8 +77,18 @@ class ServingEngine {
                                            double confidence = 0.95) const {
     return registry_.CountWhereAnswer(pred, confidence);
   }
+  /// Range form: answered in O(log m) from the epoch's frozen view when
+  /// one exists (same estimate as the predicate form).
+  QueryResponse<Estimate> CountWhereAnswer(const ValueRange& range,
+                                           double confidence = 0.95) const {
+    return registry_.CountWhereAnswer(range, confidence);
+  }
   QueryResponse<Estimate> DistinctValuesAnswer() const {
     return registry_.DistinctValuesAnswer();
+  }
+  QueryResponse<Estimate> QuantileAnswer(double q,
+                                         double confidence = 0.95) const {
+    return registry_.QuantileAnswer(q, confidence);
   }
 
   struct Stats {

@@ -1,0 +1,148 @@
+#include "view/frozen_view.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "estimate/quantiles.h"
+
+namespace aqua {
+
+FrozenView::FrozenView(Spec spec)
+    : frequency_(std::move(spec.frequency)),
+      sample_size_(spec.sample_size),
+      observed_inserts_(spec.observed_inserts) {
+  by_value_ = std::move(spec.entries);
+  std::sort(by_value_.begin(), by_value_.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.value < b.value;
+            });
+  by_count_desc_ = by_value_;
+  std::sort(by_count_desc_.begin(), by_count_desc_.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  prefix_.reserve(by_value_.size() + 1);
+  prefix_.push_back(0);
+  double f2 = 0.0;
+  for (const ValueCount& e : by_value_) {
+    prefix_.push_back(prefix_.back() + e.count);
+    const auto c = static_cast<double>(e.count);
+    f2 += c * c;
+  }
+  moments_ = {static_cast<double>(by_value_.size()),
+              static_cast<double>(prefix_.back()), f2};
+
+  if (spec.hot_list.has_value()) {
+    hot_ = *spec.hot_list;
+    answers_[static_cast<int>(QueryKind::kHotList)] = true;
+  }
+  if (frequency_ != nullptr) {
+    answers_[static_cast<int>(QueryKind::kFrequency)] = true;
+  }
+  if (spec.count_where || spec.quantile) {
+    // The direct paths scale by the expanded point-sample size; the view
+    // scales by the frozen sample_size.  They must be the same number or
+    // the bit-equality contract breaks.
+    AQUA_CHECK_EQ(prefix_.back(), sample_size_);
+  }
+  answers_[static_cast<int>(QueryKind::kCountWhere)] = spec.count_where;
+  answers_[static_cast<int>(QueryKind::kQuantile)] = spec.quantile;
+  if (spec.distinct.has_value()) {
+    distinct_ = *spec.distinct;
+    answers_[static_cast<int>(QueryKind::kDistinct)] = true;
+  }
+}
+
+HotList FrozenView::HotListAnswer(const HotListQuery& query) const {
+  // Same cut as internal_hotlist::Report: max(floor, c_k), where c_k is the
+  // k-th largest count — here a direct index into the count-descending
+  // order (KthLargest clamps k to the entry count, so k > size selects the
+  // minimum).
+  double cut = hot_.floor_is_beta ? query.beta : hot_.fixed_floor;
+  if (query.k > 0 && !by_count_desc_.empty()) {
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(query.k), by_count_desc_.size());
+    cut = std::max(cut, static_cast<double>(by_count_desc_[k - 1].count));
+  }
+  HotList out;
+  for (const ValueCount& e : by_count_desc_) {
+    // Counts only decrease along this order, so the first miss ends the
+    // report — this is the O(k) prefix walk.
+    if (static_cast<double>(e.count) < cut) break;
+    out.push_back(HotListItem{
+        e.value, static_cast<double>(e.count) * hot_.scale + hot_.offset,
+        e.count});
+  }
+  return out;
+}
+
+Estimate FrozenView::FrequencyAnswer(Value value, double confidence) const {
+  return frequency_(CountOfValue(value), confidence);
+}
+
+Estimate FrozenView::CountWhereAnswer(const ValuePredicate& pred,
+                                      double confidence,
+                                      const QueryContext& ctx) const {
+  std::int64_t hits = 0;
+  for (const ValueCount& e : by_value_) {
+    if (pred(e.value)) hits += e.count;
+  }
+  return SampleEstimator::CountWhereFromHits(hits, sample_size_,
+                                             ctx.observed_inserts,
+                                             confidence);
+}
+
+Estimate FrozenView::CountWhereRangeAnswer(const ValueRange& range,
+                                           double confidence,
+                                           const QueryContext& ctx) const {
+  std::int64_t hits = 0;
+  if (range.low <= range.high) {
+    const auto lo = std::lower_bound(
+        by_value_.begin(), by_value_.end(), range.low,
+        [](const ValueCount& e, Value v) { return e.value < v; });
+    const auto hi = std::upper_bound(
+        by_value_.begin(), by_value_.end(), range.high,
+        [](Value v, const ValueCount& e) { return v < e.value; });
+    hits = prefix_[hi - by_value_.begin()] - prefix_[lo - by_value_.begin()];
+  }
+  return SampleEstimator::CountWhereFromHits(hits, sample_size_,
+                                             ctx.observed_inserts,
+                                             confidence);
+}
+
+Estimate FrozenView::QuantileAnswer(double q, double confidence) const {
+  AQUA_CHECK(q >= 0.0 && q <= 1.0);
+  return internal_quantile::WithBounds(
+      [this](double qq) {
+        return PointAt(static_cast<std::int64_t>(internal_quantile::IndexFor(
+            qq, static_cast<std::size_t>(sample_size_))));
+      },
+      sample_size_, q, confidence);
+}
+
+Estimate FrozenView::DistinctAnswer() const { return distinct_; }
+
+double FrozenView::MomentF(int k) const {
+  AQUA_CHECK(k >= 0 && k <= 2);
+  return moments_[static_cast<std::size_t>(k)];
+}
+
+Value FrozenView::PointAt(std::int64_t index) const {
+  // Entry j holds the expanded points with indices [prefix_[j],
+  // prefix_[j+1]); upper_bound lands one past the owning entry.
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), index);
+  const auto j = static_cast<std::size_t>(it - prefix_.begin()) - 1;
+  return by_value_[j].value;
+}
+
+Count FrozenView::CountOfValue(Value value) const {
+  const auto it = std::lower_bound(
+      by_value_.begin(), by_value_.end(), value,
+      [](const ValueCount& e, Value v) { return e.value < v; });
+  if (it == by_value_.end() || it->value != value) return 0;
+  return it->count;
+}
+
+}  // namespace aqua

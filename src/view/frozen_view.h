@@ -1,0 +1,147 @@
+#ifndef AQUA_VIEW_FROZEN_VIEW_H_
+#define AQUA_VIEW_FROZEN_VIEW_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/value_count.h"
+#include "estimate/aggregates.h"
+#include "hotlist/hot_list.h"
+#include "sample/capabilities.h"
+
+namespace aqua {
+
+/// A read-optimized answer structure built once per snapshot epoch.
+///
+/// The paper's §5 observation — entries "sorted by counts … allows for
+/// reporting in O(k) time" — holds only if somebody pays the sort.  Since
+/// PR 2 made snapshots immutable per epoch, the direct answer paths were
+/// paying it per *query*: every hot list re-sorted all entries, every
+/// quantile re-sorted the expanded point sample, every predicate count
+/// re-scanned the entry map.  A FrozenView moves that work to the epoch
+/// refresh: it is built exactly once from a freshly merged snapshot (see
+/// TypedSynopsisHandle::FreezeEpoch) and published under the same
+/// `shared_ptr` swap, so readers get a consistent {snapshot, view} pair
+/// with no extra synchronization, and each query costs
+///   hot list   O(k)        (prefix of the count-descending order),
+///   frequency  O(log m)    (binary search of the value order),
+///   count_where over a [low, high] range
+///              O(log m)    (two binary searches + a prefix-sum diff),
+///   quantile   O(log m)    (binary search of the count prefix sums),
+///   distinct   O(1)        (estimate precomputed at freeze).
+///
+/// Answers are bit-identical to the direct paths: the view stores the
+/// *parameters* of each estimator (scale/offset/floor for hot lists, the
+/// frozen frequency scalars) and calls the same shared arithmetic helpers
+/// (`internal_hotlist::Report` semantics, `FrequencyEstimator::From*Counts`,
+/// `SampleEstimator::CountWhereFromHits`, `internal_quantile::WithBounds`)
+/// the per-query paths call — proved by
+/// tests/view/view_equivalence_property_test.cc.
+class FrozenView {
+ public:
+  /// Hot-list reporting parameters frozen from the source synopsis
+  /// (estimated count = synopsis count * scale + offset; see
+  /// internal_hotlist::Report).
+  struct HotListParams {
+    double scale = 0.0;
+    double offset = 0.0;
+    /// When true the report floor is the query's β (concise/traditional);
+    /// otherwise `fixed_floor` (the counting sample's max(1, τ - ĉ)).
+    bool floor_is_beta = true;
+    double fixed_floor = 0.0;
+  };
+
+  /// Frequency estimate from a synopsis count, with all other estimator
+  /// inputs (sample-size, observed inserts, τ, …) frozen into the closure.
+  using FrequencyFn = std::function<Estimate(Count synopsis_count,
+                                             double confidence)>;
+
+  /// What a view builder (view_builders.h) hands over; FrozenView sorts
+  /// and prefix-sums once at construction.
+  struct Spec {
+    /// The snapshot's <value, count> entries, any order.
+    std::vector<ValueCount> entries;
+    /// Σ counts — the uniform sample-size m for count_where/quantile;
+    /// captured from the synopsis so the view and the direct path scale by
+    /// the same m.
+    std::int64_t sample_size = 0;
+    std::int64_t observed_inserts = 0;
+    std::optional<HotListParams> hot_list;
+    FrequencyFn frequency;  // null: frequency not served from this view
+    bool count_where = false;
+    bool quantile = false;
+    /// Precomputed at freeze (distinct sketch); nullopt: not served.
+    std::optional<Estimate> distinct;
+  };
+
+  explicit FrozenView(Spec spec);
+
+  bool Answers(QueryKind kind) const {
+    return answers_[static_cast<int>(kind)];
+  }
+
+  /// O(k): the count-descending prefix above max(floor, c_k).
+  HotList HotListAnswer(const HotListQuery& query) const;
+
+  /// O(log m): binary search of the value order, then the frozen
+  /// estimator.
+  Estimate FrequencyAnswer(Value value, double confidence = 0.95) const;
+
+  /// O(#entries): folded-entry scan for arbitrary predicates (still never
+  /// expands the point sample).
+  Estimate CountWhereAnswer(const ValuePredicate& pred, double confidence,
+                            const QueryContext& ctx) const;
+
+  /// O(log m): prefix-sum difference over the inclusive [low, high] range.
+  Estimate CountWhereRangeAnswer(const ValueRange& range, double confidence,
+                                 const QueryContext& ctx) const;
+
+  /// O(log m): rank lookup via the count prefix sums.
+  Estimate QuantileAnswer(double q, double confidence = 0.95) const;
+
+  /// O(1): the estimate precomputed at freeze time.
+  Estimate DistinctAnswer() const;
+
+  /// Frozen scalars (stats, tests).
+  std::int64_t entry_count() const {
+    return static_cast<std::int64_t>(by_value_.size());
+  }
+  std::int64_t sample_size() const { return sample_size_; }
+  std::int64_t observed_inserts() const { return observed_inserts_; }
+  /// Frequency moment F_k of the synopsis counts, k ∈ {0, 1, 2}
+  /// (F_0 = #entries, F_1 = Σc, F_2 = Σc² — the self-join proxy).
+  double MomentF(int k) const;
+
+ private:
+  /// The i-th point (0-based) of the value-sorted expanded sample.
+  Value PointAt(std::int64_t index) const;
+  /// Synopsis count of `value`; 0 when absent.
+  Count CountOfValue(Value value) const;
+
+  std::array<bool, kNumQueryKinds> answers_{};
+
+  /// (count desc, value asc): identical order to the direct reporters'
+  /// (estimate desc, value asc) sort because estimate is strictly
+  /// increasing in count (scale > 0 whenever entries exist).
+  std::vector<ValueCount> by_count_desc_;
+  /// Value-ascending entries with exclusive prefix sums over counts:
+  /// prefix_[0] = 0, prefix_[i + 1] = prefix_[i] + by_value_[i].count.
+  std::vector<ValueCount> by_value_;
+  std::vector<std::int64_t> prefix_;
+
+  HotListParams hot_;
+  FrequencyFn frequency_;
+  Estimate distinct_;
+
+  std::int64_t sample_size_ = 0;
+  std::int64_t observed_inserts_ = 0;
+  std::array<double, 3> moments_{};
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_VIEW_FROZEN_VIEW_H_

@@ -1,0 +1,37 @@
+#ifndef AQUA_VIEW_VIEW_BUILDERS_H_
+#define AQUA_VIEW_VIEW_BUILDERS_H_
+
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "estimate/aggregates.h"
+#include "sample/reservoir_sample.h"
+#include "sketch/flajolet_martin.h"
+#include "view/frozen_view.h"
+
+namespace aqua {
+
+/// Freeze-time view constructors, one per built-in synopsis.  Each runs
+/// once per epoch inside the snapshot refresh (O(m log m) for the sorts)
+/// and captures everything the answer paths need, so queries against the
+/// epoch never touch the synopsis again.  Coverage mirrors each synopsis's
+/// declared query kinds:
+///   concise      hot list, frequency, count_where, quantile
+///   counting     hot list, frequency (not a uniform sample — no
+///                count_where/quantile)
+///   traditional  hot list, count_where, quantile
+///   FM sketch    distinct only (the estimate itself is precomputed)
+FrozenView BuildConciseView(const ConciseSample& sample);
+FrozenView BuildCountingView(const CountingSample& sample);
+FrozenView BuildTraditionalView(const ReservoirSample& sample);
+FrozenView BuildDistinctSketchView(const FlajoletMartin& sketch);
+
+/// [FM85] distinct-count estimate with the ±2σ multiplicative band
+/// (σ ≈ 0.78/sqrt(#maps) in log2 scale).  The single source of truth for
+/// the arithmetic: the registry's direct answer path and
+/// BuildDistinctSketchView both call it, which is what makes view answers
+/// bit-identical to direct answers.
+Estimate FmDistinctEstimate(const FlajoletMartin& sketch);
+
+}  // namespace aqua
+
+#endif  // AQUA_VIEW_VIEW_BUILDERS_H_

@@ -184,10 +184,23 @@ Result<QueryResponse<Estimate>> SynopsisCatalog::CountWhereFor(
   return r->CountWhereAnswer(pred, confidence);
 }
 
+Result<QueryResponse<Estimate>> SynopsisCatalog::CountWhereFor(
+    const std::string& attribute, const ValueRange& range,
+    double confidence) const {
+  AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
+  return r->CountWhereAnswer(range, confidence);
+}
+
 Result<QueryResponse<Estimate>> SynopsisCatalog::DistinctFor(
     const std::string& attribute) const {
   AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
   return r->DistinctValuesAnswer();
+}
+
+Result<QueryResponse<Estimate>> SynopsisCatalog::QuantileFor(
+    const std::string& attribute, double q, double confidence) const {
+  AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
+  return r->QuantileAnswer(q, confidence);
 }
 
 Result<RegistryStats> SynopsisCatalog::StatsFor(

@@ -91,8 +91,16 @@ class SynopsisCatalog {
   Result<QueryResponse<Estimate>> CountWhereFor(
       const std::string& attribute, const ValuePredicate& pred,
       double confidence = 0.95) const;
+  /// Range form: answered in O(log m) from the attribute's frozen view
+  /// when one exists (same estimate as the predicate form).
+  Result<QueryResponse<Estimate>> CountWhereFor(
+      const std::string& attribute, const ValueRange& range,
+      double confidence = 0.95) const;
   Result<QueryResponse<Estimate>> DistinctFor(
       const std::string& attribute) const;
+  Result<QueryResponse<Estimate>> QuantileFor(const std::string& attribute,
+                                              double q,
+                                              double confidence = 0.95) const;
 
   /// Per-attribute ingest counters and per-synopsis cache/footprint stats.
   Result<RegistryStats> StatsFor(const std::string& attribute) const;

@@ -87,9 +87,22 @@ class ApproximateAnswerEngine {
     return registry_.CountWhereAnswer(pred, confidence);
   }
 
+  /// Range form of CountWhere (identical estimate; serving-layer drivers
+  /// answer it from value-ordered views in O(log m)).
+  QueryResponse<Estimate> CountWhereAnswer(const ValueRange& range,
+                                           double confidence = 0.95) const {
+    return registry_.CountWhereAnswer(range, confidence);
+  }
+
   /// Estimated number of distinct values.
   QueryResponse<Estimate> DistinctValuesAnswer() const {
     return registry_.DistinctValuesAnswer();
+  }
+
+  /// Estimated q-quantile of the relation's values.
+  QueryResponse<Estimate> QuantileAnswer(double q,
+                                         double confidence = 0.95) const {
+    return registry_.QuantileAnswer(q, confidence);
   }
 
   /// Direct access to the maintained synopses (null when not maintained or
