@@ -102,6 +102,31 @@ void PrintRankTable(const Relation& relation,
                "their actual frequency)\n";
 }
 
+LatencySummary Summarize(std::vector<std::int64_t> samples_ns,
+                         double elapsed_s) {
+  LatencySummary s;
+  if (samples_ns.empty()) return s;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  const std::size_t n = samples_ns.size();
+  s.p50_ns = static_cast<double>(samples_ns[n / 2]);
+  s.p99_ns = static_cast<double>(samples_ns[std::min(n - 1, n * 99 / 100)]);
+  s.p999_ns =
+      static_cast<double>(samples_ns[std::min(n - 1, n * 999 / 1000)]);
+  if (elapsed_s > 0.0) {
+    s.throughput_rps = static_cast<double>(n) / elapsed_s;
+  }
+  return s;
+}
+
+void AppendSummaryMetrics(const std::string& prefix,
+                          const LatencySummary& summary,
+                          std::vector<std::pair<std::string, double>>* out) {
+  out->emplace_back(prefix + "p50_ns", summary.p50_ns);
+  out->emplace_back(prefix + "p99_ns", summary.p99_ns);
+  out->emplace_back(prefix + "p999_ns", summary.p999_ns);
+  out->emplace_back(prefix + "throughput_rps", summary.throughput_rps);
+}
+
 namespace {
 
 /// Escapes the handful of characters bench/metric names could contain.

@@ -92,6 +92,28 @@ void PrintRankTable(const Relation& relation,
                     const std::vector<AlgoReport>& reports,
                     std::int64_t max_rows);
 
+/// Latency percentiles plus throughput over one timed run: derived from
+/// the raw per-request samples (ns) and the run's wall-clock seconds.
+/// p999 and throughput_rps are first-class here so every serving bench
+/// reports tail latency and aggregate rate under the same metric names.
+struct LatencySummary {
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  double throughput_rps = 0.0;
+};
+
+/// Sorts a copy of `samples_ns` and fills the percentiles; throughput is
+/// samples / elapsed_s (0 when either input is empty/zero).
+LatencySummary Summarize(std::vector<std::int64_t> samples_ns,
+                         double elapsed_s);
+
+/// Appends the summary under stable metric names, optionally prefixed
+/// ("cached_" -> "cached_p50_ns", ..., "cached_throughput_rps").
+void AppendSummaryMetrics(const std::string& prefix,
+                          const LatencySummary& summary,
+                          std::vector<std::pair<std::string, double>>* out);
+
 /// Machine-readable benchmark output: collects named results with numeric
 /// metrics and serializes them as one JSON document
 ///

@@ -1,0 +1,384 @@
+// HTTP serving throughput across the multi-reactor read path.
+//
+// Default mode spins up in-process HttpServers and measures four
+// scenarios over real loopback sockets with keep-alive clients:
+//
+//   cache_hit_micro   ResponseCache BuildKey+Lookup alone (no sockets),
+//                     with an allocation counter proving the warmed hit
+//                     path is allocation-free (allocs_per_hit metric),
+//   uncached_r1       1 reactor, cacheable route, epoch source absent —
+//                     every request renders,
+//   cached_r1         1 reactor, same route, settled epoch — steady-state
+//                     hits replaying stored wire bytes,
+//   cached_rN         N reactors (min(8, hardware)), same cached load from
+//                     N client threads — the aggregate-rps scaling number
+//                     (honest caveat: on a 1-core container this measures
+//                     scheduling overhead, not parallel speedup).
+//
+// With --port P the binary instead drives an EXISTING server at
+// 127.0.0.1:P (the CI serve-under-load smoke): keep-alive GET load across
+// a few routes, reporting status-code counts and exiting nonzero on any
+// 5xx — overload 503s are deliberate on worker routes only, and this mode
+// sends only inline reads, so every 5xx is a bug.
+//
+// --smoke shrinks request counts to CI size; --json <path> archives the
+// metrics (BENCH_5.json).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/http.h"
+#include "server/response_cache.h"
+#include "server/server.h"
+
+namespace {
+std::atomic<std::int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace aqua {
+namespace bench {
+namespace {
+
+std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int ConnectTo(std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& wire) {
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n = write(fd, wire.data() + off, wire.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one Content-Length-framed response; `carry` holds overshoot
+/// bytes between calls on the same connection.  Returns the status code,
+/// or 0 on socket error/timeout.
+int ReadOneStatus(int fd, std::string* carry) {
+  std::string raw = std::move(*carry);
+  carry->clear();
+  char buf[8192];
+  std::size_t blank = raw.find("\r\n\r\n");
+  while (blank == std::string::npos) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (poll(&pfd, 1, 15000) <= 0) return 0;
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) return 0;
+    raw.append(buf, static_cast<std::size_t>(n));
+    blank = raw.find("\r\n\r\n");
+  }
+  std::size_t content_length = 0;
+  const std::string key = "content-length:";
+  for (std::size_t at = 0; at < blank;) {
+    const std::size_t eol = raw.find("\r\n", at);
+    std::string line = raw.substr(at, eol - at);
+    for (char& c : line) c = static_cast<char>(std::tolower(c));
+    if (line.rfind(key, 0) == 0) {
+      content_length = std::stoul(line.substr(key.size()));
+    }
+    at = eol + 2;
+  }
+  const std::size_t total = blank + 4 + content_length;
+  while (raw.size() < total) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (poll(&pfd, 1, 15000) <= 0) return 0;
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) return 0;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  *carry = raw.substr(total);
+  return raw.rfind("HTTP/1.1 ", 0) == 0 ? std::stoi(raw.substr(9, 3)) : 0;
+}
+
+struct LoadResult {
+  std::vector<std::int64_t> samples_ns;
+  double elapsed_s = 0.0;
+  std::int64_t errors = 0;       // socket failures / non-2xx
+  std::int64_t status_5xx = 0;
+};
+
+/// Drives `requests_per_thread` lockstep keep-alive GETs per thread and
+/// merges the per-request latency samples.
+LoadResult DriveLoad(std::uint16_t port, const std::vector<std::string>& paths,
+                     int threads, int requests_per_thread) {
+  std::vector<std::vector<std::int64_t>> samples(
+      static_cast<std::size_t>(threads));
+  std::vector<std::int64_t> errors(static_cast<std::size_t>(threads), 0);
+  std::vector<std::int64_t> fives(static_cast<std::size_t>(threads), 0);
+  const std::int64_t start = NowNs();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      const int fd = ConnectTo(port);
+      if (fd < 0) {
+        errors[static_cast<std::size_t>(t)] = requests_per_thread;
+        return;
+      }
+      std::string carry;
+      auto& mine = samples[static_cast<std::size_t>(t)];
+      mine.reserve(static_cast<std::size_t>(requests_per_thread));
+      for (int i = 0; i < requests_per_thread; ++i) {
+        const std::string& path =
+            paths[static_cast<std::size_t>(i) % paths.size()];
+        const std::string wire =
+            "GET " + path + " HTTP/1.1\r\nHost: b\r\n\r\n";
+        const std::int64_t begin = NowNs();
+        if (!SendAll(fd, wire)) {
+          ++errors[static_cast<std::size_t>(t)];
+          break;
+        }
+        const int status = ReadOneStatus(fd, &carry);
+        mine.push_back(NowNs() - begin);
+        if (status >= 500) ++fives[static_cast<std::size_t>(t)];
+        if (status < 200 || status >= 300) {
+          ++errors[static_cast<std::size_t>(t)];
+          if (status == 0) break;  // dead socket
+        }
+      }
+      close(fd);
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  LoadResult result;
+  result.elapsed_s = static_cast<double>(NowNs() - start) / 1e9;
+  for (int t = 0; t < threads; ++t) {
+    auto& mine = samples[static_cast<std::size_t>(t)];
+    result.samples_ns.insert(result.samples_ns.end(), mine.begin(),
+                             mine.end());
+    result.errors += errors[static_cast<std::size_t>(t)];
+    result.status_5xx += fives[static_cast<std::size_t>(t)];
+  }
+  return result;
+}
+
+HttpRequest ParseRequest(const std::string& wire) {
+  HttpRequestParser parser;
+  parser.Feed(wire);
+  return parser.TakeRequest();
+}
+
+/// ResponseCache hit path alone: BuildKey + Lookup on a warmed cache.
+void CacheHitMicro(BenchReport* report) {
+  ResponseCache cache;
+  const HttpRequest request = ParseRequest(
+      "GET /hotlist?k=10&beta=3&confidence=0.95 HTTP/1.1\r\nHost: b\r\n\r\n");
+  cache.Store(1, cache.BuildKey(request), std::string(512, 'x'));
+  (void)cache.Lookup(1, cache.BuildKey(request));  // warm the key buffer
+
+  const std::int64_t iters = SmokeMode() ? 20000 : 2000000;
+  const std::int64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  const std::int64_t start = NowNs();
+  std::int64_t hits = 0;
+  for (std::int64_t i = 0; i < iters; ++i) {
+    if (cache.Lookup(1, cache.BuildKey(request)) != nullptr) ++hits;
+  }
+  const std::int64_t end = NowNs();
+  const double elapsed_s = static_cast<double>(end - start) / 1e9;
+  const std::int64_t allocs =
+      g_allocations.load(std::memory_order_relaxed) - allocs_before;
+
+  const double ns_per_hit =
+      static_cast<double>(end - start) / static_cast<double>(iters);
+  const double allocs_per_hit =
+      static_cast<double>(allocs) / static_cast<double>(iters);
+  std::printf("%-16s %10.1f ns/hit  %12.0f hits/s  %.4f allocs/hit\n",
+              "cache_hit_micro", ns_per_hit,
+              static_cast<double>(hits) / elapsed_s, allocs_per_hit);
+  report->Add("cache_hit_micro",
+              {{"ns_per_hit", ns_per_hit},
+               {"throughput_rps", static_cast<double>(hits) / elapsed_s},
+               {"allocs_per_hit", allocs_per_hit}});
+}
+
+/// One in-process server scenario: a cacheable JSON route under keep-alive
+/// GET load.  `settled_epoch` toggles whether the response cache engages.
+void ServerScenario(const std::string& name, int reactors, int threads,
+                    bool settled_epoch, BenchReport* report) {
+  HttpServerOptions options;
+  options.reactors = reactors;
+  options.workers = 1;
+  HttpServer server(options);
+  RouteOptions cacheable;
+  cacheable.cacheable = true;
+  server.Route("GET", "/answer",
+               [](const HttpRequest& request) {
+                 // A render comparable to a real synopsis answer: walk the
+                 // parsed query and emit a ~400-byte JSON body.
+                 HttpResponse response;
+                 response.body.reserve(420);
+                 response.body = "{\"items\":[";
+                 for (int i = 0; i < 24; ++i) {
+                   if (i > 0) response.body += ",";
+                   response.body += "{\"v\":" + std::to_string(i * 37) +
+                                    ",\"c\":" + std::to_string(1000 - i) +
+                                    "}";
+                 }
+                 response.body += "],\"k\":";
+                 const auto k = request.QueryParam("k");
+                 response.body += k.has_value() ? std::string(*k) : "0";
+                 response.body += "}";
+                 return response;
+               },
+               cacheable);
+  if (settled_epoch) {
+    server.SetEpochSource(
+        []() -> std::optional<std::uint64_t> { return 1; });
+  }
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "%s: server failed to start\n", name.c_str());
+    return;
+  }
+
+  const int per_thread = SmokeMode() ? 200 : 8000;
+  const LoadResult load =
+      DriveLoad(server.port(), {"/answer?k=10&beta=3"}, threads, per_thread);
+  server.Shutdown();
+
+  const LatencySummary summary = Summarize(load.samples_ns, load.elapsed_s);
+  const HttpServer::ServerStats stats = server.Stats();
+  std::printf(
+      "%-16s %10.0f rps  p50 %7.0f ns  p99 %8.0f ns  p999 %8.0f ns  "
+      "hits %lld/%lld  errors %lld\n",
+      name.c_str(), summary.throughput_rps, summary.p50_ns, summary.p99_ns,
+      summary.p999_ns, static_cast<long long>(stats.cache_hits),
+      static_cast<long long>(stats.requests),
+      static_cast<long long>(load.errors));
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"reactors", static_cast<double>(reactors)},
+      {"client_threads", static_cast<double>(threads)},
+      {"cache_hits", static_cast<double>(stats.cache_hits)},
+      {"cache_misses", static_cast<double>(stats.cache_misses)},
+      {"errors", static_cast<double>(load.errors)},
+  };
+  AppendSummaryMetrics("", summary, &metrics);
+  report->Add(name, std::move(metrics));
+}
+
+/// Client-only mode for the CI serve-under-load smoke: inline-read GET
+/// load against an already-running server; any 5xx is a failure (inline
+/// routes never shed, so overload 503s cannot legitimately appear here).
+int DriveExternal(std::uint16_t port, BenchReport* report,
+                  const std::string& json_path) {
+  const std::vector<std::string> paths = {
+      "/healthz", "/hotlist?k=10&beta=3", "/frequency?value=17",
+      "/distinct", "/stats"};
+  const int threads = 2;
+  const int per_thread = SmokeMode() ? 250 : 5000;
+  const LoadResult load = DriveLoad(port, paths, threads, per_thread);
+  const LatencySummary summary = Summarize(load.samples_ns, load.elapsed_s);
+  std::printf(
+      "serve_under_load %10.0f rps  p50 %7.0f ns  p999 %8.0f ns  "
+      "5xx %lld  errors %lld\n",
+      summary.throughput_rps, summary.p50_ns, summary.p999_ns,
+      static_cast<long long>(load.status_5xx),
+      static_cast<long long>(load.errors));
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"status_5xx", static_cast<double>(load.status_5xx)},
+      {"errors", static_cast<double>(load.errors)},
+  };
+  AppendSummaryMetrics("", summary, &metrics);
+  report->Add("serve_under_load", std::move(metrics));
+  report->WriteJson(json_path);
+  if (load.status_5xx > 0 || load.errors > 0) {
+    std::fprintf(stderr,
+                 "serve_under_load: %lld 5xx, %lld errors on inline reads\n",
+                 static_cast<long long>(load.status_5xx),
+                 static_cast<long long>(load.errors));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aqua
+
+int main(int argc, char** argv) {
+  using namespace aqua::bench;  // NOLINT(build/namespaces)
+  ApplySmoke(argc, argv);
+  const std::string json_path = BenchReport::JsonPathFromArgs(argc, argv);
+  BenchReport report("http_throughput");
+
+  std::uint16_t external_port = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0) {
+      external_port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+    }
+  }
+  if (external_port != 0) {
+    return DriveExternal(external_port, &report, json_path);
+  }
+
+  PrintHeader("HTTP serving throughput (multi-reactor + response cache)");
+  CacheHitMicro(&report);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int wide = static_cast<int>(hw == 0 ? 2 : (hw < 8 ? hw : 8));
+  ServerScenario("uncached_r1", /*reactors=*/1, /*threads=*/2,
+                 /*settled_epoch=*/false, &report);
+  ServerScenario("cached_r1", /*reactors=*/1, /*threads=*/2,
+                 /*settled_epoch=*/true, &report);
+  // Stable scenario name across machines; the reactor count rides along
+  // as a metric (reactors = min(8, hardware_concurrency)).
+  ServerScenario("cached_wide", wide, /*threads=*/wide,
+                 /*settled_epoch=*/true, &report);
+
+  if (!report.WriteJson(json_path)) return 1;
+  return 0;
+}

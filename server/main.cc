@@ -92,7 +92,11 @@ void Usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --port N             listen port (0 = ephemeral; default 0)\n"
       "  --bind ADDR          bind address (default 127.0.0.1)\n"
-      "  --workers N          handler threads (default 4)\n"
+      "  --reactors N         shared-nothing IO reactors; each owns an\n"
+      "                       SO_REUSEPORT listener, epoll instance and\n"
+      "                       response cache (default 1)\n"
+      "  --workers N          handler threads for mutating routes "
+      "(default 4)\n"
       "  --queue-capacity N   bounded request queue (default 256)\n"
       "  --shards N           ingest shards for the concise sample "
       "(default 8)\n"
@@ -134,6 +138,12 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       const char* v = next();
       if (v == nullptr) return false;
       flags->http.bind_address = v;
+    } else if (arg == "--reactors") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1 || n > 256) {
+        return false;
+      }
+      flags->http.reactors = static_cast<int>(n);
     } else if (arg == "--workers") {
       const char* v = next();
       if (v == nullptr || !ParseInt64(v, &n) || n < 1) return false;
@@ -341,56 +351,78 @@ std::optional<QuantileQueryParams> ParseQuantileQuery(
 
 void RegisterRoutes(HttpServer& server, ServingEngine& engine,
                     const ServeFlags& flags) {
+  // Query routes are cacheable: within one serving epoch the synopsis is
+  // frozen, so identical requests have byte-identical responses.
+  RouteOptions cacheable;
+  cacheable.cacheable = true;
+
   server.Route("GET", "/healthz", [](const HttpRequest&) {
     return JsonOk("{\"ok\":true}");
   });
 
-  server.Route("GET", "/hotlist", [&engine](const HttpRequest& request) {
-    HttpResponse error;
-    const auto query = ParseHotListQuery(request, &error);
-    if (!query.has_value()) return error;
-    JsonWriter w;
-    WriteHotList(w, engine.HotListAnswer(*query));
-    return JsonOk(w.TakeString());
-  });
+  server.Route(
+      "GET", "/hotlist",
+      [&engine](const HttpRequest& request) {
+        HttpResponse error;
+        const auto query = ParseHotListQuery(request, &error);
+        if (!query.has_value()) return error;
+        JsonWriter w;
+        WriteHotList(w, engine.HotListAnswer(*query));
+        return JsonOk(w.TakeString());
+      },
+      cacheable);
 
-  server.Route("GET", "/frequency", [&engine](const HttpRequest& request) {
-    const auto value = request.QueryInt("value", /*fallback=*/0);
-    if (!value.has_value() || !request.QueryParam("value").has_value()) {
-      return JsonError(400, "missing or malformed ?value=");
-    }
-    JsonWriter w;
-    WriteEstimate(w, engine.FrequencyAnswer(*value));
-    return JsonOk(w.TakeString());
-  });
+  server.Route(
+      "GET", "/frequency",
+      [&engine](const HttpRequest& request) {
+        const auto value = request.QueryInt("value", /*fallback=*/0);
+        if (!value.has_value() || !request.QueryParam("value").has_value()) {
+          return JsonError(400, "missing or malformed ?value=");
+        }
+        JsonWriter w;
+        WriteEstimate(w, engine.FrequencyAnswer(*value));
+        return JsonOk(w.TakeString());
+      },
+      cacheable);
 
-  server.Route("GET", "/count_where", [&engine](const HttpRequest& request) {
-    HttpResponse error;
-    const auto query = ParseRangeQuery(request, &error);
-    if (!query.has_value()) return error;
-    // The range overload answers in O(log m) from the epoch's frozen view
-    // when one exists (identical estimate to the predicate form).
-    JsonWriter w;
-    WriteEstimate(w, engine.CountWhereAnswer(query->range,
-                                             query->confidence));
-    return JsonOk(w.TakeString());
-  });
+  server.Route(
+      "GET", "/count_where",
+      [&engine](const HttpRequest& request) {
+        HttpResponse error;
+        const auto query = ParseRangeQuery(request, &error);
+        if (!query.has_value()) return error;
+        // The range overload answers in O(log m) from the epoch's frozen
+        // view when one exists (identical estimate to the predicate form).
+        JsonWriter w;
+        WriteEstimate(w,
+                      engine.CountWhereAnswer(query->range, query->confidence));
+        return JsonOk(w.TakeString());
+      },
+      cacheable);
 
-  server.Route("GET", "/quantile", [&engine](const HttpRequest& request) {
-    HttpResponse error;
-    const auto params = ParseQuantileQuery(request, &error);
-    if (!params.has_value()) return error;
-    JsonWriter w;
-    WriteEstimate(w, engine.QuantileAnswer(params->q, params->confidence));
-    return JsonOk(w.TakeString());
-  });
+  server.Route(
+      "GET", "/quantile",
+      [&engine](const HttpRequest& request) {
+        HttpResponse error;
+        const auto params = ParseQuantileQuery(request, &error);
+        if (!params.has_value()) return error;
+        JsonWriter w;
+        WriteEstimate(w,
+                      engine.QuantileAnswer(params->q, params->confidence));
+        return JsonOk(w.TakeString());
+      },
+      cacheable);
 
-  server.Route("GET", "/distinct", [&engine](const HttpRequest&) {
-    JsonWriter w;
-    WriteEstimate(w, engine.DistinctValuesAnswer());
-    return JsonOk(w.TakeString());
-  });
+  server.Route(
+      "GET", "/distinct",
+      [&engine](const HttpRequest&) {
+        JsonWriter w;
+        WriteEstimate(w, engine.DistinctValuesAnswer());
+        return JsonOk(w.TakeString());
+      },
+      cacheable);
 
+  // /stats is deliberately NOT cacheable: it reports live counters.
   server.Route("GET", "/stats", [&engine, &server](const HttpRequest&) {
     const ServingEngine::Stats stats = engine.GetStats();
     const HttpServer::ServerStats http = server.Stats();
@@ -401,6 +433,7 @@ void RegisterRoutes(HttpServer& server, ServingEngine& engine,
     w.Key("concise_valid").Bool(stats.concise_valid);
     w.Key("shards").UInt(stats.shards);
     w.Key("footprint_bound").Int(stats.footprint_bound);
+    w.Key("epoch").UInt(stats.epoch);
     WriteSynopsisStats(w, stats.synopses);
     w.Key("http").BeginObject();
     w.Key("accepted").Int(http.accepted);
@@ -408,6 +441,11 @@ void RegisterRoutes(HttpServer& server, ServingEngine& engine,
     w.Key("responses_503").Int(http.responses_503);
     w.Key("bad_requests").Int(http.bad_requests);
     w.Key("queue_depth").UInt(http.queue_depth);
+    w.Key("reactors").UInt(http.reactors);
+    w.Key("cache_hits").Int(http.cache_hits);
+    w.Key("cache_misses").Int(http.cache_misses);
+    w.Key("cache_bypass").Int(http.cache_bypass);
+    w.Key("cache_invalidations").Int(http.cache_invalidations);
     w.EndObject();
     w.EndObject();
     return JsonOk(w.TakeString());
@@ -446,15 +484,21 @@ void RegisterRoutes(HttpServer& server, ServingEngine& engine,
 
   if (flags.enable_debug) {
     // Deterministic worker occupancy for overload tests: holds a worker
-    // thread for ?ms= milliseconds before answering.
-    server.Route("GET", "/debug/sleep", [](const HttpRequest& request) {
-      const auto ms = request.QueryInt("ms", 100);
-      if (!ms.has_value() || *ms < 0 || *ms > 10000) {
-        return JsonError(400, "ms must be in [0, 10000]");
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(*ms));
-      return JsonOk("{\"slept_ms\":" + std::to_string(*ms) + "}");
-    });
+    // thread for ?ms= milliseconds before answering.  Explicitly
+    // worker-dispatched — a blocking GET must never stall a reactor.
+    RouteOptions on_worker;
+    on_worker.dispatch = RouteOptions::Dispatch::kWorker;
+    server.Route(
+        "GET", "/debug/sleep",
+        [](const HttpRequest& request) {
+          const auto ms = request.QueryInt("ms", 100);
+          if (!ms.has_value() || *ms < 0 || *ms > 10000) {
+            return JsonError(400, "ms must be in [0, 10000]");
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(*ms));
+          return JsonOk("{\"slept_ms\":" + std::to_string(*ms) + "}");
+        },
+        on_worker);
   }
 }
 
@@ -522,12 +566,14 @@ HttpResponse HandleCatalogGet(const SynopsisCatalog& catalog,
   if (endpoint == "stats") {
     const auto stats = catalog.StatsFor(attribute);
     if (!stats.ok()) return CatalogError(stats.status());
+    const SynopsisRegistry* registry = catalog.registry(attribute);
     JsonWriter w;
     w.BeginObject();
     w.Key("attribute").String(attribute);
     w.Key("inserts").Int(stats.ValueOrDie().inserts);
     w.Key("deletes").Int(stats.ValueOrDie().deletes);
     w.Key("share_words").Int(catalog.ShareOf(attribute));
+    w.Key("epoch").UInt(registry != nullptr ? registry->ServingEpoch() : 0);
     WriteSynopsisStats(w, stats.ValueOrDie().synopses);
     w.EndObject();
     return JsonOk(w.TakeString());
@@ -592,15 +638,25 @@ void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog) {
                           std::string(endpoint));
   };
 
+  // Catalog queries are cacheable like the engine's, except the live
+  // /attr/{name}/stats endpoint, which the predicate carves out.
+  RouteOptions cacheable;
+  cacheable.cacheable = true;
+  cacheable.cacheable_if = [](const HttpRequest& request) {
+    return !request.path.ends_with("/stats");
+  };
+
   server.RoutePrefix(
-      "GET", "/attr/", [&catalog, split](const HttpRequest& request) {
+      "GET", "/attr/",
+      [&catalog, split](const HttpRequest& request) {
         const auto parts = split(request.path);
         if (!parts.has_value()) {
           return JsonError(404, "expected /attr/{name}/{endpoint}");
         }
         return HandleCatalogGet(catalog, parts->first, parts->second,
                                 request);
-      });
+      },
+      cacheable);
   server.RoutePrefix(
       "POST", "/attr/", [&catalog, split](const HttpRequest& request) {
         const auto parts = split(request.path);
@@ -673,6 +729,28 @@ int ServeMain(int argc, char** argv) {
   HttpServer server(flags.http);
   RegisterRoutes(server, engine, flags);
   if (catalog != nullptr) RegisterCatalogRoutes(server, *catalog);
+  // The response caches key on the combined serving epoch of everything
+  // this process serves; nullopt (some snapshot cache stale) forces a miss
+  // so the handler runs, refreshes, and advances the epoch — cached bytes
+  // are never fresher-looking than the staleness bounds allow.
+  SynopsisCatalog* catalog_ptr = catalog.get();
+  server.SetEpochSource(
+      [&engine, catalog_ptr]() -> std::optional<std::uint64_t> {
+        // Queries only refresh the synopsis they touch, so stale caches on
+        // other synopses would keep the epoch unsettled forever; settle
+        // them here (at most one merge per handle per staleness window).
+        if (engine.AnyCacheStale()) engine.SettleCaches();
+        if (catalog_ptr != nullptr && catalog_ptr->AnyCacheStale()) {
+          catalog_ptr->SettleCaches();
+        }
+        if (engine.AnyCacheStale() ||
+            (catalog_ptr != nullptr && catalog_ptr->AnyCacheStale())) {
+          return std::nullopt;  // a refresh failed; serve uncached
+        }
+        std::uint64_t epoch = engine.ServingEpoch();
+        if (catalog_ptr != nullptr) epoch += catalog_ptr->ServingEpoch();
+        return epoch;
+      });
   const Status status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "failed to start: %s\n",

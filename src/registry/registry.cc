@@ -175,6 +175,26 @@ bool SynopsisRegistry::HasDeletable() const {
   return false;
 }
 
+std::uint64_t SynopsisRegistry::ServingEpoch() const {
+  std::uint64_t epoch = 0;
+  for (const auto& handle : handles_) {
+    epoch += handle->CacheEpoch();
+    if (!handle->valid()) ++epoch;  // invalidation changes answers too
+  }
+  return epoch;
+}
+
+bool SynopsisRegistry::AnyCacheStale() const {
+  for (const auto& handle : handles_) {
+    if (handle->CacheIsStale()) return true;
+  }
+  return false;
+}
+
+void SynopsisRegistry::SettleCaches() const {
+  for (const auto& handle : handles_) handle->SettleCache();
+}
+
 Words SynopsisRegistry::TotalFootprint() const {
   Words total = 0;
   for (const auto& handle : handles_) total += handle->Footprint();

@@ -158,6 +158,26 @@ class SynopsisRegistry {
   /// refuse deletes otherwise, like ServingEngine, check this).
   bool HasDeletable() const;
 
+  /// Monotonic serving epoch: the sum of every handle's snapshot-cache
+  /// epoch plus the count of invalidated handles.  Any event that can
+  /// change a served answer — an epoch swap publishing a fresh snapshot,
+  /// or a delete invalidating a handle — strictly increases it, and
+  /// per-handle epochs never decrease, so two equal reads bracketing a
+  /// computation prove every snapshot it pinned belonged to one epoch.
+  /// This is what the HTTP response cache keys on.
+  std::uint64_t ServingEpoch() const;
+
+  /// True when any valid handle's snapshot cache is past a staleness
+  /// bound: the next query would refresh it, so the serving epoch is about
+  /// to advance and cached responses must not be served ahead of it.
+  bool AnyCacheStale() const;
+
+  /// Refreshes every stale snapshot cache now (queries only refresh the
+  /// synopsis they touch, so without this the epoch would stay unsettled
+  /// until every synopsis happened to be queried).  Thread-safe; the cost
+  /// is bounded by the staleness interval per handle.
+  void SettleCaches() const;
+
   /// Total words across all valid handles.
   Words TotalFootprint() const;
 

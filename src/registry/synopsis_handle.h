@@ -71,6 +71,15 @@ class SynopsisHandle {
   virtual std::uint64_t CacheEpoch() const = 0;
   virtual SnapshotCacheStats CacheStats() const = 0;
   virtual bool Cached() const = 0;
+  /// True when the snapshot cache is past a staleness bound — the next
+  /// query would refresh it and advance the epoch.  Always false for
+  /// unsynchronized handles (no epoch to advance).
+  virtual bool CacheIsStale() const = 0;
+  /// Refreshes the snapshot cache now if it is past a staleness bound, so
+  /// the serving epoch can settle without waiting for a query to touch
+  /// this particular synopsis.  No-op for uncached handles; refresh
+  /// failures are ignored (the cache simply stays stale).
+  virtual void SettleCache() const = 0;
 
   /// Frozen-view observability: whether the current epoch carries a
   /// read-optimized view, and what it cost to build (ns).  Zeros for

@@ -424,6 +424,16 @@ class TypedSynopsisHandle final : public SynopsisHandle {
 
   bool Cached() const override { return cache_ != nullptr; }
 
+  bool CacheIsStale() const override {
+    return valid() && cache_ != nullptr && cache_->IsStale();
+  }
+
+  void SettleCache() const override {
+    if (valid() && cache_ != nullptr && cache_->IsStale()) {
+      (void)cache_->Get();  // winning thread refreshes; failures stay stale
+    }
+  }
+
   bool HasView() const override {
     if (cache_ == nullptr) return false;
     const std::shared_ptr<const EpochState<S>> state = cache_->Peek();

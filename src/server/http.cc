@@ -33,6 +33,25 @@ int HexDigit(char c) {
   return -1;
 }
 
+/// Appends `in` with every byte outside the unreserved alphabet
+/// (RFC 3986 §2.3) percent-encoded, so canonical keys are unambiguous
+/// regardless of how the client escaped them.
+void AppendPercentEncoded(std::string_view in, std::string& out) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  for (const char c : in) {
+    const auto u = static_cast<unsigned char>(c);
+    if ((u >= 'A' && u <= 'Z') || (u >= 'a' && u <= 'z') ||
+        (u >= '0' && u <= '9') || u == '-' || u == '.' || u == '_' ||
+        u == '~') {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xF]);
+    }
+  }
+}
+
 }  // namespace
 
 std::optional<std::string_view> HttpRequest::QueryParam(
@@ -73,6 +92,54 @@ std::optional<std::string_view> HttpRequest::Header(
     if (EqualsIgnoreCase(key, name)) return std::string_view(value);
   }
   return std::nullopt;
+}
+
+bool HttpRequest::NoCache() const {
+  const auto value = Header("Cache-Control");
+  if (!value.has_value()) return false;
+  // Directive scan over a comma-separated list; "no-cache" must be a whole
+  // directive, not a substring of another one.
+  std::string_view rest = *value;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view directive = Trim(rest.substr(0, comma));
+    if (EqualsIgnoreCase(directive, "no-cache")) return true;
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  return false;
+}
+
+void HttpRequest::AppendCanonicalQuery(
+    std::string* out, std::vector<std::uint32_t>* scratch) const {
+  scratch->clear();
+  for (std::uint32_t i = 0; i < query.size(); ++i) scratch->push_back(i);
+  // Insertion sort by key, stable: duplicate keys stay in request order so
+  // the canonical form preserves the parser's first-wins semantics.
+  for (std::size_t i = 1; i < scratch->size(); ++i) {
+    const std::uint32_t idx = (*scratch)[i];
+    std::size_t j = i;
+    while (j > 0 && query[(*scratch)[j - 1]].first > query[idx].first) {
+      (*scratch)[j] = (*scratch)[j - 1];
+      --j;
+    }
+    (*scratch)[j] = idx;
+  }
+  bool first = true;
+  for (const std::uint32_t idx : *scratch) {
+    if (!first) out->push_back('&');
+    first = false;
+    AppendPercentEncoded(query[idx].first, *out);
+    out->push_back('=');
+    AppendPercentEncoded(query[idx].second, *out);
+  }
+}
+
+std::string HttpRequest::CanonicalQuery() const {
+  std::string out;
+  std::vector<std::uint32_t> scratch;
+  AppendCanonicalQuery(&out, &scratch);
+  return out;
 }
 
 std::string_view HttpStatusText(int code) {

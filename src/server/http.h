@@ -15,7 +15,11 @@ struct HttpRequest {
   std::string method;
   /// Path component of the request target (before '?'), percent-decoded.
   std::string path;
-  /// Decoded key=value pairs from the query string, in order.
+  /// Decoded key=value pairs from the query string, in request order.
+  /// The parser is the ONE place the query string is split and
+  /// percent-decoded, so every route handler sees the same decode;
+  /// duplicate keys are kept in order and QueryParam returns the first
+  /// (first-wins, matching the typed accessors below).
   std::vector<std::pair<std::string, std::string>> query;
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
@@ -32,6 +36,25 @@ struct HttpRequest {
                                     double fallback) const;
   /// First header named `name` (case-insensitive), if present.
   std::optional<std::string_view> Header(std::string_view name) const;
+
+  /// True when a Cache-Control header lists the no-cache directive — the
+  /// client is asking for a freshly computed answer, so the response cache
+  /// must be bypassed for this request.
+  bool NoCache() const;
+
+  /// Appends the canonical query-string form to *out: pairs sorted by key
+  /// (stable, so duplicate keys keep their request order and first-wins
+  /// semantics survive the reordering), each key and value re-encoded with
+  /// a fixed percent-escape alphabet.  Two requests canonicalize equal iff
+  /// every handler observes them identically through QueryParam/QueryInt/
+  /// QueryDouble — this is the form the response cache keys on.  `scratch`
+  /// holds sort indices and keeps its capacity across calls so a warmed
+  /// caller appends without allocating.
+  void AppendCanonicalQuery(std::string* out,
+                            std::vector<std::uint32_t>* scratch) const;
+
+  /// Allocating convenience form of AppendCanonicalQuery.
+  std::string CanonicalQuery() const;
 };
 
 /// One HTTP response about to be serialized.

@@ -1,0 +1,67 @@
+#include "server/response_cache.h"
+
+#include <utility>
+
+namespace aqua {
+
+std::string_view ResponseCache::BuildKey(const HttpRequest& request) {
+  key_buf_.clear();
+  key_buf_.append(request.method);
+  key_buf_.push_back('\n');
+  key_buf_.append(request.path);
+  key_buf_.push_back('\n');
+  request.AppendCanonicalQuery(&key_buf_, &scratch_);
+  key_buf_.push_back('\n');
+  // The cached wire bytes embed a Connection: header, so a keep-alive and
+  // a close request cannot share an entry.
+  key_buf_.push_back(request.keep_alive ? 'k' : 'c');
+  return key_buf_;
+}
+
+void ResponseCache::AdvanceEpoch(std::uint64_t epoch) {
+  if (epoch == epoch_) return;
+  // An older epoch can only be observed across an epoch_source read race;
+  // treat it like a new one — correctness needs only that entries from
+  // different epochs never coexist.
+  if (!entries_.empty()) {
+    entries_.clear();
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  entry_count_.store(0, std::memory_order_relaxed);
+  epoch_ = epoch;
+}
+
+const std::string* ResponseCache::Lookup(std::uint64_t epoch,
+                                         std::string_view key) {
+  AdvanceEpoch(epoch);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return &it->second;
+}
+
+void ResponseCache::Store(std::uint64_t epoch, std::string_view key,
+                          std::string wire) {
+  AdvanceEpoch(epoch);
+  if (wire.size() > options_.max_entry_bytes ||
+      entries_.size() >= options_.max_entries) {
+    return;
+  }
+  entries_.emplace(std::string(key), std::move(wire));
+  entry_count_.store(entries_.size(), std::memory_order_relaxed);
+}
+
+ResponseCache::Stats ResponseCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.bypass = bypass_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.entries = entry_count_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace aqua

@@ -1,0 +1,121 @@
+#ifndef AQUA_SERVER_RESPONSE_CACHE_H_
+#define AQUA_SERVER_RESPONSE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "server/http.h"
+
+namespace aqua {
+
+/// Configuration of one ResponseCache.
+struct ResponseCacheOptions {
+  /// Entries kept per epoch; further Store() calls are dropped (bounds
+  /// memory against unbounded distinct query strings).
+  std::size_t max_entries = 4096;
+  /// Responses larger than this are never cached.
+  std::size_t max_entry_bytes = 1 << 20;
+};
+
+/// An epoch-keyed cache of fully serialized HTTP responses.
+///
+/// Gibbons & Matias' premise is that answers are computed from a small
+/// synopsis frozen at a point in time — so two identical read requests
+/// served within one epoch have *identical* responses, rendered bytes
+/// included.  This cache exploits that: the key is the serving epoch plus
+/// the request's (method, path, canonical query, keep-alive bit), the
+/// value is the ready-to-write wire buffer (status line, headers, body)
+/// exactly as first rendered, so a hit is a hash probe plus a write — no
+/// JSON rendering, no snapshot pin, no registry access.
+///
+/// Single-epoch, wholesale invalidation: the cache holds entries for ONE
+/// epoch at a time.  A Lookup() or Store() carrying a newer epoch clears
+/// everything from the previous epoch first — when a TypedSynopsisHandle
+/// publishes a new EpochState the serving epoch advances and every cached
+/// answer is invalid at once, so per-entry bookkeeping would be waste.
+///
+/// Thread model: one instance per reactor, owned and accessed by that
+/// reactor thread only — no locks anywhere.  The counters are relaxed
+/// atomics purely so Stats() can be aggregated from other threads.
+///
+/// The hit path does not allocate: BuildKey() appends into an internal
+/// buffer whose capacity persists across requests, the map probe uses
+/// C++20 heterogeneous lookup on the string_view key, and the returned
+/// buffer is written to the socket in place.  (Verified by the
+/// allocation-counting unit test in tests/server/response_cache_test.cc.)
+class ResponseCache {
+ public:
+  explicit ResponseCache(const ResponseCacheOptions& options = {})
+      : options_(options) {}
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// Builds the canonical cache key for `request` into the internal
+  /// reusable buffer and returns a view of it.  Valid until the next
+  /// BuildKey() call on this instance.
+  std::string_view BuildKey(const HttpRequest& request);
+
+  /// The cached wire bytes for `key` under `epoch`, or nullptr (counted
+  /// as a miss).  An epoch newer than the cached one clears all entries
+  /// first (wholesale invalidation).
+  const std::string* Lookup(std::uint64_t epoch, std::string_view key);
+
+  /// Caches `wire` for `key` under `epoch`.  Dropped (not an error) when
+  /// the response is oversized or the per-epoch entry cap is reached.
+  void Store(std::uint64_t epoch, std::string_view key, std::string wire);
+
+  /// Counts a request that skipped the cache (Cache-Control: no-cache).
+  void CountBypass() { bypass_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Counts a cacheable request served uncached because the serving epoch
+  /// was unsettled (a snapshot cache was stale, so the handler must run
+  /// and refresh).
+  void CountMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t bypass = 0;
+    /// Wholesale clears triggered by an epoch advance.
+    std::int64_t invalidations = 0;
+    std::size_t entries = 0;
+  };
+  /// Safe to call from any thread; `entries` is a racy snapshot.
+  Stats GetStats() const;
+
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  void AdvanceEpoch(std::uint64_t epoch);
+
+  ResponseCacheOptions options_;
+  /// Epoch the current entries were rendered under.
+  std::uint64_t epoch_ = 0;
+  std::unordered_map<std::string, std::string, StringHash, std::equal_to<>>
+      entries_;
+  /// Racy-read-safe mirror of entries_.size() for cross-thread Stats().
+  std::atomic<std::size_t> entry_count_{0};
+  std::string key_buf_;
+  std::vector<std::uint32_t> scratch_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> bypass_{0};
+  std::atomic<std::int64_t> invalidations_{0};
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SERVER_RESPONSE_CACHE_H_

@@ -44,77 +44,120 @@ bool WriteAll(int fd, const char* data, std::size_t size,
 }  // namespace
 
 HttpServer::HttpServer(const HttpServerOptions& options) : options_(options) {
-  limits_.max_header_bytes = options.max_header_bytes;
-  limits_.max_body_bytes = options.max_body_bytes;
+  if (options_.reactors < 1) options_.reactors = 1;
+  if (options_.workers < 1) options_.workers = 1;
+  limits_.max_header_bytes = options_.max_header_bytes;
+  limits_.max_body_bytes = options_.max_body_bytes;
 }
 
 HttpServer::~HttpServer() {
   if (started_.load()) Shutdown();
 }
 
-void HttpServer::Route(std::string method, std::string path,
-                       Handler handler) {
-  routes_.emplace_back(
-      std::make_pair(std::move(method), std::move(path)),
-      std::move(handler));
+void HttpServer::Route(std::string method, std::string path, Handler handler,
+                       RouteOptions route_options) {
+  RouteEntry entry;
+  entry.run_inline =
+      route_options.dispatch == RouteOptions::Dispatch::kInline ||
+      (route_options.dispatch == RouteOptions::Dispatch::kAuto &&
+       method == "GET");
+  entry.method = std::move(method);
+  entry.path = std::move(path);
+  entry.handler = std::move(handler);
+  entry.cacheable = route_options.cacheable;
+  entry.cacheable_if = std::move(route_options.cacheable_if);
+  routes_.push_back(std::move(entry));
 }
 
 void HttpServer::RoutePrefix(std::string method, std::string prefix,
-                             Handler handler) {
-  prefix_routes_.emplace_back(
-      std::make_pair(std::move(method), std::move(prefix)),
-      std::move(handler));
+                             Handler handler, RouteOptions route_options) {
+  RouteEntry entry;
+  entry.run_inline =
+      route_options.dispatch == RouteOptions::Dispatch::kInline ||
+      (route_options.dispatch == RouteOptions::Dispatch::kAuto &&
+       method == "GET");
+  entry.method = std::move(method);
+  entry.path = std::move(prefix);
+  entry.handler = std::move(handler);
+  entry.cacheable = route_options.cacheable;
+  entry.cacheable_if = std::move(route_options.cacheable_if);
+  prefix_routes_.push_back(std::move(entry));
 }
 
-Status HttpServer::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                        0);
-  if (listen_fd_ < 0) {
+Status HttpServer::StartListener(Reactor& reactor) {
+  reactor.listen_fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (reactor.listen_fd < 0) {
     return Status::Internal(std::string("socket: ") + strerror(errno));
   }
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(reactor.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+  // Every reactor binds the same port; the kernel load-balances incoming
+  // connections across the listeners by flow hash.
+  if (::setsockopt(reactor.listen_fd, SOL_SOCKET, SO_REUSEPORT, &one,
+                   sizeof(one)) < 0) {
+    return Status::Internal(std::string("setsockopt(SO_REUSEPORT): ") +
+                            strerror(errno));
+  }
 
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
+  // The first listener resolves an ephemeral options_.port == 0; the rest
+  // join the port it got.
+  addr.sin_port = htons(port_ != 0 ? port_ : options_.port);
   if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
     return Status::InvalidArgument("bad bind address: " +
                                    options_.bind_address);
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  if (::bind(reactor.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
     return Status::Internal(std::string("bind: ") + strerror(errno));
   }
-  if (::listen(listen_fd_, 256) < 0) {
+  if (::listen(reactor.listen_fd, 256) < 0) {
     return Status::Internal(std::string("listen: ") + strerror(errno));
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
-      0) {
+  if (::getsockname(reactor.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &len) < 0) {
     return Status::Internal(std::string("getsockname: ") + strerror(errno));
   }
   port_ = ntohs(addr.sin_port);
 
-  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  event_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (epoll_fd_ < 0 || event_fd_ < 0) {
+  reactor.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  reactor.event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (reactor.epoll_fd < 0 || reactor.event_fd < 0) {
     return Status::Internal("epoll_create1/eventfd failed");
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = listen_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-  ev.data.fd = event_fd_;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+  ev.data.fd = reactor.listen_fd;
+  ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_ADD, reactor.listen_fd, &ev);
+  ev.data.fd = reactor.event_fd;
+  ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_ADD, reactor.event_fd, &ev);
+  return Status::OK();
+}
+
+Status HttpServer::Start() {
+  reactors_.reserve(static_cast<std::size_t>(options_.reactors));
+  for (int i = 0; i < options_.reactors; ++i) {
+    auto reactor = std::make_unique<Reactor>(options_.cache);
+    reactor->server = this;
+    reactor->index = static_cast<std::size_t>(i);
+    Status status = StartListener(*reactor);
+    if (!status.ok()) return status;
+    reactors_.push_back(std::move(reactor));
+  }
 
   started_.store(true);
-  io_thread_ = std::thread([this] { IoLoop(); });
-  const int workers = options_.workers > 0 ? options_.workers : 1;
-  workers_.reserve(static_cast<std::size_t>(workers));
-  for (int i = 0; i < workers; ++i) {
+  for (auto& reactor : reactors_) {
+    Reactor* r = reactor.get();
+    r->thread = std::thread([this, r] { IoLoop(*r); });
+  }
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   return Status::OK();
@@ -126,11 +169,15 @@ void HttpServer::Shutdown() {
     Wait();
     return;
   }
-  // Wake the IO thread; it begins the drain.
+  // Wake every reactor; each begins its drain.
   const std::uint64_t one = 1;
-  [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
-
-  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& reactor : reactors_) {
+    [[maybe_unused]] ssize_t n =
+        ::write(reactor->event_fd, &one, sizeof(one));
+  }
+  for (auto& reactor : reactors_) {
+    if (reactor->thread.joinable()) reactor->thread.join();
+  }
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -139,10 +186,12 @@ void HttpServer::Shutdown() {
     shutdown_done_ = true;
   }
   shutdown_cv_.notify_all();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  if (event_fd_ >= 0) ::close(event_fd_);
-  listen_fd_ = epoll_fd_ = event_fd_ = -1;
+  for (auto& reactor : reactors_) {
+    if (reactor->listen_fd >= 0) ::close(reactor->listen_fd);
+    if (reactor->epoll_fd >= 0) ::close(reactor->epoll_fd);
+    if (reactor->event_fd >= 0) ::close(reactor->event_fd);
+    reactor->listen_fd = reactor->epoll_fd = reactor->event_fd = -1;
+  }
 }
 
 void HttpServer::Wait() {
@@ -156,6 +205,14 @@ HttpServer::ServerStats HttpServer::Stats() const {
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.responses_503 = responses_503_.load(std::memory_order_relaxed);
   stats.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  stats.reactors = reactors_.size();
+  for (const auto& reactor : reactors_) {
+    const ResponseCache::Stats cache = reactor->cache.GetStats();
+    stats.cache_hits += cache.hits;
+    stats.cache_misses += cache.misses;
+    stats.cache_bypass += cache.bypass;
+    stats.cache_invalidations += cache.invalidations;
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stats.queue_depth = queue_.size();
@@ -163,31 +220,36 @@ HttpServer::ServerStats HttpServer::Stats() const {
   return stats;
 }
 
-void HttpServer::IoLoop() {
+void HttpServer::IoLoop(Reactor& reactor) {
   bool draining = false;
   epoll_event events[64];
   for (;;) {
-    const int n = ::epoll_wait(epoll_fd_, events, 64, 100);
+    const int n = ::epoll_wait(reactor.epoll_fd, events, 64, 100);
     if (n < 0 && errno != EINTR) break;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
-      if (fd == listen_fd_) {
-        AcceptAll();
-      } else if (fd == event_fd_) {
+      if (fd == reactor.listen_fd) {
+        AcceptAll(reactor);
+      } else if (fd == reactor.event_fd) {
         std::uint64_t drain;
-        while (::read(event_fd_, &drain, sizeof(drain)) > 0) {
+        while (::read(reactor.event_fd, &drain, sizeof(drain)) > 0) {
         }
-        ProcessRearms();
+        ProcessRearms(reactor);
       } else {
-        const auto it = connections_.find(fd);
-        if (it != connections_.end()) HandleReadable(it->second);
+        const auto it = reactor.connections.find(fd);
+        if (it != reactor.connections.end()) {
+          HandleReadable(reactor, it->second);
+        }
       }
     }
-    ProcessRearms();
+    ProcessRearms(reactor);
     if (stopping_.load(std::memory_order_acquire) && !draining) {
       draining = true;
-      BeginDrain();
+      BeginDrain(reactor);
     }
+    // in_flight_ and the queue are global: every reactor waits for the
+    // whole server to drain so no reactor exits while a worker still owes
+    // one of its connections a rearm.
     if (draining && in_flight_.load(std::memory_order_acquire) == 0) {
       bool queue_empty;
       {
@@ -202,40 +264,40 @@ void HttpServer::IoLoop() {
     }
   }
   // Close whatever is still registered (idle keep-alive connections).
-  for (auto& [fd, conn] : connections_) {
+  for (auto& [fd, conn] : reactor.connections) {
     ::close(fd);
     delete conn;
   }
-  connections_.clear();
+  reactor.connections.clear();
 }
 
-void HttpServer::BeginDrain() {
+void HttpServer::BeginDrain(Reactor& reactor) {
   // Stop accepting; queued and in-flight requests still complete.
-  if (listen_fd_ >= 0) {
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  if (reactor.listen_fd >= 0) {
+    ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_DEL, reactor.listen_fd, nullptr);
   }
 }
 
-void HttpServer::AcceptAll() {
+void HttpServer::AcceptAll(Reactor& reactor) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+    const int fd = ::accept4(reactor.listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error: epoll will re-fire
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto* conn = new Connection(fd, limits_);
-    connections_[fd] = conn;
+    auto* conn = new Connection(fd, limits_, &reactor);
+    reactor.connections[fd] = conn;
     accepted_.fetch_add(1, std::memory_order_relaxed);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      CloseConnection(conn);
+    if (::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      CloseConnection(reactor, conn);
     }
   }
 }
 
-void HttpServer::HandleReadable(Connection* conn) {
+void HttpServer::HandleReadable(Reactor& reactor, Connection* conn) {
   char buf[16384];
   for (;;) {
     const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
@@ -243,10 +305,8 @@ void HttpServer::HandleReadable(Connection* conn) {
       const auto state =
           conn->parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
       if (state == HttpRequestParser::State::kComplete) {
-        // One request at a time per connection; pipelined bytes stay
-        // buffered until the response is written and the fd re-armed.
-        DispatchOrShed(conn);
-        return;
+        if (!DrainParsed(reactor, conn)) return;
+        continue;  // connection still ours: keep reading
       }
       if (state == HttpRequestParser::State::kError) {
         bad_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -254,27 +314,85 @@ void HttpServer::HandleReadable(Connection* conn) {
         response.status_code = 400;
         response.keep_alive = false;
         response.body = "{\"error\":\"" + conn->parser.error() + "\"}";
-        WriteDirect(conn, response);
+        WriteDirect(reactor, conn, response);
         return;
       }
       continue;
     }
     if (n == 0) {
-      CloseConnection(conn);  // peer closed
+      CloseConnection(reactor, conn);  // peer closed
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
     if (errno == EINTR) continue;
-    CloseConnection(conn);
+    CloseConnection(reactor, conn);
     return;
   }
 }
 
-void HttpServer::DispatchOrShed(Connection* conn) {
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+bool HttpServer::DrainParsed(Reactor& reactor, Connection* conn) {
+  for (;;) {
+    const auto state = conn->parser.Reparse();
+    if (state == HttpRequestParser::State::kError) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse response;
+      response.status_code = 400;
+      response.keep_alive = false;
+      response.body = "{\"error\":\"" + conn->parser.error() + "\"}";
+      WriteDirect(reactor, conn, response);
+      return false;
+    }
+    if (state != HttpRequestParser::State::kComplete) return true;
+    if (!HandleParsedRequest(reactor, conn, conn->parser.TakeRequest())) {
+      return false;
+    }
+  }
+}
+
+void HttpServer::FindRoute(const std::string& method, const std::string& path,
+                           const RouteEntry** route, bool* path_known) const {
+  *route = nullptr;
+  *path_known = false;
+  for (const RouteEntry& entry : routes_) {
+    if (entry.path == path) {
+      *path_known = true;
+      if (entry.method == method) {
+        *route = &entry;
+        return;
+      }
+    }
+  }
+  // Exact routes miss: longest matching prefix wins.
+  std::size_t best_len = 0;
+  for (const RouteEntry& entry : prefix_routes_) {
+    if (!path.starts_with(entry.path)) continue;
+    *path_known = true;
+    if (entry.method == method && entry.path.size() >= best_len) {
+      best_len = entry.path.size();
+      *route = &entry;
+    }
+  }
+}
+
+bool HttpServer::HandleParsedRequest(Reactor& reactor, Connection* conn,
+                                     HttpRequest request) {
+  const RouteEntry* route = nullptr;
+  bool path_known = false;
+  FindRoute(request.method, request.path, &route, &path_known);
+
+  // Read path (and 404/405): run to completion on this reactor — no queue
+  // hop, no shedding (inline work is bounded by the synopsis, not the
+  // base data).
+  if (route == nullptr || route->run_inline) {
+    return ServeInline(reactor, conn, route, path_known, request);
+  }
+
+  // Mutating route: hand the connection to the worker pool, or shed.
+  ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
   WorkItem item;
   item.conn = conn;
-  item.request = conn->parser.TakeRequest();
+  item.request = std::move(request);
+  item.route = route;
   bool shed = false;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -282,6 +400,10 @@ void HttpServer::DispatchOrShed(Connection* conn) {
       shed = true;
     } else {
       in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      // Count before the push: once a worker can see the item it may
+      // write the response, and stats read after a received response
+      // must already include it.
+      requests_.fetch_add(1, std::memory_order_relaxed);
       queue_.push_back(std::move(item));
     }
   }
@@ -290,58 +412,121 @@ void HttpServer::DispatchOrShed(Connection* conn) {
     HttpResponse response;
     response.status_code = 503;
     response.keep_alive = false;
-    response.body =
-        "{\"error\":\"request queue full; retry with backoff\"}";
-    WriteDirect(conn, response);
-    return;
+    response.body = "{\"error\":\"request queue full; retry with backoff\"}";
+    WriteDirect(reactor, conn, response);
+    return false;
   }
   queue_cv_.notify_one();
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  return false;  // connection now owned by the worker until rearmed
 }
 
-void HttpServer::ProcessRearms() {
+bool HttpServer::ServeInline(Reactor& reactor, Connection* conn,
+                             const RouteEntry* route, bool path_known,
+                             const HttpRequest& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  bool cacheable = route != nullptr && route->cacheable &&
+                   static_cast<bool>(epoch_source_) &&
+                   (!route->cacheable_if || route->cacheable_if(request));
+  if (cacheable && request.NoCache()) {
+    reactor.cache.CountBypass();
+    cacheable = false;
+  }
+  std::optional<std::uint64_t> epoch_before;
+  std::string_view key;
+  if (cacheable) {
+    epoch_before = epoch_source_();
+    if (!epoch_before.has_value()) {
+      // Epoch unsettled (a snapshot cache is stale): the handler must run
+      // so the refresh happens and the epoch advances.
+      reactor.cache.CountMiss();
+      cacheable = false;
+    }
+  }
+  if (cacheable) {
+    key = reactor.cache.BuildKey(request);
+    if (const std::string* wire = reactor.cache.Lookup(*epoch_before, key)) {
+      // Hit: replay the stored bytes verbatim — no handler, no snapshot
+      // pin, no allocation.
+      const bool write_ok = WriteAll(conn->fd, wire->data(), wire->size());
+      if (!write_ok || !request.keep_alive) {
+        CloseConnection(reactor, conn);
+        return false;
+      }
+      return true;
+    }
+  }
+
+  HttpResponse response;
+  if (route != nullptr) {
+    response = route->handler(request);
+  } else {
+    response.status_code = path_known ? 405 : 404;
+    response.body = path_known ? "{\"error\":\"method not allowed\"}"
+                               : "{\"error\":\"no such endpoint\"}";
+  }
+  response.keep_alive = response.keep_alive && request.keep_alive;
+
+  std::string wire = response.Serialize();
+  const bool write_ok = WriteAll(conn->fd, wire.data(), wire.size());
+
+  if (cacheable && response.status_code == 200 &&
+      response.keep_alive == request.keep_alive) {
+    // Store only when the epoch did not move while the handler ran: equal
+    // bracketing reads of the monotonic serving epoch prove every snapshot
+    // the handler saw belonged to epoch_before, so the bytes are valid for
+    // the whole epoch (byte-identical replay).
+    const std::optional<std::uint64_t> epoch_after = epoch_source_();
+    if (epoch_after.has_value() && *epoch_after == *epoch_before) {
+      reactor.cache.Store(*epoch_before, key, std::move(wire));
+    }
+  }
+
+  if (!write_ok || !response.keep_alive) {
+    CloseConnection(reactor, conn);
+    return false;
+  }
+  return true;
+}
+
+void HttpServer::ProcessRearms(Reactor& reactor) {
   std::vector<RearmItem> items;
   {
-    std::lock_guard<std::mutex> lock(rearm_mutex_);
-    items.swap(rearms_);
+    std::lock_guard<std::mutex> lock(reactor.rearm_mutex);
+    items.swap(reactor.rearms);
   }
   for (const RearmItem& item : items) {
     Connection* conn = item.conn;
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     if (item.close || stopping_.load(std::memory_order_acquire)) {
-      CloseConnection(conn);
-      continue;
-    }
-    // Pipelined request already buffered?  Serve it without a read.
-    if (conn->parser.Reparse() == HttpRequestParser::State::kComplete) {
-      // Re-register momentarily so DispatchOrShed's DEL is balanced.
-      epoll_event ev{};
-      ev.events = EPOLLIN;
-      ev.data.fd = conn->fd;
-      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev);
-      DispatchOrShed(conn);
+      CloseConnection(reactor, conn);
       continue;
     }
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = conn->fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev) < 0) {
-      CloseConnection(conn);
+    if (::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_ADD, conn->fd, &ev) < 0) {
+      CloseConnection(reactor, conn);
+      continue;
     }
+    // Pipelined requests already buffered are served without a read (and
+    // may bounce the connection straight back to the worker pool).
+    DrainParsed(reactor, conn);
   }
 }
 
-void HttpServer::CloseConnection(Connection* conn) {
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
-  connections_.erase(conn->fd);
+void HttpServer::CloseConnection(Reactor& reactor, Connection* conn) {
+  ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  reactor.connections.erase(conn->fd);
   ::close(conn->fd);
   delete conn;
 }
 
-void HttpServer::WriteDirect(Connection* conn, const HttpResponse& response) {
+void HttpServer::WriteDirect(Reactor& reactor, Connection* conn,
+                             const HttpResponse& response) {
   const std::string wire = response.Serialize();
   WriteAll(conn->fd, wire.data(), wire.size(), /*timeout_ms=*/1000);
-  CloseConnection(conn);
+  CloseConnection(reactor, conn);
 }
 
 void HttpServer::WorkerLoop() {
@@ -356,53 +541,24 @@ void HttpServer::WorkerLoop() {
       queue_.pop_front();
     }
 
-    HttpResponse response;
-    const Handler* handler = nullptr;
-    bool path_known = false;
-    for (const auto& [key, h] : routes_) {
-      if (key.second == item.request.path) {
-        path_known = true;
-        if (key.first == item.request.method) {
-          handler = &h;
-          break;
-        }
-      }
-    }
-    if (handler == nullptr) {
-      // Exact routes miss: longest matching prefix wins.
-      std::size_t best_len = 0;
-      for (const auto& [key, h] : prefix_routes_) {
-        if (!item.request.path.starts_with(key.second)) continue;
-        path_known = true;
-        if (key.first == item.request.method &&
-            key.second.size() >= best_len) {
-          best_len = key.second.size();
-          handler = &h;
-        }
-      }
-    }
-    if (handler != nullptr) {
-      response = (*handler)(item.request);
-    } else {
-      response.status_code = path_known ? 405 : 404;
-      response.body = path_known ? "{\"error\":\"method not allowed\"}"
-                                 : "{\"error\":\"no such endpoint\"}";
-    }
+    HttpResponse response = item.route->handler(item.request);
     response.keep_alive = response.keep_alive && item.request.keep_alive;
 
     const std::string wire = response.Serialize();
-    const bool write_ok =
-        WriteAll(item.conn->fd, wire.data(), wire.size());
+    const bool write_ok = WriteAll(item.conn->fd, wire.data(), wire.size());
 
+    // Hand the connection back to its owning reactor for re-arming.
+    Reactor* owner = item.conn->owner;
     RearmItem rearm;
     rearm.conn = item.conn;
     rearm.close = !write_ok || !response.keep_alive;
     {
-      std::lock_guard<std::mutex> lock(rearm_mutex_);
-      rearms_.push_back(rearm);
+      std::lock_guard<std::mutex> lock(owner->rearm_mutex);
+      owner->rearms.push_back(rearm);
     }
     const std::uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = ::write(event_fd_, &one, sizeof(one));
+    [[maybe_unused]] ssize_t n =
+        ::write(owner->event_fd, &one, sizeof(one));
   }
 }
 

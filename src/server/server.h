@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
@@ -16,6 +17,7 @@
 
 #include "common/status.h"
 #include "server/http.h"
+#include "server/response_cache.h"
 
 namespace aqua {
 
@@ -24,30 +26,70 @@ struct HttpServerOptions {
   std::string bind_address = "127.0.0.1";
   /// 0 picks an ephemeral port; read it back with port() after Start().
   std::uint16_t port = 0;
-  /// Handler threads.
+  /// Shared-nothing IO reactors.  Each owns an SO_REUSEPORT listener, an
+  /// epoll instance, a connection registry and a response cache; the
+  /// kernel spreads incoming connections across them by flow hash.
+  int reactors = 1;
+  /// Handler threads for worker-dispatched (mutating) routes.
   int workers = 4;
-  /// Bounded request queue: parsed requests waiting for a worker.  When
-  /// full, new requests are answered 503 immediately — backpressure
-  /// instead of unbounded queueing (the BlinkDB-style bounded-response
-  /// contract: shed load rather than stretch latency).
+  /// Bounded request queue: parsed worker-route requests waiting for a
+  /// worker.  When full, new worker-route requests are answered 503
+  /// immediately — backpressure instead of unbounded queueing (the
+  /// BlinkDB-style bounded-response contract: shed load rather than
+  /// stretch latency).  Inline routes never queue and never shed.
   std::size_t queue_capacity = 256;
   std::size_t max_header_bytes = 16 * 1024;
   std::size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Per-reactor response-cache sizing.
+  ResponseCacheOptions cache;
 };
 
-/// A small epoll-based HTTP/1.1 server: one IO thread owns every socket
-/// (accept, read, parse, write-on-overload, close); complete requests are
-/// handed to a bounded queue consumed by worker threads, which compute the
-/// response and write it back on the (handed-off) connection.  Keep-alive
-/// and pipelined requests are supported; chunked uploads are not.
+/// Per-route serving policy.
+struct RouteOptions {
+  /// Where the handler runs.  kAuto maps GET to the reactor (read path,
+  /// run-to-completion, no queue hop) and everything else to the worker
+  /// pool.  Register a blocking GET (e.g. a debug sleeper) with kWorker
+  /// explicitly so it cannot stall a reactor.
+  enum class Dispatch { kAuto, kInline, kWorker };
+  Dispatch dispatch = Dispatch::kAuto;
+  /// Inline routes only: 200 responses may be served from / stored into
+  /// the reactor's epoch-keyed response cache.  Requires an epoch source
+  /// (SetEpochSource) to take effect.
+  bool cacheable = false;
+  /// Optional per-request veto consulted when `cacheable` (prefix routes
+  /// covering a mix of cacheable and live paths).  Return false to serve
+  /// the request uncached.
+  std::function<bool(const HttpRequest&)> cacheable_if;
+};
+
+/// A small epoll-based HTTP/1.1 server, scaled across N shared-nothing
+/// reactors: every reactor owns its own SO_REUSEPORT listener socket,
+/// epoll instance, timer, connection registry and response cache, so the
+/// read path never crosses a thread.  A connection is accepted by exactly
+/// one reactor and lives there: reads, parsing, inline handling, response
+/// writes and keep-alive re-arming all happen on that reactor's thread.
+///
+/// Read-path (inline) routes run to completion on the reactor — no queue
+/// hop, no cross-thread rearm — and may serve fully cached wire bytes via
+/// the per-reactor ResponseCache.  Mutating routes are handed to a shared
+/// bounded queue consumed by worker threads, which compute the response,
+/// write it back, and return the connection to its owning reactor for
+/// re-arming.  Keep-alive and pipelined requests are supported (a
+/// pipeline may interleave inline and worker requests); chunked uploads
+/// are not.
 ///
 /// Lifecycle: Route(...) then Start(); Shutdown() stops accepting, drains
-/// queued and in-flight requests, then joins every thread (graceful drain —
-/// wire it to SIGTERM in main()).  Wait() blocks until a Shutdown()
+/// queued and in-flight requests, then joins every thread (graceful drain
+/// — wire it to SIGTERM in main()).  Wait() blocks until a Shutdown()
 /// completes.
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  /// The serving epoch the response cache keys on, or nullopt when the
+  /// epoch is unsettled (some snapshot cache is stale and the next query
+  /// would refresh it) — nullopt forces the handler to run so the refresh
+  /// happens and the epoch advances.
+  using EpochSource = std::function<std::optional<std::uint64_t>()>;
 
   explicit HttpServer(const HttpServerOptions& options);
   ~HttpServer();
@@ -58,23 +100,34 @@ class HttpServer {
   /// Registers a handler for exact (method, path) matches.  Must be called
   /// before Start().  Unknown paths answer 404; known paths with a
   /// different method answer 405.
-  void Route(std::string method, std::string path, Handler handler);
+  void Route(std::string method, std::string path, Handler handler,
+             RouteOptions route_options = {});
 
   /// Registers a handler for every path starting with `prefix` (e.g.
   /// "/attr/").  Exact routes win over prefixes; among prefixes the longest
   /// match wins.  Must be called before Start().  A path matched only by a
   /// prefix with a different method answers 405 like exact routes.
-  void RoutePrefix(std::string method, std::string prefix, Handler handler);
+  void RoutePrefix(std::string method, std::string prefix, Handler handler,
+                   RouteOptions route_options = {});
 
-  /// Binds, listens and spawns the IO + worker threads.
+  /// Installs the serving-epoch source the response caches key on.  Must
+  /// be called before Start().  Without one, response caching is disabled
+  /// (cacheable routes always render).
+  void SetEpochSource(EpochSource source) {
+    epoch_source_ = std::move(source);
+  }
+
+  /// Binds the per-reactor listeners and spawns the reactor + worker
+  /// threads.
   Status Start();
 
-  /// The bound port (valid after Start()).
+  /// The bound port (valid after Start(); all reactors share it via
+  /// SO_REUSEPORT).
   std::uint16_t port() const { return port_; }
 
   /// Graceful drain: stop accepting, answer everything already queued or
   /// in flight, join all threads.  Idempotent; safe from any thread except
-  /// a worker.
+  /// a reactor or worker.
   void Shutdown();
 
   /// Blocks until Shutdown() has completed (from any thread).
@@ -86,20 +139,42 @@ class HttpServer {
     std::int64_t responses_503 = 0;
     std::int64_t bad_requests = 0;
     std::size_t queue_depth = 0;
+    std::size_t reactors = 0;
+    /// Response-cache counters aggregated across all reactors.
+    std::int64_t cache_hits = 0;
+    std::int64_t cache_misses = 0;
+    std::int64_t cache_bypass = 0;
+    std::int64_t cache_invalidations = 0;
   };
   ServerStats Stats() const;
 
  private:
+  struct RouteEntry {
+    std::string method;
+    /// Exact path, or prefix for prefix routes.
+    std::string path;
+    Handler handler;
+    bool run_inline = false;
+    bool cacheable = false;
+    std::function<bool(const HttpRequest&)> cacheable_if;
+  };
+
+  struct Reactor;
+
   struct Connection {
     int fd = -1;
     HttpRequestParser parser;
-    explicit Connection(int f, const HttpRequestParser::Limits& limits)
-        : fd(f), parser(limits) {}
+    /// The reactor that accepted this connection; workers hand it back
+    /// here for re-arming.
+    Reactor* owner = nullptr;
+    Connection(int f, const HttpRequestParser::Limits& limits, Reactor* r)
+        : fd(f), parser(limits), owner(r) {}
   };
 
   struct WorkItem {
     Connection* conn = nullptr;
     HttpRequest request;
+    const RouteEntry* route = nullptr;
   };
 
   struct RearmItem {
@@ -107,48 +182,73 @@ class HttpServer {
     bool close = false;
   };
 
-  void IoLoop();
+  /// One shared-nothing IO reactor (one thread's worth of serving state).
+  struct Reactor {
+    HttpServer* server = nullptr;
+    std::size_t index = 0;
+    int listen_fd = -1;
+    int epoll_fd = -1;
+    int event_fd = -1;
+    std::thread thread;
+    /// Reactor-thread-owned registry of live connections (fd -> conn).
+    std::map<int, Connection*> connections;
+    /// Connections finished by workers, waiting for this reactor to
+    /// re-arm or close them.
+    std::mutex rearm_mutex;
+    std::vector<RearmItem> rearms;
+    /// Reactor-local response cache: no shared locks on the hit path.
+    ResponseCache cache;
+
+    explicit Reactor(const ResponseCacheOptions& cache_options)
+        : cache(cache_options) {}
+  };
+
+  Status StartListener(Reactor& reactor);
+  void IoLoop(Reactor& reactor);
+  void AcceptAll(Reactor& reactor);
+  void HandleReadable(Reactor& reactor, Connection* conn);
+  /// Serves every already-parsed request on `conn` (inline routes run to
+  /// completion here; a worker route hands the connection off and stops).
+  /// Returns false when the connection left this reactor's ownership
+  /// (closed or dispatched).
+  bool DrainParsed(Reactor& reactor, Connection* conn);
+  /// Routes one parsed request: inline handling (with response cache) or
+  /// worker dispatch with 503 shedding.  Returns false when the
+  /// connection left this reactor's ownership.
+  bool HandleParsedRequest(Reactor& reactor, Connection* conn,
+                           HttpRequest request);
+  /// Inline path: cache lookup, handler, write, store.  Returns false
+  /// when the connection must close (write failure or Connection: close).
+  bool ServeInline(Reactor& reactor, Connection* conn,
+                   const RouteEntry* route, bool path_known,
+                   const HttpRequest& request);
+  void FindRoute(const std::string& method, const std::string& path,
+                 const RouteEntry** route, bool* path_known) const;
+  void ProcessRearms(Reactor& reactor);
+  void CloseConnection(Reactor& reactor, Connection* conn);
+  /// Best-effort synchronous write from the reactor thread (400/503
+  /// paths); always closes the connection.
+  void WriteDirect(Reactor& reactor, Connection* conn,
+                   const HttpResponse& response);
+  void BeginDrain(Reactor& reactor);
   void WorkerLoop();
-  void AcceptAll();
-  void HandleReadable(Connection* conn);
-  /// Parser produced a complete request: unhook from epoll and enqueue (or
-  /// 503 when the queue is full).
-  void DispatchOrShed(Connection* conn);
-  void ProcessRearms();
-  void CloseConnection(Connection* conn);
-  /// Best-effort synchronous write from the IO thread (400/503 paths).
-  void WriteDirect(Connection* conn, const HttpResponse& response);
-  void BeginDrain();
 
   HttpServerOptions options_;
   HttpRequestParser::Limits limits_;
-  std::vector<std::pair<std::pair<std::string, std::string>, Handler>>
-      routes_;
-  // (method, prefix) -> handler; consulted after exact routes miss.
-  std::vector<std::pair<std::pair<std::string, std::string>, Handler>>
-      prefix_routes_;
+  std::vector<RouteEntry> routes_;
+  std::vector<RouteEntry> prefix_routes_;
+  EpochSource epoch_source_;
 
-  int listen_fd_ = -1;
-  int epoll_fd_ = -1;
-  int event_fd_ = -1;
   std::uint16_t port_ = 0;
-
-  std::thread io_thread_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
   std::vector<std::thread> workers_;
 
-  // Bounded request queue (mutex + cv; closed on drain once empty).
+  // Bounded request queue shared by all reactors (mutex + cv; closed on
+  // drain once empty).
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<WorkItem> queue_;
   bool queue_closed_ = false;
-
-  // Connections finished by workers, waiting for the IO thread to re-arm
-  // or close them.
-  std::mutex rearm_mutex_;
-  std::vector<RearmItem> rearms_;
-
-  // IO-thread-owned registry of live connections (fd -> connection).
-  std::map<int, Connection*> connections_;
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};

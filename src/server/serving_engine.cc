@@ -49,6 +49,7 @@ ServingEngine::Stats ServingEngine::GetStats() const {
   stats.deletes = registry_stats.deletes;
   stats.shards = options_.shards;
   stats.footprint_bound = options_.footprint_bound;
+  stats.epoch = registry_.ServingEpoch();
   const SynopsisHandle* concise = registry_.handle(kConciseSynopsisName);
   stats.concise_valid = concise != nullptr && concise->valid();
   stats.synopses = std::move(registry_stats.synopses);

@@ -97,9 +97,18 @@ class ServingEngine {
     bool concise_valid = true;
     std::size_t shards = 0;
     Words footprint_bound = 0;
+    /// The registry's monotonic serving epoch (see
+    /// SynopsisRegistry::ServingEpoch).
+    std::uint64_t epoch = 0;
     std::vector<SynopsisHandleStats> synopses;
   };
   Stats GetStats() const;
+
+  /// Forwards of the registry's serving-epoch surface (what the HTTP
+  /// response cache keys on).
+  std::uint64_t ServingEpoch() const { return registry_.ServingEpoch(); }
+  bool AnyCacheStale() const { return registry_.AnyCacheStale(); }
+  void SettleCaches() const { registry_.SettleCaches(); }
 
   const SynopsisRegistry& registry() const { return registry_; }
 

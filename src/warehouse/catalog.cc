@@ -217,6 +217,29 @@ Words SynopsisCatalog::TotalFootprint() const {
   return total;
 }
 
+std::uint64_t SynopsisCatalog::ServingEpoch() const {
+  std::uint64_t epoch = 0;
+  for (const auto& [name, attribute] : attributes_) {
+    if (attribute.registry) epoch += attribute.registry->ServingEpoch();
+  }
+  return epoch;
+}
+
+bool SynopsisCatalog::AnyCacheStale() const {
+  for (const auto& [name, attribute] : attributes_) {
+    if (attribute.registry && attribute.registry->AnyCacheStale()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SynopsisCatalog::SettleCaches() const {
+  for (const auto& [name, attribute] : attributes_) {
+    if (attribute.registry) attribute.registry->SettleCaches();
+  }
+}
+
 std::vector<std::string> SynopsisCatalog::AttributeNames() const {
   std::vector<std::string> names;
   names.reserve(attributes_.size());

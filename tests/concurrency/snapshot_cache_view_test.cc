@@ -175,7 +175,10 @@ TEST(SnapshotCacheViewStress, ViewAnswersMatchDirectPathWithinEpoch) {
   std::thread reader([&cache, &stop, &answer_mismatches, &epochs_checked] {
     HotListQuery query;
     query.k = 10;
-    while (!stop.load(std::memory_order_acquire)) {
+    // On a single-core host the writer can finish before this thread is
+    // first scheduled; keep going until at least one epoch was checked.
+    while (!stop.load(std::memory_order_acquire) ||
+           epochs_checked.load(std::memory_order_relaxed) == 0) {
       const auto result = cache.Get();
       if (!result.ok()) continue;
       const std::shared_ptr<const ConciseEpoch> state = result.ValueOrDie();

@@ -155,6 +155,80 @@ inline RawResponse ReadResponse(int fd) {
   return response;
 }
 
+/// Builds one HTTP/1.1 request without a Connection header (keep-alive by
+/// default), for pipelined / multi-request connections.
+inline std::string KeepAliveRequest(const std::string& method,
+                                    const std::string& target,
+                                    const std::string& extra_headers = "",
+                                    const std::string& body = "") {
+  std::string wire = method + " " + target + " HTTP/1.1\r\nHost: t\r\n";
+  if (!body.empty()) {
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  return wire + extra_headers + "\r\n" + body;
+}
+
+inline void SendRaw(int fd, const std::string& wire) {
+  ASSERT_EQ(write(fd, wire.data(), wire.size()),
+            static_cast<ssize_t>(wire.size()));
+}
+
+/// One complete response off a keep-alive connection, framed by
+/// Content-Length; `wire` keeps the verbatim bytes (status line, headers,
+/// body) so tests can assert byte-identical cached replays.
+struct FramedResponse {
+  int status = 0;
+  std::string wire;
+  std::string body;
+  bool ok = false;
+};
+
+/// `carry` holds bytes read past the returned response's frame (pipelined
+/// bursts can land several responses in one read); pass the same string
+/// for every read off one connection.
+inline FramedResponse ReadOneResponse(int fd, std::string* carry = nullptr) {
+  FramedResponse response;
+  std::string raw = carry != nullptr ? std::move(*carry) : std::string();
+  if (carry != nullptr) carry->clear();
+  char buf[4096];
+  std::size_t blank = raw.find("\r\n\r\n");
+  while (blank == std::string::npos) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (poll(&pfd, 1, 15000) <= 0) return response;
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) return response;
+    raw.append(buf, static_cast<std::size_t>(n));
+    blank = raw.find("\r\n\r\n");
+  }
+  const std::string key = "content-length:";
+  std::size_t content_length = 0;
+  for (std::size_t at = 0; at < blank;) {
+    const std::size_t eol = raw.find("\r\n", at);
+    std::string line = raw.substr(at, eol - at);
+    for (char& c : line) c = static_cast<char>(std::tolower(c));
+    if (line.rfind(key, 0) == 0) {
+      content_length = std::stoul(line.substr(key.size()));
+    }
+    at = eol + 2;
+  }
+  const std::size_t total = blank + 4 + content_length;
+  while (raw.size() < total) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (poll(&pfd, 1, 15000) <= 0) return response;
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) return response;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  if (raw.rfind("HTTP/1.1 ", 0) == 0) {
+    response.status = std::stoi(raw.substr(9, 3));
+  }
+  response.wire = raw.substr(0, total);
+  response.body = raw.substr(blank + 4, content_length);
+  if (carry != nullptr) *carry = raw.substr(total);
+  response.ok = true;
+  return response;
+}
+
 inline RawResponse Fetch(std::uint16_t port, const std::string& target) {
   const int fd = ConnectTo(port);
   SendRequest(fd, "GET", target);

@@ -1,0 +1,208 @@
+// Torn-read hardening for the incremental HTTP parser, plus conformance
+// tests for the canonical query form and cache-control parsing the
+// response cache depends on.
+//
+// The reactor feeds the parser whatever read() returned, so a pipelined
+// request stream can be torn at ANY byte boundary — mid request-line, mid
+// header name, mid percent-escape, mid body.  The sweep below replays one
+// pipelined stream split at every boundary and asserts the parsed requests
+// are identical to the unsplit parse, element for element.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/http.h"
+
+namespace aqua {
+namespace {
+
+/// Feeds `stream` to a fresh parser and drains every complete request.
+/// The parser must never error and must end in kNeedMore with no buffered
+/// leftovers.
+std::vector<HttpRequest> ParseAll(const std::vector<std::string>& chunks) {
+  HttpRequestParser parser;
+  std::vector<HttpRequest> requests;
+  for (const std::string& chunk : chunks) {
+    auto state = parser.Feed(chunk);
+    EXPECT_NE(state, HttpRequestParser::State::kError) << parser.error();
+    while (parser.Reparse() == HttpRequestParser::State::kComplete) {
+      requests.push_back(parser.TakeRequest());
+    }
+  }
+  EXPECT_EQ(parser.state(), HttpRequestParser::State::kNeedMore);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+  return requests;
+}
+
+void ExpectSameRequests(const std::vector<HttpRequest>& got,
+                        const std::vector<HttpRequest>& want,
+                        std::size_t split) {
+  ASSERT_EQ(got.size(), want.size()) << "split at byte " << split;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].method, want[i].method) << "split " << split;
+    EXPECT_EQ(got[i].path, want[i].path) << "split " << split;
+    EXPECT_EQ(got[i].query, want[i].query) << "split " << split;
+    EXPECT_EQ(got[i].headers, want[i].headers) << "split " << split;
+    EXPECT_EQ(got[i].body, want[i].body) << "split " << split;
+    EXPECT_EQ(got[i].keep_alive, want[i].keep_alive) << "split " << split;
+  }
+}
+
+TEST(HttpTornReadTest, PipelinedStreamSplitAtEveryByteBoundary) {
+  // Three pipelined requests exercising a query string with escapes, a
+  // POST body, and a closing request.
+  const std::string stream =
+      "GET /hotlist?k=10&beta=3.5&tag=a%20b HTTP/1.1\r\n"
+      "Host: t\r\n\r\n"
+      "POST /ingest HTTP/1.1\r\nHost: t\r\nContent-Length: 9\r\n\r\n"
+      "[1,2,300]"
+      "GET /frequency?value=42 HTTP/1.1\r\nHost: t\r\n"
+      "Connection: close\r\n\r\n";
+
+  const std::vector<HttpRequest> want = ParseAll({stream});
+  ASSERT_EQ(want.size(), 3u);
+  EXPECT_EQ(want[0].path, "/hotlist");
+  EXPECT_EQ(want[0].QueryParam("tag"), "a b");
+  EXPECT_EQ(want[1].body, "[1,2,300]");
+  EXPECT_FALSE(want[2].keep_alive);
+
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    const std::vector<HttpRequest> got =
+        ParseAll({stream.substr(0, split), stream.substr(split)});
+    ExpectSameRequests(got, want, split);
+  }
+}
+
+TEST(HttpTornReadTest, ThreeWaySplitsAcrossRequestBoundaries) {
+  const std::string stream =
+      "GET /a?x=1 HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /b?y=2 HTTP/1.1\r\nHost: t\r\n\r\n";
+  const std::vector<HttpRequest> want = ParseAll({stream});
+  ASSERT_EQ(want.size(), 2u);
+  // Every ordered pair of split points (coarser than the full sweep, but
+  // covers chunk boundaries landing inside both requests at once).
+  for (std::size_t a = 0; a <= stream.size(); a += 3) {
+    for (std::size_t b = a; b <= stream.size(); b += 3) {
+      const std::vector<HttpRequest> got = ParseAll(
+          {stream.substr(0, a), stream.substr(a, b - a), stream.substr(b)});
+      ExpectSameRequests(got, want, a * 1000 + b);
+    }
+  }
+}
+
+TEST(HttpKeepAliveTest, VersionDefaultsAndConnectionOverrides) {
+  struct Case {
+    const char* request;
+    bool want_keep_alive;
+  };
+  const Case cases[] = {
+      // HTTP/1.1 defaults to keep-alive.
+      {"GET / HTTP/1.1\r\nHost: t\r\n\r\n", true},
+      // HTTP/1.0 defaults to close.
+      {"GET / HTTP/1.0\r\nHost: t\r\n\r\n", false},
+      // Connection: close overrides the 1.1 default.
+      {"GET / HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n", false},
+      // Connection: keep-alive revives a 1.0 connection.
+      {"GET / HTTP/1.0\r\nHost: t\r\nConnection: keep-alive\r\n\r\n", true},
+      // Case-insensitive header name and value.
+      {"GET / HTTP/1.1\r\nhost: t\r\nCONNECTION: Close\r\n\r\n", false},
+  };
+  for (const Case& c : cases) {
+    HttpRequestParser parser;
+    ASSERT_EQ(parser.Feed(c.request), HttpRequestParser::State::kComplete)
+        << c.request;
+    EXPECT_EQ(parser.TakeRequest().keep_alive, c.want_keep_alive)
+        << c.request;
+  }
+}
+
+TEST(HttpKeepAliveTest, ResponseEchoesNegotiatedConnection) {
+  HttpResponse keep;
+  keep.keep_alive = true;
+  EXPECT_NE(keep.Serialize().find("Connection: keep-alive"),
+            std::string::npos);
+  HttpResponse close_it;
+  close_it.keep_alive = false;
+  EXPECT_NE(close_it.Serialize().find("Connection: close"),
+            std::string::npos);
+}
+
+HttpRequest ParseOne(const std::string& wire) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed(wire), HttpRequestParser::State::kComplete);
+  return parser.TakeRequest();
+}
+
+TEST(CanonicalQueryTest, SortsByKeyAndReencodes) {
+  const HttpRequest request =
+      ParseOne("GET /q?b=2&a=1&c=a%20b HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(request.CanonicalQuery(), "a=1&b=2&c=a%20b");
+}
+
+TEST(CanonicalQueryTest, ParameterOrderDoesNotMatter) {
+  const HttpRequest x =
+      ParseOne("GET /q?k=10&beta=3 HTTP/1.1\r\nHost: t\r\n\r\n");
+  const HttpRequest y =
+      ParseOne("GET /q?beta=3&k=10 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(x.CanonicalQuery(), y.CanonicalQuery());
+}
+
+TEST(CanonicalQueryTest, EscapingVariantsCanonicalizeEqual) {
+  // %34%32 is "42" — the decoded parameters are identical, so the
+  // canonical forms must be too (the cache must not double-count them).
+  const HttpRequest plain =
+      ParseOne("GET /q?value=42 HTTP/1.1\r\nHost: t\r\n\r\n");
+  const HttpRequest escaped =
+      ParseOne("GET /q?value=%34%32 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(plain.CanonicalQuery(), escaped.CanonicalQuery());
+}
+
+TEST(CanonicalQueryTest, DuplicateKeysKeepRequestOrder) {
+  // First-wins semantics must survive the stable sort: the first `k` stays
+  // first in the canonical form.
+  const HttpRequest request =
+      ParseOne("GET /q?k=1&a=0&k=2 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(request.CanonicalQuery(), "a=0&k=1&k=2");
+  EXPECT_EQ(request.QueryParam("k"), "1");
+}
+
+TEST(CanonicalQueryTest, ReservedBytesArePercentEncoded) {
+  const HttpRequest request =
+      ParseOne("GET /q?expr=a%2Bb%3Dc HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(request.CanonicalQuery(), "expr=a%2Bb%3Dc");
+}
+
+TEST(CanonicalQueryTest, EmptyQueryCanonicalizesEmpty) {
+  const HttpRequest request =
+      ParseOne("GET /distinct HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(request.CanonicalQuery(), "");
+}
+
+TEST(NoCacheTest, DirectiveDetection) {
+  struct Case {
+    const char* headers;
+    bool want;
+  };
+  const Case cases[] = {
+      {"", false},
+      {"Cache-Control: no-cache\r\n", true},
+      {"Cache-Control: No-Cache\r\n", true},
+      {"Cache-Control: max-age=0, no-cache\r\n", true},
+      {"Cache-Control: no-cache , private\r\n", true},
+      // Substrings of other directives must not match.
+      {"Cache-Control: no-cache-similar\r\n", false},
+      {"Cache-Control: max-age=60\r\n", false},
+      {"X-Cache-Control: no-cache\r\n", false},
+  };
+  for (const Case& c : cases) {
+    const HttpRequest request = ParseOne(
+        std::string("GET / HTTP/1.1\r\nHost: t\r\n") + c.headers + "\r\n");
+    EXPECT_EQ(request.NoCache(), c.want) << c.headers;
+  }
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,178 @@
+// End-to-end tests of the multi-reactor serving path against the real
+// aqua_serve binary: byte-identical cached replays within a serving
+// epoch, wholesale invalidation when ingest advances the epoch, the
+// Cache-Control: no-cache bypass, and the /stats epoch + cache counters.
+//
+// Epoch control: the serving epoch advances when a snapshot cache
+// refreshes.  Tests that need a HELD epoch spawn the server with huge
+// staleness bounds (nothing goes stale, so every answer replays); tests
+// that need an ADVANCING epoch spawn with --cache-stale-ops 1 (any ingest
+// makes the snapshot stale, and the next query refreshes and swaps the
+// epoch).
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/e2e_util.h"
+
+namespace aqua {
+namespace {
+
+using namespace e2e;  // NOLINT(build/namespaces): test-local helpers
+
+std::vector<std::string> HeldEpochArgs() {
+  return {"--reactors", "2",          "--shards",         "1",
+          "--preload-zipf", "30000,500,1.0,424242",
+          "--cache-stale-ops", "1000000000", "--cache-stale-ms", "3600000"};
+}
+
+TEST(ReactorE2eTest, CachedReadsAreByteIdenticalWithinEpoch) {
+  ServerProcess server(HeldEpochArgs());
+
+  // One keep-alive connection pins one reactor (and thus one per-reactor
+  // cache).  The replay must be byte-identical INCLUDING response_ns: a
+  // hit writes the stored wire verbatim, it does not re-render.
+  const int fd = ConnectTo(server.port());
+  // Warm-up: the first query after startup finds the snapshot cache
+  // unrefreshed (unsettled epoch), renders without storing, and settles
+  // the epoch; only then does the cache fill.
+  SendRaw(fd, KeepAliveRequest("GET", "/hotlist?k=10&beta=3"));
+  ASSERT_TRUE(ReadOneResponse(fd).ok);
+  SendRaw(fd, KeepAliveRequest("GET", "/hotlist?k=10&beta=3"));
+  const FramedResponse first = ReadOneResponse(fd);
+  ASSERT_TRUE(first.ok);
+  ASSERT_EQ(first.status, 200) << first.body;
+
+  SendRaw(fd, KeepAliveRequest("GET", "/hotlist?k=10&beta=3"));
+  const FramedResponse replay = ReadOneResponse(fd);
+  ASSERT_TRUE(replay.ok);
+  EXPECT_EQ(replay.wire, first.wire);
+
+  // Canonicalization: reordered parameters and escaped spellings share the
+  // cached entry.
+  SendRaw(fd, KeepAliveRequest("GET", "/hotlist?beta=3&k=%31%30"));
+  const FramedResponse reordered = ReadOneResponse(fd);
+  ASSERT_TRUE(reordered.ok);
+  EXPECT_EQ(reordered.wire, first.wire);
+  close(fd);
+
+  const RawResponse stats = Fetch(server.port(), "/stats");
+  ASSERT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"epoch\":"), std::string::npos);
+  EXPECT_NE(stats.body.find("\"reactors\":2"), std::string::npos);
+  // Two replays above; /stats itself is uncacheable so it adds nothing.
+  EXPECT_EQ(stats.body.find("\"cache_hits\":0,"), std::string::npos);
+}
+
+TEST(ReactorE2eTest, NoCacheBypassesTheCache) {
+  ServerProcess server(HeldEpochArgs());
+  const int fd = ConnectTo(server.port());
+  SendRaw(fd, KeepAliveRequest("GET", "/frequency?value=17"));
+  ASSERT_TRUE(ReadOneResponse(fd).ok);  // settle the epoch (see above)
+  SendRaw(fd, KeepAliveRequest("GET", "/frequency?value=17"));
+  const FramedResponse cached = ReadOneResponse(fd);
+  ASSERT_TRUE(cached.ok);
+  SendRaw(fd, KeepAliveRequest("GET", "/frequency?value=17",
+                               "Cache-Control: no-cache\r\n"));
+  const FramedResponse fresh = ReadOneResponse(fd);
+  ASSERT_TRUE(fresh.ok);
+  close(fd);
+
+  // Same answer, freshly rendered: bodies agree modulo the volatile
+  // response_ns metric, and the bypass is counted.
+  EXPECT_EQ(StripResponseNs(fresh.body), StripResponseNs(cached.body));
+  const RawResponse stats = Fetch(server.port(), "/stats");
+  EXPECT_NE(stats.body.find("\"cache_bypass\":1"), std::string::npos)
+      << stats.body;
+}
+
+TEST(ReactorE2eTest, IngestAdvancesEpochAndInvalidatesCachedAnswers) {
+  // --cache-stale-ops 1: any ingest staleness-marks the snapshot, so the
+  // next query refreshes it and the serving epoch advances.
+  ServerProcess server({"--reactors", "2", "--shards", "1",
+                        "--preload-zipf", "30000,500,1.0,424242",
+                        "--cache-stale-ops", "1"});
+
+  // 777 is outside the preload domain [1,500]: its frequency estimate is
+  // 0 before ingest and positive after, so the answer must change.
+  const int fd = ConnectTo(server.port());
+  SendRaw(fd, KeepAliveRequest("GET", "/frequency?value=777"));
+  ASSERT_TRUE(ReadOneResponse(fd).ok);  // settle the epoch (see above)
+  SendRaw(fd, KeepAliveRequest("GET", "/frequency?value=777"));
+  const FramedResponse before = ReadOneResponse(fd);
+  ASSERT_TRUE(before.ok);
+  ASSERT_EQ(before.status, 200);
+  // Warm hit within the current epoch.
+  SendRaw(fd, KeepAliveRequest("GET", "/frequency?value=777"));
+  const FramedResponse warm = ReadOneResponse(fd);
+  ASSERT_TRUE(warm.ok);
+  EXPECT_EQ(warm.wire, before.wire);
+
+  std::string many;
+  many += "[";
+  for (int i = 0; i < 2000; ++i) many += (i ? ",777" : "777");
+  many += "]";
+  ASSERT_EQ(Post(server.port(), "/ingest", many).status, 200);
+
+  // Same connection, same reactor, same cache: the post-ingest answer must
+  // NOT replay the stale bytes.
+  SendRaw(fd, KeepAliveRequest("GET", "/frequency?value=777"));
+  const FramedResponse after = ReadOneResponse(fd);
+  ASSERT_TRUE(after.ok);
+  ASSERT_EQ(after.status, 200);
+  EXPECT_NE(StripResponseNs(after.body), StripResponseNs(before.body));
+  close(fd);
+
+  const RawResponse stats = Fetch(server.port(), "/stats");
+  EXPECT_NE(stats.body.find("\"cache_invalidations\":"), std::string::npos);
+}
+
+TEST(ReactorE2eTest, TwoReactorsServeConcurrentKeepAliveClients) {
+  ServerProcess server(HeldEpochArgs());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 30;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&server, &failures, t] {
+      const int fd = ConnectTo(server.port());
+      const std::string target =
+          "/hotlist?k=10&beta=" + std::to_string(2 + (t % 3));
+      for (int i = 0; i < kPerThread; ++i) {
+        SendRaw(fd, KeepAliveRequest("GET", target));
+        const FramedResponse r = ReadOneResponse(fd);
+        if (!r.ok || r.status != 200) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+      close(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const RawResponse stats = Fetch(server.port(), "/stats");
+  ASSERT_EQ(stats.status, 200);
+  // The bulk of the load repeats 3 distinct queries: almost all hits.
+  EXPECT_NE(stats.body.find("\"cache_hits\":"), std::string::npos);
+}
+
+TEST(ReactorE2eTest, PerAttributeStatsExposeEpoch) {
+  ServerProcess server({"--reactors", "2", "--attr", "qty"});
+  ASSERT_EQ(Post(server.port(), "/attr/qty/ingest", "[1,2,3]").status, 200);
+  // Every per-attribute stats page carries its registry's serving epoch.
+  const RawResponse stats = Fetch(server.port(), "/attr/qty/stats");
+  ASSERT_EQ(stats.status, 200) << stats.body;
+  EXPECT_NE(stats.body.find("\"epoch\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aqua

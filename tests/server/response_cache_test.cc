@@ -1,0 +1,178 @@
+// Unit tests for the epoch-keyed response cache, including the measured
+// zero-allocation guarantee on the warmed hit path: this TU replaces the
+// global operator new/delete with counting versions, so a hit that touched
+// the allocator would fail here, not just regress silently in a bench.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "server/http.h"
+#include "server/response_cache.h"
+
+namespace {
+std::atomic<std::int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace aqua {
+namespace {
+
+HttpRequest ParseRequest(const std::string& wire) {
+  HttpRequestParser parser;
+  EXPECT_EQ(parser.Feed(wire), HttpRequestParser::State::kComplete);
+  return parser.TakeRequest();
+}
+
+HttpRequest GetRequest(const std::string& target,
+                       const std::string& extra_headers = "") {
+  return ParseRequest("GET " + target + " HTTP/1.1\r\nHost: t\r\n" +
+                      extra_headers + "\r\n");
+}
+
+TEST(ResponseCacheTest, HitReturnsStoredBytesVerbatim) {
+  ResponseCache cache;
+  const HttpRequest request = GetRequest("/hotlist?k=10");
+  const std::string wire = "HTTP/1.1 200 OK\r\n\r\n{\"x\":1}";
+
+  const std::string_view key = cache.BuildKey(request);
+  EXPECT_EQ(cache.Lookup(1, key), nullptr);  // cold: miss
+  cache.Store(1, key, wire);
+
+  const std::string* hit = cache.Lookup(1, cache.BuildKey(request));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, wire);
+
+  const ResponseCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResponseCacheTest, EpochAdvanceInvalidatesWholesale) {
+  ResponseCache cache;
+  const HttpRequest a = GetRequest("/hotlist?k=10");
+  const HttpRequest b = GetRequest("/frequency?value=7");
+  cache.Store(1, cache.BuildKey(a), "A");
+  cache.Store(1, cache.BuildKey(b), "B");
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+
+  // A lookup carrying the next epoch clears everything from the old one.
+  EXPECT_EQ(cache.Lookup(2, cache.BuildKey(a)), nullptr);
+  const ResponseCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.invalidations, 1);
+  EXPECT_EQ(cache.epoch(), 2u);
+
+  // The old epoch's bytes are gone even if the old epoch is asked again
+  // (single-epoch cache: correctness over hit rate).
+  EXPECT_EQ(cache.Lookup(1, cache.BuildKey(a)), nullptr);
+}
+
+TEST(ResponseCacheTest, EquivalentQueriesShareOneKey) {
+  ResponseCache cache;
+  const HttpRequest x = GetRequest("/hotlist?k=10&beta=3");
+  const HttpRequest y = GetRequest("/hotlist?beta=3&k=10");
+  const HttpRequest z = GetRequest("/hotlist?k=%31%30&beta=3");
+  const std::string kx(cache.BuildKey(x));
+  EXPECT_EQ(kx, std::string(cache.BuildKey(y)));
+  EXPECT_EQ(kx, std::string(cache.BuildKey(z)));
+}
+
+TEST(ResponseCacheTest, KeepAliveBitSplitsTheKey) {
+  // The cached wire embeds a Connection: header, so a close request must
+  // never replay a keep-alive entry (and vice versa).
+  ResponseCache cache;
+  const HttpRequest keep = GetRequest("/distinct");
+  const HttpRequest close_it =
+      GetRequest("/distinct", "Connection: close\r\n");
+  const std::string keep_key(cache.BuildKey(keep));
+  EXPECT_NE(keep_key, std::string(cache.BuildKey(close_it)));
+
+  cache.Store(1, cache.BuildKey(keep), "KEEPALIVE-WIRE");
+  EXPECT_EQ(cache.Lookup(1, cache.BuildKey(close_it)), nullptr);
+  EXPECT_NE(cache.Lookup(1, cache.BuildKey(keep)), nullptr);
+}
+
+TEST(ResponseCacheTest, OversizedAndOverCapStoresAreDropped) {
+  ResponseCacheOptions options;
+  options.max_entries = 2;
+  options.max_entry_bytes = 8;
+  ResponseCache cache(options);
+
+  cache.Store(1, cache.BuildKey(GetRequest("/a?x=1")), "123456789");
+  EXPECT_EQ(cache.GetStats().entries, 0u);  // oversized
+
+  cache.Store(1, cache.BuildKey(GetRequest("/a?x=1")), "1");
+  cache.Store(1, cache.BuildKey(GetRequest("/a?x=2")), "2");
+  cache.Store(1, cache.BuildKey(GetRequest("/a?x=3")), "3");  // over cap
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+  EXPECT_EQ(cache.Lookup(1, cache.BuildKey(GetRequest("/a?x=3"))), nullptr);
+}
+
+TEST(ResponseCacheTest, BypassAndForcedMissCounters) {
+  ResponseCache cache;
+  cache.CountBypass();
+  cache.CountBypass();
+  cache.CountMiss();
+  const ResponseCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.bypass, 2);
+  EXPECT_EQ(stats.misses, 1);
+}
+
+TEST(ResponseCacheTest, WarmHitPathDoesNotAllocate) {
+  ResponseCache cache;
+  const HttpRequest request =
+      GetRequest("/count_where?low=10&high=5000&confidence=0.95");
+  std::string wire(512, 'x');
+  cache.Store(7, cache.BuildKey(request), std::move(wire));
+
+  // Warm once: BuildKey's buffer and the canonical-query scratch reach
+  // their steady-state capacity.
+  ASSERT_NE(cache.Lookup(7, cache.BuildKey(request)), nullptr);
+
+  const std::int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string_view key = cache.BuildKey(request);
+    const std::string* hit = cache.Lookup(7, key);
+    ASSERT_NE(hit, nullptr);
+    ASSERT_EQ(hit->size(), 512u);
+  }
+  const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "warmed BuildKey+Lookup hit path allocated";
+}
+
+TEST(ResponseCacheTest, StoreAfterEpochAdvanceStartsFresh) {
+  ResponseCache cache;
+  const HttpRequest request = GetRequest("/quantile?q=0.5");
+  cache.Store(1, cache.BuildKey(request), "EPOCH1");
+  cache.Store(2, cache.BuildKey(request), "EPOCH2");
+  const std::string* hit = cache.Lookup(2, cache.BuildKey(request));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "EPOCH2");
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -124,21 +124,27 @@ TEST(ServeE2eTest, OverloadAnswers503) {
   ServerProcess server({"--enable-debug", "--workers", "1",
                         "--queue-capacity", "1"});
 
-  // Hold the only worker, then fill the queue's single slot; the next
-  // request must be shed with 503 instead of queueing behind the sleeper.
+  // Hold the only worker (the debug sleeper is explicitly
+  // worker-dispatched), then fill the queue's single slot with a mutating
+  // request; the next worker-route request must be shed with 503 instead
+  // of queueing behind the sleeper.
   const int busy = ConnectTo(server.port());
   SendRequest(busy, "GET", "/debug/sleep?ms=2000");
   usleep(300 * 1000);  // worker has dequeued the sleeper
   const int queued = ConnectTo(server.port());
-  SendRequest(queued, "GET", "/healthz");
-  usleep(200 * 1000);  // healthz now occupies the queue slot
+  SendRequest(queued, "POST", "/ingest", "[1,2,3]");
+  usleep(200 * 1000);  // the ingest now occupies the queue slot
 
   bool saw_503 = false;
   for (int i = 0; i < 5 && !saw_503; ++i) {
-    const RawResponse shed = Fetch(server.port(), "/healthz");
+    const RawResponse shed = Post(server.port(), "/ingest", "[4]");
     saw_503 = shed.status == 503;
   }
   EXPECT_TRUE(saw_503) << "no request was shed under overload";
+
+  // The read path runs inline on the reactors and never sheds: even with
+  // the worker pool saturated, /healthz answers immediately.
+  EXPECT_EQ(Fetch(server.port(), "/healthz").status, 200);
 
   // The held requests still complete (bounded queue sheds, never drops
   // accepted work).
