@@ -1,11 +1,14 @@
 #include "bench/bench_util.h"
 
+#include <sched.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <thread>
 
 #include "container/flat_hash_map.h"
 #include "metrics/hotlist_accuracy.h"
@@ -147,7 +150,56 @@ std::string JsonNumber(double v) {
   return buf;
 }
 
+/// First "model name" line of /proc/cpuinfo ("unknown" elsewhere/sandboxed).
+std::string CpuModelName() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) break;
+      std::size_t at = colon + 1;
+      while (at < line.size() && line[at] == ' ') ++at;
+      return line.substr(at);
+    }
+  }
+  return "unknown";
+}
+
+/// CPUs in this process's affinity mask (0 when the syscall fails).
+int AffinityCpuCount() {
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) != 0) return 0;
+  return CPU_COUNT(&mask);
+}
+
+/// The batch-kernel path this binary was compiled for (see batch_kernels.h).
+const char* CompiledSimdPath() {
+#if defined(AQUA_FORCE_SCALAR)
+  return "scalar(forced)";
+#elif defined(__AVX2__)
+  return "avx2";
+#elif defined(__SSE2__) || defined(__x86_64__)
+  return "sse2";
+#elif defined(__ARM_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
 }  // namespace
+
+void BenchReport::SetHardware(std::string key, std::string value) {
+  for (auto& [k, v] : hardware_extra_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  hardware_extra_.emplace_back(std::move(key), std::move(value));
+}
 
 bool BenchReport::WriteJson(const std::string& path) const {
   if (path.empty()) return true;
@@ -156,7 +208,15 @@ bool BenchReport::WriteJson(const std::string& path) const {
     std::cerr << "bench: cannot open --json path " << path << "\n";
     return false;
   }
-  out << "{\"bench\": \"" << JsonEscape(bench_name_) << "\", \"results\": [";
+  out << "{\"bench\": \"" << JsonEscape(bench_name_) << "\",\n";
+  out << " \"hardware\": {\"cpu_model\": \"" << JsonEscape(CpuModelName())
+      << "\", \"hw_concurrency\": " << std::thread::hardware_concurrency()
+      << ", \"affinity_cpus\": " << AffinityCpuCount() << ", \"simd\": \""
+      << CompiledSimdPath() << "\"";
+  for (const auto& [k, v] : hardware_extra_) {
+    out << ", \"" << JsonEscape(k) << "\": \"" << JsonEscape(v) << "\"";
+  }
+  out << "},\n \"results\": [";
   for (std::size_t i = 0; i < results_.size(); ++i) {
     const Row& row = results_[i];
     out << (i == 0 ? "\n" : ",\n");

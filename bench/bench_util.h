@@ -117,12 +117,19 @@ void AppendSummaryMetrics(const std::string& prefix,
 /// Machine-readable benchmark output: collects named results with numeric
 /// metrics and serializes them as one JSON document
 ///
-///   {"bench": "<name>", "results":
+///   {"bench": "<name>",
+///    "hardware": {"cpu_model": "...", "hw_concurrency": 8, ...},
+///    "results":
 ///     [{"name": "...", "metrics": {"elements_per_sec": 1.2e7, ...}}, ...]}
 ///
 /// so each bench run can be archived (BENCH_<name>.json) and the perf
 /// trajectory diffed across PRs.  Pass `--json <path>` to a bench binary
 /// (see JsonPathFromArgs) to enable it; stdout tables are unaffected.
+///
+/// The "hardware" object is always present: CPU model (/proc/cpuinfo),
+/// std::thread::hardware_concurrency, the number of CPUs in the process's
+/// affinity mask, and which batch-kernel path this binary was compiled
+/// for — a scaling number without the hardware it ran on is not a number.
 class BenchReport {
  public:
   explicit BenchReport(std::string bench_name)
@@ -133,6 +140,11 @@ class BenchReport {
            std::vector<std::pair<std::string, double>> metrics) {
     results_.push_back({std::move(name), std::move(metrics)});
   }
+
+  /// Adds (or overrides) one string entry in the "hardware" object, for
+  /// run-specific facts the report cannot detect itself (e.g. the pin
+  /// mask a --pin-cpus harness actually applied).
+  void SetHardware(std::string key, std::string value);
 
   /// Writes the JSON document; returns false (with a note on stderr) if the
   /// file cannot be opened.  No-op when `path` is empty.
@@ -149,6 +161,7 @@ class BenchReport {
   };
   std::string bench_name_;
   std::vector<Row> results_;
+  std::vector<std::pair<std::string, std::string>> hardware_extra_;
 };
 
 }  // namespace bench

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/http_client.h"
 #include "server/http.h"
 #include "server/response_cache.h"
 #include "server/server.h"
@@ -72,139 +73,6 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace aqua {
 namespace bench {
 namespace {
-
-std::int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-int ConnectTo(std::uint16_t port) {
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    close(fd);
-    return -1;
-  }
-  return fd;
-}
-
-bool SendAll(int fd, const std::string& wire) {
-  std::size_t off = 0;
-  while (off < wire.size()) {
-    const ssize_t n = write(fd, wire.data() + off, wire.size() - off);
-    if (n <= 0) return false;
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Reads one Content-Length-framed response; `carry` holds overshoot
-/// bytes between calls on the same connection.  Returns the status code,
-/// or 0 on socket error/timeout.
-int ReadOneStatus(int fd, std::string* carry) {
-  std::string raw = std::move(*carry);
-  carry->clear();
-  char buf[8192];
-  std::size_t blank = raw.find("\r\n\r\n");
-  while (blank == std::string::npos) {
-    struct pollfd pfd = {fd, POLLIN, 0};
-    if (poll(&pfd, 1, 15000) <= 0) return 0;
-    const ssize_t n = read(fd, buf, sizeof(buf));
-    if (n <= 0) return 0;
-    raw.append(buf, static_cast<std::size_t>(n));
-    blank = raw.find("\r\n\r\n");
-  }
-  std::size_t content_length = 0;
-  const std::string key = "content-length:";
-  for (std::size_t at = 0; at < blank;) {
-    const std::size_t eol = raw.find("\r\n", at);
-    std::string line = raw.substr(at, eol - at);
-    for (char& c : line) c = static_cast<char>(std::tolower(c));
-    if (line.rfind(key, 0) == 0) {
-      content_length = std::stoul(line.substr(key.size()));
-    }
-    at = eol + 2;
-  }
-  const std::size_t total = blank + 4 + content_length;
-  while (raw.size() < total) {
-    struct pollfd pfd = {fd, POLLIN, 0};
-    if (poll(&pfd, 1, 15000) <= 0) return 0;
-    const ssize_t n = read(fd, buf, sizeof(buf));
-    if (n <= 0) return 0;
-    raw.append(buf, static_cast<std::size_t>(n));
-  }
-  *carry = raw.substr(total);
-  return raw.rfind("HTTP/1.1 ", 0) == 0 ? std::stoi(raw.substr(9, 3)) : 0;
-}
-
-struct LoadResult {
-  std::vector<std::int64_t> samples_ns;
-  double elapsed_s = 0.0;
-  std::int64_t errors = 0;       // socket failures / non-2xx
-  std::int64_t status_5xx = 0;
-};
-
-/// Drives `requests_per_thread` lockstep keep-alive GETs per thread and
-/// merges the per-request latency samples.
-LoadResult DriveLoad(std::uint16_t port, const std::vector<std::string>& paths,
-                     int threads, int requests_per_thread) {
-  std::vector<std::vector<std::int64_t>> samples(
-      static_cast<std::size_t>(threads));
-  std::vector<std::int64_t> errors(static_cast<std::size_t>(threads), 0);
-  std::vector<std::int64_t> fives(static_cast<std::size_t>(threads), 0);
-  const std::int64_t start = NowNs();
-  std::vector<std::thread> clients;
-  clients.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    clients.emplace_back([&, t] {
-      const int fd = ConnectTo(port);
-      if (fd < 0) {
-        errors[static_cast<std::size_t>(t)] = requests_per_thread;
-        return;
-      }
-      std::string carry;
-      auto& mine = samples[static_cast<std::size_t>(t)];
-      mine.reserve(static_cast<std::size_t>(requests_per_thread));
-      for (int i = 0; i < requests_per_thread; ++i) {
-        const std::string& path =
-            paths[static_cast<std::size_t>(i) % paths.size()];
-        const std::string wire =
-            "GET " + path + " HTTP/1.1\r\nHost: b\r\n\r\n";
-        const std::int64_t begin = NowNs();
-        if (!SendAll(fd, wire)) {
-          ++errors[static_cast<std::size_t>(t)];
-          break;
-        }
-        const int status = ReadOneStatus(fd, &carry);
-        mine.push_back(NowNs() - begin);
-        if (status >= 500) ++fives[static_cast<std::size_t>(t)];
-        if (status < 200 || status >= 300) {
-          ++errors[static_cast<std::size_t>(t)];
-          if (status == 0) break;  // dead socket
-        }
-      }
-      close(fd);
-    });
-  }
-  for (std::thread& c : clients) c.join();
-
-  LoadResult result;
-  result.elapsed_s = static_cast<double>(NowNs() - start) / 1e9;
-  for (int t = 0; t < threads; ++t) {
-    auto& mine = samples[static_cast<std::size_t>(t)];
-    result.samples_ns.insert(result.samples_ns.end(), mine.begin(),
-                             mine.end());
-    result.errors += errors[static_cast<std::size_t>(t)];
-    result.status_5xx += fives[static_cast<std::size_t>(t)];
-  }
-  return result;
-}
 
 HttpRequest ParseRequest(const std::string& wire) {
   HttpRequestParser parser;
@@ -310,9 +178,120 @@ void ServerScenario(const std::string& name, int reactors, int threads,
   report->Add(name, std::move(metrics));
 }
 
+/// Scrapes a top-level `"key": <integer>` out of a flat JSON body.
+bool ScrapeInt(const std::string& body, const std::string& key,
+               std::int64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t digit = at + needle.size();
+  while (digit < body.size() && body[digit] == ' ') ++digit;
+  bool negative = false;
+  if (digit < body.size() && body[digit] == '-') {
+    negative = true;
+    ++digit;
+  }
+  std::int64_t value = 0;
+  bool any = false;
+  while (digit < body.size() && body[digit] >= '0' && body[digit] <= '9') {
+    value = value * 10 + (body[digit] - '0');
+    ++digit;
+    any = true;
+  }
+  if (!any) return false;
+  *out = negative ? -value : value;
+  return true;
+}
+
+/// The `allocs_per_request == 0` smoke: against a server built with
+/// -DAQUA_COUNT_GLOBAL_ALLOCS=ON, samples /stats `allocs_total` around a
+/// warmed GET window on one keep-alive connection and fails on any delta.
+/// The window mixes cache hits (repeated cacheable queries) and cold
+/// renders (/stats is never cached), so both paths are covered.  The
+/// server must run with staleness bounds beyond the window (CI passes
+/// --cache-stale-ms 3600000) or idle snapshot refreshes would re-merge —
+/// a real, separately-budgeted allocation that is not part of the wire
+/// path.  Skips (rc 0) when the server reports alloc_counting=false.
+int AllocsPerRequestCheck(std::uint16_t port, BenchReport* report) {
+  const int fd = ConnectTo(port);
+  if (fd < 0) {
+    std::fprintf(stderr, "allocs_per_request: cannot connect\n");
+    return 1;
+  }
+  std::string carry;
+  auto get = [&](const std::string& path, std::string* body) {
+    const std::string wire = "GET " + path + " HTTP/1.1\r\nHost: b\r\n\r\n";
+    if (!SendAll(fd, wire)) return 0;
+    return ReadOneBody(fd, &carry, body);
+  };
+  const std::vector<std::string> paths = {
+      "/healthz", "/hotlist?k=10&beta=3", "/frequency?value=17",
+      "/distinct", "/stats"};
+  // Warm THIS connection's reactor: the first miss of each cacheable path
+  // renders and stores (one-time allocations), every thread_local scratch
+  // reaches final capacity.
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& path : paths) {
+      if (get(path, nullptr) != 200) {
+        std::fprintf(stderr, "allocs_per_request: warm-up %s failed\n",
+                     path.c_str());
+        close(fd);
+        return 1;
+      }
+    }
+  }
+  std::string body;
+  if (get("/stats", &body) != 200) {
+    close(fd);
+    return 1;
+  }
+  std::int64_t before = 0;
+  if (!ScrapeInt(body, "allocs_total", &before) ||
+      body.find("\"alloc_counting\":true") == std::string::npos) {
+    std::printf(
+        "allocs_per_request: server not built with "
+        "AQUA_COUNT_GLOBAL_ALLOCS, skipping\n");
+    close(fd);
+    return 0;
+  }
+  const int window = SmokeMode() ? 100 : 1000;
+  for (int i = 0; i < window; ++i) {
+    if (get(paths[static_cast<std::size_t>(i) % paths.size()], nullptr) !=
+        200) {
+      close(fd);
+      return 1;
+    }
+  }
+  if (get("/stats", &body) != 200) {
+    close(fd);
+    return 1;
+  }
+  close(fd);
+  std::int64_t after = 0;
+  if (!ScrapeInt(body, "allocs_total", &after)) return 1;
+  const std::int64_t delta = after - before;
+  const double per_request = static_cast<double>(delta) / window;
+  std::printf("allocs_per_request %lld allocs / %d requests = %.4f\n",
+              static_cast<long long>(delta), window, per_request);
+  report->Add("allocs_per_request",
+              {{"allocs", static_cast<double>(delta)},
+               {"requests", static_cast<double>(window)},
+               {"allocs_per_request", per_request}});
+  if (delta != 0) {
+    std::fprintf(stderr,
+                 "allocs_per_request: expected 0, measured %lld over %d "
+                 "warmed GETs\n",
+                 static_cast<long long>(delta), window);
+    return 1;
+  }
+  return 0;
+}
+
 /// Client-only mode for the CI serve-under-load smoke: inline-read GET
 /// load against an already-running server; any 5xx is a failure (inline
 /// routes never shed, so overload 503s cannot legitimately appear here).
+/// Follows up with the allocs_per_request == 0 assertion when the server
+/// was built with the counting allocator.
 int DriveExternal(std::uint16_t port, BenchReport* report,
                   const std::string& json_path) {
   const std::vector<std::string> paths = {
@@ -334,15 +313,17 @@ int DriveExternal(std::uint16_t port, BenchReport* report,
   };
   AppendSummaryMetrics("", summary, &metrics);
   report->Add("serve_under_load", std::move(metrics));
-  report->WriteJson(json_path);
+  int rc = 0;
   if (load.status_5xx > 0 || load.errors > 0) {
     std::fprintf(stderr,
                  "serve_under_load: %lld 5xx, %lld errors on inline reads\n",
                  static_cast<long long>(load.status_5xx),
                  static_cast<long long>(load.errors));
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (AllocsPerRequestCheck(port, report) != 0) rc = 1;
+  report->WriteJson(json_path);
+  return rc;
 }
 
 }  // namespace

@@ -52,7 +52,7 @@
 #include <utility>
 #include <vector>
 
-#include "server/json.h"
+#include "server/routes.h"
 #include "server/server.h"
 #include "server/serving_engine.h"
 #include "warehouse/catalog.h"
@@ -219,455 +219,6 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
   return true;
 }
 
-HttpResponse JsonOk(std::string body) {
-  HttpResponse response;
-  response.body = std::move(body);
-  return response;
-}
-
-HttpResponse JsonError(int code, std::string_view message) {
-  HttpResponse response;
-  response.status_code = code;
-  JsonWriter w;
-  w.BeginObject().Key("error").String(message).EndObject();
-  response.body = w.TakeString();
-  return response;
-}
-
-void WriteEstimate(JsonWriter& w, const QueryResponse<Estimate>& response) {
-  w.BeginObject();
-  w.Key("estimate").Double(response.answer.value);
-  w.Key("ci_low").Double(response.answer.ci_low);
-  w.Key("ci_high").Double(response.answer.ci_high);
-  w.Key("confidence").Double(response.answer.confidence);
-  w.Key("sample_points").Int(response.answer.sample_points);
-  w.Key("method").String(response.method);
-  w.Key("response_ns").Int(response.response_ns);
-  w.EndObject();
-}
-
-void WriteHotList(JsonWriter& w, const QueryResponse<HotList>& response) {
-  w.BeginObject();
-  w.Key("items").BeginArray();
-  for (const HotListItem& item : response.answer) {
-    w.BeginObject();
-    w.Key("value").Int(item.value);
-    w.Key("estimated_count").Double(item.estimated_count);
-    w.Key("synopsis_count").Int(item.synopsis_count);
-    w.EndObject();
-  }
-  w.EndArray();
-  w.Key("method").String(response.method);
-  w.Key("response_ns").Int(response.response_ns);
-  w.EndObject();
-}
-
-void WriteSynopsisStats(JsonWriter& w,
-                        const std::vector<SynopsisHandleStats>& synopses) {
-  w.Key("synopses").BeginArray();
-  for (const SynopsisHandleStats& s : synopses) {
-    w.BeginObject();
-    w.Key("name").String(s.name);
-    w.Key("valid").Bool(s.valid);
-    w.Key("cached").Bool(s.cached);
-    w.Key("sharded").Bool(s.sharded);
-    w.Key("footprint").Int(s.footprint);
-    w.Key("epoch").UInt(s.epoch);
-    w.Key("has_view").Bool(s.has_view);
-    w.Key("view_build_ns").Int(s.view_build_ns);
-    w.Key("cache").BeginObject();
-    w.Key("hits").Int(s.cache.hits);
-    w.Key("refreshes").Int(s.cache.refreshes);
-    w.Key("stale_served").Int(s.cache.stale_served);
-    w.EndObject();
-    w.EndObject();
-  }
-  w.EndArray();
-}
-
-/// Parses GET hot-list/frequency/count_where parameters shared by the
-/// engine and catalog handlers.  Each returns nullopt after filling *error
-/// with a 400 response.
-std::optional<HotListQuery> ParseHotListQuery(const HttpRequest& request,
-                                              HttpResponse* error) {
-  const auto k = request.QueryInt("k", 10);
-  const auto beta = request.QueryDouble("beta", 3.0);
-  if (!k.has_value() || *k < 0 || !beta.has_value() || *beta < 0) {
-    *error = JsonError(400, "k and beta must be nonnegative numbers");
-    return std::nullopt;
-  }
-  HotListQuery query;
-  query.k = *k;
-  query.beta = *beta;
-  return query;
-}
-
-struct RangeQuery {
-  ValueRange range;
-  double confidence = 0.95;
-};
-
-std::optional<RangeQuery> ParseRangeQuery(const HttpRequest& request,
-                                          HttpResponse* error) {
-  const auto low =
-      request.QueryInt("low", std::numeric_limits<std::int64_t>::min());
-  const auto high =
-      request.QueryInt("high", std::numeric_limits<std::int64_t>::max());
-  const auto confidence = request.QueryDouble("confidence", 0.95);
-  if (!low.has_value() || !high.has_value() || !confidence.has_value() ||
-      *confidence <= 0.0 || *confidence >= 1.0) {
-    *error = JsonError(400,
-                       "malformed ?low=/?high=/?confidence= (confidence in "
-                       "(0,1))");
-    return std::nullopt;
-  }
-  RangeQuery query;
-  query.range.low = *low;
-  query.range.high = *high;
-  query.confidence = *confidence;
-  return query;
-}
-
-struct QuantileQueryParams {
-  double q = 0.5;
-  double confidence = 0.95;
-};
-
-std::optional<QuantileQueryParams> ParseQuantileQuery(
-    const HttpRequest& request, HttpResponse* error) {
-  const auto q = request.QueryDouble("q", 0.5);
-  const auto confidence = request.QueryDouble("confidence", 0.95);
-  if (!q.has_value() || *q < 0.0 || *q > 1.0 || !confidence.has_value() ||
-      *confidence <= 0.0 || *confidence >= 1.0) {
-    *error = JsonError(
-        400, "malformed ?q=/?confidence= (q in [0,1], confidence in (0,1))");
-    return std::nullopt;
-  }
-  QuantileQueryParams params;
-  params.q = *q;
-  params.confidence = *confidence;
-  return params;
-}
-
-void RegisterRoutes(HttpServer& server, ServingEngine& engine,
-                    const ServeFlags& flags) {
-  // Query routes are cacheable: within one serving epoch the synopsis is
-  // frozen, so identical requests have byte-identical responses.
-  RouteOptions cacheable;
-  cacheable.cacheable = true;
-
-  server.Route("GET", "/healthz", [](const HttpRequest&) {
-    return JsonOk("{\"ok\":true}");
-  });
-
-  server.Route(
-      "GET", "/hotlist",
-      [&engine](const HttpRequest& request) {
-        HttpResponse error;
-        const auto query = ParseHotListQuery(request, &error);
-        if (!query.has_value()) return error;
-        JsonWriter w;
-        WriteHotList(w, engine.HotListAnswer(*query));
-        return JsonOk(w.TakeString());
-      },
-      cacheable);
-
-  server.Route(
-      "GET", "/frequency",
-      [&engine](const HttpRequest& request) {
-        const auto value = request.QueryInt("value", /*fallback=*/0);
-        if (!value.has_value() || !request.QueryParam("value").has_value()) {
-          return JsonError(400, "missing or malformed ?value=");
-        }
-        JsonWriter w;
-        WriteEstimate(w, engine.FrequencyAnswer(*value));
-        return JsonOk(w.TakeString());
-      },
-      cacheable);
-
-  server.Route(
-      "GET", "/count_where",
-      [&engine](const HttpRequest& request) {
-        HttpResponse error;
-        const auto query = ParseRangeQuery(request, &error);
-        if (!query.has_value()) return error;
-        // The range overload answers in O(log m) from the epoch's frozen
-        // view when one exists (identical estimate to the predicate form).
-        JsonWriter w;
-        WriteEstimate(w,
-                      engine.CountWhereAnswer(query->range, query->confidence));
-        return JsonOk(w.TakeString());
-      },
-      cacheable);
-
-  server.Route(
-      "GET", "/quantile",
-      [&engine](const HttpRequest& request) {
-        HttpResponse error;
-        const auto params = ParseQuantileQuery(request, &error);
-        if (!params.has_value()) return error;
-        JsonWriter w;
-        WriteEstimate(w,
-                      engine.QuantileAnswer(params->q, params->confidence));
-        return JsonOk(w.TakeString());
-      },
-      cacheable);
-
-  server.Route(
-      "GET", "/distinct",
-      [&engine](const HttpRequest&) {
-        JsonWriter w;
-        WriteEstimate(w, engine.DistinctValuesAnswer());
-        return JsonOk(w.TakeString());
-      },
-      cacheable);
-
-  // /stats is deliberately NOT cacheable: it reports live counters.
-  server.Route("GET", "/stats", [&engine, &server](const HttpRequest&) {
-    const ServingEngine::Stats stats = engine.GetStats();
-    const HttpServer::ServerStats http = server.Stats();
-    JsonWriter w;
-    w.BeginObject();
-    w.Key("inserts").Int(stats.inserts);
-    w.Key("deletes").Int(stats.deletes);
-    w.Key("concise_valid").Bool(stats.concise_valid);
-    w.Key("shards").UInt(stats.shards);
-    w.Key("footprint_bound").Int(stats.footprint_bound);
-    w.Key("epoch").UInt(stats.epoch);
-    WriteSynopsisStats(w, stats.synopses);
-    w.Key("http").BeginObject();
-    w.Key("accepted").Int(http.accepted);
-    w.Key("requests").Int(http.requests);
-    w.Key("responses_503").Int(http.responses_503);
-    w.Key("bad_requests").Int(http.bad_requests);
-    w.Key("queue_depth").UInt(http.queue_depth);
-    w.Key("reactors").UInt(http.reactors);
-    w.Key("cache_hits").Int(http.cache_hits);
-    w.Key("cache_misses").Int(http.cache_misses);
-    w.Key("cache_bypass").Int(http.cache_bypass);
-    w.Key("cache_invalidations").Int(http.cache_invalidations);
-    w.EndObject();
-    w.EndObject();
-    return JsonOk(w.TakeString());
-  });
-
-  server.Route("POST", "/ingest", [&engine](const HttpRequest& request) {
-    Result<std::vector<Value>> values = ParseValueArray(request.body);
-    if (!values.ok()) {
-      return JsonError(400, values.status().message());
-    }
-    engine.InsertBatch(values.ValueOrDie());
-    JsonWriter w;
-    w.BeginObject();
-    w.Key("ingested").UInt(values.ValueOrDie().size());
-    w.Key("total_inserts").Int(engine.observed_inserts());
-    w.EndObject();
-    return JsonOk(w.TakeString());
-  });
-
-  server.Route("POST", "/delete", [&engine](const HttpRequest& request) {
-    Result<std::vector<Value>> values = ParseValueArray(request.body);
-    if (!values.ok()) {
-      return JsonError(400, values.status().message());
-    }
-    for (Value v : values.ValueOrDie()) {
-      const Status status = engine.Delete(v);
-      if (!status.ok()) return JsonError(409, status.message());
-    }
-    JsonWriter w;
-    w.BeginObject();
-    w.Key("deleted").UInt(values.ValueOrDie().size());
-    w.Key("total_deletes").Int(engine.observed_deletes());
-    w.EndObject();
-    return JsonOk(w.TakeString());
-  });
-
-  if (flags.enable_debug) {
-    // Deterministic worker occupancy for overload tests: holds a worker
-    // thread for ?ms= milliseconds before answering.  Explicitly
-    // worker-dispatched — a blocking GET must never stall a reactor.
-    RouteOptions on_worker;
-    on_worker.dispatch = RouteOptions::Dispatch::kWorker;
-    server.Route(
-        "GET", "/debug/sleep",
-        [](const HttpRequest& request) {
-          const auto ms = request.QueryInt("ms", 100);
-          if (!ms.has_value() || *ms < 0 || *ms > 10000) {
-            return JsonError(400, "ms must be in [0, 10000]");
-          }
-          std::this_thread::sleep_for(std::chrono::milliseconds(*ms));
-          return JsonOk("{\"slept_ms\":" + std::to_string(*ms) + "}");
-        },
-        on_worker);
-  }
-}
-
-/// Maps a catalog Result to the HTTP layer: NotFound (unknown attribute)
-/// answers 404, everything else 500.
-HttpResponse CatalogError(const Status& status) {
-  return JsonError(status.code() == StatusCode::kNotFound ? 404 : 500,
-                   status.message());
-}
-
-HttpResponse HandleCatalogGet(const SynopsisCatalog& catalog,
-                              const std::string& attribute,
-                              std::string_view endpoint,
-                              const HttpRequest& request) {
-  if (endpoint == "hotlist") {
-    HttpResponse error;
-    const auto query = ParseHotListQuery(request, &error);
-    if (!query.has_value()) return error;
-    const auto response = catalog.HotListFor(attribute, *query);
-    if (!response.ok()) return CatalogError(response.status());
-    JsonWriter w;
-    WriteHotList(w, response.ValueOrDie());
-    return JsonOk(w.TakeString());
-  }
-  if (endpoint == "frequency") {
-    const auto value = request.QueryInt("value", /*fallback=*/0);
-    if (!value.has_value() || !request.QueryParam("value").has_value()) {
-      return JsonError(400, "missing or malformed ?value=");
-    }
-    const auto response = catalog.FrequencyFor(attribute, *value);
-    if (!response.ok()) return CatalogError(response.status());
-    JsonWriter w;
-    WriteEstimate(w, response.ValueOrDie());
-    return JsonOk(w.TakeString());
-  }
-  if (endpoint == "count_where") {
-    HttpResponse error;
-    const auto query = ParseRangeQuery(request, &error);
-    if (!query.has_value()) return error;
-    const auto response =
-        catalog.CountWhereFor(attribute, query->range, query->confidence);
-    if (!response.ok()) return CatalogError(response.status());
-    JsonWriter w;
-    WriteEstimate(w, response.ValueOrDie());
-    return JsonOk(w.TakeString());
-  }
-  if (endpoint == "quantile") {
-    HttpResponse error;
-    const auto params = ParseQuantileQuery(request, &error);
-    if (!params.has_value()) return error;
-    const auto response =
-        catalog.QuantileFor(attribute, params->q, params->confidence);
-    if (!response.ok()) return CatalogError(response.status());
-    JsonWriter w;
-    WriteEstimate(w, response.ValueOrDie());
-    return JsonOk(w.TakeString());
-  }
-  if (endpoint == "distinct") {
-    const auto response = catalog.DistinctFor(attribute);
-    if (!response.ok()) return CatalogError(response.status());
-    JsonWriter w;
-    WriteEstimate(w, response.ValueOrDie());
-    return JsonOk(w.TakeString());
-  }
-  if (endpoint == "stats") {
-    const auto stats = catalog.StatsFor(attribute);
-    if (!stats.ok()) return CatalogError(stats.status());
-    const SynopsisRegistry* registry = catalog.registry(attribute);
-    JsonWriter w;
-    w.BeginObject();
-    w.Key("attribute").String(attribute);
-    w.Key("inserts").Int(stats.ValueOrDie().inserts);
-    w.Key("deletes").Int(stats.ValueOrDie().deletes);
-    w.Key("share_words").Int(catalog.ShareOf(attribute));
-    w.Key("epoch").UInt(registry != nullptr ? registry->ServingEpoch() : 0);
-    WriteSynopsisStats(w, stats.ValueOrDie().synopses);
-    w.EndObject();
-    return JsonOk(w.TakeString());
-  }
-  return JsonError(404, "no such endpoint");
-}
-
-HttpResponse HandleCatalogPost(SynopsisCatalog& catalog,
-                               const std::string& attribute,
-                               std::string_view endpoint,
-                               const HttpRequest& request) {
-  if (endpoint != "ingest" && endpoint != "delete") {
-    return JsonError(404, "no such endpoint");
-  }
-  Result<std::vector<Value>> values = ParseValueArray(request.body);
-  if (!values.ok()) return JsonError(400, values.status().message());
-  if (endpoint == "ingest") {
-    const Status status = catalog.InsertBatch(attribute, values.ValueOrDie());
-    if (!status.ok()) return CatalogError(status);
-    JsonWriter w;
-    w.BeginObject();
-    w.Key("attribute").String(attribute);
-    w.Key("ingested").UInt(values.ValueOrDie().size());
-    w.EndObject();
-    return JsonOk(w.TakeString());
-  }
-  for (Value v : values.ValueOrDie()) {
-    StreamOp op;
-    op.kind = StreamOp::Kind::kDelete;
-    op.value = v;
-    const Status status = catalog.Observe(attribute, op);
-    if (!status.ok()) {
-      return status.code() == StatusCode::kNotFound
-                 ? CatalogError(status)
-                 : JsonError(409, status.message());
-    }
-  }
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("attribute").String(attribute);
-  w.Key("deleted").UInt(values.ValueOrDie().size());
-  w.EndObject();
-  return JsonOk(w.TakeString());
-}
-
-/// Serves /attr/{name}/{endpoint} from the sealed catalog.  The path split
-/// happens here so one prefix route covers every attribute.
-void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog) {
-  auto split = [](const std::string& path)
-      -> std::optional<std::pair<std::string, std::string>> {
-    constexpr std::string_view kPrefix = "/attr/";
-    std::string_view rest(path);
-    rest.remove_prefix(kPrefix.size());
-    const std::size_t slash = rest.find('/');
-    if (slash == std::string_view::npos || slash == 0) return std::nullopt;
-    const std::string_view endpoint = rest.substr(slash + 1);
-    if (endpoint.empty() ||
-        endpoint.find('/') != std::string_view::npos) {
-      return std::nullopt;
-    }
-    return std::make_pair(std::string(rest.substr(0, slash)),
-                          std::string(endpoint));
-  };
-
-  // Catalog queries are cacheable like the engine's, except the live
-  // /attr/{name}/stats endpoint, which the predicate carves out.
-  RouteOptions cacheable;
-  cacheable.cacheable = true;
-  cacheable.cacheable_if = [](const HttpRequest& request) {
-    return !request.path.ends_with("/stats");
-  };
-
-  server.RoutePrefix(
-      "GET", "/attr/",
-      [&catalog, split](const HttpRequest& request) {
-        const auto parts = split(request.path);
-        if (!parts.has_value()) {
-          return JsonError(404, "expected /attr/{name}/{endpoint}");
-        }
-        return HandleCatalogGet(catalog, parts->first, parts->second,
-                                request);
-      },
-      cacheable);
-  server.RoutePrefix(
-      "POST", "/attr/", [&catalog, split](const HttpRequest& request) {
-        const auto parts = split(request.path);
-        if (!parts.has_value()) {
-          return JsonError(404, "expected /attr/{name}/{endpoint}");
-        }
-        return HandleCatalogPost(catalog, parts->first, parts->second,
-                                 request);
-      });
-}
-
 int ServeMain(int argc, char** argv) {
   ServeFlags flags;
   if (!ParseFlags(argc, argv, &flags)) {
@@ -727,30 +278,11 @@ int ServeMain(int argc, char** argv) {
   }
 
   HttpServer server(flags.http);
-  RegisterRoutes(server, engine, flags);
+  RouteConfig routes;
+  routes.enable_debug = flags.enable_debug;
+  RegisterServingRoutes(server, engine, routes);
   if (catalog != nullptr) RegisterCatalogRoutes(server, *catalog);
-  // The response caches key on the combined serving epoch of everything
-  // this process serves; nullopt (some snapshot cache stale) forces a miss
-  // so the handler runs, refreshes, and advances the epoch — cached bytes
-  // are never fresher-looking than the staleness bounds allow.
-  SynopsisCatalog* catalog_ptr = catalog.get();
-  server.SetEpochSource(
-      [&engine, catalog_ptr]() -> std::optional<std::uint64_t> {
-        // Queries only refresh the synopsis they touch, so stale caches on
-        // other synopses would keep the epoch unsettled forever; settle
-        // them here (at most one merge per handle per staleness window).
-        if (engine.AnyCacheStale()) engine.SettleCaches();
-        if (catalog_ptr != nullptr && catalog_ptr->AnyCacheStale()) {
-          catalog_ptr->SettleCaches();
-        }
-        if (engine.AnyCacheStale() ||
-            (catalog_ptr != nullptr && catalog_ptr->AnyCacheStale())) {
-          return std::nullopt;  // a refresh failed; serve uncached
-        }
-        std::uint64_t epoch = engine.ServingEpoch();
-        if (catalog_ptr != nullptr) epoch += catalog_ptr->ServingEpoch();
-        return epoch;
-      });
+  InstallEpochSource(server, engine, catalog.get());
   const Status status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "failed to start: %s\n",

@@ -1,0 +1,55 @@
+#include "common/alloc_counter.h"
+
+#ifdef AQUA_COUNT_GLOBAL_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<std::int64_t> g_alloc_count{0};
+}  // namespace
+
+// Counting replacements for the global allocation functions.  Replacing
+// operator new is only legal once per program, so this file must not be
+// linked into binaries that install their own counters (the zero-alloc
+// test uses a TU-local pair instead of this option for exactly that
+// reason).
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace aqua {
+
+std::int64_t GlobalAllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+bool GlobalAllocCountingEnabled() { return true; }
+
+}  // namespace aqua
+
+#else  // !AQUA_COUNT_GLOBAL_ALLOCS
+
+namespace aqua {
+
+std::int64_t GlobalAllocCount() { return 0; }
+
+bool GlobalAllocCountingEnabled() { return false; }
+
+}  // namespace aqua
+
+#endif  // AQUA_COUNT_GLOBAL_ALLOCS

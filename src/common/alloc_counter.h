@@ -1,0 +1,23 @@
+#ifndef AQUA_COMMON_ALLOC_COUNTER_H_
+#define AQUA_COMMON_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace aqua {
+
+/// Process-wide count of global operator-new calls since start, when the
+/// build was configured with -DAQUA_COUNT_GLOBAL_ALLOCS=ON (which makes
+/// alloc_counter.cc replace the global allocation functions with counting
+/// wrappers).  Always 0 in a normal build.  The serving binary exposes it
+/// as /stats "allocs_total", so a smoke test can assert that a window of
+/// warmed GET requests moved it by exactly zero.
+std::int64_t GlobalAllocCount();
+
+/// True when this build counts global allocations (lets consumers of
+/// allocs_total distinguish "zero because nothing allocated" from "zero
+/// because counting is off").
+bool GlobalAllocCountingEnabled();
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_ALLOC_COUNTER_H_

@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "concurrency/shared_synopsis.h"
 #include "container/flat_hash_map.h"
+#include "core/batch_kernels.h"
 #include "random/xoshiro256.h"
 
 namespace aqua {
@@ -35,6 +36,24 @@ concept Mergeable = requires(S s, const S& other) {
 /// snapshots would reuse identical randomness).
 template <typename S>
 concept Reseedable = requires(S s, std::uint64_t seed) { s.Reseed(seed); };
+
+/// Synopses with a prehashed batch fast path: the caller supplies
+/// hashes[i] == IntegerHash{}(values[i]) so the synopsis's own lookups
+/// reuse the hashes the shard router already computed.
+template <typename S>
+concept PrehashedBatchInsertable =
+    requires(S s, std::span<const Value> v,
+             std::span<const std::uint64_t> h) {
+      s.InsertBatchPrehashed(v, h);
+    };
+
+/// Synopses that look up every insert regardless of the threshold (the
+/// counting sample), for which prehashing a whole batch *outside* the shard
+/// lock is always profitable — unlike skip-counting synopses, where most
+/// batch elements never touch the table and eager hashing would be waste.
+template <typename S>
+concept PrehashEager =
+    PrehashedBatchInsertable<S> && requires { requires S::kHashesEveryInsert; };
 
 /// How a ShardedSynopsis assigns stream operations to shards.
 enum class ShardRouting {
@@ -118,17 +137,58 @@ class ShardedSynopsis {
   /// Applies the whole batch under one lock acquisition per touched shard,
   /// through the synopsis-level fast path when available.  kRoundRobin
   /// sends the whole batch to the next shard; kByValue partitions it by
-  /// value hash first (each value's run still reaches its owning shard as
-  /// one contiguous sub-batch).
+  /// value hash first (stably, so each shard sees its substream in stream
+  /// order — the draw streams match element-at-a-time routing exactly).
+  ///
+  /// All routing work — hashing (vector kernel), route computation, and
+  /// the per-shard partition — happens *before* any shard lock is taken;
+  /// each lock is then held only while the shard's synopsis absorbs its
+  /// survivors through the (prehashed, when available) batch fast path.
+  /// Uses a thread-local scratch; producers owning a ShardedBatchInserter
+  /// route through their inserter's private scratch instead.
   void InsertBatch(std::span<const Value> values) {
+    static thread_local ShardPartitionScratch scratch;
+    InsertBatch(values, scratch);
+  }
+
+  /// InsertBatch with a caller-owned routing scratch (all scratch vectors
+  /// retain capacity, so steady-state batches allocate nothing).
+  void InsertBatch(std::span<const Value> values,
+                   ShardPartitionScratch& scratch) {
+    if (values.empty()) return;
     if (routing_ == ShardRouting::kRoundRobin) {
-      InsertBatchToShard(NextShard(), values);
+      const std::size_t index = NextShard();
+      if constexpr (PrehashEager<S>) {
+        // The synopsis hashes every insert anyway; hash the whole batch
+        // with the vector kernel before touching the lock.
+        scratch.hashes.resize(values.size());
+        HashBatch(values, scratch.hashes.data());
+        Shard& shard = *shards_[index];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.synopsis.InsertBatchPrehashed(values, scratch.hashes);
+      } else {
+        InsertBatchToShard(index, values);
+      }
       return;
     }
-    std::vector<std::vector<Value>> groups(shards_.size());
-    for (Value v : values) groups[ShardForValue(v)].push_back(v);
-    for (std::size_t i = 0; i < groups.size(); ++i) {
-      if (!groups[i].empty()) InsertBatchToShard(i, groups[i]);
+    PartitionByShard(values, shards_.size(), scratch);
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::size_t begin = scratch.offsets[s];
+      const std::size_t end = scratch.offsets[s + 1];
+      if (begin == end) continue;
+      const std::span<const Value> group(scratch.values.data() + begin,
+                                         end - begin);
+      Shard& shard = *shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if constexpr (PrehashedBatchInsertable<S>) {
+        shard.synopsis.InsertBatchPrehashed(
+            group, std::span<const std::uint64_t>(
+                       scratch.grouped_hashes.data() + begin, end - begin));
+      } else if constexpr (BatchInsertable<S>) {
+        shard.synopsis.InsertBatch(group);
+      } else {
+        for (Value v : group) shard.synopsis.Insert(v);
+      }
     }
   }
 
@@ -268,7 +328,7 @@ class ShardedBatchInserter {
 
   void Flush() {
     if (buffer_.empty()) return;
-    sharded_->InsertBatch(buffer_);
+    sharded_->InsertBatch(buffer_, scratch_);
     buffer_.clear();
   }
 
@@ -276,6 +336,10 @@ class ShardedBatchInserter {
   ShardedSynopsis<S>* sharded_;
   std::size_t batch_size_;
   std::vector<Value> buffer_;
+  // Private routing scratch: hashes/routes/partitions are computed here,
+  // outside any shard lock, and the vectors keep their capacity across
+  // flushes so a steady-state producer allocates nothing.
+  ShardPartitionScratch scratch_;
 };
 
 }  // namespace aqua

@@ -1,13 +1,20 @@
 #ifndef AQUA_CONTAINER_FLAT_HASH_MAP_H_
 #define AQUA_CONTAINER_FLAT_HASH_MAP_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+
+#if !defined(AQUA_FORCE_SCALAR) && defined(__SSE2__)
+#define AQUA_MAP_GROUP_SSE2 1
+#include <emmintrin.h>
+#endif
 
 namespace aqua {
 
@@ -28,14 +35,115 @@ struct IntegerHash {
   }
 };
 
-/// Open-addressing hash map with Robin Hood probing and backward-shift
-/// deletion.
+namespace map_internal {
+
+/// A 16-slot window of control bytes probed with one vector compare.
+///
+/// Each slot owns one control byte: 0x80 (`kEmpty`) when vacant, else the
+/// low 7 bits of the slot key's hash ("H2").  Because deletion is
+/// backward-shift (below) there are no tombstones, so "high bit set" means
+/// exactly "empty" and a probe needs only two masks per group: which slots
+/// *might* hold the key (H2 equality, verified against the actual key) and
+/// whether the group contains an empty slot (which terminates the probe —
+/// linear probing keeps every key reachable from its home bucket without
+/// crossing an empty slot).
+inline constexpr std::uint8_t kEmptyCtrl = 0x80;
+inline constexpr std::size_t kGroupWidth = 16;
+
+#if defined(AQUA_MAP_GROUP_SSE2)
+
+class Group {
+ public:
+  explicit Group(const std::uint8_t* ctrl)
+      : ctrl_(_mm_loadu_si128(reinterpret_cast<const __m128i*>(ctrl))) {}
+
+  /// Bit i set iff slot i's control byte equals `h2` (branchless match
+  /// mask; candidates still verify the full key).
+  std::uint32_t Match(std::uint8_t h2) const {
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(
+        _mm_cmpeq_epi8(ctrl_, _mm_set1_epi8(static_cast<char>(h2)))));
+  }
+
+  /// Bit i set iff slot i is empty.  With no tombstones the high bit alone
+  /// distinguishes empty from full, so this is a single movemask.
+  std::uint32_t MatchEmpty() const {
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(ctrl_));
+  }
+
+ private:
+  __m128i ctrl_;
+};
+
+#else  // portable SWAR fallback (also the AQUA_FORCE_SCALAR leg)
+
+class Group {
+ public:
+  explicit Group(const std::uint8_t* ctrl) {
+    std::memcpy(&lo_, ctrl, 8);
+    std::memcpy(&hi_, ctrl + 8, 8);
+  }
+
+  std::uint32_t Match(std::uint8_t h2) const {
+    const std::uint64_t probe = 0x0101010101010101ULL * h2;
+    return Compress(ZeroBytes(lo_ ^ probe)) |
+           (Compress(ZeroBytes(hi_ ^ probe)) << 8);
+  }
+
+  std::uint32_t MatchEmpty() const {
+    constexpr std::uint64_t kHigh = 0x8080808080808080ULL;
+    return Compress(lo_ & kHigh) | (Compress(hi_ & kHigh) << 8);
+  }
+
+ private:
+  /// 0x80 in every byte of the result whose byte in `x` is zero — the
+  /// carry-free exact form ((x&0x7f..)+0x7f.. can never carry out of a
+  /// byte), so unlike the classic (x-1)&~x trick there are no false
+  /// positives after a matching byte.
+  static std::uint64_t ZeroBytes(std::uint64_t x) {
+    constexpr std::uint64_t k7f = 0x7f7f7f7f7f7f7f7fULL;
+    const std::uint64_t y = (x & k7f) + k7f;
+    return ~(y | x | k7f);
+  }
+
+  /// Gathers the per-byte 0x80 flags of `m` into an 8-bit mask (bit i =
+  /// byte i), mirroring movemask.
+  static std::uint32_t Compress(std::uint64_t m) {
+    return static_cast<std::uint32_t>(((m >> 7) * 0x0102040810204080ULL) >>
+                                      56);
+  }
+
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+};
+
+#endif  // AQUA_MAP_GROUP_SSE2
+
+}  // namespace map_internal
+
+/// Open-addressing hash map with SwissTable-style 16-slot control-byte
+/// groups and backward-shift deletion.
 ///
 /// This is the "look-up hash table [that] can be constructed to enable
 /// constant-time look-ups" of §3 — the lookup structure backing every
-/// synopsis in the library.  Compared to std::unordered_map it stores
-/// entries inline in one flat array (no per-node allocation), which both
-/// matches the paper's small-footprint goal and keeps probes cache-local.
+/// synopsis in the library.  Entries live inline in one flat array (no
+/// per-node allocation, matching the paper's small-footprint goal); a
+/// separate byte-per-slot control array is probed 16 slots at a time with a
+/// single vector compare (SSE2) or a SWAR equivalent, so a lookup usually
+/// decides membership from one cache line of metadata before touching any
+/// key.
+///
+/// The probe sequence is *linear* in slot order (groups are unaligned
+/// windows starting at the home slot), which is what keeps classic
+/// backward-shift deletion valid: erasing a slot scans the cluster behind
+/// it and moves each entry back iff its home bucket is at or before the
+/// hole in cyclic probe order, restoring the no-empty-slot-inside-a-chain
+/// invariant without tombstones.  No tombstones means load factor == true
+/// occupancy and probes never degrade after churn.
+///
+/// The *Prehashed variants let batch callers hash with the vector kernels
+/// (core/batch_kernels.h) and reuse the same hash for shard routing and the
+/// probe; PrefetchHash overlaps the memory latency of upcoming probes in
+/// those loops.
 ///
 /// Requirements: K and V are trivially destructible value types (we store
 /// 64-bit values and counts).  Not thread-safe.
@@ -50,11 +158,7 @@ class FlatHashMap {
   FlatHashMap() { Rehash(kMinCapacity); }
 
   /// Pre-sizes so that `n` entries fit without rehashing.
-  explicit FlatHashMap(std::size_t n) {
-    std::size_t cap = kMinCapacity;
-    while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
-    Rehash(cap);
-  }
+  explicit FlatHashMap(std::size_t n) { Rehash(CapacityFor(n)); }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -62,47 +166,69 @@ class FlatHashMap {
 
   /// Returns a pointer to the value for `key`, or nullptr if absent.
   /// The pointer is invalidated by any mutation of the map.
-  V* Find(const K& key) {
-    const std::size_t idx = FindIndex(key);
-    return idx == kNpos ? nullptr : &slots_[idx].entry.value;
+  V* Find(const K& key) { return FindPrehashed(key, hash_(key)); }
+  const V* Find(const K& key) const { return FindPrehashed(key, hash_(key)); }
+
+  /// Find with a caller-supplied hash (must equal Hash{}(key)).
+  V* FindPrehashed(const K& key, std::size_t hash) {
+    const std::size_t idx = FindIndex(key, hash);
+    return idx == kNpos ? nullptr : &slots_[idx].value;
   }
-  const V* Find(const K& key) const {
-    const std::size_t idx = FindIndex(key);
-    return idx == kNpos ? nullptr : &slots_[idx].entry.value;
+  const V* FindPrehashed(const K& key, std::size_t hash) const {
+    const std::size_t idx = FindIndex(key, hash);
+    return idx == kNpos ? nullptr : &slots_[idx].value;
   }
 
-  bool Contains(const K& key) const { return FindIndex(key) != kNpos; }
+  bool Contains(const K& key) const {
+    return FindIndex(key, hash_(key)) != kNpos;
+  }
 
   /// Inserts `key` with `value` if absent; returns {pointer to the mapped
   /// value, true if newly inserted}.
   std::pair<V*, bool> TryInsert(const K& key, const V& value) {
+    return TryInsertPrehashed(key, hash_(key), value);
+  }
+
+  /// TryInsert with a caller-supplied hash (must equal Hash{}(key)).
+  std::pair<V*, bool> TryInsertPrehashed(const K& key, std::size_t hash,
+                                         const V& value) {
     MaybeGrow();
-    return InsertInternal(key, value);
+    return InsertInternal(key, hash, value);
   }
 
   /// Returns the value for `key`, default-constructing it if absent.
   V& operator[](const K& key) {
     MaybeGrow();
-    return *InsertInternal(key, V{}).first;
+    return *InsertInternal(key, hash_(key), V{}).first;
   }
 
   /// Removes `key`; returns true if it was present.
   bool Erase(const K& key) {
-    const std::size_t idx = FindIndex(key);
+    const std::size_t idx = FindIndex(key, hash_(key));
     if (idx == kNpos) return false;
     EraseIndex(idx);
     return true;
   }
 
   void Clear() {
-    for (Slot& s : slots_) s.distance = kEmpty;
+    std::memset(ctrl_.data(), map_internal::kEmptyCtrl, ctrl_.size());
     size_ = 0;
   }
 
+  /// Grows (never shrinks) so that `n` entries fit without rehashing —
+  /// batch ingest reserves its upper bound up front so a batch never
+  /// rehashes mid-flight.
   void Reserve(std::size_t n) {
-    std::size_t cap = slots_.size();
-    while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
-    if (cap != slots_.size()) Rehash(cap);
+    const std::size_t cap = CapacityFor(n);
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+  /// Prefetches the probe destination for `hash` — batch loops issue this a
+  /// few elements ahead so probe cache misses overlap.
+  void PrefetchHash(std::size_t hash) const {
+    const std::size_t idx = H1(hash) & mask_;
+    __builtin_prefetch(ctrl_.data() + idx);
+    __builtin_prefetch(slots_.data() + idx);
   }
 
   /// Forward iterator over occupied entries (unspecified order).
@@ -112,8 +238,8 @@ class FlatHashMap {
         : map_(map), idx_(idx) {
       SkipEmpty();
     }
-    const Entry& operator*() const { return map_->slots_[idx_].entry; }
-    const Entry* operator->() const { return &map_->slots_[idx_].entry; }
+    const Entry& operator*() const { return map_->slots_[idx_]; }
+    const Entry* operator->() const { return &map_->slots_[idx_]; }
     const_iterator& operator++() {
       ++idx_;
       SkipEmpty();
@@ -125,7 +251,7 @@ class FlatHashMap {
    private:
     void SkipEmpty() {
       while (idx_ < map_->slots_.size() &&
-             map_->slots_[idx_].distance == kEmpty) {
+             map_->ctrl_[idx_] == map_internal::kEmptyCtrl) {
         ++idx_;
       }
     }
@@ -142,96 +268,119 @@ class FlatHashMap {
   /// every surviving entry is visited exactly once.
   template <typename Fn>
   void RetainIf(Fn&& fn) {
-    // Backward-shift deletion moves later elements of the same cluster one
-    // slot back; scanning from the end guarantees shifted-in elements at or
-    // before the cursor were already visited, and a shifted wrap-around
-    // element (from slot 0's cluster) was visited too.
-    //
-    // Simpler and obviously correct: collect keys first, then apply.
+    // Backward-shift deletion moves cluster members while the scan runs;
+    // collecting keys first then re-finding each is simpler and obviously
+    // visits every original entry exactly once.
     scratch_keys_.clear();
     scratch_keys_.reserve(size_);
-    for (const Slot& s : slots_) {
-      if (s.distance != kEmpty) scratch_keys_.push_back(s.entry.key);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (ctrl_[i] != map_internal::kEmptyCtrl) {
+        scratch_keys_.push_back(slots_[i].key);
+      }
     }
     for (const K& key : scratch_keys_) {
-      const std::size_t idx = FindIndex(key);
+      const std::size_t idx = FindIndex(key, hash_(key));
       AQUA_DCHECK(idx != kNpos);
-      if (!fn(slots_[idx].entry.key, slots_[idx].entry.value)) {
+      if (!fn(slots_[idx].key, slots_[idx].value)) {
         EraseIndex(idx);
       }
     }
   }
 
  private:
+  using Group = map_internal::Group;
   static constexpr std::size_t kMinCapacity = 16;
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-  static constexpr std::uint16_t kEmpty = 0;
   // Max load factor kMaxLoadNum / kMaxLoadDen = 7/8.
   static constexpr std::size_t kMaxLoadNum = 7;
   static constexpr std::size_t kMaxLoadDen = 8;
 
-  struct Slot {
-    Entry entry;
-    // Probe distance + 1; kEmpty (0) marks an unoccupied slot.
-    std::uint16_t distance = kEmpty;
-  };
+  // The hash splits into a bucket selector (H1) and the 7-bit control byte
+  // (H2); keeping the H2 bits out of H1 decorrelates the match mask from
+  // the probe position.
+  static std::size_t H1(std::size_t hash) { return hash >> 7; }
+  static std::uint8_t H2(std::size_t hash) {
+    return static_cast<std::uint8_t>(hash & 0x7f);
+  }
 
-  std::size_t Bucket(const K& key) const { return hash_(key) & mask_; }
+  static std::size_t CapacityFor(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while (cap * kMaxLoadNum < n * kMaxLoadDen) cap <<= 1;
+    return cap;
+  }
 
-  std::size_t FindIndex(const K& key) const {
-    std::size_t idx = Bucket(key);
-    std::uint16_t distance = 1;
+  /// Writes a control byte and its wraparound mirror: the first kGroupWidth
+  /// bytes are duplicated past the end so unaligned group loads near the
+  /// top of the table see the wrapped slots without masking.
+  void SetCtrl(std::size_t i, std::uint8_t v) {
+    ctrl_[i] = v;
+    ctrl_[((i - map_internal::kGroupWidth) & mask_) +
+          map_internal::kGroupWidth] = v;
+  }
+
+  std::size_t FindIndex(const K& key, std::size_t hash) const {
+    const std::uint8_t h2 = H2(hash);
+    std::size_t idx = H1(hash) & mask_;
     while (true) {
-      const Slot& slot = slots_[idx];
-      if (slot.distance == kEmpty || slot.distance < distance) return kNpos;
-      if (slot.distance == distance && slot.entry.key == key) return idx;
-      idx = (idx + 1) & mask_;
-      ++distance;
+      const Group group(ctrl_.data() + idx);
+      for (std::uint32_t m = group.Match(h2); m != 0; m &= m - 1) {
+        const std::size_t slot =
+            (idx + static_cast<std::size_t>(std::countr_zero(m))) & mask_;
+        if (slots_[slot].key == key) return slot;
+      }
+      // An empty slot ends the cluster: the key, were it present, would
+      // have been placed before it.
+      if (group.MatchEmpty() != 0) return kNpos;
+      idx = (idx + map_internal::kGroupWidth) & mask_;
     }
   }
 
-  std::pair<V*, bool> InsertInternal(const K& key, const V& value) {
-    std::size_t idx = Bucket(key);
-    std::uint16_t distance = 1;
-    Entry carried{key, value};
-    std::size_t result_idx = kNpos;
+  std::pair<V*, bool> InsertInternal(const K& key, std::size_t hash,
+                                     const V& value) {
+    const std::uint8_t h2 = H2(hash);
+    std::size_t idx = H1(hash) & mask_;
     while (true) {
-      Slot& slot = slots_[idx];
-      if (slot.distance == kEmpty) {
-        slot.entry = carried;
-        slot.distance = distance;
+      const Group group(ctrl_.data() + idx);
+      for (std::uint32_t m = group.Match(h2); m != 0; m &= m - 1) {
+        const std::size_t slot =
+            (idx + static_cast<std::size_t>(std::countr_zero(m))) & mask_;
+        if (slots_[slot].key == key) return {&slots_[slot].value, false};
+      }
+      const std::uint32_t empty = group.MatchEmpty();
+      if (empty != 0) {
+        // First empty slot in probe order is the insertion point (no
+        // tombstones to reuse).
+        const std::size_t slot =
+            (idx + static_cast<std::size_t>(std::countr_zero(empty))) & mask_;
+        SetCtrl(slot, h2);
+        slots_[slot] = Entry{key, value};
         ++size_;
-        if (result_idx == kNpos) result_idx = idx;
-        return {&slots_[result_idx].entry.value, true};
+        return {&slots_[slot].value, true};
       }
-      if (result_idx == kNpos && slot.distance == distance &&
-          slot.entry.key == key) {
-        return {&slot.entry.value, false};
-      }
-      if (slot.distance < distance) {
-        // Robin Hood: the carried (poorer) entry takes this slot.
-        std::swap(slot.entry, carried);
-        std::swap(slot.distance, distance);
-        if (result_idx == kNpos) result_idx = idx;
-      }
-      idx = (idx + 1) & mask_;
-      ++distance;
-      AQUA_CHECK_LT(distance, std::uint16_t(0xFFFF));
+      idx = (idx + map_internal::kGroupWidth) & mask_;
     }
   }
 
-  void EraseIndex(std::size_t idx) {
-    // Backward-shift deletion keeps probe distances tight (no tombstones).
-    std::size_t cur = idx;
+  void EraseIndex(std::size_t hole) {
+    // Backward-shift deletion: walk the cluster after the hole and pull
+    // back every entry whose home bucket is at or before the hole in
+    // cyclic probe order — ((i - home) & mask) >= ((i - hole) & mask) —
+    // re-tightening the chain so no probe ever crosses an empty slot to
+    // reach a live key.  Stops at the cluster's end (first empty slot).
+    std::size_t pos = hole;
+    std::size_t i = hole;
     while (true) {
-      const std::size_t next = (cur + 1) & mask_;
-      Slot& next_slot = slots_[next];
-      if (next_slot.distance <= 1) break;  // empty or at its home bucket
-      slots_[cur].entry = next_slot.entry;
-      slots_[cur].distance = next_slot.distance - 1;
-      cur = next;
+      i = (i + 1) & mask_;
+      const std::uint8_t c = ctrl_[i];
+      if (c == map_internal::kEmptyCtrl) break;
+      const std::size_t home = H1(hash_(slots_[i].key)) & mask_;
+      if (((i - home) & mask_) >= ((i - pos) & mask_)) {
+        slots_[pos] = slots_[i];
+        SetCtrl(pos, c);
+        pos = i;
+      }
     }
-    slots_[cur].distance = kEmpty;
+    SetCtrl(pos, map_internal::kEmptyCtrl);
     --size_;
   }
 
@@ -243,17 +392,42 @@ class FlatHashMap {
 
   void Rehash(std::size_t new_capacity) {
     AQUA_DCHECK((new_capacity & (new_capacity - 1)) == 0);
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(new_capacity, Slot{});
+    AQUA_DCHECK(new_capacity >= kMinCapacity);
+    std::vector<Entry> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_ctrl = std::move(ctrl_);
+    slots_.assign(new_capacity, Entry{});
+    ctrl_.assign(new_capacity + map_internal::kGroupWidth,
+                 map_internal::kEmptyCtrl);
     mask_ = new_capacity - 1;
     size_ = 0;
-    for (const Slot& s : old) {
-      if (s.distance != kEmpty) InsertInternal(s.entry.key, s.entry.value);
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_ctrl[i] != map_internal::kEmptyCtrl) {
+        InsertKnownAbsent(old_slots[i]);
+      }
+    }
+  }
+
+  void InsertKnownAbsent(const Entry& entry) {
+    const std::size_t hash = hash_(entry.key);
+    std::size_t idx = H1(hash) & mask_;
+    while (true) {
+      const Group group(ctrl_.data() + idx);
+      const std::uint32_t empty = group.MatchEmpty();
+      if (empty != 0) {
+        const std::size_t slot =
+            (idx + static_cast<std::size_t>(std::countr_zero(empty))) & mask_;
+        SetCtrl(slot, H2(hash));
+        slots_[slot] = entry;
+        ++size_;
+        return;
+      }
+      idx = (idx + map_internal::kGroupWidth) & mask_;
     }
   }
 
   Hash hash_;
-  std::vector<Slot> slots_;
+  std::vector<Entry> slots_;
+  std::vector<std::uint8_t> ctrl_;
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
   std::vector<K> scratch_keys_;

@@ -1,0 +1,199 @@
+#include "core/batch_kernels.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "container/flat_hash_map.h"
+
+// Kernel selection: AQUA_FORCE_SCALAR wins, then the widest ISA the TU is
+// compiled for.  Exactly one of AQUA_KERNEL_{AVX2,SSE2,NEON,SCALAR} ends up
+// defined.
+#if defined(AQUA_FORCE_SCALAR)
+#define AQUA_KERNEL_SCALAR 1
+#elif defined(__AVX2__)
+#define AQUA_KERNEL_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__)
+#define AQUA_KERNEL_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON)
+#define AQUA_KERNEL_NEON 1
+#include <arm_neon.h>
+#else
+#define AQUA_KERNEL_SCALAR 1
+#endif
+
+namespace aqua {
+namespace {
+
+// SplitMix64 finalizer constants — must match IntegerHash exactly.
+constexpr std::uint64_t kMul1 = 0xbf58476d1ce4e5b9ULL;
+constexpr std::uint64_t kMul2 = 0x94d049bb133111ebULL;
+
+inline std::uint64_t ScalarHash(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= kMul1;
+  x ^= x >> 27;
+  x *= kMul2;
+  x ^= x >> 31;
+  return x;
+}
+
+#if defined(AQUA_KERNEL_AVX2)
+
+// 64x64 -> low-64 multiply per lane.  AVX2 has no 64-bit multiply; build it
+// from 32x32->64 partial products: lo*lo + ((lo*hi + hi*lo) << 32).  The
+// high cross-product bits shifted past 2^64 drop out, which is exactly the
+// mod-2^64 semantics of the scalar `*=`.
+inline __m256i MulLo64(__m256i a, __m256i b, __m256i b_hi) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i lo_lo = _mm256_mul_epu32(a, b);
+  const __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi),
+                                         _mm256_mul_epu32(a_hi, b));
+  return _mm256_add_epi64(lo_lo, _mm256_slli_epi64(cross, 32));
+}
+
+void HashBatchImpl(const Value* values, std::size_t n, std::uint64_t* hashes) {
+  const __m256i m1 = _mm256_set1_epi64x(static_cast<long long>(kMul1));
+  const __m256i m1_hi = _mm256_srli_epi64(m1, 32);
+  const __m256i m2 = _mm256_set1_epi64x(static_cast<long long>(kMul2));
+  const __m256i m2_hi = _mm256_srli_epi64(m2, 32);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+    x = MulLo64(x, m1, m1_hi);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+    x = MulLo64(x, m2, m2_hi);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(hashes + i), x);
+  }
+  for (; i < n; ++i) {
+    hashes[i] = ScalarHash(static_cast<std::uint64_t>(values[i]));
+  }
+}
+
+#elif defined(AQUA_KERNEL_SSE2)
+
+inline __m128i MulLo64(__m128i a, __m128i b, __m128i b_hi) {
+  const __m128i a_hi = _mm_srli_epi64(a, 32);
+  const __m128i lo_lo = _mm_mul_epu32(a, b);
+  const __m128i cross =
+      _mm_add_epi64(_mm_mul_epu32(a, b_hi), _mm_mul_epu32(a_hi, b));
+  return _mm_add_epi64(lo_lo, _mm_slli_epi64(cross, 32));
+}
+
+void HashBatchImpl(const Value* values, std::size_t n, std::uint64_t* hashes) {
+  const __m128i m1 = _mm_set1_epi64x(static_cast<long long>(kMul1));
+  const __m128i m1_hi = _mm_srli_epi64(m1, 32);
+  const __m128i m2 = _mm_set1_epi64x(static_cast<long long>(kMul2));
+  const __m128i m2_hi = _mm_srli_epi64(m2, 32);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(values + i));
+    x = _mm_xor_si128(x, _mm_srli_epi64(x, 30));
+    x = MulLo64(x, m1, m1_hi);
+    x = _mm_xor_si128(x, _mm_srli_epi64(x, 27));
+    x = MulLo64(x, m2, m2_hi);
+    x = _mm_xor_si128(x, _mm_srli_epi64(x, 31));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(hashes + i), x);
+  }
+  for (; i < n; ++i) {
+    hashes[i] = ScalarHash(static_cast<std::uint64_t>(values[i]));
+  }
+}
+
+#elif defined(AQUA_KERNEL_NEON)
+
+// NEON 64x64 -> low-64 via the same 32-bit partial products: vmull_u32 on
+// the narrowed low/high halves.
+inline uint64x2_t MulLo64(uint64x2_t a, std::uint64_t b) {
+  const uint32x2_t a_lo = vmovn_u64(a);
+  const uint32x2_t a_hi = vshrn_n_u64(a, 32);
+  const uint32x2_t b_lo = vdup_n_u32(static_cast<std::uint32_t>(b));
+  const uint32x2_t b_hi = vdup_n_u32(static_cast<std::uint32_t>(b >> 32));
+  uint64x2_t cross = vmull_u32(a_lo, b_hi);
+  cross = vmlal_u32(cross, a_hi, b_lo);
+  return vaddq_u64(vmull_u32(a_lo, b_lo), vshlq_n_u64(cross, 32));
+}
+
+void HashBatchImpl(const Value* values, std::size_t n, std::uint64_t* hashes) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t x =
+        vld1q_u64(reinterpret_cast<const std::uint64_t*>(values + i));
+    x = veorq_u64(x, vshrq_n_u64(x, 30));
+    x = MulLo64(x, kMul1);
+    x = veorq_u64(x, vshrq_n_u64(x, 27));
+    x = MulLo64(x, kMul2);
+    x = veorq_u64(x, vshrq_n_u64(x, 31));
+    vst1q_u64(hashes + i, x);
+  }
+  for (; i < n; ++i) {
+    hashes[i] = ScalarHash(static_cast<std::uint64_t>(values[i]));
+  }
+}
+
+#else  // AQUA_KERNEL_SCALAR
+
+void HashBatchImpl(const Value* values, std::size_t n, std::uint64_t* hashes) {
+  for (std::size_t i = 0; i < n; ++i) {
+    hashes[i] = ScalarHash(static_cast<std::uint64_t>(values[i]));
+  }
+}
+
+#endif
+
+}  // namespace
+
+std::string_view BatchKernelName() {
+#if defined(AQUA_KERNEL_AVX2)
+  return "avx2";
+#elif defined(AQUA_KERNEL_SSE2)
+  return "sse2";
+#elif defined(AQUA_KERNEL_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+void HashBatch(std::span<const Value> values, std::uint64_t* hashes) {
+  HashBatchImpl(values.data(), values.size(), hashes);
+}
+
+void RouteFromHashes(std::span<const std::uint64_t> hashes,
+                     std::size_t num_shards, std::uint32_t* routes) {
+  AQUA_DCHECK_GE(num_shards, std::size_t{1});
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    routes[i] = static_cast<std::uint32_t>(hashes[i] % num_shards);
+  }
+}
+
+void PartitionByShard(std::span<const Value> values, std::size_t num_shards,
+                      ShardPartitionScratch& scratch) {
+  const std::size_t n = values.size();
+  scratch.hashes.resize(n);
+  scratch.routes.resize(n);
+  scratch.values.resize(n);
+  scratch.grouped_hashes.resize(n);
+  scratch.offsets.assign(num_shards + 1, 0);
+
+  HashBatch(values, scratch.hashes.data());
+  RouteFromHashes(scratch.hashes, num_shards, scratch.routes.data());
+
+  // Counting sort by route: count, exclusive prefix sum, stable scatter.
+  for (std::size_t i = 0; i < n; ++i) ++scratch.offsets[scratch.routes[i] + 1];
+  for (std::size_t s = 1; s <= num_shards; ++s) {
+    scratch.offsets[s] += scratch.offsets[s - 1];
+  }
+  scratch.cursors.assign(scratch.offsets.begin(), scratch.offsets.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t at = scratch.cursors[scratch.routes[i]]++;
+    scratch.values[at] = values[i];
+    scratch.grouped_hashes[at] = scratch.hashes[i];
+  }
+}
+
+}  // namespace aqua

@@ -3,15 +3,34 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "core/batch_kernels.h"
 
 namespace aqua {
+
+namespace {
+
+// The entry table is pre-sized to the footprint bound once, at
+// construction: entries can never exceed the bound, so the table never
+// rehashes mid-stream (batches never rehash mid-flight) and — critically —
+// its slot layout evolves identically whether the stream arrives
+// per-element or batched, which the draw-for-draw equivalence of the
+// threshold-raise eviction scan depends on.  Capped so a pathological
+// bound cannot pre-allocate unbounded memory (above the cap the table
+// grows by doubling, still deterministically in both paths).
+std::size_t PresizeEntries(Words footprint_bound) {
+  return static_cast<std::size_t>(
+      std::min<Words>(footprint_bound, Words{1} << 20));
+}
+
+}  // namespace
 
 ConciseSample::ConciseSample(const ConciseSampleOptions& options)
     : footprint_bound_(options.footprint_bound),
       use_skip_counting_(options.use_skip_counting),
       policy_(options.policy ? options.policy : DefaultThresholdPolicy()),
       random_(options.seed),
-      selector_(random_, 1.0) {
+      selector_(random_, 1.0),
+      entries_(PresizeEntries(options.footprint_bound)) {
   AQUA_CHECK_GE(footprint_bound_, 2)
       << "a concise sample needs at least 2 words (one pair)";
 }
@@ -67,6 +86,17 @@ void ConciseSample::Insert(Value value) {
 }
 
 void ConciseSample::InsertBatch(std::span<const Value> values) {
+  InsertBatchCore(values, nullptr);
+}
+
+void ConciseSample::InsertBatchPrehashed(
+    std::span<const Value> values, std::span<const std::uint64_t> hashes) {
+  AQUA_DCHECK_EQ(values.size(), hashes.size());
+  InsertBatchCore(values, hashes.data());
+}
+
+void ConciseSample::InsertBatchCore(std::span<const Value> values,
+                                    const std::uint64_t* hashes) {
   if (!use_skip_counting_) {
     // The ablation baseline flips one coin per element anyway; nothing to
     // amortize beyond the call overhead.
@@ -75,6 +105,26 @@ void ConciseSample::InsertBatch(std::span<const Value> values) {
   }
   std::size_t i = 0;
   const std::size_t n = values.size();
+  // Dense start-up regime: at τ == 1 every element is selected and the
+  // selector consumes no randomness at all, so the chunk funnels straight
+  // through the vector hash kernel with the probe prefetched a few
+  // elements ahead.  Draw-for-draw identical to per-element Insert(),
+  // which also takes no draws at τ == 1.
+  while (i < n && threshold_ == 1.0) {
+    std::uint64_t chunk_hashes[kBatchChunk];
+    const std::size_t m = std::min(n - i, kBatchChunk);
+    const std::uint64_t* h = hashes != nullptr ? hashes + i : chunk_hashes;
+    if (hashes == nullptr) HashBatch(values.subspan(i, m), chunk_hashes);
+    std::size_t j = 0;
+    while (j < m && threshold_ == 1.0) {
+      if (j + 8 < m) entries_.PrefetchHash(h[j + 8]);
+      ++observed_;
+      SelectPrehashed(values[i + j], h[j]);
+      ++j;
+      while (footprint_ > footprint_bound_) RaiseThreshold();
+    }
+    i += j;
+  }
   while (i < n) {
     const auto left = static_cast<std::int64_t>(n - i);
     const std::int64_t pending = selector_.PendingSkip();
@@ -91,7 +141,11 @@ void ConciseSample::InsertBatch(std::span<const Value> values) {
     const bool selected = selector_.ShouldSelect(random_);
     AQUA_DCHECK(selected);
     (void)selected;
-    Select(values[i]);
+    if (hashes != nullptr) {
+      SelectPrehashed(values[i], hashes[i]);
+    } else {
+      Select(values[i]);
+    }
     ++i;
     // Same per-selection overflow handling as Insert(): footprint checks
     // are already amortized to one per *selected* element.
@@ -109,7 +163,11 @@ Status ConciseSample::MergeFrom(const ConciseSample& other) {
 
   // Align the incoming side while unioning: each of an entry's count points
   // survives independently with probability τ_other/τ' (an exact binomial
-  // draw — the batch counterpart of per-point coins).
+  // draw — the batch counterpart of per-point coins).  The union can
+  // transiently exceed the footprint bound before the overflow path trims
+  // it back, so reserve its upper bound up front — the merge scan never
+  // rehashes mid-flight.
+  entries_.Reserve(entries_.size() + other.entries_.size());
   const double keep = other.threshold_ / target;
   for (const auto& entry : other.entries_) {
     const Count kept =
@@ -144,8 +202,12 @@ void ConciseSample::Reseed(std::uint64_t seed) {
 }
 
 void ConciseSample::Select(Value value) {
+  SelectPrehashed(value, IntegerHash{}(value));
+}
+
+void ConciseSample::SelectPrehashed(Value value, std::uint64_t hash) {
   ++cost_.lookups;
-  auto [count, inserted] = entries_.TryInsert(value, 1);
+  auto [count, inserted] = entries_.TryInsertPrehashed(value, hash, 1);
   if (inserted) {
     // New singleton: one more word, one more sample point.
     footprint_ += 1;

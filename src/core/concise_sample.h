@@ -81,10 +81,18 @@ class ConciseSample final : public Synopsis {
   /// Observes a whole batch of inserted values.  Exploits the geometric
   /// skip counter to jump over unselected elements in O(1) each
   /// (SkipSampler::SkipAhead), so the cost is O(#selected + 1) per batch
-  /// instead of one call (and one countdown decrement) per element.
+  /// instead of one call (and one countdown decrement) per element; in the
+  /// dense start-up regime (τ == 1, everything selected) the batch is
+  /// funneled through the vector hash kernel in chunks instead.
   /// Draw-for-draw equivalent to calling Insert() on each element in order:
   /// the random stream, entries, threshold, and all counters end identical.
   void InsertBatch(std::span<const Value> values);
+
+  /// InsertBatch with caller-supplied hashes (hashes[i] must equal
+  /// IntegerHash{}(values[i]) — e.g. computed once by the shard router and
+  /// reused here).  Identical behavior to InsertBatch.
+  void InsertBatchPrehashed(std::span<const Value> values,
+                            std::span<const std::uint64_t> hashes);
 
   /// Merges `other` — a concise sample of a *disjoint* substream — into
   /// this sample (Theorem 2 threshold alignment): both sides are aligned to
@@ -148,6 +156,9 @@ class ConciseSample final : public Synopsis {
 
  private:
   void Select(Value value);
+  void SelectPrehashed(Value value, std::uint64_t hash);
+  void InsertBatchCore(std::span<const Value> values,
+                       const std::uint64_t* hashes);
   void RaiseThreshold();
   /// Theorem-2 subsampling scan: retains each sample point independently
   /// with probability τ/new_threshold, then installs the new threshold and

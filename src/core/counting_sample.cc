@@ -1,14 +1,31 @@
 #include "core/counting_sample.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "core/batch_kernels.h"
 
 namespace aqua {
+
+namespace {
+
+// Pre-size the entry table to the footprint bound (capped) so it never
+// rehashes mid-stream and its slot layout evolves identically in the
+// per-element and batched paths — see the matching helper in
+// concise_sample.cc for why that matters.
+std::size_t PresizeEntries(Words footprint_bound) {
+  return static_cast<std::size_t>(
+      std::min<Words>(footprint_bound, Words{1} << 20));
+}
+
+}  // namespace
 
 CountingSample::CountingSample(const CountingSampleOptions& options)
     : footprint_bound_(options.footprint_bound),
       use_skip_counting_(options.use_skip_counting),
       policy_(options.policy ? options.policy : DefaultThresholdPolicy()),
-      random_(options.seed) {
+      random_(options.seed),
+      entries_(PresizeEntries(options.footprint_bound)) {
   AQUA_CHECK_GE(footprint_bound_, 2)
       << "a counting sample needs at least 2 words (one pair)";
 }
@@ -49,11 +66,15 @@ Result<CountingSample> CountingSample::Restore(
 }
 
 void CountingSample::Insert(Value value) {
+  InsertPrehashed(value, IntegerHash{}(value));
+}
+
+void CountingSample::InsertPrehashed(Value value, std::uint64_t hash) {
   ++observed_;
   // "unlike concise samples, they perform a look-up (into the counting
   // sample) at each update to the data warehouse."
   ++cost_.lookups;
-  Count* count = entries_.Find(value);
+  Count* count = entries_.FindPrehashed(value, hash);
   if (count != nullptr) {
     if (*count == 1) {
       footprint_ += 1;  // singleton -> pair
@@ -67,7 +88,7 @@ void CountingSample::Insert(Value value) {
   // Absent value: admit with probability 1/τ.  τ == 1 admits everything
   // without randomness (the start-up phase).
   if (threshold_ <= 1.0) {
-    Admit(value);
+    Admit(value, hash);
     return;
   }
   if (use_skip_counting_) {
@@ -77,15 +98,37 @@ void CountingSample::Insert(Value value) {
       --admission_skip_;
       return;
     }
-    Admit(value);
+    Admit(value, hash);
     admission_skip_ = random_.Geometric(1.0 / threshold_);
   } else {
-    if (random_.Bernoulli(1.0 / threshold_)) Admit(value);
+    if (random_.Bernoulli(1.0 / threshold_)) Admit(value, hash);
   }
 }
 
-void CountingSample::Admit(Value value) {
-  entries_.TryInsert(value, 1);
+void CountingSample::InsertBatch(std::span<const Value> values) {
+  while (!values.empty()) {
+    std::uint64_t hashes[kBatchChunk];
+    const std::size_t n = std::min(values.size(), kBatchChunk);
+    HashBatch(values.first(n), hashes);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 8 < n) entries_.PrefetchHash(hashes[i + 8]);
+      InsertPrehashed(values[i], hashes[i]);
+    }
+    values = values.subspan(n);
+  }
+}
+
+void CountingSample::InsertBatchPrehashed(
+    std::span<const Value> values, std::span<const std::uint64_t> hashes) {
+  AQUA_DCHECK_EQ(values.size(), hashes.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i + 8 < values.size()) entries_.PrefetchHash(hashes[i + 8]);
+    InsertPrehashed(values[i], hashes[i]);
+  }
+}
+
+void CountingSample::Admit(Value value, std::uint64_t hash) {
+  entries_.TryInsertPrehashed(value, hash, 1);
   footprint_ += 1;
   ++counted_;
   while (footprint_ > footprint_bound_) RaiseThreshold();

@@ -73,11 +73,21 @@ class CountingSample final : public Synopsis {
   /// Observes a whole batch of inserted values.  A counting sample must
   /// look up *every* insert (§4.1 — the price of exact subsequent
   /// counting), so unlike ConciseSample::InsertBatch there is no
-  /// skip-ahead; the batch path amortizes only the per-element virtual
-  /// dispatch.  Draw-for-draw equivalent to per-element Insert().
-  void InsertBatch(std::span<const Value> values) {
-    for (Value v : values) Insert(v);
-  }
+  /// skip-ahead; instead the batch path hashes each chunk with the vector
+  /// kernel (core/batch_kernels.h), prefetches the probe a few elements
+  /// ahead, and probes with the precomputed hash.  Only the deterministic
+  /// lookup is vectorized — draw-for-draw equivalent to per-element
+  /// Insert().
+  void InsertBatch(std::span<const Value> values);
+
+  /// InsertBatch with caller-supplied hashes (hashes[i] must equal
+  /// IntegerHash{}(values[i]) — e.g. reused from the shard router).
+  void InsertBatchPrehashed(std::span<const Value> values,
+                            std::span<const std::uint64_t> hashes);
+
+  /// Counting samples look up *every* insert, so prehashing a batch ahead
+  /// of the shard lock is always profitable (see ShardedSynopsis).
+  static constexpr bool kHashesEveryInsert = true;
 
   /// Observes one deleted value.  O(1) expected; never fails.
   Status Delete(Value value) override;
@@ -116,7 +126,8 @@ class CountingSample final : public Synopsis {
   Status Validate() const;
 
  private:
-  void Admit(Value value);
+  void InsertPrehashed(Value value, std::uint64_t hash);
+  void Admit(Value value, std::uint64_t hash);
   void RaiseThreshold();
 
   Words footprint_bound_;

@@ -1,7 +1,11 @@
 #ifndef AQUA_REGISTRY_ANSWER_SOURCE_H_
 #define AQUA_REGISTRY_ANSWER_SOURCE_H_
 
+#include <cstddef>
+#include <new>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 
 #include "estimate/aggregates.h"
 #include "hotlist/hot_list.h"
@@ -31,6 +35,16 @@ class AnswerSource {
     (void)query;
     (void)ctx;
     return {};
+  }
+  /// Out-param form of HotListAnswer: fills `*out` (cleared first) so a
+  /// caller reusing a warmed vector answers without allocating.  The
+  /// default routes through the by-value form; sources with an
+  /// epoch-frozen view override it to walk the view's O(k) prefix straight
+  /// into `out`.
+  virtual void HotListAnswerInto(const HotListQuery& query,
+                                 const QueryContext& ctx,
+                                 HotList* out) const {
+    *out = HotListAnswer(query, ctx);
   }
   virtual Estimate FrequencyAnswer(Value value, const QueryContext& ctx) const {
     (void)value;
@@ -65,6 +79,61 @@ class AnswerSource {
     (void)ctx;
     return {};
   }
+};
+
+/// Caller-provided inline storage for one pinned AnswerSource.
+///
+/// SynopsisHandle::Pin() heap-allocates a control block plus the source
+/// object on every query; on the serving read path that is the last
+/// per-request allocation.  PinInto() instead placement-constructs the
+/// source into this fixed buffer, so a reactor that keeps one of these as
+/// scratch pins and answers with zero allocator traffic.  Non-copyable;
+/// the pinned source lives until the next Emplace()/Clear() or the
+/// holder's destruction, and must not outlive the holder.
+class PinnedAnswerSource {
+ public:
+  /// Generous upper bound on any concrete source: a vtable pointer, two
+  /// shared_ptr pins (descriptor + epoch state) and a raw view pointer —
+  /// 48 bytes today; 64 keeps the buffer cache-line-sized with slack.
+  static constexpr std::size_t kStorageBytes = 64;
+
+  PinnedAnswerSource() = default;
+  ~PinnedAnswerSource() { Clear(); }
+
+  PinnedAnswerSource(const PinnedAnswerSource&) = delete;
+  PinnedAnswerSource& operator=(const PinnedAnswerSource&) = delete;
+
+  /// Destroys any current occupant and constructs a T in place, returning
+  /// the pinned source.  T must derive from AnswerSource (its virtual
+  /// destructor is how Clear() tears the occupant down).
+  template <typename T, typename... Args>
+  const T* Emplace(Args&&... args) {
+    static_assert(std::is_base_of_v<AnswerSource, T>,
+                  "PinnedAnswerSource holds AnswerSource implementations");
+    static_assert(sizeof(T) <= kStorageBytes,
+                  "AnswerSource implementation outgrew the inline buffer; "
+                  "raise kStorageBytes");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    Clear();
+    T* source = ::new (static_cast<void*>(storage_)) T(
+        std::forward<Args>(args)...);
+    active_ = source;
+    return source;
+  }
+
+  void Clear() {
+    if (active_ != nullptr) {
+      active_->~AnswerSource();
+      active_ = nullptr;
+    }
+  }
+
+  /// The current occupant; null when empty.
+  const AnswerSource* get() const { return active_; }
+
+ private:
+  alignas(std::max_align_t) unsigned char storage_[kStorageBytes];
+  AnswerSource* active_ = nullptr;
 };
 
 }  // namespace aqua

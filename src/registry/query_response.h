@@ -2,7 +2,7 @@
 #define AQUA_REGISTRY_QUERY_RESPONSE_H_
 
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 namespace aqua {
 
@@ -13,8 +13,10 @@ namespace aqua {
 template <typename AnswerT>
 struct QueryResponse {
   AnswerT answer{};
-  /// Which synopsis produced the answer, e.g. "counting-sample".
-  std::string method;
+  /// Which synopsis produced the answer, e.g. "counting-sample".  A view of
+  /// storage that outlives the response — the registered descriptor's name
+  /// (or a string literal) — so filling a response never copies the tag.
+  std::string_view method = "none";
   /// Response time in nanoseconds (synopsis-only; no base-data access).
   std::int64_t response_ns = 0;
 };

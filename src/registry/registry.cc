@@ -105,6 +105,24 @@ QueryResponse<HotList> SynopsisRegistry::HotListAnswer(
   return response;
 }
 
+void SynopsisRegistry::HotListAnswerInto(
+    const HotListQuery& query, QueryResponse<HotList>* response) const {
+  const std::int64_t start = NowNs();
+  response->method = "none";
+  response->answer.clear();
+  const QueryContext ctx{observed_inserts()};
+  PinnedAnswerSource pinned;
+  for (const SynopsisHandle* candidate :
+       by_kind_[static_cast<int>(QueryKind::kHotList)]) {
+    const AnswerSource* source = candidate->PinInto(pinned);
+    if (source == nullptr) continue;
+    source->HotListAnswerInto(query, ctx, &response->answer);
+    response->method = source->Method();
+    break;
+  }
+  response->response_ns = NowNs() - start;
+}
+
 QueryResponse<Estimate> SynopsisRegistry::FrequencyAnswer(Value value) const {
   const std::int64_t start = NowNs();
   QueryResponse<Estimate> response = AnswerFromBest<Estimate>(
@@ -217,12 +235,21 @@ SynopsisHandle* SynopsisRegistry::mutable_handle(std::string_view name) {
 
 RegistryStats SynopsisRegistry::GetStats() const {
   RegistryStats stats;
-  stats.inserts = observed_inserts();
-  stats.deletes = observed_deletes();
-  stats.synopses.reserve(handles_.size());
-  for (const auto& handle : handles_) {
-    SynopsisHandleStats s;
-    s.name = std::string(handle->Name());
+  GetStatsInto(&stats);
+  return stats;
+}
+
+void SynopsisRegistry::GetStatsInto(RegistryStats* out) const {
+  out->inserts = observed_inserts();
+  out->deletes = observed_deletes();
+  out->synopses.resize(handles_.size());
+  for (std::size_t i = 0; i < handles_.size(); ++i) {
+    const auto& handle = handles_[i];
+    SynopsisHandleStats& s = out->synopses[i];
+    // assign() reuses the string's capacity, so a warmed RegistryStats
+    // reports without touching the allocator.
+    const std::string_view name = handle->Name();
+    s.name.assign(name.data(), name.size());
     s.valid = handle->valid();
     s.cached = handle->Cached();
     s.sharded = handle->Capabilities().sharded;
@@ -231,9 +258,7 @@ RegistryStats SynopsisRegistry::GetStats() const {
     s.cache = handle->CacheStats();
     s.has_view = handle->HasView();
     s.view_build_ns = handle->ViewBuildNs();
-    stats.synopses.push_back(std::move(s));
   }
-  return stats;
 }
 
 }  // namespace aqua

@@ -140,6 +140,12 @@ class SynopsisRegistry {
   /// kind are tried in ascending rank order; the first valid handle that
   /// can pin a snapshot answers.  Method is "none" when nothing can.
   QueryResponse<HotList> HotListAnswer(const HotListQuery& query) const;
+  /// Out-param form: fills `response->answer` in place (cleared first), so
+  /// a serving thread reusing one QueryResponse<HotList> as scratch
+  /// answers hot-list queries with zero allocations once the vector's
+  /// capacity is warm.
+  void HotListAnswerInto(const HotListQuery& query,
+                         QueryResponse<HotList>* response) const;
   QueryResponse<Estimate> FrequencyAnswer(Value value) const;
   QueryResponse<Estimate> CountWhereAnswer(const ValuePredicate& pred,
                                            double confidence = 0.95) const;
@@ -200,6 +206,12 @@ class SynopsisRegistry {
 
   RegistryStats GetStats() const;
 
+  /// Out-param form of GetStats(): resizes `out->synopses` in place and
+  /// assigns into the existing elements, so a stats endpoint reusing one
+  /// RegistryStats as scratch reports without allocating (the per-entry
+  /// name strings keep their capacity — every registered name is stable).
+  void GetStatsInto(RegistryStats* out) const;
+
   /// Typed read access to the live synopsis of an unsynchronized handle
   /// (the engine's direct accessors); null when unknown, invalidated, the
   /// wrong type, or a concurrent handle.
@@ -256,12 +268,17 @@ QueryResponse<AnswerT> SynopsisRegistry::AnswerFromBest(
   QueryResponse<AnswerT> response;
   response.method = "none";
   const QueryContext ctx{observed_inserts()};
+  // Stack-pinned source: the epoch stays alive through the shared_ptrs
+  // inside the source object, but pinning itself never allocates.  The
+  // method tag views the descriptor's name, which the handle (and thus the
+  // registry) keeps alive for the response's consumers.
+  PinnedAnswerSource pinned;
   for (const SynopsisHandle* candidate :
        by_kind_[static_cast<int>(kind)]) {
-    const std::shared_ptr<const AnswerSource> source = candidate->Pin();
+    const AnswerSource* source = candidate->PinInto(pinned);
     if (source == nullptr) continue;  // invalidated or snapshot unavailable
     response.answer = compute(*source, ctx);
-    response.method = std::string(source->Method());
+    response.method = source->Method();
     break;
   }
   return response;

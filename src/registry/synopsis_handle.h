@@ -59,6 +59,13 @@ class SynopsisHandle {
   /// built.
   virtual std::shared_ptr<const AnswerSource> Pin() const = 0;
 
+  /// Allocation-free form of Pin(): constructs the source into the
+  /// caller's inline buffer and returns it (null exactly when Pin() would
+  /// be).  The returned pointer is invalidated by the next Emplace() on
+  /// `pinned` — the serving path keeps one PinnedAnswerSource as scratch
+  /// per query.
+  virtual const AnswerSource* PinInto(PinnedAnswerSource& pinned) const = 0;
+
   /// Serialized state via the descriptor's persist codec; Unimplemented
   /// when the synopsis declared none.
   virtual Result<std::vector<std::uint8_t>> EncodeState() const = 0;

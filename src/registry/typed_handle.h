@@ -166,6 +166,14 @@ class TypedAnswerSource final : public AnswerSource {
     }
     return descriptor_->answers.hot_list(*snapshot_, query, ctx);
   }
+  void HotListAnswerInto(const HotListQuery& query, const QueryContext& ctx,
+                         HotList* out) const override {
+    if (AnswersFromView(QueryKind::kHotList)) {
+      view_->HotListAnswerInto(query, out);
+      return;
+    }
+    *out = descriptor_->answers.hot_list(*snapshot_, query, ctx);
+  }
   Estimate FrequencyAnswer(Value value,
                            const QueryContext& ctx) const override {
     if (AnswersFromView(QueryKind::kFrequency)) {
@@ -340,28 +348,22 @@ class TypedSynopsisHandle final : public SynopsisHandle {
   }
 
   std::shared_ptr<const AnswerSource> Pin() const override {
-    if (!valid()) return nullptr;
     std::shared_ptr<const S> snapshot;
     const FrozenView* view = nullptr;
-    if (live_.has_value()) {
-      // Non-owning alias: the unsynchronized driver guarantees the handle
-      // outlives the answer computation.  No view — nothing to amortize
-      // a freeze over without epochs.
-      snapshot = std::shared_ptr<const S>(std::shared_ptr<const S>(),
-                                          std::addressof(*live_));
-    } else {
-      Result<std::shared_ptr<const EpochState<S>>> cached = cache_->Get();
-      if (!cached.ok()) return nullptr;
-      std::shared_ptr<const EpochState<S>> state =
-          std::move(cached).ValueOrDie();
-      if (state->view.has_value()) view = std::addressof(*state->view);
-      // Aliasing ptr: owns the whole EpochState, points at the snapshot —
-      // so the pinned source keeps the view alive too.
-      const S* snapshot_ptr = std::addressof(state->snapshot);
-      snapshot = std::shared_ptr<const S>(std::move(state), snapshot_ptr);
-    }
+    if (!PinState(snapshot, view)) return nullptr;
     return std::make_shared<TypedAnswerSource<S>>(descriptor_,
                                                   std::move(snapshot), view);
+  }
+
+  const AnswerSource* PinInto(PinnedAnswerSource& pinned) const override {
+    std::shared_ptr<const S> snapshot;
+    const FrozenView* view = nullptr;
+    if (!PinState(snapshot, view)) return nullptr;
+    // Placement-constructs into the caller's buffer: the epoch stays
+    // pinned by the shared_ptr members, but no control block or source
+    // object is heap-allocated.
+    return pinned.Emplace<TypedAnswerSource<S>>(descriptor_,
+                                                std::move(snapshot), view);
   }
 
   /// A consistent copy of the current state: the live synopsis, the merged
@@ -448,6 +450,32 @@ class TypedSynopsisHandle final : public SynopsisHandle {
 
  private:
   static constexpr std::uint64_t kRestoreSeedTag = 0x7e57a7edc0dec0deULL;
+
+  /// Shared pinning logic for Pin()/PinInto(): resolves the state both
+  /// source forms wrap.  False when invalidated or no snapshot can be
+  /// built.
+  bool PinState(std::shared_ptr<const S>& snapshot,
+                const FrozenView*& view) const {
+    if (!valid()) return false;
+    if (live_.has_value()) {
+      // Non-owning alias: the unsynchronized driver guarantees the handle
+      // outlives the answer computation.  No view — nothing to amortize
+      // a freeze over without epochs.
+      snapshot = std::shared_ptr<const S>(std::shared_ptr<const S>(),
+                                          std::addressof(*live_));
+      return true;
+    }
+    Result<std::shared_ptr<const EpochState<S>>> cached = cache_->Get();
+    if (!cached.ok()) return false;
+    std::shared_ptr<const EpochState<S>> state =
+        std::move(cached).ValueOrDie();
+    if (state->view.has_value()) view = std::addressof(*state->view);
+    // Aliasing ptr: owns the whole EpochState, points at the snapshot —
+    // so the pinned source keeps the view alive too.
+    const S* snapshot_ptr = std::addressof(state->snapshot);
+    snapshot = std::shared_ptr<const S>(std::move(state), snapshot_ptr);
+    return true;
+  }
 
   static std::int64_t NowNs() {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(

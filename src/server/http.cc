@@ -52,12 +52,19 @@ void AppendPercentEncoded(std::string_view in, std::string& out) {
   }
 }
 
+/// Appends the decimal form of `v` without a std::to_string temporary.
+void AppendUint(std::uint64_t v, std::string& out) {
+  char buf[20];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, ptr);
+}
+
 }  // namespace
 
 std::optional<std::string_view> HttpRequest::QueryParam(
     std::string_view name) const {
-  for (const auto& [key, value] : query) {
-    if (key == name) return std::string_view(value);
+  for (std::size_t i = 0; i < query_count; ++i) {
+    if (query[i].key == name) return query[i].value;
   }
   return std::nullopt;
 }
@@ -88,8 +95,8 @@ std::optional<double> HttpRequest::QueryDouble(std::string_view name,
 
 std::optional<std::string_view> HttpRequest::Header(
     std::string_view name) const {
-  for (const auto& [key, value] : headers) {
-    if (EqualsIgnoreCase(key, name)) return std::string_view(value);
+  for (std::size_t i = 0; i < header_count; ++i) {
+    if (EqualsIgnoreCase(headers[i].key, name)) return headers[i].value;
   }
   return std::nullopt;
 }
@@ -113,13 +120,13 @@ bool HttpRequest::NoCache() const {
 void HttpRequest::AppendCanonicalQuery(
     std::string* out, std::vector<std::uint32_t>* scratch) const {
   scratch->clear();
-  for (std::uint32_t i = 0; i < query.size(); ++i) scratch->push_back(i);
+  for (std::uint32_t i = 0; i < query_count; ++i) scratch->push_back(i);
   // Insertion sort by key, stable: duplicate keys stay in request order so
   // the canonical form preserves the parser's first-wins semantics.
   for (std::size_t i = 1; i < scratch->size(); ++i) {
     const std::uint32_t idx = (*scratch)[i];
     std::size_t j = i;
-    while (j > 0 && query[(*scratch)[j - 1]].first > query[idx].first) {
+    while (j > 0 && query[(*scratch)[j - 1]].key > query[idx].key) {
       (*scratch)[j] = (*scratch)[j - 1];
       --j;
     }
@@ -129,9 +136,9 @@ void HttpRequest::AppendCanonicalQuery(
   for (const std::uint32_t idx : *scratch) {
     if (!first) out->push_back('&');
     first = false;
-    AppendPercentEncoded(query[idx].first, *out);
+    AppendPercentEncoded(query[idx].key, *out);
     out->push_back('=');
-    AppendPercentEncoded(query[idx].second, *out);
+    AppendPercentEncoded(query[idx].value, *out);
   }
 }
 
@@ -167,20 +174,31 @@ std::string_view HttpStatusText(int code) {
   }
 }
 
+void HttpResponse::Reset() {
+  status_code = 200;
+  content_type.assign("application/json");
+  body.clear();
+  keep_alive = true;
+}
+
+void HttpResponse::SerializeHeadInto(std::string* out) const {
+  out->append("HTTP/1.1 ");
+  AppendUint(static_cast<std::uint64_t>(status_code), *out);
+  out->push_back(' ');
+  out->append(HttpStatusText(status_code));
+  out->append("\r\nContent-Type: ");
+  out->append(content_type);
+  out->append("\r\nContent-Length: ");
+  AppendUint(body.size(), *out);
+  out->append("\r\nConnection: ");
+  out->append(keep_alive ? "keep-alive" : "close");
+  out->append("\r\n\r\n");
+}
+
 std::string HttpResponse::Serialize() const {
   std::string out;
   out.reserve(128 + body.size());
-  out.append("HTTP/1.1 ");
-  out.append(std::to_string(status_code));
-  out.push_back(' ');
-  out.append(HttpStatusText(status_code));
-  out.append("\r\nContent-Type: ");
-  out.append(content_type);
-  out.append("\r\nContent-Length: ");
-  out.append(std::to_string(body.size()));
-  out.append("\r\nConnection: ");
-  out.append(keep_alive ? "keep-alive" : "close");
-  out.append("\r\n\r\n");
+  SerializeHeadInto(&out);
   out.append(body);
   return out;
 }
@@ -204,6 +222,24 @@ std::optional<std::string> HttpRequestParser::PercentDecode(
   return out;
 }
 
+std::optional<std::string_view> HttpRequestParser::DecodeIntoArena(
+    std::string_view in) {
+  const std::size_t start = arena_.size();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '%') {
+      arena_.push_back(in[i]);
+      continue;
+    }
+    if (i + 2 >= in.size()) return std::nullopt;
+    const int hi = HexDigit(in[i + 1]);
+    const int lo = HexDigit(in[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    arena_.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return std::string_view(arena_.data() + start, arena_.size() - start);
+}
+
 HttpRequestParser::State HttpRequestParser::Fail(std::string reason) {
   state_ = State::kError;
   error_ = std::move(reason);
@@ -223,6 +259,22 @@ HttpRequestParser::State HttpRequestParser::Reparse() {
 }
 
 HttpRequestParser::State HttpRequestParser::TryParse() {
+  // Compact away the previous request's bytes now, not at TakeRequest:
+  // TryParse is only reachable in kNeedMore, after the previous request's
+  // views are dead by contract, and erase-from-front reuses the buffer's
+  // existing capacity.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  // One-time arena sizing: decoding never expands its input and the input
+  // is capped at max_header_bytes, so after this reserve the arena never
+  // reallocates and decoded views stay stable while we append.
+  arena_.clear();
+  if (arena_.capacity() < limits_.max_header_bytes) {
+    arena_.reserve(limits_.max_header_bytes);
+  }
+
   const std::size_t header_end = buffer_.find("\r\n\r\n");
   if (header_end == std::string::npos) {
     if (buffer_.size() > limits_.max_header_bytes) {
@@ -249,7 +301,7 @@ HttpRequestParser::State HttpRequestParser::TryParse() {
     return Fail("malformed request line");
   }
   HttpRequest request;
-  request.method = std::string(request_line.substr(0, sp1));
+  request.method = request_line.substr(0, sp1);
   const std::string_view target =
       request_line.substr(sp1 + 1, sp2 - sp1 - 1);
   const std::string_view version = request_line.substr(sp2 + 1);
@@ -261,27 +313,30 @@ HttpRequestParser::State HttpRequestParser::TryParse() {
   }
   request.keep_alive = (version == "HTTP/1.1");
 
-  // Split target into path and query string; decode both.
+  // Split target into path and query string; decode both into the arena.
   const std::size_t qmark = target.find('?');
   const std::string_view raw_path = target.substr(0, qmark);
-  auto decoded_path = PercentDecode(raw_path);
+  const auto decoded_path = DecodeIntoArena(raw_path);
   if (!decoded_path.has_value()) return Fail("malformed percent-escape");
-  request.path = std::move(*decoded_path);
+  request.path = *decoded_path;
   if (qmark != std::string_view::npos) {
     std::string_view qs = target.substr(qmark + 1);
     while (!qs.empty()) {
       const std::size_t amp = qs.find('&');
       const std::string_view pair = qs.substr(0, amp);
       if (!pair.empty()) {
+        if (request.query_count >= HttpRequest::kMaxQueryParams) {
+          return Fail("too many query parameters");
+        }
         const std::size_t eq = pair.find('=');
-        auto key = PercentDecode(pair.substr(0, eq));
-        auto value = PercentDecode(
+        const auto key = DecodeIntoArena(pair.substr(0, eq));
+        const auto value = DecodeIntoArena(
             eq == std::string_view::npos ? std::string_view()
                                          : pair.substr(eq + 1));
         if (!key.has_value() || !value.has_value()) {
           return Fail("malformed percent-escape in query");
         }
-        request.query.emplace_back(std::move(*key), std::move(*value));
+        request.query[request.query_count++] = {*key, *value};
       }
       if (amp == std::string_view::npos) break;
       qs = qs.substr(amp + 1);
@@ -322,7 +377,10 @@ HttpRequestParser::State HttpRequestParser::TryParse() {
       if (EqualsIgnoreCase(value, "close")) request.keep_alive = false;
       if (EqualsIgnoreCase(value, "keep-alive")) request.keep_alive = true;
     }
-    request.headers.emplace_back(std::string(name), std::string(value));
+    if (request.header_count >= HttpRequest::kMaxHeaders) {
+      return Fail("too many header fields");
+    }
+    request.headers[request.header_count++] = {name, value};
   }
 
   if (saw_content_length && content_length > limits_.max_body_bytes) {
@@ -335,14 +393,14 @@ HttpRequestParser::State HttpRequestParser::TryParse() {
   if (buffer_.size() - body_start < body_bytes) {
     return state_ = State::kNeedMore;
   }
-  request.body = buffer_.substr(body_start, body_bytes);
-  buffer_.erase(0, body_start + body_bytes);
-  request_ = std::move(request);
+  request.body = std::string_view(buffer_.data() + body_start, body_bytes);
+  consumed_ = body_start + body_bytes;
+  request_ = request;
   return state_ = State::kComplete;
 }
 
 HttpRequest HttpRequestParser::TakeRequest() {
-  HttpRequest out = std::move(request_);
+  HttpRequest out = request_;
   request_ = HttpRequest{};
   state_ = State::kNeedMore;
   return out;

@@ -8,70 +8,75 @@
 
 namespace aqua {
 
-JsonWriter::JsonWriter() { out_.reserve(256); }
+JsonWriter::JsonWriter() : out_(&owned_) { owned_.reserve(256); }
+
+JsonWriter::JsonWriter(std::string* out) : out_(out) {}
 
 void JsonWriter::BeforeValue() {
-  if (stack_.empty()) return;
-  Frame& top = stack_.back();
+  if (depth_ == 0) return;
+  Frame& top = stack_[depth_ - 1];
   if (top.kind == 'O') {
     AQUA_CHECK(top.key_pending) << "JSON object value without a Key()";
     top.key_pending = false;
     return;
   }
-  if (top.has_value) out_.push_back(',');
+  if (top.has_value) out_->push_back(',');
   top.has_value = true;
 }
 
 JsonWriter& JsonWriter::BeginObject() {
   BeforeValue();
-  out_.push_back('{');
-  stack_.push_back({'O', false, false});
+  AQUA_CHECK(depth_ < kMaxDepth) << "JSON nesting exceeds kMaxDepth";
+  out_->push_back('{');
+  stack_[depth_++] = {'O', false, false};
   return *this;
 }
 
 JsonWriter& JsonWriter::EndObject() {
-  AQUA_CHECK(!stack_.empty() && stack_.back().kind == 'O')
+  AQUA_CHECK(depth_ > 0 && stack_[depth_ - 1].kind == 'O')
       << "EndObject without matching BeginObject";
-  AQUA_CHECK(!stack_.back().key_pending) << "EndObject with a dangling Key()";
-  stack_.pop_back();
-  out_.push_back('}');
+  AQUA_CHECK(!stack_[depth_ - 1].key_pending)
+      << "EndObject with a dangling Key()";
+  --depth_;
+  out_->push_back('}');
   return *this;
 }
 
 JsonWriter& JsonWriter::BeginArray() {
   BeforeValue();
-  out_.push_back('[');
-  stack_.push_back({'A', false, false});
+  AQUA_CHECK(depth_ < kMaxDepth) << "JSON nesting exceeds kMaxDepth";
+  out_->push_back('[');
+  stack_[depth_++] = {'A', false, false};
   return *this;
 }
 
 JsonWriter& JsonWriter::EndArray() {
-  AQUA_CHECK(!stack_.empty() && stack_.back().kind == 'A')
+  AQUA_CHECK(depth_ > 0 && stack_[depth_ - 1].kind == 'A')
       << "EndArray without matching BeginArray";
-  stack_.pop_back();
-  out_.push_back(']');
+  --depth_;
+  out_->push_back(']');
   return *this;
 }
 
 JsonWriter& JsonWriter::Key(std::string_view key) {
-  AQUA_CHECK(!stack_.empty() && stack_.back().kind == 'O')
+  AQUA_CHECK(depth_ > 0 && stack_[depth_ - 1].kind == 'O')
       << "Key() outside an object";
-  Frame& top = stack_.back();
+  Frame& top = stack_[depth_ - 1];
   AQUA_CHECK(!top.key_pending) << "two Key() calls in a row";
-  if (top.has_value) out_.push_back(',');
+  if (top.has_value) out_->push_back(',');
   top.has_value = true;
   top.key_pending = true;
-  out_.push_back('"');
-  Escape(key, out_);
-  out_.append("\":");
+  out_->push_back('"');
+  Escape(key, *out_);
+  out_->append("\":");
   return *this;
 }
 
 JsonWriter& JsonWriter::String(std::string_view value) {
   BeforeValue();
-  out_.push_back('"');
-  Escape(value, out_);
-  out_.push_back('"');
+  out_->push_back('"');
+  Escape(value, *out_);
+  out_->push_back('"');
   return *this;
 }
 
@@ -79,7 +84,7 @@ JsonWriter& JsonWriter::Int(std::int64_t value) {
   BeforeValue();
   char buf[24];
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
-  out_.append(buf, ptr);
+  out_->append(buf, ptr);
   return *this;
 }
 
@@ -87,31 +92,31 @@ JsonWriter& JsonWriter::UInt(std::uint64_t value) {
   BeforeValue();
   char buf[24];
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
-  out_.append(buf, ptr);
+  out_->append(buf, ptr);
   return *this;
 }
 
 JsonWriter& JsonWriter::Double(double value) {
   BeforeValue();
   if (!std::isfinite(value)) {
-    out_.append("null");
+    out_->append("null");
     return *this;
   }
   char buf[32];
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
-  out_.append(buf, ptr);
+  out_->append(buf, ptr);
   return *this;
 }
 
 JsonWriter& JsonWriter::Bool(bool value) {
   BeforeValue();
-  out_.append(value ? "true" : "false");
+  out_->append(value ? "true" : "false");
   return *this;
 }
 
 JsonWriter& JsonWriter::Null() {
   BeforeValue();
-  out_.append("null");
+  out_->append("null");
   return *this;
 }
 

@@ -19,7 +19,18 @@ namespace aqua {
 /// trips an AQUA_CHECK in debug use rather than emitting invalid JSON.
 class JsonWriter {
  public:
+  /// Deepest container nesting the writer supports; exceeding it trips an
+  /// AQUA_CHECK.  Fixed so the nesting stack never allocates (the serving
+  /// layer's documents nest 4 deep).
+  static constexpr std::size_t kMaxDepth = 32;
+
   JsonWriter();
+  /// External-buffer form: appends to *out (which is NOT cleared first), so
+  /// a caller reusing a scratch string emits documents with zero
+  /// allocations once the buffer's capacity is warm.  `out` must outlive
+  /// the writer; TakeString() is invalid in this mode (the caller already
+  /// owns the bytes).
+  explicit JsonWriter(std::string* out);
 
   JsonWriter& BeginObject();
   JsonWriter& EndObject();
@@ -37,8 +48,8 @@ class JsonWriter {
   JsonWriter& Null();
 
   /// The document built so far.
-  const std::string& str() const { return out_; }
-  std::string TakeString() { return std::move(out_); }
+  const std::string& str() const { return *out_; }
+  std::string TakeString() { return std::move(*out_); }
 
   /// Appends `value` JSON-escaped (without surrounding quotes) to `out`.
   static void Escape(std::string_view value, std::string& out);
@@ -46,7 +57,9 @@ class JsonWriter {
  private:
   void BeforeValue();
 
-  std::string out_;
+  std::string owned_;
+  /// &owned_, or the caller's buffer in external-buffer mode.
+  std::string* out_;
   // One frame per open container: 'O' object, 'A' array; paired with
   // whether a value has been written at this level (comma needed).
   struct Frame {
@@ -54,7 +67,8 @@ class JsonWriter {
     bool has_value;
     bool key_pending;
   };
-  std::vector<Frame> stack_;
+  Frame stack_[kMaxDepth];
+  std::size_t depth_ = 0;
 };
 
 /// Parses a request body holding a list of attribute values for the ingest

@@ -1,0 +1,531 @@
+// The serving binary's route table, extracted from main() so the handlers
+// are testable (zero-alloc pinning, e2e) without forking the process.
+//
+// Allocation discipline: every GET handler renders into the server-owned
+// response scratch through a JsonWriter bound to response->body, and any
+// non-trivial answer object (hot lists, stats) lives in thread-local
+// scratch filled by the engine/catalog *Into forms.  Once a thread has
+// served each shape once, a GET request — parse, route, answer, render,
+// serialize — touches the allocator zero times (pinned by
+// tests/server/zero_alloc_test.cc).
+
+#include "server/routes.h"
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/alloc_counter.h"
+#include "common/result.h"
+#include "server/json.h"
+
+namespace aqua {
+namespace {
+
+/// Renders {"error": message} with the given status code into the reused
+/// response.  The body is already clear (the server Reset()s its scratch
+/// before the handler runs), so this appends into warm capacity.
+void JsonErrorInto(int code, std::string_view message,
+                   HttpResponse* response) {
+  response->status_code = code;
+  response->body.clear();  // drop any partial render
+  JsonWriter w(&response->body);
+  w.BeginObject().Key("error").String(message).EndObject();
+}
+
+void WriteEstimate(JsonWriter& w, const QueryResponse<Estimate>& response) {
+  w.BeginObject();
+  w.Key("estimate").Double(response.answer.value);
+  w.Key("ci_low").Double(response.answer.ci_low);
+  w.Key("ci_high").Double(response.answer.ci_high);
+  w.Key("confidence").Double(response.answer.confidence);
+  w.Key("sample_points").Int(response.answer.sample_points);
+  w.Key("method").String(response.method);
+  w.Key("response_ns").Int(response.response_ns);
+  w.EndObject();
+}
+
+void WriteHotList(JsonWriter& w, const QueryResponse<HotList>& response) {
+  w.BeginObject();
+  w.Key("items").BeginArray();
+  for (const HotListItem& item : response.answer) {
+    w.BeginObject();
+    w.Key("value").Int(item.value);
+    w.Key("estimated_count").Double(item.estimated_count);
+    w.Key("synopsis_count").Int(item.synopsis_count);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("method").String(response.method);
+  w.Key("response_ns").Int(response.response_ns);
+  w.EndObject();
+}
+
+void WriteSynopsisStats(JsonWriter& w,
+                        const std::vector<SynopsisHandleStats>& synopses) {
+  w.Key("synopses").BeginArray();
+  for (const SynopsisHandleStats& s : synopses) {
+    w.BeginObject();
+    w.Key("name").String(s.name);
+    w.Key("valid").Bool(s.valid);
+    w.Key("cached").Bool(s.cached);
+    w.Key("sharded").Bool(s.sharded);
+    w.Key("footprint").Int(s.footprint);
+    w.Key("epoch").UInt(s.epoch);
+    w.Key("has_view").Bool(s.has_view);
+    w.Key("view_build_ns").Int(s.view_build_ns);
+    w.Key("cache").BeginObject();
+    w.Key("hits").Int(s.cache.hits);
+    w.Key("refreshes").Int(s.cache.refreshes);
+    w.Key("stale_served").Int(s.cache.stale_served);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+/// Parses GET hot-list/frequency/count_where parameters shared by the
+/// engine and catalog handlers.  Each returns nullopt after rendering a
+/// 400 into *response.
+std::optional<HotListQuery> ParseHotListQuery(const HttpRequest& request,
+                                              HttpResponse* response) {
+  const auto k = request.QueryInt("k", 10);
+  const auto beta = request.QueryDouble("beta", 3.0);
+  if (!k.has_value() || *k < 0 || !beta.has_value() || *beta < 0) {
+    JsonErrorInto(400, "k and beta must be nonnegative numbers", response);
+    return std::nullopt;
+  }
+  HotListQuery query;
+  query.k = *k;
+  query.beta = *beta;
+  return query;
+}
+
+struct RangeQuery {
+  ValueRange range;
+  double confidence = 0.95;
+};
+
+std::optional<RangeQuery> ParseRangeQuery(const HttpRequest& request,
+                                          HttpResponse* response) {
+  const auto low =
+      request.QueryInt("low", std::numeric_limits<std::int64_t>::min());
+  const auto high =
+      request.QueryInt("high", std::numeric_limits<std::int64_t>::max());
+  const auto confidence = request.QueryDouble("confidence", 0.95);
+  if (!low.has_value() || !high.has_value() || !confidence.has_value() ||
+      *confidence <= 0.0 || *confidence >= 1.0) {
+    JsonErrorInto(400,
+                  "malformed ?low=/?high=/?confidence= (confidence in "
+                  "(0,1))",
+                  response);
+    return std::nullopt;
+  }
+  RangeQuery query;
+  query.range.low = *low;
+  query.range.high = *high;
+  query.confidence = *confidence;
+  return query;
+}
+
+struct QuantileQueryParams {
+  double q = 0.5;
+  double confidence = 0.95;
+};
+
+std::optional<QuantileQueryParams> ParseQuantileQuery(
+    const HttpRequest& request, HttpResponse* response) {
+  const auto q = request.QueryDouble("q", 0.5);
+  const auto confidence = request.QueryDouble("confidence", 0.95);
+  if (!q.has_value() || *q < 0.0 || *q > 1.0 || !confidence.has_value() ||
+      *confidence <= 0.0 || *confidence >= 1.0) {
+    JsonErrorInto(
+        400, "malformed ?q=/?confidence= (q in [0,1], confidence in (0,1))",
+        response);
+    return std::nullopt;
+  }
+  QuantileQueryParams params;
+  params.q = *q;
+  params.confidence = *confidence;
+  return params;
+}
+
+/// Thread-local hot-list response scratch shared by the engine and catalog
+/// hot-list handlers: the items vector and the per-reactor JSON render are
+/// the only non-trivial state, and both keep their capacity.
+QueryResponse<HotList>& HotListScratch() {
+  thread_local QueryResponse<HotList> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+void RegisterServingRoutes(HttpServer& server, ServingEngine& engine,
+                           const RouteConfig& config) {
+  // Query routes are cacheable: within one serving epoch the synopsis is
+  // frozen, so identical requests have byte-identical responses.
+  RouteOptions cacheable;
+  cacheable.cacheable = true;
+
+  server.Route("GET", "/healthz",
+               [](const HttpRequest&, HttpResponse* response) {
+                 response->body.append("{\"ok\":true}");
+               });
+
+  server.Route(
+      "GET", "/hotlist",
+      [&engine](const HttpRequest& request, HttpResponse* response) {
+        const auto query = ParseHotListQuery(request, response);
+        if (!query.has_value()) return;
+        QueryResponse<HotList>& answer = HotListScratch();
+        engine.HotListAnswerInto(*query, &answer);
+        JsonWriter w(&response->body);
+        WriteHotList(w, answer);
+      },
+      cacheable);
+
+  server.Route(
+      "GET", "/frequency",
+      [&engine](const HttpRequest& request, HttpResponse* response) {
+        const auto value = request.QueryInt("value", /*fallback=*/0);
+        if (!value.has_value() || !request.QueryParam("value").has_value()) {
+          JsonErrorInto(400, "missing or malformed ?value=", response);
+          return;
+        }
+        JsonWriter w(&response->body);
+        WriteEstimate(w, engine.FrequencyAnswer(*value));
+      },
+      cacheable);
+
+  server.Route(
+      "GET", "/count_where",
+      [&engine](const HttpRequest& request, HttpResponse* response) {
+        const auto query = ParseRangeQuery(request, response);
+        if (!query.has_value()) return;
+        // The range overload answers in O(log m) from the epoch's frozen
+        // view when one exists (identical estimate to the predicate form).
+        JsonWriter w(&response->body);
+        WriteEstimate(
+            w, engine.CountWhereAnswer(query->range, query->confidence));
+      },
+      cacheable);
+
+  server.Route(
+      "GET", "/quantile",
+      [&engine](const HttpRequest& request, HttpResponse* response) {
+        const auto params = ParseQuantileQuery(request, response);
+        if (!params.has_value()) return;
+        JsonWriter w(&response->body);
+        WriteEstimate(w,
+                      engine.QuantileAnswer(params->q, params->confidence));
+      },
+      cacheable);
+
+  server.Route(
+      "GET", "/distinct",
+      [&engine](const HttpRequest&, HttpResponse* response) {
+        JsonWriter w(&response->body);
+        WriteEstimate(w, engine.DistinctValuesAnswer());
+      },
+      cacheable);
+
+  // /stats is deliberately NOT cacheable: it reports live counters.
+  server.Route(
+      "GET", "/stats",
+      [&engine, &server](const HttpRequest&, HttpResponse* response) {
+        thread_local ServingEngine::Stats stats;
+        engine.GetStatsInto(&stats);
+        const HttpServer::ServerStats http = server.Stats();
+        JsonWriter w(&response->body);
+        w.BeginObject();
+        w.Key("inserts").Int(stats.inserts);
+        w.Key("deletes").Int(stats.deletes);
+        w.Key("concise_valid").Bool(stats.concise_valid);
+        w.Key("shards").UInt(stats.shards);
+        w.Key("footprint_bound").Int(stats.footprint_bound);
+        w.Key("epoch").UInt(stats.epoch);
+        // Global operator-new calls since process start; 0 unless built
+        // with -DAQUA_COUNT_GLOBAL_ALLOCS=ON.  CI samples this around a
+        // warmed GET window to assert allocs_per_request == 0.
+        w.Key("allocs_total").Int(GlobalAllocCount());
+        w.Key("alloc_counting").Bool(GlobalAllocCountingEnabled());
+        WriteSynopsisStats(w, stats.synopses);
+        w.Key("http").BeginObject();
+        w.Key("accepted").Int(http.accepted);
+        w.Key("requests").Int(http.requests);
+        w.Key("responses_503").Int(http.responses_503);
+        w.Key("bad_requests").Int(http.bad_requests);
+        w.Key("queue_depth").UInt(http.queue_depth);
+        w.Key("reactors").UInt(http.reactors);
+        w.Key("cache_hits").Int(http.cache_hits);
+        w.Key("cache_misses").Int(http.cache_misses);
+        w.Key("cache_bypass").Int(http.cache_bypass);
+        w.Key("cache_invalidations").Int(http.cache_invalidations);
+        w.EndObject();
+        w.EndObject();
+      });
+
+  server.Route(
+      "POST", "/ingest",
+      [&engine](const HttpRequest& request, HttpResponse* response) {
+        Result<std::vector<Value>> values = ParseValueArray(request.body);
+        if (!values.ok()) {
+          JsonErrorInto(400, values.status().message(), response);
+          return;
+        }
+        engine.InsertBatch(values.ValueOrDie());
+        JsonWriter w(&response->body);
+        w.BeginObject();
+        w.Key("ingested").UInt(values.ValueOrDie().size());
+        w.Key("total_inserts").Int(engine.observed_inserts());
+        w.EndObject();
+      });
+
+  server.Route(
+      "POST", "/delete",
+      [&engine](const HttpRequest& request, HttpResponse* response) {
+        Result<std::vector<Value>> values = ParseValueArray(request.body);
+        if (!values.ok()) {
+          JsonErrorInto(400, values.status().message(), response);
+          return;
+        }
+        for (Value v : values.ValueOrDie()) {
+          const Status status = engine.Delete(v);
+          if (!status.ok()) {
+            JsonErrorInto(409, status.message(), response);
+            return;
+          }
+        }
+        JsonWriter w(&response->body);
+        w.BeginObject();
+        w.Key("deleted").UInt(values.ValueOrDie().size());
+        w.Key("total_deletes").Int(engine.observed_deletes());
+        w.EndObject();
+      });
+
+  if (config.enable_debug) {
+    // Deterministic worker occupancy for overload tests: holds a worker
+    // thread for ?ms= milliseconds before answering.  Explicitly
+    // worker-dispatched — a blocking GET must never stall a reactor.
+    RouteOptions on_worker;
+    on_worker.dispatch = RouteOptions::Dispatch::kWorker;
+    server.Route(
+        "GET", "/debug/sleep",
+        [](const HttpRequest& request, HttpResponse* response) {
+          const auto ms = request.QueryInt("ms", 100);
+          if (!ms.has_value() || *ms < 0 || *ms > 10000) {
+            JsonErrorInto(400, "ms must be in [0, 10000]", response);
+            return;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(*ms));
+          JsonWriter w(&response->body);
+          w.BeginObject().Key("slept_ms").Int(*ms).EndObject();
+        },
+        on_worker);
+  }
+}
+
+namespace {
+
+/// Splits "/attr/{name}/{endpoint}" into its two view components (both
+/// alias request.path, valid for the handler's duration).
+std::optional<std::pair<std::string_view, std::string_view>> SplitAttrPath(
+    std::string_view path) {
+  constexpr std::string_view kPrefix = "/attr/";
+  std::string_view rest = path;
+  rest.remove_prefix(kPrefix.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos || slash == 0) return std::nullopt;
+  const std::string_view endpoint = rest.substr(slash + 1);
+  if (endpoint.empty() || endpoint.find('/') != std::string_view::npos) {
+    return std::nullopt;
+  }
+  return std::make_pair(rest.substr(0, slash), endpoint);
+}
+
+/// Maps a catalog Status to the HTTP layer: NotFound (unknown attribute)
+/// answers 404, everything else 500.
+void CatalogErrorInto(const Status& status, HttpResponse* response) {
+  JsonErrorInto(status.code() == StatusCode::kNotFound ? 404 : 500,
+                status.message(), response);
+}
+
+void HandleCatalogGet(const SynopsisCatalog& catalog,
+                      std::string_view attribute, std::string_view endpoint,
+                      const HttpRequest& request, HttpResponse* response) {
+  if (endpoint == "hotlist") {
+    const auto query = ParseHotListQuery(request, response);
+    if (!query.has_value()) return;
+    QueryResponse<HotList>& answer = HotListScratch();
+    const Status status = catalog.HotListForInto(attribute, *query, &answer);
+    if (!status.ok()) return CatalogErrorInto(status, response);
+    JsonWriter w(&response->body);
+    WriteHotList(w, answer);
+    return;
+  }
+  if (endpoint == "frequency") {
+    const auto value = request.QueryInt("value", /*fallback=*/0);
+    if (!value.has_value() || !request.QueryParam("value").has_value()) {
+      return JsonErrorInto(400, "missing or malformed ?value=", response);
+    }
+    const auto answer = catalog.FrequencyFor(attribute, *value);
+    if (!answer.ok()) return CatalogErrorInto(answer.status(), response);
+    JsonWriter w(&response->body);
+    WriteEstimate(w, answer.ValueOrDie());
+    return;
+  }
+  if (endpoint == "count_where") {
+    const auto query = ParseRangeQuery(request, response);
+    if (!query.has_value()) return;
+    const auto answer =
+        catalog.CountWhereFor(attribute, query->range, query->confidence);
+    if (!answer.ok()) return CatalogErrorInto(answer.status(), response);
+    JsonWriter w(&response->body);
+    WriteEstimate(w, answer.ValueOrDie());
+    return;
+  }
+  if (endpoint == "quantile") {
+    const auto params = ParseQuantileQuery(request, response);
+    if (!params.has_value()) return;
+    const auto answer =
+        catalog.QuantileFor(attribute, params->q, params->confidence);
+    if (!answer.ok()) return CatalogErrorInto(answer.status(), response);
+    JsonWriter w(&response->body);
+    WriteEstimate(w, answer.ValueOrDie());
+    return;
+  }
+  if (endpoint == "distinct") {
+    const auto answer = catalog.DistinctFor(attribute);
+    if (!answer.ok()) return CatalogErrorInto(answer.status(), response);
+    JsonWriter w(&response->body);
+    WriteEstimate(w, answer.ValueOrDie());
+    return;
+  }
+  if (endpoint == "stats") {
+    thread_local RegistryStats stats;
+    const Status status = catalog.StatsForInto(attribute, &stats);
+    if (!status.ok()) return CatalogErrorInto(status, response);
+    const SynopsisRegistry* registry = catalog.registry(attribute);
+    JsonWriter w(&response->body);
+    w.BeginObject();
+    w.Key("attribute").String(attribute);
+    w.Key("inserts").Int(stats.inserts);
+    w.Key("deletes").Int(stats.deletes);
+    w.Key("share_words").Int(catalog.ShareOf(attribute));
+    w.Key("epoch").UInt(registry != nullptr ? registry->ServingEpoch() : 0);
+    WriteSynopsisStats(w, stats.synopses);
+    w.EndObject();
+    return;
+  }
+  JsonErrorInto(404, "no such endpoint", response);
+}
+
+void HandleCatalogPost(SynopsisCatalog& catalog, std::string_view attribute,
+                       std::string_view endpoint, const HttpRequest& request,
+                       HttpResponse* response) {
+  if (endpoint != "ingest" && endpoint != "delete") {
+    return JsonErrorInto(404, "no such endpoint", response);
+  }
+  Result<std::vector<Value>> values = ParseValueArray(request.body);
+  if (!values.ok()) {
+    return JsonErrorInto(400, values.status().message(), response);
+  }
+  // The mutating surface routes through std::string keys (ingest is the
+  // allocating path anyway — ParseValueArray just built a vector).
+  const std::string name(attribute);
+  if (endpoint == "ingest") {
+    const Status status = catalog.InsertBatch(name, values.ValueOrDie());
+    if (!status.ok()) return CatalogErrorInto(status, response);
+    JsonWriter w(&response->body);
+    w.BeginObject();
+    w.Key("attribute").String(attribute);
+    w.Key("ingested").UInt(values.ValueOrDie().size());
+    w.EndObject();
+    return;
+  }
+  for (Value v : values.ValueOrDie()) {
+    StreamOp op;
+    op.kind = StreamOp::Kind::kDelete;
+    op.value = v;
+    const Status status = catalog.Observe(name, op);
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kNotFound) {
+        return CatalogErrorInto(status, response);
+      }
+      return JsonErrorInto(409, status.message(), response);
+    }
+  }
+  JsonWriter w(&response->body);
+  w.BeginObject();
+  w.Key("attribute").String(attribute);
+  w.Key("deleted").UInt(values.ValueOrDie().size());
+  w.EndObject();
+}
+
+}  // namespace
+
+void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog) {
+  // Catalog queries are cacheable like the engine's, except the live
+  // /attr/{name}/stats endpoint, which the predicate carves out.
+  RouteOptions cacheable;
+  cacheable.cacheable = true;
+  cacheable.cacheable_if = [](const HttpRequest& request) {
+    return !request.path.ends_with("/stats");
+  };
+
+  server.RoutePrefix(
+      "GET", "/attr/",
+      [&catalog](const HttpRequest& request, HttpResponse* response) {
+        const auto parts = SplitAttrPath(request.path);
+        if (!parts.has_value()) {
+          return JsonErrorInto(404, "expected /attr/{name}/{endpoint}",
+                               response);
+        }
+        HandleCatalogGet(catalog, parts->first, parts->second, request,
+                         response);
+      },
+      cacheable);
+  server.RoutePrefix(
+      "POST", "/attr/",
+      [&catalog](const HttpRequest& request, HttpResponse* response) {
+        const auto parts = SplitAttrPath(request.path);
+        if (!parts.has_value()) {
+          return JsonErrorInto(404, "expected /attr/{name}/{endpoint}",
+                               response);
+        }
+        HandleCatalogPost(catalog, parts->first, parts->second, request,
+                          response);
+      });
+}
+
+void InstallEpochSource(HttpServer& server, ServingEngine& engine,
+                        SynopsisCatalog* catalog) {
+  // The response caches key on the combined serving epoch of everything
+  // this process serves; nullopt (some snapshot cache stale) forces a miss
+  // so the handler runs, refreshes, and advances the epoch — cached bytes
+  // are never fresher-looking than the staleness bounds allow.
+  server.SetEpochSource([&engine,
+                         catalog]() -> std::optional<std::uint64_t> {
+    // Queries only refresh the synopsis they touch, so stale caches on
+    // other synopses would keep the epoch unsettled forever; settle them
+    // here (at most one merge per handle per staleness window).
+    if (engine.AnyCacheStale()) engine.SettleCaches();
+    if (catalog != nullptr && catalog->AnyCacheStale()) {
+      catalog->SettleCaches();
+    }
+    if (engine.AnyCacheStale() ||
+        (catalog != nullptr && catalog->AnyCacheStale())) {
+      return std::nullopt;  // a refresh failed; serve uncached
+    }
+    std::uint64_t epoch = engine.ServingEpoch();
+    if (catalog != nullptr) epoch += catalog->ServingEpoch();
+    return epoch;
+  });
+}
+
+}  // namespace aqua

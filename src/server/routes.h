@@ -1,0 +1,46 @@
+#ifndef AQUA_SERVER_ROUTES_H_
+#define AQUA_SERVER_ROUTES_H_
+
+#include "server/server.h"
+#include "server/serving_engine.h"
+#include "warehouse/catalog.h"
+
+namespace aqua {
+
+/// Per-deployment knobs for the serving routes (everything else is wired
+/// from the engine/catalog objects themselves).
+struct RouteConfig {
+  /// Expose GET /debug/sleep?ms= (worker-dispatched; testing only).
+  bool enable_debug = false;
+};
+
+/// Registers the single-relation query/ingest surface on `server`:
+///
+///   GET  /healthz /hotlist /frequency /count_where /quantile /distinct
+///   GET  /stats   (live counters; never cached)
+///   POST /ingest /delete
+///
+/// Every GET handler runs inline on its reactor and renders into the
+/// reactor's reused response scratch with zero allocations once warm: hot
+/// lists and stats fill thread-local scratch via the engine's *Into forms,
+/// estimates are plain values, and the JSON writer appends straight into
+/// the response body.  `engine` (and `server`, for /stats) must outlive the
+/// server's serving threads — main() owns both on its stack.
+void RegisterServingRoutes(HttpServer& server, ServingEngine& engine,
+                           const RouteConfig& config = {});
+
+/// Registers the multi-attribute surface, /attr/{name}/{endpoint}, over a
+/// sealed catalog.  Same endpoints and allocation discipline as the
+/// single-relation routes; unknown attributes answer 404.
+void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog);
+
+/// Installs the serving-epoch source the response caches key on: the
+/// combined epoch of the engine and the optional catalog, with stale
+/// snapshot caches settled first so the epoch converges without waiting
+/// for a query to touch every synopsis.  `catalog` may be null.
+void InstallEpochSource(HttpServer& server, ServingEngine& engine,
+                        SynopsisCatalog* catalog);
+
+}  // namespace aqua
+
+#endif  // AQUA_SERVER_ROUTES_H_

@@ -6,10 +6,12 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sched.h>
 #include <string.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cstring>
@@ -25,6 +27,48 @@ bool WriteAll(int fd, const char* data, std::size_t size,
   std::size_t written = 0;
   while (written < size) {
     const ssize_t n = ::write(fd, data + written, size - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready <= 0) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Vectored form of WriteAll: sends head then body as two iovecs, so the
+/// serving path never concatenates them into a wire string.  Same EAGAIN
+/// poll and timeout semantics.
+bool WritevAll(int fd, std::string_view head, std::string_view body,
+               int timeout_ms = 5000) {
+  const std::size_t total = head.size() + body.size();
+  std::size_t written = 0;
+  while (written < total) {
+    iovec iov[2];
+    int iovcnt = 0;
+    if (written < head.size()) {
+      iov[iovcnt].iov_base = const_cast<char*>(head.data()) + written;
+      iov[iovcnt].iov_len = head.size() - written;
+      ++iovcnt;
+      if (!body.empty()) {
+        iov[iovcnt].iov_base = const_cast<char*>(body.data());
+        iov[iovcnt].iov_len = body.size();
+        ++iovcnt;
+      }
+    } else {
+      const std::size_t off = written - head.size();
+      iov[iovcnt].iov_base = const_cast<char*>(body.data()) + off;
+      iov[iovcnt].iov_len = body.size() - off;
+      ++iovcnt;
+    }
+    const ssize_t n = ::writev(fd, iov, iovcnt);
     if (n > 0) {
       written += static_cast<std::size_t>(n);
       continue;
@@ -82,6 +126,27 @@ void HttpServer::RoutePrefix(std::string method, std::string prefix,
   entry.cacheable = route_options.cacheable;
   entry.cacheable_if = std::move(route_options.cacheable_if);
   prefix_routes_.push_back(std::move(entry));
+}
+
+void HttpServer::Route(std::string method, std::string path,
+                       SimpleHandler handler, RouteOptions route_options) {
+  Route(std::move(method), std::move(path),
+        [h = std::move(handler)](const HttpRequest& request,
+                                 HttpResponse* response) {
+          *response = h(request);
+        },
+        std::move(route_options));
+}
+
+void HttpServer::RoutePrefix(std::string method, std::string prefix,
+                             SimpleHandler handler,
+                             RouteOptions route_options) {
+  RoutePrefix(std::move(method), std::move(prefix),
+              [h = std::move(handler)](const HttpRequest& request,
+                                       HttpResponse* response) {
+                *response = h(request);
+              },
+              std::move(route_options));
 }
 
 Status HttpServer::StartListener(Reactor& reactor) {
@@ -221,6 +286,16 @@ HttpServer::ServerStats HttpServer::Stats() const {
 }
 
 void HttpServer::IoLoop(Reactor& reactor) {
+  if (options_.pin_reactors) {
+    // Best effort: pin this reactor to CPU (index mod online CPUs).
+    const long cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
+    if (cpus > 0) {
+      cpu_set_t mask;
+      CPU_ZERO(&mask);
+      CPU_SET(reactor.index % static_cast<std::size_t>(cpus), &mask);
+      (void)::sched_setaffinity(0, sizeof(mask), &mask);
+    }
+  }
   bool draining = false;
   epoll_event events[64];
   for (;;) {
@@ -349,7 +424,7 @@ bool HttpServer::DrainParsed(Reactor& reactor, Connection* conn) {
   }
 }
 
-void HttpServer::FindRoute(const std::string& method, const std::string& path,
+void HttpServer::FindRoute(std::string_view method, std::string_view path,
                            const RouteEntry** route, bool* path_known) const {
   *route = nullptr;
   *path_known = false;
@@ -387,11 +462,14 @@ bool HttpServer::HandleParsedRequest(Reactor& reactor, Connection* conn,
     return ServeInline(reactor, conn, route, path_known, request);
   }
 
-  // Mutating route: hand the connection to the worker pool, or shed.
+  // Mutating route: hand the connection to the worker pool, or shed.  The
+  // WorkItem carries a fixed-size copy of the request views; the parser
+  // storage they point into stays untouched (the connection just left
+  // epoll) until the worker pushes its rearm.
   ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
   WorkItem item;
   item.conn = conn;
-  item.request = std::move(request);
+  item.request = request;
   item.route = route;
   bool shed = false;
   {
@@ -457,9 +535,13 @@ bool HttpServer::ServeInline(Reactor& reactor, Connection* conn,
     }
   }
 
-  HttpResponse response;
+  // Render into the reactor's scratch response and serialize the head into
+  // the reactor's scratch head buffer: both keep their capacity across
+  // requests, so the warmed cold path never allocates.
+  HttpResponse& response = reactor.response_scratch;
+  response.Reset();
   if (route != nullptr) {
-    response = route->handler(request);
+    route->handler(request, &response);
   } else {
     response.status_code = path_known ? 405 : 404;
     response.body = path_known ? "{\"error\":\"method not allowed\"}"
@@ -467,17 +549,25 @@ bool HttpServer::ServeInline(Reactor& reactor, Connection* conn,
   }
   response.keep_alive = response.keep_alive && request.keep_alive;
 
-  std::string wire = response.Serialize();
-  const bool write_ok = WriteAll(conn->fd, wire.data(), wire.size());
+  std::string& head = reactor.head_scratch;
+  head.clear();
+  response.SerializeHeadInto(&head);
+  const bool write_ok = WritevAll(conn->fd, head, response.body);
 
   if (cacheable && response.status_code == 200 &&
       response.keep_alive == request.keep_alive) {
     // Store only when the epoch did not move while the handler ran: equal
     // bracketing reads of the monotonic serving epoch prove every snapshot
     // the handler saw belonged to epoch_before, so the bytes are valid for
-    // the whole epoch (byte-identical replay).
+    // the whole epoch (byte-identical replay).  Pinning the entry builds
+    // the contiguous wire string — the one deliberate allocation on this
+    // path, paid once per (epoch, key), amortized across every later hit.
     const std::optional<std::uint64_t> epoch_after = epoch_source_();
     if (epoch_after.has_value() && *epoch_after == *epoch_before) {
+      std::string wire;
+      wire.reserve(head.size() + response.body.size());
+      wire.append(head);
+      wire.append(response.body);
       reactor.cache.Store(*epoch_before, key, std::move(wire));
     }
   }
@@ -530,6 +620,10 @@ void HttpServer::WriteDirect(Reactor& reactor, Connection* conn,
 }
 
 void HttpServer::WorkerLoop() {
+  // Per-worker render scratch, reused across every request this thread
+  // serves (same capacity-retention discipline as the reactor scratch).
+  HttpResponse response;
+  std::string head;
   for (;;) {
     WorkItem item;
     {
@@ -541,11 +635,13 @@ void HttpServer::WorkerLoop() {
       queue_.pop_front();
     }
 
-    HttpResponse response = item.route->handler(item.request);
+    response.Reset();
+    item.route->handler(item.request, &response);
     response.keep_alive = response.keep_alive && item.request.keep_alive;
 
-    const std::string wire = response.Serialize();
-    const bool write_ok = WriteAll(item.conn->fd, wire.data(), wire.size());
+    head.clear();
+    response.SerializeHeadInto(&head);
+    const bool write_ok = WritevAll(item.conn->fd, head, response.body);
 
     // Hand the connection back to its owning reactor for re-arming.
     Reactor* owner = item.conn->owner;

@@ -11,6 +11,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -40,6 +41,11 @@ struct HttpServerOptions {
   std::size_t queue_capacity = 256;
   std::size_t max_header_bytes = 16 * 1024;
   std::size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Pin reactor i to CPU (i mod online CPUs) via sched_setaffinity, so a
+  /// scaling run measures per-core serving instead of scheduler placement.
+  /// Best effort: a failed pin is ignored (the bench records the mask it
+  /// actually achieved).
+  bool pin_reactors = false;
   /// Per-reactor response-cache sizing.
   ResponseCacheOptions cache;
 };
@@ -84,7 +90,15 @@ struct RouteOptions {
 /// completes.
 class HttpServer {
  public:
-  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+  /// Out-param handler form: the server passes a Reset() response whose
+  /// strings keep their capacity across requests, so a warmed handler
+  /// renders without allocating.  The request's views are valid for the
+  /// duration of the call (and, for worker routes, until the rearm is
+  /// pushed).
+  using Handler = std::function<void(const HttpRequest&, HttpResponse*)>;
+  /// Return-by-value convenience form (tests, simple endpoints); wrapped
+  /// into a Handler at registration, paying one response copy per call.
+  using SimpleHandler = std::function<HttpResponse(const HttpRequest&)>;
   /// The serving epoch the response cache keys on, or nullopt when the
   /// epoch is unsettled (some snapshot cache is stale and the next query
   /// would refresh it) — nullopt forces the handler to run so the refresh
@@ -102,6 +116,8 @@ class HttpServer {
   /// different method answer 405.
   void Route(std::string method, std::string path, Handler handler,
              RouteOptions route_options = {});
+  void Route(std::string method, std::string path, SimpleHandler handler,
+             RouteOptions route_options = {});
 
   /// Registers a handler for every path starting with `prefix` (e.g.
   /// "/attr/").  Exact routes win over prefixes; among prefixes the longest
@@ -109,6 +125,8 @@ class HttpServer {
   /// prefix with a different method answers 405 like exact routes.
   void RoutePrefix(std::string method, std::string prefix, Handler handler,
                    RouteOptions route_options = {});
+  void RoutePrefix(std::string method, std::string prefix,
+                   SimpleHandler handler, RouteOptions route_options = {});
 
   /// Installs the serving-epoch source the response caches key on.  Must
   /// be called before Start().  Without one, response caching is disabled
@@ -198,6 +216,12 @@ class HttpServer {
     std::vector<RearmItem> rearms;
     /// Reactor-local response cache: no shared locks on the hit path.
     ResponseCache cache;
+    /// Render scratch reused across every inline request this reactor
+    /// serves: the response body and the serialized head keep their
+    /// capacity, so a warmed cold path (cache miss or uncacheable route)
+    /// writes the wire without touching the allocator.
+    HttpResponse response_scratch;
+    std::string head_scratch;
 
     explicit Reactor(const ResponseCacheOptions& cache_options)
         : cache(cache_options) {}
@@ -222,7 +246,7 @@ class HttpServer {
   bool ServeInline(Reactor& reactor, Connection* conn,
                    const RouteEntry* route, bool path_known,
                    const HttpRequest& request);
-  void FindRoute(const std::string& method, const std::string& path,
+  void FindRoute(std::string_view method, std::string_view path,
                  const RouteEntry** route, bool* path_known) const;
   void ProcessRearms(Reactor& reactor);
   void CloseConnection(Reactor& reactor, Connection* conn);

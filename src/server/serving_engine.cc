@@ -44,16 +44,24 @@ Status ServingEngine::Delete(Value value) {
 
 ServingEngine::Stats ServingEngine::GetStats() const {
   Stats stats;
-  RegistryStats registry_stats = registry_.GetStats();
-  stats.inserts = registry_stats.inserts;
-  stats.deletes = registry_stats.deletes;
-  stats.shards = options_.shards;
-  stats.footprint_bound = options_.footprint_bound;
-  stats.epoch = registry_.ServingEpoch();
-  const SynopsisHandle* concise = registry_.handle(kConciseSynopsisName);
-  stats.concise_valid = concise != nullptr && concise->valid();
-  stats.synopses = std::move(registry_stats.synopses);
+  GetStatsInto(&stats);
   return stats;
+}
+
+void ServingEngine::GetStatsInto(Stats* out) const {
+  // Borrow out->synopses for the registry scratch so the per-handle
+  // entries (and their name strings) keep their capacity across calls.
+  RegistryStats registry_stats;
+  registry_stats.synopses = std::move(out->synopses);
+  registry_.GetStatsInto(&registry_stats);
+  out->inserts = registry_stats.inserts;
+  out->deletes = registry_stats.deletes;
+  out->shards = options_.shards;
+  out->footprint_bound = options_.footprint_bound;
+  out->epoch = registry_.ServingEpoch();
+  const SynopsisHandle* concise = registry_.handle(kConciseSynopsisName);
+  out->concise_valid = concise != nullptr && concise->valid();
+  out->synopses = std::move(registry_stats.synopses);
 }
 
 }  // namespace aqua

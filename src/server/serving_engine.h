@@ -70,6 +70,13 @@ class ServingEngine {
   QueryResponse<HotList> HotListAnswer(const HotListQuery& query) const {
     return registry_.HotListAnswer(query);
   }
+  /// Out-param form: fills a caller-owned response in place so a serving
+  /// thread reusing one QueryResponse<HotList> answers without allocating
+  /// (see SynopsisRegistry::HotListAnswerInto).
+  void HotListAnswerInto(const HotListQuery& query,
+                         QueryResponse<HotList>* response) const {
+    registry_.HotListAnswerInto(query, response);
+  }
   QueryResponse<Estimate> FrequencyAnswer(Value value) const {
     return registry_.FrequencyAnswer(value);
   }
@@ -103,6 +110,10 @@ class ServingEngine {
     std::vector<SynopsisHandleStats> synopses;
   };
   Stats GetStats() const;
+
+  /// Out-param form of GetStats(): reuses `out`'s vectors and strings, so
+  /// a warmed stats endpoint reports without allocating.
+  void GetStatsInto(Stats* out) const;
 
   /// Forwards of the registry's serving-epoch surface (what the HTTP
   /// response cache keys on).

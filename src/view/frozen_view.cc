@@ -56,6 +56,14 @@ FrozenView::FrozenView(Spec spec)
 }
 
 HotList FrozenView::HotListAnswer(const HotListQuery& query) const {
+  HotList out;
+  HotListAnswerInto(query, &out);
+  return out;
+}
+
+void FrozenView::HotListAnswerInto(const HotListQuery& query,
+                                   HotList* out) const {
+  out->clear();
   // Same cut as internal_hotlist::Report: max(floor, c_k), where c_k is the
   // k-th largest count — here a direct index into the count-descending
   // order (KthLargest clamps k to the entry count, so k > size selects the
@@ -66,16 +74,14 @@ HotList FrozenView::HotListAnswer(const HotListQuery& query) const {
         static_cast<std::size_t>(query.k), by_count_desc_.size());
     cut = std::max(cut, static_cast<double>(by_count_desc_[k - 1].count));
   }
-  HotList out;
   for (const ValueCount& e : by_count_desc_) {
     // Counts only decrease along this order, so the first miss ends the
     // report — this is the O(k) prefix walk.
     if (static_cast<double>(e.count) < cut) break;
-    out.push_back(HotListItem{
+    out->push_back(HotListItem{
         e.value, static_cast<double>(e.count) * hot_.scale + hot_.offset,
         e.count});
   }
-  return out;
 }
 
 Estimate FrozenView::FrequencyAnswer(Value value, double confidence) const {

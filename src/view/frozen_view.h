@@ -87,6 +87,10 @@ class FrozenView {
   /// O(k): the count-descending prefix above max(floor, c_k).
   HotList HotListAnswer(const HotListQuery& query) const;
 
+  /// Out-param form: fills `*out` (cleared first), so a caller reusing a
+  /// warmed vector gets the O(k) report with zero allocations.
+  void HotListAnswerInto(const HotListQuery& query, HotList* out) const;
+
   /// O(log m): binary search of the value order, then the frozen
   /// estimator.
   Estimate FrequencyAnswer(Value value, double confidence = 0.95) const;

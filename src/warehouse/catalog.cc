@@ -120,11 +120,11 @@ Status SynopsisCatalog::Seal() {
 }
 
 Result<const SynopsisRegistry*> SynopsisCatalog::RegistryFor(
-    const std::string& attribute) const {
+    std::string_view attribute) const {
   if (!sealed_) return Status::FailedPrecondition("catalog not sealed");
   auto it = attributes_.find(attribute);
   if (it == attributes_.end()) {
-    return Status::NotFound("unknown attribute: " + attribute);
+    return Status::NotFound("unknown attribute: " + std::string(attribute));
   }
   return it->second.registry.get();
 }
@@ -159,54 +159,69 @@ Status SynopsisCatalog::InsertBatch(const std::string& attribute,
 }
 
 const SynopsisRegistry* SynopsisCatalog::registry(
-    const std::string& attribute) const {
+    std::string_view attribute) const {
   auto it = attributes_.find(attribute);
   if (it == attributes_.end()) return nullptr;
   return it->second.registry.get();
 }
 
 Result<QueryResponse<HotList>> SynopsisCatalog::HotListFor(
-    const std::string& attribute, const HotListQuery& query) const {
+    std::string_view attribute, const HotListQuery& query) const {
   AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
   return r->HotListAnswer(query);
 }
 
 Result<QueryResponse<Estimate>> SynopsisCatalog::FrequencyFor(
-    const std::string& attribute, Value value) const {
+    std::string_view attribute, Value value) const {
   AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
   return r->FrequencyAnswer(value);
 }
 
 Result<QueryResponse<Estimate>> SynopsisCatalog::CountWhereFor(
-    const std::string& attribute, const ValuePredicate& pred,
+    std::string_view attribute, const ValuePredicate& pred,
     double confidence) const {
   AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
   return r->CountWhereAnswer(pred, confidence);
 }
 
 Result<QueryResponse<Estimate>> SynopsisCatalog::CountWhereFor(
-    const std::string& attribute, const ValueRange& range,
+    std::string_view attribute, const ValueRange& range,
     double confidence) const {
   AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
   return r->CountWhereAnswer(range, confidence);
 }
 
 Result<QueryResponse<Estimate>> SynopsisCatalog::DistinctFor(
-    const std::string& attribute) const {
+    std::string_view attribute) const {
   AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
   return r->DistinctValuesAnswer();
 }
 
 Result<QueryResponse<Estimate>> SynopsisCatalog::QuantileFor(
-    const std::string& attribute, double q, double confidence) const {
+    std::string_view attribute, double q, double confidence) const {
   AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
   return r->QuantileAnswer(q, confidence);
 }
 
 Result<RegistryStats> SynopsisCatalog::StatsFor(
-    const std::string& attribute) const {
+    std::string_view attribute) const {
   AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
   return r->GetStats();
+}
+
+Status SynopsisCatalog::HotListForInto(
+    std::string_view attribute, const HotListQuery& query,
+    QueryResponse<HotList>* response) const {
+  AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
+  r->HotListAnswerInto(query, response);
+  return Status::OK();
+}
+
+Status SynopsisCatalog::StatsForInto(std::string_view attribute,
+                                     RegistryStats* out) const {
+  AQUA_ASSIGN_OR_RETURN(const SynopsisRegistry* r, RegistryFor(attribute));
+  r->GetStatsInto(out);
+  return Status::OK();
 }
 
 Words SynopsisCatalog::TotalFootprint() const {
@@ -247,7 +262,7 @@ std::vector<std::string> SynopsisCatalog::AttributeNames() const {
   return names;
 }
 
-Words SynopsisCatalog::ShareOf(const std::string& attribute) const {
+Words SynopsisCatalog::ShareOf(std::string_view attribute) const {
   auto it = attributes_.find(attribute);
   return it == attributes_.end() ? 0 : it->second.share;
 }

@@ -3,10 +3,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -80,30 +82,39 @@ class SynopsisCatalog {
                      std::span<const Value> values);
 
   /// The registry serving an attribute (null if unknown or not sealed).
-  const SynopsisRegistry* registry(const std::string& attribute) const;
+  const SynopsisRegistry* registry(std::string_view attribute) const;
 
   /// Queries, one per kind, routed by attribute; NotFound for unknown
   /// attributes, FailedPrecondition before Seal().
-  Result<QueryResponse<HotList>> HotListFor(const std::string& attribute,
+  Result<QueryResponse<HotList>> HotListFor(std::string_view attribute,
                                             const HotListQuery& query) const;
-  Result<QueryResponse<Estimate>> FrequencyFor(const std::string& attribute,
+  Result<QueryResponse<Estimate>> FrequencyFor(std::string_view attribute,
                                                Value value) const;
   Result<QueryResponse<Estimate>> CountWhereFor(
-      const std::string& attribute, const ValuePredicate& pred,
+      std::string_view attribute, const ValuePredicate& pred,
       double confidence = 0.95) const;
   /// Range form: answered in O(log m) from the attribute's frozen view
   /// when one exists (same estimate as the predicate form).
   Result<QueryResponse<Estimate>> CountWhereFor(
-      const std::string& attribute, const ValueRange& range,
+      std::string_view attribute, const ValueRange& range,
       double confidence = 0.95) const;
   Result<QueryResponse<Estimate>> DistinctFor(
-      const std::string& attribute) const;
-  Result<QueryResponse<Estimate>> QuantileFor(const std::string& attribute,
+      std::string_view attribute) const;
+  Result<QueryResponse<Estimate>> QuantileFor(std::string_view attribute,
                                               double q,
                                               double confidence = 0.95) const;
 
   /// Per-attribute ingest counters and per-synopsis cache/footprint stats.
-  Result<RegistryStats> StatsFor(const std::string& attribute) const;
+  Result<RegistryStats> StatsFor(std::string_view attribute) const;
+
+  /// Out-param forms for the serving layer's read path: the attribute is
+  /// looked up heterogeneously (no temporary std::string for a name
+  /// sliced out of a URL) and the caller's scratch is filled in place, so
+  /// a warmed handler answers with zero allocations.  Same error contract
+  /// as the by-value forms.
+  Status HotListForInto(std::string_view attribute, const HotListQuery& query,
+                        QueryResponse<HotList>* response) const;
+  Status StatsForInto(std::string_view attribute, RegistryStats* out) const;
 
   /// Total words currently used across all registries (<= budget in
   /// words, per-synopsis bounds permitting).
@@ -131,7 +142,7 @@ class SynopsisCatalog {
   std::vector<std::string> AttributeNames() const;
 
   /// Footprint share assigned to an attribute (0 if unknown / unsealed).
-  Words ShareOf(const std::string& attribute) const;
+  Words ShareOf(std::string_view attribute) const;
 
  private:
   struct Attribute {
@@ -141,13 +152,14 @@ class SynopsisCatalog {
   };
 
   Result<const SynopsisRegistry*> RegistryFor(
-      const std::string& attribute) const;
+      std::string_view attribute) const;
   Result<SynopsisRegistry*> MutableRegistryFor(const std::string& attribute);
 
   Words budget_;
   CatalogOptions options_;
   bool sealed_ = false;
-  std::map<std::string, Attribute> attributes_;
+  /// Transparent comparator: lookups by string_view without a temporary.
+  std::map<std::string, Attribute, std::less<>> attributes_;
 };
 
 }  // namespace aqua

@@ -1,0 +1,172 @@
+// Group-probe fuzz: the SwissTable-style FlatHashMap (16-slot control-byte
+// groups, backward-shift deletion) is driven through long randomized
+// insert/erase/find/iterate workloads against a std::unordered_map oracle.
+// Erase-heavy phases exercise backward-shift deletion specifically: every
+// erase re-tightens a cluster, and any slot the shift mishandles shows up
+// as a key the oracle can see but the map cannot (or vice versa).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "container/flat_hash_map.h"
+#include "random/random.h"
+
+namespace aqua {
+namespace {
+
+using Map = FlatHashMap<std::int64_t, std::int64_t>;
+using Oracle = std::unordered_map<std::int64_t, std::int64_t>;
+
+void CheckFullAgreement(const Map& map, const Oracle& oracle) {
+  ASSERT_EQ(map.size(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    const std::int64_t* got = map.Find(k);
+    ASSERT_NE(got, nullptr) << k;
+    ASSERT_EQ(*got, v) << k;
+  }
+  std::size_t seen = 0;
+  for (const auto& entry : map) {
+    const auto it = oracle.find(entry.key);
+    ASSERT_NE(it, oracle.end()) << entry.key;
+    ASSERT_EQ(it->second, entry.value);
+    ++seen;
+  }
+  ASSERT_EQ(seen, oracle.size());
+}
+
+// Weighted op mix over a keyspace; erase weight cranked up in phases so the
+// table repeatedly fills and drains through backward shifts.
+void FuzzPhase(Map& map, Oracle& oracle, Random& rng, int ops,
+               std::int64_t keyspace, int erase_weight) {
+  for (int op = 0; op < ops; ++op) {
+    const std::int64_t key = rng.UniformInt(0, keyspace - 1);
+    const int dice = static_cast<int>(rng.UniformInt(0, 9));
+    if (dice < erase_weight) {
+      const bool had = oracle.erase(key) > 0;
+      ASSERT_EQ(map.Erase(key), had) << key;
+    } else if (dice < erase_weight + 4) {
+      const std::int64_t val = rng.UniformInt(0, 1 << 30);
+      const bool fresh = oracle.emplace(key, val).second;
+      auto [v, inserted] = map.TryInsert(key, val);
+      ASSERT_EQ(inserted, fresh) << key;
+      ASSERT_EQ(*v, oracle[key]) << key;
+    } else {
+      const auto it = oracle.find(key);
+      const std::int64_t* v = map.Find(key);
+      if (it == oracle.end()) {
+        ASSERT_EQ(v, nullptr) << key;
+      } else {
+        ASSERT_NE(v, nullptr) << key;
+        ASSERT_EQ(*v, it->second) << key;
+      }
+    }
+    ASSERT_EQ(map.size(), oracle.size());
+  }
+}
+
+TEST(FlatHashMapFuzzTest, MixedWorkloadAgainstOracle) {
+  Map map;
+  Oracle oracle;
+  Random rng(0x5EED1);
+  // Tight keyspace -> dense clusters; wide keyspace -> growth + sparse
+  // probes; erase-heavy phases in between drain through backward shifts.
+  FuzzPhase(map, oracle, rng, 60000, 500, 2);
+  CheckFullAgreement(map, oracle);
+  FuzzPhase(map, oracle, rng, 60000, 500, 7);  // erase-heavy drain
+  CheckFullAgreement(map, oracle);
+  FuzzPhase(map, oracle, rng, 60000, 100000, 2);
+  CheckFullAgreement(map, oracle);
+  FuzzPhase(map, oracle, rng, 60000, 100000, 7);
+  CheckFullAgreement(map, oracle);
+}
+
+TEST(FlatHashMapFuzzTest, AdversarialSameGroupKeys) {
+  // Keys engineered to share home groups: insert far more than one group
+  // width with colliding H1 ranges, then delete in interleaved order so
+  // clusters shift across group boundaries and the table wraparound.
+  Map map;
+  Oracle oracle;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t i = 0; i < 4096; ++i) keys.push_back(i);
+  for (std::int64_t k : keys) {
+    map.TryInsert(k, k * 3);
+    oracle.emplace(k, k * 3);
+  }
+  CheckFullAgreement(map, oracle);
+  // Delete every other key, then every fourth of the survivors, verifying
+  // reachability after each wave of backward shifts.
+  for (std::int64_t stride : {2, 4, 8}) {
+    for (std::int64_t k = 0; k < 4096; k += stride) {
+      const bool had = oracle.erase(k) > 0;
+      ASSERT_EQ(map.Erase(k), had) << k;
+    }
+    CheckFullAgreement(map, oracle);
+  }
+}
+
+TEST(FlatHashMapFuzzTest, FillDrainRefillKeepsProbesTight) {
+  // No tombstones: after a full drain the table must behave exactly like a
+  // fresh one (modulo retained capacity).
+  Map map;
+  for (int round = 0; round < 3; ++round) {
+    for (std::int64_t i = 0; i < 2000; ++i) {
+      map.TryInsert(i * 7919 + round, i);
+    }
+    ASSERT_EQ(map.size(), 2000u);
+    for (std::int64_t i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(map.Erase(i * 7919 + round));
+    }
+    ASSERT_TRUE(map.empty());
+    ASSERT_EQ(map.Find(7919 + round), nullptr);
+  }
+}
+
+TEST(FlatHashMapFuzzTest, RetainIfUnderChurnMatchesOracle) {
+  Map map;
+  Oracle oracle;
+  Random rng(0x5EED2);
+  FuzzPhase(map, oracle, rng, 40000, 3000, 3);
+  // Drop odd values via RetainIf; the oracle does the same.
+  map.RetainIf([](std::int64_t, std::int64_t& v) { return v % 2 == 0; });
+  for (auto it = oracle.begin(); it != oracle.end();) {
+    it = it->second % 2 != 0 ? oracle.erase(it) : std::next(it);
+  }
+  CheckFullAgreement(map, oracle);
+  FuzzPhase(map, oracle, rng, 40000, 3000, 3);
+  CheckFullAgreement(map, oracle);
+}
+
+TEST(FlatHashMapFuzzTest, PrehashedVariantsAgreeWithPlain) {
+  Map map;
+  IntegerHash hash;
+  Random rng(0x5EED3);
+  for (int op = 0; op < 50000; ++op) {
+    const std::int64_t key = rng.UniformInt(0, 2000);
+    const std::size_t h = hash(key);
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        map.TryInsertPrehashed(key, h, key + 1);
+        break;
+      case 1:
+        map.Erase(key);
+        break;
+      default: {
+        const std::int64_t* a = map.Find(key);
+        const std::int64_t* b = map.FindPrehashed(key, h);
+        ASSERT_EQ(a, b);
+        break;
+      }
+    }
+  }
+  // Prefetch is advisory only — calling it must never perturb state.
+  const std::size_t size_before = map.size();
+  for (std::int64_t k = 0; k < 100; ++k) map.PrefetchHash(hash(k));
+  ASSERT_EQ(map.size(), size_before);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,199 @@
+// The vector kernels may only touch deterministic work, and must be
+// lane-for-lane identical to the scalar reference: hashes equal to
+// IntegerHash, routes equal to hash % shards, partitions stable.  These
+// tests sweep every remainder class around the vector widths (1, width-1,
+// width, width+1 for widths 2, 4, 8, 16) so no lane of any compiled-in
+// kernel — AVX2, SSE2, NEON, or the forced-scalar fallback — goes
+// unchecked.
+
+#include "core/batch_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "container/flat_hash_map.h"
+#include "core/concise_sample.h"
+#include "core/counting_sample.h"
+#include "random/random.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+TEST(BatchKernelsTest, KernelNameIsKnown) {
+  const std::string_view name = BatchKernelName();
+  EXPECT_TRUE(name == "avx2" || name == "sse2" || name == "neon" ||
+              name == "scalar")
+      << name;
+#if defined(AQUA_FORCE_SCALAR)
+  EXPECT_EQ(name, "scalar");
+#endif
+}
+
+// All batch sizes around every plausible vector width, plus empty.
+std::vector<std::size_t> WidthSweep() {
+  std::vector<std::size_t> sizes = {0, 1};
+  for (std::size_t width : {2u, 4u, 8u, 16u}) {
+    sizes.push_back(width - 1);
+    sizes.push_back(width);
+    sizes.push_back(width + 1);
+  }
+  sizes.push_back(100);
+  sizes.push_back(kBatchChunk - 1);
+  sizes.push_back(kBatchChunk);
+  sizes.push_back(kBatchChunk + 1);
+  sizes.push_back(4096);
+  return sizes;
+}
+
+TEST(BatchKernelsTest, HashBatchMatchesIntegerHashLaneForLane) {
+  IntegerHash reference;
+  Random rng(0xBA7C4);
+  for (std::size_t n : WidthSweep()) {
+    std::vector<Value> values(n);
+    for (Value& v : values) {
+      v = static_cast<Value>(rng.UniformU64(~std::uint64_t{0}));
+    }
+    std::vector<std::uint64_t> hashes(n + 1, 0xDEADDEADDEADDEADULL);
+    HashBatch(values, hashes.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hashes[i], reference(values[i])) << "lane " << i << " of "
+                                                 << n;
+    }
+    // No out-of-bounds store past the batch.
+    EXPECT_EQ(hashes[n], 0xDEADDEADDEADDEADULL);
+  }
+}
+
+TEST(BatchKernelsTest, HashBatchExtremeValues) {
+  IntegerHash reference;
+  const std::vector<Value> values = {0,  -1, 1,  INT64_MIN, INT64_MAX,
+                                     42, -42, 0x7f, -0x80,   1LL << 62};
+  std::vector<std::uint64_t> hashes(values.size());
+  HashBatch(values, hashes.data());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(hashes[i], reference(values[i])) << values[i];
+  }
+}
+
+TEST(BatchKernelsTest, RouteFromHashesMatchesModulo) {
+  Random rng(0xF00D);
+  for (std::size_t shards : {1u, 2u, 3u, 7u, 8u, 64u}) {
+    std::vector<std::uint64_t> hashes(257);
+    for (auto& h : hashes) h = rng.UniformU64(~std::uint64_t{0});
+    std::vector<std::uint32_t> routes(hashes.size());
+    RouteFromHashes(hashes, shards, routes.data());
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+      EXPECT_EQ(routes[i], hashes[i] % shards);
+    }
+  }
+}
+
+TEST(BatchKernelsTest, PartitionByShardIsStableAndComplete) {
+  const std::vector<Value> values = ZipfValues(10000, 700, 1.0, 99);
+  IntegerHash hash;
+  for (std::size_t shards : {1u, 3u, 8u}) {
+    ShardPartitionScratch scratch;
+    PartitionByShard(values, shards, scratch);
+    ASSERT_EQ(scratch.offsets.size(), shards + 1);
+    EXPECT_EQ(scratch.offsets.front(), 0u);
+    EXPECT_EQ(scratch.offsets.back(), values.size());
+    // Per-shard ranges must contain exactly the values routed there, in
+    // stream order (stability is what keeps per-shard draw streams equal
+    // to element-at-a-time routing).
+    for (std::size_t s = 0; s < shards; ++s) {
+      std::vector<Value> expected;
+      for (Value v : values) {
+        if (hash(v) % shards == s) expected.push_back(v);
+      }
+      const std::vector<Value> got(
+          scratch.values.begin() + scratch.offsets[s],
+          scratch.values.begin() + scratch.offsets[s + 1]);
+      EXPECT_EQ(got, expected) << "shard " << s << "/" << shards;
+      for (std::size_t i = scratch.offsets[s]; i < scratch.offsets[s + 1];
+           ++i) {
+        EXPECT_EQ(scratch.grouped_hashes[i], hash(scratch.values[i]));
+      }
+    }
+  }
+}
+
+TEST(BatchKernelsTest, PartitionScratchDoesNotShrinkAcrossCalls) {
+  ShardPartitionScratch scratch;
+  const std::vector<Value> big = UniformValues(5000, 1000, 3);
+  PartitionByShard(big, 8, scratch);
+  const std::size_t cap = scratch.values.capacity();
+  const std::vector<Value> small = UniformValues(10, 1000, 4);
+  PartitionByShard(small, 8, scratch);
+  EXPECT_EQ(scratch.values.capacity(), cap);
+  EXPECT_EQ(scratch.offsets.back(), small.size());
+}
+
+// Prehashed sample ingestion must be bit-identical to the self-hashing
+// batch path (which the equivalence suite already pins against per-element
+// Insert) across the same width sweep.
+TEST(BatchKernelsTest, PrehashedConciseSampleMatches) {
+  const std::vector<Value> data = ZipfValues(40000, 2000, 1.0, 777);
+  ConciseSampleOptions o;
+  o.footprint_bound = 300;
+  o.seed = 21;
+  ConciseSample plain(o);
+  ConciseSample prehashed(o);
+  std::vector<std::uint64_t> hashes(data.size());
+  HashBatch(data, hashes.data());
+  const std::span<const Value> all(data);
+  const std::span<const std::uint64_t> all_hashes(hashes);
+  for (std::size_t n : WidthSweep()) {
+    std::size_t i = 0;
+    // consume the stream in sweep-sized slices, alternating entry points
+    for (; i + n <= data.size() && n > 0; i += n) {
+      plain.InsertBatch(all.subspan(i, n));
+      prehashed.InsertBatchPrehashed(all.subspan(i, n),
+                                     all_hashes.subspan(i, n));
+    }
+    EXPECT_EQ(plain.SampleSize(), prehashed.SampleSize());
+    EXPECT_EQ(plain.Threshold(), prehashed.Threshold());
+    break;  // one full pass with the first nonzero size is enough here
+  }
+}
+
+TEST(BatchKernelsTest, PrehashedCountingSampleMatchesEverySliceSize) {
+  const std::vector<Value> data = ZipfValues(30000, 1500, 0.8, 555);
+  for (std::size_t n : WidthSweep()) {
+    if (n == 0) continue;
+    CountingSampleOptions o;
+    o.footprint_bound = 250;
+    o.seed = 31;
+    CountingSample plain(o);
+    CountingSample prehashed(o);
+    std::vector<std::uint64_t> hashes(data.size());
+    HashBatch(data, hashes.data());
+    const std::span<const Value> all(data);
+    const std::span<const std::uint64_t> all_hashes(hashes);
+    for (std::size_t i = 0; i < data.size(); i += n) {
+      const std::size_t len = std::min(n, data.size() - i);
+      plain.InsertBatch(all.subspan(i, len));
+      prehashed.InsertBatchPrehashed(all.subspan(i, len),
+                                     all_hashes.subspan(i, len));
+    }
+    EXPECT_EQ(plain.Threshold(), prehashed.Threshold()) << "slice " << n;
+    EXPECT_EQ(plain.CountedOccurrences(), prehashed.CountedOccurrences())
+        << "slice " << n;
+    auto a = plain.Entries();
+    auto b = prehashed.Entries();
+    std::sort(a.begin(), a.end(), [](const ValueCount& x, const ValueCount& y) {
+      return x.value < y.value;
+    });
+    std::sort(b.begin(), b.end(), [](const ValueCount& x, const ValueCount& y) {
+      return x.value < y.value;
+    });
+    EXPECT_EQ(a, b) << "slice " << n;
+  }
+}
+
+}  // namespace
+}  // namespace aqua

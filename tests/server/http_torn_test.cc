@@ -7,9 +7,17 @@
 // header name, mid percent-escape, mid body.  The sweep below replays one
 // pipelined stream split at every boundary and asserts the parsed requests
 // are identical to the unsplit parse, element for element.
+//
+// HttpRequest is a bundle of views into parser-owned storage, valid only
+// until the parser's next Feed/Reparse — so the drain loop materializes
+// each request into an OwnedRequest before pumping the parser again, and
+// single-request helpers keep the parser alive alongside the views.
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,17 +27,50 @@
 namespace aqua {
 namespace {
 
+/// Deep copy of one parsed request: owns every byte, so it survives the
+/// parser moving on to the next pipelined request.
+struct OwnedRequest {
+  std::string method;
+  std::string path;
+  std::vector<std::pair<std::string, std::string>> query;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool keep_alive = true;
+
+  explicit OwnedRequest(const HttpRequest& r)
+      : method(r.method),
+        path(r.path),
+        body(r.body),
+        keep_alive(r.keep_alive) {
+    for (std::size_t i = 0; i < r.query_count; ++i) {
+      query.emplace_back(std::string(r.query[i].key),
+                         std::string(r.query[i].value));
+    }
+    for (std::size_t i = 0; i < r.header_count; ++i) {
+      headers.emplace_back(std::string(r.headers[i].key),
+                           std::string(r.headers[i].value));
+    }
+  }
+
+  std::optional<std::string_view> QueryParam(std::string_view name) const {
+    for (const auto& [key, value] : query) {
+      if (key == name) return std::string_view(value);
+    }
+    return std::nullopt;
+  }
+};
+
 /// Feeds `stream` to a fresh parser and drains every complete request.
 /// The parser must never error and must end in kNeedMore with no buffered
 /// leftovers.
-std::vector<HttpRequest> ParseAll(const std::vector<std::string>& chunks) {
+std::vector<OwnedRequest> ParseAll(const std::vector<std::string>& chunks) {
   HttpRequestParser parser;
-  std::vector<HttpRequest> requests;
+  std::vector<OwnedRequest> requests;
   for (const std::string& chunk : chunks) {
     auto state = parser.Feed(chunk);
     EXPECT_NE(state, HttpRequestParser::State::kError) << parser.error();
     while (parser.Reparse() == HttpRequestParser::State::kComplete) {
-      requests.push_back(parser.TakeRequest());
+      requests.emplace_back(parser.TakeRequest());
     }
   }
   EXPECT_EQ(parser.state(), HttpRequestParser::State::kNeedMore);
@@ -37,8 +78,8 @@ std::vector<HttpRequest> ParseAll(const std::vector<std::string>& chunks) {
   return requests;
 }
 
-void ExpectSameRequests(const std::vector<HttpRequest>& got,
-                        const std::vector<HttpRequest>& want,
+void ExpectSameRequests(const std::vector<OwnedRequest>& got,
+                        const std::vector<OwnedRequest>& want,
                         std::size_t split) {
   ASSERT_EQ(got.size(), want.size()) << "split at byte " << split;
   for (std::size_t i = 0; i < want.size(); ++i) {
@@ -62,7 +103,7 @@ TEST(HttpTornReadTest, PipelinedStreamSplitAtEveryByteBoundary) {
       "GET /frequency?value=42 HTTP/1.1\r\nHost: t\r\n"
       "Connection: close\r\n\r\n";
 
-  const std::vector<HttpRequest> want = ParseAll({stream});
+  const std::vector<OwnedRequest> want = ParseAll({stream});
   ASSERT_EQ(want.size(), 3u);
   EXPECT_EQ(want[0].path, "/hotlist");
   EXPECT_EQ(want[0].QueryParam("tag"), "a b");
@@ -70,7 +111,7 @@ TEST(HttpTornReadTest, PipelinedStreamSplitAtEveryByteBoundary) {
   EXPECT_FALSE(want[2].keep_alive);
 
   for (std::size_t split = 0; split <= stream.size(); ++split) {
-    const std::vector<HttpRequest> got =
+    const std::vector<OwnedRequest> got =
         ParseAll({stream.substr(0, split), stream.substr(split)});
     ExpectSameRequests(got, want, split);
   }
@@ -80,17 +121,50 @@ TEST(HttpTornReadTest, ThreeWaySplitsAcrossRequestBoundaries) {
   const std::string stream =
       "GET /a?x=1 HTTP/1.1\r\nHost: t\r\n\r\n"
       "GET /b?y=2 HTTP/1.1\r\nHost: t\r\n\r\n";
-  const std::vector<HttpRequest> want = ParseAll({stream});
+  const std::vector<OwnedRequest> want = ParseAll({stream});
   ASSERT_EQ(want.size(), 2u);
   // Every ordered pair of split points (coarser than the full sweep, but
   // covers chunk boundaries landing inside both requests at once).
   for (std::size_t a = 0; a <= stream.size(); a += 3) {
     for (std::size_t b = a; b <= stream.size(); b += 3) {
-      const std::vector<HttpRequest> got = ParseAll(
+      const std::vector<OwnedRequest> got = ParseAll(
           {stream.substr(0, a), stream.substr(a, b - a), stream.substr(b)});
       ExpectSameRequests(got, want, a * 1000 + b);
     }
   }
+}
+
+TEST(HttpTornReadTest, OverflowingFixedSlotsIsMalformed) {
+  // The fixed view arrays reject rather than truncate: one parameter or
+  // header too many must turn the request into a 400, never silently drop
+  // a pair a handler (or the cache key) would have seen.
+  std::string many_params = "GET /q?";
+  for (std::size_t i = 0; i <= HttpRequest::kMaxQueryParams; ++i) {
+    if (i > 0) many_params.push_back('&');
+    many_params += "k" + std::to_string(i) + "=1";
+  }
+  many_params += " HTTP/1.1\r\nHost: t\r\n\r\n";
+  HttpRequestParser p1;
+  EXPECT_EQ(p1.Feed(many_params), HttpRequestParser::State::kError);
+
+  std::string many_headers = "GET / HTTP/1.1\r\n";
+  for (std::size_t i = 0; i <= HttpRequest::kMaxHeaders; ++i) {
+    many_headers += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  many_headers += "\r\n";
+  HttpRequestParser p2;
+  EXPECT_EQ(p2.Feed(many_headers), HttpRequestParser::State::kError);
+
+  // Exactly at the limit still parses.
+  std::string at_limit = "GET /q?";
+  for (std::size_t i = 0; i < HttpRequest::kMaxQueryParams; ++i) {
+    if (i > 0) at_limit.push_back('&');
+    at_limit += "k" + std::to_string(i) + "=1";
+  }
+  at_limit += " HTTP/1.1\r\nHost: t\r\n\r\n";
+  HttpRequestParser p3;
+  EXPECT_EQ(p3.Feed(at_limit), HttpRequestParser::State::kComplete);
+  EXPECT_EQ(p3.TakeRequest().query_count, HttpRequest::kMaxQueryParams);
 }
 
 TEST(HttpKeepAliveTest, VersionDefaultsAndConnectionOverrides) {
@@ -130,55 +204,64 @@ TEST(HttpKeepAliveTest, ResponseEchoesNegotiatedConnection) {
             std::string::npos);
 }
 
-HttpRequest ParseOne(const std::string& wire) {
-  HttpRequestParser parser;
-  EXPECT_EQ(parser.Feed(wire), HttpRequestParser::State::kComplete);
-  return parser.TakeRequest();
-}
+/// Parses one request and keeps the parser (the storage behind the views)
+/// alive for as long as the request is examined.
+class ParsedRequest {
+ public:
+  explicit ParsedRequest(const std::string& wire) {
+    EXPECT_EQ(parser_.Feed(wire), HttpRequestParser::State::kComplete);
+    request_ = parser_.TakeRequest();
+  }
+  ParsedRequest(const ParsedRequest&) = delete;
+  ParsedRequest& operator=(const ParsedRequest&) = delete;
+
+  const HttpRequest* operator->() const { return &request_; }
+  const HttpRequest& get() const { return request_; }
+
+ private:
+  HttpRequestParser parser_;
+  HttpRequest request_;
+};
 
 TEST(CanonicalQueryTest, SortsByKeyAndReencodes) {
-  const HttpRequest request =
-      ParseOne("GET /q?b=2&a=1&c=a%20b HTTP/1.1\r\nHost: t\r\n\r\n");
-  EXPECT_EQ(request.CanonicalQuery(), "a=1&b=2&c=a%20b");
+  const ParsedRequest request(
+      "GET /q?b=2&a=1&c=a%20b HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(request->CanonicalQuery(), "a=1&b=2&c=a%20b");
 }
 
 TEST(CanonicalQueryTest, ParameterOrderDoesNotMatter) {
-  const HttpRequest x =
-      ParseOne("GET /q?k=10&beta=3 HTTP/1.1\r\nHost: t\r\n\r\n");
-  const HttpRequest y =
-      ParseOne("GET /q?beta=3&k=10 HTTP/1.1\r\nHost: t\r\n\r\n");
-  EXPECT_EQ(x.CanonicalQuery(), y.CanonicalQuery());
+  const ParsedRequest x("GET /q?k=10&beta=3 HTTP/1.1\r\nHost: t\r\n\r\n");
+  const ParsedRequest y("GET /q?beta=3&k=10 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(x->CanonicalQuery(), y->CanonicalQuery());
 }
 
 TEST(CanonicalQueryTest, EscapingVariantsCanonicalizeEqual) {
   // %34%32 is "42" — the decoded parameters are identical, so the
   // canonical forms must be too (the cache must not double-count them).
-  const HttpRequest plain =
-      ParseOne("GET /q?value=42 HTTP/1.1\r\nHost: t\r\n\r\n");
-  const HttpRequest escaped =
-      ParseOne("GET /q?value=%34%32 HTTP/1.1\r\nHost: t\r\n\r\n");
-  EXPECT_EQ(plain.CanonicalQuery(), escaped.CanonicalQuery());
+  const ParsedRequest plain("GET /q?value=42 HTTP/1.1\r\nHost: t\r\n\r\n");
+  const ParsedRequest escaped(
+      "GET /q?value=%34%32 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(plain->CanonicalQuery(), escaped->CanonicalQuery());
 }
 
 TEST(CanonicalQueryTest, DuplicateKeysKeepRequestOrder) {
   // First-wins semantics must survive the stable sort: the first `k` stays
   // first in the canonical form.
-  const HttpRequest request =
-      ParseOne("GET /q?k=1&a=0&k=2 HTTP/1.1\r\nHost: t\r\n\r\n");
-  EXPECT_EQ(request.CanonicalQuery(), "a=0&k=1&k=2");
-  EXPECT_EQ(request.QueryParam("k"), "1");
+  const ParsedRequest request(
+      "GET /q?k=1&a=0&k=2 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(request->CanonicalQuery(), "a=0&k=1&k=2");
+  EXPECT_EQ(request->QueryParam("k"), "1");
 }
 
 TEST(CanonicalQueryTest, ReservedBytesArePercentEncoded) {
-  const HttpRequest request =
-      ParseOne("GET /q?expr=a%2Bb%3Dc HTTP/1.1\r\nHost: t\r\n\r\n");
-  EXPECT_EQ(request.CanonicalQuery(), "expr=a%2Bb%3Dc");
+  const ParsedRequest request(
+      "GET /q?expr=a%2Bb%3Dc HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(request->CanonicalQuery(), "expr=a%2Bb%3Dc");
 }
 
 TEST(CanonicalQueryTest, EmptyQueryCanonicalizesEmpty) {
-  const HttpRequest request =
-      ParseOne("GET /distinct HTTP/1.1\r\nHost: t\r\n\r\n");
-  EXPECT_EQ(request.CanonicalQuery(), "");
+  const ParsedRequest request("GET /distinct HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(request->CanonicalQuery(), "");
 }
 
 TEST(NoCacheTest, DirectiveDetection) {
@@ -198,9 +281,9 @@ TEST(NoCacheTest, DirectiveDetection) {
       {"X-Cache-Control: no-cache\r\n", false},
   };
   for (const Case& c : cases) {
-    const HttpRequest request = ParseOne(
+    const ParsedRequest request(
         std::string("GET / HTTP/1.1\r\nHost: t\r\n") + c.headers + "\r\n");
-    EXPECT_EQ(request.NoCache(), c.want) << c.headers;
+    EXPECT_EQ(request->NoCache(), c.want) << c.headers;
   }
 }
 

@@ -149,7 +149,7 @@ TEST(ReactorServerTest, ConcurrentClientsAcrossReactors) {
                  return r;
                });
   server.Route("POST", "/add", [&sum](const HttpRequest& request) {
-    sum.fetch_add(std::stoll(request.body), std::memory_order_relaxed);
+    sum.fetch_add(std::stoll(std::string(request.body)), std::memory_order_relaxed);
     HttpResponse r;
     r.body = "ok";
     return r;
@@ -211,7 +211,7 @@ TEST(ReactorServerTest, PipelinedConnectionMixesInlineAndWorkerRoutes) {
   server.Route("POST", "/b", [&posts](const HttpRequest& request) {
     posts.fetch_add(1, std::memory_order_relaxed);
     HttpResponse r;
-    r.body = "B:" + request.body;
+    r.body = std::string("B:").append(request.body);
     return r;
   });
   ASSERT_TRUE(server.Start().ok());

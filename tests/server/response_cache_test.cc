@@ -38,21 +38,35 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 namespace aqua {
 namespace {
 
-HttpRequest ParseRequest(const std::string& wire) {
-  HttpRequestParser parser;
-  EXPECT_EQ(parser.Feed(wire), HttpRequestParser::State::kComplete);
-  return parser.TakeRequest();
-}
+// HttpRequest views parser-owned storage, so the parser must stay alive
+// while the request is examined; this holder bundles the two.  Factories
+// return it by prvalue (guaranteed elision — no move of the parser whose
+// buffer the views point into).
+class ParsedRequest {
+ public:
+  explicit ParsedRequest(const std::string& wire) {
+    EXPECT_EQ(parser_.Feed(wire), HttpRequestParser::State::kComplete);
+    request_ = parser_.TakeRequest();
+  }
+  ParsedRequest(const ParsedRequest&) = delete;
+  ParsedRequest& operator=(const ParsedRequest&) = delete;
 
-HttpRequest GetRequest(const std::string& target,
-                       const std::string& extra_headers = "") {
-  return ParseRequest("GET " + target + " HTTP/1.1\r\nHost: t\r\n" +
-                      extra_headers + "\r\n");
+  operator const HttpRequest&() const { return request_; }
+
+ private:
+  HttpRequestParser parser_;
+  HttpRequest request_;
+};
+
+ParsedRequest GetRequest(const std::string& target,
+                         const std::string& extra_headers = "") {
+  return ParsedRequest("GET " + target + " HTTP/1.1\r\nHost: t\r\n" +
+                       extra_headers + "\r\n");
 }
 
 TEST(ResponseCacheTest, HitReturnsStoredBytesVerbatim) {
   ResponseCache cache;
-  const HttpRequest request = GetRequest("/hotlist?k=10");
+  const ParsedRequest request = GetRequest("/hotlist?k=10");
   const std::string wire = "HTTP/1.1 200 OK\r\n\r\n{\"x\":1}";
 
   const std::string_view key = cache.BuildKey(request);
@@ -71,8 +85,8 @@ TEST(ResponseCacheTest, HitReturnsStoredBytesVerbatim) {
 
 TEST(ResponseCacheTest, EpochAdvanceInvalidatesWholesale) {
   ResponseCache cache;
-  const HttpRequest a = GetRequest("/hotlist?k=10");
-  const HttpRequest b = GetRequest("/frequency?value=7");
+  const ParsedRequest a = GetRequest("/hotlist?k=10");
+  const ParsedRequest b = GetRequest("/frequency?value=7");
   cache.Store(1, cache.BuildKey(a), "A");
   cache.Store(1, cache.BuildKey(b), "B");
   EXPECT_EQ(cache.GetStats().entries, 2u);
@@ -91,9 +105,9 @@ TEST(ResponseCacheTest, EpochAdvanceInvalidatesWholesale) {
 
 TEST(ResponseCacheTest, EquivalentQueriesShareOneKey) {
   ResponseCache cache;
-  const HttpRequest x = GetRequest("/hotlist?k=10&beta=3");
-  const HttpRequest y = GetRequest("/hotlist?beta=3&k=10");
-  const HttpRequest z = GetRequest("/hotlist?k=%31%30&beta=3");
+  const ParsedRequest x = GetRequest("/hotlist?k=10&beta=3");
+  const ParsedRequest y = GetRequest("/hotlist?beta=3&k=10");
+  const ParsedRequest z = GetRequest("/hotlist?k=%31%30&beta=3");
   const std::string kx(cache.BuildKey(x));
   EXPECT_EQ(kx, std::string(cache.BuildKey(y)));
   EXPECT_EQ(kx, std::string(cache.BuildKey(z)));
@@ -103,8 +117,8 @@ TEST(ResponseCacheTest, KeepAliveBitSplitsTheKey) {
   // The cached wire embeds a Connection: header, so a close request must
   // never replay a keep-alive entry (and vice versa).
   ResponseCache cache;
-  const HttpRequest keep = GetRequest("/distinct");
-  const HttpRequest close_it =
+  const ParsedRequest keep = GetRequest("/distinct");
+  const ParsedRequest close_it =
       GetRequest("/distinct", "Connection: close\r\n");
   const std::string keep_key(cache.BuildKey(keep));
   EXPECT_NE(keep_key, std::string(cache.BuildKey(close_it)));
@@ -142,7 +156,7 @@ TEST(ResponseCacheTest, BypassAndForcedMissCounters) {
 
 TEST(ResponseCacheTest, WarmHitPathDoesNotAllocate) {
   ResponseCache cache;
-  const HttpRequest request =
+  const ParsedRequest request =
       GetRequest("/count_where?low=10&high=5000&confidence=0.95");
   std::string wire(512, 'x');
   cache.Store(7, cache.BuildKey(request), std::move(wire));
@@ -165,7 +179,7 @@ TEST(ResponseCacheTest, WarmHitPathDoesNotAllocate) {
 
 TEST(ResponseCacheTest, StoreAfterEpochAdvanceStartsFresh) {
   ResponseCache cache;
-  const HttpRequest request = GetRequest("/quantile?q=0.5");
+  const ParsedRequest request = GetRequest("/quantile?q=0.5");
   cache.Store(1, cache.BuildKey(request), "EPOCH1");
   cache.Store(2, cache.BuildKey(request), "EPOCH2");
   const std::string* hit = cache.Lookup(2, cache.BuildKey(request));
