@@ -52,6 +52,8 @@
 #include <utility>
 #include <vector>
 
+#include "server/cluster.h"
+#include "server/push_client.h"
 #include "server/routes.h"
 #include "server/server.h"
 #include "server/serving_engine.h"
@@ -74,6 +76,17 @@ struct ServeFlags {
   double preload_alpha = 1.0;
   std::uint64_t preload_seed = 42;
   bool enable_debug = false;
+  // Cluster mode (--role ingest|aggregator); see src/server/cluster.h.
+  ClusterRole role = ClusterRole::kSingle;
+  std::string node_id = "node";
+  std::string data_dir;
+  std::string push_host = "127.0.0.1";
+  std::uint16_t push_port = 0;
+  std::int64_t push_interval_ms = 200;
+  std::int64_t checkpoint_ops = 4096;
+  std::int64_t push_retries = 3;
+  std::int64_t push_backoff_ms = 50;
+  std::int64_t debug_commit_hold_ms = 0;
 };
 
 bool ParseInt64(std::string_view s, std::int64_t* out) {
@@ -112,7 +125,20 @@ void Usage(const char* argv0) {
       "(default 16384)\n"
       "  --preload-zipf N,DOMAIN,ALPHA,SEED  ingest a Zipf stream at "
       "startup\n"
-      "  --enable-debug       expose GET /debug/sleep?ms= (testing only)\n",
+      "  --enable-debug       expose GET /debug/sleep?ms= (testing only)\n"
+      "cluster mode:\n"
+      "  --role R             single | ingest | aggregator (default "
+      "single)\n"
+      "  --node-id NAME       this ingest node's stable id\n"
+      "  --data-dir DIR       WAL + checkpoint directory (ingest role)\n"
+      "  --push-to HOST:PORT  the aggregator's /cluster/push endpoint\n"
+      "  --push-interval-ms N background delta push period (default 200)\n"
+      "  --checkpoint-ops N   checkpoint after N new ops (0 = never; "
+      "default 4096)\n"
+      "  --push-retries N     push attempts per frame (default 3)\n"
+      "  --push-backoff-ms N  sleep between push attempts (default 50)\n"
+      "  --debug-commit-hold-ms N  fault injection: hold between push ack\n"
+      "                       and WAL commit marker (testing only)\n",
       argv0);
 }
 
@@ -211,6 +237,60 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
         return false;
       }
       flags->preload_seed = static_cast<std::uint64_t>(seed);
+    } else if (arg == "--role") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::string_view role(v);
+      if (role == "single") {
+        flags->role = ClusterRole::kSingle;
+      } else if (role == "ingest") {
+        flags->role = ClusterRole::kIngest;
+      } else if (role == "aggregator") {
+        flags->role = ClusterRole::kAggregator;
+      } else {
+        return false;
+      }
+    } else if (arg == "--node-id") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      flags->node_id = v;
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      flags->data_dir = v;
+    } else if (arg == "--push-to") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::string_view spec(v);
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string_view::npos || colon == 0 ||
+          !ParseInt64(spec.substr(colon + 1), &n) || n < 1 || n > 65535) {
+        return false;
+      }
+      flags->push_host = std::string(spec.substr(0, colon));
+      flags->push_port = static_cast<std::uint16_t>(n);
+    } else if (arg == "--push-interval-ms") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1) return false;
+      flags->push_interval_ms = n;
+    } else if (arg == "--checkpoint-ops") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 0) return false;
+      flags->checkpoint_ops = n;
+    } else if (arg == "--push-retries") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1) return false;
+      flags->push_retries = n;
+    } else if (arg == "--push-backoff-ms") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 0) return false;
+      flags->push_backoff_ms = n;
+    } else if (arg == "--debug-commit-hold-ms") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 0 || n > 60000) {
+        return false;
+      }
+      flags->debug_commit_hold_ms = n;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
       return false;
@@ -235,12 +315,78 @@ int ServeMain(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
   signal(SIGPIPE, SIG_IGN);
 
+  if (flags.role != ClusterRole::kSingle) {
+    if (!flags.attrs.empty()) {
+      std::fprintf(stderr, "cluster roles do not serve --attr catalogs\n");
+      return 2;
+    }
+    // Cluster roles maintain only the mergeable + persistable synopses
+    // (traditional + concise): only those can ship as deltas.
+    static_cast<SynopsisSelection&>(flags.engine) = ClusterSelection();
+  }
+  if (flags.role == ClusterRole::kIngest &&
+      (flags.data_dir.empty() || flags.push_port == 0)) {
+    std::fprintf(stderr,
+                 "--role ingest requires --data-dir and --push-to\n");
+    return 2;
+  }
+
   ServingEngine engine(flags.engine);
+
+  std::unique_ptr<DeltaAcceptor> acceptor;
+  std::unique_ptr<IngestReplicator> replicator;
+  if (flags.role == ClusterRole::kAggregator) {
+    acceptor = std::make_unique<DeltaAcceptor>(engine.mutable_registry());
+  } else if (flags.role == ClusterRole::kIngest) {
+    IngestReplicatorOptions cluster_options;
+    cluster_options.node_id = flags.node_id;
+    cluster_options.data_dir = flags.data_dir;
+    cluster_options.node_seed = flags.engine.seed;
+    cluster_options.push_attempts = static_cast<int>(flags.push_retries);
+    cluster_options.push_backoff =
+        std::chrono::milliseconds(flags.push_backoff_ms);
+    cluster_options.debug_commit_hold =
+        std::chrono::milliseconds(flags.debug_commit_hold_ms);
+    cluster_options.push_transport =
+        [host = flags.push_host,
+         port = flags.push_port](const std::vector<std::uint8_t>& bytes) {
+          return HttpPostBlocking(host, port, "/cluster/push", bytes);
+        };
+    replicator = std::make_unique<IngestReplicator>(
+        engine.mutable_registry(),
+        MakeClusterDeltaFactory(flags.engine.footprint_bound),
+        std::move(cluster_options));
+    const Status init = replicator->Init();
+    if (!init.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   std::string(init.message()).c_str());
+      return 1;
+    }
+    const IngestReplicator::Stats recovered = replicator->GetStats();
+    std::fprintf(stderr,
+                 "node %s recovered: op_count=%lld checkpoint=%d "
+                 "wal_ops=%lld pending=%d\n",
+                 flags.node_id.c_str(),
+                 static_cast<long long>(recovered.op_count),
+                 recovered.recovered_checkpoint ? 1 : 0,
+                 static_cast<long long>(recovered.recovered_ops),
+                 recovered.pending ? 1 : 0);
+  }
+
   if (flags.preload_n > 0) {
     const std::vector<Value> values =
         ZipfValues(flags.preload_n, flags.preload_domain, flags.preload_alpha,
                    flags.preload_seed);
-    engine.InsertBatch(values);
+    if (replicator != nullptr) {
+      const Status status = replicator->Ingest(values);
+      if (!status.ok()) {
+        std::fprintf(stderr, "preload failed: %s\n",
+                     std::string(status.message()).c_str());
+        return 1;
+      }
+    } else {
+      engine.InsertBatch(values);
+    }
     std::fprintf(stderr, "preloaded %lld Zipf(%.2f) values over [1, %lld]\n",
                  static_cast<long long>(flags.preload_n), flags.preload_alpha,
                  static_cast<long long>(flags.preload_domain));
@@ -280,8 +426,16 @@ int ServeMain(int argc, char** argv) {
   HttpServer server(flags.http);
   RouteConfig routes;
   routes.enable_debug = flags.enable_debug;
+  routes.replicator = replicator.get();
   RegisterServingRoutes(server, engine, routes);
   if (catalog != nullptr) RegisterCatalogRoutes(server, *catalog);
+  if (flags.role != ClusterRole::kSingle) {
+    ClusterRouteConfig cluster_routes;
+    cluster_routes.role = flags.role;
+    cluster_routes.acceptor = acceptor.get();
+    cluster_routes.replicator = replicator.get();
+    RegisterClusterRoutes(server, engine, cluster_routes);
+  }
   InstallEpochSource(server, engine, catalog.get());
   const Status status = server.Start();
   if (!status.ok()) {
@@ -294,10 +448,21 @@ int ServeMain(int argc, char** argv) {
               flags.http.bind_address.c_str(),
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
+  if (replicator != nullptr) {
+    replicator->StartPusher(
+        std::chrono::milliseconds(flags.push_interval_ms),
+        flags.checkpoint_ops);
+  }
 
   int sig = 0;
   sigwait(&sigs, &sig);
   std::fprintf(stderr, "signal %d: draining\n", sig);
+  if (replicator != nullptr) {
+    replicator->StopPusher();
+    // Best-effort final flush so a graceful stop ships everything the node
+    // observed; a failure just leaves it pending for the next incarnation.
+    (void)replicator->PushNow();
+  }
   server.Shutdown();
   return 0;
 }

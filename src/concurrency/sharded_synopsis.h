@@ -281,6 +281,17 @@ class ShardedSynopsis {
     return fn(static_cast<const S&>(shard.synopsis));
   }
 
+  /// Runs `fn(S&)` on one shard under its lock.  The cluster merge/restore
+  /// path folds external state into shard 0 this way: the shards summarize
+  /// disjoint substreams, so attributing merged-in ops to one shard keeps
+  /// every Snapshot() merge valid.
+  template <typename Fn>
+  auto WithShardMutable(std::size_t index, Fn&& fn) {
+    Shard& shard = *shards_[index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return fn(static_cast<S&>(shard.synopsis));
+  }
+
  private:
   // One cache line per shard so neighboring locks don't false-share.
   struct alignas(64) Shard {

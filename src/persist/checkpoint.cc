@@ -1,0 +1,144 @@
+#include "persist/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "persist/varint.h"
+#include "persist/wire_cursor.h"
+
+namespace aqua {
+
+namespace {
+
+using persist_internal::WireCursor;
+
+constexpr std::uint64_t kCheckpointMagic = 0xC4EC;
+constexpr std::uint64_t kCheckpointVersion = 1;
+constexpr std::uint64_t kMaxNameLen = 256;
+constexpr std::uint64_t kMaxBlobs = 1024;
+
+void PutBlobs(const std::vector<CheckpointBlob>& blobs,
+              std::vector<std::uint8_t>& out) {
+  PutVarint(blobs.size(), out);
+  for (const CheckpointBlob& blob : blobs) {
+    PutVarint(blob.name.size(), out);
+    out.insert(out.end(), blob.name.begin(), blob.name.end());
+    PutVarint(blob.state.size(), out);
+    out.insert(out.end(), blob.state.begin(), blob.state.end());
+  }
+}
+
+bool ReadBlobs(WireCursor& cursor, std::vector<CheckpointBlob>* out) {
+  std::uint64_t n = 0;
+  // Two length prefixes minimum per blob: a count the remaining bytes
+  // cannot hold is rejected before the reserve allocates.
+  if (!cursor.ReadVarint(&n) || n > kMaxBlobs ||
+      n > cursor.remaining() / 2) {
+    return false;
+  }
+  out->reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CheckpointBlob blob;
+    std::uint64_t name_len = 0, state_len = 0;
+    const std::uint8_t* bytes = nullptr;
+    if (!cursor.ReadVarint(&name_len) || name_len > kMaxNameLen ||
+        name_len > cursor.remaining() ||
+        !cursor.ReadBytes(name_len, &bytes)) {
+      return false;
+    }
+    blob.name.assign(reinterpret_cast<const char*>(bytes), name_len);
+    if (blob.name.empty()) return false;
+    if (!cursor.ReadVarint(&state_len) || state_len > cursor.remaining() ||
+        !cursor.ReadBytes(state_len, &bytes)) {
+      return false;
+    }
+    blob.state.assign(bytes, bytes + state_len);
+    out->push_back(std::move(blob));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeNodeCheckpoint(const NodeCheckpoint& cp) {
+  std::vector<std::uint8_t> out;
+  PutVarint(kCheckpointMagic, out);
+  PutVarint(kCheckpointVersion, out);
+  PutVarint(static_cast<std::uint64_t>(cp.op_count), out);
+  PutVarint(cp.next_seq, out);
+  PutVarint(static_cast<std::uint64_t>(cp.exported_up_to), out);
+  PutBlobs(cp.full, out);
+  PutBlobs(cp.delta, out);
+  return out;
+}
+
+Result<NodeCheckpoint> DecodeNodeCheckpoint(const std::uint8_t* data,
+                                            std::size_t size) {
+  WireCursor cursor{data, size, 0};
+  std::uint64_t magic = 0, version = 0;
+  if (!cursor.ReadVarint(&magic) || magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not a node checkpoint (bad magic)");
+  }
+  if (!cursor.ReadVarint(&version) || version != kCheckpointVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  NodeCheckpoint cp;
+  std::uint64_t op_count = 0, exported = 0;
+  if (!cursor.ReadVarint(&op_count) || op_count > (std::uint64_t{1} << 62) ||
+      !cursor.ReadVarint(&cp.next_seq) || !cursor.ReadVarint(&exported) ||
+      exported > op_count) {
+    return Status::InvalidArgument("corrupt checkpoint header");
+  }
+  cp.op_count = static_cast<std::int64_t>(op_count);
+  cp.exported_up_to = static_cast<std::int64_t>(exported);
+  if (!ReadBlobs(cursor, &cp.full)) {
+    return Status::InvalidArgument("corrupt checkpoint full-state blobs");
+  }
+  if (!ReadBlobs(cursor, &cp.delta)) {
+    return Status::InvalidArgument("corrupt checkpoint delta blobs");
+  }
+  if (!cursor.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after checkpoint");
+  }
+  return cp;
+}
+
+Result<NodeCheckpoint> DecodeNodeCheckpoint(
+    const std::vector<std::uint8_t>& bytes) {
+  return DecodeNodeCheckpoint(bytes.data(), bytes.size());
+}
+
+Status WriteNodeCheckpointFile(const NodeCheckpoint& cp,
+                               const std::string& path) {
+  const std::vector<std::uint8_t> bytes = EncodeNodeCheckpoint(cp);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open checkpoint temp file: " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      return Status::Internal("checkpoint write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("checkpoint rename failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<NodeCheckpoint> ReadNodeCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open checkpoint: " + path);
+  }
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return DecodeNodeCheckpoint(bytes);
+}
+
+}  // namespace aqua

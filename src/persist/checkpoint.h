@@ -1,0 +1,67 @@
+#ifndef AQUA_PERSIST_CHECKPOINT_H_
+#define AQUA_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqua {
+
+/// One serialized synopsis inside a node checkpoint.
+struct CheckpointBlob {
+  std::string name;
+  std::vector<std::uint8_t> state;
+};
+
+/// A periodic ingest-node checkpoint: the full synopsis state at a known
+/// op count, plus the not-yet-exported delta synopses, so recovery only
+/// replays the WAL suffix written after the checkpoint instead of the
+/// whole stream.
+///
+/// Invariants the replicator maintains:
+///  - A checkpoint is only written while no export is pending, so the
+///    delta blobs always describe the *current* accumulation round (ops
+///    (exported_up_to, op_count]) and `next_seq` is the seq that round
+///    will export under.
+///  - The file is written to a temp path and rename()d into place, then
+///    the WAL is rotated to `base_op_count = op_count`.  A crash between
+///    the rename and the rotation leaves a WAL whose base is older than
+///    the checkpoint; recovery skips the first (op_count - base) op
+///    records — the skip-prefix rule — instead of double-applying them.
+///
+/// Wire format (integers LEB128, strings/blobs length-prefixed):
+///   magic, version, op_count, next_seq, exported_up_to,
+///   #full blobs, blobs..., #delta blobs, blobs...
+struct NodeCheckpoint {
+  /// Stream ops folded into the full blobs.
+  std::int64_t op_count = 0;
+  /// The sequence number the next export will claim.
+  std::uint64_t next_seq = 1;
+  /// Ops covered by already-exported (and committed) deltas.
+  std::int64_t exported_up_to = 0;
+  /// Full synopsis state of the node's main registry.
+  std::vector<CheckpointBlob> full;
+  /// The in-progress delta round (ops (exported_up_to, op_count]).
+  std::vector<CheckpointBlob> delta;
+};
+
+std::vector<std::uint8_t> EncodeNodeCheckpoint(const NodeCheckpoint& cp);
+
+Result<NodeCheckpoint> DecodeNodeCheckpoint(const std::uint8_t* data,
+                                            std::size_t size);
+Result<NodeCheckpoint> DecodeNodeCheckpoint(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Atomic write: temp file + rename, so a crash mid-write leaves either
+/// the old checkpoint or the new one, never a torn file.
+Status WriteNodeCheckpointFile(const NodeCheckpoint& cp,
+                               const std::string& path);
+
+/// NotFound when the file is absent (a fresh node).
+Result<NodeCheckpoint> ReadNodeCheckpointFile(const std::string& path);
+
+}  // namespace aqua
+
+#endif  // AQUA_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,111 @@
+#include "persist/delta_frame.h"
+
+#include "persist/varint.h"
+#include "persist/wire_cursor.h"
+
+namespace aqua {
+
+namespace {
+
+using persist_internal::WireCursor;
+
+constexpr std::uint64_t kFrameMagic = 0xDE17A;
+constexpr std::uint64_t kFrameVersion = 1;
+/// Node ids and synopsis names are short identifiers; anything longer is
+/// corrupt regardless of the frame size.
+constexpr std::uint64_t kMaxNameLen = 256;
+/// An aggregator registry holds a handful of synopses per frame.
+constexpr std::uint64_t kMaxSynopses = 1024;
+
+bool ReadString(WireCursor& cursor, std::uint64_t max_len,
+                std::string* out) {
+  std::uint64_t len = 0;
+  const std::uint8_t* bytes = nullptr;
+  if (!cursor.ReadVarint(&len) || len > max_len ||
+      len > cursor.remaining() || !cursor.ReadBytes(len, &bytes)) {
+    return false;
+  }
+  out->assign(reinterpret_cast<const char*>(bytes), len);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeDeltaFrame(const DeltaFrame& frame) {
+  std::vector<std::uint8_t> out;
+  PutVarint(kFrameMagic, out);
+  PutVarint(kFrameVersion, out);
+  PutVarint(frame.node_id.size(), out);
+  out.insert(out.end(), frame.node_id.begin(), frame.node_id.end());
+  PutVarint(frame.seq, out);
+  PutVarint(static_cast<std::uint64_t>(frame.covers_ops), out);
+  PutVarint(frame.synopses.size(), out);
+  for (const auto& [name, blob] : frame.synopses) {
+    PutVarint(name.size(), out);
+    out.insert(out.end(), name.begin(), name.end());
+    PutVarint(blob.size(), out);
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  return out;
+}
+
+Result<DeltaFrame> DecodeDeltaFrame(const std::uint8_t* data,
+                                    std::size_t size) {
+  WireCursor cursor{data, size, 0};
+  std::uint64_t magic = 0, version = 0;
+  if (!cursor.ReadVarint(&magic) || magic != kFrameMagic) {
+    return Status::InvalidArgument("not a delta frame (bad magic)");
+  }
+  if (!cursor.ReadVarint(&version) || version != kFrameVersion) {
+    return Status::InvalidArgument("unsupported delta frame version");
+  }
+  DeltaFrame frame;
+  if (!ReadString(cursor, kMaxNameLen, &frame.node_id) ||
+      frame.node_id.empty()) {
+    return Status::InvalidArgument("corrupt delta frame node id");
+  }
+  std::uint64_t covers = 0;
+  if (!cursor.ReadVarint(&frame.seq) || !cursor.ReadVarint(&covers) ||
+      covers > (std::uint64_t{1} << 62)) {
+    return Status::InvalidArgument("corrupt delta frame header");
+  }
+  frame.covers_ops = static_cast<std::int64_t>(covers);
+  std::uint64_t n_synopses = 0;
+  // Each synopsis costs at least 2 bytes (two zero-length prefixes), so a
+  // count beyond remaining/2 cannot be satisfied — rejected before the
+  // reserve below can allocate from an attacker-controlled count.
+  if (!cursor.ReadVarint(&n_synopses) || n_synopses > kMaxSynopses ||
+      n_synopses > cursor.remaining() / 2) {
+    return Status::InvalidArgument("corrupt delta frame synopsis count");
+  }
+  frame.synopses.reserve(n_synopses);
+  for (std::uint64_t i = 0; i < n_synopses; ++i) {
+    std::string name;
+    if (!ReadString(cursor, kMaxNameLen, &name) || name.empty()) {
+      return Status::InvalidArgument("corrupt delta frame synopsis name");
+    }
+    std::uint64_t blob_len = 0;
+    const std::uint8_t* blob = nullptr;
+    if (!cursor.ReadVarint(&blob_len) || blob_len > cursor.remaining() ||
+        !cursor.ReadBytes(blob_len, &blob)) {
+      return Status::InvalidArgument("corrupt delta frame synopsis blob");
+    }
+    frame.synopses.emplace_back(
+        std::move(name), std::vector<std::uint8_t>(blob, blob + blob_len));
+  }
+  if (!cursor.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after delta frame");
+  }
+  return frame;
+}
+
+Result<DeltaFrame> DecodeDeltaFrame(const std::vector<std::uint8_t>& bytes) {
+  return DecodeDeltaFrame(bytes.data(), bytes.size());
+}
+
+Result<DeltaFrame> DecodeDeltaFrame(const std::string& bytes) {
+  return DecodeDeltaFrame(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                          bytes.size());
+}
+
+}  // namespace aqua

@@ -1,0 +1,47 @@
+#ifndef AQUA_PERSIST_DELTA_FRAME_H_
+#define AQUA_PERSIST_DELTA_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace aqua {
+
+/// One shipped synopsis delta: everything an ingest node accumulated since
+/// its previous export, serialized per synopsis with the persist codecs
+/// and pushed to the aggregator over POST /cluster/push.
+///
+/// `seq` is the node's export sequence number — assigned once, durably
+/// (the WAL export marker lands before the frame leaves the node), and
+/// never reused, so the aggregator can deduplicate retried pushes by
+/// (node_id, seq).  `covers_ops` is the number of stream ops the delta
+/// summarizes; the aggregator folds it into its observed-insert counter so
+/// count_where scaling stays correct without replaying any op.
+///
+/// Wire format (integers LEB128, strings/blobs length-prefixed):
+///   magic, version, node_id, seq, covers_ops,
+///   #synopses, then per synopsis: name, state blob.
+/// Every length is validated against the remaining bytes before any
+/// allocation — frames arrive over the network and are untrusted.
+struct DeltaFrame {
+  std::string node_id;
+  std::uint64_t seq = 0;
+  std::int64_t covers_ops = 0;
+  /// (synopsis name, EncodeState bytes) pairs.
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> synopses;
+};
+
+std::vector<std::uint8_t> EncodeDeltaFrame(const DeltaFrame& frame);
+
+Result<DeltaFrame> DecodeDeltaFrame(const std::uint8_t* data,
+                                    std::size_t size);
+Result<DeltaFrame> DecodeDeltaFrame(const std::vector<std::uint8_t>& bytes);
+/// HTTP request bodies arrive as std::string.
+Result<DeltaFrame> DecodeDeltaFrame(const std::string& bytes);
+
+}  // namespace aqua
+
+#endif  // AQUA_PERSIST_DELTA_FRAME_H_

@@ -7,23 +7,18 @@
 
 namespace aqua {
 
-namespace {
-
-/// One op packs into a single varint: kind in bit 0, zigzag(value) above.
-std::uint64_t PackOp(const StreamOp& op) {
+std::uint64_t PackStreamOp(const StreamOp& op) {
   const std::uint64_t kind_bit =
       op.kind == StreamOp::Kind::kDelete ? 1u : 0u;
   return (ZigzagEncode(op.value) << 1) | kind_bit;
 }
 
-StreamOp UnpackOp(std::uint64_t packed) {
+StreamOp UnpackStreamOp(std::uint64_t packed) {
   StreamOp op;
   op.kind = (packed & 1) ? StreamOp::Kind::kDelete : StreamOp::Kind::kInsert;
   op.value = ZigzagDecode(packed >> 1);
   return op;
 }
-
-}  // namespace
 
 OpLogWriter::OpLogWriter(const std::string& path)
     : path_(path),
@@ -37,7 +32,7 @@ OpLogWriter::OpLogWriter(const std::string& path)
 OpLogWriter::~OpLogWriter() { (void)Flush(); }
 
 void OpLogWriter::Append(const StreamOp& op) {
-  PutVarint(PackOp(op), buffer_);
+  PutVarint(PackStreamOp(op), buffer_);
   ++appended_;
   if (buffer_.size() >= 1 << 16) (void)Flush();
 }
@@ -67,7 +62,7 @@ Result<UpdateStream> ReadOpLog(const std::string& path) {
   UpdateStream ops;
   while (!reader.AtEnd()) {
     AQUA_ASSIGN_OR_RETURN(const std::uint64_t packed, reader.Next());
-    ops.push_back(UnpackOp(packed));
+    ops.push_back(UnpackStreamOp(packed));
   }
   return ops;
 }

@@ -12,6 +12,14 @@
 
 namespace aqua {
 
+/// Packs one stream op into a single integer: kind in bit 0 (1 = delete),
+/// zigzag(value) above.  The unit both the OpLogWriter records and the
+/// cluster WAL's op records carry.
+std::uint64_t PackStreamOp(const StreamOp& op);
+
+/// Inverse of PackStreamOp.
+StreamOp UnpackStreamOp(std::uint64_t packed);
+
 /// An append-only operation log for warehouse load streams (the "logs"
 /// half of footnote 2).  Combined with periodic snapshots, a crashed
 /// approximate answer engine recovers by decoding the latest snapshot and

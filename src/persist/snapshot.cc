@@ -13,6 +13,7 @@ constexpr std::uint64_t kMagic = 0xA07A;  // "AQUA"-ish
 constexpr std::uint64_t kVersion = 1;
 constexpr std::uint64_t kKindConcise = 1;
 constexpr std::uint64_t kKindCounting = 2;
+constexpr std::uint64_t kKindReservoir = 3;
 
 std::vector<std::uint8_t> EncodeCommon(std::uint64_t kind,
                                        Words footprint_bound,
@@ -134,6 +135,75 @@ Result<CountingSample> DecodeCountingSnapshot(
   options.seed = seed;
   return CountingSample::Restore(options, snap.threshold, snap.observed,
                                  snap.entries);
+}
+
+std::vector<std::uint8_t> EncodeSnapshot(const ReservoirSample& sample) {
+  std::vector<std::uint8_t> out;
+  PutVarint(kMagic, out);
+  PutVarint(kVersion, out);
+  PutVarint(kKindReservoir, out);
+  PutVarint(static_cast<std::uint64_t>(sample.Capacity()), out);
+  PutVarint(static_cast<std::uint64_t>(sample.algorithm()), out);
+  PutVarint(static_cast<std::uint64_t>(sample.ObservedInserts()), out);
+  std::vector<Value> points = sample.Points();
+  std::sort(points.begin(), points.end());
+  PutVarint(points.size(), out);
+  Value previous = 0;
+  for (Value v : points) {
+    PutVarintSigned(v - previous, out);
+    previous = v;
+  }
+  return out;
+}
+
+Result<ReservoirSample> DecodeReservoirSnapshot(
+    const std::vector<std::uint8_t>& bytes, std::uint64_t seed) {
+  VarintReader reader(bytes);
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t magic, reader.Next());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not an aqua snapshot (bad magic)");
+  }
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t version, reader.Next());
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported snapshot version");
+  }
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t kind, reader.Next());
+  if (kind != kKindReservoir) {
+    return Status::InvalidArgument("snapshot holds a different synopsis kind");
+  }
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t capacity, reader.Next());
+  // Same untrusted-bytes rule as DecodeCommon: a corrupt capacity must be a
+  // Status, never an AQUA_CHECK abort or a giant reserve().
+  if (capacity < 1 || capacity > (std::uint64_t{1} << 48)) {
+    return Status::InvalidArgument("corrupt reservoir snapshot capacity");
+  }
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t algorithm, reader.Next());
+  if (algorithm > static_cast<std::uint64_t>(ReservoirAlgorithm::kL)) {
+    return Status::InvalidArgument("corrupt reservoir snapshot algorithm");
+  }
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t observed, reader.Next());
+  AQUA_ASSIGN_OR_RETURN(const std::uint64_t n_points, reader.Next());
+  // Every point costs at least 1 encoded byte, and a live reservoir never
+  // holds more than min(observed, capacity) points.
+  if (n_points > bytes.size() - reader.position() ||
+      n_points > std::min(capacity, observed)) {
+    return Status::InvalidArgument("corrupt reservoir snapshot point count");
+  }
+  std::vector<Value> points;
+  points.reserve(n_points);
+  Value previous = 0;
+  for (std::uint64_t i = 0; i < n_points; ++i) {
+    AQUA_ASSIGN_OR_RETURN(const std::int64_t delta, reader.NextSigned());
+    previous += delta;
+    points.push_back(previous);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot");
+  }
+  return ReservoirSample::Restore(
+      static_cast<std::int64_t>(capacity), seed,
+      static_cast<ReservoirAlgorithm>(algorithm),
+      static_cast<std::int64_t>(observed), std::move(points));
 }
 
 }  // namespace aqua

@@ -7,6 +7,7 @@
 #include "common/result.h"
 #include "core/concise_sample.h"
 #include "core/counting_sample.h"
+#include "sample/reservoir_sample.h"
 
 namespace aqua {
 
@@ -36,6 +37,17 @@ Result<ConciseSample> DecodeConciseSnapshot(
 
 /// Restores a counting sample.
 Result<CountingSample> DecodeCountingSnapshot(
+    const std::vector<std::uint8_t>& bytes, std::uint64_t seed);
+
+/// Serializes a traditional (reservoir) sample: kind 3 carries capacity,
+/// algorithm, observed count and the sorted, delta-coded sample points
+/// (point order is irrelevant to a uniform sample, so sorting buys both
+/// compression and byte-stable re-encoding).
+std::vector<std::uint8_t> EncodeSnapshot(const ReservoirSample& sample);
+
+/// Restores a reservoir sample; `seed` reseeds its random stream and
+/// re-primes the skip state at the restored position.
+Result<ReservoirSample> DecodeReservoirSnapshot(
     const std::vector<std::uint8_t>& bytes, std::uint64_t seed);
 
 }  // namespace aqua

@@ -1,0 +1,210 @@
+#include "persist/wal.h"
+
+#include <fstream>
+#include <iterator>
+
+#include "persist/op_log.h"
+#include "persist/varint.h"
+#include "persist/wire_cursor.h"
+
+namespace aqua {
+
+namespace {
+
+using persist_internal::FoldedFnv16;
+using persist_internal::WireCursor;
+
+constexpr std::uint64_t kWalMagic = 0xAA17;
+constexpr std::uint64_t kWalVersion = 1;
+constexpr std::uint64_t kMaxRecordType =
+    static_cast<std::uint64_t>(WalRecordType::kCommit);
+
+/// Payloads are tiny (at most three varints); anything claiming more than
+/// this is corrupt regardless of the remaining byte count.
+constexpr std::uint64_t kMaxPayloadLen = 64;
+
+void EncodePayload(const WalRecord& record, std::vector<std::uint8_t>& out) {
+  switch (record.type) {
+    case WalRecordType::kOp:
+      PutVarint(PackStreamOp(record.op), out);
+      break;
+    case WalRecordType::kExport:
+      PutVarint(record.seq, out);
+      PutVarint(static_cast<std::uint64_t>(record.up_to), out);
+      break;
+    case WalRecordType::kCommit:
+      PutVarint(record.seq, out);
+      break;
+  }
+}
+
+/// Parses one record payload.  False when the payload does not decode to
+/// exactly the fields the type requires (a checksum-valid but misshapen
+/// payload is corruption, not a torn tail).
+bool ParsePayload(WalRecordType type, const std::uint8_t* payload,
+                  std::size_t len, WalRecord* out) {
+  WireCursor cursor{payload, len, 0};
+  out->type = type;
+  switch (type) {
+    case WalRecordType::kOp: {
+      std::uint64_t packed = 0;
+      if (!cursor.ReadVarint(&packed)) return false;
+      out->op = UnpackStreamOp(packed);
+      break;
+    }
+    case WalRecordType::kExport: {
+      std::uint64_t up_to = 0;
+      if (!cursor.ReadVarint(&out->seq)) return false;
+      if (!cursor.ReadVarint(&up_to)) return false;
+      out->up_to = static_cast<std::int64_t>(up_to);
+      break;
+    }
+    case WalRecordType::kCommit:
+      if (!cursor.ReadVarint(&out->seq)) return false;
+      break;
+  }
+  return cursor.AtEnd();
+}
+
+}  // namespace
+
+void EncodeWalHeader(std::int64_t base_op_count,
+                     std::vector<std::uint8_t>& out) {
+  PutVarint(kWalMagic, out);
+  PutVarint(kWalVersion, out);
+  PutVarint(static_cast<std::uint64_t>(base_op_count), out);
+}
+
+void EncodeWalRecord(const WalRecord& record, std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> payload;
+  EncodePayload(record, payload);
+  const std::uint64_t key = (static_cast<std::uint64_t>(payload.size()) << 2) |
+                            static_cast<std::uint64_t>(record.type);
+  PutVarint(key, out);
+  out.insert(out.end(), payload.begin(), payload.end());
+  PutVarint(FoldedFnv16(static_cast<std::uint8_t>(record.type),
+                        payload.data(), payload.size()),
+            out);
+}
+
+Result<WalContents> DecodeWal(const std::uint8_t* data, std::size_t size,
+                              WalReadMode mode) {
+  WireCursor cursor{data, size, 0};
+  std::uint64_t magic = 0, version = 0, base = 0;
+  // Header anomalies are errors in both modes: without a trusted
+  // base_op_count there is no valid prefix to salvage.
+  if (!cursor.ReadVarint(&magic) || magic != kWalMagic) {
+    return Status::InvalidArgument("not an aqua WAL (bad magic)");
+  }
+  if (!cursor.ReadVarint(&version) || version != kWalVersion) {
+    return Status::InvalidArgument("unsupported WAL version");
+  }
+  if (!cursor.ReadVarint(&base) || base > (std::uint64_t{1} << 62)) {
+    return Status::InvalidArgument("corrupt WAL base op count");
+  }
+  WalContents contents;
+  contents.base_op_count = static_cast<std::int64_t>(base);
+  contents.valid_bytes = cursor.pos;
+  while (!cursor.AtEnd()) {
+    std::uint64_t key = 0;
+    const std::uint8_t* payload = nullptr;
+    std::uint64_t checksum = 0;
+    WalRecord record;
+    const bool record_ok =
+        cursor.ReadVarint(&key) && (key & 3) <= kMaxRecordType &&
+        (key >> 2) <= kMaxPayloadLen &&
+        cursor.ReadBytes(static_cast<std::size_t>(key >> 2), &payload) &&
+        cursor.ReadVarint(&checksum) &&
+        checksum == FoldedFnv16(static_cast<std::uint8_t>(key & 3), payload,
+                                static_cast<std::size_t>(key >> 2)) &&
+        ParsePayload(static_cast<WalRecordType>(key & 3), payload,
+                     static_cast<std::size_t>(key >> 2), &record);
+    if (!record_ok) {
+      if (mode == WalReadMode::kStrict) {
+        return Status::InvalidArgument("corrupt WAL record at byte " +
+                                       std::to_string(contents.valid_bytes));
+      }
+      contents.clean = false;
+      return contents;
+    }
+    contents.records.push_back(record);
+    contents.valid_bytes = cursor.pos;
+  }
+  return contents;
+}
+
+Result<WalContents> DecodeWal(const std::vector<std::uint8_t>& bytes,
+                              WalReadMode mode) {
+  return DecodeWal(bytes.data(), bytes.size(), mode);
+}
+
+Result<WalContents> ReadWalFile(const std::string& path, WalReadMode mode) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open WAL: " + path);
+  }
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return DecodeWal(bytes, mode);
+}
+
+WalWriter::WalWriter(const std::string& path, std::int64_t base_op_count,
+                     OpenMode mode)
+    : path_(path),
+      stream_(path, mode == OpenMode::kTruncate
+                        ? (std::ios::binary | std::ios::trunc)
+                        : (std::ios::binary | std::ios::app)) {
+  if (!stream_) {
+    status_ = Status::InvalidArgument("cannot open WAL for writing: " + path);
+    return;
+  }
+  if (mode == OpenMode::kTruncate) {
+    EncodeWalHeader(base_op_count, buffer_);
+    (void)Flush();
+  }
+}
+
+WalWriter::~WalWriter() { (void)Flush(); }
+
+void WalWriter::Append(const WalRecord& record) {
+  EncodeWalRecord(record, buffer_);
+  if (buffer_.size() >= 1 << 16) (void)Flush();
+}
+
+void WalWriter::AppendOp(const StreamOp& op) {
+  WalRecord record;
+  record.type = WalRecordType::kOp;
+  record.op = op;
+  Append(record);
+}
+
+void WalWriter::AppendExportMarker(std::uint64_t seq, std::int64_t up_to) {
+  WalRecord record;
+  record.type = WalRecordType::kExport;
+  record.seq = seq;
+  record.up_to = up_to;
+  Append(record);
+}
+
+void WalWriter::AppendCommitMarker(std::uint64_t seq) {
+  WalRecord record;
+  record.type = WalRecordType::kCommit;
+  record.seq = seq;
+  Append(record);
+}
+
+Status WalWriter::Flush() {
+  if (!status_.ok()) return status_;
+  if (!buffer_.empty()) {
+    stream_.write(reinterpret_cast<const char*>(buffer_.data()),
+                  static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+    stream_.flush();
+    if (!stream_) {
+      status_ = Status::Internal("WAL write failed: " + path_);
+    }
+  }
+  return status_;
+}
+
+}  // namespace aqua

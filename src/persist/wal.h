@@ -1,0 +1,127 @@
+#ifndef AQUA_PERSIST_WAL_H_
+#define AQUA_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/stream.h"
+
+namespace aqua {
+
+/// The cluster write-ahead log: every ingest node appends here *before*
+/// applying an op to its synopses, so a SIGKILLed node replays the log
+/// suffix after its latest checkpoint instead of the stream.
+///
+/// On-disk format (all integers LEB128):
+///
+///   header:  magic, version, base_op_count
+///   record:  key = (payload_len << 2) | type, payload bytes, checksum
+///
+/// `base_op_count` is the number of stream ops already folded into the
+/// checkpoint the log was rotated against — replay resumes there.  Record
+/// types: 0 = stream op (payload: one PackStreamOp varint), 1 = export
+/// marker (payload: delta seq, absolute op count the delta covers
+/// through), 2 = commit marker (payload: delta seq the aggregator acked).
+/// The checksum is FNV-1a 64 over the type byte + payload, folded to 16
+/// bits — enough to catch torn tails and bit flips at ~2 bytes/record.
+///
+/// Export/commit markers make delta shipping exactly-once across crashes:
+/// an export marker durably claims a sequence number and an op range
+/// before the frame leaves the node, and the commit marker lands only
+/// after the aggregator acked it.  Recovery re-derives any exported,
+/// uncommitted frame (same seq, same ops, same seeds) and re-pushes it;
+/// the aggregator deduplicates by (node, seq).
+
+enum class WalRecordType : std::uint8_t {
+  kOp = 0,
+  kExport = 1,
+  kCommit = 2,
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kOp;
+  /// kOp only.
+  StreamOp op = StreamOp::Insert(0);
+  /// kExport / kCommit: the delta sequence number.
+  std::uint64_t seq = 0;
+  /// kExport only: the absolute op count the delta covers through.
+  std::int64_t up_to = 0;
+};
+
+struct WalContents {
+  std::int64_t base_op_count = 0;
+  std::vector<WalRecord> records;
+  /// Bytes of header + complete, checksum-valid records.  A recovering
+  /// node truncates the file here before reopening it for append.
+  std::size_t valid_bytes = 0;
+  /// False when kTolerateTornTail dropped a torn/corrupt tail.
+  bool clean = true;
+};
+
+enum class WalReadMode {
+  /// Any anomaly — truncated record, bad checksum, unknown type, overlong
+  /// varint, trailing garbage — is InvalidArgument.  Payload lengths are
+  /// validated against the remaining bytes before any read, so corrupt
+  /// input never reaches an allocation sized by attacker-controlled
+  /// counts, and never aborts.
+  kStrict,
+  /// Crash recovery: decode records until the first anomaly, then stop and
+  /// report what was valid (`clean = false`).  A torn tail is the expected
+  /// result of SIGKILL mid-append, not corruption.  A bad *header* is
+  /// still an error — there is no prefix worth salvaging.
+  kTolerateTornTail,
+};
+
+/// Encoders, exposed for tests that build corrupt inputs byte-by-byte.
+void EncodeWalHeader(std::int64_t base_op_count,
+                     std::vector<std::uint8_t>& out);
+void EncodeWalRecord(const WalRecord& record, std::vector<std::uint8_t>& out);
+
+Result<WalContents> DecodeWal(const std::uint8_t* data, std::size_t size,
+                              WalReadMode mode);
+Result<WalContents> DecodeWal(const std::vector<std::uint8_t>& bytes,
+                              WalReadMode mode);
+
+/// Reads and decodes a whole WAL file.  NotFound when the file is absent.
+Result<WalContents> ReadWalFile(const std::string& path, WalReadMode mode);
+
+/// Buffered appender.  kTruncate starts a fresh log (writes the header
+/// with `base_op_count`); kAppend reopens an existing, already-validated
+/// log at its end (recovery truncates the torn tail first).
+class WalWriter {
+ public:
+  enum class OpenMode { kTruncate, kAppend };
+
+  WalWriter(const std::string& path, std::int64_t base_op_count,
+            OpenMode mode);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  Status status() const { return status_; }
+
+  void AppendOp(const StreamOp& op);
+  void AppendExportMarker(std::uint64_t seq, std::int64_t up_to);
+  void AppendCommitMarker(std::uint64_t seq);
+
+  /// Flushes buffered records to the file.  Called before acking an ingest
+  /// batch and after every marker — the durability points the recovery
+  /// invariants rely on.
+  Status Flush();
+
+ private:
+  void Append(const WalRecord& record);
+
+  std::string path_;
+  std::vector<std::uint8_t> buffer_;
+  std::ofstream stream_;
+  Status status_;
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_PERSIST_WAL_H_

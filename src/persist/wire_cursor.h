@@ -1,0 +1,68 @@
+#ifndef AQUA_PERSIST_WIRE_CURSOR_H_
+#define AQUA_PERSIST_WIRE_CURSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aqua {
+namespace persist_internal {
+
+/// Bounds-checked cursor over untrusted wire bytes, shared by the WAL,
+/// delta-frame and checkpoint decoders.  Every read reports failure via a
+/// bool instead of a Status so decode loops can map anomalies to the mode
+/// they run under (strict InvalidArgument vs tolerate-torn-tail stop);
+/// nothing here allocates, so "reject before any allocation" holds by
+/// construction.
+struct WireCursor {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const { return size - pos; }
+  bool AtEnd() const { return pos == size; }
+
+  /// Unsigned LEB128; false on truncation or an overlong (> 10 byte)
+  /// encoding, leaving `pos` unspecified-but-in-bounds.
+  bool ReadVarint(std::uint64_t* out) {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (pos < size && shift < 64) {
+      const std::uint8_t byte = data[pos++];
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        *out = value;
+        return true;
+      }
+      shift += 7;
+    }
+    return false;
+  }
+
+  /// Advances past `n` raw bytes, exposing their start; false when fewer
+  /// than `n` remain.
+  bool ReadBytes(std::size_t n, const std::uint8_t** out) {
+    if (remaining() < n) return false;
+    *out = data + pos;
+    pos += n;
+    return true;
+  }
+};
+
+/// FNV-1a 64 over (`type` byte, then `n` payload bytes), folded to 16
+/// bits.  The WAL and delta-frame records carry this as a torn-tail /
+/// bit-flip detector.
+inline std::uint16_t FoldedFnv16(std::uint8_t type, const std::uint8_t* data,
+                                 std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = (h ^ type) * 0x100000001b3ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = (h ^ data[i]) * 0x100000001b3ULL;
+  }
+  return static_cast<std::uint16_t>((h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) &
+                                    0xFFFF);
+}
+
+}  // namespace persist_internal
+}  // namespace aqua
+
+#endif  // AQUA_PERSIST_WIRE_CURSOR_H_

@@ -45,6 +45,13 @@ SynopsisDescriptor<ReservoirSample> TraditionalSampleDescriptor(
   descriptor.view_builder = [](const ReservoirSample& sample) {
     return BuildTraditionalView(sample);
   };
+  descriptor.encode = [](const ReservoirSample& sample) {
+    return EncodeSnapshot(sample);
+  };
+  descriptor.decode = [](const std::vector<std::uint8_t>& bytes,
+                         std::uint64_t seed) {
+    return DecodeReservoirSnapshot(bytes, seed);
+  };
   return descriptor;
 }
 

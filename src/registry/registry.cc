@@ -1,5 +1,6 @@
 #include "registry/registry.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace aqua {
@@ -194,12 +195,31 @@ bool SynopsisRegistry::HasDeletable() const {
 }
 
 std::uint64_t SynopsisRegistry::ServingEpoch() const {
-  std::uint64_t epoch = 0;
+  std::uint64_t epoch = merge_rounds_.load(std::memory_order_relaxed);
   for (const auto& handle : handles_) {
     epoch += handle->CacheEpoch();
     if (!handle->valid()) ++epoch;  // invalidation changes answers too
   }
   return epoch;
+}
+
+Result<std::function<Status()>> SynopsisRegistry::PrepareDeltaMerge(
+    std::string_view name, const std::vector<std::uint8_t>& bytes) {
+  SynopsisHandle* target = mutable_handle(name);
+  if (target == nullptr) {
+    return Status::NotFound("no synopsis named " + std::string(name));
+  }
+  return target->PrepareDeltaMerge(bytes);
+}
+
+void SynopsisRegistry::CompleteMergeRound() {
+  merge_rounds_.fetch_add(1, std::memory_order_relaxed);
+  // Enough reported ingest progress to trip any ops staleness bound: the
+  // next SettleCaches() refreshes every handle's snapshot cache, so the
+  // whole round becomes visible under one settled epoch.
+  const std::int64_t force = std::max<std::int64_t>(
+      options_.cache_max_stale_ops, 1);
+  for (const auto& handle : handles_) handle->OnIngest(force);
 }
 
 bool SynopsisRegistry::AnyCacheStale() const {

@@ -164,6 +164,32 @@ class SynopsisRegistry {
   /// refuse deletes otherwise, like ServingEngine, check this).
   bool HasDeletable() const;
 
+  /// Stages a shipped delta for merging into the named handle (see
+  /// SynopsisHandle::PrepareDeltaMerge — decode/validate now, apply via
+  /// the returned closure).  NotFound for unknown names.
+  Result<std::function<Status()>> PrepareDeltaMerge(
+      std::string_view name, const std::vector<std::uint8_t>& bytes);
+
+  /// Folds `n` externally-observed inserts into the insert counter — ops
+  /// summarized by merged deltas or restored checkpoints that never passed
+  /// through InsertBatch here.  Without this, count_where scaling on an
+  /// aggregator (which observes no raw stream) would treat the relation as
+  /// empty.
+  void NoteExternalInserts(std::int64_t n) {
+    inserts_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Closes one cluster merge round: bumps the merge-round epoch (a term
+  /// of ServingEpoch, so HTTP response caches keyed on it invalidate
+  /// immediately) and reports enough ingest progress to every handle that
+  /// the next settle refreshes its snapshot cache — one logical epoch per
+  /// merge round.
+  void CompleteMergeRound();
+
+  std::uint64_t merge_rounds() const {
+    return merge_rounds_.load(std::memory_order_relaxed);
+  }
+
   /// Monotonic serving epoch: the sum of every handle's snapshot-cache
   /// epoch plus the count of invalidated handles.  Any event that can
   /// change a served answer — an epoch swap publishing a fresh snapshot,
@@ -201,6 +227,13 @@ class SynopsisRegistry {
   SynopsisHandle* mutable_handle(std::string_view name);
 
   std::size_t size() const { return handles_.size(); }
+
+  /// Indexed handle access for persistence sweeps (checkpoint/export walk
+  /// every handle; registration order is stable).
+  SynopsisHandle* handle_at(std::size_t i) { return handles_[i].get(); }
+  const SynopsisHandle* handle_at(std::size_t i) const {
+    return handles_[i].get();
+  }
 
   const Options& options() const { return options_; }
 
@@ -260,6 +293,7 @@ class SynopsisRegistry {
   std::array<std::vector<SynopsisHandle*>, kNumQueryKinds> by_kind_;
   std::atomic<std::int64_t> inserts_{0};
   std::atomic<std::int64_t> deletes_{0};
+  std::atomic<std::uint64_t> merge_rounds_{0};
 };
 
 template <typename AnswerT, typename ComputeFn>

@@ -2,6 +2,7 @@
 #define AQUA_REGISTRY_SYNOPSIS_HANDLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -70,9 +71,21 @@ class SynopsisHandle {
   /// when the synopsis declared none.
   virtual Result<std::vector<std::uint8_t>> EncodeState() const = 0;
 
-  /// Replaces the handle's state from serialized bytes (unsynchronized
-  /// handles only — restore before serving begins).
+  /// Replaces the handle's state from serialized bytes.  Unsynchronized
+  /// handles swap the live synopsis; concurrent handles assign the restored
+  /// state into their storage (shard 0 for sharded handles — recovery runs
+  /// before serving traffic, when the other shards are empty).
   virtual Status RestoreState(const std::vector<std::uint8_t>& bytes) = 0;
+
+  /// Stages a serialized delta (another node's EncodeState bytes) for
+  /// merging into this handle's state: the bytes are decoded and validated
+  /// NOW; the returned closure applies the MergeFrom when called.  The
+  /// two-phase split lets the aggregator validate every blob in a frame
+  /// before mutating anything — a half-applied frame could never be
+  /// retried safely under (node, seq) dedup.  Unimplemented when the
+  /// synopsis is unmergeable or has no persist codec.
+  virtual Result<std::function<Status()>> PrepareDeltaMerge(
+      const std::vector<std::uint8_t>& bytes) = 0;
 
   /// Epoch-cache observability (zeros for unsynchronized handles).
   virtual std::uint64_t CacheEpoch() const = 0;

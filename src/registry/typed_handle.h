@@ -6,10 +6,12 @@
 #include <concepts>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -403,17 +405,80 @@ class TypedSynopsisHandle final : public SynopsisHandle {
       return Status::Unimplemented(std::string(Name()) +
                                    " has no persist codec");
     }
-    if (mode_ != ExecutionMode::kUnsynchronized) {
-      return Status::Unimplemented(
-          "RestoreState supports unsynchronized handles only; restore "
-          "before serving begins");
-    }
     std::uint64_t chain = seed_ ^ kRestoreSeedTag;
     AQUA_ASSIGN_OR_RETURN(S restored,
                           descriptor_->decode(bytes, SplitMix64Next(chain)));
-    live_.emplace(std::move(restored));
-    valid_.store(true, std::memory_order_release);
-    return Status::OK();
+    if (mode_ == ExecutionMode::kUnsynchronized) {
+      live_.emplace(std::move(restored));
+      valid_.store(true, std::memory_order_release);
+      return Status::OK();
+    }
+    // Concurrent mode: recovery runs before serving traffic, so the other
+    // shards are empty and assigning the restored state into shard 0
+    // reconstitutes the whole synopsis (Snapshot() merges empty shards
+    // trivially).  The cache's next refresh — forced by the ingest-ops
+    // report below — publishes it.
+    if constexpr (std::is_move_assignable_v<S>) {
+      if constexpr (ShardableSynopsis<S>) {
+        if (sharded_ != nullptr) {
+          sharded_->WithShardMutable(
+              0, [&restored](S& s) { s = std::move(restored); });
+          valid_.store(true, std::memory_order_release);
+          OnIngest(std::numeric_limits<std::int64_t>::max() / 2);
+          return Status::OK();
+        }
+      }
+      if (shared_ != nullptr) {
+        shared_->WithWrite([&restored](S& s) -> Status {
+          s = std::move(restored);
+          return Status::OK();
+        });
+        valid_.store(true, std::memory_order_release);
+        OnIngest(std::numeric_limits<std::int64_t>::max() / 2);
+        return Status::OK();
+      }
+    }
+    return Status::Unimplemented(std::string(Name()) +
+                                 ": state is not assignable in this mode");
+  }
+
+  Result<std::function<Status()>> PrepareDeltaMerge(
+      const std::vector<std::uint8_t>& bytes) override {
+    if constexpr (!Mergeable<S>) {
+      return Status::Unimplemented(std::string(Name()) + " is not mergeable");
+    } else {
+      if (descriptor_->decode == nullptr) {
+        return Status::Unimplemented(std::string(Name()) +
+                                     " has no persist codec");
+      }
+      // Per-merge seed: decoded deltas draw from streams that never repeat
+      // across merge rounds (repeating would correlate successive rounds'
+      // subsampling draws), derived deterministically from the handle seed
+      // and a merge counter so recovery tests stay reproducible.
+      const std::uint64_t n = merge_seq_.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t chain = seed_ ^ kMergeSeedTag ^ ((n + 1) * 0x9e3779b97f4a7c15ULL);
+      AQUA_ASSIGN_OR_RETURN(S decoded,
+                            descriptor_->decode(bytes, SplitMix64Next(chain)));
+      auto delta = std::make_shared<S>(std::move(decoded));
+      return std::function<Status()>([this, delta]() -> Status {
+        if (!valid()) {
+          return Status::FailedPrecondition(std::string(Name()) +
+                                            " invalidated by deletions");
+        }
+        if (live_.has_value()) return live_->MergeFrom(*delta);
+        if constexpr (ShardableSynopsis<S>) {
+          if (sharded_ != nullptr) {
+            return sharded_->WithShardMutable(
+                0, [&delta](S& s) { return s.MergeFrom(*delta); });
+          }
+        }
+        if (shared_ != nullptr) {
+          return shared_->WithWrite(
+              [&delta](S& s) { return s.MergeFrom(*delta); });
+        }
+        return Status::Internal("handle has no storage");
+      });
+    }
   }
 
   std::uint64_t CacheEpoch() const override {
@@ -450,6 +515,7 @@ class TypedSynopsisHandle final : public SynopsisHandle {
 
  private:
   static constexpr std::uint64_t kRestoreSeedTag = 0x7e57a7edc0dec0deULL;
+  static constexpr std::uint64_t kMergeSeedTag = 0xc1a57e55de17a5edULL;
 
   /// Shared pinning logic for Pin()/PinInto(): resolves the state both
   /// source forms wrap.  False when invalidated or no snapshot can be
@@ -514,6 +580,8 @@ class TypedSynopsisHandle final : public SynopsisHandle {
   std::unique_ptr<SnapshotCache<EpochState<S>>> cache_;
 
   std::atomic<bool> valid_{true};
+  /// Counts PrepareDeltaMerge calls — each decode gets its own seed.
+  std::atomic<std::uint64_t> merge_seq_{0};
 };
 
 }  // namespace aqua

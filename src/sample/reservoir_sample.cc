@@ -1,5 +1,6 @@
 #include "sample/reservoir_sample.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -11,6 +12,33 @@ ReservoirSample::ReservoirSample(std::int64_t capacity, std::uint64_t seed,
     : capacity_(capacity), algorithm_(algorithm), random_(seed) {
   AQUA_CHECK_GE(capacity, 1);
   points_.reserve(static_cast<std::size_t>(capacity));
+}
+
+Result<ReservoirSample> ReservoirSample::Restore(std::int64_t capacity,
+                                                 std::uint64_t seed,
+                                                 ReservoirAlgorithm algorithm,
+                                                 std::int64_t observed,
+                                                 std::vector<Value> points) {
+  if (capacity < 1) {
+    return Status::InvalidArgument("reservoir capacity must be >= 1");
+  }
+  if (observed < 0) {
+    return Status::InvalidArgument("reservoir observed count negative");
+  }
+  const std::int64_t expected = std::min(observed, capacity);
+  if (static_cast<std::int64_t>(points.size()) != expected) {
+    return Status::InvalidArgument(
+        "reservoir point count does not match min(observed, capacity)");
+  }
+  ReservoirSample sample(capacity, seed, algorithm);
+  sample.points_ = std::move(points);
+  sample.observed_ = observed;
+  if (sample.SampleSize() == capacity) {
+    sample.PrimeSkipAfterMerge();
+  } else {
+    sample.skip_ = 0;  // still filling; the transition in Insert() primes
+  }
+  return sample;
 }
 
 void ReservoirSample::Insert(Value value) {

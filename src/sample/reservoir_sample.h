@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "random/random.h"
@@ -39,6 +40,19 @@ class ReservoirSample final : public Synopsis {
   /// `capacity` = m ≥ 1 sample points; `seed` makes the stream reproducible.
   ReservoirSample(std::int64_t capacity, std::uint64_t seed,
                   ReservoirAlgorithm algorithm = ReservoirAlgorithm::kX);
+
+  /// Rebuilds a sample from persisted state (the persist codec's entry
+  /// point).  `points` must hold exactly min(observed, capacity) values —
+  /// the invariant a live reservoir maintains; anything else is corrupt
+  /// input and fails with InvalidArgument rather than aborting.  The
+  /// restored sample draws from a fresh stream derived from `seed` with the
+  /// skip state re-primed for the restored stream position, exactly like
+  /// Reseed() on a copy.
+  static Result<ReservoirSample> Restore(std::int64_t capacity,
+                                         std::uint64_t seed,
+                                         ReservoirAlgorithm algorithm,
+                                         std::int64_t observed,
+                                         std::vector<Value> points);
 
   std::string_view Name() const override { return "traditional-sample"; }
 

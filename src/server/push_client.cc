@@ -1,0 +1,125 @@
+#include "server/push_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace aqua {
+namespace {
+
+/// RAII socket so every early return closes the fd.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+bool WriteAll(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status HttpPostBlocking(const std::string& host, std::uint16_t port,
+                        const std::string& path,
+                        const std::vector<std::uint8_t>& body) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* numeric = (host == "localhost") ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, numeric, &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("push target must be a numeric IPv4 "
+                                   "address or localhost: " +
+                                   host);
+  }
+
+  Fd sock;
+  sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock.fd < 0) return Status::Internal("socket() failed");
+
+  // Bounded blocking: a wedged peer becomes a retryable timeout, not a
+  // hung pusher thread.
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  ::setsockopt(sock.fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(sock.fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  if (::connect(sock.fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Status::FailedPrecondition("connect to " + host + ":" +
+                                      std::to_string(port) + " failed: " +
+                                      std::strerror(errno));
+  }
+
+  char header[256];
+  const int header_len = std::snprintf(
+      header, sizeof(header),
+      "POST %s HTTP/1.1\r\n"
+      "Host: %s:%u\r\n"
+      "Content-Type: application/octet-stream\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      path.c_str(), host.c_str(), static_cast<unsigned>(port), body.size());
+  if (header_len <= 0 || header_len >= static_cast<int>(sizeof(header))) {
+    return Status::InvalidArgument("push path too long: " + path);
+  }
+  if (!WriteAll(sock.fd, header, static_cast<std::size_t>(header_len)) ||
+      (!body.empty() && !WriteAll(sock.fd, body.data(), body.size()))) {
+    return Status::FailedPrecondition("push write failed: " +
+                                      std::string(std::strerror(errno)));
+  }
+
+  std::string response;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(sock.fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::FailedPrecondition("push read failed: " +
+                                        std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;  // Connection: close — EOF ends the response.
+    response.append(buffer, static_cast<std::size_t>(n));
+    if (response.size() > (1u << 20)) break;  // runaway peer; enough read
+  }
+
+  // "HTTP/1.1 NNN ..." — the three digits after the first space.
+  const std::size_t space = response.find(' ');
+  if (space == std::string::npos || space + 4 > response.size()) {
+    return Status::FailedPrecondition("malformed push response");
+  }
+  int code = 0;
+  for (int i = 1; i <= 3; ++i) {
+    const char c = response[space + static_cast<std::size_t>(i)];
+    if (c < '0' || c > '9') {
+      return Status::FailedPrecondition("malformed push response status");
+    }
+    code = code * 10 + (c - '0');
+  }
+  if (code >= 200 && code < 300) return Status::OK();
+  const std::size_t body_at = response.find("\r\n\r\n");
+  return Status::InvalidArgument(
+      "push rejected with HTTP " + std::to_string(code) + ": " +
+      (body_at == std::string::npos ? "" : response.substr(body_at + 4)));
+}
+
+}  // namespace aqua

@@ -1,0 +1,31 @@
+#ifndef AQUA_SERVER_PUSH_CLIENT_H_
+#define AQUA_SERVER_PUSH_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aqua {
+
+/// Minimal blocking HTTP/1.1 POST for the cluster push path: one request,
+/// `Connection: close`, read to EOF.  This is deliberately not a general
+/// HTTP client — an ingest node pushes one delta frame at a time and the
+/// frame protocol carries its own idempotency (node, seq), so the
+/// simplest possible transport is the correct one.
+///
+/// `host` must be a numeric IPv4 address or "localhost".  Send/receive
+/// time out after a few seconds so a wedged aggregator surfaces as a
+/// retryable push failure instead of a hung pusher thread.
+///
+/// Maps the outcome onto Status: 2xx is OK; a connect/IO failure is
+/// FailedPrecondition (retryable — the aggregator may be restarting); any
+/// other HTTP status is InvalidArgument carrying the response body.
+Status HttpPostBlocking(const std::string& host, std::uint16_t port,
+                        const std::string& path,
+                        const std::vector<std::uint8_t>& body);
+
+}  // namespace aqua
+
+#endif  // AQUA_SERVER_PUSH_CLIENT_H_

@@ -22,6 +22,7 @@
 
 #include "common/alloc_counter.h"
 #include "common/result.h"
+#include "server/cluster.h"
 #include "server/json.h"
 
 namespace aqua {
@@ -272,13 +273,24 @@ void RegisterServingRoutes(HttpServer& server, ServingEngine& engine,
 
   server.Route(
       "POST", "/ingest",
-      [&engine](const HttpRequest& request, HttpResponse* response) {
+      [&engine, replicator = config.replicator](const HttpRequest& request,
+                                                HttpResponse* response) {
         Result<std::vector<Value>> values = ParseValueArray(request.body);
         if (!values.ok()) {
           JsonErrorInto(400, values.status().message(), response);
           return;
         }
-        engine.InsertBatch(values.ValueOrDie());
+        if (replicator != nullptr) {
+          // Cluster ingest: WAL-ahead through the replicator (which feeds
+          // the same engine registry, so queries see the batch too).
+          const Status status = replicator->Ingest(values.ValueOrDie());
+          if (!status.ok()) {
+            JsonErrorInto(500, status.message(), response);
+            return;
+          }
+        } else {
+          engine.InsertBatch(values.ValueOrDie());
+        }
         JsonWriter w(&response->body);
         w.BeginObject();
         w.Key("ingested").UInt(values.ValueOrDie().size());

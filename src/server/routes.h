@@ -7,11 +7,18 @@
 
 namespace aqua {
 
+class IngestReplicator;
+
 /// Per-deployment knobs for the serving routes (everything else is wired
 /// from the engine/catalog objects themselves).
 struct RouteConfig {
   /// Expose GET /debug/sleep?ms= (worker-dispatched; testing only).
   bool enable_debug = false;
+  /// Cluster ingest role: when set, POST /ingest routes through the
+  /// replicator (WAL-ahead, delta accumulation) instead of straight into
+  /// the engine — the durability contract only holds if every ingest path
+  /// goes through the log.
+  IngestReplicator* replicator = nullptr;
 };
 
 /// Registers the single-relation query/ingest surface on `server`:

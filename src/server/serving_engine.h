@@ -122,6 +122,10 @@ class ServingEngine {
   void SettleCaches() const { registry_.SettleCaches(); }
 
   const SynopsisRegistry& registry() const { return registry_; }
+  /// Mutable access for the cluster layer: the aggregator role stages and
+  /// applies shipped deltas against the serving registry (PrepareDeltaMerge
+  /// / CompleteMergeRound), which need non-const handles.
+  SynopsisRegistry* mutable_registry() { return &registry_; }
 
   std::int64_t observed_inserts() const {
     return registry_.observed_inserts();

@@ -1,0 +1,201 @@
+// Fault-injection tests for cluster mode: real aqua_serve processes are
+// SIGKILLed mid-stream (no shutdown handler, no flush) and restarted over
+// the same --data-dir, asserting
+//  - a crashed ingest node recovers its synopsis state *byte-identically*
+//    from checkpoint + WAL (exact regime, cluster_util.h), even with a torn
+//    record appended to the WAL tail — the "killed mid-append" shape;
+//  - a node killed in the ack→commit window (--debug-commit-hold-ms) re-
+//    sends its uncommitted frame after restart and the aggregator dedupes
+//    it by (node, seq): ops_applied never double-counts.
+//
+// The binary path is injected by CMake as AQUA_SERVE_BINARY.
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_util.h"
+#include "server/e2e_util.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+using namespace e2e;  // NOLINT(build/namespaces): test-local helpers
+using cluster_test::FreshDataDir;
+using cluster_test::JsonBool;
+using cluster_test::JsonInt;
+
+std::vector<std::string> IngestArgs(const std::string& data_dir,
+                                    std::uint16_t aggregator_port,
+                                    int commit_hold_ms = 0) {
+  std::vector<std::string> args = {
+      "--role",          "ingest",
+      "--node-id",       "n1",
+      "--data-dir",      data_dir,
+      "--push-to",       "127.0.0.1:" + std::to_string(aggregator_port),
+      "--shards",        "1",
+      "--footprint",     std::to_string(cluster_test::kExactBound),
+      "--push-interval-ms", "60000",
+      "--checkpoint-ops", "0"};
+  if (commit_hold_ms > 0) {
+    args.push_back("--debug-commit-hold-ms");
+    args.push_back(std::to_string(commit_hold_ms));
+  }
+  return args;
+}
+
+void IngestValues(std::uint16_t port, const std::vector<Value>& values,
+                  std::size_t from, std::size_t count) {
+  std::string body = "[";
+  for (std::size_t i = from; i < from + count; ++i) {
+    if (i > from) body += ",";
+    body += std::to_string(values[i]);
+  }
+  body += "]";
+  const RawResponse ack = Post(port, "/ingest", body);
+  ASSERT_EQ(ack.status, 200) << ack.body;
+}
+
+/// The node's serialized synopsis state over the wire (exact regime: a pure
+/// function of the op sequence, so recovery must reproduce it bit for bit).
+std::string StateBytes(std::uint16_t port, const std::string& synopsis) {
+  const RawResponse state =
+      Fetch(port, "/cluster/state?synopsis=" + synopsis);
+  EXPECT_EQ(state.status, 200);
+  EXPECT_FALSE(state.body.empty());
+  return state.body;
+}
+
+TEST(ClusterFaultTest, SigkilledNodeRecoversByteIdenticalState) {
+  const std::string data_dir = FreshDataDir("fault_recover_n1");
+  const std::vector<Value> data = ZipfValues(600, 60, 0.9, 4242);
+
+  ServerProcess aggregator({"--role", "aggregator", "--shards", "1"});
+  std::optional<ServerProcess> node;
+  node.emplace(IngestArgs(data_dir, aggregator.port()));
+
+  // 300 ops -> push (export+commit seq 1) -> checkpoint (WAL rotates to
+  // base 300) -> 200 more ops living only in the WAL suffix.
+  IngestValues(node->port(), data, 0, 300);
+  ASSERT_EQ(Post(node->port(), "/cluster/push_now", "{}").status, 200);
+  ASSERT_EQ(Post(node->port(), "/cluster/checkpoint_now", "{}").status, 200);
+  IngestValues(node->port(), data, 300, 200);
+
+  const std::string concise_before =
+      StateBytes(node->port(), "concise-sample");
+  const std::string traditional_before =
+      StateBytes(node->port(), "traditional-sample");
+  {
+    const RawResponse status = Fetch(node->port(), "/cluster/status");
+    ASSERT_EQ(JsonInt(status.body, "op_count"), 500) << status.body;
+  }
+
+  // SIGKILL, then fake the torn record a crash mid-WAL-append leaves: a
+  // record key promising more payload bytes than exist.
+  node->KillNow();
+  {
+    std::ofstream wal(data_dir + "/wal.log",
+                      std::ios::binary | std::ios::app);
+    const char torn[] = {'\x6D', '\x02', '\x7F'};
+    wal.write(torn, sizeof(torn));
+  }
+
+  node.emplace(IngestArgs(data_dir, aggregator.port()));
+  const RawResponse status = Fetch(node->port(), "/cluster/status");
+  ASSERT_EQ(status.status, 200) << status.body;
+  EXPECT_EQ(JsonInt(status.body, "op_count"), 500) << status.body;
+  EXPECT_TRUE(JsonBool(status.body, "recovered_checkpoint")) << status.body;
+  EXPECT_EQ(JsonInt(status.body, "recovered_ops"), 200) << status.body;
+  EXPECT_EQ(JsonInt(status.body, "next_seq"), 2) << status.body;
+  EXPECT_EQ(JsonInt(status.body, "exported_up_to"), 300) << status.body;
+  EXPECT_FALSE(JsonBool(status.body, "pending")) << status.body;
+
+  // The recovered synopses are the pre-crash synopses, byte for byte.
+  EXPECT_EQ(StateBytes(node->port(), "concise-sample"), concise_before);
+  EXPECT_EQ(StateBytes(node->port(), "traditional-sample"),
+            traditional_before);
+
+  // The cluster keeps going: the recovered node ships the 200 recovered ops
+  // plus 100 fresh ones as one seq-2 delta, and the aggregator lands at
+  // exactly 600 applied ops — nothing lost, nothing doubled.
+  IngestValues(node->port(), data, 500, 100);
+  ASSERT_EQ(Post(node->port(), "/cluster/push_now", "{}").status, 200);
+  const RawResponse agg = Fetch(aggregator.port(), "/cluster/status");
+  EXPECT_EQ(JsonInt(agg.body, "ops_applied"), 600) << agg.body;
+  EXPECT_EQ(JsonInt(agg.body, "frames_accepted"), 2) << agg.body;
+  EXPECT_EQ(JsonInt(agg.body, "frames_deduped"), 0) << agg.body;
+}
+
+TEST(ClusterFaultTest, KillInCommitWindowNeverDoubleApplies) {
+  const std::string data_dir = FreshDataDir("fault_commit_hold_n1");
+  const std::vector<Value> data = ZipfValues(350, 40, 1.0, 99);
+
+  ServerProcess aggregator({"--role", "aggregator", "--shards", "1"});
+  std::optional<ServerProcess> node;
+  // 15s hold between the aggregator's ack and the WAL commit marker: a
+  // window the test can reliably SIGKILL inside.
+  node.emplace(IngestArgs(data_dir, aggregator.port(), /*hold_ms=*/15000));
+
+  IngestValues(node->port(), data, 0, 250);
+
+  // Fire push_now without waiting for its response (it blocks in the hold),
+  // then wait until the aggregator has *applied* the frame.
+  const int push_fd = ConnectTo(node->port());
+  SendRequest(push_fd, "POST", "/cluster/push_now", "{}");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    const RawResponse agg = Fetch(aggregator.port(), "/cluster/status");
+    if (JsonInt(agg.body, "frames_accepted") == 1) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "aggregator never accepted the held frame: " << agg.body;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  // Applied on the aggregator, uncommitted on the node — kill it there.
+  node->KillNow();
+  close(push_fd);
+
+  node.emplace(IngestArgs(data_dir, aggregator.port()));
+  {
+    const RawResponse status = Fetch(node->port(), "/cluster/status");
+    ASSERT_EQ(status.status, 200) << status.body;
+    EXPECT_EQ(JsonInt(status.body, "op_count"), 250) << status.body;
+    EXPECT_TRUE(JsonBool(status.body, "pending")) << status.body;
+    EXPECT_EQ(JsonInt(status.body, "next_seq"), 2) << status.body;
+  }
+
+  // The recovered node re-sends seq 1; the aggregator recognizes it and
+  // applies nothing.
+  ASSERT_EQ(Post(node->port(), "/cluster/push_now", "{}").status, 200);
+  {
+    const RawResponse agg = Fetch(aggregator.port(), "/cluster/status");
+    EXPECT_EQ(JsonInt(agg.body, "frames_accepted"), 1) << agg.body;
+    EXPECT_EQ(JsonInt(agg.body, "frames_deduped"), 1) << agg.body;
+    EXPECT_EQ(JsonInt(agg.body, "ops_applied"), 250) << agg.body;
+  }
+  {
+    const RawResponse status = Fetch(node->port(), "/cluster/status");
+    EXPECT_FALSE(JsonBool(status.body, "pending")) << status.body;
+    EXPECT_EQ(JsonInt(status.body, "exported_up_to"), 250) << status.body;
+  }
+
+  // And the protocol moves on: fresh ops ship as seq 2 and are applied
+  // exactly once.
+  IngestValues(node->port(), data, 250, 100);
+  ASSERT_EQ(Post(node->port(), "/cluster/push_now", "{}").status, 200);
+  const RawResponse agg = Fetch(aggregator.port(), "/cluster/status");
+  EXPECT_EQ(JsonInt(agg.body, "ops_applied"), 350) << agg.body;
+  EXPECT_EQ(JsonInt(agg.body, "frames_accepted"), 2) << agg.body;
+  EXPECT_EQ(JsonInt(agg.body, "frames_deduped"), 1) << agg.body;
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,387 @@
+// In-process tests of the cluster replication protocol: WAL-ahead ingest,
+// export/commit-marked delta shipping, checkpoint + WAL-suffix recovery,
+// the skip-prefix rule, torn-tail truncation, and (node, seq) dedupe on
+// the acceptor.  Every recovery assertion is byte-level: these tests run
+// in the exact regime (see cluster_util.h), where serialized synopsis
+// state is a pure function of the op sequence, so "recovered == pre-crash"
+// is EXPECT_EQ on bytes, not a statistical claim.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_util.h"
+#include "core/concise_sample.h"
+#include "persist/delta_frame.h"
+#include "registry/builtin.h"
+#include "server/cluster.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+using cluster_test::CapturingTransport;
+using cluster_test::FreshDataDir;
+using cluster_test::InProcNode;
+using cluster_test::kExactBound;
+using cluster_test::MakeNode;
+using cluster_test::RegistryStateBytes;
+
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ClusterNodeTest, FreshNodeIngestsPushesAndCommits) {
+  const std::string dir = FreshDataDir("cluster_fresh");
+  CapturingTransport transport;
+  InProcNode node = MakeNode(dir, "n1", 0xA1, transport.Fn());
+  ASSERT_TRUE(node.replicator->Init().ok());
+
+  const std::vector<Value> data = ZipfValues(400, 120, 1.0, 11);
+  ASSERT_TRUE(node.replicator->Ingest(data).ok());
+  ASSERT_TRUE(node.replicator->PushNow().ok());
+
+  ASSERT_EQ(transport.frames.size(), 1u);
+  const Result<DeltaFrame> frame = DecodeDeltaFrame(transport.frames[0]);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.ValueOrDie().node_id, "n1");
+  EXPECT_EQ(frame.ValueOrDie().seq, 1u);
+  EXPECT_EQ(frame.ValueOrDie().covers_ops,
+            static_cast<std::int64_t>(data.size()));
+  // The frame ships exactly the cluster selection: traditional + concise.
+  ASSERT_EQ(frame.ValueOrDie().synopses.size(), 2u);
+
+  const IngestReplicator::Stats stats = node.replicator->GetStats();
+  EXPECT_EQ(stats.op_count, static_cast<std::int64_t>(data.size()));
+  EXPECT_EQ(stats.next_seq, 2u);
+  EXPECT_EQ(stats.exported_up_to, static_cast<std::int64_t>(data.size()));
+  EXPECT_FALSE(stats.pending);
+  EXPECT_EQ(stats.pushes_ok, 1);
+  EXPECT_EQ(stats.pushes_failed, 0);
+
+  // Nothing new to export: PushNow is a no-op, no empty frames ship.
+  ASSERT_TRUE(node.replicator->PushNow().ok());
+  EXPECT_EQ(transport.frames.size(), 1u);
+}
+
+TEST(ClusterNodeTest, AcceptorAppliesMergesAndDedupesBySeq) {
+  // Build a real frame by running a node, then drive the acceptor with it
+  // directly.
+  const std::string dir = FreshDataDir("cluster_acceptor");
+  CapturingTransport transport;
+  InProcNode node = MakeNode(dir, "n2", 0xA2, transport.Fn());
+  ASSERT_TRUE(node.replicator->Init().ok());
+  const std::vector<Value> data = ZipfValues(300, 90, 1.0, 12);
+  ASSERT_TRUE(node.replicator->Ingest(data).ok());
+  ASSERT_TRUE(node.replicator->PushNow().ok());
+  ASSERT_EQ(transport.frames.size(), 1u);
+  const DeltaFrame frame =
+      DecodeDeltaFrame(transport.frames[0]).ValueOrDie();
+
+  std::unique_ptr<SynopsisRegistry> registry =
+      MakeClusterDeltaFactory(kExactBound)(0xA66);
+  DeltaAcceptor acceptor(registry.get());
+  const Result<DeltaAcceptor::AcceptOutcome> first = acceptor.Accept(frame);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.ValueOrDie().duplicate);
+  EXPECT_EQ(registry->observed_inserts(),
+            static_cast<std::int64_t>(data.size()));
+  EXPECT_EQ(registry->merge_rounds(), 1u);
+  // In the exact regime the merged concise sample IS the composition.
+  const ConciseSample merged =
+      registry->StateCopy<ConciseSample>(kConciseSynopsisName).ValueOrDie();
+  EXPECT_EQ(merged.ObservedInserts(), static_cast<std::int64_t>(data.size()));
+
+  // The same seq again — a crashed node re-pushing — must dedupe, not
+  // double-apply: counters and synopsis state stay untouched.
+  const Result<DeltaAcceptor::AcceptOutcome> again = acceptor.Accept(frame);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.ValueOrDie().duplicate);
+  EXPECT_EQ(registry->observed_inserts(),
+            static_cast<std::int64_t>(data.size()));
+  EXPECT_EQ(registry->merge_rounds(), 1u);
+  const DeltaAcceptor::Stats stats = acceptor.GetStats();
+  EXPECT_EQ(stats.frames_accepted, 1);
+  EXPECT_EQ(stats.frames_deduped, 1);
+  EXPECT_EQ(stats.ops_applied, static_cast<std::int64_t>(data.size()));
+  ASSERT_EQ(stats.nodes.size(), 1u);
+  EXPECT_EQ(stats.nodes[0].first, "n2");
+  EXPECT_EQ(stats.nodes[0].second, 1u);
+}
+
+TEST(ClusterNodeTest, FrameThatFailsValidationAppliesNothingAndIsRetryable) {
+  const std::string dir = FreshDataDir("cluster_badframe");
+  CapturingTransport transport;
+  InProcNode node = MakeNode(dir, "n3", 0xA3, transport.Fn());
+  ASSERT_TRUE(node.replicator->Init().ok());
+  ASSERT_TRUE(node.replicator->Ingest(ZipfValues(200, 60, 1.0, 13)).ok());
+  ASSERT_TRUE(node.replicator->PushNow().ok());
+  DeltaFrame frame = DecodeDeltaFrame(transport.frames[0]).ValueOrDie();
+
+  std::unique_ptr<SynopsisRegistry> registry =
+      MakeClusterDeltaFactory(kExactBound)(0xA77);
+  DeltaAcceptor acceptor(registry.get());
+  // Corrupt the frame at the synopsis level: an unknown name fails phase 1
+  // (validation), before any merge lands.
+  DeltaFrame bad = frame;
+  bad.synopses[0].first = "no-such-synopsis";
+  const Result<DeltaAcceptor::AcceptOutcome> rejected = acceptor.Accept(bad);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(registry->observed_inserts(), 0);
+  EXPECT_EQ(registry->merge_rounds(), 0u);
+  // The seq was NOT recorded for a frame that failed validation — the
+  // corrected retry applies normally.
+  const Result<DeltaAcceptor::AcceptOutcome> retried = acceptor.Accept(frame);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_FALSE(retried.ValueOrDie().duplicate);
+  EXPECT_EQ(registry->observed_inserts(), 200);
+}
+
+TEST(ClusterNodeTest, FailedPushLeavesFramePendingAndCheckpointRefuses) {
+  const std::string dir = FreshDataDir("cluster_pending");
+  CapturingTransport transport;
+  transport.fail_next = -1;  // every push fails
+  InProcNode node = MakeNode(dir, "n4", 0xA4, transport.Fn());
+  ASSERT_TRUE(node.replicator->Init().ok());
+  ASSERT_TRUE(node.replicator->Ingest(ZipfValues(150, 40, 1.0, 14)).ok());
+  ASSERT_FALSE(node.replicator->PushNow().ok());
+
+  IngestReplicator::Stats stats = node.replicator->GetStats();
+  EXPECT_TRUE(stats.pending);
+  EXPECT_EQ(stats.pending_seq, 1u);
+  EXPECT_EQ(stats.pushes_failed, 1);
+  EXPECT_EQ(stats.exported_up_to, 0);
+
+  // A checkpoint taken now would straddle an uncommitted export — refused.
+  const Status checkpoint = node.replicator->CheckpointNow();
+  ASSERT_FALSE(checkpoint.ok());
+  EXPECT_EQ(checkpoint.code(), StatusCode::kFailedPrecondition);
+
+  // When the transport heals, the NEXT PushNow retries the pending frame
+  // first — same seq, same bytes — before exporting anything new.
+  transport.fail_next = 0;
+  ASSERT_TRUE(node.replicator->PushNow().ok());
+  ASSERT_EQ(transport.frames.size(), 2u);
+  EXPECT_EQ(transport.frames[0], transport.frames[1]);
+  stats = node.replicator->GetStats();
+  EXPECT_FALSE(stats.pending);
+  EXPECT_EQ(stats.exported_up_to, 150);
+  ASSERT_TRUE(node.replicator->CheckpointNow().ok());
+}
+
+TEST(ClusterNodeTest, CheckpointPlusWalSuffixRecoversByteIdentically) {
+  const std::string dir = FreshDataDir("cluster_recover");
+  const std::vector<Value> first = ZipfValues(250, 80, 1.0, 15);
+  const std::vector<Value> second = ZipfValues(150, 80, 1.0, 16);
+
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> pre_crash;
+  {
+    CapturingTransport transport;
+    InProcNode node = MakeNode(dir, "n5", 0xA5, transport.Fn());
+    ASSERT_TRUE(node.replicator->Init().ok());
+    ASSERT_TRUE(node.replicator->Ingest(first).ok());
+    ASSERT_TRUE(node.replicator->PushNow().ok());
+    ASSERT_TRUE(node.replicator->CheckpointNow().ok());
+    ASSERT_TRUE(node.replicator->Ingest(second).ok());
+    pre_crash = RegistryStateBytes(*node.main);
+    // SIGKILL equivalent: the node object is dropped with the WAL suffix
+    // un-checkpointed and the current delta round un-pushed.
+  }
+
+  CapturingTransport transport;
+  InProcNode recovered = MakeNode(dir, "n5", 0xA5, transport.Fn());
+  ASSERT_TRUE(recovered.replicator->Init().ok());
+  const IngestReplicator::Stats stats = recovered.replicator->GetStats();
+  EXPECT_TRUE(stats.recovered_checkpoint);
+  EXPECT_EQ(stats.recovered_ops, 150);
+  EXPECT_EQ(stats.op_count, 400);
+  EXPECT_EQ(stats.next_seq, 2u);
+  EXPECT_EQ(stats.exported_up_to, 250);
+  EXPECT_FALSE(stats.pending);
+  // The byte-level contract: every synopsis re-serializes to exactly its
+  // pre-crash bytes.
+  EXPECT_EQ(RegistryStateBytes(*recovered.main), pre_crash);
+
+  // The recovered delta round must also be byte-equal to the live one: a
+  // control node fed the same stream without a crash exports the same
+  // frame for seq 2.
+  ASSERT_TRUE(recovered.replicator->PushNow().ok());
+  ASSERT_EQ(transport.frames.size(), 1u);
+  CapturingTransport control_transport;
+  InProcNode control = MakeNode(FreshDataDir("cluster_recover_control"),
+                                "n5", 0xA5, control_transport.Fn());
+  ASSERT_TRUE(control.replicator->Init().ok());
+  ASSERT_TRUE(control.replicator->Ingest(first).ok());
+  ASSERT_TRUE(control.replicator->PushNow().ok());
+  ASSERT_TRUE(control.replicator->Ingest(second).ok());
+  ASSERT_TRUE(control.replicator->PushNow().ok());
+  ASSERT_EQ(control_transport.frames.size(), 2u);
+  EXPECT_EQ(transport.frames[0], control_transport.frames[1]);
+}
+
+TEST(ClusterNodeTest, ExportedUncommittedFrameIsRederivedByteIdentically) {
+  const std::string dir = FreshDataDir("cluster_rederive");
+  const std::vector<Value> data = ZipfValues(350, 100, 1.0, 17);
+  std::vector<std::uint8_t> original_frame;
+  {
+    CapturingTransport transport;
+    transport.fail_next = -1;  // the push leaves the node, the ack never
+                               // lands — seq 1 stays exported, uncommitted
+    InProcNode node = MakeNode(dir, "n6", 0xA6, transport.Fn());
+    ASSERT_TRUE(node.replicator->Init().ok());
+    ASSERT_TRUE(node.replicator->Ingest(data).ok());
+    ASSERT_FALSE(node.replicator->PushNow().ok());
+    ASSERT_EQ(transport.frames.size(), 1u);
+    original_frame = transport.frames[0];
+  }
+
+  CapturingTransport transport;
+  InProcNode recovered = MakeNode(dir, "n6", 0xA6, transport.Fn());
+  ASSERT_TRUE(recovered.replicator->Init().ok());
+  IngestReplicator::Stats stats = recovered.replicator->GetStats();
+  EXPECT_TRUE(stats.pending);
+  EXPECT_EQ(stats.pending_seq, 1u);
+  EXPECT_EQ(stats.next_seq, 2u);
+  // Recovery re-derived the lost frame from the WAL alone; it must be
+  // byte-identical — this is what lets the aggregator's (node, seq) dedupe
+  // treat any re-push as the same logical delta.
+  ASSERT_TRUE(recovered.replicator->PushNow().ok());
+  ASSERT_EQ(transport.frames.size(), 1u);
+  EXPECT_EQ(transport.frames[0], original_frame);
+  stats = recovered.replicator->GetStats();
+  EXPECT_FALSE(stats.pending);
+  EXPECT_EQ(stats.exported_up_to, 350);
+}
+
+TEST(ClusterNodeTest, SkipPrefixRuleCoversCrashBetweenRenameAndRotation) {
+  const std::string dir = FreshDataDir("cluster_skip_prefix");
+  const std::vector<Value> data = ZipfValues(300, 70, 1.0, 18);
+  std::vector<std::uint8_t> pre_rotation_wal;
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> pre_crash;
+  {
+    CapturingTransport transport;
+    InProcNode node = MakeNode(dir, "n7", 0xA7, transport.Fn());
+    ASSERT_TRUE(node.replicator->Init().ok());
+    ASSERT_TRUE(node.replicator->Ingest(data).ok());
+    pre_rotation_wal = ReadFileBytes(dir + "/wal.log");
+    ASSERT_TRUE(node.replicator->CheckpointNow().ok());
+    pre_crash = RegistryStateBytes(*node.main);
+  }
+  // Rewind the WAL to its pre-rotation contents: exactly the on-disk state
+  // a crash between the checkpoint rename and the WAL rotation leaves —
+  // the checkpoint already folds in ops the WAL still carries.
+  WriteFileBytes(dir + "/wal.log", pre_rotation_wal);
+
+  CapturingTransport transport;
+  InProcNode recovered = MakeNode(dir, "n7", 0xA7, transport.Fn());
+  ASSERT_TRUE(recovered.replicator->Init().ok());
+  const IngestReplicator::Stats stats = recovered.replicator->GetStats();
+  EXPECT_TRUE(stats.recovered_checkpoint);
+  EXPECT_EQ(stats.op_count, 300);
+  // Every WAL op predated the checkpoint: all skipped, none double-applied.
+  EXPECT_EQ(stats.recovered_ops, 0);
+  EXPECT_EQ(RegistryStateBytes(*recovered.main), pre_crash);
+}
+
+TEST(ClusterNodeTest, TornWalTailIsTruncatedAndNodeResumes) {
+  const std::string dir = FreshDataDir("cluster_torn");
+  const std::vector<Value> data = ZipfValues(200, 50, 1.0, 19);
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> pre_crash;
+  {
+    CapturingTransport transport;
+    InProcNode node = MakeNode(dir, "n8", 0xA8, transport.Fn());
+    ASSERT_TRUE(node.replicator->Init().ok());
+    ASSERT_TRUE(node.replicator->Ingest(data).ok());
+    pre_crash = RegistryStateBytes(*node.main);
+  }
+  // SIGKILL mid-append: half a record lands after the acked prefix.
+  {
+    std::ofstream out(dir + "/wal.log", std::ios::binary | std::ios::app);
+    out.put('\x6D');
+    out.put('\x02');
+    out.put('\x7F');
+  }
+
+  CapturingTransport transport;
+  InProcNode recovered = MakeNode(dir, "n8", 0xA8, transport.Fn());
+  ASSERT_TRUE(recovered.replicator->Init().ok());
+  EXPECT_EQ(recovered.replicator->GetStats().op_count, 200);
+  EXPECT_EQ(RegistryStateBytes(*recovered.main), pre_crash);
+  // The truncated WAL reopened for append: the node keeps ingesting, and a
+  // further restart replays the whole (repaired) log cleanly.
+  ASSERT_TRUE(recovered.replicator->Ingest(ZipfValues(50, 50, 1.0, 20)).ok());
+  const auto repaired = RegistryStateBytes(*recovered.main);
+  recovered.replicator.reset();
+  recovered.main.reset();
+  CapturingTransport transport2;
+  InProcNode again = MakeNode(dir, "n8", 0xA8, transport2.Fn());
+  ASSERT_TRUE(again.replicator->Init().ok());
+  EXPECT_EQ(again.replicator->GetStats().op_count, 250);
+  EXPECT_EQ(RegistryStateBytes(*again.main), repaired);
+}
+
+TEST(ClusterNodeTest, AggregatorNeverDoubleAppliesAcrossNodeRecovery) {
+  // The lost-ack scenario end to end, in process: the frame reaches the
+  // aggregator and applies, but the node never learns — it crashes, recovers,
+  // re-derives, re-pushes.  The aggregator must dedupe, and the merged
+  // state must equal exactly one application.
+  const std::string dir = FreshDataDir("cluster_once");
+  const std::vector<Value> data = ZipfValues(280, 75, 1.0, 21);
+
+  std::unique_ptr<SynopsisRegistry> registry =
+      MakeClusterDeltaFactory(kExactBound)(0xA99);
+  DeltaAcceptor acceptor(registry.get());
+  bool drop_ack = true;
+  const auto transport = [&](const std::vector<std::uint8_t>& bytes) {
+    const Result<DeltaFrame> frame = DecodeDeltaFrame(bytes);
+    if (!frame.ok()) return frame.status();
+    const Result<DeltaAcceptor::AcceptOutcome> outcome =
+        acceptor.Accept(frame.ValueOrDie());
+    if (!outcome.ok()) return outcome.status();
+    if (drop_ack) return Status::FailedPrecondition("ack lost");
+    return Status::OK();
+  };
+
+  {
+    InProcNode node = MakeNode(dir, "n9", 0xAA, transport);
+    ASSERT_TRUE(node.replicator->Init().ok());
+    ASSERT_TRUE(node.replicator->Ingest(data).ok());
+    ASSERT_FALSE(node.replicator->PushNow().ok());  // applied, ack lost
+    EXPECT_EQ(acceptor.GetStats().ops_applied, 280);
+  }
+
+  drop_ack = false;
+  InProcNode recovered = MakeNode(dir, "n9", 0xAA, transport);
+  ASSERT_TRUE(recovered.replicator->Init().ok());
+  ASSERT_TRUE(recovered.replicator->PushNow().ok());
+
+  const DeltaAcceptor::Stats stats = acceptor.GetStats();
+  EXPECT_EQ(stats.frames_accepted, 1);
+  EXPECT_EQ(stats.frames_deduped, 1);
+  EXPECT_EQ(stats.ops_applied, 280);
+  EXPECT_EQ(registry->observed_inserts(), 280);
+  const ConciseSample merged =
+      registry->StateCopy<ConciseSample>(kConciseSynopsisName).ValueOrDie();
+  // Exact regime: one application means the merged sample IS the stream's
+  // composition — a double-apply would exactly double every count.
+  EXPECT_EQ(merged.ObservedInserts(), 280);
+  std::int64_t sampled = 0;
+  for (const ValueCount& e : merged.Entries()) sampled += e.count;
+  EXPECT_EQ(sampled, 280);
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,122 @@
+// Shared helpers for the cluster-mode test harness: in-process replicator
+// nodes with an injected (capturing / fault-injecting) push transport, a
+// byte-level registry state dump for recovery comparisons, and spawn/poll
+// helpers for the multi-process tests that drive real aqua_serve binaries.
+#ifndef AQUA_TESTS_CLUSTER_CLUSTER_UTIL_H_
+#define AQUA_TESTS_CLUSTER_CLUSTER_UTIL_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "registry/registry.h"
+#include "server/cluster.h"
+
+namespace aqua::cluster_test {
+
+/// The exact regime: with the footprint bound comfortably above the stream
+/// length every synopsis keeps everything (concise threshold 1, reservoir
+/// never full), so serialized state is a deterministic function of the op
+/// sequence — restarts and restores can be compared byte for byte.  Tests
+/// that byte-compare recovered state MUST keep their streams under this.
+inline constexpr Words kExactBound = 4096;
+
+/// A fresh per-test data directory (recreated empty every call).
+inline std::string FreshDataDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// An injectable push transport: records every frame it is handed, and can
+/// be told to fail the next N sends (retryable FailedPrecondition, the
+/// same class a connection refusal maps to) or to reject every send.
+struct CapturingTransport {
+  std::vector<std::vector<std::uint8_t>> frames;
+  int fail_next = 0;
+
+  std::function<Status(const std::vector<std::uint8_t>&)> Fn() {
+    return [this](const std::vector<std::uint8_t>& bytes) {
+      frames.push_back(bytes);
+      if (fail_next != 0) {
+        if (fail_next > 0) --fail_next;
+        return Status::FailedPrecondition("injected push failure");
+      }
+      return Status::OK();
+    };
+  }
+};
+
+/// An in-process ingest node: its serving registry plus the replicator
+/// wired to an injected transport.  The registry uses the same factory as
+/// the delta rounds, so the whole node is byte-deterministic.
+struct InProcNode {
+  std::unique_ptr<SynopsisRegistry> main;
+  std::unique_ptr<IngestReplicator> replicator;
+};
+
+inline InProcNode MakeNode(
+    const std::string& data_dir, const std::string& node_id,
+    std::uint64_t node_seed,
+    std::function<Status(const std::vector<std::uint8_t>&)> transport,
+    int push_attempts = 1) {
+  InProcNode node;
+  node.main = MakeClusterDeltaFactory(kExactBound)(node_seed);
+  IngestReplicatorOptions options;
+  options.node_id = node_id;
+  options.data_dir = data_dir;
+  options.node_seed = node_seed;
+  options.push_attempts = push_attempts;
+  options.push_backoff = std::chrono::milliseconds(1);
+  options.push_transport = std::move(transport);
+  node.replicator = std::make_unique<IngestReplicator>(
+      node.main.get(), MakeClusterDeltaFactory(kExactBound),
+      std::move(options));
+  return node;
+}
+
+/// Serialized state of every persistable handle, in registration order —
+/// the byte-level identity recovery tests compare.
+inline std::vector<std::pair<std::string, std::vector<std::uint8_t>>>
+RegistryStateBytes(const SynopsisRegistry& registry) {
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> out;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const SynopsisHandle* handle = registry.handle_at(i);
+    if (!handle->Capabilities().persistable || !handle->valid()) continue;
+    Result<std::vector<std::uint8_t>> state = handle->EncodeState();
+    EXPECT_TRUE(state.ok()) << handle->Name();
+    out.emplace_back(std::string(handle->Name()),
+                     state.ok() ? std::move(state).ValueOrDie()
+                                : std::vector<std::uint8_t>());
+  }
+  return out;
+}
+
+/// Extracts the integer after `"key":` in a flat JSON body; -1 if absent.
+/// (The status bodies are machine-written flat objects — a full parser
+/// would be noise here.)
+inline std::int64_t JsonInt(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::stoll(body.substr(at + needle.size()));
+}
+
+inline bool JsonBool(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = body.find(needle);
+  if (at == std::string::npos) return false;
+  return body.compare(at + needle.size(), 4, "true") == 0;
+}
+
+}  // namespace aqua::cluster_test
+
+#endif  // AQUA_TESTS_CLUSTER_CLUSTER_UTIL_H_

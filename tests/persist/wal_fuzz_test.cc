@@ -1,0 +1,351 @@
+// Fuzz-style corpus tests for the cluster-mode decoders — everything that
+// consumes bytes written by another process or received over the network:
+// DecodeWal (strict mode), DecodeDeltaFrame, DecodeNodeCheckpoint and
+// DecodeReservoirSnapshot (snapshot kind 3).  Same contract as
+// fuzz_decode_test.cc: malformed input — truncated at any byte, bit-flipped,
+// kind-confused, or random garbage — returns a Status error with lengths
+// validated before any allocation, and never crashes, reads out of bounds,
+// or loops.  The suites run under the ASan/UBSan CI job.
+//
+// Deterministic corpus: mutations come from fixed-seed xoshiro streams, so
+// any failure reproduces exactly from the test name + seed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concise_sample.h"
+#include "persist/checkpoint.h"
+#include "persist/delta_frame.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "random/xoshiro256.h"
+#include "sample/reservoir_sample.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Corpus builders.
+
+/// A valid WAL byte stream plus the offsets where each record ends (the
+/// header end is boundaries[0]) — strict decoding succeeds exactly at
+/// these cut points and must fail everywhere else.
+struct WalCorpus {
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::size_t> boundaries;
+};
+
+WalCorpus ValidWal(std::uint64_t seed, int records = 48) {
+  WalCorpus corpus;
+  EncodeWalHeader(static_cast<std::int64_t>(seed % 1000), corpus.bytes);
+  corpus.boundaries.push_back(corpus.bytes.size());
+  Xoshiro256 rng(seed);
+  std::uint64_t next_seq = 1;
+  for (int i = 0; i < records; ++i) {
+    WalRecord r;
+    const std::uint64_t kind = rng() % 8;
+    if (kind == 6) {
+      r.type = WalRecordType::kExport;
+      r.seq = next_seq++;
+      r.up_to = static_cast<std::int64_t>(rng() % 100000);
+    } else if (kind == 7) {
+      r.type = WalRecordType::kCommit;
+      r.seq = next_seq - 1;
+    } else {
+      r.type = WalRecordType::kOp;
+      const Value v = static_cast<Value>(rng() % 100000);
+      r.op = kind == 5 ? StreamOp::Delete(v) : StreamOp::Insert(v);
+    }
+    EncodeWalRecord(r, corpus.bytes);
+    corpus.boundaries.push_back(corpus.bytes.size());
+  }
+  return corpus;
+}
+
+std::vector<std::uint8_t> SomeStateBlob(std::uint64_t seed) {
+  ConciseSample sample(
+      ConciseSampleOptions{.footprint_bound = 128, .seed = seed});
+  for (Value v : ZipfValues(5000, 300, 1.0, seed)) sample.Insert(v);
+  return EncodeSnapshot(sample);
+}
+
+std::vector<std::uint8_t> ValidDeltaFrame(std::uint64_t seed) {
+  DeltaFrame frame;
+  frame.node_id = "node-" + std::to_string(seed % 10);
+  frame.seq = seed;
+  frame.covers_ops = static_cast<std::int64_t>(seed * 37 % 100000);
+  frame.synopses.emplace_back("concise-sample", SomeStateBlob(seed));
+  frame.synopses.emplace_back("traditional-sample", SomeStateBlob(seed + 1));
+  return EncodeDeltaFrame(frame);
+}
+
+std::vector<std::uint8_t> ValidCheckpoint(std::uint64_t seed) {
+  NodeCheckpoint cp;
+  cp.op_count = static_cast<std::int64_t>(seed % 100000);
+  cp.next_seq = seed % 100 + 1;
+  cp.exported_up_to = cp.op_count / 2;
+  cp.full.push_back({"concise-sample", SomeStateBlob(seed + 2)});
+  cp.full.push_back({"traditional-sample", SomeStateBlob(seed + 3)});
+  cp.delta.push_back({"concise-sample", SomeStateBlob(seed + 4)});
+  return EncodeNodeCheckpoint(cp);
+}
+
+std::vector<std::uint8_t> ValidReservoirSnapshot(std::uint64_t seed) {
+  ReservoirSample sample(/*capacity=*/128, seed);
+  for (Value v : ZipfValues(5000, 300, 1.0, seed)) sample.Insert(v);
+  return EncodeSnapshot(sample);
+}
+
+// ---------------------------------------------------------------------------
+// WAL, strict mode.
+
+TEST(WalFuzz, ValidLogDecodes) {
+  const WalCorpus corpus = ValidWal(0xA110);
+  const Result<WalContents> wal =
+      DecodeWal(corpus.bytes, WalReadMode::kStrict);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(wal.ValueOrDie().records.size(), corpus.boundaries.size() - 1);
+  EXPECT_TRUE(wal.ValueOrDie().clean);
+}
+
+TEST(WalFuzz, TruncationAtEveryByteFailsUnlessOnARecordBoundary) {
+  const WalCorpus corpus = ValidWal(0xA111);
+  std::size_t boundary_ix = 0;
+  for (std::size_t cut = 0; cut <= corpus.bytes.size(); ++cut) {
+    while (boundary_ix < corpus.boundaries.size() &&
+           corpus.boundaries[boundary_ix] < cut) {
+      ++boundary_ix;
+    }
+    const bool on_boundary = boundary_ix < corpus.boundaries.size() &&
+                             corpus.boundaries[boundary_ix] == cut;
+    const Result<WalContents> wal =
+        DecodeWal(corpus.bytes.data(), cut, WalReadMode::kStrict);
+    if (on_boundary) {
+      ASSERT_TRUE(wal.ok()) << "cut=" << cut;
+      EXPECT_EQ(wal.ValueOrDie().records.size(), boundary_ix)
+          << "cut=" << cut;
+    } else {
+      ASSERT_FALSE(wal.ok()) << "cut=" << cut;
+      EXPECT_EQ(wal.status().code(), StatusCode::kInvalidArgument)
+          << "cut=" << cut;
+    }
+  }
+}
+
+TEST(WalFuzz, GarbageTailIsRejectedBeforeAnyAllocation) {
+  // A huge forged payload length must be rejected by comparing against the
+  // remaining bytes, not by attempting the allocation (ASan would flag the
+  // latter as an OOM or overflow).
+  WalCorpus corpus = ValidWal(0xA112, /*records=*/4);
+  std::vector<std::uint8_t> forged = corpus.bytes;
+  // key = (payload_len << 2) | type with an absurd payload_len, LEB128.
+  for (const std::uint8_t b : {0xFC, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}) {
+    forged.push_back(b);
+  }
+  const Result<WalContents> strict =
+      DecodeWal(forged, WalReadMode::kStrict);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kInvalidArgument);
+  // Tolerant mode treats it as a torn tail: valid prefix survives.
+  const Result<WalContents> tolerant =
+      DecodeWal(forged, WalReadMode::kTolerateTornTail);
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_FALSE(tolerant.ValueOrDie().clean);
+  EXPECT_EQ(tolerant.ValueOrDie().valid_bytes, corpus.bytes.size());
+}
+
+TEST(WalFuzz, BitFlipCorpusNeverCrashes) {
+  const WalCorpus corpus = ValidWal(0xA113);
+  Xoshiro256 rng(0x0F11B6);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::uint8_t> mutated = corpus.bytes;
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    // Either mode: ok or error, never a crash.  Tolerant mode must also
+    // keep valid_bytes inside the buffer.
+    (void)DecodeWal(mutated, WalReadMode::kStrict);
+    const Result<WalContents> tolerant =
+        DecodeWal(mutated, WalReadMode::kTolerateTornTail);
+    if (tolerant.ok()) {
+      EXPECT_LE(tolerant.ValueOrDie().valid_bytes, mutated.size());
+    }
+  }
+}
+
+TEST(WalFuzz, RandomGarbageNeverCrashes) {
+  Xoshiro256 rng(0x6A42BA62);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng() % 128);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    (void)DecodeWal(bytes, WalReadMode::kStrict);
+    (void)DecodeWal(bytes, WalReadMode::kTolerateTornTail);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta frames (the bytes POSTed to /cluster/push — fully untrusted).
+
+TEST(DeltaFrameFuzz, ValidFrameRoundTrips) {
+  const std::vector<std::uint8_t> bytes = ValidDeltaFrame(7);
+  const Result<DeltaFrame> frame = DecodeDeltaFrame(bytes);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.ValueOrDie().node_id, "node-7");
+  EXPECT_EQ(frame.ValueOrDie().seq, 7u);
+  ASSERT_EQ(frame.ValueOrDie().synopses.size(), 2u);
+  EXPECT_EQ(frame.ValueOrDie().synopses[0].first, "concise-sample");
+}
+
+TEST(DeltaFrameFuzz, TruncationAtEveryByteFails) {
+  const std::vector<std::uint8_t> bytes = ValidDeltaFrame(8);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const Result<DeltaFrame> frame = DecodeDeltaFrame(bytes.data(), cut);
+    ASSERT_FALSE(frame.ok()) << "cut=" << cut;
+    EXPECT_EQ(frame.status().code(), StatusCode::kInvalidArgument)
+        << "cut=" << cut;
+  }
+}
+
+TEST(DeltaFrameFuzz, TrailingGarbageFails) {
+  std::vector<std::uint8_t> bytes = ValidDeltaFrame(9);
+  bytes.push_back(0x00);
+  EXPECT_FALSE(DecodeDeltaFrame(bytes).ok());
+}
+
+TEST(DeltaFrameFuzz, BitFlipCorpusNeverCrashes) {
+  const std::vector<std::uint8_t> bytes = ValidDeltaFrame(10);
+  Xoshiro256 rng(0x0F11B7);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::uint8_t> mutated = bytes;
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    (void)DecodeDeltaFrame(mutated);  // ok or error — never a crash
+  }
+}
+
+TEST(DeltaFrameFuzz, RandomGarbageNeverCrashes) {
+  Xoshiro256 rng(0x6A42BA63);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng() % 256);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    (void)DecodeDeltaFrame(bytes);
+  }
+}
+
+TEST(DeltaFrameFuzz, StringOverloadMatchesPointerOverload) {
+  // The HTTP route decodes straight from the request-body string; both
+  // entry points must agree byte for byte.
+  const std::vector<std::uint8_t> bytes = ValidDeltaFrame(11);
+  const std::string as_string(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size());
+  const Result<DeltaFrame> a = DecodeDeltaFrame(bytes);
+  const Result<DeltaFrame> b = DecodeDeltaFrame(as_string);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.ValueOrDie().node_id, b.ValueOrDie().node_id);
+  EXPECT_EQ(a.ValueOrDie().synopses, b.ValueOrDie().synopses);
+}
+
+// ---------------------------------------------------------------------------
+// Node checkpoints (read back at recovery time; may be torn by crashes in
+// exotic filesystems even though the writer is rename-atomic).
+
+TEST(CheckpointFuzz, ValidCheckpointRoundTrips) {
+  const std::vector<std::uint8_t> bytes = ValidCheckpoint(20);
+  const Result<NodeCheckpoint> cp = DecodeNodeCheckpoint(bytes);
+  ASSERT_TRUE(cp.ok());
+  EXPECT_EQ(cp.ValueOrDie().op_count, 20);
+  ASSERT_EQ(cp.ValueOrDie().full.size(), 2u);
+  ASSERT_EQ(cp.ValueOrDie().delta.size(), 1u);
+}
+
+TEST(CheckpointFuzz, TruncationAtEveryByteFails) {
+  const std::vector<std::uint8_t> bytes = ValidCheckpoint(21);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const Result<NodeCheckpoint> cp = DecodeNodeCheckpoint(bytes.data(), cut);
+    ASSERT_FALSE(cp.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(CheckpointFuzz, BitFlipCorpusNeverCrashes) {
+  const std::vector<std::uint8_t> bytes = ValidCheckpoint(22);
+  Xoshiro256 rng(0x0F11B8);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::uint8_t> mutated = bytes;
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    (void)DecodeNodeCheckpoint(mutated);
+  }
+}
+
+TEST(CheckpointFuzz, RandomGarbageNeverCrashes) {
+  Xoshiro256 rng(0x6A42BA64);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng() % 256);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    (void)DecodeNodeCheckpoint(bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reservoir snapshots (kind 3) — the codec this PR added so traditional
+// samples survive checkpoints and ship inside delta frames.
+
+TEST(ReservoirSnapshotFuzz, ValidSnapshotRoundTrips) {
+  EXPECT_TRUE(
+      DecodeReservoirSnapshot(ValidReservoirSnapshot(30), 99).ok());
+}
+
+TEST(ReservoirSnapshotFuzz, TruncationAtEveryBoundaryNeverCrashes) {
+  const std::vector<std::uint8_t> bytes = ValidReservoirSnapshot(31);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() + cut);
+    EXPECT_FALSE(DecodeReservoirSnapshot(prefix, 1).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ReservoirSnapshotFuzz, KindConfusionFails) {
+  // Reservoir snapshots to the concise decoder and vice versa: the kind
+  // byte must reject them, not mis-parse counts as capacities.
+  EXPECT_FALSE(DecodeConciseSnapshot(ValidReservoirSnapshot(32), 1).ok());
+  EXPECT_FALSE(DecodeReservoirSnapshot(SomeStateBlob(33), 1).ok());
+}
+
+TEST(ReservoirSnapshotFuzz, BitFlipCorpusNeverCrashes) {
+  const std::vector<std::uint8_t> bytes = ValidReservoirSnapshot(34);
+  Xoshiro256 rng(0x0F11B9);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::uint8_t> mutated = bytes;
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    (void)DecodeReservoirSnapshot(mutated, 1);
+  }
+}
+
+TEST(ReservoirSnapshotFuzz, RandomGarbageNeverCrashes) {
+  Xoshiro256 rng(0x6A42BA65);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng() % 128);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    (void)DecodeReservoirSnapshot(bytes, 1);
+  }
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,271 @@
+// Statistical properties of the cluster wire path: shipping synopsis
+// deltas as serialized state (EncodeState -> PrepareDeltaMerge -> apply,
+// exactly what POST /cluster/push drives) must be indistinguishable from
+// one synopsis fed the concatenated stream.  The in-memory MergeFrom
+// properties are pinned by merge_uniformity_property_test.cc; these suites
+// pin that the codec round trip in the middle does not bias anything — and
+// that the round trip is *byte-deterministic*, which is the property crash
+// recovery's re-derived pending frames are built on.
+//
+// Tolerance policy: see tests/property/seed_sweep.h — each statistical
+// check runs once per base seed in kSweepSeeds with 4-6 sigma bands (chi2
+// ceiling 2x df), and the sweep tolerates kAllowedSeedFailures bad seeds.
+// Bookkeeping (observed inserts, footprint bounds, byte equality) stays
+// hard-asserted.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/concise_sample.h"
+#include "persist/snapshot.h"
+#include "property/seed_sweep.h"
+#include "registry/builtin.h"
+#include "registry/registry.h"
+#include "sample/reservoir_sample.h"
+#include "server/cluster.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+constexpr Words kBound = 512;
+
+/// Round-robin split — the same interleaving an N-node ingest tier sees
+/// when a load balancer sprays the stream across nodes.
+std::vector<std::vector<Value>> RoundRobinSplit(const std::vector<Value>& data,
+                                                std::size_t nodes) {
+  std::vector<std::vector<Value>> out(nodes);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i % nodes].push_back(data[i]);
+  }
+  return out;
+}
+
+/// Ships every persistable synopsis of `from` into `to` over the wire
+/// path the aggregator uses: serialize, stage with PrepareDeltaMerge (the
+/// decode/validate phase), then apply, then account the external inserts.
+void ShipState(const SynopsisRegistry& from, std::int64_t covers_ops,
+               SynopsisRegistry* to) {
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    const SynopsisHandle* handle = from.handle_at(i);
+    if (!handle->Capabilities().persistable || !handle->valid()) continue;
+    const Result<std::vector<std::uint8_t>> bytes = handle->EncodeState();
+    ASSERT_TRUE(bytes.ok()) << handle->Name();
+    const Result<std::function<Status()>> apply =
+        to->PrepareDeltaMerge(handle->Name(), bytes.ValueOrDie());
+    ASSERT_TRUE(apply.ok()) << handle->Name();
+    ASSERT_TRUE(apply.ValueOrDie()().ok()) << handle->Name();
+  }
+  to->NoteExternalInserts(covers_ops);
+  to->CompleteMergeRound();
+}
+
+/// K node registries fed round-robin shards, shipped into one aggregator.
+std::unique_ptr<SynopsisRegistry> BuildWireMerged(
+    const std::vector<Value>& data, std::size_t nodes, std::uint64_t seed) {
+  const DeltaRegistryFactory factory = MakeClusterDeltaFactory(kBound);
+  std::unique_ptr<SynopsisRegistry> aggregator = factory(seed);
+  const auto shards = RoundRobinSplit(data, nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    // The per-node seeds are the ones the replicator would use for its
+    // first delta round.
+    std::unique_ptr<SynopsisRegistry> node =
+        factory(DeltaSeed(seed + i + 1, /*seq=*/1));
+    node->InsertBatch(shards[i]);
+    ShipState(*node, static_cast<std::int64_t>(shards[i].size()),
+              aggregator.get());
+  }
+  return aggregator;
+}
+
+TEST(WireMergeProperty, ClusterSelectionShipsEverySynopsisItMaintains) {
+  // The cluster roles maintain exactly the synopses that are both
+  // persistable (can serialize into a frame) and mergeable (can apply on
+  // the aggregator) — a node maintaining anything else would hold state it
+  // can never ship.  Guard the selection against future synopses joining
+  // the builtin set without a codec.
+  const DeltaRegistryFactory factory = MakeClusterDeltaFactory(kBound);
+  const std::unique_ptr<SynopsisRegistry> registry = factory(1);
+  ASSERT_EQ(registry->size(), 2u);
+  for (std::size_t i = 0; i < registry->size(); ++i) {
+    const SynopsisHandle* handle = registry->handle_at(i);
+    EXPECT_TRUE(handle->Capabilities().persistable) << handle->Name();
+    EXPECT_TRUE(handle->Capabilities().mergeable) << handle->Name();
+  }
+  EXPECT_NE(registry->handle(kTraditionalSynopsisName), nullptr);
+  EXPECT_NE(registry->handle(kConciseSynopsisName), nullptr);
+}
+
+TEST(WireMergeProperty, WireMergedConciseMatchesDataComposition) {
+  // Chi-square goodness of fit, as in MergeUniformityProperty but through
+  // the serialized wire path: aggregate the merged concise sample's
+  // per-value counts over independent trials against the stream's own
+  // composition.  Under Theorem 2 sampled mass is proportional to f_v; a
+  // codec that dropped, duplicated, or re-weighted entries would bias this
+  // immediately.
+  RunSeedSweep([](std::uint64_t base) {
+    const std::int64_t kDomain = 250;
+    const std::vector<Value> data = ZipfValues(45000, kDomain, 0.8, base);
+    std::vector<double> freq(static_cast<std::size_t>(kDomain) + 1, 0.0);
+    for (Value v : data) freq[static_cast<std::size_t>(v)] += 1.0;
+
+    constexpr int kTrials = 15;
+    std::vector<double> observed(static_cast<std::size_t>(kDomain) + 1, 0.0);
+    double total_points = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+      const std::unique_ptr<SynopsisRegistry> merged = BuildWireMerged(
+          data, /*nodes=*/3,
+          base + 15485863ULL * (static_cast<std::uint64_t>(t) + 1));
+      // Bookkeeping is exact on every seed: the aggregator never saw a raw
+      // op, yet must account the whole stream.
+      EXPECT_EQ(merged->observed_inserts(),
+                static_cast<std::int64_t>(data.size()));
+      const Result<ConciseSample> sample =
+          merged->StateCopy<ConciseSample>(kConciseSynopsisName);
+      EXPECT_TRUE(sample.ok());
+      if (!sample.ok()) return false;
+      EXPECT_EQ(sample.ValueOrDie().ObservedInserts(),
+                static_cast<std::int64_t>(data.size()));
+      EXPECT_LE(sample.ValueOrDie().Footprint(), kBound);
+      for (const ValueCount& e : sample.ValueOrDie().Entries()) {
+        observed[static_cast<std::size_t>(e.value)] +=
+            static_cast<double>(e.count);
+        total_points += static_cast<double>(e.count);
+      }
+    }
+    if (total_points <= 0.0) return false;
+
+    // Pool cells with expected >= 5; everything rarer into one tail cell.
+    const auto n = static_cast<double>(data.size());
+    double chi2 = 0.0, tail_obs = 0.0, tail_exp = 0.0;
+    int df = 0;
+    for (std::size_t v = 1; v < freq.size(); ++v) {
+      const double expected = total_points * freq[v] / n;
+      if (expected >= 5.0) {
+        const double d = observed[v] - expected;
+        chi2 += d * d / expected;
+        ++df;
+      } else {
+        tail_obs += observed[v];
+        tail_exp += expected;
+      }
+    }
+    if (tail_exp >= 5.0) {
+      const double d = tail_obs - tail_exp;
+      chi2 += d * d / tail_exp;
+      ++df;
+    }
+    if (df <= 20) return false;  // the pooling must leave a usable test
+    return chi2 < 2.0 * df;
+  });
+}
+
+TEST(WireMergeProperty, WireMergedReservoirDrawsProportionally) {
+  // Two nodes over substreams tagged by disjoint value ranges: the number
+  // of aggregator reservoir points originating from node A must be
+  // Hypergeometric(n, n_a, m), exactly as for in-memory MergeFrom.
+  constexpr std::int64_t kNa = 30000;
+  constexpr std::int64_t kNb = 10000;
+  constexpr Value kOffset = 1000000;
+  RunSeedSweep([](std::uint64_t base) {
+    constexpr int kTrials = 30;
+    double mean_from_a = 0.0;
+    std::int64_t capacity = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const std::uint64_t seed =
+          base + 104729ULL * (static_cast<std::uint64_t>(t) + 1);
+      const DeltaRegistryFactory factory = MakeClusterDeltaFactory(kBound);
+      std::unique_ptr<SynopsisRegistry> aggregator = factory(seed);
+      std::unique_ptr<SynopsisRegistry> node_a = factory(seed + 1);
+      std::unique_ptr<SynopsisRegistry> node_b = factory(seed + 2);
+      node_a->InsertBatch(UniformValues(kNa, 1000, seed + 3));
+      std::vector<Value> b_data = UniformValues(kNb, 1000, seed + 4);
+      for (Value& v : b_data) v += kOffset;
+      node_b->InsertBatch(b_data);
+      ShipState(*node_a, kNa, aggregator.get());
+      ShipState(*node_b, kNb, aggregator.get());
+
+      const Result<ReservoirSample> merged =
+          aggregator->StateCopy<ReservoirSample>(kTraditionalSynopsisName);
+      EXPECT_TRUE(merged.ok());
+      if (!merged.ok()) return false;
+      EXPECT_EQ(merged.ValueOrDie().ObservedInserts(), kNa + kNb);
+      capacity = merged.ValueOrDie().SampleSize();
+      int from_a = 0;
+      for (Value v : merged.ValueOrDie().Points()) from_a += (v < kOffset);
+      mean_from_a += from_a;
+    }
+    mean_from_a /= kTrials;
+    const double n = static_cast<double>(kNa + kNb);
+    const double m = static_cast<double>(capacity);
+    const double expect = m * (kNa / n);
+    const double per_trial_var =
+        m * (kNa / n) * (kNb / n) * ((n - m) / (n - 1.0));
+    const double band = 5.0 * std::sqrt(per_trial_var / kTrials);
+    return std::abs(mean_from_a - expect) <= band;
+  });
+}
+
+TEST(WireMergeProperty, DeltaRegistryStateIsByteDeterministic) {
+  // The recovery contract: a delta registry's serialized state is a pure
+  // function of (seed, op sequence).  Crash recovery rebuilds the pending
+  // frame by replaying WAL ops into a fresh registry seeded with the same
+  // DeltaSeed — byte equality here is what lets the fault test assert the
+  // re-pushed frame is identical to the lost one.
+  const std::vector<Value> data = ZipfValues(20000, 500, 1.0, 0xD5);
+  const DeltaRegistryFactory factory = MakeClusterDeltaFactory(kBound);
+  const std::uint64_t seed = DeltaSeed(0xFACE, 7);
+  std::unique_ptr<SynopsisRegistry> first = factory(seed);
+  std::unique_ptr<SynopsisRegistry> second = factory(seed);
+  first->InsertBatch(data);
+  // The replay path inserts op by op — batched and per-op ingest must land
+  // on identical bytes or recovery would diverge from the live path.
+  for (Value v : data) {
+    ASSERT_TRUE(second->Observe(StreamOp::Insert(v)).ok());
+  }
+  for (std::size_t i = 0; i < first->size(); ++i) {
+    const SynopsisHandle* a = first->handle_at(i);
+    const SynopsisHandle* b = second->handle_at(i);
+    ASSERT_EQ(a->Name(), b->Name());
+    const Result<std::vector<std::uint8_t>> bytes_a = a->EncodeState();
+    const Result<std::vector<std::uint8_t>> bytes_b = b->EncodeState();
+    ASSERT_TRUE(bytes_a.ok());
+    ASSERT_TRUE(bytes_b.ok());
+    EXPECT_EQ(bytes_a.ValueOrDie(), bytes_b.ValueOrDie()) << a->Name();
+  }
+  // A different seq must produce a different random stream (the rounds'
+  // subsampling draws must not repeat) — in the sampled regime the
+  // reservoir's retained subset almost surely differs.
+  std::unique_ptr<SynopsisRegistry> other_seq =
+      factory(DeltaSeed(0xFACE, 8));
+  other_seq->InsertBatch(data);
+  const Result<std::vector<std::uint8_t>> bytes_7 =
+      first->handle(kTraditionalSynopsisName)->EncodeState();
+  const Result<std::vector<std::uint8_t>> bytes_8 =
+      other_seq->handle(kTraditionalSynopsisName)->EncodeState();
+  ASSERT_TRUE(bytes_7.ok());
+  ASSERT_TRUE(bytes_8.ok());
+  EXPECT_NE(bytes_7.ValueOrDie(), bytes_8.ValueOrDie());
+}
+
+TEST(WireMergeProperty, ReservoirSnapshotReEncodesByteStably) {
+  // Decode-then-re-encode must reproduce the exact bytes (the codec sorts
+  // points, so byte stability survives the round trip) — the fault test
+  // byte-compares a recovered node's re-serialized snapshot against the
+  // pre-crash one, which silently depends on this.
+  const std::vector<Value> data = ZipfValues(30000, 2000, 0.6, 0xE7);
+  ReservoirSample sample(/*capacity=*/256, /*seed=*/0x5EED);
+  for (Value v : data) sample.Insert(v);
+  const std::vector<std::uint8_t> bytes = EncodeSnapshot(sample);
+  const Result<ReservoirSample> decoded =
+      DecodeReservoirSnapshot(bytes, /*seed=*/0xD1FF);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(EncodeSnapshot(decoded.ValueOrDie()), bytes);
+}
+
+}  // namespace
+}  // namespace aqua

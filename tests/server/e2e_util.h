@@ -79,6 +79,18 @@ class ServerProcess {
     return code;
   }
 
+  /// SIGKILL and reap — the fault-injection crash: no shutdown handler
+  /// runs, no buffered state is flushed, the process is simply gone.
+  void KillNow() {
+    kill(pid_, SIGKILL);
+    waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+    if (stdout_fd_ >= 0) {
+      close(stdout_fd_);
+      stdout_fd_ = -1;
+    }
+  }
+
  private:
   void ReadPort() {
     // Read stdout until the listening line appears (the server prints and
