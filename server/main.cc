@@ -429,6 +429,7 @@ int ServeMain(int argc, char** argv) {
   routes.replicator = replicator.get();
   RegisterServingRoutes(server, engine, routes);
   if (catalog != nullptr) RegisterCatalogRoutes(server, *catalog);
+  RegisterQueryRoutes(server, engine, catalog.get());
   if (flags.role != ClusterRole::kSingle) {
     ClusterRouteConfig cluster_routes;
     cluster_routes.role = flags.role;

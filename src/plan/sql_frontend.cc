@@ -1,0 +1,345 @@
+#include "plan/sql_frontend.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+
+namespace aqua {
+
+namespace {
+
+// The parser is a hand-rolled cursor over the input view.  It allocates
+// nothing: every token is a view, numbers go through from_chars, and every
+// failure message fits the small-string buffer — a hostile /query payload
+// is rejected before the request touches the allocator.
+
+struct Cursor {
+  const char* p;
+  const char* end;
+};
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+bool IsAlpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+void SkipSpace(Cursor& c) {
+  while (c.p < c.end && IsSpace(*c.p)) ++c.p;
+}
+
+bool AtEnd(Cursor& c) {
+  SkipSpace(c);
+  return c.p == c.end;
+}
+
+/// Reads a keyword/identifier word ([A-Za-z_][A-Za-z0-9_]*); empty view
+/// when the cursor is not at one.
+std::string_view ReadWord(Cursor& c) {
+  SkipSpace(c);
+  const char* start = c.p;
+  if (c.p < c.end && IsAlpha(*c.p)) {
+    ++c.p;
+    while (c.p < c.end && (IsAlpha(*c.p) || IsDigit(*c.p))) ++c.p;
+  }
+  return std::string_view(start, static_cast<std::size_t>(c.p - start));
+}
+
+/// Reads a FROM target: like a word but also allowing '-' and '.' (the
+/// catalog registers attribute names such as "region-7").
+std::string_view ReadTarget(Cursor& c) {
+  SkipSpace(c);
+  const char* start = c.p;
+  while (c.p < c.end &&
+         (IsAlpha(*c.p) || IsDigit(*c.p) || *c.p == '-' || *c.p == '.')) {
+    ++c.p;
+  }
+  return std::string_view(start, static_cast<std::size_t>(c.p - start));
+}
+
+bool Consume(Cursor& c, char ch) {
+  SkipSpace(c);
+  if (c.p < c.end && *c.p == ch) {
+    ++c.p;
+    return true;
+  }
+  return false;
+}
+
+char ToUpper(char c) {
+  return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+}
+
+/// Case-insensitive keyword match (`upper` must be uppercase).
+bool WordIs(std::string_view word, std::string_view upper) {
+  if (word.size() != upper.size()) return false;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (ToUpper(word[i]) != upper[i]) return false;
+  }
+  return true;
+}
+
+bool ReadInt(Cursor& c, std::int64_t* out) {
+  SkipSpace(c);
+  // from_chars handles the sign itself for signed types.
+  const auto [ptr, ec] = std::from_chars(c.p, c.end, *out);
+  if (ec != std::errc() || ptr == c.p) return false;
+  c.p = ptr;
+  return true;
+}
+
+bool ReadDouble(Cursor& c, double* out) {
+  SkipSpace(c);
+  // Bound the token before converting: libstdc++'s floating-point
+  // from_chars heap-allocates a scratch buffer for very long inputs, and
+  // the parser promises to reject overlong numerics *before* any
+  // allocation.  No legitimate literal in this dialect needs 40 chars.
+  const char* scan = c.p;
+  while (scan < c.end &&
+         (IsDigit(*scan) || *scan == '.' || *scan == 'e' || *scan == 'E' ||
+          *scan == '+' || *scan == '-')) {
+    ++scan;
+  }
+  if (scan - c.p > 40) return false;
+  const auto [ptr, ec] = std::from_chars(c.p, scan, *out);
+  if (ec != std::errc() || ptr == c.p || !std::isfinite(*out)) return false;
+  c.p = ptr;
+  return true;
+}
+
+/// Parses the APPROX(<agg>) aggregate into the query's kind + parameters.
+Status ParseAggregate(Cursor& c, PlannedQuery* query) {
+  const std::string_view agg = ReadWord(c);
+  if (WordIs(agg, "COUNT")) {
+    if (!Consume(c, '(')) return Status::InvalidArgument("bad aggregate");
+    if (Consume(c, '*')) {
+      if (!Consume(c, ')')) return Status::InvalidArgument("bad aggregate");
+      query->kind = QueryKind::kCountWhere;
+      return Status::OK();
+    }
+    const std::string_view word = ReadWord(c);
+    if (!WordIs(word, "DISTINCT")) {
+      return Status::InvalidArgument("bad aggregate");
+    }
+    if (!Consume(c, '*') && ReadWord(c).empty()) {
+      return Status::InvalidArgument("bad aggregate");
+    }
+    if (!Consume(c, ')')) return Status::InvalidArgument("bad aggregate");
+    query->kind = QueryKind::kDistinct;
+    return Status::OK();
+  }
+  if (WordIs(agg, "FREQUENCY")) {
+    std::int64_t value = 0;
+    if (!Consume(c, '(') || !ReadInt(c, &value) || !Consume(c, ')')) {
+      return Status::InvalidArgument("bad aggregate");
+    }
+    query->kind = QueryKind::kFrequency;
+    query->value = value;
+    return Status::OK();
+  }
+  if (WordIs(agg, "QUANTILE")) {
+    double q = 0.0;
+    if (!Consume(c, '(') || !ReadDouble(c, &q) || !Consume(c, ')')) {
+      return Status::InvalidArgument("bad aggregate");
+    }
+    if (q < 0.0 || q > 1.0) return Status::InvalidArgument("bad quantile");
+    query->kind = QueryKind::kQuantile;
+    query->q = q;
+    return Status::OK();
+  }
+  if (WordIs(agg, "MEDIAN")) {
+    query->kind = QueryKind::kQuantile;
+    query->q = 0.5;
+    return Status::OK();
+  }
+  if (WordIs(agg, "TOP")) {
+    std::int64_t k = 0;
+    if (!Consume(c, '(') || !ReadInt(c, &k) || !Consume(c, ')') || k < 0) {
+      return Status::InvalidArgument("bad aggregate");
+    }
+    query->kind = QueryKind::kHotList;
+    query->k = k;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("bad aggregate");
+}
+
+/// A percentage-friendly fraction: `x` or `x%`, normalized to [0, 1] scale.
+bool ReadFraction(Cursor& c, double* out) {
+  if (!ReadDouble(c, out)) return false;
+  // A '%' immediately following (no space needed) scales down.
+  if (c.p < c.end && *c.p == '%') {
+    ++c.p;
+    *out /= 100.0;
+  }
+  return true;
+}
+
+Status ParseWithin(Cursor& c, std::int64_t* deadline_ns) {
+  double value = 0.0;
+  if (!ReadDouble(c, &value) || value <= 0.0) {
+    return Status::InvalidArgument("bad WITHIN");
+  }
+  // Unit may abut the number (1ms) or follow spaces (1 ms).
+  const std::string_view unit = ReadWord(c);
+  double scale = 0.0;
+  if (WordIs(unit, "NS")) {
+    scale = 1.0;
+  } else if (WordIs(unit, "US")) {
+    scale = 1e3;
+  } else if (WordIs(unit, "MS")) {
+    scale = 1e6;
+  } else if (WordIs(unit, "S")) {
+    scale = 1e9;
+  } else {
+    return Status::InvalidArgument("bad WITHIN");
+  }
+  const double ns = value * scale;
+  if (!(ns >= 1.0) || ns > 9.0e18) {
+    return Status::InvalidArgument("bad WITHIN");
+  }
+  *deadline_ns = static_cast<std::int64_t>(ns);
+  return Status::OK();
+}
+
+void AppendInt(std::string* out, std::int64_t value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out->append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[32];
+  // Shortest round-trip form: a deterministic spelling per value, so 0.02,
+  // 2e-2 and ERROR 2% all canonicalize identically.
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out->append(buf, static_cast<std::size_t>(ptr - buf));
+}
+
+}  // namespace
+
+Status ParseSqlQuery(std::string_view text, ParsedSqlQuery* out) {
+  Cursor c{text.data(), text.data() + text.size()};
+  ParsedSqlQuery parsed;
+
+  if (!WordIs(ReadWord(c), "SELECT")) {
+    return Status::InvalidArgument("expect SELECT");
+  }
+  if (!WordIs(ReadWord(c), "APPROX") || !Consume(c, '(')) {
+    return Status::InvalidArgument("expect APPROX");
+  }
+  AQUA_RETURN_NOT_OK(ParseAggregate(c, &parsed.query));
+  if (!Consume(c, ')')) return Status::InvalidArgument("expect APPROX");
+
+  if (!WordIs(ReadWord(c), "FROM")) {
+    return Status::InvalidArgument("expect FROM");
+  }
+  parsed.target = ReadTarget(c);
+  if (parsed.target.empty()) return Status::InvalidArgument("bad target");
+
+  while (!AtEnd(c)) {
+    if (Consume(c, ';')) {
+      if (!AtEnd(c)) return Status::InvalidArgument("trailing junk");
+      break;
+    }
+    const std::string_view clause = ReadWord(c);
+    if (WordIs(clause, "WHERE")) {
+      if (parsed.has_where) return Status::InvalidArgument("dup clause");
+      // WHERE only narrows a predicate count; on any other kind it is the
+      // client confusing aggregates, which we reject rather than ignore.
+      if (parsed.query.kind != QueryKind::kCountWhere) {
+        return Status::InvalidArgument("bad WHERE");
+      }
+      if (ReadWord(c).empty()) return Status::InvalidArgument("bad WHERE");
+      if (!WordIs(ReadWord(c), "BETWEEN")) {
+        return Status::InvalidArgument("bad WHERE");
+      }
+      std::int64_t low = 0;
+      std::int64_t high = 0;
+      if (!ReadInt(c, &low)) return Status::InvalidArgument("bad WHERE");
+      if (!WordIs(ReadWord(c), "AND")) {
+        return Status::InvalidArgument("bad WHERE");
+      }
+      if (!ReadInt(c, &high)) return Status::InvalidArgument("bad WHERE");
+      parsed.query.range = ValueRange{low, high};
+      parsed.has_where = true;
+    } else if (WordIs(clause, "ERROR")) {
+      if (parsed.has_error) return Status::InvalidArgument("dup clause");
+      double error = 0.0;
+      if (!ReadFraction(c, &error) || error <= 0.0 || error > 1.0) {
+        return Status::InvalidArgument("bad ERROR");
+      }
+      parsed.query.bound.max_error = error;
+      parsed.has_error = true;
+    } else if (WordIs(clause, "CONFIDENCE")) {
+      if (parsed.has_confidence) return Status::InvalidArgument("dup clause");
+      double confidence = 0.0;
+      if (!ReadFraction(c, &confidence) || confidence <= 0.0 ||
+          confidence >= 1.0) {
+        return Status::InvalidArgument("bad CONFIDENCE");
+      }
+      parsed.query.bound.confidence = confidence;
+      parsed.has_confidence = true;
+    } else if (WordIs(clause, "WITHIN")) {
+      if (parsed.has_deadline) return Status::InvalidArgument("dup clause");
+      AQUA_RETURN_NOT_OK(ParseWithin(c, &parsed.query.bound.deadline_ns));
+      parsed.has_deadline = true;
+    } else {
+      return Status::InvalidArgument("trailing junk");
+    }
+  }
+
+  *out = parsed;
+  return Status::OK();
+}
+
+void AppendCanonicalSqlKey(const ParsedSqlQuery& parsed, std::string* out) {
+  const PlannedQuery& query = parsed.query;
+  out->append("k=");
+  AppendInt(out, static_cast<int>(query.kind));
+  out->append(";t=");
+  out->append(parsed.target);
+  switch (query.kind) {
+    case QueryKind::kHotList:
+      out->append(";n=");
+      AppendInt(out, query.k);
+      break;
+    case QueryKind::kFrequency:
+      out->append(";v=");
+      AppendInt(out, query.value);
+      break;
+    case QueryKind::kCountWhere:
+      out->append(";lo=");
+      AppendInt(out, query.range.low);
+      out->append(";hi=");
+      AppendInt(out, query.range.high);
+      break;
+    case QueryKind::kDistinct:
+      break;
+    case QueryKind::kQuantile:
+      out->append(";q=");
+      AppendDouble(out, query.q);
+      break;
+  }
+  // Confidence always participates (it has a default, so an explicit
+  // CONFIDENCE 95% must hit the same entry as no clause at all); the other
+  // bounds only exist when requested.
+  out->append(";conf=");
+  AppendDouble(out, query.bound.confidence);
+  if (parsed.has_error) {
+    out->append(";err=");
+    AppendDouble(out, query.bound.max_error);
+  }
+  if (parsed.has_deadline) {
+    out->append(";dl=");
+    AppendInt(out, query.bound.deadline_ns);
+  }
+}
+
+}  // namespace aqua

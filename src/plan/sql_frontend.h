@@ -1,0 +1,50 @@
+#ifndef AQUA_PLAN_SQL_FRONTEND_H_
+#define AQUA_PLAN_SQL_FRONTEND_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "plan/planner.h"
+
+namespace aqua {
+
+/// One parsed /query statement: the planned query plus the FROM target,
+/// which is a view into the input text (the parser never copies it).
+struct ParsedSqlQuery {
+  PlannedQuery query;
+  /// FROM target: an attribute name, or "stream" for the default engine.
+  std::string_view target;
+  /// Whether an explicit WHERE v BETWEEN a AND b clause was present (a
+  /// missing one counts the whole relation).
+  bool has_where = false;
+  bool has_error = false;
+  bool has_confidence = false;
+  bool has_deadline = false;
+};
+
+/// Parses the SQL-ish /query dialect:
+///
+///   SELECT APPROX(<agg>) FROM <target>
+///     [WHERE <ident> BETWEEN <int> AND <int>]
+///     [ERROR <x>[%]] [CONFIDENCE <y>[%]] [WITHIN <t><unit>] [;]
+///
+/// with <agg> one of COUNT(*), COUNT(DISTINCT <ident>), FREQUENCY(<int>),
+/// QUANTILE(<q>), MEDIAN, TOP(<k>), and <unit> one of ns/us/ms/s.  The
+/// bound clauses may appear in any order, once each; keywords are
+/// case-insensitive.  Malformed input — truncation at any byte, garbage,
+/// overlong numerics, WHERE on a kind that takes none — returns
+/// InvalidArgument without allocating (messages fit the small-string
+/// buffer); `*out` is only written on success.
+Status ParseSqlQuery(std::string_view text, ParsedSqlQuery* out);
+
+/// Appends the canonical key for a parsed query to `*out`: a fixed
+/// field order with normalized numerics, so every spelling of the same
+/// query — clause order, ERROR 2% vs ERROR 0.02, case — produces the same
+/// response-cache key.  Appends into caller-owned storage (no allocation
+/// once the caller's string capacity is warm).
+void AppendCanonicalSqlKey(const ParsedSqlQuery& parsed, std::string* out);
+
+}  // namespace aqua
+
+#endif  // AQUA_PLAN_SQL_FRONTEND_H_

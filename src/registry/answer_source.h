@@ -30,6 +30,10 @@ class AnswerSource {
 
   virtual bool Answers(QueryKind kind) const = 0;
 
+  /// True when this source answers `kind` from an epoch-frozen view (the
+  /// fast path).  The registry's latency profiles split on this.
+  virtual bool AnswersFromView(QueryKind /*kind*/) const { return false; }
+
   virtual HotList HotListAnswer(const HotListQuery& query,
                                 const QueryContext& ctx) const {
     (void)query;

@@ -1,6 +1,7 @@
 #include "registry/builtin.h"
 
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -14,15 +15,34 @@
 
 namespace aqua {
 
+namespace {
+
+/// Worst-case relative error of a uniform m-point sample at `confidence`:
+/// z(c) / (2 sqrt(m)) — the Hoeffding-style half-width the paper's §6
+/// experiments measure against.  An empty sample predicts nothing.
+double UniformSampleError(std::int64_t m, double confidence) {
+  if (m <= 0) return std::numeric_limits<double>::infinity();
+  return SampleEstimator::NormalQuantile(confidence) /
+         (2.0 * std::sqrt(static_cast<double>(m)));
+}
+
+}  // namespace
+
 SynopsisDescriptor<ReservoirSample> TraditionalSampleDescriptor(
     Words footprint_bound) {
   SynopsisDescriptor<ReservoirSample> descriptor;
   descriptor.name = std::string(kTraditionalSynopsisName);
   descriptor.on_delete = DeleteBehavior::kInvalidates;
-  descriptor.rank[static_cast<int>(QueryKind::kHotList)] = kRankTraditional;
-  descriptor.rank[static_cast<int>(QueryKind::kCountWhere)] =
-      kRankTraditional;
-  descriptor.rank[static_cast<int>(QueryKind::kQuantile)] = kRankTraditional;
+  const auto uniform_error = [](const ReservoirSample& sample,
+                                const QueryContext&, double confidence) {
+    return UniformSampleError(sample.SampleSize(), confidence);
+  };
+  descriptor.Declare(QueryKind::kHotList, kAccuracyTraditional,
+                     uniform_error);
+  descriptor.Declare(QueryKind::kCountWhere, kAccuracyTraditional,
+                     uniform_error);
+  descriptor.Declare(QueryKind::kQuantile, kAccuracyTraditional,
+                     uniform_error);
   descriptor.factory = [footprint_bound](std::uint64_t seed) {
     return ReservoirSample(footprint_bound, seed);
   };
@@ -60,12 +80,17 @@ SynopsisDescriptor<ConciseSample> ConciseSampleDescriptor(
   SynopsisDescriptor<ConciseSample> descriptor;
   descriptor.name = std::string(kConciseSynopsisName);
   descriptor.on_delete = DeleteBehavior::kInvalidates;
-  descriptor.rank[static_cast<int>(QueryKind::kHotList)] = kRankConcise;
-  descriptor.rank[static_cast<int>(QueryKind::kFrequency)] = kRankConcise;
+  const auto concise_error = [](const ConciseSample& sample,
+                                const QueryContext&, double confidence) {
+    return UniformSampleError(sample.SampleSize(), confidence);
+  };
+  descriptor.Declare(QueryKind::kHotList, kAccuracyConcise, concise_error);
+  descriptor.Declare(QueryKind::kFrequency, kAccuracyConcise, concise_error);
   // Preferred uniform sample for predicate counts and quantiles: largest
   // sample-size for the footprint (§1.1), hence the tightest interval.
-  descriptor.rank[static_cast<int>(QueryKind::kCountWhere)] = kRankConcise;
-  descriptor.rank[static_cast<int>(QueryKind::kQuantile)] = kRankConcise;
+  descriptor.Declare(QueryKind::kCountWhere, kAccuracyConcise,
+                     concise_error);
+  descriptor.Declare(QueryKind::kQuantile, kAccuracyConcise, concise_error);
   descriptor.factory = [footprint_bound](std::uint64_t seed) {
     ConciseSampleOptions options;
     options.footprint_bound = footprint_bound;
@@ -112,8 +137,16 @@ SynopsisDescriptor<CountingSample> CountingSampleDescriptor(
   descriptor.name = std::string(kCountingSynopsisName);
   // Theorem 5: counting samples apply deletes exactly.
   descriptor.on_delete = DeleteBehavior::kApplies;
-  descriptor.rank[static_cast<int>(QueryKind::kHotList)] = kRankCounting;
-  descriptor.rank[static_cast<int>(QueryKind::kFrequency)] = kRankCounting;
+  // A counting sample's answers aggregate every counted occurrence, so its
+  // effective sample size is the count total, not the footprint (§5.2's
+  // "considerably more accurate" in live numbers).
+  const auto counting_error = [](const CountingSample& sample,
+                                 const QueryContext&, double confidence) {
+    return UniformSampleError(sample.CountedOccurrences(), confidence);
+  };
+  descriptor.Declare(QueryKind::kHotList, kAccuracyCounting, counting_error);
+  descriptor.Declare(QueryKind::kFrequency, kAccuracyCounting,
+                     counting_error);
   descriptor.factory = [footprint_bound](std::uint64_t seed) {
     CountingSampleOptions options;
     options.footprint_bound = footprint_bound;
@@ -147,7 +180,16 @@ SynopsisDescriptor<FlajoletMartin> DistinctSketchDescriptor(int num_maps) {
   descriptor.name = std::string(kDistinctSketchName);
   // Removing a value cannot clear a shared bitmap bit; deletes pass by.
   descriptor.on_delete = DeleteBehavior::kIgnores;
-  descriptor.rank[static_cast<int>(QueryKind::kDistinct)] = kRankCounting;
+  // [FM85]'s standard error with stochastic averaging: ~0.78 / sqrt(maps),
+  // independent of confidence (the sketch reports a point estimate).
+  descriptor.Declare(QueryKind::kDistinct, kAccuracyCounting,
+                     [](const FlajoletMartin& sketch, const QueryContext&,
+                        double) {
+                       return 0.78 /
+                              std::sqrt(static_cast<double>(
+                                  sketch.num_maps() > 0 ? sketch.num_maps()
+                                                        : 1));
+                     });
   descriptor.factory = [num_maps](std::uint64_t seed) {
     return FlajoletMartin(num_maps, seed);
   };

@@ -35,13 +35,17 @@ inline constexpr std::string_view kCountingSynopsisName = "counting-sample";
 inline constexpr std::string_view kDistinctSketchName = "fm-sketch";
 inline constexpr std::string_view kFullHistogramName = "full-histogram";
 
-/// §6 accuracy ranks (lower answers first): the full histogram is exact,
-/// counting samples beat concise samples ("considerably more accurate",
-/// §5.2), which beat traditional samples (§1.1's sample-size argument).
-inline constexpr int kRankExact = 0;
-inline constexpr int kRankCounting = 10;
-inline constexpr int kRankConcise = 20;
-inline constexpr int kRankTraditional = 30;
+/// §6 accuracy classes (lower answers first when no bound is requested):
+/// the full histogram is exact, counting samples beat concise samples
+/// ("considerably more accurate", §5.2), which beat traditional samples
+/// (§1.1's sample-size argument).  These seed the static half of each
+/// descriptor's cost/error model; the live half (error estimators and
+/// measured latency profiles) is what the planner scores bounded queries
+/// against.
+inline constexpr int kAccuracyExact = 0;
+inline constexpr int kAccuracyCounting = 10;
+inline constexpr int kAccuracyConcise = 20;
+inline constexpr int kAccuracyTraditional = 30;
 
 /// The FM sketch word cost with the default 64 stochastic-averaging maps
 /// (one bitmap word + one salt word per map); budgeters carve this out

@@ -15,20 +15,43 @@ std::int64_t NowNs() {
 
 }  // namespace
 
-Status SynopsisRegistry::ValidateRanks(
-    const std::string& name, const std::array<int, kNumQueryKinds>& rank,
+std::string_view QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kHotList:
+      return "hotlist";
+    case QueryKind::kFrequency:
+      return "frequency";
+    case QueryKind::kCountWhere:
+      return "count_where";
+    case QueryKind::kDistinct:
+      return "distinct";
+    case QueryKind::kQuantile:
+      return "quantile";
+  }
+  return "unknown";
+}
+
+Status SynopsisRegistry::ValidateModel(
+    const std::string& name,
+    const std::array<int, kNumQueryKinds>& accuracy_class,
+    const std::array<bool, kNumQueryKinds>& has_error,
     const std::array<bool, kNumQueryKinds>& has_answerer) {
   for (int kind = 0; kind < kNumQueryKinds; ++kind) {
-    const bool ranked = rank[kind] != kCannotAnswer;
-    if (ranked && !has_answerer[kind]) {
+    const bool declared = accuracy_class[kind] != kCannotAnswer;
+    if (declared && !has_answerer[kind]) {
       return Status::InvalidArgument(
-          name + ": rank declared for a query kind without an answer "
-                 "function");
+          name + ": cost/error model declared for a query kind without an "
+                 "answer function");
     }
-    if (!ranked && has_answerer[kind]) {
+    if (!declared && has_answerer[kind]) {
       return Status::InvalidArgument(
           name + ": answer function provided for a query kind without a "
-                 "rank");
+                 "cost/error model entry");
+    }
+    if (declared && !has_error[kind]) {
+      return Status::InvalidArgument(
+          name + ": cost/error model entry without an error estimator (the "
+                 "planner cannot score what it cannot predict)");
     }
   }
   return Status::OK();
@@ -36,11 +59,12 @@ Status SynopsisRegistry::ValidateRanks(
 
 void SynopsisRegistry::IndexHandle(SynopsisHandle* handle) {
   for (int kind = 0; kind < kNumQueryKinds; ++kind) {
-    const int rank = handle->Capabilities().rank[kind];
-    if (rank == kCannotAnswer) continue;
+    const int accuracy = handle->Capabilities().model[kind].accuracy_class;
+    if (accuracy == kCannotAnswer) continue;
     auto& list = by_kind_[kind];
     auto it = list.begin();
-    while (it != list.end() && (*it)->Capabilities().rank[kind] <= rank) {
+    while (it != list.end() &&
+           (*it)->Capabilities().model[kind].accuracy_class <= accuracy) {
       ++it;
     }
     list.insert(it, handle);
@@ -117,8 +141,12 @@ void SynopsisRegistry::HotListAnswerInto(
        by_kind_[static_cast<int>(QueryKind::kHotList)]) {
     const AnswerSource* source = candidate->PinInto(pinned);
     if (source == nullptr) continue;
+    const std::int64_t compute_start = NowNs();
     source->HotListAnswerInto(query, ctx, &response->answer);
     response->method = source->Method();
+    candidate->RecordLatency(QueryKind::kHotList,
+                             source->AnswersFromView(QueryKind::kHotList),
+                             NowNs() - compute_start);
     break;
   }
   response->response_ns = NowNs() - start;
@@ -278,6 +306,27 @@ void SynopsisRegistry::GetStatsInto(RegistryStats* out) const {
     s.cache = handle->CacheStats();
     s.has_view = handle->HasView();
     s.view_build_ns = handle->ViewBuildNs();
+  }
+  for (int kind = 0; kind < kNumQueryKinds; ++kind) {
+    PlannerKindStats& p = out->planner[kind];
+    const QueryKind qk = static_cast<QueryKind>(kind);
+    p.kind = QueryKindName(qk);
+    p.synopsis = "none";
+    p.available = false;
+    p.latency_ewma_ns = 0.0;
+    p.last_achieved_error = LastAchievedError(qk);
+    for (const SynopsisHandle* candidate : by_kind_[kind]) {
+      if (!candidate->valid()) continue;
+      p.synopsis = candidate->Name();
+      p.available = true;
+      // Report the path an unbounded query would take: the frozen view
+      // when the current epoch carries one, the direct path otherwise.
+      const LatencyProfile profile = candidate->LatencyFor(qk);
+      const bool via_view =
+          candidate->ViewAnswers(qk) && profile.view_observations > 0;
+      p.latency_ewma_ns = via_view ? profile.view_ns : profile.direct_ns;
+      break;
+    }
   }
 }
 

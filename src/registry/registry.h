@@ -35,17 +35,41 @@ struct SynopsisHandleStats {
   std::int64_t view_build_ns = 0;
 };
 
+/// Per-kind planner observability: what an unbounded query of this kind
+/// would currently choose, the chosen handle's measured latency profile,
+/// and the error bound the planner last reported for the kind (-1 until a
+/// planned query ran).
+struct PlannerKindStats {
+  /// Static kind name ("hotlist", "frequency", ...).
+  std::string_view kind;
+  /// Chosen synopsis name; "none" when nothing valid answers the kind.
+  std::string_view synopsis = "none";
+  bool available = false;
+  /// EWMA answer latency of the chosen synopsis on the path an unbounded
+  /// query would take (view when the epoch carries one); 0 until observed.
+  double latency_ewma_ns = 0.0;
+  double last_achieved_error = -1.0;
+};
+
 struct RegistryStats {
   std::int64_t inserts = 0;
   std::int64_t deletes = 0;
   std::vector<SynopsisHandleStats> synopses;
+  std::array<PlannerKindStats, kNumQueryKinds> planner = {};
 };
+
+/// Static kind names, indexed by QueryKind (the /query and /stats wire
+/// vocabulary).
+std::string_view QueryKindName(QueryKind kind);
 
 /// The registry-backed core both engines drive: owns any number of
 /// type-erased synopsis handles, routes the load stream to all of them, and
 /// answers each query kind from the most accurate valid synopsis (§6's
-/// accuracy ordering, expressed as per-kind ranks declared at
-/// registration — never hand-maintained per engine again).
+/// accuracy ordering, expressed as per-kind cost/error models declared at
+/// registration — never hand-maintained per engine again).  Bounded
+/// queries go through the planner (plan/planner.h), which scores the same
+/// per-kind candidate lists against each handle's predicted error and
+/// measured latency instead of taking the first entry.
 ///
 /// Thread-safety follows the execution mode: kConcurrent registries accept
 /// ingest and queries from any thread (handles shard or lock internally;
@@ -98,8 +122,14 @@ class SynopsisRegistry {
           descriptor.name +
           ": DeleteBehavior::kApplies requires a Delete(Value) member");
     }
-    AQUA_RETURN_NOT_OK(ValidateRanks(
-        descriptor.name, descriptor.rank,
+    std::array<int, kNumQueryKinds> accuracy_class;
+    std::array<bool, kNumQueryKinds> has_error;
+    for (int kind = 0; kind < kNumQueryKinds; ++kind) {
+      accuracy_class[kind] = descriptor.model[kind].accuracy_class;
+      has_error[kind] = descriptor.model[kind].error != nullptr;
+    }
+    AQUA_RETURN_NOT_OK(ValidateModel(
+        descriptor.name, accuracy_class, has_error,
         {descriptor.answers.hot_list != nullptr,
          descriptor.answers.frequency != nullptr,
          descriptor.answers.count_where != nullptr,
@@ -137,8 +167,9 @@ class SynopsisRegistry {
   Status Delete(Value value);
 
   /// Queries: one answer path for both engines.  Handles that answer the
-  /// kind are tried in ascending rank order; the first valid handle that
-  /// can pin a snapshot answers.  Method is "none" when nothing can.
+  /// kind are tried in ascending accuracy-class order; the first valid
+  /// handle that can pin a snapshot answers.  Method is "none" when
+  /// nothing can.
   QueryResponse<HotList> HotListAnswer(const HotListQuery& query) const;
   /// Out-param form: fills `response->answer` in place (cleared first), so
   /// a serving thread reusing one QueryResponse<HotList> as scratch
@@ -220,6 +251,27 @@ class SynopsisRegistry {
     return deletes_.load(std::memory_order_relaxed);
   }
 
+  /// The handles answering `kind`, ascending accuracy class (ties in
+  /// registration order) — the candidate list both the unbounded answer
+  /// path and the planner walk.  Pointers stay valid for the registry's
+  /// lifetime (registration precedes serving).
+  std::span<const SynopsisHandle* const> HandlesFor(QueryKind kind) const {
+    const auto& list = by_kind_[static_cast<int>(kind)];
+    return std::span<const SynopsisHandle* const>(list.data(), list.size());
+  }
+
+  /// Records / reads the error bound the planner last reported for a kind
+  /// (-1 until a planned query of the kind ran).  Const: observability
+  /// from the const answer path, relaxed atomics.
+  void NoteAchievedError(QueryKind kind, double error) const {
+    last_achieved_error_[static_cast<int>(kind)].store(
+        error, std::memory_order_relaxed);
+  }
+  double LastAchievedError(QueryKind kind) const {
+    return last_achieved_error_[static_cast<int>(kind)].load(
+        std::memory_order_relaxed);
+  }
+
   /// The handle registered under `name`; null when unknown.
   const SynopsisHandle* handle(std::string_view name) const;
 
@@ -267,12 +319,13 @@ class SynopsisRegistry {
   }
 
  private:
-  Status ValidateRanks(const std::string& name,
-                       const std::array<int, kNumQueryKinds>& rank,
+  Status ValidateModel(const std::string& name,
+                       const std::array<int, kNumQueryKinds>& accuracy_class,
+                       const std::array<bool, kNumQueryKinds>& has_error,
                        const std::array<bool, kNumQueryKinds>& has_answerer);
 
   /// Inserts the handle into each per-kind list it answers, keeping the
-  /// lists sorted by ascending rank (ties: registration order).
+  /// lists sorted by ascending accuracy class (ties: registration order).
   void IndexHandle(SynopsisHandle* handle);
 
   template <RegistrableSynopsis S>
@@ -294,6 +347,9 @@ class SynopsisRegistry {
   std::atomic<std::int64_t> inserts_{0};
   std::atomic<std::int64_t> deletes_{0};
   std::atomic<std::uint64_t> merge_rounds_{0};
+  /// Per kind, the planner's last reported error bound (-1: none yet).
+  mutable std::array<std::atomic<double>, kNumQueryKinds>
+      last_achieved_error_ = {-1.0, -1.0, -1.0, -1.0, -1.0};
 };
 
 template <typename AnswerT, typename ComputeFn>
@@ -311,8 +367,20 @@ QueryResponse<AnswerT> SynopsisRegistry::AnswerFromBest(
        by_kind_[static_cast<int>(kind)]) {
     const AnswerSource* source = candidate->PinInto(pinned);
     if (source == nullptr) continue;  // invalidated or snapshot unavailable
+    const std::int64_t start =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
     response.answer = compute(*source, ctx);
     response.method = source->Method();
+    // Feed the measured latency profile the planner scores against —
+    // every answered query is an observation, bounded or not.
+    const std::int64_t end =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    candidate->RecordLatency(kind, source->AnswersFromView(kind),
+                             end - start);
     break;
   }
   return response;

@@ -20,8 +20,8 @@ namespace aqua {
 /// Type-erased ownership of one synopsis inside a SynopsisRegistry.
 ///
 /// A handle wraps a concrete synopsis type together with its declared
-/// capabilities (delete semantics, mergeability, persistence, §6 accuracy
-/// ranks) and the machinery its execution mode needs: unsynchronized
+/// capabilities (delete semantics, mergeability, persistence, the per-kind
+/// cost/error model) and the machinery its execution mode needs: unsynchronized
 /// handles hold the synopsis directly; concurrent handles instantiate
 /// ShardedSynopsis (mergeable types) or SharedSynopsis (unmergeable types)
 /// for ingest plus a SnapshotCache for the query path.  The registry only
@@ -64,8 +64,36 @@ class SynopsisHandle {
   /// caller's inline buffer and returns it (null exactly when Pin() would
   /// be).  The returned pointer is invalidated by the next Emplace() on
   /// `pinned` — the serving path keeps one PinnedAnswerSource as scratch
-  /// per query.
-  virtual const AnswerSource* PinInto(PinnedAnswerSource& pinned) const = 0;
+  /// per query.  `allow_view` false forces the direct computation path
+  /// (the planner's view-vs-direct choice); answers are bit-identical on
+  /// both paths, only the cost differs.
+  virtual const AnswerSource* PinInto(PinnedAnswerSource& pinned,
+                                      bool allow_view) const = 0;
+  const AnswerSource* PinInto(PinnedAnswerSource& pinned) const {
+    return PinInto(pinned, /*allow_view=*/true);
+  }
+
+  /// The live half of the cost/error model (the static half — accuracy
+  /// classes — is in Capabilities().model): the error the descriptor's
+  /// estimator predicts for answering `kind` from the current state at
+  /// `confidence`.  +infinity when the kind is not answered, the handle is
+  /// invalidated, or no state has been published yet.  Never forces a
+  /// snapshot refresh.
+  virtual double PredictedError(QueryKind kind, const QueryContext& ctx,
+                                double confidence) const = 0;
+
+  /// Measured per-path answer latency for `kind` (EWMA of observed ns).
+  virtual LatencyProfile LatencyFor(QueryKind kind) const = 0;
+
+  /// Feeds one observed answer latency into the profile.  Const — called
+  /// from the (const) answer paths; thread-safe.
+  virtual void RecordLatency(QueryKind kind, bool via_view,
+                             std::int64_t ns) const = 0;
+
+  /// True when the current epoch's frozen view answers `kind` (the
+  /// planner's view-path option exists).  False for unsynchronized
+  /// handles and unpublished epochs.
+  virtual bool ViewAnswers(QueryKind kind) const = 0;
 
   /// Serialized state via the descriptor's persist codec; Unimplemented
   /// when the synopsis declared none.

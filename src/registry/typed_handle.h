@@ -52,7 +52,7 @@ concept ShardableSynopsis = Mergeable<S> && Reseedable<S>;
 
 /// How answers are computed from a pinned snapshot of `S`.  Null entries
 /// mean the synopsis does not answer that kind; each non-null entry must
-/// have a matching rank in the descriptor (Register validates).
+/// have a matching model entry in the descriptor (Register validates).
 template <typename S>
 struct AnswerFunctions {
   std::function<HotList(const S&, const HotListQuery&, const QueryContext&)>
@@ -67,19 +67,37 @@ struct AnswerFunctions {
       quantile;
 };
 
+/// One query kind's cost/error model entry, declared by a descriptor: the
+/// §6 accuracy class (the static ordering unbounded queries follow) plus an
+/// error estimator evaluated on the live synopsis state.  The estimator
+/// returns the kind's error metric (DESIGN.md §13: a relative bound such as
+/// z(c)/(2·sqrt(m)) for uniform samples) predicted for answering from
+/// `state` at `confidence`; +infinity means "cannot bound the error" (e.g.
+/// an empty sample).  Register() requires an estimator for every declared
+/// kind — the planner refuses to score a handle it cannot predict.
+template <typename S>
+struct KindCostModel {
+  int accuracy_class = kCannotAnswer;
+  std::function<double(const S& state, const QueryContext&,
+                       double confidence)>
+      error;
+};
+
+/// The full per-kind model of one synopsis (indexed by QueryKind).
+template <typename S>
+using CostErrorModel = std::array<KindCostModel<S>, kNumQueryKinds>;
+
 /// Everything the registry needs to own and serve one synopsis type:
-/// construction, delete semantics, §6 accuracy ranks, answer computation,
-/// and (optionally) a persist codec.  A descriptor is registered once and
-/// serves both engines — there is no per-engine fork.
+/// construction, delete semantics, the per-kind cost/error model, answer
+/// computation, and (optionally) a persist codec.  A descriptor is
+/// registered once and serves both engines — there is no per-engine fork.
 template <typename S>
 struct SynopsisDescriptor {
   /// Stable id; doubles as the response `method` tag.
   std::string name;
   DeleteBehavior on_delete = DeleteBehavior::kIgnores;
-  /// Per-QueryKind accuracy rank; kCannotAnswer where not served.
-  std::array<int, kNumQueryKinds> rank = {kCannotAnswer, kCannotAnswer,
-                                          kCannotAnswer, kCannotAnswer,
-                                          kCannotAnswer};
+  /// Per-QueryKind cost/error model; kCannotAnswer where not served.
+  CostErrorModel<S> model = {};
   /// Builds one instance (one shard, in sharded mode) from a seed.
   std::function<S(std::uint64_t seed)> factory;
   AnswerFunctions<S> answers;
@@ -93,6 +111,15 @@ struct SynopsisDescriptor {
   std::function<std::vector<std::uint8_t>(const S&)> encode;
   std::function<Result<S>(const std::vector<std::uint8_t>&, std::uint64_t)>
       decode;
+
+  /// Declares one answered kind: its accuracy class and error estimator.
+  void Declare(QueryKind kind, int accuracy_class,
+               std::function<double(const S&, const QueryContext&, double)>
+                   error_estimator) {
+    KindCostModel<S>& entry = model[static_cast<int>(kind)];
+    entry.accuracy_class = accuracy_class;
+    entry.error = std::move(error_estimator);
+  }
 };
 
 /// How a handle arbitrates between ingest and queries.
@@ -152,12 +179,13 @@ class TypedAnswerSource final : public AnswerSource {
   std::string_view Method() const override { return descriptor_->name; }
 
   bool Answers(QueryKind kind) const override {
-    return descriptor_->rank[static_cast<int>(kind)] != kCannotAnswer;
+    return descriptor_->model[static_cast<int>(kind)].accuracy_class !=
+           kCannotAnswer;
   }
 
   /// True when this source would answer the kind from the frozen view
-  /// (bench/stats introspection).
-  bool AnswersFromView(QueryKind kind) const {
+  /// (planner path accounting, bench/stats introspection).
+  bool AnswersFromView(QueryKind kind) const override {
     return view_ != nullptr && view_->Answers(kind);
   }
 
@@ -237,7 +265,10 @@ class TypedSynopsisHandle final : public SynopsisHandle {
         mode_(options.mode),
         seed_(options.seed) {
     caps_.on_delete = descriptor_->on_delete;
-    caps_.rank = descriptor_->rank;
+    for (int kind = 0; kind < kNumQueryKinds; ++kind) {
+      caps_.model[kind].accuracy_class =
+          descriptor_->model[kind].accuracy_class;
+    }
     caps_.mergeable = Mergeable<S>;
     caps_.reseedable = Reseedable<S>;
     caps_.batch_insertable = BatchInsertable<S>;
@@ -357,15 +388,76 @@ class TypedSynopsisHandle final : public SynopsisHandle {
                                                   std::move(snapshot), view);
   }
 
-  const AnswerSource* PinInto(PinnedAnswerSource& pinned) const override {
+  using SynopsisHandle::PinInto;
+  const AnswerSource* PinInto(PinnedAnswerSource& pinned,
+                              bool allow_view) const override {
     std::shared_ptr<const S> snapshot;
     const FrozenView* view = nullptr;
     if (!PinState(snapshot, view)) return nullptr;
     // Placement-constructs into the caller's buffer: the epoch stays
     // pinned by the shared_ptr members, but no control block or source
-    // object is heap-allocated.
-    return pinned.Emplace<TypedAnswerSource<S>>(descriptor_,
-                                                std::move(snapshot), view);
+    // object is heap-allocated.  A planner that chose the direct path
+    // drops the view pointer, so every kind answers via the descriptor's
+    // computation (the view stays alive inside the pinned epoch either
+    // way).
+    return pinned.Emplace<TypedAnswerSource<S>>(
+        descriptor_, std::move(snapshot), allow_view ? view : nullptr);
+  }
+
+  double PredictedError(QueryKind kind, const QueryContext& ctx,
+                        double confidence) const override {
+    const KindCostModel<S>& entry = descriptor_->model[static_cast<int>(kind)];
+    if (entry.accuracy_class == kCannotAnswer || entry.error == nullptr ||
+        !valid()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    if (live_.has_value()) return entry.error(*live_, ctx, confidence);
+    if (cache_ != nullptr) {
+      // Peek, never Get: prediction must not force a refresh (the serving
+      // path settles caches through the epoch source; an epoch that was
+      // never published predicts +inf until the first query refreshes it).
+      const std::shared_ptr<const EpochState<S>> state = cache_->Peek();
+      if (state != nullptr) return entry.error(state->snapshot, ctx, confidence);
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+
+  LatencyProfile LatencyFor(QueryKind kind) const override {
+    const int i = static_cast<int>(kind);
+    LatencyProfile profile;
+    profile.view_ns = view_ewma_ns_[i].load(std::memory_order_relaxed);
+    profile.direct_ns = direct_ewma_ns_[i].load(std::memory_order_relaxed);
+    profile.view_observations =
+        view_observations_[i].load(std::memory_order_relaxed);
+    profile.direct_observations =
+        direct_observations_[i].load(std::memory_order_relaxed);
+    return profile;
+  }
+
+  void RecordLatency(QueryKind kind, bool via_view,
+                     std::int64_t ns) const override {
+    const int i = static_cast<int>(kind);
+    std::atomic<double>& ewma = via_view ? view_ewma_ns_[i]
+                                         : direct_ewma_ns_[i];
+    std::atomic<std::int64_t>& observations =
+        via_view ? view_observations_[i] : direct_observations_[i];
+    const double x = static_cast<double>(ns);
+    // Racing recorders may lose an update; the EWMA is a profile, not an
+    // accounting invariant, so relaxed load/store beats a CAS loop here.
+    if (observations.fetch_add(1, std::memory_order_relaxed) == 0) {
+      ewma.store(x, std::memory_order_relaxed);
+      return;
+    }
+    const double previous = ewma.load(std::memory_order_relaxed);
+    ewma.store(previous + (x - previous) * kLatencyEwmaAlpha,
+               std::memory_order_relaxed);
+  }
+
+  bool ViewAnswers(QueryKind kind) const override {
+    if (cache_ == nullptr) return false;
+    const std::shared_ptr<const EpochState<S>> state = cache_->Peek();
+    return state != nullptr && state->view.has_value() &&
+           state->view->Answers(kind);
   }
 
   /// A consistent copy of the current state: the live synopsis, the merged
@@ -516,6 +608,10 @@ class TypedSynopsisHandle final : public SynopsisHandle {
  private:
   static constexpr std::uint64_t kRestoreSeedTag = 0x7e57a7edc0dec0deULL;
   static constexpr std::uint64_t kMergeSeedTag = 0xc1a57e55de17a5edULL;
+  /// EWMA smoothing for the latency profiles: 1/8 weighs a new observation
+  /// enough to track epoch-scale shifts without letting one outlier
+  /// repaint the profile.
+  static constexpr double kLatencyEwmaAlpha = 0.125;
 
   /// Shared pinning logic for Pin()/PinInto(): resolves the state both
   /// source forms wrap.  False when invalidated or no snapshot can be
@@ -582,6 +678,16 @@ class TypedSynopsisHandle final : public SynopsisHandle {
   std::atomic<bool> valid_{true};
   /// Counts PrepareDeltaMerge calls — each decode gets its own seed.
   std::atomic<std::uint64_t> merge_seq_{0};
+
+  /// Measured latency profiles (see LatencyProfile): per kind, per serving
+  /// path.  Mutable + relaxed atomics — recorded from const answer paths
+  /// on any thread.
+  mutable std::array<std::atomic<double>, kNumQueryKinds> view_ewma_ns_{};
+  mutable std::array<std::atomic<double>, kNumQueryKinds> direct_ewma_ns_{};
+  mutable std::array<std::atomic<std::int64_t>, kNumQueryKinds>
+      view_observations_{};
+  mutable std::array<std::atomic<std::int64_t>, kNumQueryKinds>
+      direct_observations_{};
 };
 
 }  // namespace aqua

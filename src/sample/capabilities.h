@@ -36,14 +36,41 @@ enum class DeleteBehavior {
   kApplies,
 };
 
-/// Rank value meaning "this synopsis does not answer that query kind".
+/// Accuracy-class value meaning "this synopsis does not answer that query
+/// kind".
 inline constexpr int kCannotAnswer = -1;
+
+/// The static half of one query kind's cost/error model, as published
+/// through SynopsisHandle::Capabilities(): where the synopsis sits in §6's
+/// accuracy ordering (lower classes are more accurate and answer first when
+/// a query carries no explicit bound; ties break by registration order).
+/// The live half — the descriptor's error estimator evaluated on the
+/// current state and the measured latency profile — is served by the
+/// handle's PredictedError()/LatencyFor() because it changes per epoch.
+struct KindModelInfo {
+  int accuracy_class = kCannotAnswer;
+
+  bool Answers() const { return accuracy_class != kCannotAnswer; }
+};
+
+/// Measured per-kind answer latency of one handle, split by serving path:
+/// epoch-frozen FrozenView answers vs the descriptor's direct computation.
+/// EWMAs of observed answer times (ns), fed by the registry's answer paths
+/// and the planner; a path with zero observations has no profile yet and
+/// the planner treats it as free (selection degenerates to the accuracy
+/// ordering until profiles warm).
+struct LatencyProfile {
+  double view_ns = 0.0;
+  double direct_ns = 0.0;
+  std::int64_t view_observations = 0;
+  std::int64_t direct_observations = 0;
+};
 
 /// Everything the registry needs to know about a synopsis besides how to
 /// compute answers: delete semantics, concurrency-relevant traits (derived
 /// from the synopsis type at registration), persistence, and the per-kind
-/// accuracy rank implementing §6's "most accurate synopsis first" ordering
-/// (lower rank answers first; ties break by registration order).
+/// model declarations implementing §6's "most accurate synopsis first"
+/// ordering for unbounded queries.
 struct SynopsisCapabilities {
   DeleteBehavior on_delete = DeleteBehavior::kIgnores;
   /// MergeFrom over disjoint substreams (gates sharded ingest).
@@ -56,13 +83,13 @@ struct SynopsisCapabilities {
   bool persistable = false;
   /// This handle instance shards its ingest (concurrent mode + mergeable).
   bool sharded = false;
-  std::array<int, kNumQueryKinds> rank = {kCannotAnswer, kCannotAnswer,
-                                          kCannotAnswer, kCannotAnswer,
-                                          kCannotAnswer};
+  std::array<KindModelInfo, kNumQueryKinds> model = {};
 
-  int RankFor(QueryKind kind) const { return rank[static_cast<int>(kind)]; }
+  int AccuracyClass(QueryKind kind) const {
+    return model[static_cast<int>(kind)].accuracy_class;
+  }
   bool Answers(QueryKind kind) const {
-    return RankFor(kind) != kCannotAnswer;
+    return model[static_cast<int>(kind)].Answers();
   }
 };
 

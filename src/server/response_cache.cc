@@ -18,6 +18,22 @@ std::string_view ResponseCache::BuildKey(const HttpRequest& request) {
   return key_buf_;
 }
 
+bool ResponseCache::BuildKeyWith(
+    const HttpRequest& request,
+    const std::function<bool(const HttpRequest&, std::string*)>& canonical,
+    std::string_view* key) {
+  key_buf_.clear();
+  key_buf_.append(request.method);
+  key_buf_.push_back('\n');
+  key_buf_.append(request.path);
+  key_buf_.push_back('\n');
+  if (!canonical(request, &key_buf_)) return false;
+  key_buf_.push_back('\n');
+  key_buf_.push_back(request.keep_alive ? 'k' : 'c');
+  *key = key_buf_;
+  return true;
+}
+
 void ResponseCache::AdvanceEpoch(std::uint64_t epoch) {
   if (epoch == epoch_) return;
   // An older epoch can only be observed across an epoch_source read race;

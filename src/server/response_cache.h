@@ -61,6 +61,16 @@ class ResponseCache {
   /// BuildKey() call on this instance.
   std::string_view BuildKey(const HttpRequest& request);
 
+  /// BuildKey() variant for routes with a custom canonicalizer (see
+  /// RouteOptions::canonical_key): the canonical form replaces the raw
+  /// query string in the key, so every spelling of one query shares one
+  /// entry.  Returns false (and no key) when the canonicalizer rejects the
+  /// request — the caller serves it uncached.
+  bool BuildKeyWith(
+      const HttpRequest& request,
+      const std::function<bool(const HttpRequest&, std::string*)>& canonical,
+      std::string_view* key);
+
   /// The cached wire bytes for `key` under `epoch`, or nullptr (counted
   /// as a miss).  An epoch newer than the cached one clears all entries
   /// first (wholesale invalidation).

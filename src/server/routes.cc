@@ -20,8 +20,12 @@
 #include <utility>
 #include <vector>
 
+#include <cmath>
+
 #include "common/alloc_counter.h"
 #include "common/result.h"
+#include "plan/planner.h"
+#include "plan/sql_frontend.h"
 #include "server/cluster.h"
 #include "server/json.h"
 
@@ -85,6 +89,22 @@ void WriteSynopsisStats(JsonWriter& w,
     w.Key("refreshes").Int(s.cache.refreshes);
     w.Key("stale_served").Int(s.cache.stale_served);
     w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+void WritePlannerStats(
+    JsonWriter& w,
+    const std::array<PlannerKindStats, kNumQueryKinds>& planner) {
+  w.Key("planner").BeginArray();
+  for (const PlannerKindStats& p : planner) {
+    w.BeginObject();
+    w.Key("kind").String(p.kind);
+    w.Key("synopsis").String(p.synopsis);
+    w.Key("available").Bool(p.available);
+    w.Key("latency_ewma_ns").Double(p.latency_ewma_ns);
+    w.Key("last_achieved_error").Double(p.last_achieved_error);
     w.EndObject();
   }
   w.EndArray();
@@ -256,6 +276,7 @@ void RegisterServingRoutes(HttpServer& server, ServingEngine& engine,
         w.Key("allocs_total").Int(GlobalAllocCount());
         w.Key("alloc_counting").Bool(GlobalAllocCountingEnabled());
         WriteSynopsisStats(w, stats.synopses);
+        WritePlannerStats(w, stats.planner);
         w.Key("http").BeginObject();
         w.Key("accepted").Int(http.accepted);
         w.Key("requests").Int(http.requests);
@@ -431,6 +452,7 @@ void HandleCatalogGet(const SynopsisCatalog& catalog,
     w.Key("share_words").Int(catalog.ShareOf(attribute));
     w.Key("epoch").UInt(registry != nullptr ? registry->ServingEpoch() : 0);
     WriteSynopsisStats(w, stats.synopses);
+    WritePlannerStats(w, stats.planner);
     w.EndObject();
     return;
   }
@@ -512,6 +534,125 @@ void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog) {
         }
         HandleCatalogPost(catalog, parts->first, parts->second, request,
                           response);
+      });
+}
+
+namespace {
+
+/// FROM resolution: the default engine by the reserved name "stream", any
+/// catalog attribute by name otherwise.
+const SynopsisRegistry* ResolveQueryTarget(const ServingEngine& engine,
+                                           const SynopsisCatalog* catalog,
+                                           std::string_view target) {
+  if (target == "stream") return &engine.registry();
+  if (catalog != nullptr) return catalog->registry(target);
+  return nullptr;
+}
+
+void WritePlannedResponse(const ParsedSqlQuery& parsed,
+                          const PlannedResponse& planned,
+                          HttpResponse* response) {
+  JsonWriter w(&response->body);
+  w.BeginObject();
+  w.Key("kind").String(QueryKindName(parsed.query.kind));
+  w.Key("target").String(parsed.target);
+  if (parsed.query.kind == QueryKind::kHotList) {
+    w.Key("items").BeginArray();
+    for (const HotListItem& item : planned.hotlist) {
+      w.BeginObject();
+      w.Key("value").Int(item.value);
+      w.Key("estimated_count").Double(item.estimated_count);
+      w.Key("synopsis_count").Int(item.synopsis_count);
+      w.EndObject();
+    }
+    w.EndArray();
+  } else {
+    w.Key("estimate").Double(planned.estimate.value);
+    w.Key("ci_low").Double(planned.estimate.ci_low);
+    w.Key("ci_high").Double(planned.estimate.ci_high);
+    w.Key("confidence").Double(planned.estimate.confidence);
+    w.Key("sample_points").Int(planned.estimate.sample_points);
+  }
+  // `method` matches the dedicated routes' tag (the synopsis name);
+  // `synopsis` and `path` spell the planner's choice out explicitly.
+  w.Key("method").String(planned.method);
+  w.Key("synopsis").String(planned.method);
+  w.Key("path").String(planned.used_view ? "view" : "direct");
+  if (std::isfinite(planned.achieved_error)) {
+    w.Key("achieved_error").Double(planned.achieved_error);
+  }
+  if (std::isfinite(planned.predicted_error)) {
+    w.Key("predicted_error").Double(planned.predicted_error);
+  }
+  if (parsed.has_error) {
+    w.Key("requested_error").Double(parsed.query.bound.max_error);
+    w.Key("met_error").Bool(planned.met_error);
+  }
+  if (parsed.has_deadline) {
+    w.Key("deadline_ns").Int(parsed.query.bound.deadline_ns);
+    w.Key("predicted_ns").Double(planned.predicted_ns);
+    w.Key("met_deadline").Bool(planned.met_deadline);
+  }
+  w.Key("response_ns").Int(planned.response_ns);
+  w.EndObject();
+}
+
+void HandleSqlStatement(const ServingEngine& engine,
+                        const SynopsisCatalog* catalog,
+                        std::string_view text, HttpResponse* response) {
+  ParsedSqlQuery parsed;
+  const Status status = ParseSqlQuery(text, &parsed);
+  if (!status.ok()) {
+    return JsonErrorInto(400, status.message(), response);
+  }
+  const SynopsisRegistry* registry =
+      ResolveQueryTarget(engine, catalog, parsed.target);
+  if (registry == nullptr) {
+    return JsonErrorInto(404, "unknown relation", response);
+  }
+  // Thread-local planned-response scratch: the hot-list vector keeps its
+  // capacity, so a warmed /query GET answers without allocating.
+  thread_local PlannedResponse planned;
+  RunPlannedQueryInto(*registry, parsed.query, &planned);
+  WritePlannedResponse(parsed, planned, response);
+}
+
+}  // namespace
+
+void RegisterQueryRoutes(HttpServer& server, ServingEngine& engine,
+                         SynopsisCatalog* catalog) {
+  RouteOptions cacheable;
+  cacheable.cacheable = true;
+  // Cache under the canonical statement, not the raw text: clause order,
+  // percent spellings and keyword case all collapse to one entry.
+  // Unparseable statements serve uncached (the 400 is never stored).
+  cacheable.canonical_key = [](const HttpRequest& request,
+                               std::string* out) {
+    const auto q = request.QueryParam("q");
+    if (!q.has_value()) return false;
+    ParsedSqlQuery parsed;
+    if (!ParseSqlQuery(*q, &parsed).ok()) return false;
+    AppendCanonicalSqlKey(parsed, out);
+    return true;
+  };
+
+  server.Route(
+      "GET", "/query",
+      [&engine, catalog](const HttpRequest& request, HttpResponse* response) {
+        const auto q = request.QueryParam("q");
+        if (!q.has_value()) {
+          return JsonErrorInto(400, "missing ?q=", response);
+        }
+        HandleSqlStatement(engine, catalog, *q, response);
+      },
+      cacheable);
+
+  // POST /query takes the statement as the body (no percent-encoding
+  // gymnastics for ad-hoc clients); mutating-path dispatch, never cached.
+  server.Route(
+      "POST", "/query",
+      [&engine, catalog](const HttpRequest& request, HttpResponse* response) {
+        HandleSqlStatement(engine, catalog, request.body, response);
       });
 }
 

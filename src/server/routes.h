@@ -41,6 +41,23 @@ void RegisterServingRoutes(HttpServer& server, ServingEngine& engine,
 /// single-relation routes; unknown attributes answer 404.
 void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog);
 
+/// Registers the planned-query surface:
+///
+///   GET  /query?q=SELECT%20APPROX(COUNT(*))%20FROM%20stream%20...
+///   POST /query           (the SQL statement as the request body)
+///
+/// Statements go through the SQL frontend (plan/sql_frontend.h) and the
+/// cost/error planner (plan/planner.h): ERROR/CONFIDENCE/WITHIN bounds
+/// pick the synopsis and view-vs-direct path by predicted error and
+/// measured latency; unbounded statements reproduce the §6 accuracy
+/// ordering exactly.  FROM targets the default engine as "stream", or any
+/// catalog attribute by name (404 otherwise; `catalog` may be null).  GET
+/// responses are cached under the *canonical* form of the statement, so
+/// every spelling of one query — clause order, ERROR 2% vs 0.02, case —
+/// hits one entry.
+void RegisterQueryRoutes(HttpServer& server, ServingEngine& engine,
+                         SynopsisCatalog* catalog = nullptr);
+
 /// Installs the serving-epoch source the response caches key on: the
 /// combined epoch of the engine and the optional catalog, with stale
 /// snapshot caches settled first so the epoch converges without waiting

@@ -110,6 +110,7 @@ void HttpServer::Route(std::string method, std::string path, Handler handler,
   entry.handler = std::move(handler);
   entry.cacheable = route_options.cacheable;
   entry.cacheable_if = std::move(route_options.cacheable_if);
+  entry.canonical_key = std::move(route_options.canonical_key);
   routes_.push_back(std::move(entry));
 }
 
@@ -125,6 +126,7 @@ void HttpServer::RoutePrefix(std::string method, std::string prefix,
   entry.handler = std::move(handler);
   entry.cacheable = route_options.cacheable;
   entry.cacheable_if = std::move(route_options.cacheable_if);
+  entry.canonical_key = std::move(route_options.canonical_key);
   prefix_routes_.push_back(std::move(entry));
 }
 
@@ -521,8 +523,16 @@ bool HttpServer::ServeInline(Reactor& reactor, Connection* conn,
       cacheable = false;
     }
   }
-  if (cacheable) {
+  if (cacheable && route->canonical_key) {
+    // The canonical key replaces the raw query string, so every spelling
+    // of one query shares one entry; an unparseable request serves
+    // uncached (the handler's 400 would never be stored anyway).
+    cacheable = reactor.cache.BuildKeyWith(request, route->canonical_key,
+                                           &key);
+  } else if (cacheable) {
     key = reactor.cache.BuildKey(request);
+  }
+  if (cacheable) {
     if (const std::string* wire = reactor.cache.Lookup(*epoch_before, key)) {
       // Hit: replay the stored bytes verbatim — no handler, no snapshot
       // pin, no allocation.

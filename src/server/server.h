@@ -66,6 +66,14 @@ struct RouteOptions {
   /// covering a mix of cacheable and live paths).  Return false to serve
   /// the request uncached.
   std::function<bool(const HttpRequest&)> cacheable_if;
+  /// Optional canonical cache-key builder for routes whose query strings
+  /// have many spellings of one meaning (/query's SQL text): append the
+  /// canonical form of `request` to the string and return true, or return
+  /// false to serve the request uncached (e.g. unparseable input).  The
+  /// raw query string is then NOT part of the key, so every spelling hits
+  /// one entry.  Must append deterministically and never allocate beyond
+  /// the caller's string.
+  std::function<bool(const HttpRequest&, std::string*)> canonical_key;
 };
 
 /// A small epoll-based HTTP/1.1 server, scaled across N shared-nothing
@@ -175,6 +183,7 @@ class HttpServer {
     bool run_inline = false;
     bool cacheable = false;
     std::function<bool(const HttpRequest&)> cacheable_if;
+    std::function<bool(const HttpRequest&, std::string*)> canonical_key;
   };
 
   struct Reactor;

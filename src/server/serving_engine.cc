@@ -62,6 +62,7 @@ void ServingEngine::GetStatsInto(Stats* out) const {
   const SynopsisHandle* concise = registry_.handle(kConciseSynopsisName);
   out->concise_valid = concise != nullptr && concise->valid();
   out->synopses = std::move(registry_stats.synopses);
+  out->planner = registry_stats.planner;
 }
 
 }  // namespace aqua

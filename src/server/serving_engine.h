@@ -108,6 +108,9 @@ class ServingEngine {
     /// SynopsisRegistry::ServingEpoch).
     std::uint64_t epoch = 0;
     std::vector<SynopsisHandleStats> synopses;
+    /// Per-kind planner observability (chosen synopsis, latency EWMA,
+    /// last achieved error) — see PlannerKindStats.
+    std::array<PlannerKindStats, kNumQueryKinds> planner = {};
   };
   Stats GetStats() const;
 

@@ -23,7 +23,11 @@ SynopsisDescriptor<FullHistogram> FullHistogramDescriptor(
   SynopsisDescriptor<FullHistogram> descriptor;
   descriptor.name = std::string(kFullHistogramName);
   descriptor.on_delete = DeleteBehavior::kApplies;
-  descriptor.rank[static_cast<int>(QueryKind::kHotList)] = kRankExact;
+  // The accuracy yardstick: exact answers, zero predicted error.
+  descriptor.Declare(QueryKind::kHotList, kAccuracyExact,
+                     [](const FullHistogram&, const QueryContext&, double) {
+                       return 0.0;
+                     });
   descriptor.factory = [footprint_bound](std::uint64_t) {
     return FullHistogram(footprint_bound);
   };

@@ -30,8 +30,8 @@ struct EngineOptions : SynopsisSelection {
 
 /// Registry descriptor for the exact full-histogram baseline (declared
 /// here, next to FullHistogram, so the registry module does not depend on
-/// warehouse/).  Hot lists only, rank kRankExact; deletes apply exactly
-/// and fail on absent values.
+/// warehouse/).  Hot lists only, accuracy class kAccuracyExact with a
+/// zero error estimator; deletes apply exactly and fail on absent values.
 SynopsisDescriptor<FullHistogram> FullHistogramDescriptor(
     Words footprint_bound);
 
@@ -41,7 +41,7 @@ SynopsisDescriptor<FullHistogram> FullHistogramDescriptor(
 ///
 /// This is a thin single-threaded driver over a SynopsisRegistry: the
 /// selected built-in synopses are registered at construction, queries go
-/// through the registry's single rank-ordered answer path (§6's accuracy
+/// through the registry's single accuracy-ordered answer path (§6's accuracy
 /// ordering — hot lists prefer the counting sample, then concise, then
 /// traditional), and deletions flow to each synopsis per its declared
 /// DeleteBehavior (§4.1: concise/traditional samples are invalidated by

@@ -1,0 +1,152 @@
+// Statistical and equivalence properties of the planner:
+//
+//  1. The achieved error bound reported with a planned COUNT(*) answer
+//     (half-width relative to the relation — the §6 error metric) must
+//     *cover* the true error at the requested confidence: across many
+//     random range queries, |estimate - truth| <= achieved_error * n at
+//     least ~confidence of the time.  Statistical, so it runs under the
+//     seed-sweep budget (tests/property/seed_sweep.h).
+//
+//  2. An unbounded planned query must be BIT-IDENTICAL to the legacy
+//     dedicated route for every query kind — same synopsis, same estimate
+//     doubles, same hot-list items.  Structural, so it holds on every
+//     seed with no failure budget.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "plan/planner.h"
+#include "property/seed_sweep.h"
+#include "random/random.h"
+#include "registry/builtin.h"
+#include "warehouse/engine.h"
+#include "workload/generators.h"
+
+namespace aqua {
+namespace {
+
+std::int64_t TrueCount(const std::vector<Value>& values,
+                       const ValueRange& range) {
+  std::int64_t count = 0;
+  for (Value v : values) {
+    if (v >= range.low && v <= range.high) ++count;
+  }
+  return count;
+}
+
+TEST(PlannerPropertyTest, AchievedErrorCoversTrueErrorAtConfidence) {
+  RunSeedSweep([](std::uint64_t base_seed) {
+    constexpr int kInserts = 20000;
+    constexpr std::int64_t kDomain = 1000;
+    constexpr int kQueries = 200;
+    constexpr double kConfidence = 0.95;
+
+    ApproximateAnswerEngine engine(EngineOptions{});
+    const std::vector<Value> stream =
+        UniformValues(kInserts, kDomain, base_seed);
+    for (Value v : stream) {
+      EXPECT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+    }
+    const SynopsisRegistry& registry = engine.registry();
+
+    Random rng(base_seed ^ 0xC07E12EDULL);
+    int covered = 0;
+    PlannedResponse response;
+    for (int trial = 0; trial < kQueries; ++trial) {
+      const std::int64_t low = rng.UniformInt(0, kDomain - 1);
+      const std::int64_t width = rng.UniformInt(1, kDomain / 2);
+      PlannedQuery query;
+      query.kind = QueryKind::kCountWhere;
+      query.range = ValueRange{low, low + width};
+      query.bound.confidence = kConfidence;
+      RunPlannedQueryInto(registry, query, &response);
+      EXPECT_NE(response.method, "none");
+      EXPECT_TRUE(std::isfinite(response.achieved_error));
+
+      const double truth =
+          static_cast<double>(TrueCount(stream, query.range));
+      const double true_error =
+          std::abs(response.estimate.value - truth) / kInserts;
+      if (true_error <= response.achieved_error) ++covered;
+    }
+    // 0.95-confidence intervals from one shared sample are correlated
+    // across queries, so the empirical coverage is noisier than an
+    // independent binomial — the band is generous and the sweep budget
+    // absorbs one unlucky stream.
+    const double coverage = static_cast<double>(covered) / kQueries;
+    return coverage >= 0.85;
+  });
+}
+
+TEST(PlannerPropertyTest, UnboundedPlannedQueryBitIdenticalToLegacyRoutes) {
+  for (const std::uint64_t seed : kSweepSeeds) {
+    ApproximateAnswerEngine engine(EngineOptions{});
+    for (Value v : ZipfValues(25000, 400, 1.2, seed)) {
+      ASSERT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+    }
+    const SynopsisRegistry& registry = engine.registry();
+    PlannedResponse response;
+
+    const auto expect_same_estimate = [&](const QueryResponse<Estimate>& legacy,
+                                          const char* what) {
+      EXPECT_EQ(response.method, legacy.method) << what;
+      EXPECT_EQ(response.estimate.value, legacy.answer.value) << what;
+      EXPECT_EQ(response.estimate.ci_low, legacy.answer.ci_low) << what;
+      EXPECT_EQ(response.estimate.ci_high, legacy.answer.ci_high) << what;
+      EXPECT_EQ(response.estimate.confidence, legacy.answer.confidence)
+          << what;
+      EXPECT_EQ(response.estimate.sample_points, legacy.answer.sample_points)
+          << what;
+    };
+
+    PlannedQuery query;
+    query.kind = QueryKind::kCountWhere;
+    query.range = ValueRange{10, 210};
+    RunPlannedQueryInto(registry, query, &response);
+    expect_same_estimate(registry.CountWhereAnswer(query.range, 0.95),
+                         "count_where");
+
+    query = PlannedQuery{};
+    query.kind = QueryKind::kFrequency;
+    query.value = 1;
+    RunPlannedQueryInto(registry, query, &response);
+    expect_same_estimate(registry.FrequencyAnswer(1), "frequency");
+
+    query = PlannedQuery{};
+    query.kind = QueryKind::kDistinct;
+    RunPlannedQueryInto(registry, query, &response);
+    expect_same_estimate(registry.DistinctValuesAnswer(), "distinct");
+
+    query = PlannedQuery{};
+    query.kind = QueryKind::kQuantile;
+    query.q = 0.9;
+    RunPlannedQueryInto(registry, query, &response);
+    expect_same_estimate(registry.QuantileAnswer(0.9, 0.95), "quantile");
+
+    query = PlannedQuery{};
+    query.kind = QueryKind::kHotList;
+    query.k = 10;
+    RunPlannedQueryInto(registry, query, &response);
+    HotListQuery legacy_query;
+    legacy_query.k = 10;
+    const QueryResponse<HotList> legacy =
+        registry.HotListAnswer(legacy_query);
+    EXPECT_EQ(response.method, legacy.method);
+    ASSERT_EQ(response.hotlist.size(), legacy.answer.size());
+    for (std::size_t i = 0; i < legacy.answer.size(); ++i) {
+      EXPECT_EQ(response.hotlist[i].value, legacy.answer[i].value) << i;
+      EXPECT_EQ(response.hotlist[i].estimated_count,
+                legacy.answer[i].estimated_count)
+          << i;
+      EXPECT_EQ(response.hotlist[i].synopsis_count,
+                legacy.answer[i].synopsis_count)
+          << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,0 +1,165 @@
+// Unit tests of the /query SQL dialect: every aggregate spelling parses to
+// the right PlannedQuery, bound clauses compose in any order, and the
+// canonical cache key collapses every spelling of the same query — clause
+// order, case, ERROR 2% vs 0.02, an explicit default CONFIDENCE — onto one
+// response-cache entry.
+
+#include "plan/sql_frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace aqua {
+namespace {
+
+ParsedSqlQuery MustParse(std::string_view text) {
+  ParsedSqlQuery parsed;
+  const Status status = ParseSqlQuery(text, &parsed);
+  EXPECT_TRUE(status.ok()) << text << " -> " << status.message();
+  return parsed;
+}
+
+std::string CanonicalKey(std::string_view text) {
+  std::string key;
+  AppendCanonicalSqlKey(MustParse(text), &key);
+  return key;
+}
+
+TEST(SqlFrontendTest, ParsesEveryAggregate) {
+  const ParsedSqlQuery count =
+      MustParse("SELECT APPROX(COUNT(*)) FROM stream");
+  EXPECT_EQ(count.query.kind, QueryKind::kCountWhere);
+  EXPECT_EQ(count.target, "stream");
+  EXPECT_FALSE(count.has_where);
+  EXPECT_TRUE(count.query.bound.Unbounded());
+
+  const ParsedSqlQuery ranged = MustParse(
+      "SELECT APPROX(COUNT(*)) FROM price WHERE v BETWEEN -5 AND 120");
+  EXPECT_EQ(ranged.query.kind, QueryKind::kCountWhere);
+  EXPECT_TRUE(ranged.has_where);
+  EXPECT_EQ(ranged.query.range.low, -5);
+  EXPECT_EQ(ranged.query.range.high, 120);
+
+  const ParsedSqlQuery distinct =
+      MustParse("SELECT APPROX(COUNT(DISTINCT v)) FROM stream");
+  EXPECT_EQ(distinct.query.kind, QueryKind::kDistinct);
+  EXPECT_EQ(MustParse("SELECT APPROX(COUNT(DISTINCT *)) FROM stream")
+                .query.kind,
+            QueryKind::kDistinct);
+
+  const ParsedSqlQuery freq =
+      MustParse("SELECT APPROX(FREQUENCY(42)) FROM stream");
+  EXPECT_EQ(freq.query.kind, QueryKind::kFrequency);
+  EXPECT_EQ(freq.query.value, 42);
+
+  const ParsedSqlQuery quantile =
+      MustParse("SELECT APPROX(QUANTILE(0.9)) FROM stream");
+  EXPECT_EQ(quantile.query.kind, QueryKind::kQuantile);
+  EXPECT_DOUBLE_EQ(quantile.query.q, 0.9);
+
+  const ParsedSqlQuery median = MustParse("SELECT APPROX(MEDIAN) FROM stream");
+  EXPECT_EQ(median.query.kind, QueryKind::kQuantile);
+  EXPECT_DOUBLE_EQ(median.query.q, 0.5);
+
+  const ParsedSqlQuery top = MustParse("SELECT APPROX(TOP(7)) FROM stream");
+  EXPECT_EQ(top.query.kind, QueryKind::kHotList);
+  EXPECT_EQ(top.query.k, 7);
+}
+
+TEST(SqlFrontendTest, ParsesBoundClausesInAnyOrder) {
+  const ParsedSqlQuery bounded = MustParse(
+      "SELECT APPROX(COUNT(*)) FROM stream WHERE v BETWEEN 0 AND 50 "
+      "ERROR 2% CONFIDENCE 95% WITHIN 1ms;");
+  EXPECT_TRUE(bounded.has_error);
+  EXPECT_DOUBLE_EQ(bounded.query.bound.max_error, 0.02);
+  EXPECT_TRUE(bounded.has_confidence);
+  EXPECT_DOUBLE_EQ(bounded.query.bound.confidence, 0.95);
+  EXPECT_TRUE(bounded.has_deadline);
+  EXPECT_EQ(bounded.query.bound.deadline_ns, 1000000);
+
+  // Same clauses, reversed order, fraction spellings, mixed case.
+  const ParsedSqlQuery reordered = MustParse(
+      "select approx(count(*)) from stream within 1000us confidence 0.95 "
+      "error 0.02 where v between 0 and 50");
+  EXPECT_DOUBLE_EQ(reordered.query.bound.max_error, 0.02);
+  EXPECT_DOUBLE_EQ(reordered.query.bound.confidence, 0.95);
+  EXPECT_EQ(reordered.query.bound.deadline_ns, 1000000);
+  EXPECT_EQ(reordered.query.range.low, 0);
+  EXPECT_EQ(reordered.query.range.high, 50);
+
+  // Every deadline unit.
+  EXPECT_EQ(MustParse("SELECT APPROX(MEDIAN) FROM s WITHIN 250ns")
+                .query.bound.deadline_ns,
+            250);
+  EXPECT_EQ(MustParse("SELECT APPROX(MEDIAN) FROM s WITHIN 3 us")
+                .query.bound.deadline_ns,
+            3000);
+  EXPECT_EQ(MustParse("SELECT APPROX(MEDIAN) FROM s WITHIN 2s")
+                .query.bound.deadline_ns,
+            2000000000);
+}
+
+TEST(SqlFrontendTest, RejectsMalformedStatements) {
+  const auto rejects = [](std::string_view text, std::string_view message) {
+    ParsedSqlQuery parsed;
+    parsed.target = "untouched";
+    const Status status = ParseSqlQuery(text, &parsed);
+    EXPECT_TRUE(status.IsInvalidArgument()) << text;
+    EXPECT_EQ(status.message(), message) << text;
+    // *out is only written on success.
+    EXPECT_EQ(parsed.target, "untouched") << text;
+  };
+  rejects("", "expect SELECT");
+  rejects("INSERT INTO t VALUES (1)", "expect SELECT");
+  rejects("SELECT COUNT(*) FROM stream", "expect APPROX");
+  rejects("SELECT APPROX(SUM(v)) FROM stream", "bad aggregate");
+  rejects("SELECT APPROX(QUANTILE(1.5)) FROM stream", "bad quantile");
+  rejects("SELECT APPROX(TOP(-1)) FROM stream", "bad aggregate");
+  rejects("SELECT APPROX(COUNT(*)) stream", "expect FROM");
+  rejects("SELECT APPROX(COUNT(*)) FROM ?", "bad target");
+  rejects("SELECT APPROX(COUNT(*)) FROM s GROUP BY v", "trailing junk");
+  rejects("SELECT APPROX(COUNT(*)) FROM s; SELECT", "trailing junk");
+  rejects("SELECT APPROX(COUNT(*)) FROM s ERROR 2% ERROR 3%", "dup clause");
+  // WHERE on a kind that takes none is client confusion, not a no-op.
+  rejects("SELECT APPROX(MEDIAN) FROM s WHERE v BETWEEN 0 AND 9", "bad WHERE");
+  rejects("SELECT APPROX(COUNT(*)) FROM s WHERE v BETWEEN 0 OR 9",
+          "bad WHERE");
+  rejects("SELECT APPROX(COUNT(*)) FROM s ERROR 0", "bad ERROR");
+  rejects("SELECT APPROX(COUNT(*)) FROM s ERROR 150%", "bad ERROR");
+  rejects("SELECT APPROX(COUNT(*)) FROM s CONFIDENCE 1", "bad CONFIDENCE");
+  rejects("SELECT APPROX(COUNT(*)) FROM s CONFIDENCE 100%", "bad CONFIDENCE");
+  rejects("SELECT APPROX(COUNT(*)) FROM s WITHIN 0ms", "bad WITHIN");
+  rejects("SELECT APPROX(COUNT(*)) FROM s WITHIN 5 days", "bad WITHIN");
+  rejects("SELECT APPROX(COUNT(*)) FROM s WITHIN", "bad WITHIN");
+}
+
+TEST(SqlFrontendTest, CanonicalKeyCollapsesEquivalentSpellings) {
+  const std::string base = CanonicalKey(
+      "SELECT APPROX(COUNT(*)) FROM stream WHERE v BETWEEN 0 AND 50 "
+      "ERROR 2% CONFIDENCE 95%");
+  // Fraction spellings, clause order, case, whitespace, a trailing
+  // semicolon: all one cache entry.
+  EXPECT_EQ(base, CanonicalKey(
+                      "select  approx( count(*) )  from stream "
+                      "error 0.02 confidence 0.95 "
+                      "where v between 0 and 50 ;"));
+  // Omitting the default confidence collapses with spelling it out.
+  EXPECT_EQ(CanonicalKey("SELECT APPROX(MEDIAN) FROM stream"),
+            CanonicalKey(
+                "SELECT APPROX(QUANTILE(0.5)) FROM stream CONFIDENCE 95%"));
+  // Distinct queries stay distinct: the bound is part of the key.
+  EXPECT_NE(base, CanonicalKey(
+                      "SELECT APPROX(COUNT(*)) FROM stream "
+                      "WHERE v BETWEEN 0 AND 50 ERROR 3% CONFIDENCE 95%"));
+  EXPECT_NE(base, CanonicalKey(
+                      "SELECT APPROX(COUNT(*)) FROM stream "
+                      "WHERE v BETWEEN 0 AND 51 ERROR 2% CONFIDENCE 95%"));
+  EXPECT_NE(CanonicalKey("SELECT APPROX(COUNT(*)) FROM a"),
+            CanonicalKey("SELECT APPROX(COUNT(*)) FROM b"));
+  EXPECT_NE(CanonicalKey("SELECT APPROX(MEDIAN) FROM s"),
+            CanonicalKey("SELECT APPROX(MEDIAN) FROM s WITHIN 1ms"));
+}
+
+}  // namespace
+}  // namespace aqua

@@ -1,14 +1,15 @@
 // Tests of the type-erased synopsis registry: one descriptor registered
-// once must be served by BOTH engines through the same rank-ordered answer
-// path (the acceptance criterion for collapsing the per-engine method
-// selection), capabilities must gate the concurrent machinery (mergeable
-// synopses shard, unmergeable ones stay single-instance), and descriptor
-// validation must reject incoherent registrations.
+// once must be served by BOTH engines through the same accuracy-ordered
+// answer path (the acceptance criterion for collapsing the per-engine
+// method selection), capabilities must gate the concurrent machinery
+// (mergeable synopses shard, unmergeable ones stay single-instance), and
+// descriptor validation must reject incoherent cost/error models.
 
 #include "registry/registry.h"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <string>
 #include <vector>
@@ -34,11 +35,14 @@ struct ExactDistinct {
 SynopsisDescriptor<ExactDistinct> ExactDistinctDescriptor(
     std::string name = "exact-distinct",
     DeleteBehavior on_delete = DeleteBehavior::kIgnores,
-    int rank = kRankExact) {
+    int accuracy = kAccuracyExact) {
   SynopsisDescriptor<ExactDistinct> d;
   d.name = std::move(name);
   d.on_delete = on_delete;
-  d.rank[static_cast<int>(QueryKind::kDistinct)] = rank;
+  d.Declare(QueryKind::kDistinct, accuracy,
+            [](const ExactDistinct&, const QueryContext&, double) {
+              return 0.0;
+            });
   d.factory = [](std::uint64_t) { return ExactDistinct{}; };
   d.answers.distinct = [](const ExactDistinct& s, const QueryContext&) {
     Estimate e;
@@ -136,30 +140,81 @@ TEST(SynopsisRegistryTest, RegisterValidatesDescriptors) {
   auto applies = ExactDistinctDescriptor("applies", DeleteBehavior::kApplies);
   EXPECT_TRUE(registry.Register(std::move(applies)).IsInvalidArgument());
 
-  // A rank without an answer function (and vice versa) is incoherent.
-  auto rank_only = ExactDistinctDescriptor("rank-only");
-  rank_only.rank[static_cast<int>(QueryKind::kHotList)] = 1;
-  EXPECT_TRUE(registry.Register(std::move(rank_only)).IsInvalidArgument());
+  // A model entry without an answer function (and vice versa) is
+  // incoherent, as is a declared kind with no error estimator — the
+  // planner cannot score what it cannot predict.
+  auto model_only = ExactDistinctDescriptor("model-only");
+  model_only.Declare(QueryKind::kHotList, 1,
+                     [](const ExactDistinct&, const QueryContext&, double) {
+                       return 0.0;
+                     });
+  EXPECT_TRUE(registry.Register(std::move(model_only)).IsInvalidArgument());
 
   auto answer_only = ExactDistinctDescriptor("answer-only");
-  answer_only.rank[static_cast<int>(QueryKind::kDistinct)] = kCannotAnswer;
+  answer_only.model[static_cast<int>(QueryKind::kDistinct)] = {};
   EXPECT_TRUE(registry.Register(std::move(answer_only)).IsInvalidArgument());
+
+  auto no_estimator = ExactDistinctDescriptor("no-estimator");
+  no_estimator.model[static_cast<int>(QueryKind::kDistinct)].error = nullptr;
+  EXPECT_TRUE(registry.Register(std::move(no_estimator)).IsInvalidArgument());
 }
 
-TEST(SynopsisRegistryTest, RankOrderSelectsBestThenFallsBack) {
-  // Two synopses answer the same kind; the better rank must serve until a
-  // delete invalidates it, then the worse one takes over — the single
-  // answer path both engines now share.
+TEST(SynopsisRegistryTest, CostErrorModelIsLiveAndMeasured) {
+  // The model's static half (accuracy classes) is published through
+  // Capabilities(); the live half (error estimators over current state,
+  // measured latency EWMAs) through the handle.
+  ApproximateAnswerEngine engine(EngineOptions{});
+  const SynopsisHandle* concise =
+      engine.registry().handle(kConciseSynopsisName);
+  ASSERT_NE(concise, nullptr);
+  EXPECT_EQ(concise->Capabilities().AccuracyClass(QueryKind::kCountWhere),
+            kAccuracyConcise);
+  EXPECT_TRUE(concise->Capabilities().Answers(QueryKind::kCountWhere));
+  EXPECT_FALSE(concise->Capabilities().Answers(QueryKind::kDistinct));
+
+  // An empty sample predicts nothing; an undeclared kind never predicts.
+  QueryContext ctx{engine.registry().observed_inserts()};
+  EXPECT_TRUE(std::isinf(
+      concise->PredictedError(QueryKind::kCountWhere, ctx, 0.95)));
+  for (Value v : UniformValues(5000, 200, 11)) {
+    ASSERT_TRUE(engine.Observe(StreamOp::Insert(v)).ok());
+  }
+  ctx.observed_inserts = engine.registry().observed_inserts();
+  const double err95 =
+      concise->PredictedError(QueryKind::kCountWhere, ctx, 0.95);
+  const double err99 =
+      concise->PredictedError(QueryKind::kCountWhere, ctx, 0.99);
+  EXPECT_GT(err95, 0.0);
+  EXPECT_LT(err95, 1.0);
+  EXPECT_GT(err99, err95);  // tighter confidence, wider predicted error
+  EXPECT_TRUE(
+      std::isinf(concise->PredictedError(QueryKind::kDistinct, ctx, 0.95)));
+
+  // Answering feeds the measured latency profile on the path taken.
+  EXPECT_EQ(concise->LatencyFor(QueryKind::kCountWhere).direct_observations,
+            0);
+  const auto response =
+      engine.registry().CountWhereAnswer(ValueRange{1, 100}, 0.95);
+  EXPECT_EQ(response.method, kConciseSynopsisName);
+  const LatencyProfile profile = concise->LatencyFor(QueryKind::kCountWhere);
+  EXPECT_GE(profile.direct_observations, 1);
+  EXPECT_GT(profile.direct_ns, 0.0);
+}
+
+TEST(SynopsisRegistryTest, AccuracyOrderSelectsBestThenFallsBack) {
+  // Two synopses answer the same kind; the better accuracy class must
+  // serve until a delete invalidates it, then the worse one takes over —
+  // the single answer path both engines now share.
   SynopsisRegistry registry(SynopsisRegistry::Options{});
-  ASSERT_TRUE(
-      registry
-          .Register(ExactDistinctDescriptor(
-              "fragile-distinct", DeleteBehavior::kInvalidates, kRankExact))
-          .ok());
+  ASSERT_TRUE(registry
+                  .Register(ExactDistinctDescriptor(
+                      "fragile-distinct", DeleteBehavior::kInvalidates,
+                      kAccuracyExact))
+                  .ok());
   ASSERT_TRUE(registry
                   .Register(ExactDistinctDescriptor(
                       "sturdy-distinct", DeleteBehavior::kIgnores,
-                      kRankConcise))
+                      kAccuracyConcise))
                   .ok());
 
   for (Value v : UniformValues(500, 50, 3)) {

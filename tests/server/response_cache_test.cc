@@ -6,11 +6,13 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <new>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "plan/sql_frontend.h"
 #include "server/http.h"
 #include "server/response_cache.h"
 
@@ -175,6 +177,78 @@ TEST(ResponseCacheTest, WarmHitPathDoesNotAllocate) {
   const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0)
       << "warmed BuildKey+Lookup hit path allocated";
+}
+
+/// The /query route's canonicalizer, as routes.cc installs it: the SQL
+/// text is parsed and re-emitted in canonical form, so the cache key
+/// depends on the query's *meaning*, not its spelling.
+bool SqlCanonicalKey(const HttpRequest& request, std::string* out) {
+  const auto statement = request.QueryParam("q");
+  if (!statement.has_value()) return false;
+  ParsedSqlQuery parsed;
+  if (!ParseSqlQuery(*statement, &parsed).ok()) return false;
+  AppendCanonicalSqlKey(parsed, out);
+  return true;
+}
+
+TEST(ResponseCacheTest, CanonicalSqlSpellingsShareOneEntry) {
+  ResponseCache cache;
+  const ParsedRequest spelled = GetRequest(
+      "/query?q=SELECT%20APPROX(COUNT(*))%20FROM%20stream"
+      "%20WHERE%20v%20BETWEEN%200%20AND%2050"
+      "%20ERROR%202%25%20CONFIDENCE%2095%25");
+  const ParsedRequest respelled = GetRequest(
+      "/query?q=select%20approx(count(*))%20from%20stream"
+      "%20confidence%200.95%20error%200.02"
+      "%20where%20v%20between%200%20and%2050%20;");
+  const ParsedRequest different = GetRequest(
+      "/query?q=SELECT%20APPROX(COUNT(*))%20FROM%20stream"
+      "%20WHERE%20v%20BETWEEN%200%20AND%2051"
+      "%20ERROR%202%25%20CONFIDENCE%2095%25");
+
+  std::string_view key;
+  ASSERT_TRUE(cache.BuildKeyWith(spelled, SqlCanonicalKey, &key));
+  cache.Store(3, key, "PLANNED-WIRE");
+  ASSERT_TRUE(cache.BuildKeyWith(respelled, SqlCanonicalKey, &key));
+  EXPECT_NE(cache.Lookup(3, key), nullptr)
+      << "equivalent spelling missed the cached entry";
+  ASSERT_TRUE(cache.BuildKeyWith(different, SqlCanonicalKey, &key));
+  EXPECT_EQ(cache.Lookup(3, key), nullptr)
+      << "a different range must not share the entry";
+
+  // A statement the parser rejects cannot be keyed: the route serves it
+  // uncached (a 400 must never be replayed from the cache).
+  const ParsedRequest garbage = GetRequest("/query?q=DROP%20TABLE");
+  EXPECT_FALSE(cache.BuildKeyWith(garbage, SqlCanonicalKey, &key));
+  const ParsedRequest missing = GetRequest("/query");
+  EXPECT_FALSE(cache.BuildKeyWith(missing, SqlCanonicalKey, &key));
+}
+
+TEST(ResponseCacheTest, WarmCanonicalSqlHitPathDoesNotAllocate) {
+  ResponseCache cache;
+  const ParsedRequest request = GetRequest(
+      "/query?q=SELECT%20APPROX(QUANTILE(0.9))%20FROM%20price"
+      "%20ERROR%205%25%20WITHIN%201ms");
+  std::string wire(512, 'q');
+  std::string_view key;
+  // The canonicalizer is type-erased through the same std::function the
+  // route table stores, so the measured path includes that indirection.
+  const std::function<bool(const HttpRequest&, std::string*)> canonical =
+      SqlCanonicalKey;
+  ASSERT_TRUE(cache.BuildKeyWith(request, canonical, &key));
+  cache.Store(7, key, std::move(wire));
+  ASSERT_NE(cache.Lookup(7, key), nullptr);
+
+  const std::int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(cache.BuildKeyWith(request, canonical, &key));
+    const std::string* hit = cache.Lookup(7, key);
+    ASSERT_NE(hit, nullptr);
+    ASSERT_EQ(hit->size(), 512u);
+  }
+  const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "warmed canonical /query BuildKeyWith+Lookup hit path allocated";
 }
 
 TEST(ResponseCacheTest, StoreAfterEpochAdvanceStartsFresh) {

@@ -3,7 +3,8 @@
 // real HttpServer (one reactor) in-process, and asserts that a warmed GET
 // request — socket read, parse, route, answer, JSON render, serialize,
 // write — touches the allocator exactly zero times, for every GET route on
-// both the single-relation and catalog surfaces.
+// both the single-relation and catalog surfaces, including the planned
+// /query route (SQL parse, plan, execute, render).
 //
 // Response caching is deliberately NOT wired (no epoch source), so every
 // measured request exercises the full cold render path; the cache hit path
@@ -173,6 +174,7 @@ TEST(ZeroAllocServing, EveryGetRouteIsAllocationFreeOnceWarm) {
   HttpServer server(server_options);
   RegisterServingRoutes(server, engine);
   RegisterCatalogRoutes(server, catalog);
+  RegisterQueryRoutes(server, engine, &catalog);
   // Deliberately no InstallEpochSource: with caching disabled, every
   // measured request renders cold — the stronger guarantee.
   ASSERT_TRUE(server.Start().ok());
@@ -191,6 +193,21 @@ TEST(ZeroAllocServing, EveryGetRouteIsAllocationFreeOnceWarm) {
       "/attr/price/quantile?q=0.5",
       "/attr/price/distinct",
       "/attr/price/stats",
+      // Planned queries: every kind through the SQL frontend, unbounded
+      // and bounded, over both the stream and a catalog attribute.  The
+      // statements avoid '%' spellings so the request targets stay
+      // readable (percent-escapes only encode spaces).
+      "/query?q=SELECT%20APPROX(COUNT(*))%20FROM%20stream"
+      "%20WHERE%20v%20BETWEEN%200%20AND%2050",
+      "/query?q=SELECT%20APPROX(COUNT(*))%20FROM%20stream"
+      "%20WHERE%20v%20BETWEEN%200%20AND%2050"
+      "%20ERROR%200.02%20CONFIDENCE%200.95",
+      "/query?q=SELECT%20APPROX(TOP(5))%20FROM%20stream%20WITHIN%201ms",
+      "/query?q=SELECT%20APPROX(COUNT(DISTINCT%20*))%20FROM%20stream",
+      "/query?q=SELECT%20APPROX(MEDIAN)%20FROM%20stream",
+      "/query?q=SELECT%20APPROX(FREQUENCY(3))%20FROM%20price",
+      "/query?q=SELECT%20APPROX(QUANTILE(0.9))%20FROM%20price"
+      "%20WITHIN%202ms%20CONFIDENCE%200.99",
   };
   std::vector<std::string> wires;
   wires.reserve(targets.size());
