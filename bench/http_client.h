@@ -7,7 +7,6 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
-#include <sched.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -19,6 +18,10 @@
 #include <thread>
 #include <vector>
 
+// Client threads pin with the same helper the server's --pin-cores uses
+// (aqua::PinSelfToCpu), found by unqualified lookup from aqua::bench.
+#include "common/cpu_affinity.h"
+
 namespace aqua {
 namespace bench {
 
@@ -26,16 +29,6 @@ inline std::int64_t NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-/// Best-effort pin of the calling thread to one CPU (modulo online CPUs).
-inline void PinSelfToCpu(std::size_t cpu) {
-  const long cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
-  if (cpus <= 0) return;
-  cpu_set_t mask;
-  CPU_ZERO(&mask);
-  CPU_SET(cpu % static_cast<std::size_t>(cpus), &mask);
-  (void)::sched_setaffinity(0, sizeof(mask), &mask);
 }
 
 inline int ConnectTo(std::uint16_t port) {

@@ -1,0 +1,36 @@
+// Best-effort CPU pinning shared by the serving reactors (--pin-cores) and
+// the bench harnesses (bench/scaling_matrix --pin-cpus): one definition of
+// "pin this thread to core N" so server and load generator place threads
+// with the same policy and /stats and bench JSON can record what actually
+// happened.
+#ifndef AQUA_COMMON_CPU_AFFINITY_H_
+#define AQUA_COMMON_CPU_AFFINITY_H_
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <cstddef>
+
+namespace aqua {
+
+/// Pins the calling thread to CPU (cpu mod online CPUs) via
+/// pthread_setaffinity_np.  Returns the CPU index actually requested, or -1
+/// when the pin failed or no CPU count could be read — best effort, callers
+/// record the result rather than treating failure as fatal.
+inline int PinSelfToCpu(std::size_t cpu) {
+  const long cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
+  if (cpus <= 0) return -1;
+  const std::size_t target = cpu % static_cast<std::size_t>(cpus);
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(target, &mask);
+  if (::pthread_setaffinity_np(::pthread_self(), sizeof(mask), &mask) != 0) {
+    return -1;
+  }
+  return static_cast<int>(target);
+}
+
+}  // namespace aqua
+
+#endif  // AQUA_COMMON_CPU_AFFINITY_H_

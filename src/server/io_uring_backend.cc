@@ -1,0 +1,907 @@
+// io_uring implementation of the IoBackend interface, raw syscalls only
+// (no liburing).  Gated on AQUA_WITH_IOURING; when the option is off this
+// translation unit compiles down to the "unavailable" stubs so the fallback
+// factory keeps working.
+//
+// Shape of the implementation (DESIGN.md §14):
+//   - one ring per reactor (IORING_SETUP_SINGLE_ISSUER when the kernel
+//     takes it), one io_uring_enter per Poll() that both submits every SQE
+//     queued since the last call and waits for completions with an
+//     EXT_ARG timeout — so the per-request syscall count amortizes toward
+//     zero as connections batch;
+//   - multishot accept on the listener, re-armed when the kernel drops
+//     IORING_CQE_F_MORE;
+//   - receives use a provided buffer ring (IORING_REGISTER_PBUF_RING):
+//     the kernel picks a buffer at completion time, the HTTP parser copies
+//     out, and the buffer is recycled before the next dispatch;
+//   - pinned sends (cached responses) submit IORING_OP_SEND straight from
+//     the cache entry's bytes — no copy, no write syscall — with the
+//     shared_ptr held until the CQE lands; short sends resubmit the
+//     remainder (deliberately NOT IOSQE_IO_LINK chains: a short-but-
+//     successful linked send would let its successor run and interleave
+//     bytes);
+//   - volatile sends (reactor/worker scratch) try one nonblocking writev
+//     first and park only the unsent tail, copied into a registered fixed
+//     buffer (IORING_OP_WRITE_FIXED) when it fits, else into an owned
+//     string sent with IORING_OP_SEND.
+#include "server/io_backend.h"
+
+#if defined(AQUA_WITH_IOURING) && defined(__linux__)
+
+#include <errno.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#ifndef IO_URING_OP_SUPPORTED
+#define IO_URING_OP_SUPPORTED (1U << 0)
+#endif
+
+namespace aqua {
+namespace {
+
+int SysIoUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags, const void* arg, size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+int SysIoUringRegister(int fd, unsigned opcode, void* arg, unsigned nr_args) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg,
+                                    nr_args));
+}
+
+// user_data encoding: connection ops carry the UringConn pointer with a tag
+// in the low three bits (heap pointers are >= 8-aligned); ring-level ops use
+// small odd sentinels no pointer can equal.
+constexpr __u64 kTagMask = 0x7;
+constexpr __u64 kTagRecv = 0x1;
+constexpr __u64 kTagSend = 0x2;
+constexpr __u64 kAcceptData = 0x3;
+constexpr __u64 kWakeData = 0x5;
+constexpr __u64 kCancelData = 0x7;
+
+constexpr unsigned kSqEntries = 256;
+constexpr unsigned kRecvBufCount = 64;  // power of two (pbuf ring rule)
+constexpr std::size_t kRecvBufSize = 16384;
+constexpr unsigned kFixedSlotCount = 8;
+constexpr std::size_t kFixedSlotSize = 65536;
+constexpr __u16 kRecvGroupId = 0;
+
+class IoUringBackend final : public IoBackend {
+ public:
+  IoUringBackend() = default;
+  ~IoUringBackend() override { Shutdown(); }
+
+  Status Init(int listen_fd, int wake_fd, Events* events) override {
+    listen_fd_ = listen_fd;
+    wake_fd_ = wake_fd;
+    events_ = events;
+
+    io_uring_params params;
+    ::memset(&params, 0, sizeof(params));
+    params.flags = IORING_SETUP_SINGLE_ISSUER | IORING_SETUP_COOP_TASKRUN;
+    CountSyscall();
+    ring_fd_ = SysIoUringSetup(kSqEntries, &params);
+    if (ring_fd_ < 0 && (errno == EINVAL || errno == EPERM)) {
+      // Older kernel: retry without the newer setup flags.
+      ::memset(&params, 0, sizeof(params));
+      CountSyscall();
+      ring_fd_ = SysIoUringSetup(kSqEntries, &params);
+    }
+    if (ring_fd_ < 0) {
+      return Status::Internal("io_uring_setup failed: " +
+                              std::string(::strerror(errno)));
+    }
+    if (!(params.features & IORING_FEAT_SINGLE_MMAP) ||
+        !(params.features & IORING_FEAT_EXT_ARG)) {
+      Shutdown();
+      return Status::FailedPrecondition(
+          "kernel io_uring lacks SINGLE_MMAP/EXT_ARG features");
+    }
+
+    const std::size_t sq_size =
+        params.sq_off.array + params.sq_entries * sizeof(__u32);
+    const std::size_t cq_size =
+        params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    ring_map_size_ = sq_size > cq_size ? sq_size : cq_size;
+    ring_map_ = ::mmap(nullptr, ring_map_size_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (ring_map_ == MAP_FAILED) {
+      ring_map_ = nullptr;
+      Shutdown();
+      return Status::Internal("io_uring ring mmap failed");
+    }
+    sqes_map_size_ = params.sq_entries * sizeof(io_uring_sqe);
+    sqes_ = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, sqes_map_size_, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+    if (sqes_ == MAP_FAILED) {
+      sqes_ = nullptr;
+      Shutdown();
+      return Status::Internal("io_uring sqe mmap failed");
+    }
+    char* ring = static_cast<char*>(ring_map_);
+    sq_head_ = reinterpret_cast<std::atomic<unsigned>*>(ring + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<std::atomic<unsigned>*>(ring + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(ring + params.sq_off.ring_mask);
+    sq_entries_ = params.sq_entries;
+    sq_array_ = reinterpret_cast<unsigned*>(ring + params.sq_off.array);
+    cq_head_ = reinterpret_cast<std::atomic<unsigned>*>(ring + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<std::atomic<unsigned>*>(ring + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(ring + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(ring + params.cq_off.cqes);
+
+    // Provided buffer ring for receives: one page of io_uring_buf entries
+    // plus the backing buffer pool, both anonymous mmaps.
+    buf_ring_map_size_ = kRecvBufCount * sizeof(io_uring_buf);
+    if (buf_ring_map_size_ < 4096) buf_ring_map_size_ = 4096;
+    buf_ring_ = static_cast<io_uring_buf_ring*>(
+        ::mmap(nullptr, buf_ring_map_size_, PROT_READ | PROT_WRITE,
+               MAP_ANONYMOUS | MAP_PRIVATE, -1, 0));
+    if (buf_ring_ == MAP_FAILED) {
+      buf_ring_ = nullptr;
+      Shutdown();
+      return Status::Internal("io_uring buffer ring mmap failed");
+    }
+    recv_pool_size_ = static_cast<std::size_t>(kRecvBufCount) * kRecvBufSize;
+    recv_pool_ = static_cast<char*>(::mmap(nullptr, recv_pool_size_,
+                                           PROT_READ | PROT_WRITE,
+                                           MAP_ANONYMOUS | MAP_PRIVATE, -1, 0));
+    if (recv_pool_ == MAP_FAILED) {
+      recv_pool_ = nullptr;
+      Shutdown();
+      return Status::Internal("io_uring recv pool mmap failed");
+    }
+    io_uring_buf_reg reg;
+    ::memset(&reg, 0, sizeof(reg));
+    reg.ring_addr = reinterpret_cast<__u64>(buf_ring_);
+    reg.ring_entries = kRecvBufCount;
+    reg.bgid = kRecvGroupId;
+    CountSyscall();
+    if (SysIoUringRegister(ring_fd_, IORING_REGISTER_PBUF_RING, &reg, 1) < 0) {
+      Shutdown();
+      return Status::FailedPrecondition(
+          "IORING_REGISTER_PBUF_RING failed: " +
+          std::string(::strerror(errno)));
+    }
+    buf_ring_registered_ = true;
+    for (unsigned i = 0; i < kRecvBufCount; ++i) RecycleRecvBuf(i);
+
+    // Registered fixed buffers for parked volatile tails.
+    fixed_pool_size_ = static_cast<std::size_t>(kFixedSlotCount) * kFixedSlotSize;
+    fixed_pool_ = static_cast<char*>(::mmap(nullptr, fixed_pool_size_,
+                                            PROT_READ | PROT_WRITE,
+                                            MAP_ANONYMOUS | MAP_PRIVATE, -1, 0));
+    if (fixed_pool_ == MAP_FAILED) {
+      fixed_pool_ = nullptr;
+      Shutdown();
+      return Status::Internal("io_uring fixed pool mmap failed");
+    }
+    iovec fixed_iov[kFixedSlotCount];
+    for (unsigned i = 0; i < kFixedSlotCount; ++i) {
+      fixed_iov[i].iov_base = fixed_pool_ + i * kFixedSlotSize;
+      fixed_iov[i].iov_len = kFixedSlotSize;
+    }
+    CountSyscall();
+    if (SysIoUringRegister(ring_fd_, IORING_REGISTER_BUFFERS, fixed_iov,
+                           kFixedSlotCount) < 0) {
+      // Not fatal: fixed-slot sends just fall back to owned OP_SEND.
+      fixed_slots_usable_ = false;
+    }
+    free_fixed_slots_ = (1u << kFixedSlotCount) - 1;
+
+    ArmAccept();
+    ArmWake();
+    return Status::OK();
+  }
+
+  Status Poll(int timeout_ms) override {
+    DeliverDeferred();
+
+    __kernel_timespec ts;
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+    io_uring_getevents_arg arg;
+    ::memset(&arg, 0, sizeof(arg));
+    arg.ts = reinterpret_cast<__u64>(&ts);
+    CountSyscall();
+    const int submitted = SysIoUringEnter(
+        ring_fd_, unsubmitted_, 1, IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG,
+        &arg, sizeof(arg));
+    if (trace_) {
+      ::fprintf(stderr, "[uring] enter to_submit=%u -> %d errno=%d\n",
+                unsubmitted_, submitted, submitted < 0 ? errno : 0);
+    }
+    if (submitted >= 0) {
+      unsubmitted_ -= static_cast<unsigned>(submitted) <= unsubmitted_
+                          ? static_cast<unsigned>(submitted)
+                          : unsubmitted_;
+    } else if (errno != ETIME && errno != EINTR && errno != EBUSY &&
+               errno != EAGAIN) {
+      return Status::Internal("io_uring_enter failed: " +
+                              std::string(::strerror(errno)));
+    }
+
+    unsigned head = cq_head_->load(std::memory_order_relaxed);
+    for (;;) {
+      const unsigned tail = cq_tail_->load(std::memory_order_acquire);
+      if (head == tail) break;
+      while (head != tail) {
+        // Copy the CQE out before releasing the slot back to the kernel.
+        const io_uring_cqe cqe = cqes_[head & cq_mask_];
+        ++head;
+        cq_head_->store(head, std::memory_order_release);
+        if (trace_) {
+          ::fprintf(stderr, "[uring] cqe ud=%llu res=%d flags=%#x\n",
+                    (unsigned long long)cqe.user_data, cqe.res, cqe.flags);
+        }
+        Dispatch(cqe);
+      }
+    }
+    RearmStarved();
+    return Status::OK();
+  }
+
+  void* Add(int fd, void* token) override {
+    auto* conn = new UringConn();
+    conn->fd = fd;
+    conn->token = token;
+    conn->want_recv = true;
+    conns_.insert(conn);
+    ArmRecv(conn);
+    return conn;
+  }
+
+  void SuspendRecv(void* handle) override {
+    static_cast<UringConn*>(handle)->want_recv = false;
+  }
+
+  void ResumeRecv(void* handle) override {
+    auto* conn = static_cast<UringConn*>(handle);
+    if (conn->want_recv) return;
+    conn->want_recv = true;
+    if (conn->recv_armed) return;
+    if (!conn->stash.empty() || conn->peer_closed) {
+      Defer(conn);
+      return;
+    }
+    ArmRecv(conn);
+  }
+
+  SendResult Send(void* handle, std::string_view head, std::string_view body,
+                  const std::shared_ptr<const std::string>* pin) override {
+    auto* conn = static_cast<UringConn*>(handle);
+    // Pinned path: the cache entry outlives the submission, so the bytes
+    // go to the ring exactly where they sit — zero copies, zero write
+    // syscalls.  Contract: head (+ contiguous body) is one span in *pin.
+    if (pin != nullptr && *pin != nullptr &&
+        (body.empty() || head.data() + head.size() == body.data())) {
+      conn->pin = *pin;
+      conn->send_data = head.data();
+      conn->send_len = head.size() + body.size();
+      conn->send_kind = SendKind::kPinned;
+      SubmitSend(conn);
+      zero_copy_sends_.fetch_add(1, std::memory_order_relaxed);
+      return SendResult::kPending;
+    }
+
+    // Volatile path: one nonblocking writev now, park only the tail.
+    const std::size_t total = head.size() + body.size();
+    std::size_t written = 0;
+    while (written < total) {
+      iovec iov[2];
+      int iovcnt = 0;
+      if (written < head.size()) {
+        iov[iovcnt].iov_base = const_cast<char*>(head.data()) + written;
+        iov[iovcnt].iov_len = head.size() - written;
+        ++iovcnt;
+      }
+      const std::size_t body_done =
+          written > head.size() ? written - head.size() : 0;
+      if (body_done < body.size()) {
+        iov[iovcnt].iov_base = const_cast<char*>(body.data()) + body_done;
+        iov[iovcnt].iov_len = body.size() - body_done;
+        ++iovcnt;
+      }
+      CountSyscall();
+      const ssize_t n = ::writev(conn->fd, iov, iovcnt);
+      if (n > 0) {
+        written += static_cast<std::size_t>(n);
+        bytes_sent_.fetch_add(n, std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        ParkVolatileTail(conn, head, body, written);
+        return SendResult::kPending;
+      }
+      return SendResult::kError;
+    }
+    zero_copy_sends_.fetch_add(1, std::memory_order_relaxed);
+    return SendResult::kDone;
+  }
+
+  bool HasPendingSend(const void* handle) const override {
+    return static_cast<const UringConn*>(handle)->send_inflight;
+  }
+
+  void StopAccepting() override {
+    if (!accepting_) return;
+    accepting_ = false;
+    io_uring_sqe* sqe = GetSqe();
+    sqe->opcode = IORING_OP_ASYNC_CANCEL;
+    sqe->fd = -1;
+    sqe->addr = kAcceptData;
+    sqe->user_data = kCancelData;
+  }
+
+  void Close(void* handle) override {
+    auto* conn = static_cast<UringConn*>(handle);
+    if (conn->closed) return;
+    conn->closed = true;
+    if (conn->inflight > 0) {
+      // Force any armed recv/send to complete promptly so the deferred
+      // free (inflight -> 0) happens instead of waiting on the peer.
+      CountSyscall();
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    CountSyscall();
+    ::close(conn->fd);
+    conn->fd = -1;
+    if (conn->inflight == 0) FreeConn(conn);
+  }
+
+  void Shutdown() override {
+    if (ring_fd_ >= 0) {
+      CountSyscall();
+      ::close(ring_fd_);  // cancels and reaps every in-flight op
+      ring_fd_ = -1;
+    }
+    for (UringConn* conn : conns_) delete conn;
+    conns_.clear();
+    deferred_.clear();
+    starved_.clear();
+    if (sqes_ != nullptr) {
+      ::munmap(sqes_, sqes_map_size_);
+      sqes_ = nullptr;
+    }
+    if (ring_map_ != nullptr) {
+      ::munmap(ring_map_, ring_map_size_);
+      ring_map_ = nullptr;
+    }
+    if (buf_ring_ != nullptr) {
+      ::munmap(buf_ring_, buf_ring_map_size_);
+      buf_ring_ = nullptr;
+    }
+    if (recv_pool_ != nullptr) {
+      ::munmap(recv_pool_, recv_pool_size_);
+      recv_pool_ = nullptr;
+    }
+    if (fixed_pool_ != nullptr) {
+      ::munmap(fixed_pool_, fixed_pool_size_);
+      fixed_pool_ = nullptr;
+    }
+  }
+
+  IoBackendKind kind() const override { return IoBackendKind::kIoUring; }
+
+  Stats GetStats() const override {
+    Stats s;
+    s.syscalls = syscalls_.load(std::memory_order_relaxed);
+    s.zero_copy_sends = zero_copy_sends_.load(std::memory_order_relaxed);
+    s.copied_sends = copied_sends_.load(std::memory_order_relaxed);
+    s.copied_bytes = copied_bytes_.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  enum class SendKind : std::uint8_t { kNone, kPinned, kFixed, kOwned };
+
+  struct UringConn {
+    int fd = -1;
+    void* token = nullptr;
+    bool want_recv = false;   // core wants delivery
+    bool recv_armed = false;  // an OP_RECV SQE/CQE is outstanding
+    bool send_inflight = false;
+    bool closed = false;
+    bool peer_closed = false;  // EOF seen while suspended; delivered later
+    bool deferred = false;     // queued on deferred_
+    bool starved = false;      // recv hit ENOBUFS; re-armed after reap
+    int inflight = 0;          // outstanding ring ops carrying this pointer
+    // Send bookkeeping: what SubmitSend is working through.
+    SendKind send_kind = SendKind::kNone;
+    const char* send_data = nullptr;
+    std::size_t send_len = 0;
+    std::size_t send_off = 0;
+    int fixed_slot = -1;
+    std::shared_ptr<const std::string> pin;
+    std::string owned;
+    // Bytes that completed while the core had recv suspended.
+    std::string stash;
+  };
+
+  void CountSyscall() { syscalls_.fetch_add(1, std::memory_order_relaxed); }
+
+  io_uring_sqe* GetSqe() {
+    unsigned tail = sq_tail_->load(std::memory_order_relaxed);
+    while (tail - sq_head_->load(std::memory_order_acquire) == sq_entries_) {
+      // Ring full: flush what we have without waiting.
+      CountSyscall();
+      const int submitted =
+          SysIoUringEnter(ring_fd_, unsubmitted_, 0, 0, nullptr, 0);
+      if (submitted > 0) {
+        unsubmitted_ -= static_cast<unsigned>(submitted) <= unsubmitted_
+                            ? static_cast<unsigned>(submitted)
+                            : unsubmitted_;
+      }
+    }
+    const unsigned idx = tail & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[idx];
+    ::memset(sqe, 0, sizeof(*sqe));
+    sq_array_[idx] = idx;
+    sq_tail_->store(tail + 1, std::memory_order_release);
+    ++unsubmitted_;
+    return sqe;
+  }
+
+  void ArmAccept() {
+    io_uring_sqe* sqe = GetSqe();
+    sqe->opcode = IORING_OP_ACCEPT;
+    sqe->fd = listen_fd_;
+    sqe->ioprio = IORING_ACCEPT_MULTISHOT;
+    sqe->accept_flags = SOCK_NONBLOCK | SOCK_CLOEXEC;
+    sqe->user_data = kAcceptData;
+    accept_armed_ = true;
+  }
+
+  void ArmWake() {
+    io_uring_sqe* sqe = GetSqe();
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = wake_fd_;
+    sqe->addr = reinterpret_cast<__u64>(&wake_value_);
+    sqe->len = sizeof(wake_value_);
+    sqe->user_data = kWakeData;
+  }
+
+  void ArmRecv(UringConn* conn) {
+    io_uring_sqe* sqe = GetSqe();
+    sqe->opcode = IORING_OP_RECV;
+    sqe->fd = conn->fd;
+    sqe->flags = IOSQE_BUFFER_SELECT;
+    sqe->buf_group = kRecvGroupId;
+    sqe->user_data = reinterpret_cast<__u64>(conn) | kTagRecv;
+    conn->recv_armed = true;
+    ++conn->inflight;
+  }
+
+  void SubmitSend(UringConn* conn) {
+    io_uring_sqe* sqe = GetSqe();
+    if (conn->send_kind == SendKind::kFixed && fixed_slots_usable_) {
+      sqe->opcode = IORING_OP_WRITE_FIXED;
+      sqe->buf_index = static_cast<__u16>(conn->fixed_slot);
+    } else {
+      sqe->opcode = IORING_OP_SEND;
+      sqe->msg_flags = MSG_WAITALL | MSG_NOSIGNAL;
+    }
+    sqe->fd = conn->fd;
+    sqe->addr = reinterpret_cast<__u64>(conn->send_data + conn->send_off);
+    sqe->len = static_cast<__u32>(conn->send_len - conn->send_off);
+    sqe->user_data = reinterpret_cast<__u64>(conn) | kTagSend;
+    conn->send_inflight = true;
+    ++conn->inflight;
+  }
+
+  void ParkVolatileTail(UringConn* conn, std::string_view head,
+                        std::string_view body, std::size_t written) {
+    const std::size_t remaining = head.size() + body.size() - written;
+    copied_sends_.fetch_add(1, std::memory_order_relaxed);
+    copied_bytes_.fetch_add(static_cast<std::int64_t>(remaining),
+                            std::memory_order_relaxed);
+    const int slot = AcquireFixedSlot();
+    if (slot >= 0 && remaining <= kFixedSlotSize) {
+      char* dst = fixed_pool_ + static_cast<std::size_t>(slot) * kFixedSlotSize;
+      std::size_t n = 0;
+      if (written < head.size()) {
+        ::memcpy(dst, head.data() + written, head.size() - written);
+        n = head.size() - written;
+      }
+      const std::size_t body_done =
+          written > head.size() ? written - head.size() : 0;
+      if (body_done < body.size()) {
+        ::memcpy(dst + n, body.data() + body_done, body.size() - body_done);
+        n += body.size() - body_done;
+      }
+      conn->fixed_slot = slot;
+      conn->send_data = dst;
+      conn->send_len = n;
+      conn->send_kind = SendKind::kFixed;
+    } else {
+      if (slot >= 0) ReleaseFixedSlot(slot);
+      conn->owned.clear();
+      if (written < head.size()) conn->owned.append(head.substr(written));
+      const std::size_t body_done =
+          written > head.size() ? written - head.size() : 0;
+      if (body_done < body.size()) conn->owned.append(body.substr(body_done));
+      conn->send_data = conn->owned.data();
+      conn->send_len = conn->owned.size();
+      conn->send_kind = SendKind::kOwned;
+    }
+    conn->send_off = 0;
+    SubmitSend(conn);
+  }
+
+  int AcquireFixedSlot() {
+    if (!fixed_slots_usable_ || free_fixed_slots_ == 0) return -1;
+    for (unsigned i = 0; i < kFixedSlotCount; ++i) {
+      if (free_fixed_slots_ & (1u << i)) {
+        free_fixed_slots_ &= ~(1u << i);
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  void ReleaseFixedSlot(int slot) { free_fixed_slots_ |= 1u << slot; }
+
+  void ReleaseSendState(UringConn* conn) {
+    if (conn->fixed_slot >= 0) {
+      ReleaseFixedSlot(conn->fixed_slot);
+      conn->fixed_slot = -1;
+    }
+    conn->pin.reset();
+    conn->owned.clear();
+    conn->send_data = nullptr;
+    conn->send_len = 0;
+    conn->send_off = 0;
+    conn->send_kind = SendKind::kNone;
+  }
+
+  void RecycleRecvBuf(unsigned bid) {
+    const unsigned idx = buf_tail_ & (kRecvBufCount - 1);
+    // Do NOT use buf_ring_->bufs here: __DECLARE_FLEX_ARRAY pads the
+    // flexible member to offset 8 under C++ (an empty struct has size 1),
+    // while the kernel ABI has entry 0 at offset 0 with the ring tail
+    // overlaying its resv field.  Index the raw entry array instead.
+    io_uring_buf* entry =
+        &reinterpret_cast<io_uring_buf*>(buf_ring_)[idx];
+    entry->addr = reinterpret_cast<__u64>(recv_pool_ +
+                                          static_cast<std::size_t>(bid) *
+                                              kRecvBufSize);
+    entry->len = kRecvBufSize;
+    entry->bid = static_cast<__u16>(bid);
+    ++buf_tail_;
+    std::atomic_thread_fence(std::memory_order_release);
+    __atomic_store_n(&buf_ring_->tail, static_cast<__u16>(buf_tail_),
+                     __ATOMIC_RELEASE);
+  }
+
+  void Defer(UringConn* conn) {
+    if (conn->deferred) return;
+    conn->deferred = true;
+    deferred_.push_back(conn);
+  }
+
+  void FreeConn(UringConn* conn) {
+    conns_.erase(conn);
+    delete conn;
+  }
+
+  void DecInflight(UringConn* conn) {
+    --conn->inflight;
+    if (conn->closed && conn->inflight == 0) FreeConn(conn);
+  }
+
+  void Dispatch(const io_uring_cqe& cqe) {
+    switch (cqe.user_data) {
+      case kAcceptData: {
+        const bool more = (cqe.flags & IORING_CQE_F_MORE) != 0;
+        if (!more) accept_armed_ = false;
+        if (cqe.res >= 0) {
+          if (accepting_) {
+            events_->OnAccept(cqe.res);
+          } else {
+            CountSyscall();
+            ::close(cqe.res);
+          }
+        }
+        if (!accept_armed_ && accepting_ && cqe.res != -ECANCELED) ArmAccept();
+        return;
+      }
+      case kWakeData:
+        events_->OnWake();
+        if (cqe.res > 0) ArmWake();
+        return;
+      case kCancelData:
+        return;
+      default:
+        break;
+    }
+    auto* conn = reinterpret_cast<UringConn*>(cqe.user_data & ~kTagMask);
+    if ((cqe.user_data & kTagMask) == kTagRecv) {
+      HandleRecvCqe(conn, cqe);
+    } else {
+      HandleSendCqe(conn, cqe);
+    }
+  }
+
+  void HandleRecvCqe(UringConn* conn, const io_uring_cqe& cqe) {
+    conn->recv_armed = false;
+    const bool has_buf = (cqe.flags & IORING_CQE_F_BUFFER) != 0;
+    const unsigned bid = cqe.flags >> IORING_CQE_BUFFER_SHIFT;
+    if (conn->closed) {
+      if (has_buf) RecycleRecvBuf(bid);
+      DecInflight(conn);
+      return;
+    }
+    --conn->inflight;
+    if (cqe.res > 0) {
+      bytes_received_.fetch_add(cqe.res, std::memory_order_relaxed);
+      const char* data =
+          recv_pool_ + static_cast<std::size_t>(bid) * kRecvBufSize;
+      const std::string_view view(data, static_cast<std::size_t>(cqe.res));
+      if (conn->want_recv) {
+        const bool keep = events_->OnRecv(conn->token, view);
+        if (has_buf) RecycleRecvBuf(bid);
+        if (keep && !conn->closed && conn->want_recv && !conn->recv_armed) {
+          ArmRecv(conn);
+        }
+      } else {
+        conn->stash.append(view);
+        if (has_buf) RecycleRecvBuf(bid);
+      }
+      return;
+    }
+    if (has_buf) RecycleRecvBuf(bid);
+    if (cqe.res == -ENOBUFS) {
+      // Every provided buffer was in flight; re-arm after this reap pass
+      // has recycled them (immediate re-arm could spin hot).
+      if (!conn->starved) {
+        conn->starved = true;
+        starved_.push_back(conn);
+      }
+      return;
+    }
+    // EOF (res == 0) or a receive error: surface it now, or remember it
+    // for delivery when the core resumes receiving.
+    if (conn->want_recv) {
+      events_->OnRecvClosed(conn->token);
+    } else {
+      conn->peer_closed = true;
+    }
+  }
+
+  void HandleSendCqe(UringConn* conn, const io_uring_cqe& cqe) {
+    conn->send_inflight = false;
+    if (conn->closed) {
+      ReleaseSendState(conn);
+      DecInflight(conn);
+      return;
+    }
+    --conn->inflight;
+    if (cqe.res < 0) {
+      if (cqe.res == -EINVAL && conn->send_kind == SendKind::kFixed &&
+          fixed_slots_usable_) {
+        // Kernel rejected WRITE_FIXED on this socket: demote the parked
+        // bytes to an owned OP_SEND and stop using fixed slots.
+        fixed_slots_usable_ = false;
+        conn->owned.assign(conn->send_data + conn->send_off,
+                           conn->send_len - conn->send_off);
+        ReleaseFixedSlot(conn->fixed_slot);
+        conn->fixed_slot = -1;
+        conn->send_data = conn->owned.data();
+        conn->send_len = conn->owned.size();
+        conn->send_off = 0;
+        conn->send_kind = SendKind::kOwned;
+        SubmitSend(conn);
+        return;
+      }
+      ReleaseSendState(conn);
+      events_->OnSendError(conn->token);
+      return;
+    }
+    bytes_sent_.fetch_add(cqe.res, std::memory_order_relaxed);
+    conn->send_off += static_cast<std::size_t>(cqe.res);
+    if (conn->send_off < conn->send_len) {
+      SubmitSend(conn);  // short send: resubmit the remainder
+      return;
+    }
+    ReleaseSendState(conn);
+    events_->OnSendDrained(conn->token);
+  }
+
+  // Delivers bytes (or EOF) that arrived while the core had the
+  // connection's receive path suspended, now that it resumed.
+  void DeliverDeferred() {
+    if (deferred_.empty()) return;
+    std::vector<UringConn*> batch;
+    batch.swap(deferred_);
+    for (UringConn* conn : batch) {
+      conn->deferred = false;
+      if (conn->closed || !conn->want_recv) continue;
+      if (!conn->stash.empty()) {
+        std::string data;
+        data.swap(conn->stash);
+        if (!events_->OnRecv(conn->token, data)) continue;
+        if (conn->closed || !conn->want_recv) continue;
+      }
+      if (conn->peer_closed) {
+        events_->OnRecvClosed(conn->token);
+        continue;
+      }
+      if (!conn->recv_armed) ArmRecv(conn);
+    }
+  }
+
+  void RearmStarved() {
+    if (starved_.empty()) return;
+    std::vector<UringConn*> batch;
+    batch.swap(starved_);
+    for (UringConn* conn : batch) {
+      conn->starved = false;
+      if (conn->closed) continue;
+      if (conn->want_recv && !conn->recv_armed) ArmRecv(conn);
+    }
+  }
+
+  // Low-level CQE tracing for debugging kernel interaction, enabled by
+  // AQUA_URING_TRACE=1 in the environment.
+  const bool trace_ = ::getenv("AQUA_URING_TRACE") != nullptr;
+  int ring_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  Events* events_ = nullptr;
+  bool accepting_ = true;
+  bool accept_armed_ = false;
+
+  void* ring_map_ = nullptr;
+  std::size_t ring_map_size_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  std::size_t sqes_map_size_ = 0;
+  std::atomic<unsigned>* sq_head_ = nullptr;
+  std::atomic<unsigned>* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned sq_entries_ = 0;
+  unsigned* sq_array_ = nullptr;
+  std::atomic<unsigned>* cq_head_ = nullptr;
+  std::atomic<unsigned>* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  unsigned unsubmitted_ = 0;
+
+  io_uring_buf_ring* buf_ring_ = nullptr;
+  std::size_t buf_ring_map_size_ = 0;
+  bool buf_ring_registered_ = false;
+  char* recv_pool_ = nullptr;
+  std::size_t recv_pool_size_ = 0;
+  unsigned buf_tail_ = 0;
+
+  char* fixed_pool_ = nullptr;
+  std::size_t fixed_pool_size_ = 0;
+  bool fixed_slots_usable_ = true;
+  unsigned free_fixed_slots_ = 0;
+
+  uint64_t wake_value_ = 0;
+  std::unordered_set<UringConn*> conns_;
+  std::vector<UringConn*> deferred_;
+  std::vector<UringConn*> starved_;
+
+  std::atomic<std::int64_t> syscalls_{0};
+  std::atomic<std::int64_t> zero_copy_sends_{0};
+  std::atomic<std::int64_t> copied_sends_{0};
+  std::atomic<std::int64_t> copied_bytes_{0};
+  std::atomic<std::int64_t> bytes_sent_{0};
+  std::atomic<std::int64_t> bytes_received_{0};
+};
+
+}  // namespace
+
+bool IoUringAvailable(std::string* reason) {
+  io_uring_params params;
+  ::memset(&params, 0, sizeof(params));
+  const int fd = SysIoUringSetup(4, &params);
+  if (fd < 0) {
+    if (reason != nullptr) {
+      *reason = "io_uring_setup failed: " + std::string(::strerror(errno));
+    }
+    return false;
+  }
+  bool ok = true;
+  if (!(params.features & IORING_FEAT_SINGLE_MMAP) ||
+      !(params.features & IORING_FEAT_EXT_ARG) ||
+      !(params.features & IORING_FEAT_NODROP)) {
+    if (reason != nullptr) *reason = "kernel io_uring feature set too old";
+    ok = false;
+  }
+  if (ok) {
+    // Required opcodes (io_uring_probe ends in a flexible array, so the
+    // storage is a raw buffer sized for 64 trailing op entries).
+    alignas(io_uring_probe) unsigned char probe_buf[sizeof(io_uring_probe) +
+                                                    64 *
+                                                        sizeof(
+                                                            io_uring_probe_op)];
+    ::memset(probe_buf, 0, sizeof(probe_buf));
+    auto* probe = reinterpret_cast<io_uring_probe*>(probe_buf);
+    if (SysIoUringRegister(fd, IORING_REGISTER_PROBE, probe, 64) < 0) {
+      if (reason != nullptr) *reason = "IORING_REGISTER_PROBE failed";
+      ok = false;
+    } else {
+      const unsigned needed[] = {IORING_OP_ACCEPT, IORING_OP_RECV,
+                                 IORING_OP_SEND, IORING_OP_READ,
+                                 IORING_OP_ASYNC_CANCEL};
+      for (const unsigned op : needed) {
+        if (op > probe->last_op ||
+            !(probe->ops[op].flags & IO_URING_OP_SUPPORTED)) {
+          if (reason != nullptr) {
+            *reason = "kernel io_uring lacks a required opcode";
+          }
+          ok = false;
+          break;
+        }
+      }
+    }
+  }
+  if (ok) {
+    // Provided buffer rings (kernel >= 5.19).
+    void* page = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                        MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+    if (page == MAP_FAILED) {
+      ok = false;
+      if (reason != nullptr) *reason = "mmap failed during probe";
+    } else {
+      io_uring_buf_reg reg;
+      ::memset(&reg, 0, sizeof(reg));
+      reg.ring_addr = reinterpret_cast<__u64>(page);
+      reg.ring_entries = 8;
+      reg.bgid = 0;
+      if (SysIoUringRegister(fd, IORING_REGISTER_PBUF_RING, &reg, 1) < 0) {
+        if (reason != nullptr) {
+          *reason = "kernel lacks IORING_REGISTER_PBUF_RING";
+        }
+        ok = false;
+      }
+      ::munmap(page, 4096);
+    }
+  }
+  ::close(fd);
+  return ok;
+}
+
+std::unique_ptr<IoBackend> MakeIoUringBackend() {
+  return std::make_unique<IoUringBackend>();
+}
+
+}  // namespace aqua
+
+#else  // !AQUA_WITH_IOURING
+
+namespace aqua {
+
+bool IoUringAvailable(std::string* reason) {
+  if (reason != nullptr) *reason = "built without AQUA_WITH_IOURING";
+  return false;
+}
+
+std::unique_ptr<IoBackend> MakeIoUringBackend() { return nullptr; }
+
+}  // namespace aqua
+
+#endif  // AQUA_WITH_IOURING

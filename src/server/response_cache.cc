@@ -49,6 +49,12 @@ void ResponseCache::AdvanceEpoch(std::uint64_t epoch) {
 
 const std::string* ResponseCache::Lookup(std::uint64_t epoch,
                                          std::string_view key) {
+  const std::shared_ptr<const std::string>* entry = LookupPinned(epoch, key);
+  return entry != nullptr ? entry->get() : nullptr;
+}
+
+const std::shared_ptr<const std::string>* ResponseCache::LookupPinned(
+    std::uint64_t epoch, std::string_view key) {
   AdvanceEpoch(epoch);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -66,7 +72,8 @@ void ResponseCache::Store(std::uint64_t epoch, std::string_view key,
       entries_.size() >= options_.max_entries) {
     return;
   }
-  entries_.emplace(std::string(key), std::move(wire));
+  entries_.emplace(std::string(key),
+                   std::make_shared<const std::string>(std::move(wire)));
   entry_count_.store(entries_.size(), std::memory_order_relaxed);
 }
 

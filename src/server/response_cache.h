@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -76,6 +77,15 @@ class ResponseCache {
   /// first (wholesale invalidation).
   const std::string* Lookup(std::uint64_t epoch, std::string_view key);
 
+  /// Lookup() variant returning the entry's shared_ptr cell so the caller
+  /// can pin the wire bytes across an asynchronous send: an IoBackend
+  /// holding a copy of the shared_ptr keeps the buffer alive even if an
+  /// epoch advance clears the cache mid-send.  Copying the shared_ptr is
+  /// refcount-only — the hit path stays allocation-free.  The returned
+  /// pointer itself is valid until the next Store()/epoch advance.
+  const std::shared_ptr<const std::string>* LookupPinned(std::uint64_t epoch,
+                                                         std::string_view key);
+
   /// Caches `wire` for `key` under `epoch`.  Dropped (not an error) when
   /// the response is oversized or the per-epoch entry cap is reached.
   void Store(std::uint64_t epoch, std::string_view key, std::string wire);
@@ -114,7 +124,10 @@ class ResponseCache {
   ResponseCacheOptions options_;
   /// Epoch the current entries were rendered under.
   std::uint64_t epoch_ = 0;
-  std::unordered_map<std::string, std::string, StringHash, std::equal_to<>>
+  /// Values are shared_ptr so an in-flight async send can outlive a
+  /// wholesale invalidation (see LookupPinned).
+  std::unordered_map<std::string, std::shared_ptr<const std::string>,
+                     StringHash, std::equal_to<>>
       entries_;
   /// Racy-read-safe mirror of entries_.size() for cross-thread Stats().
   std::atomic<std::size_t> entry_count_{0};

@@ -288,6 +288,16 @@ void RegisterServingRoutes(HttpServer& server, ServingEngine& engine,
         w.Key("cache_misses").Int(http.cache_misses);
         w.Key("cache_bypass").Int(http.cache_bypass);
         w.Key("cache_invalidations").Int(http.cache_invalidations);
+        w.Key("io_backend").String(http.io_backend);
+        w.Key("reactors_pinned").Int(http.reactors_pinned);
+        w.Key("io").BeginObject();
+        w.Key("syscalls").Int(http.io.syscalls);
+        w.Key("zero_copy_sends").Int(http.io.zero_copy_sends);
+        w.Key("copied_sends").Int(http.io.copied_sends);
+        w.Key("copied_bytes").Int(http.io.copied_bytes);
+        w.Key("bytes_sent").Int(http.io.bytes_sent);
+        w.Key("bytes_received").Int(http.io.bytes_received);
+        w.EndObject();
         w.EndObject();
         w.EndObject();
       });

@@ -2,52 +2,31 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
-#include <sched.h>
 #include <string.h>
-#include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
+
+#include "common/cpu_affinity.h"
 
 namespace aqua {
 
 namespace {
 
-/// Writes the whole buffer on a nonblocking socket, waiting with poll() on
-/// EAGAIN.  Returns false on error or timeout (the connection is dead).
-bool WriteAll(int fd, const char* data, std::size_t size,
-              int timeout_ms = 5000) {
-  std::size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
-    if (n > 0) {
-      written += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      struct pollfd pfd = {fd, POLLOUT, 0};
-      const int ready = ::poll(&pfd, 1, timeout_ms);
-      if (ready <= 0) return false;
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return false;
-  }
-  return true;
-}
+enum class WriteNow { kDone, kTail, kError };
 
-/// Vectored form of WriteAll: sends head then body as two iovecs, so the
-/// serving path never concatenates them into a wire string.  Same EAGAIN
-/// poll and timeout semantics.
-bool WritevAll(int fd, std::string_view head, std::string_view body,
-               int timeout_ms = 5000) {
+/// Nonblocking vectored write used by worker threads: sends what the
+/// socket accepts right now and collects any unsent remainder into *tail
+/// for the owning reactor's backend to finish — the worker never blocks on
+/// a slow reader (the old WritevAll poll() loop is gone).
+WriteNow WritevNonblock(int fd, std::string_view head, std::string_view body,
+                        std::string* tail) {
   const std::size_t total = head.size() + body.size();
   std::size_t written = 0;
   while (written < total) {
@@ -57,15 +36,12 @@ bool WritevAll(int fd, std::string_view head, std::string_view body,
       iov[iovcnt].iov_base = const_cast<char*>(head.data()) + written;
       iov[iovcnt].iov_len = head.size() - written;
       ++iovcnt;
-      if (!body.empty()) {
-        iov[iovcnt].iov_base = const_cast<char*>(body.data());
-        iov[iovcnt].iov_len = body.size();
-        ++iovcnt;
-      }
-    } else {
-      const std::size_t off = written - head.size();
-      iov[iovcnt].iov_base = const_cast<char*>(body.data()) + off;
-      iov[iovcnt].iov_len = body.size() - off;
+    }
+    const std::size_t body_done =
+        written > head.size() ? written - head.size() : 0;
+    if (body_done < body.size()) {
+      iov[iovcnt].iov_base = const_cast<char*>(body.data()) + body_done;
+      iov[iovcnt].iov_len = body.size() - body_done;
       ++iovcnt;
     }
     const ssize_t n = ::writev(fd, iov, iovcnt);
@@ -73,16 +49,18 @@ bool WritevAll(int fd, std::string_view head, std::string_view body,
       written += static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      struct pollfd pfd = {fd, POLLOUT, 0};
-      const int ready = ::poll(&pfd, 1, timeout_ms);
-      if (ready <= 0) return false;
-      continue;
-    }
     if (n < 0 && errno == EINTR) continue;
-    return false;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      tail->clear();
+      if (written < head.size()) tail->append(head.substr(written));
+      const std::size_t body_done2 =
+          written > head.size() ? written - head.size() : 0;
+      if (body_done2 < body.size()) tail->append(body.substr(body_done2));
+      return WriteNow::kTail;
+    }
+    return WriteNow::kError;
   }
-  return true;
+  return WriteNow::kDone;
 }
 
 }  // namespace
@@ -167,6 +145,12 @@ Status HttpServer::StartListener(Reactor& reactor) {
     return Status::Internal(std::string("setsockopt(SO_REUSEPORT): ") +
                             strerror(errno));
   }
+  if (options_.sndbuf > 0) {
+    // Accepted sockets inherit the listener's SO_SNDBUF; the slow-reader
+    // tests shrink it to force partial writes.
+    ::setsockopt(reactor.listen_fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf,
+                 sizeof(options_.sndbuf));
+  }
 
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -193,26 +177,37 @@ Status HttpServer::StartListener(Reactor& reactor) {
   }
   port_ = ntohs(addr.sin_port);
 
-  reactor.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
   reactor.event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (reactor.epoll_fd < 0 || reactor.event_fd < 0) {
-    return Status::Internal("epoll_create1/eventfd failed");
+  if (reactor.event_fd < 0) {
+    return Status::Internal("eventfd failed");
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = reactor.listen_fd;
-  ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_ADD, reactor.listen_fd, &ev);
-  ev.data.fd = reactor.event_fd;
-  ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_ADD, reactor.event_fd, &ev);
   return Status::OK();
 }
 
 Status HttpServer::Start() {
+  // Resolve the transport once: every reactor runs the same backend, and
+  // an io_uring request on a kernel (or build) without support falls back
+  // to epoll with a single logged warning.
+  io_backend_actual_ = options_.io_backend;
+  if (io_backend_actual_ == IoBackendKind::kIoUring) {
+    std::string reason;
+    if (!IoUringAvailable(&reason)) {
+      std::fprintf(stderr,
+                   "aqua: io_uring backend unavailable (%s); "
+                   "falling back to epoll\n",
+                   reason.c_str());
+      io_backend_actual_ = IoBackendKind::kEpoll;
+    }
+  }
+
   reactors_.reserve(static_cast<std::size_t>(options_.reactors));
   for (int i = 0; i < options_.reactors; ++i) {
     auto reactor = std::make_unique<Reactor>(options_.cache);
     reactor->server = this;
     reactor->index = static_cast<std::size_t>(i);
+    reactor->backend = io_backend_actual_ == IoBackendKind::kIoUring
+                           ? MakeIoUringBackend()
+                           : MakeEpollBackend();
     Status status = StartListener(*reactor);
     if (!status.ok()) return status;
     reactors_.push_back(std::move(reactor));
@@ -245,6 +240,13 @@ void HttpServer::Shutdown() {
   for (auto& reactor : reactors_) {
     if (reactor->thread.joinable()) reactor->thread.join();
   }
+  // Normally the reactors close the queue as they drain; do it here too so
+  // a reactor that died early cannot strand the workers.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_closed_ = true;
+  }
+  queue_cv_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -255,9 +257,8 @@ void HttpServer::Shutdown() {
   shutdown_cv_.notify_all();
   for (auto& reactor : reactors_) {
     if (reactor->listen_fd >= 0) ::close(reactor->listen_fd);
-    if (reactor->epoll_fd >= 0) ::close(reactor->epoll_fd);
     if (reactor->event_fd >= 0) ::close(reactor->event_fd);
-    reactor->listen_fd = reactor->epoll_fd = reactor->event_fd = -1;
+    reactor->listen_fd = reactor->event_fd = -1;
   }
 }
 
@@ -273,12 +274,27 @@ HttpServer::ServerStats HttpServer::Stats() const {
   stats.responses_503 = responses_503_.load(std::memory_order_relaxed);
   stats.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   stats.reactors = reactors_.size();
+  stats.io_backend = IoBackendKindName(io_backend_actual_);
   for (const auto& reactor : reactors_) {
     const ResponseCache::Stats cache = reactor->cache.GetStats();
     stats.cache_hits += cache.hits;
     stats.cache_misses += cache.misses;
     stats.cache_bypass += cache.bypass;
     stats.cache_invalidations += cache.invalidations;
+    if (reactor->pinned_cpu.load(std::memory_order_relaxed) >= 0) {
+      ++stats.reactors_pinned;
+    }
+    // rearm_mutex also guards the rare in-thread backend fallback swap.
+    std::lock_guard<std::mutex> lock(reactor->rearm_mutex);
+    if (reactor->backend != nullptr) {
+      const IoBackend::Stats io = reactor->backend->GetStats();
+      stats.io.syscalls += io.syscalls;
+      stats.io.zero_copy_sends += io.zero_copy_sends;
+      stats.io.copied_sends += io.copied_sends;
+      stats.io.copied_bytes += io.copied_bytes;
+      stats.io.bytes_sent += io.bytes_sent;
+      stats.io.bytes_received += io.bytes_received;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -289,40 +305,46 @@ HttpServer::ServerStats HttpServer::Stats() const {
 
 void HttpServer::IoLoop(Reactor& reactor) {
   if (options_.pin_reactors) {
-    // Best effort: pin this reactor to CPU (index mod online CPUs).
-    const long cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
-    if (cpus > 0) {
-      cpu_set_t mask;
-      CPU_ZERO(&mask);
-      CPU_SET(reactor.index % static_cast<std::size_t>(cpus), &mask);
-      (void)::sched_setaffinity(0, sizeof(mask), &mask);
-    }
+    reactor.pinned_cpu.store(PinSelfToCpu(reactor.index),
+                             std::memory_order_relaxed);
   }
+  // The backend is initialized on the reactor thread (io_uring rings are
+  // single-issuer: the creating task is the submitting task).
+  Status init =
+      reactor.backend->Init(reactor.listen_fd, reactor.event_fd, &reactor);
+  if (!init.ok() && reactor.backend->kind() == IoBackendKind::kIoUring) {
+    std::fprintf(stderr,
+                 "aqua: reactor %zu io_uring init failed (%s); "
+                 "falling back to epoll\n",
+                 reactor.index, init.message().c_str());
+    auto epoll = MakeEpollBackend();
+    {
+      std::lock_guard<std::mutex> lock(reactor.rearm_mutex);
+      reactor.backend.swap(epoll);
+    }
+    epoll.reset();
+    init = reactor.backend->Init(reactor.listen_fd, reactor.event_fd,
+                                 &reactor);
+  }
+  if (!init.ok()) {
+    std::fprintf(stderr, "aqua: reactor %zu failed to start: %s\n",
+                 reactor.index, init.message().c_str());
+    return;
+  }
+
   bool draining = false;
-  epoll_event events[64];
+  int drain_spins = 0;
   for (;;) {
-    const int n = ::epoll_wait(reactor.epoll_fd, events, 64, 100);
-    if (n < 0 && errno != EINTR) break;
-    for (int i = 0; i < n; ++i) {
-      const int fd = events[i].data.fd;
-      if (fd == reactor.listen_fd) {
-        AcceptAll(reactor);
-      } else if (fd == reactor.event_fd) {
-        std::uint64_t drain;
-        while (::read(reactor.event_fd, &drain, sizeof(drain)) > 0) {
-        }
-        ProcessRearms(reactor);
-      } else {
-        const auto it = reactor.connections.find(fd);
-        if (it != reactor.connections.end()) {
-          HandleReadable(reactor, it->second);
-        }
-      }
+    const Status status = reactor.backend->Poll(100);
+    if (!status.ok()) {
+      std::fprintf(stderr, "aqua: reactor %zu poll failed: %s\n",
+                   reactor.index, status.message().c_str());
+      break;
     }
     ProcessRearms(reactor);
     if (stopping_.load(std::memory_order_acquire) && !draining) {
       draining = true;
-      BeginDrain(reactor);
+      reactor.backend->StopAccepting();
     }
     // in_flight_ and the queue are global: every reactor waits for the
     // whole server to drain so no reactor exits while a worker still owes
@@ -336,75 +358,70 @@ void HttpServer::IoLoop(Reactor& reactor) {
       }
       if (queue_empty) {
         queue_cv_.notify_all();
-        break;
+        // Give parked sends a bounded grace period (~5s of poll ticks) to
+        // reach their slow readers before cutting them off.
+        if (!AnyPendingSend(reactor) || ++drain_spins >= 50) break;
       }
     }
   }
   // Close whatever is still registered (idle keep-alive connections).
-  for (auto& [fd, conn] : reactor.connections) {
+  std::vector<Connection*> remaining(reactor.connections.begin(),
+                                     reactor.connections.end());
+  for (Connection* conn : remaining) CloseConnection(reactor, conn);
+  reactor.backend->Shutdown();
+}
+
+bool HttpServer::AnyPendingSend(Reactor& reactor) const {
+  for (Connection* conn : reactor.connections) {
+    if (conn->io != nullptr && reactor.backend->HasPendingSend(conn->io)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void HttpServer::OnAccept(Reactor& reactor, int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto* conn = new Connection(fd, limits_, &reactor);
+  conn->io = reactor.backend->Add(fd, conn);
+  if (conn->io == nullptr) {
     ::close(fd);
     delete conn;
+    return;
   }
-  reactor.connections.clear();
+  reactor.connections.insert(conn);
+  accepted_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void HttpServer::BeginDrain(Reactor& reactor) {
-  // Stop accepting; queued and in-flight requests still complete.
-  if (reactor.listen_fd >= 0) {
-    ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_DEL, reactor.listen_fd, nullptr);
+bool HttpServer::OnRecv(Reactor& reactor, Connection* conn,
+                        std::string_view data) {
+  const auto state = conn->parser.Feed(data);
+  if (state == HttpRequestParser::State::kComplete) {
+    return DrainParsed(reactor, conn);
   }
+  if (state == HttpRequestParser::State::kError) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response;
+    response.status_code = 400;
+    response.keep_alive = false;
+    response.body = "{\"error\":\"" + conn->parser.error() + "\"}";
+    SendControl(reactor, conn, response);
+    return false;
+  }
+  return true;  // need more bytes
 }
 
-void HttpServer::AcceptAll(Reactor& reactor) {
-  for (;;) {
-    const int fd = ::accept4(reactor.listen_fd, nullptr, nullptr,
-                             SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN or transient error: epoll will re-fire
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto* conn = new Connection(fd, limits_, &reactor);
-    reactor.connections[fd] = conn;
-    accepted_.fetch_add(1, std::memory_order_relaxed);
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      CloseConnection(reactor, conn);
-    }
-  }
-}
-
-void HttpServer::HandleReadable(Reactor& reactor, Connection* conn) {
-  char buf[16384];
-  for (;;) {
-    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
-    if (n > 0) {
-      const auto state =
-          conn->parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
-      if (state == HttpRequestParser::State::kComplete) {
-        if (!DrainParsed(reactor, conn)) return;
-        continue;  // connection still ours: keep reading
-      }
-      if (state == HttpRequestParser::State::kError) {
-        bad_requests_.fetch_add(1, std::memory_order_relaxed);
-        HttpResponse response;
-        response.status_code = 400;
-        response.keep_alive = false;
-        response.body = "{\"error\":\"" + conn->parser.error() + "\"}";
-        WriteDirect(reactor, conn, response);
-        return;
-      }
-      continue;
-    }
-    if (n == 0) {
-      CloseConnection(reactor, conn);  // peer closed
-      return;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    if (errno == EINTR) continue;
+void HttpServer::OnSendDrained(Reactor& reactor, Connection* conn) {
+  if (conn->close_after_send ||
+      stopping_.load(std::memory_order_acquire)) {
     CloseConnection(reactor, conn);
     return;
   }
+  // Serve any pipelined requests buffered while the send was in flight;
+  // only then re-open the receive path.
+  if (!DrainParsed(reactor, conn)) return;
+  reactor.backend->ResumeRecv(conn->io);
 }
 
 bool HttpServer::DrainParsed(Reactor& reactor, Connection* conn) {
@@ -416,7 +433,7 @@ bool HttpServer::DrainParsed(Reactor& reactor, Connection* conn) {
       response.status_code = 400;
       response.keep_alive = false;
       response.body = "{\"error\":\"" + conn->parser.error() + "\"}";
-      WriteDirect(reactor, conn, response);
+      SendControl(reactor, conn, response);
       return false;
     }
     if (state != HttpRequestParser::State::kComplete) return true;
@@ -466,9 +483,9 @@ bool HttpServer::HandleParsedRequest(Reactor& reactor, Connection* conn,
 
   // Mutating route: hand the connection to the worker pool, or shed.  The
   // WorkItem carries a fixed-size copy of the request views; the parser
-  // storage they point into stays untouched (the connection just left
-  // epoll) until the worker pushes its rearm.
-  ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  // storage they point into stays untouched (receive delivery is
+  // suspended) until the worker pushes its rearm.
+  reactor.backend->SuspendRecv(conn->io);
   WorkItem item;
   item.conn = conn;
   item.request = request;
@@ -493,11 +510,32 @@ bool HttpServer::HandleParsedRequest(Reactor& reactor, Connection* conn,
     response.status_code = 503;
     response.keep_alive = false;
     response.body = "{\"error\":\"request queue full; retry with backoff\"}";
-    WriteDirect(reactor, conn, response);
+    SendControl(reactor, conn, response);
     return false;
   }
   queue_cv_.notify_one();
   return false;  // connection now owned by the worker until rearmed
+}
+
+bool HttpServer::FinishSend(Reactor& reactor, Connection* conn,
+                            IoBackend::SendResult result, bool keep_alive) {
+  if (result == IoBackend::SendResult::kError) {
+    CloseConnection(reactor, conn);
+    return false;
+  }
+  if (result == IoBackend::SendResult::kPending) {
+    // Backpressure: no new request is read for this connection while its
+    // response is still leaving — the parser cannot grow unboundedly
+    // behind a reader that never drains.
+    conn->close_after_send = !keep_alive;
+    reactor.backend->SuspendRecv(conn->io);
+    return false;
+  }
+  if (!keep_alive) {
+    CloseConnection(reactor, conn);
+    return false;
+  }
+  return true;
 }
 
 bool HttpServer::ServeInline(Reactor& reactor, Connection* conn,
@@ -533,15 +571,17 @@ bool HttpServer::ServeInline(Reactor& reactor, Connection* conn,
     key = reactor.cache.BuildKey(request);
   }
   if (cacheable) {
-    if (const std::string* wire = reactor.cache.Lookup(*epoch_before, key)) {
+    if (const std::shared_ptr<const std::string>* pinned =
+            reactor.cache.LookupPinned(*epoch_before, key)) {
       // Hit: replay the stored bytes verbatim — no handler, no snapshot
-      // pin, no allocation.
-      const bool write_ok = WriteAll(conn->fd, wire->data(), wire->size());
-      if (!write_ok || !request.keep_alive) {
-        CloseConnection(reactor, conn);
-        return false;
-      }
-      return true;
+      // pin, no allocation.  The entry itself is handed to the backend:
+      // epoll writes from it in place (pinning it only if a tail parks);
+      // io_uring submits it to the ring as-is, so the bytes go from cache
+      // to NIC with zero copies even if the epoch advances mid-send.
+      const std::string& wire = **pinned;
+      return FinishSend(reactor, conn,
+                        reactor.backend->Send(conn->io, wire, {}, pinned),
+                        request.keep_alive);
     }
   }
 
@@ -562,7 +602,11 @@ bool HttpServer::ServeInline(Reactor& reactor, Connection* conn,
   std::string& head = reactor.head_scratch;
   head.clear();
   response.SerializeHeadInto(&head);
-  const bool write_ok = WritevAll(conn->fd, head, response.body);
+  // The scratch buffers are volatile: if the socket cannot take every
+  // byte now, the backend copies the tail before returning (the scratch
+  // is reused by the very next request).
+  const IoBackend::SendResult sent =
+      reactor.backend->Send(conn->io, head, response.body, nullptr);
 
   if (cacheable && response.status_code == 200 &&
       response.keep_alive == request.keep_alive) {
@@ -582,11 +626,7 @@ bool HttpServer::ServeInline(Reactor& reactor, Connection* conn,
     }
   }
 
-  if (!write_ok || !response.keep_alive) {
-    CloseConnection(reactor, conn);
-    return false;
-  }
-  return true;
+  return FinishSend(reactor, conn, sent, response.keep_alive);
 }
 
 void HttpServer::ProcessRearms(Reactor& reactor) {
@@ -595,37 +635,56 @@ void HttpServer::ProcessRearms(Reactor& reactor) {
     std::lock_guard<std::mutex> lock(reactor.rearm_mutex);
     items.swap(reactor.rearms);
   }
-  for (const RearmItem& item : items) {
+  for (RearmItem& item : items) {
     Connection* conn = item.conn;
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-    if (item.close || stopping_.load(std::memory_order_acquire)) {
-      CloseConnection(reactor, conn);
-      continue;
+    if (item.has_pending) {
+      // The worker's nonblocking write left a tail; finish it through the
+      // backend (still delivering the response even when draining).
+      const IoBackend::SendResult sent =
+          reactor.backend->Send(conn->io, item.pending_wire, {}, nullptr);
+      if (sent == IoBackend::SendResult::kError) {
+        CloseConnection(reactor, conn);
+        continue;
+      }
+      if (sent == IoBackend::SendResult::kPending) {
+        conn->close_after_send =
+            item.close || stopping_.load(std::memory_order_acquire);
+        continue;  // receive stays suspended until the send drains
+      }
     }
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = conn->fd;
-    if (::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_ADD, conn->fd, &ev) < 0) {
+    if (item.close || stopping_.load(std::memory_order_acquire)) {
       CloseConnection(reactor, conn);
       continue;
     }
     // Pipelined requests already buffered are served without a read (and
     // may bounce the connection straight back to the worker pool).
-    DrainParsed(reactor, conn);
+    if (!DrainParsed(reactor, conn)) continue;
+    reactor.backend->ResumeRecv(conn->io);
   }
 }
 
 void HttpServer::CloseConnection(Reactor& reactor, Connection* conn) {
-  ::epoll_ctl(reactor.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
-  reactor.connections.erase(conn->fd);
-  ::close(conn->fd);
+  if (conn->io != nullptr) {
+    reactor.backend->Close(conn->io);
+  } else if (conn->fd >= 0) {
+    ::close(conn->fd);
+  }
+  reactor.connections.erase(conn);
   delete conn;
 }
 
-void HttpServer::WriteDirect(Reactor& reactor, Connection* conn,
+void HttpServer::SendControl(Reactor& reactor, Connection* conn,
                              const HttpResponse& response) {
   const std::string wire = response.Serialize();
-  WriteAll(conn->fd, wire.data(), wire.size(), /*timeout_ms=*/1000);
+  const IoBackend::SendResult sent =
+      reactor.backend->Send(conn->io, wire, {}, nullptr);
+  if (sent == IoBackend::SendResult::kPending) {
+    conn->close_after_send = true;
+    reactor.backend->SuspendRecv(conn->io);
+    return;
+  }
+  // Control responses (400/503) always close, drained or failed alike.
   CloseConnection(reactor, conn);
 }
 
@@ -651,16 +710,21 @@ void HttpServer::WorkerLoop() {
 
     head.clear();
     response.SerializeHeadInto(&head);
-    const bool write_ok = WritevAll(item.conn->fd, head, response.body);
+    // Write what the socket takes right now; an unsent tail rides the
+    // rearm back to the owning reactor, whose backend finishes it.
+    RearmItem rearm;
+    rearm.conn = item.conn;
+    const WriteNow wrote =
+        WritevNonblock(item.conn->fd, head, response.body,
+                       &rearm.pending_wire);
+    rearm.has_pending = wrote == WriteNow::kTail;
+    rearm.close = wrote == WriteNow::kError || !response.keep_alive;
 
     // Hand the connection back to its owning reactor for re-arming.
     Reactor* owner = item.conn->owner;
-    RearmItem rearm;
-    rearm.conn = item.conn;
-    rearm.close = !write_ok || !response.keep_alive;
     {
       std::lock_guard<std::mutex> lock(owner->rearm_mutex);
-      owner->rearms.push_back(rearm);
+      owner->rearms.push_back(std::move(rearm));
     }
     const std::uint64_t one = 1;
     [[maybe_unused]] ssize_t n =

@@ -6,18 +6,19 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "server/http.h"
+#include "server/io_backend.h"
 #include "server/response_cache.h"
 
 namespace aqua {
@@ -28,9 +29,14 @@ struct HttpServerOptions {
   /// 0 picks an ephemeral port; read it back with port() after Start().
   std::uint16_t port = 0;
   /// Shared-nothing IO reactors.  Each owns an SO_REUSEPORT listener, an
-  /// epoll instance, a connection registry and a response cache; the
-  /// kernel spreads incoming connections across them by flow hash.
+  /// IO backend (epoll or io_uring), a connection registry and a response
+  /// cache; the kernel spreads incoming connections across them by flow
+  /// hash.
   int reactors = 1;
+  /// Which transport each reactor runs on.  kIoUring falls back to kEpoll
+  /// with a logged warning when the kernel (or the build) lacks support;
+  /// Stats().io_backend reports what is actually running.
+  IoBackendKind io_backend = IoBackendKind::kEpoll;
   /// Handler threads for worker-dispatched (mutating) routes.
   int workers = 4;
   /// Bounded request queue: parsed worker-route requests waiting for a
@@ -41,11 +47,15 @@ struct HttpServerOptions {
   std::size_t queue_capacity = 256;
   std::size_t max_header_bytes = 16 * 1024;
   std::size_t max_body_bytes = 8 * 1024 * 1024;
-  /// Pin reactor i to CPU (i mod online CPUs) via sched_setaffinity, so a
-  /// scaling run measures per-core serving instead of scheduler placement.
-  /// Best effort: a failed pin is ignored (the bench records the mask it
-  /// actually achieved).
+  /// Pin reactor i to CPU (i mod online CPUs) via pthread_setaffinity_np,
+  /// so a scaling run measures per-core serving instead of scheduler
+  /// placement.  Best effort: a failed pin is recorded as unpinned in
+  /// Stats(), not an error.
   bool pin_reactors = false;
+  /// Test hook: SO_SNDBUF (bytes) set on every listener and inherited by
+  /// accepted sockets; 0 keeps the kernel default.  The slow-reader tests
+  /// shrink this to force partial writes on the reactor path.
+  int sndbuf = 0;
   /// Per-reactor response-cache sizing.
   ResponseCacheOptions cache;
 };
@@ -76,21 +86,27 @@ struct RouteOptions {
   std::function<bool(const HttpRequest&, std::string*)> canonical_key;
 };
 
-/// A small epoll-based HTTP/1.1 server, scaled across N shared-nothing
-/// reactors: every reactor owns its own SO_REUSEPORT listener socket,
-/// epoll instance, timer, connection registry and response cache, so the
-/// read path never crosses a thread.  A connection is accepted by exactly
-/// one reactor and lives there: reads, parsing, inline handling, response
-/// writes and keep-alive re-arming all happen on that reactor's thread.
+/// An HTTP/1.1 server scaled across N shared-nothing reactors: every
+/// reactor owns its own SO_REUSEPORT listener socket, IO backend (epoll
+/// readiness loop or io_uring completion ring, selected by
+/// HttpServerOptions::io_backend), wake eventfd, connection registry and
+/// response cache, so the read path never crosses a thread.  A connection
+/// is accepted by exactly one reactor and lives there: reads, parsing,
+/// inline handling, response writes and keep-alive re-arming all happen on
+/// that reactor's thread.
 ///
 /// Read-path (inline) routes run to completion on the reactor — no queue
 /// hop, no cross-thread rearm — and may serve fully cached wire bytes via
-/// the per-reactor ResponseCache.  Mutating routes are handed to a shared
+/// the per-reactor ResponseCache (under io_uring the cache entry's bytes
+/// are submitted to the ring in place: zero copies).  The reactor never
+/// blocks on a slow reader: a short write parks the unsent tail with the
+/// backend (EPOLLOUT rearm / ring resubmission) and receive delivery stays
+/// suspended until it drains.  Mutating routes are handed to a shared
 /// bounded queue consumed by worker threads, which compute the response,
-/// write it back, and return the connection to its owning reactor for
-/// re-arming.  Keep-alive and pipelined requests are supported (a
-/// pipeline may interleave inline and worker requests); chunked uploads
-/// are not.
+/// write what the socket accepts without blocking, and return the
+/// connection (plus any unsent tail) to its owning reactor.  Keep-alive
+/// and pipelined requests are supported (a pipeline may interleave inline
+/// and worker requests); chunked uploads are not.
 ///
 /// Lifecycle: Route(...) then Start(); Shutdown() stops accepting, drains
 /// queued and in-flight requests, then joins every thread (graceful drain
@@ -151,6 +167,10 @@ class HttpServer {
   /// SO_REUSEPORT).
   std::uint16_t port() const { return port_; }
 
+  /// The transport the reactors actually run on (after the io_uring
+  /// availability probe and possible fallback).  Valid after Start().
+  IoBackendKind io_backend() const { return io_backend_actual_; }
+
   /// Graceful drain: stop accepting, answer everything already queued or
   /// in flight, join all threads.  Idempotent; safe from any thread except
   /// a reactor or worker.
@@ -171,6 +191,12 @@ class HttpServer {
     std::int64_t cache_misses = 0;
     std::int64_t cache_bypass = 0;
     std::int64_t cache_invalidations = 0;
+    /// Name of the transport actually running ("epoll" / "io_uring").
+    std::string_view io_backend;
+    /// Reactors whose CPU pin succeeded (0 when pinning is off).
+    int reactors_pinned = 0;
+    /// Transport counters aggregated across all reactors' backends.
+    IoBackend::Stats io;
   };
   ServerStats Stats() const;
 
@@ -194,6 +220,11 @@ class HttpServer {
     /// The reactor that accepted this connection; workers hand it back
     /// here for re-arming.
     Reactor* owner = nullptr;
+    /// Opaque per-connection handle from the reactor's IoBackend.
+    void* io = nullptr;
+    /// Close once the pending backend send drains (write failure-free
+    /// Connection: close, or a control response like 400/503).
+    bool close_after_send = false;
     Connection(int f, const HttpRequestParser::Limits& limits, Reactor* r)
         : fd(f), parser(limits), owner(r) {}
   };
@@ -207,18 +238,27 @@ class HttpServer {
   struct RearmItem {
     Connection* conn = nullptr;
     bool close = false;
+    /// Unsent response tail from the worker's nonblocking write; the
+    /// reactor finishes it through the backend (empty when the worker's
+    /// write completed).
+    std::string pending_wire;
+    bool has_pending = false;
   };
 
   /// One shared-nothing IO reactor (one thread's worth of serving state).
-  struct Reactor {
+  /// Implements IoBackend::Events by forwarding into the server with
+  /// itself as context.
+  struct Reactor : IoBackend::Events {
     HttpServer* server = nullptr;
     std::size_t index = 0;
     int listen_fd = -1;
-    int epoll_fd = -1;
     int event_fd = -1;
+    /// Guarded by rearm_mutex only around the rare in-thread fallback
+    /// swap; effectively reactor-thread-owned.
+    std::unique_ptr<IoBackend> backend;
     std::thread thread;
-    /// Reactor-thread-owned registry of live connections (fd -> conn).
-    std::map<int, Connection*> connections;
+    /// Reactor-thread-owned registry of live connections.
+    std::unordered_set<Connection*> connections;
     /// Connections finished by workers, waiting for this reactor to
     /// re-arm or close them.
     std::mutex rearm_mutex;
@@ -231,39 +271,63 @@ class HttpServer {
     /// writes the wire without touching the allocator.
     HttpResponse response_scratch;
     std::string head_scratch;
+    /// CPU this reactor's thread got pinned to, or -1.
+    std::atomic<int> pinned_cpu{-1};
 
     explicit Reactor(const ResponseCacheOptions& cache_options)
         : cache(cache_options) {}
+
+    void OnAccept(int fd) override { server->OnAccept(*this, fd); }
+    bool OnRecv(void* token, std::string_view data) override {
+      return server->OnRecv(*this, static_cast<Connection*>(token), data);
+    }
+    void OnRecvClosed(void* token) override {
+      server->CloseConnection(*this, static_cast<Connection*>(token));
+    }
+    void OnSendDrained(void* token) override {
+      server->OnSendDrained(*this, static_cast<Connection*>(token));
+    }
+    void OnSendError(void* token) override {
+      server->CloseConnection(*this, static_cast<Connection*>(token));
+    }
+    void OnWake() override { server->ProcessRearms(*this); }
   };
 
   Status StartListener(Reactor& reactor);
   void IoLoop(Reactor& reactor);
-  void AcceptAll(Reactor& reactor);
-  void HandleReadable(Reactor& reactor, Connection* conn);
+  void OnAccept(Reactor& reactor, int fd);
+  bool OnRecv(Reactor& reactor, Connection* conn, std::string_view data);
+  void OnSendDrained(Reactor& reactor, Connection* conn);
   /// Serves every already-parsed request on `conn` (inline routes run to
   /// completion here; a worker route hands the connection off and stops).
-  /// Returns false when the connection left this reactor's ownership
-  /// (closed or dispatched).
+  /// Returns false when receive delivery must stop for now (connection
+  /// closed, dispatched to a worker, or a send parked).
   bool DrainParsed(Reactor& reactor, Connection* conn);
   /// Routes one parsed request: inline handling (with response cache) or
-  /// worker dispatch with 503 shedding.  Returns false when the
-  /// connection left this reactor's ownership.
+  /// worker dispatch with 503 shedding.  Same return convention as
+  /// DrainParsed.
   bool HandleParsedRequest(Reactor& reactor, Connection* conn,
                            HttpRequest request);
-  /// Inline path: cache lookup, handler, write, store.  Returns false
-  /// when the connection must close (write failure or Connection: close).
+  /// Inline path: cache lookup, handler, backend send, store.  Same
+  /// return convention as DrainParsed.
   bool ServeInline(Reactor& reactor, Connection* conn,
                    const RouteEntry* route, bool path_known,
                    const HttpRequest& request);
+  /// Folds a backend Send() result into connection state: closes on error
+  /// or Connection: close, suspends receive while a send is pending.
+  /// Same return convention as DrainParsed.
+  bool FinishSend(Reactor& reactor, Connection* conn,
+                  IoBackend::SendResult result, bool keep_alive);
   void FindRoute(std::string_view method, std::string_view path,
                  const RouteEntry** route, bool* path_known) const;
   void ProcessRearms(Reactor& reactor);
   void CloseConnection(Reactor& reactor, Connection* conn);
-  /// Best-effort synchronous write from the reactor thread (400/503
-  /// paths); always closes the connection.
-  void WriteDirect(Reactor& reactor, Connection* conn,
+  /// Sends a control response (400/503) through the backend and marks the
+  /// connection to close once it drains.
+  void SendControl(Reactor& reactor, Connection* conn,
                    const HttpResponse& response);
-  void BeginDrain(Reactor& reactor);
+  /// True when any connection on this reactor still has a parked send.
+  bool AnyPendingSend(Reactor& reactor) const;
   void WorkerLoop();
 
   HttpServerOptions options_;
@@ -273,6 +337,7 @@ class HttpServer {
   EpochSource epoch_source_;
 
   std::uint16_t port_ = 0;
+  IoBackendKind io_backend_actual_ = IoBackendKind::kEpoll;
   std::vector<std::unique_ptr<Reactor>> reactors_;
   std::vector<std::thread> workers_;
 

@@ -31,6 +31,7 @@
 
 #include <gtest/gtest.h>
 
+#include "server/io_backend.h"
 #include "server/routes.h"
 #include "server/server.h"
 #include "server/serving_engine.h"
@@ -141,7 +142,29 @@ std::string KeepAliveGet(const std::string& target) {
   return "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
 }
 
-TEST(ZeroAllocServing, EveryGetRouteIsAllocationFreeOnceWarm) {
+/// Parameterized over the IO backend so the allocation-free guarantee is
+/// pinned against both transports: epoll (writev + EPOLLOUT parking) and
+/// io_uring (provided-buffer receives, ring-submitted sends).
+class ZeroAllocServing : public ::testing::TestWithParam<IoBackendKind> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == IoBackendKind::kIoUring) {
+      std::string reason;
+      if (!IoUringAvailable(&reason)) {
+        GTEST_SKIP() << "io_uring unavailable: " << reason;
+      }
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    IoBackends, ZeroAllocServing,
+    ::testing::Values(IoBackendKind::kEpoll, IoBackendKind::kIoUring),
+    [](const ::testing::TestParamInfo<IoBackendKind>& info) {
+      return std::string(IoBackendKindName(info.param));
+    });
+
+TEST_P(ZeroAllocServing, EveryGetRouteIsAllocationFreeOnceWarm) {
   // Staleness bounds far beyond the test horizon: after the warm-up
   // queries refresh each snapshot cache once, no refresh (and no epoch
   // advance) happens mid-measurement.  No ingest runs after Start, so the
@@ -171,6 +194,7 @@ TEST(ZeroAllocServing, EveryGetRouteIsAllocationFreeOnceWarm) {
   HttpServerOptions server_options;
   server_options.reactors = 1;
   server_options.workers = 1;
+  server_options.io_backend = GetParam();
   HttpServer server(server_options);
   RegisterServingRoutes(server, engine);
   RegisterCatalogRoutes(server, catalog);
@@ -178,6 +202,7 @@ TEST(ZeroAllocServing, EveryGetRouteIsAllocationFreeOnceWarm) {
   // Deliberately no InstallEpochSource: with caching disabled, every
   // measured request renders cold — the stronger guarantee.
   ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(server.io_backend(), GetParam());
 
   const std::vector<std::string> targets = {
       "/healthz",
@@ -247,6 +272,83 @@ TEST(ZeroAllocServing, EveryGetRouteIsAllocationFreeOnceWarm) {
     EXPECT_EQ(delta, 0) << targets[t] << " allocated " << delta
                         << " times over " << kMeasuredRounds << " requests";
   }
+
+  close(fd);
+  server.Shutdown();
+}
+
+TEST_P(ZeroAllocServing, CachedHitPathIsAllocationFreeOnBothBackends) {
+  // With an epoch source installed, cacheable GETs replay from the
+  // ResponseCache once warm.  On epoll a hit is a hash probe + writev from
+  // the cached wire; on io_uring the hit pins the cache entry's shared_ptr
+  // (a refcount bump, not an allocation) and ring-submits the bytes in
+  // place.  Both must be allocation-free per hit.
+  ServingEngineOptions engine_options;
+  engine_options.shards = 2;
+  engine_options.cache_max_stale_ops =
+      std::numeric_limits<std::int64_t>::max();
+  engine_options.cache_max_stale_interval = std::chrono::hours(24);
+  ServingEngine engine(engine_options);
+  std::vector<Value> values;
+  values.reserve(10000);
+  for (int i = 0; i < 10000; ++i) values.push_back(i % 53);
+  engine.InsertBatch(values);
+
+  HttpServerOptions server_options;
+  server_options.reactors = 1;
+  server_options.workers = 1;
+  server_options.io_backend = GetParam();
+  HttpServer server(server_options);
+  RegisterServingRoutes(server, engine);
+  RegisterQueryRoutes(server, engine, nullptr);
+  InstallEpochSource(server, engine, nullptr);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_EQ(server.io_backend(), GetParam());
+
+  const std::vector<std::string> targets = {
+      "/hotlist?k=5&beta=2.0",
+      "/frequency?value=3",
+      "/count_where?low=0&high=50",
+      "/quantile?q=0.5",
+      "/distinct",
+  };
+  std::vector<std::string> wires;
+  wires.reserve(targets.size());
+  for (const std::string& target : targets) {
+    wires.push_back(KeepAliveGet(target));
+  }
+
+  static char buf[kReadBufferBytes];
+  const int fd = ConnectTo(server.port());
+  ASSERT_GE(fd, 0);
+  constexpr int kWarmRounds = 5;
+  for (int round = 0; round < kWarmRounds; ++round) {
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      ASSERT_EQ(RoundTrip(fd, wires[t], buf), 200) << "warm-up " << targets[t];
+    }
+  }
+
+  const HttpServer::ServerStats warm = server.Stats();
+  constexpr int kMeasuredRounds = 20;
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const std::int64_t before = g_allocations.load(std::memory_order_relaxed);
+    int bad_status = 0;
+    for (int round = 0; round < kMeasuredRounds; ++round) {
+      const int status = RoundTrip(fd, wires[t], buf);
+      if (status != 200 && bad_status == 0) bad_status = status;
+    }
+    const std::int64_t delta =
+        g_allocations.load(std::memory_order_relaxed) - before;
+    EXPECT_EQ(bad_status, 0) << targets[t];
+    EXPECT_EQ(delta, 0) << targets[t] << " allocated " << delta
+                        << " times over " << kMeasuredRounds
+                        << " cached requests";
+  }
+
+  // The measured window really was the hit path.
+  const HttpServer::ServerStats stats = server.Stats();
+  EXPECT_GE(stats.cache_hits - warm.cache_hits,
+            static_cast<std::int64_t>(targets.size()) * kMeasuredRounds);
 
   close(fd);
   server.Shutdown();
