@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "server/cluster.h"
+#include "server/epoch_pump.h"
 #include "server/push_client.h"
 #include "server/routes.h"
 #include "server/server.h"
@@ -76,6 +77,10 @@ struct ServeFlags {
   double preload_alpha = 1.0;
   std::uint64_t preload_seed = 42;
   bool enable_debug = false;
+  // --refresh-mode inline|pump; pump moves every epoch refresh (snapshot
+  // re-merge + view build) onto a background thread per refresh domain.
+  RefreshMode refresh_mode = RefreshMode::kInline;
+  std::int64_t refresh_interval_ms = 20;
   // Cluster mode (--role ingest|aggregator); see src/server/cluster.h.
   ClusterRole role = ClusterRole::kSingle;
   std::string node_id = "node";
@@ -123,6 +128,10 @@ void Usage(const char* argv0) {
       "  --cache-stale-ops N  snapshot refresh after N ingest ops "
       "(default 8192)\n"
       "  --cache-stale-ms N   snapshot refresh after N ms (default 100)\n"
+      "  --refresh-mode M     inline | pump (default inline).  pump runs\n"
+      "                       every epoch refresh on a background thread,\n"
+      "                       so query threads never pay a re-merge\n"
+      "  --refresh-interval-ms N  pump wake cadence (default 20)\n"
       "  --attr NAME[:WEIGHT] serve /attr/NAME/... from the catalog "
       "(repeatable)\n"
       "  --catalog-budget N   total words across all --attr synopses "
@@ -209,6 +218,23 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       const char* v = next();
       if (v == nullptr || !ParseInt64(v, &n) || n < 0) return false;
       flags->engine.cache_max_stale_interval = std::chrono::milliseconds(n);
+    } else if (arg == "--refresh-mode") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      const std::string_view mode(v);
+      if (mode == "inline") {
+        flags->refresh_mode = RefreshMode::kInline;
+      } else if (mode == "pump") {
+        flags->refresh_mode = RefreshMode::kPump;
+      } else {
+        return false;
+      }
+    } else if (arg == "--refresh-interval-ms") {
+      const char* v = next();
+      if (v == nullptr || !ParseInt64(v, &n) || n < 1 || n > 60000) {
+        return false;
+      }
+      flags->refresh_interval_ms = n;
     } else if (arg == "--attr") {
       const char* v = next();
       if (v == nullptr || *v == '\0') return false;
@@ -342,6 +368,12 @@ int ServeMain(int argc, char** argv) {
     return 2;
   }
 
+  const bool pump_mode = flags.refresh_mode == RefreshMode::kPump;
+  // In pump mode the query path must never refresh: warmed Get() serves
+  // the current epoch by pointer copy and only the pump's SettleCaches()
+  // re-merges.
+  flags.engine.external_refresh = pump_mode;
+
   ServingEngine engine(flags.engine);
 
   std::unique_ptr<DeltaAcceptor> acceptor;
@@ -410,6 +442,7 @@ int ServeMain(int argc, char** argv) {
     catalog_options.cache_max_stale_ops = flags.engine.cache_max_stale_ops;
     catalog_options.cache_max_stale_interval =
         flags.engine.cache_max_stale_interval;
+    catalog_options.external_refresh = pump_mode;
     catalog = std::make_unique<SynopsisCatalog>(flags.catalog_budget,
                                                 catalog_options);
     for (const auto& [name, weight] : flags.attrs) {
@@ -434,13 +467,39 @@ int ServeMain(int argc, char** argv) {
                  static_cast<long long>(catalog->budget()));
   }
 
+  // The pump owns one refresh domain per registry: the engine's, plus
+  // each catalog attribute's (a slow attribute merge must not delay the
+  // stream's cadence).  Domains are registered up front; threads spawn
+  // only in pump mode.
+  EpochPumpOptions pump_options;
+  pump_options.interval = std::chrono::milliseconds(flags.refresh_interval_ms);
+  EpochPump pump(pump_options);
+  if (pump_mode) {
+    pump.AddDomain(
+        "stream", [&engine] { return engine.AnyCacheStale(); },
+        [&engine] { engine.SettleCaches(); });
+    if (catalog != nullptr) {
+      for (const auto& [name, weight] : flags.attrs) {
+        const SynopsisRegistry* registry = catalog->registry(name);
+        if (registry == nullptr) continue;
+        pump.AddDomain(
+            name, [registry] { return registry->AnyCacheStale(); },
+            [registry] { registry->SettleCaches(); });
+      }
+    }
+  }
+
   HttpServer server(flags.http);
   RouteConfig routes;
   routes.enable_debug = flags.enable_debug;
   routes.replicator = replicator.get();
+  routes.refresh_mode = flags.refresh_mode;
+  routes.pump = pump_mode ? &pump : nullptr;
   RegisterServingRoutes(server, engine, routes);
-  if (catalog != nullptr) RegisterCatalogRoutes(server, *catalog);
-  RegisterQueryRoutes(server, engine, catalog.get());
+  if (catalog != nullptr) {
+    RegisterCatalogRoutes(server, *catalog, flags.refresh_mode);
+  }
+  RegisterQueryRoutes(server, engine, catalog.get(), flags.refresh_mode);
   if (flags.role != ClusterRole::kSingle) {
     ClusterRouteConfig cluster_routes;
     cluster_routes.role = flags.role;
@@ -448,7 +507,7 @@ int ServeMain(int argc, char** argv) {
     cluster_routes.replicator = replicator.get();
     RegisterClusterRoutes(server, engine, cluster_routes);
   }
-  InstallEpochSource(server, engine, catalog.get());
+  InstallEpochSource(server, engine, catalog.get(), flags.refresh_mode);
   const Status status = server.Start();
   if (!status.ok()) {
     std::fprintf(stderr, "failed to start: %s\n",
@@ -460,6 +519,7 @@ int ServeMain(int argc, char** argv) {
               flags.http.bind_address.c_str(),
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
+  if (pump_mode) pump.Start();
   if (replicator != nullptr) {
     replicator->StartPusher(
         std::chrono::milliseconds(flags.push_interval_ms),
@@ -469,6 +529,7 @@ int ServeMain(int argc, char** argv) {
   int sig = 0;
   sigwait(&sigs, &sig);
   std::fprintf(stderr, "signal %d: draining\n", sig);
+  pump.Stop();
   if (replicator != nullptr) {
     replicator->StopPusher();
     // Best-effort final flush so a graceful stop ships everything the node

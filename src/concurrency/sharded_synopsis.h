@@ -1,11 +1,13 @@
 #ifndef AQUA_CONCURRENCY_SHARDED_SYNOPSIS_H_
 #define AQUA_CONCURRENCY_SHARDED_SYNOPSIS_H_
 
+#include <algorithm>
 #include <atomic>
 #include <concepts>
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -54,6 +56,24 @@ concept PrehashedBatchInsertable =
 template <typename S>
 concept PrehashEager =
     PrehashedBatchInsertable<S> && requires { requires S::kHashesEveryInsert; };
+
+/// How one SnapshotDelta() call covered the shard set: how many shards were
+/// served from the retained base versus merged individually, and whether
+/// the base had to be discarded (a full rebuild).  Non-template so callers
+/// can aggregate across synopsis types.
+struct ShardedDeltaStats {
+  std::size_t total_shards = 0;
+  /// Dirty shards copied and merged individually this call.
+  std::size_t merged_shards = 0;
+  /// Quiescent shards covered by the retained base (no copy, no merge).
+  std::size_t base_shards = 0;
+  /// True when no valid base existed (first call, or an in-base shard
+  /// mutated) and every shard was re-merged from scratch.
+  bool full_rebuild = false;
+  /// merged_shards / total_shards — the fraction of the shard set that had
+  /// to be re-merged.
+  double delta_fraction = 1.0;
+};
 
 /// How a ShardedSynopsis assigns stream operations to shards.
 enum class ShardRouting {
@@ -131,6 +151,7 @@ class ShardedSynopsis {
                                   : NextShard();
     Shard& shard = *shards_[index];
     std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.version.fetch_add(1, std::memory_order_relaxed);
     shard.synopsis.Insert(value);
   }
 
@@ -165,6 +186,7 @@ class ShardedSynopsis {
         HashBatch(values, scratch.hashes.data());
         Shard& shard = *shards_[index];
         std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.version.fetch_add(1, std::memory_order_relaxed);
         shard.synopsis.InsertBatchPrehashed(values, scratch.hashes);
       } else {
         InsertBatchToShard(index, values);
@@ -180,6 +202,7 @@ class ShardedSynopsis {
                                          end - begin);
       Shard& shard = *shards_[s];
       std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.version.fetch_add(1, std::memory_order_relaxed);
       if constexpr (PrehashedBatchInsertable<S>) {
         shard.synopsis.InsertBatchPrehashed(
             group, std::span<const std::uint64_t>(
@@ -196,6 +219,7 @@ class ShardedSynopsis {
   void InsertBatchToShard(std::size_t index, std::span<const Value> values) {
     Shard& shard = *shards_[index];
     std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.version.fetch_add(1, std::memory_order_relaxed);
     if constexpr (BatchInsertable<S>) {
       shard.synopsis.InsertBatch(values);
     } else {
@@ -217,6 +241,7 @@ class ShardedSynopsis {
     }
     Shard& shard = *shards_[ShardForValue(value)];
     std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.version.fetch_add(1, std::memory_order_relaxed);
     return shard.synopsis.Delete(value);
   }
 
@@ -273,6 +298,133 @@ class ShardedSynopsis {
     return merged;
   }
 
+  /// Caller-retained state for SnapshotDelta(): a base synopsis covering
+  /// the shards that have been quiescent for at least one whole refresh
+  /// window, plus the per-shard versions needed to detect quiescence and
+  /// base staleness.  One DeltaState belongs to one refresher; calls
+  /// sharing a state must be externally serialized (the registry handle's
+  /// refresh mutex already does this).
+  struct DeltaState {
+    std::optional<S> base;
+    std::vector<std::uint64_t> base_versions;
+    std::vector<char> in_base;
+    std::vector<std::uint64_t> last_versions;
+    std::vector<std::uint64_t> scratch_versions;
+    std::uint64_t base_seq = 0;
+    bool has_last = false;
+  };
+
+  /// Snapshot() with a retained base: shards whose version did not move
+  /// across a whole refresh window are folded into `state.base` once, and
+  /// later calls merge only the shards that mutated since — O(dirty)
+  /// shard copies + merges instead of O(N).  If an in-base shard mutates,
+  /// the base is discarded and this call degrades to a full re-merge
+  /// (stats->full_rebuild); hot shards therefore never enter the base and
+  /// are merged fresh every call.
+  ///
+  /// Same consistency contract as Snapshot(): each shard copy is taken
+  /// under its own lock, shards are not frozen relative to each other, and
+  /// an in-base shard that mutates *between* the validity check and the
+  /// merge only makes this snapshot trail by those in-flight ops — the
+  /// next call observes the version change and rebuilds.  The merged
+  /// result and the base each draw from their own SplitMix64-derived
+  /// streams, so repeated snapshots stay statistically independent exactly
+  /// as with Snapshot().
+  Result<S> SnapshotDelta(DeltaState& state,
+                          ShardedDeltaStats* stats = nullptr) const
+    requires Mergeable<S> && Reseedable<S> && std::copy_constructible<S>
+  {
+    const std::size_t n = shards_.size();
+    if (state.base_versions.size() != n) {
+      state.base.reset();
+      state.base_versions.assign(n, 0);
+      state.in_base.assign(n, 0);
+      state.last_versions.assign(n, 0);
+      state.has_last = false;
+    }
+    state.scratch_versions.resize(n);
+    // Conservative base validity check: any in-base shard whose version
+    // moved since it was folded invalidates the whole base (a merge is not
+    // reversible, so one stale contribution poisons the sum).
+    bool base_valid = state.base.has_value();
+    if (base_valid) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (state.in_base[i] != 0 &&
+            shards_[i]->version.load(std::memory_order_relaxed) !=
+                state.base_versions[i]) {
+          base_valid = false;
+          break;
+        }
+      }
+    }
+    if (!base_valid) {
+      state.base.reset();
+      std::fill(state.in_base.begin(), state.in_base.end(), char{0});
+    }
+
+    std::optional<S> merged;
+    if (base_valid) {
+      merged.emplace(*state.base);
+      std::uint64_t sm =
+          kSnapshotSeedTag ^
+          snapshot_seq_.fetch_add(1, std::memory_order_relaxed);
+      merged->Reseed(SplitMix64Next(sm));
+    }
+    std::size_t merged_shards = 0;
+    std::size_t base_shards = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (base_valid && state.in_base[i] != 0) {
+        // Covered by the base; its version cannot have moved (checked
+        // above, and any later movement is the documented trailing race).
+        state.scratch_versions[i] = state.base_versions[i];
+        ++base_shards;
+        continue;
+      }
+      std::uint64_t version = 0;
+      const S shard_copy = CopyShardVersioned(i, &version);
+      state.scratch_versions[i] = version;
+      if (!merged.has_value()) {
+        merged.emplace(shard_copy);
+        std::uint64_t sm =
+            kSnapshotSeedTag ^
+            snapshot_seq_.fetch_add(1, std::memory_order_relaxed);
+        merged->Reseed(SplitMix64Next(sm));
+      } else {
+        AQUA_RETURN_NOT_OK(merged->MergeFrom(shard_copy));
+      }
+      ++merged_shards;
+      // Quiescent across the previous whole window: fold into the base so
+      // the next call skips this shard.  A shard folds only after one full
+      // window with no mutation, so hot shards never churn the base.
+      if (state.has_last && version == state.last_versions[i]) {
+        if (!state.base.has_value()) {
+          state.base.emplace(shard_copy);
+          std::uint64_t sm = kDeltaBaseSeedTag ^ state.base_seq++;
+          state.base->Reseed(SplitMix64Next(sm));
+        } else {
+          AQUA_RETURN_NOT_OK(state.base->MergeFrom(shard_copy));
+        }
+        state.in_base[i] = 1;
+        state.base_versions[i] = version;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      state.last_versions[i] = state.scratch_versions[i];
+    }
+    state.has_last = true;
+    if (stats != nullptr) {
+      stats->total_shards = n;
+      stats->merged_shards = merged_shards;
+      stats->base_shards = base_shards;
+      stats->full_rebuild = !base_valid;
+      stats->delta_fraction =
+          n == 0 ? 0.0
+                 : static_cast<double>(merged_shards) /
+                       static_cast<double>(n);
+    }
+    return std::move(*merged);
+  }
+
   /// Runs `fn(const S&)` on one shard under its lock (tests, maintenance).
   template <typename Fn>
   auto WithShard(std::size_t index, Fn&& fn) const {
@@ -289,7 +441,13 @@ class ShardedSynopsis {
   auto WithShardMutable(std::size_t index, Fn&& fn) {
     Shard& shard = *shards_[index];
     std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.version.fetch_add(1, std::memory_order_relaxed);
     return fn(static_cast<S&>(shard.synopsis));
+  }
+
+  /// Current mutation version of one shard (tests, diagnostics).
+  std::uint64_t ShardVersion(std::size_t index) const {
+    return shards_[index]->version.load(std::memory_order_relaxed);
   }
 
  private:
@@ -297,14 +455,32 @@ class ShardedSynopsis {
   struct alignas(64) Shard {
     explicit Shard(S s) : synopsis(std::move(s)) {}
     mutable std::mutex mutex;
+    /// Bumped under `mutex` by every mutating entry point; SnapshotDelta
+    /// compares versions across calls to find shards that went quiescent
+    /// (fold into the retained base) or dirtied an in-base shard (discard
+    /// the base).  Loaded without the lock only for the conservative base
+    /// validity check.
+    std::atomic<std::uint64_t> version{0};
     S synopsis;
   };
 
   static constexpr std::uint64_t kSnapshotSeedTag = 0x5a45b07c0de5eedULL;
+  /// The retained base's stream must be independent of both the shards'
+  /// streams (it starts as a shard copy) and the merged snapshots'.
+  static constexpr std::uint64_t kDeltaBaseSeedTag = 0x9d3c0b1a5eedba5eULL;
 
   S CopyShard(std::size_t index) const {
     const Shard& shard = *shards_[index];
     std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.synopsis;
+  }
+
+  /// CopyShard that also captures the shard's version under the same lock,
+  /// so the (copy, version) pair is consistent.
+  S CopyShardVersioned(std::size_t index, std::uint64_t* version) const {
+    const Shard& shard = *shards_[index];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    *version = shard.version.load(std::memory_order_relaxed);
     return shard.synopsis;
   }
 

@@ -1,9 +1,13 @@
 #ifndef AQUA_CONCURRENCY_SNAPSHOT_CACHE_H_
 #define AQUA_CONCURRENCY_SNAPSHOT_CACHE_H_
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -22,8 +26,23 @@ struct SnapshotCacheStats {
   /// Snapshot rebuilds (inline or via Refresh()).
   std::int64_t refreshes = 0;
   /// Get() calls that observed staleness but served the previous epoch
-  /// because another thread was already refreshing.
+  /// because another thread was already refreshing (or, in external
+  /// refresh mode, because Get() never refreshes a warmed cache).
   std::int64_t stale_served = 0;
+  /// Rebuilds triggered inline by a query thread's Get().
+  std::int64_t inline_refreshes = 0;
+  /// Rebuilds triggered by an explicit Refresh() call (maintenance
+  /// threads, the epoch pump).
+  std::int64_t external_refreshes = 0;
+  /// Rebuild attempts whose refresher returned an error.  A failure with
+  /// a previous epoch in place is survivable (the old epoch keeps
+  /// serving) but was previously invisible; it now counts here and emits
+  /// a rate-limited log line.
+  std::int64_t refresh_failures = 0;
+  /// Refresh (build + publish) latency percentiles over the most recent
+  /// successful rebuilds (a fixed-size ring); 0 before the first refresh.
+  std::int64_t refresh_ns_p50 = 0;
+  std::int64_t refresh_ns_p99 = 0;
 };
 
 /// Epoch-cached synopsis snapshots for the query path.
@@ -80,6 +99,12 @@ class SnapshotCache {
     /// time).
     std::chrono::nanoseconds max_stale_interval =
         std::chrono::milliseconds(100);
+    /// When true, refresh is owned by an external maintenance thread (the
+    /// epoch pump): a stale Get() on a warmed cache serves the current
+    /// epoch unconditionally — a pointer copy, never a re-merge — and only
+    /// Refresh() rebuilds.  The first Get() with no snapshot at all still
+    /// builds inline (bootstrap), so cold callers never observe null.
+    bool external_refresh = false;
   };
 
   using CacheStats = SnapshotCacheStats;
@@ -112,18 +137,27 @@ class SnapshotCache {
       return current;
     }
     if (current == nullptr) {
-      // First snapshot: every caller must block until one exists.
+      // First snapshot: every caller must block until one exists (even in
+      // external refresh mode — serving null is worse than one inline
+      // bootstrap build).
       std::lock_guard<std::mutex> lock(refresh_mutex_);
       current = LoadCurrent();
       if (current == nullptr || IsStaleAt(&now)) {
-        AQUA_RETURN_NOT_OK(RefreshLocked());
+        AQUA_RETURN_NOT_OK(RefreshLocked(/*external=*/false));
       }
+    } else if (options_.external_refresh) {
+      // Refresh belongs to the pump; a stale warmed Get() is a pointer
+      // copy of the current epoch, nothing more.
+      stale_served_.fetch_add(1, std::memory_order_relaxed);
+      return current;
     } else if (refresh_mutex_.try_lock()) {
       std::lock_guard<std::mutex> lock(refresh_mutex_, std::adopt_lock);
       if (IsStaleAt(&now)) {
-        const Status status = RefreshLocked();
+        const Status status = RefreshLocked(/*external=*/false);
         // A failed re-merge is not fatal while a previous epoch exists:
-        // serve it (still within one failed refresh of the bound).
+        // serve it (still within one failed refresh of the bound).  The
+        // failure is surfaced via refresh_failures and the rate-limited
+        // log inside RefreshLocked.
         if (!status.ok() && LoadCurrent() == nullptr) {
           return status;
         }
@@ -135,10 +169,10 @@ class SnapshotCache {
   }
 
   /// Forces a rebuild and epoch swap regardless of staleness (maintenance
-  /// threads, tests).
+  /// threads, the epoch pump, tests).
   Status Refresh() const {
     std::lock_guard<std::mutex> lock(refresh_mutex_);
-    return RefreshLocked();
+    return RefreshLocked(/*external=*/true);
   }
 
   /// Current epoch's snapshot without any refresh; null before the first
@@ -161,6 +195,32 @@ class SnapshotCache {
     stats.hits = hits_.load(std::memory_order_relaxed);
     stats.refreshes = refreshes_.load(std::memory_order_relaxed);
     stats.stale_served = stale_served_.load(std::memory_order_relaxed);
+    stats.inline_refreshes =
+        inline_refreshes_.load(std::memory_order_relaxed);
+    stats.external_refreshes =
+        external_refreshes_.load(std::memory_order_relaxed);
+    stats.refresh_failures =
+        refresh_failures_.load(std::memory_order_relaxed);
+    // Percentiles over the ring's recorded samples; stack-only (the stats
+    // path must not allocate).
+    const std::uint64_t recorded =
+        refresh_ns_count_.load(std::memory_order_relaxed);
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(recorded, kRefreshRingSize));
+    if (n > 0) {
+      std::array<std::int64_t, kRefreshRingSize> sorted;
+      for (std::size_t i = 0; i < n; ++i) {
+        sorted[i] = refresh_ns_ring_[i].load(std::memory_order_relaxed);
+      }
+      const std::size_t p50 = (n - 1) / 2;
+      const std::size_t p99 = std::min(n - 1, (n * 99) / 100);
+      std::nth_element(sorted.begin(), sorted.begin() + p50,
+                       sorted.begin() + n);
+      stats.refresh_ns_p50 = sorted[p50];
+      std::nth_element(sorted.begin(), sorted.begin() + p99,
+                       sorted.begin() + n);
+      stats.refresh_ns_p99 = sorted[p99];
+    }
     return stats;
   }
 
@@ -202,24 +262,55 @@ class SnapshotCache {
   /// Builds the next epoch off to the side, then publishes it with one
   /// pointer swap.  Caller holds refresh_mutex_; ptr_mutex_ is taken only
   /// around the swap itself, never across the merge.
-  Status RefreshLocked() const {
+  Status RefreshLocked(bool external) const {
     // Sampled *before* the merge: ops that land while the merge runs stay
     // in the counter and count toward the next staleness window.
     const std::int64_t ops_before =
         ops_since_refresh_.load(std::memory_order_relaxed);
+    const std::int64_t build_start = NowNs();
     Result<S> merged = refresher_();
-    if (!merged.ok()) return merged.status();
+    if (!merged.ok()) {
+      RecordRefreshFailure(merged.status());
+      return merged.status();
+    }
     auto next = std::make_shared<const S>(std::move(merged).ValueOrDie());
     {
       std::lock_guard<std::mutex> lock(ptr_mutex_);
       current_.swap(next);
     }
     next.reset();  // old epoch's last owner may be a pinned reader, not us
+    const std::int64_t done = NowNs();
     ops_since_refresh_.fetch_sub(ops_before, std::memory_order_relaxed);
-    last_refresh_ns_.store(NowNs(), std::memory_order_relaxed);
+    last_refresh_ns_.store(done, std::memory_order_relaxed);
     epoch_.fetch_add(1, std::memory_order_release);
     refreshes_.fetch_add(1, std::memory_order_relaxed);
+    if (external) {
+      external_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      inline_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::uint64_t slot =
+        refresh_ns_count_.fetch_add(1, std::memory_order_relaxed) %
+        kRefreshRingSize;
+    refresh_ns_ring_[slot].store(done - build_start,
+                                 std::memory_order_relaxed);
     return Status::OK();
+  }
+
+  /// Counts the failure and logs it at most once per second — a refresher
+  /// that fails every window must not flood stderr, but a silent
+  /// always-stale cache is a production incident nobody can see.
+  void RecordRefreshFailure(const Status& status) const {
+    refresh_failures_.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t now = NowNs();
+    std::int64_t last = last_failure_log_ns_.load(std::memory_order_relaxed);
+    constexpr std::int64_t kLogIntervalNs = 1'000'000'000;
+    if (now - last >= kLogIntervalNs &&
+        last_failure_log_ns_.compare_exchange_strong(
+            last, now, std::memory_order_relaxed)) {
+      std::fprintf(stderr, "aqua: snapshot refresh failed: %s\n",
+                   status.message().c_str());
+    }
   }
 
   Refresher refresher_;
@@ -236,6 +327,17 @@ class SnapshotCache {
   mutable std::atomic<std::int64_t> hits_{0};
   mutable std::atomic<std::int64_t> refreshes_{0};
   mutable std::atomic<std::int64_t> stale_served_{0};
+  mutable std::atomic<std::int64_t> inline_refreshes_{0};
+  mutable std::atomic<std::int64_t> external_refreshes_{0};
+  mutable std::atomic<std::int64_t> refresh_failures_{0};
+  mutable std::atomic<std::int64_t> last_failure_log_ns_{0};
+
+  /// Latency ring over the most recent successful refreshes; sized so the
+  /// Stats() percentile pass fits on the stack.
+  static constexpr std::size_t kRefreshRingSize = 64;
+  mutable std::array<std::atomic<std::int64_t>, kRefreshRingSize>
+      refresh_ns_ring_{};
+  mutable std::atomic<std::uint64_t> refresh_ns_count_{0};
 };
 
 }  // namespace aqua

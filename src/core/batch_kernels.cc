@@ -145,6 +145,99 @@ void HashBatchImpl(const Value* values, std::size_t n, std::uint64_t* hashes) {
 
 #endif
 
+// The prefix kernels load ValueCount pairs as raw 64-bit lanes.
+static_assert(sizeof(ValueCount) == 2 * sizeof(std::int64_t),
+              "ValueCount must be a packed {value, count} pair");
+
+#if defined(AQUA_KERNEL_AVX2)
+
+// Four counts per iteration: deinterleave counts out of the {value, count}
+// pairs, run an in-register Hillis–Steele scan across the 4 lanes, add the
+// running carry, store prefix[i+1 .. i+4].  Integer adds reassociate
+// exactly, so the result matches the scalar loop bit-for-bit.
+void ExclusivePrefixCountsImpl(const ValueCount* entries, std::size_t n,
+                               std::int64_t* prefix) {
+  prefix[0] = 0;
+  std::size_t i = 0;
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i carry = zero;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i e01 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(entries + i));
+    const __m256i e23 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(entries + i + 2));
+    // unpackhi within 128-bit halves gives [c0, c2, c1, c3]; permute to
+    // stream order [c0, c1, c2, c3].
+    __m256i x = _mm256_permute4x64_epi64(_mm256_unpackhi_epi64(e01, e23),
+                                         _MM_SHUFFLE(3, 1, 2, 0));
+    // Scan step 1: lane i += lane i-1 (lane 0 adds 0).
+    __m256i s1 = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(2, 1, 0, 0));
+    s1 = _mm256_blend_epi32(s1, zero, 0x03);
+    x = _mm256_add_epi64(x, s1);
+    // Scan step 2: lane i += lane i-2 (lanes 0,1 add 0).
+    __m256i s2 = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(1, 0, 1, 0));
+    s2 = _mm256_blend_epi32(s2, zero, 0x0F);
+    x = _mm256_add_epi64(x, s2);
+    x = _mm256_add_epi64(x, carry);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(prefix + i + 1), x);
+    carry = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  for (; i < n; ++i) prefix[i + 1] = prefix[i] + entries[i].count;
+}
+
+#elif defined(AQUA_KERNEL_SSE2)
+
+void ExclusivePrefixCountsImpl(const ValueCount* entries, std::size_t n,
+                               std::int64_t* prefix) {
+  prefix[0] = 0;
+  std::size_t i = 0;
+  __m128i carry = _mm_setzero_si128();
+  for (; i + 2 <= n; i += 2) {
+    const __m128i e0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(entries + i));
+    const __m128i e1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(entries + i + 1));
+    __m128i x = _mm_unpackhi_epi64(e0, e1);          // [c0, c1]
+    x = _mm_add_epi64(x, _mm_slli_si128(x, 8));      // [c0, c0+c1]
+    x = _mm_add_epi64(x, carry);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(prefix + i + 1), x);
+    carry = _mm_unpackhi_epi64(x, x);                // broadcast the total
+  }
+  for (; i < n; ++i) prefix[i + 1] = prefix[i] + entries[i].count;
+}
+
+#elif defined(AQUA_KERNEL_NEON)
+
+void ExclusivePrefixCountsImpl(const ValueCount* entries, std::size_t n,
+                               std::int64_t* prefix) {
+  prefix[0] = 0;
+  std::size_t i = 0;
+  int64x2_t carry = vdupq_n_s64(0);
+  for (; i + 2 <= n; i += 2) {
+    // vld2 deinterleaves the pairs: val[0] = values, val[1] = counts.
+    const int64x2x2_t de =
+        vld2q_s64(reinterpret_cast<const std::int64_t*>(entries + i));
+    int64x2_t x = de.val[1];                          // [c0, c1]
+    x = vaddq_s64(x, vextq_s64(vdupq_n_s64(0), x, 1));  // [c0, c0+c1]
+    x = vaddq_s64(x, carry);
+    vst1q_s64(prefix + i + 1, x);
+    carry = vdupq_n_s64(vgetq_lane_s64(x, 1));
+  }
+  for (; i < n; ++i) prefix[i + 1] = prefix[i] + entries[i].count;
+}
+
+#else  // AQUA_KERNEL_SCALAR
+
+void ExclusivePrefixCountsImpl(const ValueCount* entries, std::size_t n,
+                               std::int64_t* prefix) {
+  prefix[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + entries[i].count;
+  }
+}
+
+#endif
+
 }  // namespace
 
 std::string_view BatchKernelName() {
@@ -161,6 +254,11 @@ std::string_view BatchKernelName() {
 
 void HashBatch(std::span<const Value> values, std::uint64_t* hashes) {
   HashBatchImpl(values.data(), values.size(), hashes);
+}
+
+void ExclusivePrefixCounts(std::span<const ValueCount> entries,
+                           std::int64_t* prefix) {
+  ExclusivePrefixCountsImpl(entries.data(), entries.size(), prefix);
 }
 
 void RouteFromHashes(std::span<const std::uint64_t> hashes,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/value_count.h"
 
 namespace aqua {
 
@@ -64,6 +65,17 @@ struct ShardPartitionScratch {
 /// the sharded batch path stays draw-for-draw equivalent.
 void PartitionByShard(std::span<const Value> values, std::size_t num_shards,
                       ShardPartitionScratch& scratch);
+
+/// Exclusive prefix sums over entry counts: prefix[0] = 0,
+/// prefix[i + 1] = prefix[i] + entries[i].count.  `prefix` must have room
+/// for entries.size() + 1 results.  This is FrozenView's per-epoch prefix
+/// rebuild — O(m) with the additions running vector-width (an in-register
+/// scan plus a carried running total per chunk), and the dominant linear
+/// cost of an incremental view patch once the sorts are amortized away.
+/// Integer addition is associative, so every leg is bit-identical to the
+/// scalar loop.
+void ExclusivePrefixCounts(std::span<const ValueCount> entries,
+                           std::int64_t* prefix);
 
 /// Chunk size used by the samples' internal batch loops: big enough to
 /// amortize the kernel call, small enough that the hash scratch stays in L1.

@@ -65,6 +65,9 @@ SynopsisDescriptor<ReservoirSample> TraditionalSampleDescriptor(
   descriptor.view_builder = [](const ReservoirSample& sample) {
     return BuildTraditionalView(sample);
   };
+  descriptor.spec_builder = [](const ReservoirSample& sample) {
+    return BuildTraditionalViewSpec(sample);
+  };
   descriptor.encode = [](const ReservoirSample& sample) {
     return EncodeSnapshot(sample);
   };
@@ -121,6 +124,9 @@ SynopsisDescriptor<ConciseSample> ConciseSampleDescriptor(
   descriptor.view_builder = [](const ConciseSample& sample) {
     return BuildConciseView(sample);
   };
+  descriptor.spec_builder = [](const ConciseSample& sample) {
+    return BuildConciseViewSpec(sample);
+  };
   descriptor.encode = [](const ConciseSample& sample) {
     return EncodeSnapshot(sample);
   };
@@ -165,6 +171,9 @@ SynopsisDescriptor<CountingSample> CountingSampleDescriptor(
   descriptor.view_builder = [](const CountingSample& sample) {
     return BuildCountingView(sample);
   };
+  descriptor.spec_builder = [](const CountingSample& sample) {
+    return BuildCountingViewSpec(sample);
+  };
   descriptor.encode = [](const CountingSample& sample) {
     return EncodeSnapshot(sample);
   };
@@ -201,6 +210,9 @@ SynopsisDescriptor<FlajoletMartin> DistinctSketchDescriptor(int num_maps) {
   };
   descriptor.view_builder = [](const FlajoletMartin& sketch) {
     return BuildDistinctSketchView(sketch);
+  };
+  descriptor.spec_builder = [](const FlajoletMartin& sketch) {
+    return BuildDistinctSketchViewSpec(sketch);
   };
   return descriptor;
 }

@@ -306,6 +306,7 @@ void SynopsisRegistry::GetStatsInto(RegistryStats* out) const {
     s.cache = handle->CacheStats();
     s.has_view = handle->HasView();
     s.view_build_ns = handle->ViewBuildNs();
+    s.refresh = handle->GetRefreshProfile();
   }
   for (int kind = 0; kind < kNumQueryKinds; ++kind) {
     PlannerKindStats& p = out->planner[kind];

@@ -33,6 +33,9 @@ struct SynopsisHandleStats {
   /// its build added to the refresh.
   bool has_view = false;
   std::int64_t view_build_ns = 0;
+  /// Incremental-refresh observability: delta merges, view patches, and
+  /// the most recent delta fractions (see RefreshProfile).
+  RefreshProfile refresh;
 };
 
 /// Per-kind planner observability: what an unbounded query of this kind
@@ -90,6 +93,10 @@ class SynopsisRegistry {
     std::int64_t cache_max_stale_ops = 8192;
     std::chrono::nanoseconds cache_max_stale_interval =
         std::chrono::milliseconds(100);
+    /// Hand refresh ownership to an external epoch pump (--refresh-mode
+    /// pump): query-thread Get() never re-merges a warmed cache; the pump
+    /// calls SettleCaches() on its own thread instead.
+    bool external_refresh = false;
   };
 
   explicit SynopsisRegistry(const Options& options) : options_(options) {
@@ -142,6 +149,7 @@ class SynopsisRegistry {
     handle_options.cache_max_stale_ops = options_.cache_max_stale_ops;
     handle_options.cache_max_stale_interval =
         options_.cache_max_stale_interval;
+    handle_options.external_refresh = options_.external_refresh;
     auto typed = std::make_unique<TypedSynopsisHandle<S>>(
         std::move(descriptor), handle_options);
     IndexHandle(typed.get());

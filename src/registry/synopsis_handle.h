@@ -17,6 +17,25 @@
 
 namespace aqua {
 
+/// Incremental-refresh observability for one handle: how the dirty-shard
+/// delta merges and the view patch builds have been going.  All zeros /
+/// defaults for unsynchronized handles.
+struct RefreshProfile {
+  /// Snapshot re-merges that could not reuse the retained base (first
+  /// refresh, or an in-base shard mutated).
+  std::int64_t full_rebuilds = 0;
+  /// Snapshot re-merges served from the retained base + dirty deltas.
+  std::int64_t incremental_rebuilds = 0;
+  /// Dirty-shard fraction of the most recent re-merge (1.0 = everything).
+  double last_delta_fraction = 1.0;
+  /// View builds that sorted the full entry set vs patched the previous
+  /// epoch's orderings.
+  std::int64_t view_full_builds = 0;
+  std::int64_t view_patched_builds = 0;
+  /// Entry-churn fraction the most recent view build absorbed.
+  double last_view_delta_fraction = 1.0;
+};
+
 /// Type-erased ownership of one synopsis inside a SynopsisRegistry.
 ///
 /// A handle wraps a concrete synopsis type together with its declared
@@ -134,6 +153,9 @@ class SynopsisHandle {
   /// unsynchronized handles and synopses without a view builder.
   virtual bool HasView() const = 0;
   virtual std::int64_t ViewBuildNs() const = 0;
+
+  /// Incremental-refresh observability (see RefreshProfile).
+  virtual RefreshProfile GetRefreshProfile() const = 0;
 };
 
 }  // namespace aqua

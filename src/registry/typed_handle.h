@@ -107,6 +107,13 @@ struct SynopsisDescriptor {
   /// serves answer from it instead of the answer functions.
   /// Unsynchronized handles ignore it (no epoch to amortize over).
   std::function<FrozenView(const S&)> view_builder;
+  /// Optional Spec-producing half of the view builder (the Build*ViewSpec
+  /// functions).  When set it takes precedence over `view_builder`: the
+  /// handle hands the Spec to FrozenView's delta-patch constructor
+  /// together with the previous epoch's view, so successive epochs reuse
+  /// the previous orderings instead of re-sorting — O(m + d log d) per
+  /// refresh, bit-identical to the full build.
+  std::function<FrozenView::Spec(const S&)> spec_builder;
   /// Optional persist codec (persist/snapshot.h-style byte format).
   std::function<std::vector<std::uint8_t>(const S&)> encode;
   std::function<Result<S>(const std::vector<std::uint8_t>&, std::uint64_t)>
@@ -142,6 +149,9 @@ struct HandleOptions {
   std::int64_t cache_max_stale_ops = 8192;
   std::chrono::nanoseconds cache_max_stale_interval =
       std::chrono::milliseconds(100);
+  /// Hand refresh ownership to an external epoch pump: query-thread Get()
+  /// never re-merges a warmed cache (see SnapshotCache::Options).
+  bool external_refresh = false;
 };
 
 /// One epoch's published state: the merged snapshot plus the read-optimized
@@ -155,6 +165,9 @@ struct EpochState {
   std::optional<FrozenView> view;
   /// Wall time the view build added to this epoch's refresh (0: no view).
   std::int64_t view_build_ns = 0;
+  /// True when the view was patched from the previous epoch's orderings
+  /// instead of fully rebuilt.
+  bool view_patched = false;
 };
 
 /// The AnswerSource a TypedSynopsisHandle pins: a snapshot (or live
@@ -280,7 +293,8 @@ class TypedSynopsisHandle final : public SynopsisHandle {
     }
     const typename SnapshotCache<EpochState<S>>::Options cache_options{
         .max_stale_ops = options.cache_max_stale_ops,
-        .max_stale_interval = options.cache_max_stale_interval};
+        .max_stale_interval = options.cache_max_stale_interval,
+        .external_refresh = options.external_refresh};
     if constexpr (ShardableSynopsis<S>) {
       caps_.sharded = true;
       // Deletes that must apply exactly need every op on a value to reach
@@ -296,7 +310,15 @@ class TypedSynopsisHandle final : public SynopsisHandle {
           routing);
       cache_ = std::make_unique<SnapshotCache<EpochState<S>>>(
           [this]() -> Result<EpochState<S>> {
-            AQUA_ASSIGN_OR_RETURN(S merged, sharded_->Snapshot());
+            // Dirty-shard delta merge: quiescent shards fold into a
+            // retained base so successive refreshes copy+merge only the
+            // shards that actually mutated.  The refresher runs under the
+            // cache's refresh mutex, which is what makes the mutable
+            // delta_state_ safe without extra locking.
+            ShardedDeltaStats delta_stats;
+            AQUA_ASSIGN_OR_RETURN(
+                S merged, sharded_->SnapshotDelta(delta_state_, &delta_stats));
+            NoteDeltaStats(delta_stats);
             return FreezeEpoch(std::move(merged));
           },
           cache_options);
@@ -589,7 +611,11 @@ class TypedSynopsisHandle final : public SynopsisHandle {
 
   void SettleCache() const override {
     if (valid() && cache_ != nullptr && cache_->IsStale()) {
-      (void)cache_->Get();  // winning thread refreshes; failures stay stale
+      // Explicit Refresh (not Get): settles are driven by the epoch
+      // source or the pump, never a query thread, so they count as
+      // external refreshes — inline_refreshes stays the precise count of
+      // Get()-triggered re-merges.  Failures leave the cache stale.
+      (void)cache_->Refresh();
     }
   }
 
@@ -603,6 +629,22 @@ class TypedSynopsisHandle final : public SynopsisHandle {
     if (cache_ == nullptr) return 0;
     const std::shared_ptr<const EpochState<S>> state = cache_->Peek();
     return state != nullptr ? state->view_build_ns : 0;
+  }
+
+  RefreshProfile GetRefreshProfile() const override {
+    RefreshProfile profile;
+    profile.full_rebuilds = full_rebuilds_.load(std::memory_order_relaxed);
+    profile.incremental_rebuilds =
+        incremental_rebuilds_.load(std::memory_order_relaxed);
+    profile.last_delta_fraction =
+        last_delta_fraction_.load(std::memory_order_relaxed);
+    profile.view_full_builds =
+        view_full_builds_.load(std::memory_order_relaxed);
+    profile.view_patched_builds =
+        view_patched_builds_.load(std::memory_order_relaxed);
+    profile.last_view_delta_fraction =
+        last_view_delta_fraction_.load(std::memory_order_relaxed);
+    return profile;
   }
 
  private:
@@ -645,15 +687,52 @@ class TypedSynopsisHandle final : public SynopsisHandle {
         .count();
   }
 
+  /// Records one delta-merge outcome into the refresh profile.
+  void NoteDeltaStats(const ShardedDeltaStats& stats) const {
+    if (stats.full_rebuild) {
+      full_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      incremental_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    last_delta_fraction_.store(stats.delta_fraction,
+                               std::memory_order_relaxed);
+  }
+
   /// Turns a freshly built snapshot into the epoch's published state,
   /// freezing the read-optimized view (and timing the build) when the
-  /// descriptor declares a builder.
+  /// descriptor declares a builder.  With a spec_builder, the view is
+  /// patched from the previous epoch's orderings (FrozenView's incremental
+  /// constructor) instead of fully re-sorted.  Runs only inside the
+  /// cache's refresher — the refresh mutex serializes view_patch_scratch_.
   EpochState<S> FreezeEpoch(S&& snapshot) const {
     EpochState<S> state{std::move(snapshot), std::nullopt, 0};
-    if (descriptor_->view_builder != nullptr) {
+    if (descriptor_->spec_builder != nullptr) {
+      const std::int64_t start = NowNs();
+      FrozenView::Spec spec = descriptor_->spec_builder(state.snapshot);
+      const std::shared_ptr<const EpochState<S>> previous = cache_->Peek();
+      if (previous != nullptr && previous->view.has_value()) {
+        ViewPatchStats patch_stats;
+        state.view.emplace(std::move(spec), *previous->view,
+                           view_patch_scratch_, &patch_stats);
+        state.view_patched = !patch_stats.full_sort;
+        last_view_delta_fraction_.store(patch_stats.delta_fraction,
+                                        std::memory_order_relaxed);
+      } else {
+        state.view.emplace(std::move(spec));
+        last_view_delta_fraction_.store(1.0, std::memory_order_relaxed);
+      }
+      if (state.view_patched) {
+        view_patched_builds_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        view_full_builds_.fetch_add(1, std::memory_order_relaxed);
+      }
+      state.view_build_ns = NowNs() - start;
+    } else if (descriptor_->view_builder != nullptr) {
       const std::int64_t start = NowNs();
       state.view = descriptor_->view_builder(state.snapshot);
       state.view_build_ns = NowNs() - start;
+      view_full_builds_.fetch_add(1, std::memory_order_relaxed);
+      last_view_delta_fraction_.store(1.0, std::memory_order_relaxed);
     }
     return state;
   }
@@ -678,6 +757,22 @@ class TypedSynopsisHandle final : public SynopsisHandle {
   std::atomic<bool> valid_{true};
   /// Counts PrepareDeltaMerge calls — each decode gets its own seed.
   std::atomic<std::uint64_t> merge_seq_{0};
+
+  /// Refresher-retained state for the incremental refresh path, both
+  /// touched only inside the cache's refresher (serialized by its refresh
+  /// mutex): the dirty-shard delta base + per-shard versions, and the
+  /// previous view's mirror for FrozenView's delta-patch build.
+  mutable typename ShardedSynopsis<S>::DeltaState delta_state_;
+  mutable FrozenView::PatchScratch view_patch_scratch_;
+
+  /// Incremental-refresh profile (see RefreshProfile).  Mutable + relaxed
+  /// atomics: written from the (const) refresher, read from /stats.
+  mutable std::atomic<std::int64_t> full_rebuilds_{0};
+  mutable std::atomic<std::int64_t> incremental_rebuilds_{0};
+  mutable std::atomic<double> last_delta_fraction_{1.0};
+  mutable std::atomic<std::int64_t> view_full_builds_{0};
+  mutable std::atomic<std::int64_t> view_patched_builds_{0};
+  mutable std::atomic<double> last_view_delta_fraction_{1.0};
 
   /// Measured latency profiles (see LatencyProfile): per kind, per serving
   /// path.  Mutable + relaxed atomics — recorded from const answer paths

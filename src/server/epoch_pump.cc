@@ -1,0 +1,84 @@
+#include "server/epoch_pump.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace aqua {
+
+EpochPump::EpochPump(const EpochPumpOptions& options) : options_(options) {}
+
+EpochPump::~EpochPump() { Stop(); }
+
+void EpochPump::AddDomain(std::string name, std::function<bool()> stale,
+                          std::function<void()> settle) {
+  auto domain = std::make_unique<Domain>();
+  domain->name = std::move(name);
+  domain->stale = std::move(stale);
+  domain->settle = std::move(settle);
+  domains_.push_back(std::move(domain));
+}
+
+void EpochPump::Start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_.store(false, std::memory_order_release);
+  for (auto& domain : domains_) {
+    domain->thread = std::thread([this, d = domain.get()] { PumpLoop(*d); });
+  }
+}
+
+void EpochPump::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& domain : domains_) {
+    if (domain->thread.joinable()) domain->thread.join();
+  }
+}
+
+void EpochPump::PumpLoop(Domain& domain) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, options_.interval,
+                   [this] { return stop_.load(std::memory_order_acquire); });
+      if (stop_.load(std::memory_order_acquire)) return;
+    }
+    domain.ticks.fetch_add(1, std::memory_order_relaxed);
+    if (!domain.stale()) {
+      domain.behind.store(0, std::memory_order_relaxed);
+      continue;
+    }
+    // Mark the domain behind before the settle so a concurrent Stats()
+    // read during a long merge reports the backlog truthfully.
+    domain.behind.store(1, std::memory_order_relaxed);
+    std::int64_t backlog = 0;
+    for (const auto& other : domains_) {
+      backlog += other->behind.load(std::memory_order_relaxed);
+    }
+    std::int64_t seen = max_backlog_.load(std::memory_order_relaxed);
+    while (backlog > seen &&
+           !max_backlog_.compare_exchange_weak(seen, backlog,
+                                               std::memory_order_relaxed)) {
+    }
+    domain.settle();
+    domain.refreshes.fetch_add(1, std::memory_order_relaxed);
+    domain.behind.store(domain.stale() ? 1 : 0, std::memory_order_relaxed);
+  }
+}
+
+EpochPump::Stats EpochPump::GetStats() const {
+  Stats stats;
+  stats.domains = domains_.size();
+  stats.max_backlog = max_backlog_.load(std::memory_order_relaxed);
+  for (const auto& domain : domains_) {
+    stats.ticks += domain->ticks.load(std::memory_order_relaxed);
+    stats.refreshes += domain->refreshes.load(std::memory_order_relaxed);
+    stats.backlog += domain->behind.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+}  // namespace aqua

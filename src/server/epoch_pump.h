@@ -1,0 +1,105 @@
+#ifndef AQUA_SERVER_EPOCH_PUMP_H_
+#define AQUA_SERVER_EPOCH_PUMP_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace aqua {
+
+/// Configuration of an EpochPump.
+struct EpochPumpOptions {
+  /// Pacing: each domain's thread wakes at this cadence to check its
+  /// staleness bounds.  Epoch freshness is already bounded by the snapshot
+  /// caches' max_stale_interval; the pump interval only needs to be
+  /// comfortably below it.
+  std::chrono::milliseconds interval{20};
+};
+
+/// The background owner of epoch refreshes (--refresh-mode pump).
+///
+/// In inline refresh mode, the query thread that first trips a staleness
+/// bound pays the re-merge + view build inside its request — the epoch
+/// boundary shows up as a latency spike at the tail.  The pump moves that
+/// work off-path: each registered *domain* (the serving engine's registry,
+/// a catalog) gets a dedicated thread that wakes on a fixed cadence,
+/// checks the domain's staleness bounds, and runs its SettleCaches() —
+/// which, with SnapshotCache::Options::external_refresh set, is the ONLY
+/// place re-merges happen.  Query-thread Get() on a warmed cache is then
+/// always a constant-time pointer copy, epoch boundary or not.
+///
+/// One thread per domain keeps a slow attribute's merge from delaying the
+/// engine's cadence.  Threads start at Start() and stop (cv-interrupted,
+/// no lingering sleep) at Stop()/destruction; Add*() must happen before
+/// Start().
+class EpochPump {
+ public:
+  explicit EpochPump(const EpochPumpOptions& options = {});
+  ~EpochPump();
+
+  EpochPump(const EpochPump&) = delete;
+  EpochPump& operator=(const EpochPump&) = delete;
+
+  /// Registers one refresh domain: `stale` reports whether any of its
+  /// snapshot caches is past a staleness bound, `settle` refreshes them.
+  /// Both are called from the domain's pump thread only (they must be
+  /// thread-safe against ingest/queries, which SettleCaches already is).
+  void AddDomain(std::string name, std::function<bool()> stale,
+                 std::function<void()> settle);
+
+  /// Spawns one pump thread per registered domain.  Idempotent.
+  void Start();
+
+  /// Stops and joins every pump thread.  Idempotent; called by the
+  /// destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  struct Stats {
+    /// Wakeups across all domain threads.
+    std::int64_t ticks = 0;
+    /// Settle passes that found a stale cache and ran a refresh.
+    std::int64_t refreshes = 0;
+    /// Domains whose caches were stale at their most recent tick — work
+    /// the pump is behind on right now.
+    std::int64_t backlog = 0;
+    std::int64_t max_backlog = 0;
+    std::size_t domains = 0;
+  };
+  /// Safe from any thread (relaxed counters).
+  Stats GetStats() const;
+
+ private:
+  struct Domain {
+    std::string name;
+    std::function<bool()> stale;
+    std::function<void()> settle;
+    std::thread thread;
+    /// 1 while the domain's last tick saw a stale cache.
+    std::atomic<int> behind{0};
+    std::atomic<std::int64_t> ticks{0};
+    std::atomic<std::int64_t> refreshes{0};
+  };
+
+  void PumpLoop(Domain& domain);
+
+  EpochPumpOptions options_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<std::int64_t> max_backlog_{0};
+};
+
+}  // namespace aqua
+
+#endif  // AQUA_SERVER_EPOCH_PUMP_H_

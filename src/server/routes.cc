@@ -27,6 +27,7 @@
 #include "plan/planner.h"
 #include "plan/sql_frontend.h"
 #include "server/cluster.h"
+#include "server/epoch_pump.h"
 #include "server/json.h"
 
 namespace aqua {
@@ -88,6 +89,19 @@ void WriteSynopsisStats(JsonWriter& w,
     w.Key("hits").Int(s.cache.hits);
     w.Key("refreshes").Int(s.cache.refreshes);
     w.Key("stale_served").Int(s.cache.stale_served);
+    w.Key("inline_refreshes").Int(s.cache.inline_refreshes);
+    w.Key("external_refreshes").Int(s.cache.external_refreshes);
+    w.Key("refresh_failures").Int(s.cache.refresh_failures);
+    w.Key("refresh_ns_p50").Int(s.cache.refresh_ns_p50);
+    w.Key("refresh_ns_p99").Int(s.cache.refresh_ns_p99);
+    w.EndObject();
+    w.Key("refresh").BeginObject();
+    w.Key("full_rebuilds").Int(s.refresh.full_rebuilds);
+    w.Key("incremental_rebuilds").Int(s.refresh.incremental_rebuilds);
+    w.Key("delta_fraction").Double(s.refresh.last_delta_fraction);
+    w.Key("view_full_builds").Int(s.refresh.view_full_builds);
+    w.Key("view_patched_builds").Int(s.refresh.view_patched_builds);
+    w.Key("view_delta_fraction").Double(s.refresh.last_view_delta_fraction);
     w.EndObject();
     w.EndObject();
   }
@@ -184,14 +198,42 @@ QueryResponse<HotList>& HotListScratch() {
   return scratch;
 }
 
+/// Resolves one registry's scoped cache epoch for a cacheable request.
+///
+/// Inline mode keeps the old freshness contract: a stale snapshot cache is
+/// settled here (the re-merge runs on this query thread, at most once per
+/// staleness window), and an epoch that will not settle — a failing
+/// refresher — answers nullopt so the request serves uncached.  Pump mode
+/// never settles: with external_refresh set, a stale warmed Get() serves
+/// the previous epoch's snapshot by pointer copy, so cached bytes keyed on
+/// the current (pre-advance) epoch are exactly what the handler would
+/// render — the source is a pure epoch read and query threads never pay a
+/// re-merge.
+std::optional<RouteOptions::ScopedEpoch> RegistryScopedEpoch(
+    const SynopsisRegistry* registry, std::string_view scope,
+    RefreshMode mode) {
+  if (registry == nullptr) return std::nullopt;
+  if (mode == RefreshMode::kInline) {
+    if (registry->AnyCacheStale()) registry->SettleCaches();
+    if (registry->AnyCacheStale()) return std::nullopt;
+  }
+  return RouteOptions::ScopedEpoch{scope, registry->ServingEpoch()};
+}
+
 }  // namespace
 
 void RegisterServingRoutes(HttpServer& server, ServingEngine& engine,
                            const RouteConfig& config) {
   // Query routes are cacheable: within one serving epoch the synopsis is
-  // frozen, so identical requests have byte-identical responses.
+  // frozen, so identical requests have byte-identical responses.  The
+  // engine's registry is one cache scope ("stream"): its epoch advances
+  // only invalidate these routes' entries, never a catalog attribute's.
   RouteOptions cacheable;
   cacheable.cacheable = true;
+  cacheable.scoped_epoch = [&engine, mode = config.refresh_mode](
+                               const HttpRequest&) {
+    return RegistryScopedEpoch(&engine.registry(), "stream", mode);
+  };
 
   server.Route("GET", "/healthz",
                [](const HttpRequest&, HttpResponse* response) {
@@ -258,7 +300,8 @@ void RegisterServingRoutes(HttpServer& server, ServingEngine& engine,
   // /stats is deliberately NOT cacheable: it reports live counters.
   server.Route(
       "GET", "/stats",
-      [&engine, &server](const HttpRequest&, HttpResponse* response) {
+      [&engine, &server, mode = config.refresh_mode,
+       pump = config.pump](const HttpRequest&, HttpResponse* response) {
         thread_local ServingEngine::Stats stats;
         engine.GetStatsInto(&stats);
         const HttpServer::ServerStats http = server.Stats();
@@ -270,6 +313,19 @@ void RegisterServingRoutes(HttpServer& server, ServingEngine& engine,
         w.Key("shards").UInt(stats.shards);
         w.Key("footprint_bound").Int(stats.footprint_bound);
         w.Key("epoch").UInt(stats.epoch);
+        w.Key("refresh_mode")
+            .String(mode == RefreshMode::kPump ? "pump" : "inline");
+        if (pump != nullptr) {
+          const EpochPump::Stats ps = pump->GetStats();
+          w.Key("pump").BeginObject();
+          w.Key("running").Bool(pump->running());
+          w.Key("domains").UInt(ps.domains);
+          w.Key("ticks").Int(ps.ticks);
+          w.Key("refreshes").Int(ps.refreshes);
+          w.Key("backlog").Int(ps.backlog);
+          w.Key("max_backlog").Int(ps.max_backlog);
+          w.EndObject();
+        }
         // Global operator-new calls since process start; 0 unless built
         // with -DAQUA_COUNT_GLOBAL_ALLOCS=ON.  CI samples this around a
         // warmed GET window to assert allocs_per_request == 0.
@@ -288,6 +344,7 @@ void RegisterServingRoutes(HttpServer& server, ServingEngine& engine,
         w.Key("cache_misses").Int(http.cache_misses);
         w.Key("cache_bypass").Int(http.cache_bypass);
         w.Key("cache_invalidations").Int(http.cache_invalidations);
+        w.Key("cache_stale_evictions").Int(http.cache_stale_evictions);
         w.Key("io_backend").String(http.io_backend);
         w.Key("reactors_pinned").Int(http.reactors_pinned);
         w.Key("io").BeginObject();
@@ -513,13 +570,27 @@ void HandleCatalogPost(SynopsisCatalog& catalog, std::string_view attribute,
 
 }  // namespace
 
-void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog) {
+void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog,
+                           RefreshMode refresh_mode) {
   // Catalog queries are cacheable like the engine's, except the live
-  // /attr/{name}/stats endpoint, which the predicate carves out.
+  // /attr/{name}/stats endpoint, which the predicate carves out.  Each
+  // attribute is its own cache scope, keyed on *its* registry's epoch —
+  // ingest into attribute A advances only A's scope, so B's warmed
+  // entries keep hitting (the surgical-invalidation contract, pinned by
+  // tests/server/response_cache_test.cc and e2e_http_test.cc).
   RouteOptions cacheable;
   cacheable.cacheable = true;
   cacheable.cacheable_if = [](const HttpRequest& request) {
     return !request.path.ends_with("/stats");
+  };
+  cacheable.scoped_epoch =
+      [&catalog, refresh_mode](const HttpRequest& request)
+      -> std::optional<RouteOptions::ScopedEpoch> {
+    const auto parts = SplitAttrPath(request.path);
+    if (!parts.has_value()) return std::nullopt;
+    // parts->first aliases request.path — stable for the handler call.
+    return RegistryScopedEpoch(catalog.registry(parts->first), parts->first,
+                               refresh_mode);
   };
 
   server.RoutePrefix(
@@ -630,7 +701,7 @@ void HandleSqlStatement(const ServingEngine& engine,
 }  // namespace
 
 void RegisterQueryRoutes(HttpServer& server, ServingEngine& engine,
-                         SynopsisCatalog* catalog) {
+                         SynopsisCatalog* catalog, RefreshMode refresh_mode) {
   RouteOptions cacheable;
   cacheable.cacheable = true;
   // Cache under the canonical statement, not the raw text: clause order,
@@ -644,6 +715,21 @@ void RegisterQueryRoutes(HttpServer& server, ServingEngine& engine,
     if (!ParseSqlQuery(*q, &parsed).ok()) return false;
     AppendCanonicalSqlKey(parsed, out);
     return true;
+  };
+  // Scope a cached /query entry to its FROM target's registry — the same
+  // scope names the dedicated routes use ("stream" or the attribute), so
+  // /query and /attr/{name}/... share one invalidation domain per
+  // relation.  parsed.target aliases the request's query text.
+  cacheable.scoped_epoch =
+      [&engine, catalog, refresh_mode](const HttpRequest& request)
+      -> std::optional<RouteOptions::ScopedEpoch> {
+    const auto q = request.QueryParam("q");
+    if (!q.has_value()) return std::nullopt;
+    ParsedSqlQuery parsed;
+    if (!ParseSqlQuery(*q, &parsed).ok()) return std::nullopt;
+    return RegistryScopedEpoch(ResolveQueryTarget(engine, catalog,
+                                                  parsed.target),
+                               parsed.target, refresh_mode);
   };
 
   server.Route(
@@ -667,23 +753,30 @@ void RegisterQueryRoutes(HttpServer& server, ServingEngine& engine,
 }
 
 void InstallEpochSource(HttpServer& server, ServingEngine& engine,
-                        SynopsisCatalog* catalog) {
-  // The response caches key on the combined serving epoch of everything
-  // this process serves; nullopt (some snapshot cache stale) forces a miss
-  // so the handler runs, refreshes, and advances the epoch — cached bytes
-  // are never fresher-looking than the staleness bounds allow.
-  server.SetEpochSource([&engine,
-                         catalog]() -> std::optional<std::uint64_t> {
-    // Queries only refresh the synopsis they touch, so stale caches on
-    // other synopses would keep the epoch unsettled forever; settle them
-    // here (at most one merge per handle per staleness window).
-    if (engine.AnyCacheStale()) engine.SettleCaches();
-    if (catalog != nullptr && catalog->AnyCacheStale()) {
-      catalog->SettleCaches();
-    }
-    if (engine.AnyCacheStale() ||
-        (catalog != nullptr && catalog->AnyCacheStale())) {
-      return std::nullopt;  // a refresh failed; serve uncached
+                        SynopsisCatalog* catalog, RefreshMode refresh_mode) {
+  // The fallback source for cacheable routes without a scoped_epoch: the
+  // combined serving epoch of everything this process serves; nullopt
+  // (some snapshot cache stale in inline mode) forces a miss so the
+  // handler runs, refreshes, and advances the epoch — cached bytes are
+  // never fresher-looking than the staleness bounds allow.
+  server.SetEpochSource([&engine, catalog,
+                         refresh_mode]() -> std::optional<std::uint64_t> {
+    if (refresh_mode == RefreshMode::kInline) {
+      // Queries only refresh the synopsis they touch, so stale caches on
+      // other synopses would keep the epoch unsettled forever; settle
+      // them here (at most one merge per handle per staleness window).
+      // In pump mode this branch is dead by construction: the pump owns
+      // every settle, and a stale warmed cache keeps serving its current
+      // epoch, so reading the epochs below stays consistent with what a
+      // handler would render.
+      if (engine.AnyCacheStale()) engine.SettleCaches();
+      if (catalog != nullptr && catalog->AnyCacheStale()) {
+        catalog->SettleCaches();
+      }
+      if (engine.AnyCacheStale() ||
+          (catalog != nullptr && catalog->AnyCacheStale())) {
+        return std::nullopt;  // a refresh failed; serve uncached
+      }
     }
     std::uint64_t epoch = engine.ServingEpoch();
     if (catalog != nullptr) epoch += catalog->ServingEpoch();

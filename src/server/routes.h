@@ -8,6 +8,20 @@
 namespace aqua {
 
 class IngestReplicator;
+class EpochPump;
+
+/// Who runs epoch refreshes (snapshot re-merges + frozen-view builds).
+enum class RefreshMode {
+  /// The first request past a staleness bound settles the caches inline
+  /// (inside the epoch source) before its epoch is read — refresh cost
+  /// lands on a query thread at every epoch boundary.
+  kInline,
+  /// A background EpochPump owns every SettleCaches() call; the scoped
+  /// epoch sources only *read* epochs, so a query thread never executes a
+  /// re-merge.  Requires the engine/catalog to be built with
+  /// external_refresh so warmed Get() never refreshes either.
+  kPump,
+};
 
 /// Per-deployment knobs for the serving routes (everything else is wired
 /// from the engine/catalog objects themselves).
@@ -19,6 +33,11 @@ struct RouteConfig {
   /// the engine — the durability contract only holds if every ingest path
   /// goes through the log.
   IngestReplicator* replicator = nullptr;
+  /// Refresh ownership for the cacheable routes' scoped epoch sources.
+  RefreshMode refresh_mode = RefreshMode::kInline;
+  /// The pump whose stats /stats reports (null when refresh_mode is
+  /// inline).
+  const EpochPump* pump = nullptr;
 };
 
 /// Registers the single-relation query/ingest surface on `server`:
@@ -38,8 +57,11 @@ void RegisterServingRoutes(HttpServer& server, ServingEngine& engine,
 
 /// Registers the multi-attribute surface, /attr/{name}/{endpoint}, over a
 /// sealed catalog.  Same endpoints and allocation discipline as the
-/// single-relation routes; unknown attributes answer 404.
-void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog);
+/// single-relation routes; unknown attributes answer 404.  Each attribute
+/// is its own response-cache scope: an epoch advance on one attribute
+/// leaves every other attribute's cached responses serving.
+void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog,
+                           RefreshMode refresh_mode = RefreshMode::kInline);
 
 /// Registers the planned-query surface:
 ///
@@ -56,14 +78,18 @@ void RegisterCatalogRoutes(HttpServer& server, SynopsisCatalog& catalog);
 /// every spelling of one query — clause order, ERROR 2% vs 0.02, case —
 /// hits one entry.
 void RegisterQueryRoutes(HttpServer& server, ServingEngine& engine,
-                         SynopsisCatalog* catalog = nullptr);
+                         SynopsisCatalog* catalog = nullptr,
+                         RefreshMode refresh_mode = RefreshMode::kInline);
 
-/// Installs the serving-epoch source the response caches key on: the
-/// combined epoch of the engine and the optional catalog, with stale
-/// snapshot caches settled first so the epoch converges without waiting
-/// for a query to touch every synopsis.  `catalog` may be null.
+/// Installs the server-wide serving-epoch source — the fallback for
+/// cacheable routes without a scoped source: the combined epoch of the
+/// engine and the optional catalog.  In inline mode, stale snapshot caches
+/// are settled first so the epoch converges without waiting for a query to
+/// touch every synopsis; in pump mode the source only reads epochs (the
+/// pump owns every settle).  `catalog` may be null.
 void InstallEpochSource(HttpServer& server, ServingEngine& engine,
-                        SynopsisCatalog* catalog);
+                        SynopsisCatalog* catalog,
+                        RefreshMode refresh_mode = RefreshMode::kInline);
 
 }  // namespace aqua
 

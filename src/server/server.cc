@@ -89,6 +89,7 @@ void HttpServer::Route(std::string method, std::string path, Handler handler,
   entry.cacheable = route_options.cacheable;
   entry.cacheable_if = std::move(route_options.cacheable_if);
   entry.canonical_key = std::move(route_options.canonical_key);
+  entry.scoped_epoch = std::move(route_options.scoped_epoch);
   routes_.push_back(std::move(entry));
 }
 
@@ -105,6 +106,7 @@ void HttpServer::RoutePrefix(std::string method, std::string prefix,
   entry.cacheable = route_options.cacheable;
   entry.cacheable_if = std::move(route_options.cacheable_if);
   entry.canonical_key = std::move(route_options.canonical_key);
+  entry.scoped_epoch = std::move(route_options.scoped_epoch);
   prefix_routes_.push_back(std::move(entry));
 }
 
@@ -281,6 +283,7 @@ HttpServer::ServerStats HttpServer::Stats() const {
     stats.cache_misses += cache.misses;
     stats.cache_bypass += cache.bypass;
     stats.cache_invalidations += cache.invalidations;
+    stats.cache_stale_evictions += cache.stale_evictions;
     if (reactor->pinned_cpu.load(std::memory_order_relaxed) >= 0) {
       ++stats.reactors_pinned;
     }
@@ -543,17 +546,31 @@ bool HttpServer::ServeInline(Reactor& reactor, Connection* conn,
                              const HttpRequest& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
 
+  const bool scoped = route != nullptr && route->scoped_epoch != nullptr;
   bool cacheable = route != nullptr && route->cacheable &&
-                   static_cast<bool>(epoch_source_) &&
+                   (scoped || static_cast<bool>(epoch_source_)) &&
                    (!route->cacheable_if || route->cacheable_if(request));
   if (cacheable && request.NoCache()) {
     reactor.cache.CountBypass();
     cacheable = false;
   }
   std::optional<std::uint64_t> epoch_before;
+  // The owning scope when the route installs a scoped epoch source ("" =
+  // the server-wide epoch domain): cached under that scope's own epoch,
+  // so advances elsewhere never touch this entry.
+  std::string_view scope;
   std::string_view key;
   if (cacheable) {
-    epoch_before = epoch_source_();
+    if (scoped) {
+      const std::optional<RouteOptions::ScopedEpoch> se =
+          route->scoped_epoch(request);
+      if (se.has_value()) {
+        scope = se->scope;
+        epoch_before = se->epoch;
+      }
+    } else {
+      epoch_before = epoch_source_();
+    }
     if (!epoch_before.has_value()) {
       // Epoch unsettled (a snapshot cache is stale): the handler must run
       // so the refresh happens and the epoch advances.
@@ -572,7 +589,7 @@ bool HttpServer::ServeInline(Reactor& reactor, Connection* conn,
   }
   if (cacheable) {
     if (const std::shared_ptr<const std::string>* pinned =
-            reactor.cache.LookupPinned(*epoch_before, key)) {
+            reactor.cache.LookupPinned(scope, *epoch_before, key)) {
       // Hit: replay the stored bytes verbatim — no handler, no snapshot
       // pin, no allocation.  The entry itself is handed to the backend:
       // epoll writes from it in place (pinning it only if a tail parks);
@@ -611,18 +628,26 @@ bool HttpServer::ServeInline(Reactor& reactor, Connection* conn,
   if (cacheable && response.status_code == 200 &&
       response.keep_alive == request.keep_alive) {
     // Store only when the epoch did not move while the handler ran: equal
-    // bracketing reads of the monotonic serving epoch prove every snapshot
-    // the handler saw belonged to epoch_before, so the bytes are valid for
-    // the whole epoch (byte-identical replay).  Pinning the entry builds
-    // the contiguous wire string — the one deliberate allocation on this
-    // path, paid once per (epoch, key), amortized across every later hit.
-    const std::optional<std::uint64_t> epoch_after = epoch_source_();
+    // bracketing reads of the (scope's) monotonic serving epoch prove
+    // every snapshot the handler saw belonged to epoch_before, so the
+    // bytes are valid for the whole epoch (byte-identical replay).
+    // Pinning the entry builds the contiguous wire string — the one
+    // deliberate allocation on this path, paid once per (scope, epoch,
+    // key), amortized across every later hit.
+    std::optional<std::uint64_t> epoch_after;
+    if (scoped) {
+      const std::optional<RouteOptions::ScopedEpoch> se =
+          route->scoped_epoch(request);
+      if (se.has_value() && se->scope == scope) epoch_after = se->epoch;
+    } else {
+      epoch_after = epoch_source_();
+    }
     if (epoch_after.has_value() && *epoch_after == *epoch_before) {
       std::string wire;
       wire.reserve(head.size() + response.body.size());
       wire.append(head);
       wire.append(response.body);
-      reactor.cache.Store(*epoch_before, key, std::move(wire));
+      reactor.cache.Store(scope, *epoch_before, key, std::move(wire));
     }
   }
 

@@ -84,6 +84,23 @@ struct RouteOptions {
   /// one entry.  Must append deterministically and never allocate beyond
   /// the caller's string.
   std::function<bool(const HttpRequest&, std::string*)> canonical_key;
+  /// The (scope, epoch) pair a scoped epoch source resolves for one
+  /// request: the serving surface that owns the response's bytes (a
+  /// catalog attribute, the engine's stream) and that surface's current
+  /// serving epoch.  `scope` must stay valid for the handler call — a
+  /// view of the request path or a static literal.
+  struct ScopedEpoch {
+    std::string_view scope;
+    std::uint64_t epoch = 0;
+  };
+  /// Optional per-request scoped epoch source, preferred over the
+  /// server-wide SetEpochSource() source when set: cached entries are
+  /// keyed under the returned scope's own epoch, so an epoch advance on
+  /// one scope (one attribute's ingest) leaves every other scope's warmed
+  /// entries intact — surgical instead of wholesale invalidation.  Return
+  /// nullopt to serve the request uncached (the scope's epoch is
+  /// unsettled or the request doesn't resolve to one scope).
+  std::function<std::optional<ScopedEpoch>(const HttpRequest&)> scoped_epoch;
 };
 
 /// An HTTP/1.1 server scaled across N shared-nothing reactors: every
@@ -191,6 +208,7 @@ class HttpServer {
     std::int64_t cache_misses = 0;
     std::int64_t cache_bypass = 0;
     std::int64_t cache_invalidations = 0;
+    std::int64_t cache_stale_evictions = 0;
     /// Name of the transport actually running ("epoll" / "io_uring").
     std::string_view io_backend;
     /// Reactors whose CPU pin succeeded (0 when pinning is off).
@@ -210,6 +228,9 @@ class HttpServer {
     bool cacheable = false;
     std::function<bool(const HttpRequest&)> cacheable_if;
     std::function<bool(const HttpRequest&, std::string*)> canonical_key;
+    std::function<std::optional<RouteOptions::ScopedEpoch>(
+        const HttpRequest&)>
+        scoped_epoch;
   };
 
   struct Reactor;

@@ -15,6 +15,7 @@ SynopsisRegistry::Options RegistryOptions(
   registry_options.cache_max_stale_ops = options.cache_max_stale_ops;
   registry_options.cache_max_stale_interval =
       options.cache_max_stale_interval;
+  registry_options.external_refresh = options.external_refresh;
   return registry_options;
 }
 

@@ -28,6 +28,10 @@ struct ServingEngineOptions : SynopsisSelection {
   std::int64_t cache_max_stale_ops = 8192;
   std::chrono::nanoseconds cache_max_stale_interval =
       std::chrono::milliseconds(100);
+  /// Hand refresh ownership to a background epoch pump (--refresh-mode
+  /// pump): query threads never re-merge a warmed snapshot cache; the
+  /// pump's thread calls SettleCaches() on its own cadence instead.
+  bool external_refresh = false;
 };
 
 /// The serving-layer counterpart of ApproximateAnswerEngine: the same query

@@ -5,15 +5,34 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
+#include "container/flat_hash_map.h"
 #include "core/value_count.h"
 #include "estimate/aggregates.h"
 #include "hotlist/hot_list.h"
 #include "sample/capabilities.h"
 
 namespace aqua {
+
+/// How one incremental view build went: how much of the entry set moved
+/// and whether the build fell back to full sorts.  Non-template and
+/// aggregatable, like the other *Stats structs.
+struct ViewPatchStats {
+  std::size_t total_entries = 0;
+  /// Entries added or whose count changed since the previous epoch (these
+  /// are the sorted-and-merged delta).
+  std::size_t delta_entries = 0;
+  /// Previous-epoch entries absent from the new snapshot.
+  std::size_t removed_entries = 0;
+  /// True when the delta was too large (or the previous view was empty)
+  /// and the build sorted everything from scratch.
+  bool full_sort = false;
+  /// (delta + removed) / max(1, total) — the churn this patch absorbed.
+  double delta_fraction = 1.0;
+};
 
 /// A read-optimized answer structure built once per snapshot epoch.
 ///
@@ -78,7 +97,48 @@ class FrozenView {
     std::optional<Estimate> distinct;
   };
 
+  /// Refresher-retained scratch for the incremental build: the previous
+  /// epoch's entries in snapshot order (for the positional diff), a
+  /// mirror for the divergent suffix, and the delta vectors — all
+  /// retaining capacity across epochs.  One scratch belongs to one build
+  /// sequence (the registry handle's refresh path); concurrent use is not
+  /// supported — the handle's refresh mutex already serializes it.
+  struct PatchScratch {
+    struct Slot {
+      Count count = 0;
+      /// 0 = not yet seen in the new entry set, 1 = visited; unvisited
+      /// slots after the classify are the removals.
+      std::uint64_t gen = 0;
+    };
+    /// The last build's spec.entries, unsorted — snapshot iteration order
+    /// is stable across epochs, so the next diff is mostly positional.
+    std::vector<ValueCount> prev_entries;
+    /// Divergent-suffix mirror (value → {count, visited}); rebuilt per
+    /// patch, sized by the divergence, not by m.
+    FlatHashMap<Value, Slot> mirror;
+    std::vector<ValueCount> delta;
+    /// Previous incarnations of changed/removed entries — the merges skip
+    /// these by sorted two-pointer walk; O(churn) long.
+    std::vector<ValueCount> stale_old;
+    std::uint64_t last_build_id = 0;
+    std::uint64_t next_build_id = 1;
+  };
+
   explicit FrozenView(Spec spec);
+
+  /// Incremental build: diffs `spec.entries` against `previous` (a
+  /// positional scan of the stable snapshot order, plus a hash pass over
+  /// the divergent suffix), sorts only the delta, and linear-merges it
+  /// into the previous epoch's orderings — O(m + d log d) instead of
+  /// O(m log m), with the O(m) part a sequential compare, not hashing.  Values are unique keys and both comparators are total
+  /// orders, so the merged orderings are bit-identical to the full
+  /// rebuild's by construction; prefix sums and moments are recomputed in
+  /// value order exactly as the full constructor does.  Falls back to
+  /// full sorts (still bit-identical, trivially) when the delta exceeds
+  /// half the entry set, and reseeds the mirror when `previous` is not
+  /// the view this scratch last produced.
+  FrozenView(Spec spec, const FrozenView& previous, PatchScratch& scratch,
+             ViewPatchStats* stats = nullptr);
 
   bool Answers(QueryKind kind) const {
     return answers_[static_cast<int>(kind)];
@@ -120,7 +180,23 @@ class FrozenView {
   /// (F_0 = #entries, F_1 = Σc, F_2 = Σc² — the self-join proxy).
   double MomentF(int k) const;
 
+  /// Internal orderings, exposed so the incremental-build property tests
+  /// can pin bit-identity against a full rebuild.
+  std::span<const ValueCount> ByValueOrder() const { return by_value_; }
+  std::span<const ValueCount> ByCountDescOrder() const {
+    return by_count_desc_;
+  }
+  std::span<const std::int64_t> PrefixSums() const { return prefix_; }
+
+  /// Nonzero iff this view was produced through a PatchScratch (the
+  /// scratch uses it to detect a stale mirror).
+  std::uint64_t build_id() const { return build_id_; }
+
  private:
+  /// Shared tail of both constructors: prefix sums (vector kernel),
+  /// moments, capability flags, and the sample-size consistency check —
+  /// one code path so full and incremental builds cannot drift.
+  void Finish(Spec&& spec);
   /// The i-th point (0-based) of the value-sorted expanded sample.
   Value PointAt(std::int64_t index) const;
   /// Synopsis count of `value`; 0 when absent.
@@ -144,6 +220,7 @@ class FrozenView {
   std::int64_t sample_size_ = 0;
   std::int64_t observed_inserts_ = 0;
   std::array<double, 3> moments_{};
+  std::uint64_t build_id_ = 0;
 };
 
 }  // namespace aqua

@@ -10,7 +10,7 @@
 
 namespace aqua {
 
-FrozenView BuildConciseView(const ConciseSample& sample) {
+FrozenView::Spec BuildConciseViewSpec(const ConciseSample& sample) {
   FrozenView::Spec spec;
   spec.entries = sample.Entries();
   spec.sample_size = sample.SampleSize();
@@ -31,10 +31,10 @@ FrozenView BuildConciseView(const ConciseSample& sample) {
   };
   spec.count_where = true;
   spec.quantile = true;
-  return FrozenView(std::move(spec));
+  return spec;
 }
 
-FrozenView BuildCountingView(const CountingSample& sample) {
+FrozenView::Spec BuildCountingViewSpec(const CountingSample& sample) {
   FrozenView::Spec spec;
   spec.entries = sample.Entries();
   // Not a uniform sample: Σ counts is the counted-occurrences total, and
@@ -59,10 +59,10 @@ FrozenView BuildCountingView(const CountingSample& sample) {
     return FrequencyEstimator::FromCountingCounts(count, tau, counted,
                                                   confidence);
   };
-  return FrozenView(std::move(spec));
+  return spec;
 }
 
-FrozenView BuildTraditionalView(const ReservoirSample& sample) {
+FrozenView::Spec BuildTraditionalViewSpec(const ReservoirSample& sample) {
   FrozenView::Spec spec;
   // Fold the reservoir's points into <value, count> entries — the same
   // semi-sort TraditionalHotList::Report does per query, now once per
@@ -86,13 +86,29 @@ FrozenView BuildTraditionalView(const ReservoirSample& sample) {
   spec.hot_list = hot;
   spec.count_where = true;
   spec.quantile = true;
-  return FrozenView(std::move(spec));
+  return spec;
+}
+
+FrozenView::Spec BuildDistinctSketchViewSpec(const FlajoletMartin& sketch) {
+  FrozenView::Spec spec;
+  spec.distinct = FmDistinctEstimate(sketch);
+  return spec;
+}
+
+FrozenView BuildConciseView(const ConciseSample& sample) {
+  return FrozenView(BuildConciseViewSpec(sample));
+}
+
+FrozenView BuildCountingView(const CountingSample& sample) {
+  return FrozenView(BuildCountingViewSpec(sample));
+}
+
+FrozenView BuildTraditionalView(const ReservoirSample& sample) {
+  return FrozenView(BuildTraditionalViewSpec(sample));
 }
 
 FrozenView BuildDistinctSketchView(const FlajoletMartin& sketch) {
-  FrozenView::Spec spec;
-  spec.distinct = FmDistinctEstimate(sketch);
-  return FrozenView(std::move(spec));
+  return FrozenView(BuildDistinctSketchViewSpec(sketch));
 }
 
 Estimate FmDistinctEstimate(const FlajoletMartin& sketch) {

@@ -25,6 +25,16 @@ FrozenView BuildCountingView(const CountingSample& sample);
 FrozenView BuildTraditionalView(const ReservoirSample& sample);
 FrozenView BuildDistinctSketchView(const FlajoletMartin& sketch);
 
+/// Spec-producing halves of the builders above: everything up to (but not
+/// including) the sorts.  The incremental refresh path needs the raw Spec
+/// so it can hand the entries to FrozenView's delta-patch constructor
+/// together with the previous epoch's view; the Build*View wrappers are
+/// Spec + full construction.
+FrozenView::Spec BuildConciseViewSpec(const ConciseSample& sample);
+FrozenView::Spec BuildCountingViewSpec(const CountingSample& sample);
+FrozenView::Spec BuildTraditionalViewSpec(const ReservoirSample& sample);
+FrozenView::Spec BuildDistinctSketchViewSpec(const FlajoletMartin& sketch);
+
 /// [FM85] distinct-count estimate with the ±2σ multiplicative band
 /// (σ ≈ 0.78/sqrt(#maps) in log2 scale).  The single source of truth for
 /// the arithmetic: the registry's direct answer path and

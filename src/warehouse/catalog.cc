@@ -106,6 +106,7 @@ Status SynopsisCatalog::Seal() {
     registry_options.cache_max_stale_ops = options_.cache_max_stale_ops;
     registry_options.cache_max_stale_interval =
         options_.cache_max_stale_interval;
+    registry_options.external_refresh = options_.external_refresh;
     attribute.registry = std::make_unique<SynopsisRegistry>(registry_options);
     AQUA_RETURN_NOT_OK(
         RegisterBuiltinSynopses(*attribute.registry, attribute.options,

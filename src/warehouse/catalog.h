@@ -36,6 +36,9 @@ struct CatalogOptions {
   std::int64_t cache_max_stale_ops = 8192;
   std::chrono::nanoseconds cache_max_stale_interval =
       std::chrono::milliseconds(100);
+  /// Hand refresh ownership to a background epoch pump (--refresh-mode
+  /// pump): query threads never re-merge a warmed snapshot cache.
+  bool external_refresh = false;
 };
 
 /// A catalog of per-attribute synopsis registries under one global memory

@@ -232,5 +232,150 @@ TEST(SharedSynopsisTest, InsertBatchRoutesThroughFastPath) {
   });
 }
 
+TEST(ShardedSynopsisTest, ShardVersionsBumpOnEveryMutatingPath) {
+  auto sharded = MakeConciseShards(2, 200, 80);
+  EXPECT_EQ(sharded.ShardVersion(0), 0u);
+  EXPECT_EQ(sharded.ShardVersion(1), 0u);
+
+  sharded.Insert(1);
+  EXPECT_EQ(sharded.ShardVersion(0) + sharded.ShardVersion(1), 1u);
+
+  const std::vector<Value> batch{1, 2, 3, 4};
+  sharded.InsertBatch(batch);
+  const std::uint64_t after_batch =
+      sharded.ShardVersion(0) + sharded.ShardVersion(1);
+  EXPECT_GT(after_batch, 1u);
+
+  sharded.WithShardMutable(0, [](ConciseSample& s) {
+    s.Insert(99);
+    return 0;
+  });
+  EXPECT_EQ(sharded.ShardVersion(0) + sharded.ShardVersion(1),
+            after_batch + 1);
+
+  // Read-only accessors must not bump.
+  sharded.WithShard(0, [](const ConciseSample&) { return 0; });
+  (void)sharded.Snapshot();
+  EXPECT_EQ(sharded.ShardVersion(0) + sharded.ShardVersion(1),
+            after_batch + 1);
+}
+
+TEST(ShardedSynopsisTest, SnapshotDeltaFoldsQuiescentShardsIntoBase) {
+  auto sharded = MakeConciseShards(4, 4096, 90);
+  for (Value v : ZipfValues(8000, 300, 1.0, 91)) sharded.Insert(v);
+
+  ShardedSynopsis<ConciseSample>::DeltaState state;
+  ShardedDeltaStats stats;
+
+  // First call: no base exists — every shard is merged from scratch.
+  auto first = sharded.SnapshotDelta(state, &stats);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(stats.full_rebuild);
+  EXPECT_EQ(stats.merged_shards, 4u);
+  EXPECT_EQ(stats.base_shards, 0u);
+  EXPECT_EQ(first->ObservedInserts(), 8000);
+
+  // Second call, nothing mutated: every shard is quiescent across a whole
+  // window, so the call both merges them and folds them into the base.
+  auto second = sharded.SnapshotDelta(state, &stats);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->ObservedInserts(), 8000);
+
+  // Third call: the entire shard set is covered by the retained base — no
+  // shard copy, no merge.
+  auto third = sharded.SnapshotDelta(state, &stats);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(stats.full_rebuild);
+  EXPECT_EQ(stats.merged_shards, 0u);
+  EXPECT_EQ(stats.base_shards, 4u);
+  EXPECT_EQ(stats.delta_fraction, 0.0);
+  EXPECT_EQ(third->ObservedInserts(), 8000);
+  EXPECT_TRUE(third->Validate().ok());
+}
+
+TEST(ShardedSynopsisTest, SnapshotDeltaMergesOnlyDirtyShards) {
+  auto sharded = MakeConciseShards(4, 4096, 95);
+  for (Value v : ZipfValues(8000, 300, 1.0, 96)) sharded.Insert(v);
+
+  ShardedSynopsis<ConciseSample>::DeltaState state;
+  ShardedDeltaStats stats;
+  ASSERT_TRUE(sharded.SnapshotDelta(state, &stats).ok());
+
+  // Keep shard 2 hot across the next window: it must not fold into the
+  // base, while the quiescent shards 0/1/3 do.
+  sharded.WithShardMutable(2, [](ConciseSample& s) {
+    s.Insert(12345);
+    return 0;
+  });
+  ASSERT_TRUE(sharded.SnapshotDelta(state, &stats).ok());
+
+  // Dirty it again: this call serves 0/1/3 from the base and re-merges
+  // only shard 2.
+  sharded.WithShardMutable(2, [](ConciseSample& s) {
+    s.Insert(54321);
+    return 0;
+  });
+  auto delta = sharded.SnapshotDelta(state, &stats);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_FALSE(stats.full_rebuild);
+  EXPECT_EQ(stats.merged_shards, 1u);
+  EXPECT_EQ(stats.base_shards, 3u);
+  EXPECT_DOUBLE_EQ(stats.delta_fraction, 0.25);
+  EXPECT_EQ(delta->ObservedInserts(), 8002);
+  EXPECT_TRUE(delta->Validate().ok());
+}
+
+TEST(ShardedSynopsisTest, SnapshotDeltaDiscardsBaseWhenInBaseShardMutates) {
+  auto sharded = MakeConciseShards(4, 4096, 97);
+  for (Value v : ZipfValues(8000, 300, 1.0, 98)) sharded.Insert(v);
+
+  ShardedSynopsis<ConciseSample>::DeltaState state;
+  ShardedDeltaStats stats;
+  ASSERT_TRUE(sharded.SnapshotDelta(state, &stats).ok());
+  ASSERT_TRUE(sharded.SnapshotDelta(state, &stats).ok());  // folds all four
+
+  // A shard the base already covers mutates: a merge is not reversible, so
+  // the whole base is poisoned and the call degrades to a full re-merge.
+  sharded.WithShardMutable(1, [](ConciseSample& s) {
+    s.Insert(777);
+    return 0;
+  });
+  auto rebuilt = sharded.SnapshotDelta(state, &stats);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE(stats.full_rebuild);
+  EXPECT_EQ(stats.merged_shards, 4u);
+  EXPECT_EQ(stats.base_shards, 0u);
+  EXPECT_EQ(rebuilt->ObservedInserts(), 8001);
+}
+
+TEST(ShardedSynopsisTest, SnapshotDeltaMatchesFullSnapshotContents) {
+  // Below the footprint bound a concise sample is an exact multiset, so
+  // the base+delta merge must reproduce Snapshot()'s contents bit-for-bit
+  // across rounds of churn (round-robin InsertBatch dirties one shard per
+  // round, exercising the base path on the others).
+  auto sharded = MakeConciseShards(8, 8192, 100);
+  ShardedSynopsis<ConciseSample>::DeltaState state;
+  const auto sorted_entries = [](const ConciseSample& s) {
+    std::vector<ValueCount> entries = s.Entries();
+    std::sort(entries.begin(), entries.end(),
+              [](const ValueCount& a, const ValueCount& b) {
+                return a.value < b.value;
+              });
+    return entries;
+  };
+  for (int round = 0; round < 5; ++round) {
+    const std::vector<Value> data =
+        ZipfValues(2000, 400, 1.0, 101 + static_cast<std::uint64_t>(round));
+    sharded.InsertBatch(data);
+    auto delta = sharded.SnapshotDelta(state);
+    auto full = sharded.Snapshot();
+    ASSERT_TRUE(delta.ok());
+    ASSERT_TRUE(full.ok());
+    EXPECT_EQ(delta->ObservedInserts(), full->ObservedInserts());
+    EXPECT_EQ(sorted_entries(*delta), sorted_entries(*full))
+        << "round " << round;
+  }
+}
+
 }  // namespace
 }  // namespace aqua

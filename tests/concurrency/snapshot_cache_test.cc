@@ -154,5 +154,78 @@ TEST(SnapshotCacheTest, ForcedRefreshSwapsEpochWithoutStaleness) {
   EXPECT_EQ(cache.Peek()->builds, 2);
 }
 
+TEST(SnapshotCacheTest, ExternalRefreshNeverRebuildsInline) {
+  int builds = 0;
+  SnapshotCache<Counter> cache(
+      [&builds]() -> Result<Counter> { return Counter{++builds}; },
+      {.max_stale_ops = 1,
+       .max_stale_interval = std::chrono::hours(1),
+       .external_refresh = true});
+  // Bootstrap: the very first Get() must still build inline — serving null
+  // would be worse than one inline build.
+  EXPECT_EQ(cache.Get().ValueOrDie()->builds, 1);
+  EXPECT_EQ(cache.Stats().inline_refreshes, 1);
+
+  cache.OnOps(100);
+  ASSERT_TRUE(cache.IsStale());
+  // Stale + warmed: every Get() is a pointer copy of the current epoch; the
+  // re-merge belongs to the pump.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(cache.Get().ValueOrDie()->builds, 1);
+  }
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(cache.Stats().inline_refreshes, 1);
+  EXPECT_EQ(cache.Stats().stale_served, 5);
+  EXPECT_TRUE(cache.IsStale());  // nothing consumed the staleness
+
+  // Only Refresh() — the pump's entry point — rebuilds.
+  ASSERT_TRUE(cache.Refresh().ok());
+  EXPECT_EQ(cache.Stats().external_refreshes, 1);
+  EXPECT_EQ(cache.Stats().inline_refreshes, 1);
+  EXPECT_FALSE(cache.IsStale());
+  EXPECT_EQ(cache.Get().ValueOrDie()->builds, 2);
+}
+
+TEST(SnapshotCacheTest, RefreshFailuresAreCountedNotSwallowed) {
+  int builds = 0;
+  bool fail = false;
+  SnapshotCache<Counter> cache(
+      [&builds, &fail]() -> Result<Counter> {
+        if (fail) return Status::Internal("merge failed");
+        return Counter{++builds};
+      },
+      {.max_stale_ops = 1, .max_stale_interval = std::chrono::hours(1)});
+  ASSERT_TRUE(cache.Get().ok());
+  EXPECT_EQ(cache.Stats().refresh_failures, 0);
+
+  fail = true;
+  cache.OnOps(5);
+  ASSERT_TRUE(cache.Get().ok());  // previous epoch serves
+  EXPECT_EQ(cache.Stats().refresh_failures, 1);
+  EXPECT_FALSE(cache.Refresh().ok());  // forced refresh surfaces the status
+  EXPECT_EQ(cache.Stats().refresh_failures, 2);
+
+  fail = false;
+  ASSERT_TRUE(cache.Refresh().ok());
+  EXPECT_EQ(cache.Stats().refresh_failures, 2);
+  EXPECT_EQ(cache.Peek()->builds, 2);
+}
+
+TEST(SnapshotCacheTest, RefreshLatencyPercentilesTrackTheMerge) {
+  SnapshotCache<Counter> cache(
+      []() -> Result<Counter> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return Counter{1};
+      },
+      {.max_stale_ops = 1000, .max_stale_interval = std::chrono::hours(1)});
+  EXPECT_EQ(cache.Stats().refresh_ns_p50, 0);
+  (void)cache.Get();
+  ASSERT_TRUE(cache.Refresh().ok());
+  ASSERT_TRUE(cache.Refresh().ok());
+  const auto stats = cache.Stats();
+  EXPECT_GE(stats.refresh_ns_p50, 2'000'000);
+  EXPECT_GE(stats.refresh_ns_p99, stats.refresh_ns_p50);
+}
+
 }  // namespace
 }  // namespace aqua

@@ -85,7 +85,7 @@ TEST(ResponseCacheTest, HitReturnsStoredBytesVerbatim) {
   EXPECT_EQ(stats.entries, 1u);
 }
 
-TEST(ResponseCacheTest, EpochAdvanceInvalidatesWholesale) {
+TEST(ResponseCacheTest, EpochAdvanceMissesStaleEntriesLazily) {
   ResponseCache cache;
   const ParsedRequest a = GetRequest("/hotlist?k=10");
   const ParsedRequest b = GetRequest("/frequency?value=7");
@@ -93,16 +93,95 @@ TEST(ResponseCacheTest, EpochAdvanceInvalidatesWholesale) {
   cache.Store(1, cache.BuildKey(b), "B");
   EXPECT_EQ(cache.GetStats().entries, 2u);
 
-  // A lookup carrying the next epoch clears everything from the old one.
+  // A lookup carrying the next epoch misses; the stale entries stay in
+  // place (reclaimed lazily by the re-render's Store or cap pressure).
   EXPECT_EQ(cache.Lookup(2, cache.BuildKey(a)), nullptr);
   const ResponseCache::Stats stats = cache.GetStats();
-  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.entries, 2u);
   EXPECT_EQ(stats.invalidations, 1);
   EXPECT_EQ(cache.epoch(), 2u);
 
-  // The old epoch's bytes are gone even if the old epoch is asked again
-  // (single-epoch cache: correctness over hit rate).
-  EXPECT_EQ(cache.Lookup(1, cache.BuildKey(a)), nullptr);
+  // The re-render's Store overwrites the stale incarnation in place.
+  cache.Store(2, cache.BuildKey(a), "A2");
+  const std::string* hit = cache.Lookup(2, cache.BuildKey(a));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "A2");
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+}
+
+TEST(ResponseCacheTest, EpochAdvanceInvalidatesOnlyItsScope) {
+  // The surgical contract: attribute A's epoch advance must not disturb
+  // attribute B's warmed entries.
+  ResponseCache cache;
+  const ParsedRequest qa = GetRequest("/attr/price/quantile?q=0.5");
+  const ParsedRequest qb = GetRequest("/attr/size/quantile?q=0.5");
+  const std::string ka(cache.BuildKey(qa));
+  const std::string kb(cache.BuildKey(qb));
+  cache.Store("price", 1, ka, "PRICE@1");
+  cache.Store("size", 5, kb, "SIZE@5");
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+
+  // price advances to epoch 2: its entry goes stale...
+  EXPECT_EQ(cache.Lookup("price", 2, ka), nullptr);
+  // ...but size keeps hitting at its own (unchanged) epoch.
+  const std::string* hit = cache.Lookup("size", 5, kb);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "SIZE@5");
+
+  const ResponseCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.invalidations, 1);  // only price's advance
+  EXPECT_EQ(stats.entries, 2u);       // nothing evicted eagerly
+
+  // price's re-render replaces its entry; size's is still untouched.
+  cache.Store("price", 2, ka, "PRICE@2");
+  hit = cache.Lookup("price", 2, ka);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "PRICE@2");
+  ASSERT_NE(cache.Lookup("size", 5, kb), nullptr);
+}
+
+TEST(ResponseCacheTest, CapPressureSweepsOnlyStaleEntries) {
+  ResponseCacheOptions options;
+  options.max_entries = 2;
+  ResponseCache cache(options);
+  const std::string ka(cache.BuildKey(GetRequest("/a?x=1")));
+  const std::string kb(cache.BuildKey(GetRequest("/a?x=2")));
+  const std::string kc(cache.BuildKey(GetRequest("/a?x=3")));
+  cache.Store("s1", 1, ka, "A");
+  cache.Store("s2", 1, kb, "B");
+
+  // s1 advances: its entry is stale, so a Store at the cap reclaims it —
+  // and only it — to make room.
+  EXPECT_EQ(cache.Lookup("s1", 2, ka), nullptr);
+  cache.Store("s1", 2, kc, "C");
+  const ResponseCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.stale_evictions, 1);
+  EXPECT_EQ(stats.entries, 2u);
+  ASSERT_NE(cache.Lookup("s1", 2, kc), nullptr);
+  ASSERT_NE(cache.Lookup("s2", 1, kb), nullptr);  // fresh scope survived
+  EXPECT_EQ(cache.Lookup("s1", 2, ka), nullptr);  // the stale one is gone
+}
+
+TEST(ResponseCacheTest, ScopedWarmHitPathDoesNotAllocate) {
+  // The surgical key carries (scope, epoch) per entry; after the scope is
+  // interned, the scoped hit path must stay as allocation-free as the
+  // legacy one.
+  ResponseCache cache;
+  const ParsedRequest request = GetRequest("/attr/price/distinct");
+  std::string wire(256, 'p');
+  cache.Store("price", 3, cache.BuildKey(request), std::move(wire));
+  ASSERT_NE(cache.Lookup("price", 3, cache.BuildKey(request)), nullptr);
+
+  const std::int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string_view key = cache.BuildKey(request);
+    const std::string* hit = cache.Lookup("price", 3, key);
+    ASSERT_NE(hit, nullptr);
+    ASSERT_EQ(hit->size(), 256u);
+  }
+  const std::int64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "warmed scoped BuildKey+Lookup hit path allocated";
 }
 
 TEST(ResponseCacheTest, EquivalentQueriesShareOneKey) {
